@@ -1,0 +1,13 @@
+//! Experiment binary — see `lqo_bench_suite::experiments::e1_single_table`.
+//! Scale with `LQO_SCALE=small|default|large`.
+
+use lqo_bench_suite::experiments::e1_single_table::{run, Config};
+use lqo_bench_suite::report::dump_json;
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running e1_single_table with {cfg:?}");
+    let table = run(&cfg);
+    println!("{}", table.render());
+    dump_json("exp_e1_single_table", &table);
+}

@@ -1,0 +1,14 @@
+//! Experiment binary — see `lqo_bench_suite::experiments::e2_design_space`.
+//! Scale with `LQO_SCALE=small|default|large`.
+
+use lqo_bench_suite::experiments::e2_design_space::{run, Config};
+use lqo_bench_suite::report::dump_json;
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running e2_design_space with {cfg:?}");
+    let (grid, ablation) = run(&cfg);
+    println!("{}", grid.render());
+    println!("{}", ablation.render());
+    dump_json("exp_e2_design_space", &(grid, ablation));
+}

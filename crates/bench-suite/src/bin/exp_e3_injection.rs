@@ -1,0 +1,13 @@
+//! Experiment binary — see `lqo_bench_suite::experiments::e3_injection`.
+//! Scale with `LQO_SCALE=small|default|large`.
+
+use lqo_bench_suite::experiments::e3_injection::{run, Config};
+use lqo_bench_suite::report::dump_json;
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running e3_injection with {cfg:?}");
+    let table = run(&cfg);
+    println!("{}", table.render());
+    dump_json("exp_e3_injection", &table);
+}

@@ -1,0 +1,13 @@
+//! Experiment binary — see `lqo_bench_suite::experiments::e5_regression`.
+//! Scale with `LQO_SCALE=small|default|large`.
+
+use lqo_bench_suite::experiments::e5_regression::{run, Config};
+use lqo_bench_suite::report::dump_json;
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running e5_regression with {cfg:?}");
+    let table = run(&cfg);
+    println!("{}", table.render());
+    dump_json("exp_e5_regression", &table);
+}

@@ -1,0 +1,13 @@
+//! Experiment binary — see `lqo_bench_suite::experiments::e6_join_order`.
+//! Scale with `LQO_SCALE=small|default|large`.
+
+use lqo_bench_suite::experiments::e6_join_order::{run, Config};
+use lqo_bench_suite::report::dump_json;
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running e6_join_order with {cfg:?}");
+    let table = run(&cfg);
+    println!("{}", table.render());
+    dump_json("exp_e6_join_order", &table);
+}

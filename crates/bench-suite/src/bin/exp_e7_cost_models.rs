@@ -1,0 +1,13 @@
+//! Experiment binary — see `lqo_bench_suite::experiments::e7_cost_models`.
+//! Scale with `LQO_SCALE=small|default|large`.
+
+use lqo_bench_suite::experiments::e7_cost_models::{run, Config};
+use lqo_bench_suite::report::dump_json;
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running e7_cost_models with {cfg:?}");
+    let table = run(&cfg);
+    println!("{}", table.render());
+    dump_json("exp_e7_cost_models", &table);
+}

@@ -1,0 +1,13 @@
+//! Experiment binary — see `lqo_bench_suite::experiments::e8_pilotscope`.
+//! Scale with `LQO_SCALE=small|default|large`.
+
+use lqo_bench_suite::experiments::e8_pilotscope::{run, Config};
+use lqo_bench_suite::report::dump_json;
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running e8_pilotscope with {cfg:?}");
+    let table = run(&cfg);
+    println!("{}", table.render());
+    dump_json("exp_e8_pilotscope", &table);
+}

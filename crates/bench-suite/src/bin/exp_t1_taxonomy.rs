@@ -1,0 +1,13 @@
+//! Experiment binary — see `lqo_bench_suite::experiments::t1_taxonomy`.
+//! Scale with `LQO_SCALE=small|default|large`.
+
+use lqo_bench_suite::experiments::t1_taxonomy::{run, Config};
+use lqo_bench_suite::report::dump_json;
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running t1_taxonomy with {cfg:?}");
+    let table = run(&cfg);
+    println!("{}", table.render());
+    dump_json("exp_t1_taxonomy", &table);
+}

@@ -1,0 +1,236 @@
+//! **E1 — "Are we ready for learned cardinality estimation?"** (Wang et
+//! al., \[61\] in the paper): single-table estimators under static data and
+//! under data drift (appended rows with a shifted distribution), plus
+//! training cost and model size — the deployment-readiness axes that
+//! study introduced.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lqo_card::estimator::{label_workload, FitContext};
+use lqo_card::registry::{build_estimator, EstimatorKind};
+use lqo_engine::datagen::{correlated_table, SingleTableConfig};
+use lqo_engine::{Catalog, TrueCardOracle};
+
+use crate::metrics::QErrorSummary;
+use crate::report::TextTable;
+use crate::workload::{generate_single_table_workload, WorkloadConfig};
+
+/// E1 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Base table rows.
+    pub nrows: usize,
+    /// Appended (drifted) rows as a fraction of the base.
+    pub drift_fraction: f64,
+    /// Training/evaluation query counts.
+    pub num_queries: usize,
+    /// Estimators to evaluate (single-table-capable).
+    pub kinds: Vec<EstimatorKind>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let f = crate::report::scale_factor();
+        Config {
+            nrows: (10_000.0 * f) as usize,
+            drift_fraction: 0.4,
+            num_queries: (50.0 * f) as usize,
+            kinds: vec![
+                EstimatorKind::Histogram,
+                EstimatorKind::Sampling,
+                EstimatorKind::QuickSel,
+                EstimatorKind::GbdtQd,
+                EstimatorKind::MlpQd,
+                EstimatorKind::Mscn,
+                EstimatorKind::Kde,
+                EstimatorKind::Naru,
+                EstimatorKind::BayesNet,
+                EstimatorKind::DeepDb,
+                EstimatorKind::Flat,
+            ],
+            seed: 0xE1,
+        }
+    }
+}
+
+/// Run E1: returns the static-vs-drift table.
+pub fn run(cfg: &Config) -> TextTable {
+    // Static world.
+    let base_cfg = SingleTableConfig {
+        nrows: cfg.nrows.max(200),
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let mut catalog = Catalog::new();
+    catalog.add_table(correlated_table("t", &base_cfg).unwrap());
+    let catalog = Arc::new(catalog);
+    let ctx = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+
+    let wcfg = WorkloadConfig {
+        num_queries: cfg.num_queries.max(6),
+        max_predicates: 2,
+        seed: cfg.seed ^ 0x1,
+        ..Default::default()
+    };
+    let train_q = generate_single_table_workload(&catalog, "t", &wcfg);
+    let eval_q = generate_single_table_workload(
+        &catalog,
+        "t",
+        &WorkloadConfig {
+            seed: cfg.seed ^ 0x2,
+            ..wcfg.clone()
+        },
+    );
+    let train = label_workload(&oracle, &train_q, 1).unwrap();
+    let eval = label_workload(&oracle, &eval_q, 1).unwrap();
+
+    // Drifted world: append rows from a shifted distribution; the learned
+    // models keep their stale view (their Arc points at the old catalog),
+    // while truth comes from the drifted one.
+    let drift_cfg = SingleTableConfig {
+        nrows: ((cfg.nrows.max(200)) as f64 * cfg.drift_fraction) as usize + 50,
+        skew: 0.2,        // drift: much less skew
+        correlation: 0.1, // drift: correlation breaks down
+        seed: cfg.seed ^ 0xD41F7,
+        ..Default::default()
+    };
+    let mut drifted = (*catalog).clone();
+    let extra = correlated_table("t", &drift_cfg).unwrap();
+    drifted.table_mut("t").unwrap().append(&extra).unwrap();
+    let drifted = Arc::new(drifted);
+    let drift_oracle = Arc::new(TrueCardOracle::new(drifted.clone()));
+    let drift_eval = label_workload(&drift_oracle, &eval_q, 1).unwrap();
+
+    let mut table = TextTable::new(
+        "E1: single-table estimators, static vs drifted data",
+        &[
+            "Method",
+            "static med-q",
+            "static p95-q",
+            "drift med-q",
+            "drift p95-q",
+            "size",
+            "fit-ms",
+        ],
+    );
+    for &kind in &cfg.kinds {
+        let t0 = Instant::now();
+        let est = build_estimator(kind, &ctx, &oracle, &train);
+        let fit_ms = t0.elapsed().as_millis();
+        let static_pairs: Vec<(f64, f64)> = eval
+            .iter()
+            .map(|l| (est.estimate(&l.query, l.set), l.card))
+            .collect();
+        let drift_pairs: Vec<(f64, f64)> = drift_eval
+            .iter()
+            .map(|l| (est.estimate(&l.query, l.set), l.card))
+            .collect();
+        let qs = QErrorSummary::from_pairs(&static_pairs);
+        let qd = QErrorSummary::from_pairs(&drift_pairs);
+        table.row(vec![
+            est.name().to_string(),
+            format!("{:.2}", qs.median),
+            format!("{:.2}", qs.p95),
+            format!("{:.2}", qd.median),
+            format!("{:.2}", qd.p95),
+            est.model_size().to_string(),
+            fit_ms.to_string(),
+        ]);
+    }
+
+    // Model updating (paper §2.2.2): DDUp-style drift detection triggers
+    // either a statistics refresh or a Warper-style targeted update set.
+    use lqo_card::drift::{warper_update_set, DriftDetector};
+    let detector = DriftDetector::baseline(&ctx);
+    let drifted_tables = detector.detect(&drifted);
+    let drift_ctx = FitContext::new(drifted.clone());
+
+    // Refresh the traditional statistics on the drifted data.
+    let t0 = Instant::now();
+    let refreshed = build_estimator(EstimatorKind::Histogram, &drift_ctx, &drift_oracle, &[]);
+    let fit_ms = t0.elapsed().as_millis();
+    let pairs: Vec<(f64, f64)> = drift_eval
+        .iter()
+        .map(|l| (refreshed.estimate(&l.query, l.set), l.card))
+        .collect();
+    let q = QErrorSummary::from_pairs(&pairs);
+    table.row(vec![
+        "Histogram (refreshed)".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.2}", q.median),
+        format!("{:.2}", q.p95),
+        refreshed.model_size().to_string(),
+        fit_ms.to_string(),
+    ]);
+
+    // Warper: generate an update set over the drifted tables, refit GBDT.
+    let t0 = Instant::now();
+    let update = warper_update_set(
+        &drifted,
+        &drift_oracle,
+        &drifted_tables,
+        cfg.num_queries.max(6),
+        cfg.seed ^ 0x3,
+    )
+    .unwrap();
+    let mut augmented = train.clone();
+    augmented.extend(update);
+    let warped = build_estimator(EstimatorKind::GbdtQd, &drift_ctx, &drift_oracle, &augmented);
+    let fit_ms = t0.elapsed().as_millis();
+    let pairs: Vec<(f64, f64)> = drift_eval
+        .iter()
+        .map(|l| (warped.estimate(&l.query, l.set), l.card))
+        .collect();
+    let q = QErrorSummary::from_pairs(&pairs);
+    table.row(vec![
+        format!("GBDT-QD + Warper (drift on {drifted_tables:?})"),
+        "-".into(),
+        "-".into(),
+        format!("{:.2}", q.median),
+        format!("{:.2}", q.p95),
+        warped.model_size().to_string(),
+        fit_ms.to_string(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_e1_shows_drift_degradation() {
+        let cfg = Config {
+            nrows: 1500,
+            num_queries: 12,
+            kinds: vec![EstimatorKind::Histogram, EstimatorKind::BayesNet],
+            ..Default::default()
+        };
+        let table = run(&cfg);
+        // Two estimators plus the two model-updating rows.
+        assert_eq!(table.rows.len(), 4);
+        // Drift should not *improve* the median by a large margin for a
+        // stale model (sanity of the harness direction).
+        for row in &table.rows[..2] {
+            let static_med: f64 = row[1].parse().unwrap();
+            let drift_med: f64 = row[3].parse().unwrap();
+            assert!(drift_med > static_med * 0.5, "{row:?}");
+        }
+        // The updating rows have no static columns.
+        assert_eq!(table.rows[2][1], "-");
+        assert!(table.rows[2][0].contains("refreshed"));
+        assert!(table.rows[3][0].contains("Warper"));
+        // Refreshed statistics beat the stale ones on drifted data.
+        let stale_hist: f64 = table.rows[0][3].parse().unwrap();
+        let fresh_hist: f64 = table.rows[2][3].parse().unwrap();
+        assert!(
+            fresh_hist <= stale_hist * 1.2,
+            "stale {stale_hist} fresh {fresh_hist}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! **E2 — design-space exploration** (Sun et al., \[53\] in the paper):
+//! accuracy / training time / inference latency / model size across the
+//! estimator design space, over data sizes — plus the bin-count ablation
+//! DESIGN.md calls out for the discretized data-driven models.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lqo_card::data_driven::DeepDbEstimator;
+use lqo_card::estimator::{label_workload, CardEstimator, FitContext};
+use lqo_card::registry::{build_estimator, EstimatorKind};
+use lqo_engine::datagen::stats_like;
+use lqo_engine::TrueCardOracle;
+
+use crate::metrics::QErrorSummary;
+use crate::report::TextTable;
+use crate::workload::{generate_workload, WorkloadConfig};
+
+/// E2 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Data scales (base users) forming the grid.
+    pub scales: Vec<usize>,
+    /// Queries per cell.
+    pub num_queries: usize,
+    /// Estimators on the grid.
+    pub kinds: Vec<EstimatorKind>,
+    /// Bin counts for the DeepDB ablation.
+    pub bin_ablation: Vec<usize>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let f = crate::report::scale_factor();
+        Config {
+            scales: vec![
+                (100.0 * f) as usize,
+                (200.0 * f) as usize,
+                (400.0 * f) as usize,
+            ],
+            num_queries: (40.0 * f) as usize,
+            kinds: EstimatorKind::FAST.to_vec(),
+            bin_ablation: vec![8, 24, 64],
+            seed: 0xE2,
+        }
+    }
+}
+
+fn evaluate(est: &dyn CardEstimator, eval: &[lqo_card::estimator::LabeledSubquery]) -> (f64, f64) {
+    let t0 = Instant::now();
+    let pairs: Vec<(f64, f64)> = eval
+        .iter()
+        .map(|l| (est.estimate(&l.query, l.set), l.card))
+        .collect();
+    let est_us = t0.elapsed().as_micros() as f64 / eval.len().max(1) as f64;
+    (QErrorSummary::from_pairs(&pairs).median, est_us)
+}
+
+/// Run E2: returns (grid table, bin-ablation table).
+pub fn run(cfg: &Config) -> (TextTable, TextTable) {
+    let mut grid = TextTable::new(
+        "E2: design-space exploration (median q-error / fit ms / est us / size)",
+        &["Method", "scale", "median-q", "fit-ms", "est-us", "size"],
+    );
+    let mut ablation = TextTable::new(
+        "E2b: DeepDB bin-count ablation",
+        &["bins", "median-q", "fit-ms", "size"],
+    );
+
+    for &scale in &cfg.scales {
+        let catalog = Arc::new(stats_like(scale.max(40), cfg.seed).unwrap());
+        let ctx = FitContext::new(catalog.clone());
+        let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+        let train_q = generate_workload(
+            &catalog,
+            &WorkloadConfig {
+                num_queries: cfg.num_queries.max(6),
+                seed: cfg.seed ^ 0x10,
+                ..Default::default()
+            },
+        );
+        let eval_q = generate_workload(
+            &catalog,
+            &WorkloadConfig {
+                num_queries: (cfg.num_queries / 2).max(4),
+                seed: cfg.seed ^ 0x20,
+                ..Default::default()
+            },
+        );
+        let train = label_workload(&oracle, &train_q, 3).unwrap();
+        let eval = label_workload(&oracle, &eval_q, 3).unwrap();
+
+        for &kind in &cfg.kinds {
+            let t0 = Instant::now();
+            let est = build_estimator(kind, &ctx, &oracle, &train);
+            let fit_ms = t0.elapsed().as_millis();
+            let (median_q, est_us) = evaluate(est.as_ref(), &eval);
+            grid.row(vec![
+                est.name().to_string(),
+                scale.to_string(),
+                format!("{median_q:.2}"),
+                fit_ms.to_string(),
+                format!("{est_us:.0}"),
+                est.model_size().to_string(),
+            ]);
+        }
+
+        // Bin ablation on the middle scale only.
+        if Some(&scale) == cfg.scales.get(cfg.scales.len() / 2) {
+            for &bins in &cfg.bin_ablation {
+                let t0 = Instant::now();
+                let est = DeepDbEstimator::fit_with_bins(&ctx, oracle.clone(), bins);
+                let fit_ms = t0.elapsed().as_millis();
+                let (median_q, _) = evaluate(&est, &eval);
+                ablation.row(vec![
+                    bins.to_string(),
+                    format!("{median_q:.2}"),
+                    fit_ms.to_string(),
+                    est.model_size().to_string(),
+                ]);
+            }
+        }
+    }
+    (grid, ablation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_runs() {
+        let cfg = Config {
+            scales: vec![60],
+            num_queries: 8,
+            kinds: vec![EstimatorKind::Histogram, EstimatorKind::FactorJoin],
+            bin_ablation: vec![8, 32],
+            ..Default::default()
+        };
+        let (grid, ablation) = run(&cfg);
+        assert_eq!(grid.rows.len(), 2);
+        assert_eq!(ablation.rows.len(), 2);
+        // More bins = larger model.
+        let s8: usize = ablation.rows[0][3].parse().unwrap();
+        let s32: usize = ablation.rows[1][3].parse().unwrap();
+        assert!(s32 >= s8);
+    }
+}

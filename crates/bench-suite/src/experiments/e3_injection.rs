@@ -1,0 +1,212 @@
+//! **E3 — end-to-end injection evaluation** (the STATS-CEB methodology of
+//! Han et al., \[12\] in the paper): each estimator's sub-query
+//! cardinalities are injected into the native cost-based optimizer, plans
+//! are actually executed, and total workload cost is compared against the
+//! TrueCard upper bound and the PostgreSQL-style histogram baseline.
+
+use std::sync::Arc;
+
+use lqo_card::estimator::{label_workload, EstimatorCardSource, FitContext};
+use lqo_card::registry::{build_estimator, EstimatorKind};
+use lqo_engine::datagen::stats_like;
+use lqo_engine::optimizer::CardSource;
+use lqo_engine::{
+    EngineError, ExecConfig, Executor, Optimizer, SpjQuery, TrueCardOracle, TrueCardSource,
+};
+
+use crate::report::TextTable;
+use crate::workload::{generate_workload, WorkloadConfig};
+
+/// E3 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `stats_like` scale.
+    pub scale: usize,
+    /// Workload size (STATS-CEB has 146; scaled default is smaller).
+    pub num_queries: usize,
+    /// Training queries for the query-driven estimators.
+    pub train_queries: usize,
+    /// Estimators to inject.
+    pub kinds: Vec<EstimatorKind>,
+    /// Timeout budget as a multiple of the TrueCard plan's work.
+    pub timeout_factor: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let f = crate::report::scale_factor();
+        Config {
+            // Scale is deliberately moderate: the TrueCard reference and
+            // the fanout backbones *execute* join patterns exactly, and
+            // Zipf star joins around hot keys grow super-linearly.
+            scale: (150.0 * f) as usize,
+            num_queries: (40.0 * f) as usize,
+            train_queries: (40.0 * f) as usize,
+            kinds: vec![
+                EstimatorKind::Histogram,
+                EstimatorKind::Sampling,
+                EstimatorKind::GbdtQd,
+                EstimatorKind::Mscn,
+                EstimatorKind::BayesNet,
+                EstimatorKind::NeuroCard,
+                EstimatorKind::DeepDb,
+                EstimatorKind::Flat,
+                EstimatorKind::FactorJoin,
+                EstimatorKind::Glue,
+            ],
+            timeout_factor: 30.0,
+            seed: 0xE3,
+        }
+    }
+}
+
+/// Execute the workload with plans chosen under `card`; returns per-query
+/// work (timeouts charged at the budget).
+fn run_workload(
+    catalog: &Arc<lqo_engine::Catalog>,
+    queries: &[SpjQuery],
+    card: &dyn CardSource,
+    budgets: Option<&[f64]>,
+) -> Vec<f64> {
+    let optimizer = Optimizer::with_defaults(catalog);
+    let mut out = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let budget = budgets.map(|b| b[i] * 1.0);
+        let executor = Executor::new(
+            catalog,
+            ExecConfig {
+                max_work: budget,
+                ..Default::default()
+            },
+        );
+        let work = match optimizer.optimize_default(q, card) {
+            Ok(choice) => match executor.execute(q, &choice.plan) {
+                Ok(r) => r.work,
+                Err(EngineError::WorkLimitExceeded { limit }) => limit,
+                Err(_) => budget.unwrap_or(f64::INFINITY),
+            },
+            Err(_) => budget.unwrap_or(f64::INFINITY),
+        };
+        out.push(work);
+    }
+    out
+}
+
+/// Run E3; returns the end-to-end comparison table.
+pub fn run(cfg: &Config) -> TextTable {
+    let catalog = Arc::new(stats_like(cfg.scale.max(40), cfg.seed).unwrap());
+    let ctx = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.num_queries.max(4),
+            min_tables: 2,
+            max_tables: 4,
+            seed: cfg.seed ^ 0x30,
+            ..Default::default()
+        },
+    );
+    let train_q = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.train_queries.max(4),
+            seed: cfg.seed ^ 0x40,
+            ..Default::default()
+        },
+    );
+    let train = label_workload(&oracle, &train_q, 3).unwrap();
+
+    // TrueCard reference: best plans the optimizer can produce.
+    let truth = TrueCardSource::new(oracle.clone());
+    let true_work = run_workload(&catalog, &queries, &truth, None);
+    let budgets: Vec<f64> = true_work.iter().map(|w| w * cfg.timeout_factor).collect();
+    let true_total: f64 = true_work.iter().sum();
+
+    let mut table = TextTable::new(
+        "E3: end-to-end plan quality with injected cardinalities (STATS-like)",
+        &[
+            "Estimator",
+            "total-work",
+            "vs TrueCard",
+            "improved",
+            "regressed",
+            "timeouts",
+        ],
+    );
+    table.row(vec![
+        "TrueCard".into(),
+        format!("{true_total:.0}"),
+        "1.00x".into(),
+        "-".into(),
+        "-".into(),
+        "0".into(),
+    ]);
+
+    // Histogram baseline first (it is also the regression reference).
+    let baseline_work: Vec<f64> = {
+        let est = build_estimator(EstimatorKind::Histogram, &ctx, &oracle, &train);
+        let src = EstimatorCardSource::new(Arc::from(est));
+        run_workload(&catalog, &queries, &src, Some(&budgets))
+    };
+    for &kind in &cfg.kinds {
+        let t0 = std::time::Instant::now();
+        let est = build_estimator(kind, &ctx, &oracle, &train);
+        let name = est.name().to_string();
+        eprintln!("  [e3] fitted {name} in {:?}", t0.elapsed());
+        let src = EstimatorCardSource::new(Arc::from(est));
+        let t0 = std::time::Instant::now();
+        let work = run_workload(&catalog, &queries, &src, Some(&budgets));
+        eprintln!("  [e3] ran workload under {name} in {:?}", t0.elapsed());
+        let total: f64 = work.iter().sum();
+        let improved = work
+            .iter()
+            .zip(&baseline_work)
+            .filter(|(w, b)| **w < **b * 0.9)
+            .count();
+        let regressed = work
+            .iter()
+            .zip(&baseline_work)
+            .filter(|(w, b)| **w > **b * 1.1)
+            .count();
+        let timeouts = work
+            .iter()
+            .zip(&budgets)
+            .filter(|(w, b)| (**w - **b).abs() < 1e-9)
+            .count();
+        table.row(vec![
+            name,
+            format!("{total:.0}"),
+            format!("{:.2}x", total / true_total),
+            improved.to_string(),
+            regressed.to_string(),
+            timeouts.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_e3_truecard_is_lower_bound_ish() {
+        let cfg = Config {
+            scale: 60,
+            num_queries: 6,
+            train_queries: 6,
+            kinds: vec![EstimatorKind::Histogram, EstimatorKind::FactorJoin],
+            ..Default::default()
+        };
+        let table = run(&cfg);
+        assert_eq!(table.rows.len(), 3);
+        // Ratios vs TrueCard are >= ~1 (TrueCard plans are near-optimal).
+        for row in &table.rows[1..] {
+            let ratio: f64 = row[2].trim_end_matches('x').parse().unwrap();
+            assert!(ratio > 0.5, "{row:?}");
+        }
+    }
+}

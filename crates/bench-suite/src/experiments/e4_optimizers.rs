@@ -1,0 +1,114 @@
+//! **E4 — end-to-end learned optimizers vs native** (the Bao/Lero/Neo/
+//! Balsa evaluations of §2.2): every system trains on the workload for
+//! several epochs; per-epoch total work is reported relative to the
+//! native cost-based optimizer, alongside regressions and timeouts.
+
+use std::sync::Arc;
+
+use learned_qo::framework::{LearnedOptimizer, OptContext};
+use learned_qo::harness::TrainingLoop;
+use learned_qo::{balsa, bao, hyper_qo, leon, lero, neo, NativeBaseline};
+use lqo_engine::datagen::imdb_like;
+
+use crate::report::TextTable;
+use crate::workload::{generate_workload, WorkloadConfig};
+
+/// E4 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `imdb_like` scale (base titles).
+    pub scale: usize,
+    /// Workload size.
+    pub num_queries: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let f = crate::report::scale_factor();
+        Config {
+            scale: (200.0 * f) as usize,
+            num_queries: (30.0 * f) as usize,
+            epochs: 4,
+            seed: 0xE4,
+        }
+    }
+}
+
+/// Run E4; the table has one row per system with per-epoch work ratios.
+pub fn run(cfg: &Config) -> TextTable {
+    let catalog = Arc::new(imdb_like(cfg.scale.max(40), cfg.seed).unwrap());
+    let ctx = OptContext::new(catalog.clone());
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.num_queries.max(4),
+            min_tables: 2,
+            max_tables: 5,
+            seed: cfg.seed ^ 0x50,
+            ..Default::default()
+        },
+    );
+    let training = TrainingLoop::new(ctx.clone(), queries).unwrap();
+    let native_total = training.native_total();
+
+    let mut headers: Vec<String> = vec!["System".into()];
+    for e in 1..=cfg.epochs {
+        headers.push(format!("epoch{e}"));
+    }
+    headers.extend(["final regr".into(), "max slowdn".into(), "timeouts".into()]);
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(
+        "E4: end-to-end learned optimizers (total work / native total)",
+        &header_refs,
+    );
+
+    let mut systems: Vec<Box<dyn LearnedOptimizer>> = vec![
+        Box::new(NativeBaseline::new(ctx.clone())),
+        Box::new(bao(ctx.clone())),
+        Box::new(lero(ctx.clone())),
+        Box::new(hyper_qo(ctx.clone())),
+        Box::new(leon(ctx.clone())),
+        Box::new(neo(ctx.clone())),
+        Box::new(balsa(ctx.clone())),
+    ];
+    for sys in &mut systems {
+        let stats = training.run(sys.as_mut(), cfg.epochs);
+        let mut row = vec![sys.name().to_string()];
+        for s in &stats {
+            row.push(format!("{:.2}x", s.total_work / native_total));
+        }
+        let last = stats.last().unwrap();
+        row.push(last.regressions.to_string());
+        row.push(format!("{:.1}x", last.max_regression));
+        row.push(last.timeouts.to_string());
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_e4_native_stays_at_one() {
+        let cfg = Config {
+            scale: 60,
+            num_queries: 5,
+            epochs: 2,
+            ..Default::default()
+        };
+        let table = run(&cfg);
+        assert_eq!(table.rows.len(), 7);
+        // Native row: every epoch is exactly 1.00x, zero regressions.
+        let native = &table.rows[0];
+        assert_eq!(native[0], "Native");
+        assert_eq!(native[1], "1.00x");
+        assert_eq!(native[2], "1.00x");
+        assert_eq!(native[3], "0");
+    }
+}

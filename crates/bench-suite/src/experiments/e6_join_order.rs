@@ -1,0 +1,140 @@
+//! **E6 — learned join-order search** (§2.1.3): plan-cost ratio of each
+//! method versus exhaustive bushy DP, plus planning time, over a workload
+//! of 3–7-table joins. True cardinalities drive the cost evaluation so
+//! the comparison isolates *search* quality from estimation error.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lqo_engine::datagen::imdb_like;
+use lqo_engine::optimizer::CardSource;
+use lqo_engine::{TrueCardOracle, TrueCardSource};
+use lqo_join::{
+    DpBaseline, DqJoinOrderer, EddyRl, GreedyBaseline, JoinEnv, JoinOrderSearch, RtosLite,
+    SkinnerMcts,
+};
+use lqo_ml::metrics::geometric_mean;
+
+use crate::report::TextTable;
+use crate::workload::{generate_workload, WorkloadConfig};
+
+/// E6 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `imdb_like` scale.
+    pub scale: usize,
+    /// Workload size.
+    pub num_queries: usize,
+    /// Max joined tables.
+    pub max_tables: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let f = crate::report::scale_factor();
+        Config {
+            scale: (150.0 * f) as usize,
+            num_queries: (20.0 * f) as usize,
+            max_tables: 7,
+            seed: 0xE6,
+        }
+    }
+}
+
+/// Run E6.
+pub fn run(cfg: &Config) -> TextTable {
+    let catalog = Arc::new(imdb_like(cfg.scale.max(40), cfg.seed).unwrap());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let card: Arc<dyn CardSource> = Arc::new(TrueCardSource::new(oracle));
+    let env = JoinEnv::new(catalog.clone(), card);
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.num_queries.max(4),
+            min_tables: 3,
+            max_tables: cfg.max_tables.max(3),
+            seed: cfg.seed ^ 0x70,
+            ..Default::default()
+        },
+    );
+
+    // Reference: exhaustive bushy DP cost per query.
+    let mut dp = DpBaseline {
+        left_deep_only: false,
+    };
+    let reference: Vec<f64> = queries
+        .iter()
+        .map(|q| env.tree_cost(q, &dp.find_plan(&env, q).unwrap()))
+        .collect();
+
+    let mut table = TextTable::new(
+        "E6: join-order search vs exhaustive DP (cost ratios)",
+        &["Method", "geo-mean ratio", "max ratio", "plan-ms"],
+    );
+
+    let mut methods: Vec<Box<dyn JoinOrderSearch>> = vec![
+        Box::new(DpBaseline {
+            left_deep_only: false,
+        }),
+        Box::new(DpBaseline {
+            left_deep_only: true,
+        }),
+        Box::new(GreedyBaseline),
+        Box::new(DqJoinOrderer::new(
+            cfg.max_tables.max(3),
+            Default::default(),
+        )),
+        Box::new(RtosLite::new(cfg.max_tables.max(3), 40)),
+        Box::new(EddyRl::new(60)),
+        Box::new(SkinnerMcts::new(300)),
+    ];
+    for method in &mut methods {
+        method.train(&env, &queries);
+        let t0 = Instant::now();
+        let mut ratios = Vec::with_capacity(queries.len());
+        for (q, &ref_cost) in queries.iter().zip(&reference) {
+            match method.find_plan(&env, q) {
+                Ok(tree) => ratios.push((env.tree_cost(q, &tree) / ref_cost).max(1e-9)),
+                Err(_) => ratios.push(f64::NAN),
+            }
+        }
+        let plan_ms = t0.elapsed().as_millis() as f64 / queries.len().max(1) as f64;
+        let valid: Vec<f64> = ratios.iter().copied().filter(|r| r.is_finite()).collect();
+        let max = valid.iter().copied().fold(0.0f64, f64::max);
+        table.row(vec![
+            method.name().to_string(),
+            format!("{:.2}", geometric_mean(&valid)),
+            format!("{max:.1}"),
+            format!("{plan_ms:.1}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_e6_dp_is_reference() {
+        let cfg = Config {
+            scale: 60,
+            num_queries: 4,
+            max_tables: 4,
+            ..Default::default()
+        };
+        let table = run(&cfg);
+        assert_eq!(table.rows.len(), 7);
+        // The bushy DP row is exactly 1.00 (it is the reference).
+        assert_eq!(table.rows[0][0], "DP (bushy)");
+        let r: f64 = table.rows[0][1].parse().unwrap();
+        assert!((r - 1.0).abs() < 1e-6);
+        // Every method's geo-mean ratio is >= ~1 (DP is optimal).
+        for row in &table.rows {
+            let r: f64 = row[1].parse().unwrap();
+            assert!(r >= 0.99, "{row:?}");
+        }
+    }
+}

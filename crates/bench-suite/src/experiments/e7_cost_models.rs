@@ -1,0 +1,136 @@
+//! **E7 — learned cost models** (§2.1.2): cost→latency correlation and
+//! plan-ranking accuracy of the native analytical model (under estimated
+//! and true cardinalities) versus the learned TCNN, TreeRNN and Saturn
+//! models, on held-out queries.
+
+use std::sync::Arc;
+
+use lqo_cost::{
+    harvest_samples, CostModel, NativeCostModel, PlanSample, SaturnEmbedder, TcnnCostModel,
+    TreeRnnCostModel,
+};
+use lqo_engine::datagen::imdb_like;
+use lqo_engine::optimizer::CardSource;
+use lqo_engine::stats::table_stats::CatalogStats;
+use lqo_engine::{HintSet, TraditionalCardSource, TrueCardOracle, TrueCardSource};
+use lqo_ml::metrics::{pairwise_rank_accuracy, pearson, spearman};
+
+use crate::report::TextTable;
+use crate::workload::{generate_workload, WorkloadConfig};
+
+/// E7 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `imdb_like` scale.
+    pub scale: usize,
+    /// Workload size (split in half train/test by query).
+    pub num_queries: usize,
+    /// Training epochs for the neural models.
+    pub epochs: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let f = crate::report::scale_factor();
+        Config {
+            scale: (180.0 * f) as usize,
+            num_queries: (40.0 * f) as usize,
+            epochs: (160.0 * f) as usize,
+            seed: 0xE7,
+        }
+    }
+}
+
+fn evaluate(model: &dyn CostModel, test: &[PlanSample]) -> (f64, f64, f64) {
+    let pred: Vec<f64> = test
+        .iter()
+        .map(|s| model.predict(&s.query, &s.plan).max(1.0).ln())
+        .collect();
+    let truth: Vec<f64> = test.iter().map(|s| s.work.max(1.0).ln()).collect();
+    (
+        pearson(&pred, &truth),
+        spearman(&pred, &truth),
+        pairwise_rank_accuracy(&pred, &truth),
+    )
+}
+
+/// Run E7.
+pub fn run(cfg: &Config) -> TextTable {
+    let catalog = Arc::new(imdb_like(cfg.scale.max(40), cfg.seed).unwrap());
+    let stats = Arc::new(CatalogStats::build_default(&catalog));
+    let trad: Arc<dyn CardSource> = Arc::new(TraditionalCardSource::new(catalog.clone(), stats));
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let truth: Arc<dyn CardSource> = Arc::new(TrueCardSource::new(oracle));
+
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.num_queries.max(6),
+            min_tables: 2,
+            max_tables: 5,
+            seed: cfg.seed ^ 0x80,
+            ..Default::default()
+        },
+    );
+    let (train_q, test_q): (Vec<_>, Vec<_>) = queries
+        .into_iter()
+        .enumerate()
+        .partition(|(i, _)| i % 2 == 0);
+    let train_q: Vec<_> = train_q.into_iter().map(|(_, q)| q).collect();
+    let test_q: Vec<_> = test_q.into_iter().map(|(_, q)| q).collect();
+    let arms = HintSet::standard_arms();
+    let train = harvest_samples(&catalog, &train_q, &arms, trad.as_ref()).unwrap();
+    let test = harvest_samples(&catalog, &test_q, &arms, trad.as_ref()).unwrap();
+
+    let mut table = TextTable::new(
+        "E7: cost models — correlation with measured work (held-out queries)",
+        &["Model", "pearson(log)", "spearman", "rank-acc", "size"],
+    );
+    let models: Vec<Box<dyn CostModel>> = vec![
+        Box::new(NativeCostModel::new(catalog.clone(), trad.clone())),
+        Box::new(NativeCostModel::new(catalog.clone(), truth)),
+        Box::new(TcnnCostModel::fit(catalog.clone(), &train, cfg.epochs)),
+        Box::new(TreeRnnCostModel::fit(catalog.clone(), &train, cfg.epochs)),
+        Box::new(SaturnEmbedder::fit(catalog.clone(), &train, cfg.epochs)),
+    ];
+    let labels = [
+        "Native (est. cards)",
+        "Native (true cards)",
+        "TCNN",
+        "TreeRNN",
+        "Saturn (kNN)",
+    ];
+    for (model, label) in models.iter().zip(labels) {
+        let (p, s, r) = evaluate(model.as_ref(), &test);
+        table.row(vec![
+            label.to_string(),
+            format!("{p:.3}"),
+            format!("{s:.3}"),
+            format!("{r:.3}"),
+            model.model_size().to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_e7_native_true_cards_correlate() {
+        let cfg = Config {
+            scale: 60,
+            num_queries: 8,
+            epochs: 30,
+            ..Default::default()
+        };
+        let table = run(&cfg);
+        assert_eq!(table.rows.len(), 5);
+        // Native with true cards must correlate strongly.
+        let s: f64 = table.rows[1][2].parse().unwrap();
+        assert!(s > 0.5, "native(true) spearman {s}");
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per reproduced table/figure. Each exposes a `Config` with a
+//! scaled `Default` and a `run` function returning printable
+//! [`crate::TextTable`]s; the `src/bin/exp_*` binaries are thin wrappers.
+
+pub mod e1_single_table;
+pub mod e2_design_space;
+pub mod e3_injection;
+pub mod e4_optimizers;
+pub mod e5_regression;
+pub mod e6_join_order;
+pub mod e7_cost_models;
+pub mod e8_pilotscope;
+pub mod t1_taxonomy;

@@ -1,0 +1,144 @@
+//! **T1 — the paper's Table 1, executed.** Every implemented estimator
+//! with its taxonomy category and applied ML technique (the paper's
+//! columns), extended with measured accuracy, model size and costs on a
+//! common STATS-like workload.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lqo_card::estimator::{label_workload, FitContext};
+use lqo_card::registry::{build_estimator, EstimatorKind};
+use lqo_engine::datagen::stats_like;
+use lqo_engine::TrueCardOracle;
+
+use crate::metrics::QErrorSummary;
+use crate::report::TextTable;
+use crate::workload::{generate_workload, WorkloadConfig};
+
+/// T1 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `stats_like` scale (base users).
+    pub scale: usize,
+    /// Training queries.
+    pub train_queries: usize,
+    /// Evaluation queries.
+    pub eval_queries: usize,
+    /// Label sub-queries up to this many tables.
+    pub max_subquery: usize,
+    /// Estimators to run.
+    pub kinds: Vec<EstimatorKind>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let f = crate::report::scale_factor();
+        Config {
+            scale: (200.0 * f) as usize,
+            train_queries: (60.0 * f) as usize,
+            eval_queries: (30.0 * f) as usize,
+            max_subquery: 3,
+            kinds: EstimatorKind::ALL.to_vec(),
+            seed: 0x71,
+        }
+    }
+}
+
+/// Run T1 and return the taxonomy table.
+pub fn run(cfg: &Config) -> TextTable {
+    let catalog = Arc::new(stats_like(cfg.scale, cfg.seed).unwrap());
+    let ctx = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+
+    let train_queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.train_queries.max(4),
+            seed: cfg.seed ^ 0xA,
+            ..Default::default()
+        },
+    );
+    let eval_queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.eval_queries.max(2),
+            seed: cfg.seed ^ 0xB,
+            ..Default::default()
+        },
+    );
+    let train = label_workload(&oracle, &train_queries, cfg.max_subquery).unwrap();
+    let eval = label_workload(&oracle, &eval_queries, cfg.max_subquery).unwrap();
+
+    let mut table = TextTable::new(
+        "T1: learned cardinality estimators (paper Table 1, executed)",
+        &[
+            "Category",
+            "Method",
+            "Applied ML Technique",
+            "median-q",
+            "p95-q",
+            "max-q",
+            "size",
+            "fit-ms",
+            "est-us",
+        ],
+    );
+    for &kind in &cfg.kinds {
+        let t0 = Instant::now();
+        let est = build_estimator(kind, &ctx, &oracle, &train);
+        let fit_ms = t0.elapsed().as_millis();
+
+        let t1 = Instant::now();
+        let pairs: Vec<(f64, f64)> = eval
+            .iter()
+            .map(|l| (est.estimate(&l.query, l.set), l.card))
+            .collect();
+        let est_us = t1.elapsed().as_micros() as f64 / eval.len().max(1) as f64;
+        let q = QErrorSummary::from_pairs(&pairs);
+        table.row(vec![
+            est.category().label().to_string(),
+            est.name().to_string(),
+            est.technique().to_string(),
+            format!("{:.2}", q.median),
+            format!("{:.2}", q.p95),
+            format!("{:.0}", q.max),
+            est.model_size().to_string(),
+            fit_ms.to_string(),
+            format!("{est_us:.0}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_t1_runs_for_fast_kinds() {
+        let cfg = Config {
+            scale: 60,
+            train_queries: 8,
+            eval_queries: 4,
+            max_subquery: 2,
+            kinds: vec![
+                EstimatorKind::Histogram,
+                EstimatorKind::GbdtQd,
+                EstimatorKind::BayesNet,
+            ],
+            seed: 1,
+        };
+        let table = run(&cfg);
+        assert_eq!(table.rows.len(), 3);
+        // Categories render the Table-1 labels.
+        assert!(table.rows.iter().any(|r| r[0].contains("Traditional")));
+        assert!(table
+            .rows
+            .iter()
+            .any(|r| r[0].contains("Probabilistic Graphical Model")));
+        let rendered = table.render();
+        assert!(rendered.contains("median-q"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # lqo-bench-suite
+//!
+//! The benchmark harness: SPJ workload generators over the synthetic
+//! schemas, q-error metrics, text-table/JSON reporting, and one experiment
+//! module per reproduced table/figure (see DESIGN.md §4):
+//!
+//! | id | binary | reproduces |
+//! |----|--------|------------|
+//! | T1 | `exp_t1_taxonomy` | paper Table 1, executed |
+//! | E1 | `exp_e1_single_table` | "Are we ready?" static/dynamic study |
+//! | E2 | `exp_e2_design_space` | design-space exploration |
+//! | E3 | `exp_e3_injection` | STATS-CEB end-to-end injection |
+//! | E4 | `exp_e4_optimizers` | Bao/Lero/Neo/Balsa vs native |
+//! | E5 | `exp_e5_regression` | Eraser regression elimination |
+//! | E6 | `exp_e6_join_order` | learned join-order search |
+//! | E7 | `exp_e7_cost_models` | learned cost models |
+//! | E8 | `exp_e8_pilotscope` | PilotScope overhead & drivers |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod workload;
+
+pub use metrics::QErrorSummary;
+pub use report::TextTable;
+pub use workload::{generate_workload, WorkloadConfig};

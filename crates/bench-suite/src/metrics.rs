@@ -1,0 +1,86 @@
+//! Accuracy summaries used across the experiments.
+
+use lqo_ml::metrics::{geometric_mean, percentile, q_error};
+use serde::Serialize;
+
+/// Distribution summary of q-errors, the standard columns of every
+/// cardinality-estimation evaluation.
+#[derive(Debug, Clone, Serialize)]
+pub struct QErrorSummary {
+    /// Number of evaluated (sub-)queries.
+    pub count: usize,
+    /// Median q-error.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst case.
+    pub max: f64,
+    /// Geometric mean.
+    pub geo_mean: f64,
+}
+
+impl QErrorSummary {
+    /// Summarize paired `(estimate, truth)` values.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> QErrorSummary {
+        let qs: Vec<f64> = pairs.iter().map(|&(e, t)| q_error(e, t)).collect();
+        Self::from_q_errors(&qs)
+    }
+
+    /// Summarize precomputed q-errors.
+    pub fn from_q_errors(qs: &[f64]) -> QErrorSummary {
+        assert!(!qs.is_empty(), "no q-errors to summarize");
+        QErrorSummary {
+            count: qs.len(),
+            median: percentile(qs, 50.0),
+            p90: percentile(qs, 90.0),
+            p95: percentile(qs, 95.0),
+            p99: percentile(qs, 99.0),
+            max: percentile(qs, 100.0),
+            geo_mean: geometric_mean(qs),
+        }
+    }
+
+    /// Render as fixed columns `[median, p95, max]` for report tables.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            format!("{:.2}", self.median),
+            format!("{:.2}", self.p95),
+            format!("{:.1}", self.max),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let pairs: Vec<(f64, f64)> = (1..=100).map(|i| (i as f64, 1.0)).collect();
+        let s = QErrorSummary::from_pairs(&pairs);
+        assert_eq!(s.count, 100);
+        assert!((s.median - 50.5).abs() < 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.p95 > s.p90);
+        assert!(s.p99 > s.p95);
+        assert!(s.geo_mean > 1.0 && s.geo_mean < s.median * 1.2);
+    }
+
+    #[test]
+    fn perfect_estimates() {
+        let pairs = vec![(10.0, 10.0); 5];
+        let s = QErrorSummary::from_pairs(&pairs);
+        assert_eq!(s.median, 1.0);
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    fn cells_render() {
+        let s = QErrorSummary::from_q_errors(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.cells().len(), 3);
+    }
+}

@@ -1,0 +1,304 @@
+//! SPJ workload generation: random connected FK-join queries with
+//! data-derived predicates, in the style of JOB and STATS-CEB.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lqo_engine::query::expr::{CmpOp, ColRef, JoinCond, Predicate, TableRef};
+use lqo_engine::{Catalog, DataType, SpjQuery, Value};
+
+/// Workload shape knobs.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of queries.
+    pub num_queries: usize,
+    /// Minimum joined tables per query.
+    pub min_tables: usize,
+    /// Maximum joined tables per query.
+    pub max_tables: usize,
+    /// Maximum filter predicates per query (at least 1).
+    pub max_predicates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_queries: 50,
+            min_tables: 2,
+            max_tables: 5,
+            max_predicates: 3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generate a workload over a catalog's FK join graph. Every query is
+/// validated and guaranteed connected; predicates compare against values
+/// sampled from the data so selectivities are non-degenerate.
+pub fn generate_workload(catalog: &Catalog, cfg: &WorkloadConfig) -> Vec<SpjQuery> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.num_queries);
+    let mut attempts = 0;
+    while out.len() < cfg.num_queries && attempts < cfg.num_queries * 50 {
+        attempts += 1;
+        if let Some(q) = generate_one(catalog, cfg, &mut rng) {
+            if q.validate(catalog).is_ok() {
+                out.push(q);
+            }
+        }
+    }
+    out
+}
+
+fn generate_one(catalog: &Catalog, cfg: &WorkloadConfig, rng: &mut StdRng) -> Option<SpjQuery> {
+    let fks = catalog.foreign_keys();
+    if fks.is_empty() {
+        return None;
+    }
+    let target = rng.gen_range(cfg.min_tables..=cfg.max_tables);
+
+    // Grow a connected table set along FK edges.
+    let start = &fks[rng.gen_range(0..fks.len())];
+    let mut tables: Vec<String> = vec![start.table.clone()];
+    let mut joins: Vec<JoinCond> = Vec::new();
+    let alias_of = |tables: &[String], name: &str| -> Option<String> {
+        tables.iter().find(|t| *t == name).cloned()
+    };
+    let mut guard = 0;
+    while tables.len() < target && guard < 40 {
+        guard += 1;
+        // Pick an edge touching the current set.
+        let candidates: Vec<&lqo_engine::schema::ForeignKey> = fks
+            .iter()
+            .filter(|fk| tables.contains(&fk.table) || tables.contains(&fk.ref_table))
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let fk = candidates[rng.gen_range(0..candidates.len())];
+        // Determine which side is new.
+        let (new_table, new_col, old_table, old_col) = if tables.contains(&fk.table) {
+            (&fk.ref_table, &fk.ref_column, &fk.table, &fk.column)
+        } else {
+            (&fk.table, &fk.column, &fk.ref_table, &fk.ref_column)
+        };
+        let old_alias = alias_of(&tables, old_table)?;
+        if tables.contains(new_table) {
+            // Both endpoints present: add the condition if not duplicate.
+            let cond = JoinCond::new(
+                ColRef::new(new_table.clone(), new_col.clone()),
+                ColRef::new(old_alias, old_col.clone()),
+            );
+            let dup = joins.iter().any(|j| {
+                (j.left == cond.left && j.right == cond.right)
+                    || (j.left == cond.right && j.right == cond.left)
+            });
+            if !dup && rng.gen_bool(0.4) {
+                joins.push(cond);
+            }
+            continue;
+        }
+        joins.push(JoinCond::new(
+            ColRef::new(new_table.clone(), new_col.clone()),
+            ColRef::new(old_alias, old_col.clone()),
+        ));
+        tables.push(new_table.clone());
+    }
+    if tables.len() < cfg.min_tables {
+        return None;
+    }
+
+    // Predicates: sample columns and literal values from the data.
+    let npreds = rng.gen_range(1..=cfg.max_predicates.max(1));
+    let mut predicates = Vec::new();
+    let mut guard = 0;
+    while predicates.len() < npreds && guard < 30 {
+        guard += 1;
+        let tname = &tables[rng.gen_range(0..tables.len())];
+        let Ok(table) = catalog.table(tname) else {
+            continue;
+        };
+        if table.nrows() == 0 {
+            continue;
+        }
+        let ci = rng.gen_range(0..table.schema.arity());
+        if table.schema.primary_key == Some(ci) {
+            continue;
+        }
+        let def = &table.schema.columns[ci];
+        let row = rng.gen_range(0..table.nrows());
+        let value = table.column(ci).value(row);
+        let op = match def.dtype {
+            DataType::Text => CmpOp::Eq,
+            _ => match rng.gen_range(0..5) {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Lt,
+                2 => CmpOp::Le,
+                3 => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            },
+        };
+        // Equality on high-cardinality float columns is degenerate.
+        if def.dtype == DataType::Float && op == CmpOp::Eq {
+            continue;
+        }
+        let value = match value {
+            Value::Float(f) => Value::Float((f * 100.0).round() / 100.0),
+            v => v,
+        };
+        predicates.push(Predicate::new(
+            ColRef::new(tname.clone(), def.name.clone()),
+            op,
+            value,
+        ));
+    }
+    if predicates.is_empty() {
+        return None;
+    }
+
+    Some(SpjQuery::new(
+        tables.into_iter().map(TableRef::bare).collect(),
+        joins,
+        predicates,
+    ))
+}
+
+/// Generate a single-table workload (experiments E1/E2): 1–`max_predicates`
+/// data-derived predicates over one table, no joins.
+pub fn generate_single_table_workload(
+    catalog: &Catalog,
+    table: &str,
+    cfg: &WorkloadConfig,
+) -> Vec<SpjQuery> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.num_queries);
+    let Ok(t) = catalog.table(table) else {
+        return out;
+    };
+    let mut attempts = 0;
+    while out.len() < cfg.num_queries && attempts < cfg.num_queries * 50 {
+        attempts += 1;
+        let npreds = rng.gen_range(1..=cfg.max_predicates.max(1));
+        let mut predicates = Vec::new();
+        let mut guard = 0;
+        while predicates.len() < npreds && guard < 30 {
+            guard += 1;
+            let ci = rng.gen_range(0..t.schema.arity());
+            if t.schema.primary_key == Some(ci) {
+                continue;
+            }
+            let def = &t.schema.columns[ci];
+            let row = rng.gen_range(0..t.nrows());
+            let value = t.column(ci).value(row);
+            let op = match def.dtype {
+                DataType::Text => CmpOp::Eq,
+                DataType::Float => {
+                    [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][rng.gen_range(0..4)]
+                }
+                DataType::Int => {
+                    [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][rng.gen_range(0..5)]
+                }
+            };
+            predicates.push(Predicate::new(
+                ColRef::new(table.to_string(), def.name.clone()),
+                op,
+                value,
+            ));
+        }
+        if predicates.is_empty() {
+            continue;
+        }
+        let q = SpjQuery::new(vec![TableRef::bare(table)], Vec::new(), predicates);
+        if q.validate(catalog).is_ok() {
+            out.push(q);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqo_engine::datagen::{imdb_like, stats_like};
+    use lqo_engine::query::JoinGraph;
+
+    #[test]
+    fn generates_requested_count_and_shapes() {
+        let catalog = stats_like(100, 1).unwrap();
+        let cfg = WorkloadConfig {
+            num_queries: 30,
+            min_tables: 2,
+            max_tables: 4,
+            ..Default::default()
+        };
+        let w = generate_workload(&catalog, &cfg);
+        assert_eq!(w.len(), 30);
+        for q in &w {
+            assert!(q.num_tables() >= 2 && q.num_tables() <= 4);
+            assert!(!q.predicates.is_empty());
+            q.validate(&catalog).unwrap();
+            let g = JoinGraph::new(q);
+            assert!(g.is_connected(q.all_tables()), "disconnected: {q}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let catalog = imdb_like(80, 2).unwrap();
+        let cfg = WorkloadConfig::default();
+        let a = generate_workload(&catalog, &cfg);
+        let b = generate_workload(&catalog, &cfg);
+        assert_eq!(a, b);
+        let c = generate_workload(&catalog, &WorkloadConfig { seed: 999, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_table_workload() {
+        let mut catalog = Catalog::new();
+        catalog.add_table(
+            lqo_engine::datagen::correlated_table(
+                "t",
+                &lqo_engine::datagen::SingleTableConfig {
+                    nrows: 500,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let w = generate_single_table_workload(
+            &catalog,
+            "t",
+            &WorkloadConfig {
+                num_queries: 15,
+                ..Default::default()
+            },
+        );
+        assert_eq!(w.len(), 15);
+        for q in &w {
+            assert_eq!(q.num_tables(), 1);
+            assert!(q.joins.is_empty());
+            assert!(!q.predicates.is_empty());
+        }
+    }
+
+    #[test]
+    fn queries_have_nonzero_results_sometimes() {
+        let catalog = std::sync::Arc::new(stats_like(100, 3).unwrap());
+        let oracle = lqo_engine::TrueCardOracle::new(catalog.clone());
+        let w = generate_workload(
+            &catalog,
+            &WorkloadConfig {
+                num_queries: 20,
+                ..Default::default()
+            },
+        );
+        let nonzero = w
+            .iter()
+            .filter(|q| oracle.true_card_full(q).unwrap() > 0)
+            .count();
+        assert!(nonzero >= w.len() / 2, "only {nonzero} non-empty queries");
+    }
+}

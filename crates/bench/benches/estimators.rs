@@ -1,0 +1,50 @@
+//! Estimator inference latency — the "est-µs" column of experiments
+//! T1/E1/E2, isolated per method family.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lqo_bench::fixture;
+use lqo_card::estimator::{label_workload, FitContext};
+use lqo_card::registry::{build_estimator, EstimatorKind};
+use lqo_engine::TrueCardOracle;
+
+fn bench_estimators(c: &mut Criterion) {
+    let (catalog, queries) = fixture(200);
+    let ctx = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog));
+    let train = label_workload(&oracle, &queries[..8], 3).unwrap();
+
+    let kinds = [
+        EstimatorKind::Histogram,
+        EstimatorKind::Sampling,
+        EstimatorKind::GbdtQd,
+        EstimatorKind::Mscn,
+        EstimatorKind::Kde,
+        EstimatorKind::Naru,
+        EstimatorKind::BayesNet,
+        EstimatorKind::DeepDb,
+        EstimatorKind::FactorJoin,
+    ];
+    let eval_q = &queries[8];
+    let mut group = c.benchmark_group("estimator/inference");
+    for kind in kinds {
+        let est = build_estimator(kind, &ctx, &oracle, &train);
+        group.bench_function(est.name(), |b| {
+            b.iter(|| est.estimate(eval_q, eval_q.all_tables()))
+        });
+    }
+    group.finish();
+
+    // Fit time of one cheap and one expensive family (training-cost axis).
+    c.bench_function("estimator/fit/FactorJoin", |b| {
+        b.iter(|| build_estimator(EstimatorKind::FactorJoin, &ctx, &oracle, &train))
+    });
+    c.bench_function("estimator/fit/BayesNet", |b| {
+        b.iter(|| build_estimator(EstimatorKind::BayesNet, &ctx, &oracle, &train))
+    });
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Executor throughput: scans and the three join operators on the
+//! STATS-like schema (substrate sanity for every experiment's work
+//! numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lqo_bench::fixture;
+use lqo_engine::query::parse_query;
+use lqo_engine::{Executor, JoinAlgo, PhysNode};
+
+fn bench_executor(c: &mut Criterion) {
+    let (catalog, _) = fixture(300);
+    let executor = Executor::with_defaults(&catalog);
+
+    let scan_q = parse_query("SELECT COUNT(*) FROM comments c WHERE c.score > 5").unwrap();
+    c.bench_function("executor/filtered_scan", |b| {
+        b.iter(|| executor.execute(&scan_q, &PhysNode::scan(0)).unwrap().count)
+    });
+
+    let join_q = parse_query(
+        "SELECT COUNT(*) FROM users u, posts p \
+         WHERE u.id = p.owner_user_id AND u.reputation > 100",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("executor/join");
+    for algo in JoinAlgo::ALL {
+        let plan = PhysNode::join(algo, PhysNode::scan(0), PhysNode::scan(1));
+        group.bench_function(format!("{algo}"), |b| {
+            b.iter(|| executor.execute(&join_q, &plan).unwrap().count)
+        });
+    }
+    group.finish();
+
+    let three_q = parse_query(
+        "SELECT COUNT(*) FROM users u, posts p, comments c \
+         WHERE u.id = p.owner_user_id AND p.id = c.post_id AND p.score > 2",
+    )
+    .unwrap();
+    let plan = PhysNode::join(
+        JoinAlgo::Hash,
+        PhysNode::join(JoinAlgo::Hash, PhysNode::scan(0), PhysNode::scan(1)),
+        PhysNode::scan(2),
+    );
+    c.bench_function("executor/three_way_hash", |b| {
+        b.iter(|| executor.execute(&three_q, &plan).unwrap().count)
+    });
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Middleware overhead: direct execution vs the PilotScope console with
+//! and without drivers — the latency column of experiment E8.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use learned_qo::framework::OptContext;
+use lqo_bench::fixture;
+use lqo_card::estimator::FitContext;
+use lqo_card::traditional::SamplingEstimator;
+use lqo_engine::stats::table_stats::CatalogStats;
+use lqo_engine::{Executor, Optimizer, TraditionalCardSource};
+use lqo_pilot::{CardDriver, EngineInteractor, PilotConsole};
+
+fn bench_middleware(c: &mut Criterion) {
+    let (catalog, queries) = fixture(150);
+    let q = queries
+        .iter()
+        .find(|q| q.num_tables() == 2)
+        .cloned()
+        .unwrap_or_else(|| queries[0].clone());
+    let sql = q.to_string();
+
+    // Direct: optimizer + executor.
+    let stats = Arc::new(CatalogStats::build_default(&catalog));
+    let card = TraditionalCardSource::new(catalog.clone(), stats.clone());
+    c.bench_function("middleware/direct", |b| {
+        let optimizer = Optimizer::with_defaults(&catalog);
+        let executor = Executor::with_defaults(&catalog);
+        b.iter(|| {
+            let plan = optimizer.optimize_default(&q, &card).unwrap().plan;
+            executor.execute(&q, &plan).unwrap().count
+        })
+    });
+
+    // Console, no driver (pure middleware: parse + session + push/pull).
+    c.bench_function("middleware/console_plain", |b| {
+        let interactor = Arc::new(EngineInteractor::new(catalog.clone()));
+        let mut console = PilotConsole::new(interactor);
+        b.iter(|| console.execute_sql(&sql).unwrap().count)
+    });
+
+    // Console with the cardinality driver (batch injection per query).
+    c.bench_function("middleware/console_card_driver", |b| {
+        let interactor = Arc::new(EngineInteractor::new(catalog.clone()));
+        let mut console = PilotConsole::new(interactor);
+        let ctx = OptContext::new(catalog.clone());
+        let fit = FitContext {
+            catalog: ctx.catalog.clone(),
+            stats: ctx.stats.clone(),
+        };
+        let est = Arc::new(SamplingEstimator::fit(&fit));
+        console
+            .register_driver(Box::new(CardDriver::new(est)))
+            .unwrap();
+        console.start_driver(Some("learned-cardinality")).unwrap();
+        b.iter(|| console.execute_sql(&sql).unwrap().count)
+    });
+}
+
+criterion_group!(benches, bench_middleware);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Planning time: exhaustive DP vs greedy across join sizes, learned
+//! optimizer candidate generation, and join-order search methods — the
+//! plan-ms columns of experiments E4 and E6.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use learned_qo::explorers::{BaoExplorer, LeroExplorer};
+use learned_qo::framework::{OptContext, PlanExplorer};
+use lqo_bench::fixture;
+use lqo_bench_suite::{generate_workload, WorkloadConfig};
+use lqo_engine::optimizer::CardSource;
+use lqo_engine::stats::table_stats::CatalogStats;
+use lqo_engine::{HintSet, Optimizer, TraditionalCardSource};
+use lqo_join::{EddyRl, JoinEnv, JoinOrderSearch, SkinnerMcts};
+
+fn bench_planning(c: &mut Criterion) {
+    let (catalog, _) = fixture(200);
+    let stats = Arc::new(CatalogStats::build_default(&catalog));
+    let card: Arc<dyn CardSource> = Arc::new(TraditionalCardSource::new(catalog.clone(), stats));
+    let optimizer = Optimizer::with_defaults(&catalog);
+
+    let mut group = c.benchmark_group("planning/dp_by_join_size");
+    for n in [3usize, 5, 7] {
+        let queries = generate_workload(
+            &catalog,
+            &WorkloadConfig {
+                num_queries: 3,
+                min_tables: n,
+                max_tables: n,
+                seed: n as u64,
+                ..Default::default()
+            },
+        );
+        if queries.is_empty() {
+            continue;
+        }
+        let q = queries[0].clone();
+        group.bench_function(format!("dp/{n}_tables"), |b| {
+            b.iter(|| {
+                optimizer
+                    .optimize(&q, card.as_ref(), &HintSet::default())
+                    .unwrap()
+                    .cost
+            })
+        });
+        group.bench_function(format!("greedy/{n}_tables"), |b| {
+            b.iter(|| {
+                optimizer
+                    .greedy(&q, card.as_ref(), &HintSet::default())
+                    .unwrap()
+                    .cost
+            })
+        });
+    }
+    group.finish();
+
+    // Learned-optimizer candidate generation (the exploration half of the
+    // unified framework).
+    let ctx = OptContext::new(catalog.clone());
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 3,
+            min_tables: 4,
+            max_tables: 4,
+            seed: 77,
+            ..Default::default()
+        },
+    );
+    let q = queries[0].clone();
+    c.bench_function("planning/bao_candidates", |b| {
+        let explorer = BaoExplorer::standard();
+        b.iter(|| explorer.explore(&ctx, &q).unwrap().len())
+    });
+    c.bench_function("planning/lero_candidates", |b| {
+        let explorer = LeroExplorer::standard();
+        b.iter(|| explorer.explore(&ctx, &q).unwrap().len())
+    });
+
+    // Online join-order search per query.
+    let env = JoinEnv::new(catalog.clone(), card);
+    c.bench_function("planning/eddy_rl", |b| {
+        let mut eddy = EddyRl::new(30);
+        b.iter(|| eddy.find_plan(&env, &q).unwrap().num_joins())
+    });
+    c.bench_function("planning/skinner_mcts", |b| {
+        let mut skinner = SkinnerMcts::new(100);
+        b.iter(|| skinner.find_plan(&env, &q).unwrap().num_joins())
+    });
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! # lqo-bench
+//!
+//! Criterion microbenches mirroring the latency-sensitive columns of the
+//! experiments (see DESIGN.md §4): executor operator throughput,
+//! estimator inference latency, optimizer planning time, and middleware
+//! overhead. Shared fixtures live here; the benches are under `benches/`.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use lqo_bench_suite::{generate_workload, WorkloadConfig};
+use lqo_engine::datagen::stats_like;
+use lqo_engine::{Catalog, SpjQuery};
+
+/// A standard medium fixture shared by all benches.
+pub fn fixture(scale: usize) -> (Arc<Catalog>, Vec<SpjQuery>) {
+    let catalog = Arc::new(stats_like(scale, 0xBE).unwrap());
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 12,
+            min_tables: 2,
+            max_tables: 5,
+            seed: 0xBE,
+            ..Default::default()
+        },
+    );
+    (catalog, queries)
+}

@@ -1,0 +1,230 @@
+//! AutoCE-style model advisor \[74\]: recommends an estimator for a dataset
+//! from its measured characteristics, using nearest-neighbour retrieval
+//! over previously recorded (dataset features → per-estimator accuracy)
+//! experiences — a deep-metric-learning substitution documented in
+//! DESIGN.md.
+
+use std::collections::HashMap;
+
+use lqo_engine::column::Column;
+
+use crate::estimator::FitContext;
+use crate::registry::EstimatorKind;
+
+/// Measured characteristics of a dataset that drive model choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetFeatures {
+    /// Number of tables.
+    pub num_tables: f64,
+    /// Mean columns per table.
+    pub avg_columns: f64,
+    /// log10 of total rows.
+    pub log_rows: f64,
+    /// Mean top-value frequency ratio (skew: 1 = uniform, large = skewed).
+    pub skew: f64,
+    /// Mean absolute pairwise correlation between numeric columns.
+    pub correlation: f64,
+}
+
+impl DatasetFeatures {
+    /// Flatten to a vector for distance computations.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.num_tables / 10.0,
+            self.avg_columns / 10.0,
+            self.log_rows / 8.0,
+            self.skew.min(50.0) / 50.0,
+            self.correlation,
+        ]
+    }
+
+    /// Measure a catalog.
+    pub fn measure(ctx: &FitContext) -> DatasetFeatures {
+        let tables = ctx.catalog.tables();
+        let num_tables = tables.len() as f64;
+        let avg_columns =
+            tables.iter().map(|t| t.schema.arity() as f64).sum::<f64>() / num_tables.max(1.0);
+        let total_rows: usize = tables.iter().map(|t| t.nrows()).sum();
+        let log_rows = (total_rows.max(1) as f64).log10();
+
+        // Skew: mean over columns of max-frequency / uniform-frequency.
+        let mut skews = Vec::new();
+        let mut corrs = Vec::new();
+        for t in tables {
+            let Some(ts) = ctx.stats.table(t.name()) else {
+                continue;
+            };
+            for cs in &ts.columns {
+                if !cs.mcv.is_empty() && cs.ndv > 1.0 {
+                    if let Some((_, f)) = cs.mcv.entries().first() {
+                        skews.push(f * cs.ndv);
+                    }
+                }
+            }
+            // Pairwise correlation over the first few numeric columns.
+            let numeric: Vec<&Column> = t
+                .columns()
+                .iter()
+                .filter(|c| c.as_int().is_some() || c.as_float().is_some())
+                .take(4)
+                .collect();
+            let n = t.nrows().min(512);
+            for i in 0..numeric.len() {
+                for j in i + 1..numeric.len() {
+                    let a: Vec<f64> = (0..n).map(|r| numeric[i].numeric_at(r)).collect();
+                    let b: Vec<f64> = (0..n).map(|r| numeric[j].numeric_at(r)).collect();
+                    corrs.push(lqo_ml::metrics::pearson(&a, &b).abs());
+                }
+            }
+        }
+        let skew = if skews.is_empty() {
+            1.0
+        } else {
+            skews.iter().sum::<f64>() / skews.len() as f64
+        };
+        let correlation = if corrs.is_empty() {
+            0.0
+        } else {
+            corrs.iter().sum::<f64>() / corrs.len() as f64
+        };
+        DatasetFeatures {
+            num_tables,
+            avg_columns,
+            log_rows,
+            skew,
+            correlation,
+        }
+    }
+}
+
+/// One recorded experience: dataset features and the measured median
+/// q-error of each evaluated estimator.
+#[derive(Debug, Clone)]
+pub struct Experience {
+    /// Measured dataset features.
+    pub features: DatasetFeatures,
+    /// Estimator → median q-error on that dataset.
+    pub scores: HashMap<EstimatorKind, f64>,
+}
+
+/// The advisor: k-nearest-neighbour retrieval over experiences.
+#[derive(Debug, Clone, Default)]
+pub struct AutoCeAdvisor {
+    experiences: Vec<Experience>,
+}
+
+impl AutoCeAdvisor {
+    /// Empty advisor.
+    pub fn new() -> AutoCeAdvisor {
+        AutoCeAdvisor::default()
+    }
+
+    /// Record a benchmark result.
+    pub fn record(&mut self, experience: Experience) {
+        self.experiences.push(experience);
+    }
+
+    /// Number of recorded experiences.
+    pub fn len(&self) -> usize {
+        self.experiences.len()
+    }
+
+    /// True when no experience has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.experiences.is_empty()
+    }
+
+    /// Recommend an estimator for a dataset: distance-weighted vote of the
+    /// `k` nearest experiences, each voting for its best estimator.
+    pub fn recommend(&self, features: &DatasetFeatures, k: usize) -> Option<EstimatorKind> {
+        if self.experiences.is_empty() {
+            return None;
+        }
+        let fx = features.to_vec();
+        let mut dists: Vec<(f64, &Experience)> = self
+            .experiences
+            .iter()
+            .map(|e| {
+                let ev = e.features.to_vec();
+                let d: f64 = fx
+                    .iter()
+                    .zip(&ev)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                (d, e)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut votes: HashMap<EstimatorKind, f64> = HashMap::new();
+        for (d, e) in dists.into_iter().take(k.max(1)) {
+            let best = e
+                .scores
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+            *votes.entry(*best.0).or_insert(0.0) += 1.0 / (d + 1e-6);
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::test_support::fixture;
+
+    fn feats(skew: f64, corr: f64) -> DatasetFeatures {
+        DatasetFeatures {
+            num_tables: 4.0,
+            avg_columns: 5.0,
+            log_rows: 5.0,
+            skew,
+            correlation: corr,
+        }
+    }
+
+    fn exp(skew: f64, corr: f64, best: EstimatorKind) -> Experience {
+        let mut scores = HashMap::new();
+        scores.insert(best, 1.5);
+        scores.insert(EstimatorKind::Histogram, 10.0);
+        Experience {
+            features: feats(skew, corr),
+            scores,
+        }
+    }
+
+    #[test]
+    fn recommends_nearest_experience_winner() {
+        let mut advisor = AutoCeAdvisor::new();
+        advisor.record(exp(30.0, 0.9, EstimatorKind::Flat));
+        advisor.record(exp(1.0, 0.0, EstimatorKind::Sampling));
+        assert_eq!(advisor.len(), 2);
+        // A skewed, correlated dataset should get the FLAT vote.
+        let rec = advisor.recommend(&feats(25.0, 0.8), 1).unwrap();
+        assert_eq!(rec, EstimatorKind::Flat);
+        let rec = advisor.recommend(&feats(1.2, 0.05), 1).unwrap();
+        assert_eq!(rec, EstimatorKind::Sampling);
+    }
+
+    #[test]
+    fn empty_advisor_returns_none() {
+        let advisor = AutoCeAdvisor::new();
+        assert!(advisor.recommend(&feats(1.0, 0.0), 3).is_none());
+        assert!(advisor.is_empty());
+    }
+
+    #[test]
+    fn measures_real_catalog() {
+        let (ctx, _, _) = fixture();
+        let f = DatasetFeatures::measure(&ctx);
+        assert_eq!(f.num_tables, 8.0);
+        assert!(f.avg_columns > 3.0);
+        assert!(f.log_rows > 2.0);
+        assert!(f.skew >= 1.0, "skewed generator must show skew: {}", f.skew);
+        assert!(f.correlation >= 0.0 && f.correlation <= 1.0);
+        assert_eq!(f.to_vec().len(), 5);
+    }
+}

@@ -1,0 +1,304 @@
+//! Discretization of table columns for the data-driven estimators: every
+//! non-key column is mapped to a small bin domain (equi-depth for numeric
+//! columns, top-k codes + overflow for text), and predicates are compiled
+//! to allowed-bin masks. Bin count is the main accuracy/size knob and is
+//! ablated in experiment E2.
+
+use lqo_engine::column::Column;
+use lqo_engine::query::expr::CmpOp;
+use lqo_engine::{Predicate, Table, Value};
+
+/// Discretizer for one column.
+#[derive(Debug, Clone)]
+pub enum ColumnBinner {
+    /// Equi-depth numeric bins defined by `edges` (len = bins + 1).
+    Numeric {
+        /// Bin edges, non-decreasing.
+        edges: Vec<f64>,
+    },
+    /// Dictionary codes `0..top` map to themselves; the rest to an
+    /// overflow bin.
+    Text {
+        /// Number of dedicated code bins.
+        top: usize,
+        /// Dictionary size at fit time.
+        dict_len: usize,
+    },
+}
+
+impl ColumnBinner {
+    /// Fit a binner over a column with at most `max_bins` bins.
+    pub fn fit(col: &Column, max_bins: usize) -> ColumnBinner {
+        match col {
+            Column::Int(_) | Column::Float(_) => {
+                let mut vals: Vec<f64> = (0..col.len()).map(|r| col.numeric_at(r)).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                vals.dedup();
+                let bins = max_bins.max(1).min(vals.len().max(1));
+                let mut edges = Vec::with_capacity(bins + 1);
+                for i in 0..=bins {
+                    let idx = (i * (vals.len().saturating_sub(1))) / bins.max(1);
+                    edges.push(*vals.get(idx).unwrap_or(&0.0));
+                }
+                edges.dedup();
+                if edges.len() < 2 {
+                    let v = edges.first().copied().unwrap_or(0.0);
+                    edges = vec![v, v];
+                }
+                ColumnBinner::Numeric { edges }
+            }
+            Column::Text { dict, .. } => ColumnBinner::Text {
+                top: dict.len().min(max_bins.saturating_sub(1).max(1)),
+                dict_len: dict.len(),
+            },
+        }
+    }
+
+    /// Number of bins.
+    pub fn domain(&self) -> usize {
+        match self {
+            ColumnBinner::Numeric { edges } => edges.len() - 1,
+            ColumnBinner::Text { top, dict_len } => {
+                if *dict_len > *top {
+                    top + 1
+                } else {
+                    (*top).max(1)
+                }
+            }
+        }
+    }
+
+    /// Bin of the value in row `row` of `col`.
+    pub fn bin(&self, col: &Column, row: usize) -> usize {
+        match self {
+            ColumnBinner::Numeric { edges } => {
+                let v = col.numeric_at(row);
+                bin_of(edges, v)
+            }
+            ColumnBinner::Text { top, .. } => match col {
+                Column::Text { codes, .. } => {
+                    let c = codes[row] as usize;
+                    c.min(*top)
+                }
+                _ => 0,
+            },
+        }
+    }
+
+    /// Allowed-bin mask of a single predicate. Conservative: a bin is
+    /// allowed when *some* value in it can satisfy the predicate.
+    pub fn allowed(&self, col: &Column, pred: &Predicate) -> Vec<bool> {
+        let d = self.domain();
+        match self {
+            ColumnBinner::Numeric { edges } => {
+                let Some(v) = pred.value.as_f64() else {
+                    return vec![true; d];
+                };
+                (0..d)
+                    .map(|b| {
+                        let lo = edges[b];
+                        let hi = edges[b + 1];
+                        match pred.op {
+                            CmpOp::Eq => lo <= v && v <= hi,
+                            CmpOp::Neq => true,
+                            CmpOp::Lt => lo < v,
+                            CmpOp::Le => lo <= v,
+                            CmpOp::Gt => hi > v,
+                            CmpOp::Ge => hi >= v,
+                        }
+                    })
+                    .collect()
+            }
+            ColumnBinner::Text { top, .. } => {
+                let Value::Text(s) = &pred.value else {
+                    return vec![true; d];
+                };
+                let code = col.text_code(s).map(|c| (c as usize).min(*top));
+                match (pred.op, code) {
+                    (CmpOp::Eq, Some(c)) => (0..d).map(|b| b == c).collect(),
+                    (CmpOp::Eq, None) => vec![false; d],
+                    (CmpOp::Neq, Some(c)) if c < *top => (0..d).map(|b| b != c).collect(),
+                    _ => vec![true; d],
+                }
+            }
+        }
+    }
+}
+
+fn bin_of(edges: &[f64], v: f64) -> usize {
+    let bins = edges.len() - 1;
+    // Rightmost bin whose lower edge <= v; clamp into range.
+    let mut lo = 0usize;
+    let mut hi = bins; // edges index
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if edges[mid + 1] < v {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo.min(bins - 1)
+}
+
+/// Discretizer for a whole table: every column except the primary key.
+#[derive(Debug, Clone)]
+pub struct TableBinner {
+    /// Column positions (into the table schema) that are modeled.
+    pub cols: Vec<usize>,
+    /// One binner per modeled column.
+    pub binners: Vec<ColumnBinner>,
+}
+
+impl TableBinner {
+    /// Fit over every non-primary-key column.
+    pub fn fit(table: &Table, max_bins: usize) -> TableBinner {
+        let mut cols = Vec::new();
+        let mut binners = Vec::new();
+        for (ci, _def) in table.schema.columns.iter().enumerate() {
+            if table.schema.primary_key == Some(ci) {
+                continue;
+            }
+            cols.push(ci);
+            binners.push(ColumnBinner::fit(table.column(ci), max_bins));
+        }
+        TableBinner { cols, binners }
+    }
+
+    /// Per-variable bin domains.
+    pub fn domains(&self) -> Vec<usize> {
+        self.binners.iter().map(ColumnBinner::domain).collect()
+    }
+
+    /// Discretize every row (or the rows of `sample` if given).
+    pub fn bin_rows(&self, table: &Table, sample: Option<&[u32]>) -> Vec<Vec<usize>> {
+        let rows: Vec<usize> = match sample {
+            Some(s) => s.iter().map(|&r| r as usize).collect(),
+            None => (0..table.nrows()).collect(),
+        };
+        rows.iter()
+            .map(|&r| {
+                self.cols
+                    .iter()
+                    .zip(&self.binners)
+                    .map(|(&ci, b)| b.bin(table.column(ci), r))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Allowed-bin masks for a conjunction of predicates on this table.
+    /// Returns `None` when a predicate references a column this binner
+    /// does not model (e.g. the primary key) — callers fall back.
+    pub fn allowed_masks(&self, table: &Table, preds: &[&Predicate]) -> Option<Vec<Vec<bool>>> {
+        let mut masks: Vec<Vec<bool>> = self
+            .binners
+            .iter()
+            .map(|b| vec![true; b.domain()])
+            .collect();
+        for pred in preds {
+            let ci = table.schema.column_index(&pred.col.column)?;
+            let var = self.cols.iter().position(|&c| c == ci)?;
+            let m = self.binners[var].allowed(table.column(ci), pred);
+            for (acc, v) in masks[var].iter_mut().zip(m) {
+                *acc = *acc && v;
+            }
+        }
+        Some(masks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqo_engine::query::expr::ColRef;
+    use lqo_engine::table::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new("t")
+            .int("id", (0..1000).collect())
+            .int("a", (0..1000).map(|i| i % 50).collect())
+            .float("f", (0..1000).map(|i| i as f64 / 10.0).collect())
+            .text("s", (0..1000).map(|i| format!("v{}", i % 5)).collect())
+            .primary_key("id")
+            .build()
+            .unwrap()
+    }
+
+    fn pred(col: &str, op: CmpOp, v: Value) -> Predicate {
+        Predicate::new(ColRef::new("t", col), op, v)
+    }
+
+    #[test]
+    fn skips_primary_key() {
+        let t = table();
+        let tb = TableBinner::fit(&t, 16);
+        assert_eq!(tb.cols, vec![1, 2, 3]);
+        assert!(tb.domains().iter().all(|&d| (2..=16).contains(&d)));
+    }
+
+    #[test]
+    fn bins_partition_rows() {
+        let t = table();
+        let tb = TableBinner::fit(&t, 8);
+        let rows = tb.bin_rows(&t, None);
+        assert_eq!(rows.len(), 1000);
+        let domains = tb.domains();
+        for r in &rows {
+            for (v, &d) in r.iter().zip(&domains) {
+                assert!(*v < d);
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_range_mask_is_conservative_and_tight() {
+        let t = table();
+        let tb = TableBinner::fit(&t, 10);
+        // a < 10 covers 20% of the domain 0..49.
+        let p = pred("a", CmpOp::Lt, Value::Int(10));
+        let masks = tb.allowed_masks(&t, &[&p]).unwrap();
+        let allowed = masks[0].iter().filter(|&&b| b).count();
+        assert!(allowed >= 2, "at least the low bins must be allowed");
+        assert!(allowed <= 4, "far too many bins allowed: {allowed}");
+        // Every row satisfying the predicate must land in an allowed bin.
+        let rows = tb.bin_rows(&t, None);
+        let a = t.column_by_name("a").unwrap().as_int().unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            if a[i] < 10 {
+                assert!(masks[0][r[0]], "row {i} bin {} not allowed", r[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn text_eq_mask_selects_one_bin() {
+        let t = table();
+        let tb = TableBinner::fit(&t, 16);
+        let p = pred("s", CmpOp::Eq, Value::Text("v2".into()));
+        let masks = tb.allowed_masks(&t, &[&p]).unwrap();
+        assert_eq!(masks[2].iter().filter(|&&b| b).count(), 1);
+        // Unknown literal: nothing allowed.
+        let p = pred("s", CmpOp::Eq, Value::Text("nope".into()));
+        let masks = tb.allowed_masks(&t, &[&p]).unwrap();
+        assert_eq!(masks[2].iter().filter(|&&b| b).count(), 0);
+    }
+
+    #[test]
+    fn unmodeled_column_returns_none() {
+        let t = table();
+        let tb = TableBinner::fit(&t, 16);
+        let p = pred("id", CmpOp::Gt, Value::Int(5));
+        assert!(tb.allowed_masks(&t, &[&p]).is_none());
+        let p = pred("missing", CmpOp::Gt, Value::Int(5));
+        assert!(tb.allowed_masks(&t, &[&p]).is_none());
+    }
+
+    #[test]
+    fn sampled_binning() {
+        let t = table();
+        let tb = TableBinner::fit(&t, 8);
+        let rows = tb.bin_rows(&t, Some(&[0, 10, 999]));
+        assert_eq!(rows.len(), 3);
+    }
+}

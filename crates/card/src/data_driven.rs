@@ -1,0 +1,759 @@
+//! Data-driven estimators: unsupervised models of the joint data
+//! distribution, queried for box probabilities.
+//!
+//! * [`KdeEstimator`] — kernel densities over table samples \[14, 21\];
+//! * [`NaruEstimator`] — per-table autoregressive models with progressive
+//!   sampling \[71\];
+//! * [`NeuroCardEstimator`] — the same AR models combined with *fanout
+//!   scaling* over the unfiltered join pattern \[70\];
+//! * [`BayesNetEstimator`] / [`BayesCardEstimator`] — Chow–Liu Bayesian
+//!   networks, classical vs. fanout-scaled join handling \[57, 65\];
+//! * [`DeepDbEstimator`] — sum-product networks \[17\];
+//! * [`FlatEstimator`] — FSPN-style SPNs with joint leaves for correlated
+//!   column pairs \[81\];
+//! * [`FactorJoinEstimator`] — per-edge join-key histograms refining the
+//!   join selectivity bucket by bucket \[64\].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lqo_engine::{Catalog, SpjQuery, Table, TableSet, TrueCardOracle};
+use lqo_ml::autoregressive::{ArConfig, ArModel};
+use lqo_ml::bayesnet::BayesNet;
+use lqo_ml::kde::Kde;
+use lqo_ml::spn::{Spn, SpnConfig};
+
+use crate::binning::TableBinner;
+use crate::combine::{independence_join, JoinBackbone};
+use crate::estimator::{CardEstimator, Category, FitContext};
+use crate::query_driven::fallback_table_card;
+
+/// How a per-table model combines across joins.
+enum JoinMode {
+    /// Classical `1/max(ndv)` independence formula.
+    Independence,
+    /// Fanout scaling over the unfiltered join pattern.
+    Fanout(JoinBackbone),
+}
+
+/// A per-table box-probability model.
+trait TableModel: Send + Sync {
+    /// `P(predicates)` for the masked bins, or `None` to fall back.
+    fn prob(&self, masks: &[Vec<bool>]) -> Option<f64>;
+    /// Scalar parameter count.
+    fn size(&self) -> usize;
+}
+
+/// Shared chassis for all per-table data-driven estimators.
+struct PerTableEstimator {
+    ctx: FitContext,
+    binners: HashMap<String, TableBinner>,
+    models: HashMap<String, Box<dyn TableModel>>,
+    mode: JoinMode,
+}
+
+impl PerTableEstimator {
+    fn table_card(&self, query: &SpjQuery, pos: usize) -> f64 {
+        let tname = &query.tables[pos].table;
+        let Ok(table) = self.ctx.catalog.table(tname) else {
+            return 1.0;
+        };
+        let nrows = table.nrows() as f64;
+        let preds = query.predicates_on(pos);
+        if preds.is_empty() {
+            return nrows;
+        }
+        let est = self
+            .binners
+            .get(tname)
+            .zip(self.models.get(tname))
+            .and_then(|(binner, model)| {
+                let masks = binner.allowed_masks(table, &preds)?;
+                model.prob(&masks)
+            });
+        match est {
+            Some(p) => (p.clamp(0.0, 1.0) * nrows).max(0.1),
+            None => fallback_table_card(&self.ctx, query, pos),
+        }
+    }
+
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        match &self.mode {
+            JoinMode::Independence => {
+                independence_join(&self.ctx, query, set, |pos| self.table_card(query, pos))
+            }
+            JoinMode::Fanout(backbone) => {
+                backbone.fanout_join(&self.ctx, query, set, |pos| self.table_card(query, pos))
+            }
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.models.values().map(|m| m.size()).sum()
+    }
+}
+
+/// Training rows for a table: binned sample (or all rows when small).
+fn binned_sample(
+    ctx: &FitContext,
+    table: &Table,
+    binner: &TableBinner,
+    cap: usize,
+) -> Vec<Vec<usize>> {
+    let sample = ctx.stats.table(table.name()).map(|ts| ts.sample.as_slice());
+    match sample {
+        Some(s) if table.nrows() > cap => binner.bin_rows(table, Some(&s[..s.len().min(cap)])),
+        _ => binner.bin_rows(table, None),
+    }
+}
+
+fn fit_per_table(
+    ctx: &FitContext,
+    bins: usize,
+    sample_cap: usize,
+    mode: JoinMode,
+    fit_model: impl Fn(&[Vec<usize>], &[usize], &str) -> Box<dyn TableModel>,
+) -> PerTableEstimator {
+    let mut binners = HashMap::new();
+    let mut models = HashMap::new();
+    for table in ctx.catalog.tables() {
+        if table.schema.arity() <= 1 || table.nrows() == 0 {
+            continue;
+        }
+        let binner = TableBinner::fit(table, bins);
+        if binner.cols.is_empty() {
+            continue;
+        }
+        let rows = binned_sample(ctx, table, &binner, sample_cap);
+        if rows.is_empty() {
+            continue;
+        }
+        let domains = binner.domains();
+        models.insert(
+            table.name().to_string(),
+            fit_model(&rows, &domains, table.name()),
+        );
+        binners.insert(table.name().to_string(), binner);
+    }
+    PerTableEstimator {
+        ctx: ctx.clone(),
+        binners,
+        models,
+        mode,
+    }
+}
+
+// ---------- KDE ----------
+
+struct KdeTableModel {
+    kde: Kde,
+    /// Bin count per variable (masks arrive in bin space; the KDE operates
+    /// on bin indices as coordinates).
+    domains: Vec<usize>,
+}
+
+impl TableModel for KdeTableModel {
+    fn prob(&self, masks: &[Vec<bool>]) -> Option<f64> {
+        // The allowed region may be non-contiguous (Neq); approximate with
+        // the bounding contiguous range per dimension — exact for the
+        // range/eq predicates the workloads use.
+        let mut lo = Vec::with_capacity(masks.len());
+        let mut hi = Vec::with_capacity(masks.len());
+        for m in masks {
+            let first = m.iter().position(|&b| b)?;
+            let last = m.iter().rposition(|&b| b)?;
+            lo.push(first as f64 - 0.5);
+            hi.push(last as f64 + 0.5);
+        }
+        Some(self.kde.prob_box(&lo, &hi))
+    }
+    fn size(&self) -> usize {
+        self.kde.len() * self.domains.len()
+    }
+}
+
+/// Kernel-density estimator over per-table samples \[14, 21\].
+pub struct KdeEstimator(PerTableEstimator);
+
+impl KdeEstimator {
+    /// Fit KDEs over the stats samples.
+    pub fn fit(ctx: &FitContext) -> KdeEstimator {
+        KdeEstimator(fit_per_table(
+            ctx,
+            32,
+            1024,
+            JoinMode::Independence,
+            |rows, domains, _| {
+                let points: Vec<Vec<f64>> = rows
+                    .iter()
+                    .map(|r| r.iter().map(|&b| b as f64).collect())
+                    .collect();
+                Box::new(KdeTableModel {
+                    kde: Kde::fit(points),
+                    domains: domains.to_vec(),
+                })
+            },
+        ))
+    }
+}
+
+impl CardEstimator for KdeEstimator {
+    fn name(&self) -> &'static str {
+        "KDE"
+    }
+    fn category(&self) -> Category {
+        Category::DataDrivenKernel
+    }
+    fn technique(&self) -> &'static str {
+        "Kernel Density Function"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.0.estimate(query, set)
+    }
+    fn model_size(&self) -> usize {
+        self.0.size()
+    }
+}
+
+// ---------- Autoregressive ----------
+
+struct ArTableModel {
+    model: ArModel,
+}
+
+impl TableModel for ArTableModel {
+    fn prob(&self, masks: &[Vec<bool>]) -> Option<f64> {
+        Some(self.model.prob_seeded(masks, 0xCA4D))
+    }
+    fn size(&self) -> usize {
+        self.model.num_params()
+    }
+}
+
+fn fit_ar(ctx: &FitContext, mode: JoinMode) -> PerTableEstimator {
+    fit_per_table(ctx, 12, 1500, mode, |rows, domains, tname| {
+        let mut h = 0u64;
+        for b in tname.bytes() {
+            h = h.wrapping_mul(31).wrapping_add(b as u64);
+        }
+        Box::new(ArTableModel {
+            model: ArModel::fit(
+                rows,
+                domains,
+                &ArConfig {
+                    epochs: 8,
+                    samples: 120,
+                    seed: h,
+                    ..ArConfig::default()
+                },
+            ),
+        })
+    })
+}
+
+/// Per-table deep autoregressive model \[71\].
+pub struct NaruEstimator(PerTableEstimator);
+
+impl NaruEstimator {
+    /// Fit an AR model per table.
+    pub fn fit(ctx: &FitContext) -> NaruEstimator {
+        NaruEstimator(fit_ar(ctx, JoinMode::Independence))
+    }
+}
+
+impl CardEstimator for NaruEstimator {
+    fn name(&self) -> &'static str {
+        "Naru"
+    }
+    fn category(&self) -> Category {
+        Category::DataDrivenAr
+    }
+    fn technique(&self) -> &'static str {
+        "Deep Auto-Regression (Single Table)"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.0.estimate(query, set)
+    }
+    fn model_size(&self) -> usize {
+        self.0.size()
+    }
+}
+
+/// AR models combined across joins with fanout scaling \[70\].
+pub struct NeuroCardEstimator(PerTableEstimator);
+
+impl NeuroCardEstimator {
+    /// Fit AR models and the join backbone.
+    pub fn fit(ctx: &FitContext, oracle: Arc<TrueCardOracle>) -> NeuroCardEstimator {
+        NeuroCardEstimator(fit_ar(ctx, JoinMode::Fanout(JoinBackbone::new(oracle))))
+    }
+}
+
+impl CardEstimator for NeuroCardEstimator {
+    fn name(&self) -> &'static str {
+        "NeuroCard"
+    }
+    fn category(&self) -> Category {
+        Category::DataDrivenAr
+    }
+    fn technique(&self) -> &'static str {
+        "Auto-Regression + Fanout Scaling"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.0.estimate(query, set)
+    }
+    fn model_size(&self) -> usize {
+        self.0.size()
+    }
+}
+
+// ---------- Bayesian networks ----------
+
+struct BnTableModel {
+    net: BayesNet,
+}
+
+impl TableModel for BnTableModel {
+    fn prob(&self, masks: &[Vec<bool>]) -> Option<f64> {
+        Some(self.net.prob(masks))
+    }
+    fn size(&self) -> usize {
+        self.net.num_params()
+    }
+}
+
+fn fit_bn(ctx: &FitContext, bins: usize, mode: JoinMode) -> PerTableEstimator {
+    fit_per_table(ctx, bins, 4000, mode, |rows, domains, _| {
+        Box::new(BnTableModel {
+            net: BayesNet::fit(rows, domains, 0.5),
+        })
+    })
+}
+
+/// Classical Bayesian-network estimator \[57\].
+pub struct BayesNetEstimator(PerTableEstimator);
+
+impl BayesNetEstimator {
+    /// Fit Chow–Liu networks per table.
+    pub fn fit(ctx: &FitContext) -> BayesNetEstimator {
+        BayesNetEstimator(fit_bn(ctx, 24, JoinMode::Independence))
+    }
+}
+
+impl CardEstimator for BayesNetEstimator {
+    fn name(&self) -> &'static str {
+        "BayesNet"
+    }
+    fn category(&self) -> Category {
+        Category::DataDrivenPgm
+    }
+    fn technique(&self) -> &'static str {
+        "Bayesian Networks"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.0.estimate(query, set)
+    }
+    fn model_size(&self) -> usize {
+        self.0.size()
+    }
+}
+
+/// Revitalized Bayesian networks with fanout-scaled joins \[65\].
+pub struct BayesCardEstimator(PerTableEstimator);
+
+impl BayesCardEstimator {
+    /// Fit with finer bins and the join backbone.
+    pub fn fit(ctx: &FitContext, oracle: Arc<TrueCardOracle>) -> BayesCardEstimator {
+        BayesCardEstimator(fit_bn(ctx, 32, JoinMode::Fanout(JoinBackbone::new(oracle))))
+    }
+}
+
+impl CardEstimator for BayesCardEstimator {
+    fn name(&self) -> &'static str {
+        "BayesCard"
+    }
+    fn category(&self) -> Category {
+        Category::DataDrivenPgm
+    }
+    fn technique(&self) -> &'static str {
+        "Revitalized Bayesian Networks"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.0.estimate(query, set)
+    }
+    fn model_size(&self) -> usize {
+        self.0.size()
+    }
+}
+
+// ---------- Sum-product networks ----------
+
+struct SpnTableModel {
+    spn: Spn,
+}
+
+impl TableModel for SpnTableModel {
+    fn prob(&self, masks: &[Vec<bool>]) -> Option<f64> {
+        Some(self.spn.prob(masks))
+    }
+    fn size(&self) -> usize {
+        self.spn.num_nodes() * 8
+    }
+}
+
+fn fit_spn(ctx: &FitContext, joint_vars: usize, mode: JoinMode) -> PerTableEstimator {
+    fit_per_table(ctx, 24, 4000, mode, move |rows, domains, _| {
+        Box::new(SpnTableModel {
+            spn: Spn::fit(
+                rows,
+                domains,
+                &SpnConfig {
+                    max_joint_vars: joint_vars,
+                    min_rows: 96,
+                    ..SpnConfig::default()
+                },
+            ),
+        })
+    })
+}
+
+/// DeepDB-style sum-product networks \[17\].
+pub struct DeepDbEstimator(PerTableEstimator);
+
+impl DeepDbEstimator {
+    /// Fit SPNs per table with the join backbone.
+    pub fn fit(ctx: &FitContext, oracle: Arc<TrueCardOracle>) -> DeepDbEstimator {
+        DeepDbEstimator(fit_spn(ctx, 1, JoinMode::Fanout(JoinBackbone::new(oracle))))
+    }
+
+    /// Bin-count ablation constructor (experiment E2): trade accuracy for
+    /// model size by changing the per-column discretization.
+    pub fn fit_with_bins(
+        ctx: &FitContext,
+        oracle: Arc<TrueCardOracle>,
+        bins: usize,
+    ) -> DeepDbEstimator {
+        let mode = JoinMode::Fanout(JoinBackbone::new(oracle));
+        DeepDbEstimator(fit_per_table(
+            ctx,
+            bins,
+            4000,
+            mode,
+            move |rows, domains, _| {
+                Box::new(SpnTableModel {
+                    spn: Spn::fit(
+                        rows,
+                        domains,
+                        &SpnConfig {
+                            min_rows: 96,
+                            ..SpnConfig::default()
+                        },
+                    ),
+                })
+            },
+        ))
+    }
+}
+
+impl CardEstimator for DeepDbEstimator {
+    fn name(&self) -> &'static str {
+        "DeepDB"
+    }
+    fn category(&self) -> Category {
+        Category::DataDrivenPgm
+    }
+    fn technique(&self) -> &'static str {
+        "Sum-Product Network"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.0.estimate(query, set)
+    }
+    fn model_size(&self) -> usize {
+        self.0.size()
+    }
+}
+
+/// FLAT-style factorized SPNs: correlated column pairs become joint
+/// histogram leaves \[81\].
+pub struct FlatEstimator(PerTableEstimator);
+
+impl FlatEstimator {
+    /// Fit FSPNs per table with the join backbone.
+    pub fn fit(ctx: &FitContext, oracle: Arc<TrueCardOracle>) -> FlatEstimator {
+        FlatEstimator(fit_spn(ctx, 2, JoinMode::Fanout(JoinBackbone::new(oracle))))
+    }
+}
+
+impl CardEstimator for FlatEstimator {
+    fn name(&self) -> &'static str {
+        "FLAT"
+    }
+    fn category(&self) -> Category {
+        Category::DataDrivenPgm
+    }
+    fn technique(&self) -> &'static str {
+        "FSPN"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.0.estimate(query, set)
+    }
+    fn model_size(&self) -> usize {
+        self.0.size()
+    }
+}
+
+// ---------- FactorJoin ----------
+
+/// Per-bucket count/NDV histogram of one join column.
+#[derive(Debug, Clone)]
+struct KeyHist {
+    counts: Vec<f64>,
+    ndvs: Vec<f64>,
+}
+
+/// Bucketized join-key histograms per FK edge \[64\]: join selectivity is
+/// refined bucket-by-bucket as `Σ_b cnt_l(b)·cnt_r(b)/max(ndv_l, ndv_r)`,
+/// capturing key-distribution skew that `1/max(ndv)` misses.
+pub struct FactorJoinEstimator {
+    ctx: FitContext,
+    /// Canonical edge key -> (left hist, right hist, |l|, |r|).
+    edges: HashMap<String, (KeyHist, KeyHist, f64, f64)>,
+    buckets: usize,
+}
+
+fn key_hist(
+    catalog: &Catalog,
+    table: &str,
+    column: &str,
+    lo: f64,
+    width: f64,
+    nb: usize,
+) -> KeyHist {
+    let mut counts = vec![0.0; nb];
+    let mut sets: Vec<std::collections::HashSet<i64>> = vec![Default::default(); nb];
+    if let Ok(t) = catalog.table(table) {
+        if let Ok(col) = t.column_by_name(column) {
+            if let Some(data) = col.as_int() {
+                for &v in data {
+                    let b = (((v as f64 - lo) / width) as usize).min(nb - 1);
+                    counts[b] += 1.0;
+                    sets[b].insert(v);
+                }
+            }
+        }
+    }
+    KeyHist {
+        counts,
+        ndvs: sets.iter().map(|s| s.len() as f64).collect(),
+    }
+}
+
+impl FactorJoinEstimator {
+    /// Build edge histograms for every declared FK.
+    pub fn fit(ctx: &FitContext) -> FactorJoinEstimator {
+        let buckets = 64;
+        let mut edges = HashMap::new();
+        for fk in ctx.catalog.foreign_keys() {
+            let range = |t: &str, c: &str| -> Option<(f64, f64)> {
+                let table = ctx.catalog.table(t).ok()?;
+                let s = ctx.stats.table(t)?;
+                let cs = s.column(table, c).ok()?;
+                Some((cs.min, cs.max))
+            };
+            let (Some((llo, lhi)), Some((rlo, rhi))) = (
+                range(&fk.table, &fk.column),
+                range(&fk.ref_table, &fk.ref_column),
+            ) else {
+                continue;
+            };
+            let lo = llo.min(rlo);
+            let hi = lhi.max(rhi).max(lo + 1.0);
+            let width = (hi - lo) / buckets as f64;
+            let lh = key_hist(&ctx.catalog, &fk.table, &fk.column, lo, width, buckets);
+            let rh = key_hist(
+                &ctx.catalog,
+                &fk.ref_table,
+                &fk.ref_column,
+                lo,
+                width,
+                buckets,
+            );
+            let nl = ctx
+                .catalog
+                .table(&fk.table)
+                .map(|t| t.nrows() as f64)
+                .unwrap_or(1.0);
+            let nr = ctx
+                .catalog
+                .table(&fk.ref_table)
+                .map(|t| t.nrows() as f64)
+                .unwrap_or(1.0);
+            let key = edge_key(&fk.table, &fk.column, &fk.ref_table, &fk.ref_column);
+            edges.insert(key, (lh, rh, nl, nr));
+        }
+        FactorJoinEstimator {
+            ctx: ctx.clone(),
+            edges,
+            buckets,
+        }
+    }
+
+    fn join_selectivity(&self, query: &SpjQuery, join: &lqo_engine::JoinCond) -> f64 {
+        let resolve = |col: &lqo_engine::ColRef| -> Option<(String, String)> {
+            let pos = query.col_pos(col).ok()?;
+            Some((query.tables[pos].table.clone(), col.column.clone()))
+        };
+        let (Some((lt, lc)), Some((rt, rc))) = (resolve(&join.left), resolve(&join.right)) else {
+            return 1.0;
+        };
+        let key = edge_key(&lt, &lc, &rt, &rc);
+        let Some((lh, rh, nl, nr)) = self.edges.get(&key) else {
+            // Unknown edge: classical fallback.
+            return 1.0
+                / nl_ndv(&self.ctx, &lt, &lc)
+                    .max(nl_ndv(&self.ctx, &rt, &rc))
+                    .max(1.0);
+        };
+        let mut card = 0.0;
+        for b in 0..self.buckets {
+            let ndv = lh.ndvs[b].max(rh.ndvs[b]);
+            if ndv > 0.0 {
+                card += lh.counts[b] * rh.counts[b] / ndv;
+            }
+        }
+        (card / (nl * nr)).clamp(0.0, 1.0).max(1e-12)
+    }
+}
+
+fn nl_ndv(ctx: &FitContext, table: &str, column: &str) -> f64 {
+    ctx.catalog
+        .table(table)
+        .ok()
+        .and_then(|t| {
+            ctx.stats
+                .table(table)
+                .and_then(|ts| ts.column(t, column).ok())
+                .map(|cs| cs.ndv)
+        })
+        .unwrap_or(1.0)
+}
+
+fn edge_key(t1: &str, c1: &str, t2: &str, c2: &str) -> String {
+    let a = format!("{t1}.{c1}");
+    let b = format!("{t2}.{c2}");
+    if a <= b {
+        format!("{a}={b}")
+    } else {
+        format!("{b}={a}")
+    }
+}
+
+impl CardEstimator for FactorJoinEstimator {
+    fn name(&self) -> &'static str {
+        "FactorJoin"
+    }
+    fn category(&self) -> Category {
+        Category::DataDrivenOther
+    }
+    fn technique(&self) -> &'static str {
+        "Factor Graph + Join Histograms"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        let mut card: f64 = 1.0;
+        for pos in set.iter() {
+            card *= fallback_table_card(&self.ctx, query, pos);
+        }
+        for join in query.joins_within(set) {
+            card *= self.join_selectivity(query, join);
+        }
+        card.max(1.0)
+    }
+    fn model_size(&self) -> usize {
+        self.edges.len() * self.buckets * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::label_workload;
+    use crate::estimator::test_support::{fixture, median_q_error};
+
+    #[test]
+    fn kde_single_table_accuracy() {
+        let (ctx, oracle, queries) = fixture();
+        let est = KdeEstimator::fit(&ctx);
+        let labeled = label_workload(&oracle, &queries, 1).unwrap();
+        let med = median_q_error(&est, &labeled);
+        assert!(med < 6.0, "kde median q-error {med}");
+    }
+
+    #[test]
+    fn bayesnet_single_table_accuracy() {
+        let (ctx, oracle, queries) = fixture();
+        let est = BayesNetEstimator::fit(&ctx);
+        let labeled = label_workload(&oracle, &queries, 1).unwrap();
+        let med = median_q_error(&est, &labeled);
+        assert!(med < 4.0, "bn median q-error {med}");
+        assert!(est.model_size() > 0);
+    }
+
+    #[test]
+    fn spn_family_single_table_accuracy() {
+        let (ctx, oracle, queries) = fixture();
+        let labeled = label_workload(&oracle, &queries, 1).unwrap();
+        let deepdb = DeepDbEstimator::fit(&ctx, oracle.clone());
+        let flat = FlatEstimator::fit(&ctx, oracle.clone());
+        assert!(median_q_error(&deepdb, &labeled) < 5.0);
+        assert!(median_q_error(&flat, &labeled) < 5.0);
+    }
+
+    #[test]
+    fn fanout_beats_independence_on_joins() {
+        let (ctx, oracle, queries) = fixture();
+        let labeled: Vec<_> = label_workload(&oracle, &queries, 3)
+            .unwrap()
+            .into_iter()
+            .filter(|l| l.set.len() >= 2)
+            .collect();
+        let naru = NaruEstimator::fit(&ctx);
+        let neurocard = NeuroCardEstimator::fit(&ctx, oracle.clone());
+        let q_ind = median_q_error(&naru, &labeled);
+        let q_fan = median_q_error(&neurocard, &labeled);
+        assert!(
+            q_fan <= q_ind * 1.2,
+            "fanout {q_fan} should beat independence {q_ind} on joins"
+        );
+    }
+
+    #[test]
+    fn factorjoin_join_accuracy() {
+        let (ctx, oracle, queries) = fixture();
+        let est = FactorJoinEstimator::fit(&ctx);
+        let labeled: Vec<_> = label_workload(&oracle, &queries, 2)
+            .unwrap()
+            .into_iter()
+            .filter(|l| l.set.len() == 2)
+            .collect();
+        let med = median_q_error(&est, &labeled);
+        assert!(med < 8.0, "factorjoin median q-error {med}");
+        assert!(est.model_size() > 0);
+    }
+
+    #[test]
+    fn all_estimates_positive() {
+        let (ctx, oracle, queries) = fixture();
+        let ests: Vec<Box<dyn CardEstimator>> = vec![
+            Box::new(KdeEstimator::fit(&ctx)),
+            Box::new(BayesNetEstimator::fit(&ctx)),
+            Box::new(BayesCardEstimator::fit(&ctx, oracle.clone())),
+            Box::new(FactorJoinEstimator::fit(&ctx)),
+        ];
+        for est in &ests {
+            for q in &queries {
+                let e = est.estimate(q, q.all_tables());
+                assert!(e >= 1.0 && e.is_finite(), "{} -> {e}", est.name());
+            }
+        }
+    }
+}

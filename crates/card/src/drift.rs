@@ -1,0 +1,292 @@
+//! Model updating under data drift (paper §2.2.2): DDUp-style drift
+//! detection \[25\] and Warper-style targeted retraining \[29\].
+//!
+//! DDUp tests whether a model should be updated by comparing a stored
+//! reference sample against fresh data; Warper, once drift (or workload
+//! shift) is detected, *generates additional queries* over the drifted
+//! region, labels them, and updates the estimation model with them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lqo_engine::query::expr::{CmpOp, ColRef, Predicate, TableRef};
+use lqo_engine::{Catalog, SpjQuery, TrueCardOracle};
+
+use crate::estimator::{FitContext, LabeledSubquery};
+
+/// Two-sample Kolmogorov–Smirnov statistic: `sup |F1 - F2|`.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / sa.len() as f64;
+        let f2 = j as f64 / sb.len() as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    d
+}
+
+/// DDUp-style drift detector: stores a per-column reference sample of
+/// every table at baseline time; `detect` reports the tables whose fresh
+/// data diverges beyond the KS threshold.
+pub struct DriftDetector {
+    /// `table -> per-column reference sample (numeric view)`.
+    reference: HashMap<String, Vec<Vec<f64>>>,
+    /// KS distance above which a column counts as drifted.
+    pub threshold: f64,
+    /// Sample size per table.
+    pub sample_size: usize,
+    seed: u64,
+}
+
+fn sample_columns(catalog: &Catalog, table: &str, size: usize, seed: u64) -> Option<Vec<Vec<f64>>> {
+    let t = catalog.table(table).ok()?;
+    if t.nrows() == 0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<usize> = (0..size.min(t.nrows()).max(1))
+        .map(|_| rng.gen_range(0..t.nrows()))
+        .collect();
+    Some(
+        (0..t.schema.arity())
+            .filter(|&ci| t.schema.primary_key != Some(ci))
+            .map(|ci| rows.iter().map(|&r| t.column(ci).numeric_at(r)).collect())
+            .collect(),
+    )
+}
+
+impl DriftDetector {
+    /// Record the baseline reference samples.
+    pub fn baseline(ctx: &FitContext) -> DriftDetector {
+        let sample_size = 512;
+        let seed = 0xDD;
+        let mut reference = HashMap::new();
+        for t in ctx.catalog.tables() {
+            if let Some(cols) = sample_columns(&ctx.catalog, t.name(), sample_size, seed) {
+                reference.insert(t.name().to_string(), cols);
+            }
+        }
+        DriftDetector {
+            reference,
+            threshold: 0.12,
+            sample_size,
+            seed,
+        }
+    }
+
+    /// Tables whose current data drifted from the baseline.
+    pub fn detect(&self, catalog: &Catalog) -> Vec<String> {
+        let mut out = Vec::new();
+        for (table, ref_cols) in &self.reference {
+            let Some(cur_cols) = sample_columns(catalog, table, self.sample_size, self.seed ^ 1)
+            else {
+                continue;
+            };
+            let drifted = ref_cols
+                .iter()
+                .zip(&cur_cols)
+                .any(|(r, c)| ks_statistic(r, c) > self.threshold);
+            if drifted {
+                out.push(table.clone());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Max KS distance of one table (inspection/reporting).
+    pub fn distance(&self, catalog: &Catalog, table: &str) -> f64 {
+        let Some(ref_cols) = self.reference.get(table) else {
+            return 0.0;
+        };
+        let Some(cur_cols) = sample_columns(catalog, table, self.sample_size, self.seed ^ 1) else {
+            return 0.0;
+        };
+        ref_cols
+            .iter()
+            .zip(&cur_cols)
+            .map(|(r, c)| ks_statistic(r, c))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Warper-style update-set generation: single-table queries over the
+/// drifted tables with predicates sampled from the *current* (drifted)
+/// data, labeled against the current database. Appending the result to
+/// the old training corpus and refitting is the Warper update step.
+pub fn warper_update_set(
+    catalog: &Arc<Catalog>,
+    oracle: &TrueCardOracle,
+    drifted_tables: &[String],
+    queries_per_table: usize,
+    seed: u64,
+) -> lqo_engine::Result<Vec<LabeledSubquery>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for tname in drifted_tables {
+        let table = catalog.table(tname)?;
+        if table.nrows() == 0 {
+            continue;
+        }
+        let mut made = 0;
+        let mut guard = 0;
+        while made < queries_per_table && guard < queries_per_table * 20 {
+            guard += 1;
+            let ci = rng.gen_range(0..table.schema.arity());
+            if table.schema.primary_key == Some(ci) {
+                continue;
+            }
+            let def = &table.schema.columns[ci];
+            let row = rng.gen_range(0..table.nrows());
+            let value = table.column(ci).value(row);
+            let op = match def.dtype {
+                lqo_engine::DataType::Text => CmpOp::Eq,
+                lqo_engine::DataType::Float => [CmpOp::Lt, CmpOp::Ge][rng.gen_range(0..2)],
+                lqo_engine::DataType::Int => {
+                    [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][rng.gen_range(0..5)]
+                }
+            };
+            let q = SpjQuery::new(
+                vec![TableRef::bare(tname.clone())],
+                Vec::new(),
+                vec![Predicate::new(
+                    ColRef::new(tname.clone(), def.name.clone()),
+                    op,
+                    value,
+                )],
+            );
+            if q.validate(catalog).is_err() {
+                continue;
+            }
+            let card = oracle.true_card_full(&q)? as f64;
+            out.push(LabeledSubquery {
+                set: q.all_tables(),
+                query: Arc::new(q),
+                card,
+            });
+            made += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::test_support::median_q_error;
+    use crate::query_driven::GbdtQdEstimator;
+    use lqo_engine::datagen::{correlated_table, SingleTableConfig};
+    use lqo_engine::stats::table_stats::CatalogStats;
+
+    fn single_table_world(nrows: usize, seed: u64) -> (Arc<Catalog>, FitContext) {
+        let mut c = Catalog::new();
+        c.add_table(
+            correlated_table(
+                "t",
+                &SingleTableConfig {
+                    nrows,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let c = Arc::new(c);
+        let stats = Arc::new(CatalogStats::build_default(&c));
+        (c.clone(), FitContext { catalog: c, stats })
+    }
+
+    fn drifted(catalog: &Catalog) -> Arc<Catalog> {
+        let mut d = catalog.clone();
+        let extra = correlated_table(
+            "t",
+            &SingleTableConfig {
+                nrows: 4000,
+                skew: 0.0,
+                correlation: 0.0,
+                seed: 0xFF,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        d.table_mut("t").unwrap().append(&extra).unwrap();
+        Arc::new(d)
+    }
+
+    #[test]
+    fn ks_statistic_properties() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        assert!(ks_statistic(&a, &a) < 1e-9);
+        let b: Vec<f64> = (0..500).map(|i| i as f64 + 1000.0).collect();
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-9);
+        let c: Vec<f64> = (0..500).map(|i| i as f64 + 50.0).collect();
+        let d = ks_statistic(&a, &c);
+        assert!(d > 0.05 && d < 0.3, "d = {d}");
+        assert_eq!(ks_statistic(&[], &a), 0.0);
+    }
+
+    #[test]
+    fn detector_flags_only_drifted_tables() {
+        let (catalog, ctx) = single_table_world(3000, 1);
+        let detector = DriftDetector::baseline(&ctx);
+        // No drift: nothing flagged.
+        assert!(detector.detect(&catalog).is_empty());
+        // Massive distribution shift on t: flagged.
+        let d = drifted(&catalog);
+        assert_eq!(detector.detect(&d), vec!["t".to_string()]);
+        assert!(detector.distance(&d, "t") > detector.threshold);
+    }
+
+    #[test]
+    fn warper_update_recovers_accuracy_after_drift() {
+        use crate::estimator::CardEstimator;
+        let (catalog, ctx) = single_table_world(3000, 2);
+        let oracle = TrueCardOracle::new(catalog.clone());
+
+        // Baseline training workload + model.
+        let base_train = warper_update_set(&catalog, &oracle, &["t".into()], 40, 7).unwrap();
+        let stale = GbdtQdEstimator::fit(&ctx, &base_train);
+
+        // Drift happens.
+        let dcat = drifted(&catalog);
+        let dstats = Arc::new(CatalogStats::build_default(&dcat));
+        let dctx = FitContext {
+            catalog: dcat.clone(),
+            stats: dstats,
+        };
+        let doracle = TrueCardOracle::new(dcat.clone());
+        let eval = warper_update_set(&dcat, &doracle, &["t".into()], 30, 8).unwrap();
+
+        // Warper: generate an update set on the drifted table, refit.
+        let update = warper_update_set(&dcat, &doracle, &["t".into()], 40, 9).unwrap();
+        let mut augmented = base_train.clone();
+        augmented.extend(update);
+        let refreshed = GbdtQdEstimator::fit(&dctx, &augmented);
+
+        let q_stale = median_q_error(&stale, &eval);
+        let q_fresh = median_q_error(&refreshed, &eval);
+        assert!(
+            q_fresh <= q_stale,
+            "warper update did not help: stale {q_stale} fresh {q_fresh}"
+        );
+        assert!(refreshed.model_size() > 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The estimator trait, training-data types and the optimizer adapter.
+
+use std::sync::Arc;
+
+use lqo_engine::optimizer::CardSource;
+use lqo_engine::query::JoinGraph;
+use lqo_engine::{Catalog, CatalogStats, SpjQuery, TableSet, TrueCardOracle};
+
+/// Taxonomy categories, matching the row groups of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Non-learned baselines.
+    Traditional,
+    /// Query-driven, statistical models.
+    QueryDrivenStat,
+    /// Query-driven, DNN-based models.
+    QueryDrivenDnn,
+    /// Data-driven, kernel-based.
+    DataDrivenKernel,
+    /// Data-driven, auto-regression models.
+    DataDrivenAr,
+    /// Data-driven, probabilistic graphical models.
+    DataDrivenPgm,
+    /// Data-driven, other modelling tools.
+    DataDrivenOther,
+    /// Hybrid query+data methods.
+    Hybrid,
+}
+
+impl Category {
+    /// Table-1-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Traditional => "Traditional",
+            Category::QueryDrivenStat => "Query-Driven (Statistical Model)",
+            Category::QueryDrivenDnn => "Query-Driven (DNN-Based Model)",
+            Category::DataDrivenKernel => "Data-Driven (Kernel-Based)",
+            Category::DataDrivenAr => "Data-Driven (Auto-Regression Model)",
+            Category::DataDrivenPgm => "Data-Driven (Probabilistic Graphical Model)",
+            Category::DataDrivenOther => "Data-Driven",
+            Category::Hybrid => "Hybrid",
+        }
+    }
+}
+
+/// A cardinality estimator: maps any (sub-)query to an estimated result
+/// size. Implementations are immutable after fitting except for explicit
+/// feedback via [`CardEstimator::observe`].
+pub trait CardEstimator: Send + Sync {
+    /// Short method name (e.g. `"MSCN"`).
+    fn name(&self) -> &'static str;
+
+    /// Taxonomy category (Table 1, column 1).
+    fn category(&self) -> Category;
+
+    /// Applied ML technique (Table 1, column 3).
+    fn technique(&self) -> &'static str;
+
+    /// Estimated cardinality of the sub-query induced by `set`.
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64;
+
+    /// Model size in scalar parameters / tree nodes / stored points.
+    fn model_size(&self) -> usize {
+        0
+    }
+
+    /// Feedback hook: the true cardinality of an executed (sub-)query.
+    /// Progressive methods (LPCE, Warper-style updaters) refine from this;
+    /// the default is a no-op.
+    fn observe(&self, _query: &SpjQuery, _set: TableSet, _true_card: f64) {}
+}
+
+/// Everything an estimator needs at fit time.
+#[derive(Clone)]
+pub struct FitContext {
+    /// The database.
+    pub catalog: Arc<Catalog>,
+    /// Its collected statistics.
+    pub stats: Arc<CatalogStats>,
+}
+
+impl FitContext {
+    /// Bundle a catalog with freshly-built default statistics.
+    pub fn new(catalog: Arc<Catalog>) -> FitContext {
+        let stats = Arc::new(CatalogStats::build_default(&catalog));
+        FitContext { catalog, stats }
+    }
+}
+
+/// One labeled training/evaluation point: a sub-query and its true
+/// cardinality.
+#[derive(Clone)]
+pub struct LabeledSubquery {
+    /// The enclosing query.
+    pub query: Arc<SpjQuery>,
+    /// The sub-query's table subset.
+    pub set: TableSet,
+    /// Exact cardinality.
+    pub card: f64,
+}
+
+/// Expand a workload of full queries into labeled sub-queries (every
+/// connected subset up to `max_subset_size` tables), labeling each with
+/// the oracle. This is the training corpus query-driven estimators learn
+/// from — exactly what a DBMS would harvest from executed plans.
+pub fn label_workload(
+    oracle: &TrueCardOracle,
+    queries: &[SpjQuery],
+    max_subset_size: usize,
+) -> lqo_engine::Result<Vec<LabeledSubquery>> {
+    let mut out = Vec::new();
+    for q in queries {
+        let q = Arc::new(q.clone());
+        let graph = JoinGraph::new(&q);
+        for set in graph.connected_subsets(max_subset_size) {
+            let card = oracle.true_card(&q, set)? as f64;
+            out.push(LabeledSubquery {
+                query: q.clone(),
+                set,
+                card,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Adapter exposing any [`CardEstimator`] as an engine
+/// [`CardSource`], so it can drive the cost-based optimizer directly
+/// (the E3 injection experiment and PilotScope's cardinality driver).
+pub struct EstimatorCardSource {
+    inner: Arc<dyn CardEstimator>,
+}
+
+impl EstimatorCardSource {
+    /// Wrap an estimator.
+    pub fn new(inner: Arc<dyn CardEstimator>) -> EstimatorCardSource {
+        EstimatorCardSource { inner }
+    }
+}
+
+impl CardSource for EstimatorCardSource {
+    fn cardinality(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.inner.estimate(query, set).max(1.0)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use lqo_engine::datagen::stats_like;
+    use lqo_engine::query::parse_query;
+
+    /// Shared small STATS-like fixture for estimator tests.
+    pub fn fixture() -> (FitContext, Arc<TrueCardOracle>, Vec<SpjQuery>) {
+        let catalog = Arc::new(stats_like(120, 7).unwrap());
+        let ctx = FitContext::new(catalog.clone());
+        let oracle = Arc::new(TrueCardOracle::new(catalog));
+        let queries = vec![
+            parse_query(
+                "SELECT COUNT(*) FROM users u, posts p \
+                 WHERE u.id = p.owner_user_id AND u.reputation > 100",
+            )
+            .unwrap(),
+            parse_query(
+                "SELECT COUNT(*) FROM users u, posts p, comments c \
+                 WHERE u.id = p.owner_user_id AND p.id = c.post_id AND p.score > 3",
+            )
+            .unwrap(),
+            parse_query(
+                "SELECT COUNT(*) FROM posts p, votes v \
+                 WHERE p.id = v.post_id AND v.vote_type < 3 AND p.view_count < 1000",
+            )
+            .unwrap(),
+            parse_query(
+                "SELECT COUNT(*) FROM users u, badges b \
+                 WHERE u.id = b.user_id AND b.class = 1",
+            )
+            .unwrap(),
+            parse_query("SELECT COUNT(*) FROM posts p WHERE p.score >= 5").unwrap(),
+            parse_query(
+                "SELECT COUNT(*) FROM users u, comments c \
+                 WHERE u.id = c.user_id AND c.score = 0 AND u.views < 500",
+            )
+            .unwrap(),
+        ];
+        (ctx, oracle, queries)
+    }
+
+    /// Median q-error of an estimator over labeled sub-queries.
+    pub fn median_q_error(est: &dyn CardEstimator, labeled: &[LabeledSubquery]) -> f64 {
+        let mut qs: Vec<f64> = labeled
+            .iter()
+            .map(|l| lqo_ml::metrics::q_error(est.estimate(&l.query, l.set), l.card))
+            .collect();
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        qs[qs.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use test_support::fixture;
+
+    #[test]
+    fn label_workload_covers_subsets() {
+        let (_, oracle, queries) = fixture();
+        let labeled = label_workload(&oracle, &queries[..2], 4).unwrap();
+        // Query 1: 2 tables -> 3 subsets; query 2: 3-chain -> 6 subsets.
+        assert_eq!(labeled.len(), 9);
+        assert!(labeled.iter().all(|l| l.card >= 0.0));
+        // Full-set labels match the oracle directly.
+        for l in &labeled {
+            assert_eq!(l.card, oracle.true_card(&l.query, l.set).unwrap() as f64);
+        }
+    }
+
+    #[test]
+    fn category_labels_match_table1() {
+        assert_eq!(
+            Category::DataDrivenPgm.label(),
+            "Data-Driven (Probabilistic Graphical Model)"
+        );
+        assert_eq!(Category::Hybrid.label(), "Hybrid");
+    }
+
+    #[test]
+    fn card_source_adapter_floors_at_one() {
+        struct Zero;
+        impl CardEstimator for Zero {
+            fn name(&self) -> &'static str {
+                "zero"
+            }
+            fn category(&self) -> Category {
+                Category::Traditional
+            }
+            fn technique(&self) -> &'static str {
+                "none"
+            }
+            fn estimate(&self, _q: &SpjQuery, _s: TableSet) -> f64 {
+                0.0
+            }
+        }
+        let (_, _, queries) = fixture();
+        let src = EstimatorCardSource::new(Arc::new(Zero));
+        assert_eq!(src.cardinality(&queries[0], TableSet::singleton(0)), 1.0);
+        assert_eq!(CardSource::name(&src), "zero");
+    }
+}

@@ -1,0 +1,302 @@
+//! Query featurization for query-driven estimators: a flat vector encoding
+//! (tables, joins, predicate ranges) plus the set-based encoding MSCN
+//! consumes.
+
+use std::collections::HashMap;
+
+use lqo_engine::query::expr::CmpOp;
+use lqo_engine::{Catalog, CatalogStats, SpjQuery, TableSet, Value};
+
+/// Featurizes `(query, subset)` pairs against a fixed schema.
+pub struct Featurizer {
+    tables: Vec<String>,
+    table_idx: HashMap<String, usize>,
+    /// `(table, column)` in a stable order.
+    columns: Vec<(String, String)>,
+    col_idx: HashMap<(String, String), usize>,
+    /// `(min, max)` of each column's numeric view.
+    col_range: Vec<(f64, f64)>,
+    /// Canonical join-slot strings (from schema FKs), plus one overflow.
+    join_slots: Vec<String>,
+    join_idx: HashMap<String, usize>,
+    /// log(nrows+1) per table, for the MSCN table features.
+    log_rows: Vec<f64>,
+}
+
+/// Canonical form of a join between two physical columns.
+fn join_key(t1: &str, c1: &str, t2: &str, c2: &str) -> String {
+    let a = format!("{t1}.{c1}");
+    let b = format!("{t2}.{c2}");
+    if a <= b {
+        format!("{a}={b}")
+    } else {
+        format!("{b}={a}")
+    }
+}
+
+impl Featurizer {
+    /// Build from a catalog and its statistics. Join slots are taken from
+    /// the declared foreign keys (the workload generators only join along
+    /// FK edges, as JOB and STATS-CEB do).
+    pub fn new(catalog: &Catalog, stats: &CatalogStats) -> Featurizer {
+        let mut tables = Vec::new();
+        let mut table_idx = HashMap::new();
+        let mut columns = Vec::new();
+        let mut col_idx = HashMap::new();
+        let mut col_range = Vec::new();
+        let mut log_rows = Vec::new();
+        for t in catalog.tables() {
+            table_idx.insert(t.name().to_string(), tables.len());
+            tables.push(t.name().to_string());
+            log_rows.push((t.nrows() as f64 + 1.0).ln());
+            let ts = stats.table(t.name());
+            for (ci, def) in t.schema.columns.iter().enumerate() {
+                let key = (t.name().to_string(), def.name.clone());
+                col_idx.insert(key.clone(), columns.len());
+                columns.push(key);
+                let range = ts
+                    .map(|s| (s.columns[ci].min, s.columns[ci].max))
+                    .unwrap_or((0.0, 1.0));
+                col_range.push(range);
+            }
+        }
+        let mut join_slots = Vec::new();
+        let mut join_idx = HashMap::new();
+        for fk in catalog.foreign_keys() {
+            let key = join_key(&fk.table, &fk.column, &fk.ref_table, &fk.ref_column);
+            if !join_idx.contains_key(&key) {
+                join_idx.insert(key.clone(), join_slots.len());
+                join_slots.push(key);
+            }
+        }
+        Featurizer {
+            tables,
+            table_idx,
+            columns,
+            col_idx,
+            col_range,
+            join_slots,
+            join_idx,
+            log_rows,
+        }
+    }
+
+    /// Dimension of the flat feature vector.
+    pub fn dim(&self) -> usize {
+        self.tables.len() + self.join_slots.len() + 1 + 2 * self.columns.len()
+    }
+
+    /// Number of columns known to the featurizer.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn normalize(&self, col: usize, v: f64) -> f64 {
+        let (lo, hi) = self.col_range[col];
+        if hi > lo {
+            ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    }
+
+    fn pred_value(&self, v: &Value) -> Option<f64> {
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            // Text equality is featurized through a pseudo-range on the
+            // dictionary-code axis; unresolvable here, so centre it.
+            Value::Text(_) => None,
+            Value::Null => None,
+        }
+    }
+
+    /// Column ranges `[lo, hi]` (normalized) implied by the predicates of
+    /// `set`, indexed by global column id. Unconstrained columns are
+    /// `(0, 1)`.
+    fn ranges(&self, query: &SpjQuery, set: TableSet) -> Vec<(f64, f64)> {
+        let mut ranges: Vec<(f64, f64)> = vec![(0.0, 1.0); self.columns.len()];
+        for pos in set.iter() {
+            let tname = &query.tables[pos].table;
+            for pred in query.predicates_on(pos) {
+                let Some(&col) = self.col_idx.get(&(tname.clone(), pred.col.column.clone())) else {
+                    continue;
+                };
+                let v = match self.pred_value(&pred.value) {
+                    Some(v) => self.normalize(col, v),
+                    None => 0.5,
+                };
+                let r = &mut ranges[col];
+                match pred.op {
+                    CmpOp::Eq => {
+                        r.0 = r.0.max(v);
+                        r.1 = r.1.min(v);
+                    }
+                    CmpOp::Lt | CmpOp::Le => r.1 = r.1.min(v),
+                    CmpOp::Gt | CmpOp::Ge => r.0 = r.0.max(v),
+                    CmpOp::Neq => {}
+                }
+            }
+        }
+        ranges
+    }
+
+    /// Join-slot index of a join condition within the query (`None` when
+    /// it does not correspond to a known FK edge; it then lands in the
+    /// overflow slot).
+    fn join_slot(&self, query: &SpjQuery, cond: &lqo_engine::JoinCond) -> Option<usize> {
+        let lp = query.col_pos(&cond.left).ok()?;
+        let rp = query.col_pos(&cond.right).ok()?;
+        let key = join_key(
+            &query.tables[lp].table,
+            &cond.left.column,
+            &query.tables[rp].table,
+            &cond.right.column,
+        );
+        self.join_idx.get(&key).copied()
+    }
+
+    /// The flat feature vector of `(query, set)`:
+    /// `[table one-hot | join-slot one-hot + overflow | per-column (lo, hi)]`.
+    pub fn featurize(&self, query: &SpjQuery, set: TableSet) -> Vec<f64> {
+        let mut x = vec![0.0; self.dim()];
+        for pos in set.iter() {
+            if let Some(&t) = self.table_idx.get(&query.tables[pos].table) {
+                x[t] += 1.0; // self-joins count twice
+            }
+        }
+        let joins_off = self.tables.len();
+        for cond in query.joins_within(set) {
+            match self.join_slot(query, cond) {
+                Some(slot) => x[joins_off + slot] += 1.0,
+                None => x[joins_off + self.join_slots.len()] += 1.0,
+            }
+        }
+        let cols_off = joins_off + self.join_slots.len() + 1;
+        for (c, (lo, hi)) in self.ranges(query, set).into_iter().enumerate() {
+            x[cols_off + 2 * c] = lo;
+            x[cols_off + 2 * c + 1] = hi;
+        }
+        x
+    }
+
+    // ---- MSCN set encodings ----
+
+    /// Per-item dimension of the table set.
+    pub fn table_item_dim(&self) -> usize {
+        self.tables.len() + 1
+    }
+
+    /// Per-item dimension of the join set.
+    pub fn join_item_dim(&self) -> usize {
+        self.join_slots.len() + 1
+    }
+
+    /// Per-item dimension of the predicate set.
+    pub fn pred_item_dim(&self) -> usize {
+        self.columns.len() + CmpOp::ALL.len() + 1
+    }
+
+    /// MSCN-style encoding: three sets (tables, joins, predicates).
+    pub fn featurize_sets(&self, query: &SpjQuery, set: TableSet) -> Vec<Vec<Vec<f64>>> {
+        let mut tset = Vec::new();
+        for pos in set.iter() {
+            let mut item = vec![0.0; self.table_item_dim()];
+            if let Some(&t) = self.table_idx.get(&query.tables[pos].table) {
+                item[t] = 1.0;
+                item[self.tables.len()] = self.log_rows[t] / 20.0;
+            }
+            tset.push(item);
+        }
+        let mut jset = Vec::new();
+        for cond in query.joins_within(set) {
+            let mut item = vec![0.0; self.join_item_dim()];
+            match self.join_slot(query, cond) {
+                Some(slot) => item[slot] = 1.0,
+                None => item[self.join_slots.len()] = 1.0,
+            }
+            jset.push(item);
+        }
+        let mut pset = Vec::new();
+        for pos in set.iter() {
+            let tname = &query.tables[pos].table;
+            for pred in query.predicates_on(pos) {
+                let Some(&col) = self.col_idx.get(&(tname.clone(), pred.col.column.clone())) else {
+                    continue;
+                };
+                let mut item = vec![0.0; self.pred_item_dim()];
+                item[col] = 1.0;
+                item[self.columns.len() + pred.op.index()] = 1.0;
+                let v = self
+                    .pred_value(&pred.value)
+                    .map(|v| self.normalize(col, v))
+                    .unwrap_or(0.5);
+                item[self.columns.len() + CmpOp::ALL.len()] = v;
+                pset.push(item);
+            }
+        }
+        vec![tset, jset, pset]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::test_support::fixture;
+    use lqo_engine::TableSet;
+
+    #[test]
+    fn dimensions_are_consistent() {
+        let (ctx, _, queries) = fixture();
+        let f = Featurizer::new(&ctx.catalog, &ctx.stats);
+        let q = &queries[1];
+        let x = f.featurize(q, q.all_tables());
+        assert_eq!(x.len(), f.dim());
+        let sets = f.featurize_sets(q, q.all_tables());
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0].len(), 3); // three tables
+        assert_eq!(sets[1].len(), 2); // two joins
+        assert_eq!(sets[0][0].len(), f.table_item_dim());
+        assert_eq!(sets[2][0].len(), f.pred_item_dim());
+    }
+
+    #[test]
+    fn subset_features_differ_from_full() {
+        let (ctx, _, queries) = fixture();
+        let f = Featurizer::new(&ctx.catalog, &ctx.stats);
+        let q = &queries[1];
+        let full = f.featurize(q, q.all_tables());
+        let single = f.featurize(q, TableSet::singleton(0));
+        assert_ne!(full, single);
+        // Table one-hot counts the subset size.
+        assert_eq!(full.iter().take(8).sum::<f64>(), 3.0);
+        assert_eq!(single.iter().take(8).sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn predicate_ranges_encoded() {
+        let (ctx, _, queries) = fixture();
+        let f = Featurizer::new(&ctx.catalog, &ctx.stats);
+        // Query 4 filters badges.class = 1 (domain {0,1,2} => norm 0.5).
+        let q = &queries[3];
+        let x = f.featurize(q, q.all_tables());
+        // Some (lo, hi) pair must be pinched to a point at 0.5.
+        let cols_off = f.tables.len() + f.join_slots.len() + 1;
+        let pinched = (0..f.columns.len())
+            .any(|c| x[cols_off + 2 * c] == 0.5 && x[cols_off + 2 * c + 1] == 0.5);
+        assert!(pinched);
+    }
+
+    #[test]
+    fn fk_joins_use_named_slots_not_overflow() {
+        let (ctx, _, queries) = fixture();
+        let f = Featurizer::new(&ctx.catalog, &ctx.stats);
+        let q = &queries[0];
+        let x = f.featurize(q, q.all_tables());
+        let joins_off = f.tables.len();
+        let overflow = x[joins_off + f.join_slots.len()];
+        assert_eq!(overflow, 0.0);
+        let named: f64 = x[joins_off..joins_off + f.join_slots.len()].iter().sum();
+        assert_eq!(named, 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # lqo-card
+//!
+//! Learned cardinality estimators — one working implementation per method
+//! family catalogued in the paper's Table 1, behind a common
+//! [`CardEstimator`] trait that plugs into the engine's optimizer via
+//! [`EstimatorCardSource`].
+//!
+//! | Category | Estimators here |
+//! |---|---|
+//! | Traditional | histogram+independence, per-table sampling |
+//! | Query-driven (statistical) | linear \[36\], tree ensembles \[10\], GBDT \[9\], QuickSel-style mixtures \[47\] |
+//! | Query-driven (DNN) | MLP \[32\], MSCN \[23\], Robust-MSCN \[45\], Fauce-style deep ensembles \[33\], NNGP-style random-feature GP \[75\], LPCE-style progressive refinement \[59\] |
+//! | Data-driven | KDE \[14, 21\], Naru-style autoregressive \[71\], NeuroCard-style fanout-scaled AR \[70\], Bayes nets \[57, 65\], DeepDB-style SPN \[17\], FLAT-style factorized SPN \[81\], FactorJoin-style join histograms \[64\] |
+//! | Hybrid | UAE-style data+query AR \[63\], GLUE-style single-table merging \[82\], ALECE-style data-aware query model \[30\] |
+//!
+//! Plus an AutoCE-style model advisor \[74\] and the labeled-workload
+//! utilities the estimators train on.
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod binning;
+pub mod combine;
+pub mod data_driven;
+pub mod drift;
+pub mod estimator;
+pub mod featurize;
+pub mod hybrid;
+pub mod query_dnn;
+pub mod query_driven;
+pub mod registry;
+pub mod traditional;
+
+pub use estimator::{
+    label_workload, CardEstimator, Category, EstimatorCardSource, FitContext, LabeledSubquery,
+};
+pub use featurize::Featurizer;
+pub use registry::{build_estimator, build_registry, EstimatorKind};

@@ -1,0 +1,469 @@
+//! Query-driven estimators with statistical models: linear regression
+//! \[36\], tree-based ensembles \[10\], gradient boosting \[9\] and
+//! QuickSel-style uniform-mixture models \[47\].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lqo_engine::query::expr::CmpOp;
+use lqo_engine::{Catalog, SpjQuery, TableSet, Value};
+use lqo_ml::gbdt::{Gbdt, GbdtConfig};
+use lqo_ml::linalg::{solve, Matrix};
+use lqo_ml::linreg::LinearRegression;
+use lqo_ml::scaler::log_label;
+use lqo_ml::tree::{RandomForest, TreeConfig};
+
+use crate::combine::independence_join;
+use crate::estimator::{CardEstimator, Category, FitContext, LabeledSubquery};
+use crate::featurize::Featurizer;
+
+/// Build the `(features, log-label)` training matrix used by every
+/// flat-feature regressor.
+pub fn training_matrix(
+    feat: &Featurizer,
+    workload: &[LabeledSubquery],
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs = workload
+        .iter()
+        .map(|l| feat.featurize(&l.query, l.set))
+        .collect();
+    let ys = workload.iter().map(|l| log_label::encode(l.card)).collect();
+    (xs, ys)
+}
+
+/// The earliest query-driven approach: a linear model from query features
+/// to (log) cardinality \[36\].
+pub struct LinearQdEstimator {
+    feat: Featurizer,
+    model: LinearRegression,
+}
+
+impl LinearQdEstimator {
+    /// Fit on a labeled workload.
+    pub fn fit(ctx: &FitContext, workload: &[LabeledSubquery]) -> LinearQdEstimator {
+        let feat = Featurizer::new(&ctx.catalog, &ctx.stats);
+        let (xs, ys) = training_matrix(&feat, workload);
+        let model = LinearRegression::fit(&xs, &ys, 1e-3).unwrap_or(LinearRegression {
+            weights: vec![0.0; feat.dim()],
+            bias: 0.0,
+        });
+        LinearQdEstimator { feat, model }
+    }
+}
+
+impl CardEstimator for LinearQdEstimator {
+    fn name(&self) -> &'static str {
+        "Linear-QD"
+    }
+    fn category(&self) -> Category {
+        Category::QueryDrivenStat
+    }
+    fn technique(&self) -> &'static str {
+        "Linear Model"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        log_label::decode(self.model.predict(&self.feat.featurize(query, set))).max(1.0)
+    }
+    fn model_size(&self) -> usize {
+        self.model.weights.len() + 1
+    }
+}
+
+/// Random-forest regression on query features — "tree-based ensembles"
+/// \[10\].
+pub struct ForestQdEstimator {
+    feat: Featurizer,
+    model: RandomForest,
+}
+
+impl ForestQdEstimator {
+    /// Fit on a labeled workload.
+    pub fn fit(ctx: &FitContext, workload: &[LabeledSubquery]) -> ForestQdEstimator {
+        use rand::SeedableRng;
+        let feat = Featurizer::new(&ctx.catalog, &ctx.stats);
+        let (xs, ys) = training_matrix(&feat, workload);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let model = RandomForest::fit(
+            &xs,
+            &ys,
+            24,
+            &TreeConfig {
+                max_depth: 8,
+                min_samples_split: 4,
+                max_features: None,
+            },
+            &mut rng,
+        );
+        ForestQdEstimator { feat, model }
+    }
+}
+
+impl CardEstimator for ForestQdEstimator {
+    fn name(&self) -> &'static str {
+        "Forest-QD"
+    }
+    fn category(&self) -> Category {
+        Category::QueryDrivenStat
+    }
+    fn technique(&self) -> &'static str {
+        "Tree-based Ensembles"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        log_label::decode(self.model.predict(&self.feat.featurize(query, set))).max(1.0)
+    }
+    fn model_size(&self) -> usize {
+        self.model.len() * 64 // trees * typical nodes; reporting aid
+    }
+}
+
+/// Gradient-boosted trees on query features — the XGBoost-style lightweight
+/// models of \[9\].
+pub struct GbdtQdEstimator {
+    feat: Featurizer,
+    model: Gbdt,
+}
+
+impl GbdtQdEstimator {
+    /// Fit on a labeled workload.
+    pub fn fit(ctx: &FitContext, workload: &[LabeledSubquery]) -> GbdtQdEstimator {
+        let feat = Featurizer::new(&ctx.catalog, &ctx.stats);
+        let (xs, ys) = training_matrix(&feat, workload);
+        let model = Gbdt::fit(
+            &xs,
+            &ys,
+            &GbdtConfig {
+                n_trees: 80,
+                learning_rate: 0.15,
+                ..GbdtConfig::default()
+            },
+        );
+        GbdtQdEstimator { feat, model }
+    }
+}
+
+impl CardEstimator for GbdtQdEstimator {
+    fn name(&self) -> &'static str {
+        "GBDT-QD"
+    }
+    fn category(&self) -> Category {
+        Category::QueryDrivenStat
+    }
+    fn technique(&self) -> &'static str {
+        "XGBoost-style Boosted Trees"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        log_label::decode(self.model.predict(&self.feat.featurize(query, set))).max(1.0)
+    }
+    fn model_size(&self) -> usize {
+        self.model.num_nodes()
+    }
+}
+
+/// A normalized axis-aligned box `(lo, hi)` in `[0, 1]^d`.
+type QueryBox = (Vec<f64>, Vec<f64>);
+/// Numeric column positions of a table with their value ranges.
+type NumericLayout = (Vec<usize>, Vec<(f64, f64)>);
+
+/// Per-table mixture-of-uniforms selectivity model refined from observed
+/// query selectivities — QuickSel \[47\]. Joins combine by independence.
+pub struct QuickSelEstimator {
+    ctx: FitContext,
+    /// Per table: numeric column ids, their ranges, mixture boxes and
+    /// fitted weights.
+    models: HashMap<String, TableMixture>,
+}
+
+struct TableMixture {
+    cols: Vec<usize>,
+    ranges: Vec<(f64, f64)>,
+    /// Boxes in normalized \[0,1\] coordinates.
+    boxes: Vec<(Vec<f64>, Vec<f64>)>,
+    weights: Vec<f64>,
+}
+
+impl TableMixture {
+    fn volume(b: &QueryBox) -> f64 {
+        b.0.iter()
+            .zip(&b.1)
+            .map(|(&lo, &hi)| (hi - lo).max(1e-6))
+            .product()
+    }
+
+    fn overlap(a: &QueryBox, b: &QueryBox) -> f64 {
+        a.0.iter()
+            .zip(&a.1)
+            .zip(b.0.iter().zip(&b.1))
+            .map(|((&alo, &ahi), (&blo, &bhi))| (ahi.min(bhi) - alo.max(blo)).max(0.0))
+            .product()
+    }
+
+    /// Predicted selectivity of a query box.
+    fn selectivity(&self, qbox: &QueryBox) -> f64 {
+        self.boxes
+            .iter()
+            .zip(&self.weights)
+            .map(|(b, &w)| w * Self::overlap(qbox, b) / Self::volume(b))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+}
+
+impl QuickSelEstimator {
+    /// Fit per-table mixtures from the single-table samples in the
+    /// workload.
+    pub fn fit(ctx: &FitContext, workload: &[LabeledSubquery]) -> QuickSelEstimator {
+        let mut per_table: HashMap<String, Vec<(QueryBox, f64)>> = HashMap::new();
+        for l in workload {
+            if l.set.len() != 1 {
+                continue;
+            }
+            let pos = l.set.first().unwrap();
+            let tname = l.query.tables[pos].table.clone();
+            let Ok(table) = ctx.catalog.table(&tname) else {
+                continue;
+            };
+            let Some((cols, ranges)) = numeric_layout(&ctx.catalog, &tname) else {
+                continue;
+            };
+            let Some(qbox) = query_box(&l.query, pos, table, &cols, &ranges) else {
+                continue;
+            };
+            let sel = (l.card / table.nrows().max(1) as f64).clamp(0.0, 1.0);
+            per_table.entry(tname).or_default().push((qbox, sel));
+        }
+
+        let mut models = HashMap::new();
+        for (tname, samples) in per_table {
+            let Some((cols, ranges)) = numeric_layout(&ctx.catalog, &tname) else {
+                continue;
+            };
+            let d = cols.len();
+            // Mixture components: the full box plus each observed query box.
+            let mut boxes = vec![(vec![0.0; d], vec![1.0; d])];
+            boxes.extend(samples.iter().map(|(b, _)| b.clone()));
+            // Least squares on observed selectivities (+ anchor: full box
+            // has selectivity 1).
+            let mut rows: Vec<(Vec<f64>, f64)> = Vec::new();
+            rows.push((
+                boxes
+                    .iter()
+                    .map(|b| TableMixture::overlap(&boxes[0], b) / TableMixture::volume(b))
+                    .collect(),
+                1.0,
+            ));
+            for (qbox, sel) in &samples {
+                rows.push((
+                    boxes
+                        .iter()
+                        .map(|b| TableMixture::overlap(qbox, b) / TableMixture::volume(b))
+                        .collect(),
+                    *sel,
+                ));
+            }
+            let k = boxes.len();
+            let mut ata = Matrix::zeros(k, k);
+            let mut atb = vec![0.0; k];
+            for (a, s) in &rows {
+                for i in 0..k {
+                    atb[i] += a[i] * s;
+                    for j in 0..k {
+                        ata.data[i * k + j] += a[i] * a[j];
+                    }
+                }
+            }
+            for i in 0..k {
+                ata.data[i * k + i] += 1e-4; // ridge
+            }
+            let Some(weights) = solve(ata, atb) else {
+                continue;
+            };
+            models.insert(
+                tname,
+                TableMixture {
+                    cols,
+                    ranges,
+                    boxes,
+                    weights,
+                },
+            );
+        }
+        QuickSelEstimator {
+            ctx: ctx.clone(),
+            models,
+        }
+    }
+
+    fn table_card(&self, query: &SpjQuery, pos: usize) -> f64 {
+        let tname = &query.tables[pos].table;
+        let Ok(table) = self.ctx.catalog.table(tname) else {
+            return 1.0;
+        };
+        let nrows = table.nrows() as f64;
+        let Some(model) = self.models.get(tname) else {
+            return fallback_table_card(&self.ctx, query, pos);
+        };
+        let Some(qbox) = query_box(query, pos, table, &model.cols, &model.ranges) else {
+            return fallback_table_card(&self.ctx, query, pos);
+        };
+        (model.selectivity(&qbox) * nrows).max(0.1)
+    }
+}
+
+/// Histogram fallback for tables/predicates outside a model's scope.
+pub(crate) fn fallback_table_card(ctx: &FitContext, query: &SpjQuery, pos: usize) -> f64 {
+    let src = lqo_engine::TraditionalCardSource::new(ctx.catalog.clone(), ctx.stats.clone());
+    lqo_engine::optimizer::CardSource::cardinality(&src, query, TableSet::singleton(pos))
+}
+
+/// Numeric (non-PK) columns of a table with their value ranges.
+fn numeric_layout(catalog: &Arc<Catalog>, tname: &str) -> Option<NumericLayout> {
+    let table = catalog.table(tname).ok()?;
+    let mut cols = Vec::new();
+    let mut ranges = Vec::new();
+    for (ci, def) in table.schema.columns.iter().enumerate() {
+        if table.schema.primary_key == Some(ci) || def.dtype == lqo_engine::DataType::Text {
+            continue;
+        }
+        let col = table.column(ci);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for r in 0..col.len() {
+            let v = col.numeric_at(r);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        cols.push(ci);
+        ranges.push((lo, hi.max(lo + 1e-9)));
+    }
+    if cols.is_empty() {
+        None
+    } else {
+        Some((cols, ranges))
+    }
+}
+
+/// The normalized query box of the predicates on `pos`, or `None` when a
+/// predicate falls outside the numeric column layout.
+fn query_box(
+    query: &SpjQuery,
+    pos: usize,
+    table: &lqo_engine::Table,
+    cols: &[usize],
+    ranges: &[(f64, f64)],
+) -> Option<QueryBox> {
+    let d = cols.len();
+    let mut lo = vec![0.0; d];
+    let mut hi = vec![1.0; d];
+    for pred in query.predicates_on(pos) {
+        let ci = table.schema.column_index(&pred.col.column)?;
+        let k = cols.iter().position(|&c| c == ci)?;
+        let v = match &pred.value {
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => *f,
+            _ => return None,
+        };
+        let (rlo, rhi) = ranges[k];
+        let norm = ((v - rlo) / (rhi - rlo)).clamp(0.0, 1.0);
+        // Half-bin padding keeps equality boxes from having zero volume.
+        let eps = 0.5 / (table.nrows().max(2) as f64).sqrt();
+        match pred.op {
+            CmpOp::Eq => {
+                lo[k] = (norm - eps).max(0.0);
+                hi[k] = (norm + eps).min(1.0);
+            }
+            CmpOp::Lt | CmpOp::Le => hi[k] = hi[k].min(norm),
+            CmpOp::Gt | CmpOp::Ge => lo[k] = lo[k].max(norm),
+            CmpOp::Neq => {}
+        }
+    }
+    Some((lo, hi))
+}
+
+impl CardEstimator for QuickSelEstimator {
+    fn name(&self) -> &'static str {
+        "QuickSel"
+    }
+    fn category(&self) -> Category {
+        Category::QueryDrivenStat
+    }
+    fn technique(&self) -> &'static str {
+        "Mixture Model"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        independence_join(&self.ctx, query, set, |pos| self.table_card(query, pos))
+    }
+    fn model_size(&self) -> usize {
+        self.models
+            .values()
+            .map(|m| m.boxes.len() * (2 * m.cols.len() + 1))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::label_workload;
+    use crate::estimator::test_support::{fixture, median_q_error};
+
+    fn split(labeled: Vec<LabeledSubquery>) -> (Vec<LabeledSubquery>, Vec<LabeledSubquery>) {
+        let test: Vec<_> = labeled.iter().step_by(4).cloned().collect();
+        let train: Vec<_> = labeled
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 != 0)
+            .map(|(_, l)| l)
+            .collect();
+        (train, test)
+    }
+
+    #[test]
+    fn gbdt_beats_linear_on_training_distribution() {
+        let (ctx, oracle, queries) = fixture();
+        let labeled = label_workload(&oracle, &queries, 4).unwrap();
+        let (train, test) = split(labeled);
+        let linear = LinearQdEstimator::fit(&ctx, &train);
+        let gbdt = GbdtQdEstimator::fit(&ctx, &train);
+        let lq = median_q_error(&linear, &test);
+        let gq = median_q_error(&gbdt, &test);
+        assert!(gq < 15.0, "gbdt median q-error {gq}");
+        assert!(
+            gq <= lq * 1.5,
+            "gbdt {gq} should not lose badly to linear {lq}"
+        );
+    }
+
+    #[test]
+    fn forest_fits_workload() {
+        let (ctx, oracle, queries) = fixture();
+        let labeled = label_workload(&oracle, &queries, 4).unwrap();
+        let est = ForestQdEstimator::fit(&ctx, &labeled);
+        let med = median_q_error(&est, &labeled);
+        assert!(med < 10.0, "forest median q-error {med}");
+        assert!(est.model_size() > 0);
+    }
+
+    #[test]
+    fn quicksel_learns_from_feedback() {
+        let (ctx, oracle, queries) = fixture();
+        let labeled = label_workload(&oracle, &queries, 1).unwrap();
+        let est = QuickSelEstimator::fit(&ctx, &labeled);
+        // On its own training feedback it must be decent.
+        let med = median_q_error(&est, &labeled);
+        assert!(med < 5.0, "quicksel median q-error {med}");
+        assert!(est.model_size() > 0);
+    }
+
+    #[test]
+    fn estimates_floor_at_one() {
+        let (ctx, oracle, queries) = fixture();
+        let labeled = label_workload(&oracle, &queries, 2).unwrap();
+        for est in [
+            Box::new(LinearQdEstimator::fit(&ctx, &labeled)) as Box<dyn CardEstimator>,
+            Box::new(GbdtQdEstimator::fit(&ctx, &labeled)),
+        ] {
+            for q in &queries {
+                assert!(est.estimate(q, q.all_tables()) >= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Construction of every implemented estimator by name — the executable
+//! version of the paper's Table 1.
+
+use std::sync::Arc;
+
+use lqo_engine::TrueCardOracle;
+
+use crate::data_driven::{
+    BayesCardEstimator, BayesNetEstimator, DeepDbEstimator, FactorJoinEstimator, FlatEstimator,
+    KdeEstimator, NaruEstimator, NeuroCardEstimator,
+};
+use crate::estimator::{CardEstimator, FitContext, LabeledSubquery};
+use crate::hybrid::{AleceEstimator, GlueEstimator, UaeEstimator};
+use crate::query_dnn::{
+    FauceEstimator, LpceEstimator, MlpQdEstimator, MscnEstimator, NngpEstimator,
+    RobustMscnEstimator,
+};
+use crate::query_driven::{
+    ForestQdEstimator, GbdtQdEstimator, LinearQdEstimator, QuickSelEstimator,
+};
+use crate::traditional::{SamplingEstimator, TraditionalEstimator};
+
+/// Every estimator the crate can build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum EstimatorKind {
+    Histogram,
+    Sampling,
+    LinearQd,
+    ForestQd,
+    GbdtQd,
+    QuickSel,
+    MlpQd,
+    Mscn,
+    RobustMscn,
+    Fauce,
+    Nngp,
+    Lpce,
+    Kde,
+    Naru,
+    NeuroCard,
+    BayesNet,
+    BayesCard,
+    DeepDb,
+    Flat,
+    FactorJoin,
+    Uae,
+    Glue,
+    Alece,
+}
+
+impl EstimatorKind {
+    /// All kinds, in Table-1 order (traditional first).
+    pub const ALL: [EstimatorKind; 23] = [
+        EstimatorKind::Histogram,
+        EstimatorKind::Sampling,
+        EstimatorKind::LinearQd,
+        EstimatorKind::ForestQd,
+        EstimatorKind::GbdtQd,
+        EstimatorKind::QuickSel,
+        EstimatorKind::MlpQd,
+        EstimatorKind::Mscn,
+        EstimatorKind::RobustMscn,
+        EstimatorKind::Fauce,
+        EstimatorKind::Nngp,
+        EstimatorKind::Lpce,
+        EstimatorKind::Kde,
+        EstimatorKind::Naru,
+        EstimatorKind::NeuroCard,
+        EstimatorKind::BayesNet,
+        EstimatorKind::BayesCard,
+        EstimatorKind::DeepDb,
+        EstimatorKind::Flat,
+        EstimatorKind::FactorJoin,
+        EstimatorKind::Uae,
+        EstimatorKind::Glue,
+        EstimatorKind::Alece,
+    ];
+
+    /// A fast, representative subset used by experiments that cannot
+    /// afford fitting all 23 models per run.
+    pub const FAST: [EstimatorKind; 8] = [
+        EstimatorKind::Histogram,
+        EstimatorKind::Sampling,
+        EstimatorKind::GbdtQd,
+        EstimatorKind::Mscn,
+        EstimatorKind::BayesNet,
+        EstimatorKind::DeepDb,
+        EstimatorKind::FactorJoin,
+        EstimatorKind::Glue,
+    ];
+}
+
+/// Build a single estimator. `workload` is the labeled training corpus
+/// (ignored by data-driven and traditional methods); `oracle` powers the
+/// fanout-scaling join backbones.
+pub fn build_estimator(
+    kind: EstimatorKind,
+    ctx: &FitContext,
+    oracle: &Arc<TrueCardOracle>,
+    workload: &[LabeledSubquery],
+) -> Box<dyn CardEstimator> {
+    match kind {
+        EstimatorKind::Histogram => Box::new(TraditionalEstimator::fit(ctx)),
+        EstimatorKind::Sampling => Box::new(SamplingEstimator::fit(ctx)),
+        EstimatorKind::LinearQd => Box::new(LinearQdEstimator::fit(ctx, workload)),
+        EstimatorKind::ForestQd => Box::new(ForestQdEstimator::fit(ctx, workload)),
+        EstimatorKind::GbdtQd => Box::new(GbdtQdEstimator::fit(ctx, workload)),
+        EstimatorKind::QuickSel => Box::new(QuickSelEstimator::fit(ctx, workload)),
+        EstimatorKind::MlpQd => Box::new(MlpQdEstimator::fit(ctx, workload)),
+        EstimatorKind::Mscn => Box::new(MscnEstimator::fit(ctx, workload)),
+        EstimatorKind::RobustMscn => Box::new(RobustMscnEstimator::fit(ctx, workload)),
+        EstimatorKind::Fauce => Box::new(FauceEstimator::fit(ctx, workload)),
+        EstimatorKind::Nngp => Box::new(NngpEstimator::fit(ctx, workload)),
+        EstimatorKind::Lpce => Box::new(LpceEstimator::fit(ctx, workload)),
+        EstimatorKind::Kde => Box::new(KdeEstimator::fit(ctx)),
+        EstimatorKind::Naru => Box::new(NaruEstimator::fit(ctx)),
+        EstimatorKind::NeuroCard => Box::new(NeuroCardEstimator::fit(ctx, oracle.clone())),
+        EstimatorKind::BayesNet => Box::new(BayesNetEstimator::fit(ctx)),
+        EstimatorKind::BayesCard => Box::new(BayesCardEstimator::fit(ctx, oracle.clone())),
+        EstimatorKind::DeepDb => Box::new(DeepDbEstimator::fit(ctx, oracle.clone())),
+        EstimatorKind::Flat => Box::new(FlatEstimator::fit(ctx, oracle.clone())),
+        EstimatorKind::FactorJoin => Box::new(FactorJoinEstimator::fit(ctx)),
+        EstimatorKind::Uae => Box::new(UaeEstimator::fit(ctx, workload)),
+        EstimatorKind::Glue => Box::new(GlueEstimator::fit(ctx, workload)),
+        EstimatorKind::Alece => Box::new(AleceEstimator::fit(ctx, workload)),
+    }
+}
+
+/// Build a set of estimators.
+pub fn build_registry(
+    ctx: &FitContext,
+    oracle: &Arc<TrueCardOracle>,
+    workload: &[LabeledSubquery],
+    kinds: &[EstimatorKind],
+) -> Vec<Box<dyn CardEstimator>> {
+    kinds
+        .iter()
+        .map(|&k| build_estimator(k, ctx, oracle, workload))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::label_workload;
+    use crate::estimator::test_support::fixture;
+
+    #[test]
+    fn fast_registry_builds_and_estimates() {
+        let (ctx, oracle, queries) = fixture();
+        let workload = label_workload(&oracle, &queries, 3).unwrap();
+        let registry = build_registry(&ctx, &oracle, &workload, &EstimatorKind::FAST);
+        assert_eq!(registry.len(), EstimatorKind::FAST.len());
+        for est in &registry {
+            let e = est.estimate(&queries[0], queries[0].all_tables());
+            assert!(e >= 1.0 && e.is_finite(), "{}: {e}", est.name());
+            assert!(!est.technique().is_empty());
+        }
+        // Names are unique.
+        let names: std::collections::HashSet<&str> = registry.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), registry.len());
+    }
+}

@@ -1,0 +1,174 @@
+//! Non-learned baselines: histogram+independence and per-table sampling.
+
+use lqo_engine::optimizer::{CardSource, TraditionalCardSource};
+use lqo_engine::{SpjQuery, TableSet};
+
+use crate::combine::independence_join;
+use crate::estimator::{CardEstimator, Category, FitContext};
+
+/// The classical PostgreSQL-style estimator: per-column histograms and
+/// MCVs, attribute independence, `1/max(ndv)` joins.
+pub struct TraditionalEstimator {
+    inner: TraditionalCardSource,
+    size: usize,
+}
+
+impl TraditionalEstimator {
+    /// Build from a fit context.
+    pub fn fit(ctx: &FitContext) -> TraditionalEstimator {
+        let size = ctx
+            .catalog
+            .tables()
+            .iter()
+            .map(|t| t.schema.arity() * (ctx.stats.config.histogram_buckets + 2))
+            .sum();
+        TraditionalEstimator {
+            inner: TraditionalCardSource::new(ctx.catalog.clone(), ctx.stats.clone()),
+            size,
+        }
+    }
+}
+
+impl CardEstimator for TraditionalEstimator {
+    fn name(&self) -> &'static str {
+        "Histogram"
+    }
+    fn category(&self) -> Category {
+        Category::Traditional
+    }
+    fn technique(&self) -> &'static str {
+        "1-D Histograms + Independence"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.inner.cardinality(query, set)
+    }
+    fn model_size(&self) -> usize {
+        self.size
+    }
+}
+
+/// Sampling estimator: evaluates predicates on a uniform per-table sample;
+/// joins combine via the independence formula (joining independent
+/// per-table samples directly suffers the classic empty-join problem, which
+/// the benchmark papers in §2.3 highlight — the fallback keeps it usable).
+pub struct SamplingEstimator {
+    ctx: FitContext,
+    size: usize,
+}
+
+impl SamplingEstimator {
+    /// Build from a fit context (reuses the stats module's reservoir
+    /// samples).
+    pub fn fit(ctx: &FitContext) -> SamplingEstimator {
+        let size = ctx
+            .catalog
+            .tables()
+            .iter()
+            .filter_map(|t| ctx.stats.table(t.name()))
+            .map(|ts| ts.sample.len())
+            .sum();
+        SamplingEstimator {
+            ctx: ctx.clone(),
+            size,
+        }
+    }
+
+    /// Sample-based cardinality of a single table position.
+    fn table_card(&self, query: &SpjQuery, pos: usize) -> f64 {
+        let Ok(table) = self.ctx.catalog.table(&query.tables[pos].table) else {
+            return 1.0;
+        };
+        let Some(ts) = self.ctx.stats.table(table.name()) else {
+            return table.nrows() as f64;
+        };
+        let preds = query.predicates_on(pos);
+        if preds.is_empty() {
+            return table.nrows() as f64;
+        }
+        if ts.sample.is_empty() {
+            return table.nrows() as f64;
+        }
+        let mut hits = 0usize;
+        for &row in &ts.sample {
+            let row = row as usize;
+            let ok = preds.iter().all(|p| {
+                table
+                    .column_by_name(&p.col.column)
+                    .ok()
+                    .and_then(|c| c.value(row).compare(&p.value))
+                    .map(|ord| p.op.matches(ord))
+                    .unwrap_or(false)
+            });
+            if ok {
+                hits += 1;
+            }
+        }
+        // Add-half smoothing keeps zero-hit samples from collapsing joins.
+        (hits as f64 + 0.5) / (ts.sample.len() as f64 + 1.0) * table.nrows() as f64
+    }
+}
+
+impl CardEstimator for SamplingEstimator {
+    fn name(&self) -> &'static str {
+        "Sampling"
+    }
+    fn category(&self) -> Category {
+        Category::Traditional
+    }
+    fn technique(&self) -> &'static str {
+        "Uniform Reservoir Samples"
+    }
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        independence_join(&self.ctx, query, set, |pos| self.table_card(query, pos))
+    }
+    fn model_size(&self) -> usize {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::label_workload;
+    use crate::estimator::test_support::{fixture, median_q_error};
+
+    #[test]
+    fn traditional_is_sane_on_single_tables() {
+        let (ctx, oracle, queries) = fixture();
+        let est = TraditionalEstimator::fit(&ctx);
+        let labeled = label_workload(&oracle, &queries, 1).unwrap();
+        let med = median_q_error(&est, &labeled);
+        assert!(med < 4.0, "median q-error {med}");
+        assert!(est.model_size() > 0);
+    }
+
+    #[test]
+    fn sampling_is_accurate_on_single_tables() {
+        let (ctx, oracle, queries) = fixture();
+        let est = SamplingEstimator::fit(&ctx);
+        let single: Vec<_> = label_workload(&oracle, &queries, 1).unwrap();
+        let med = median_q_error(&est, &single);
+        assert!(med < 3.0, "median q-error {med}");
+    }
+
+    #[test]
+    fn estimates_are_positive_on_joins() {
+        let (ctx, _, queries) = fixture();
+        let t = TraditionalEstimator::fit(&ctx);
+        let s = SamplingEstimator::fit(&ctx);
+        for q in &queries {
+            assert!(t.estimate(q, q.all_tables()) >= 1.0);
+            assert!(s.estimate(q, q.all_tables()) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn unfiltered_table_estimate_is_exact() {
+        let (ctx, _, queries) = fixture();
+        let s = SamplingEstimator::fit(&ctx);
+        // Query 2's comments table (position 2) has no predicates.
+        let q = &queries[1];
+        let est = s.estimate(q, TableSet::singleton(2));
+        assert_eq!(est, ctx.catalog.table("comments").unwrap().nrows() as f64);
+    }
+}

@@ -1,0 +1,389 @@
+//! Eraser \[62\]: performance-regression elimination as a plugin on top of
+//! any learned optimizer. Two stages, as in the paper:
+//!
+//! 1. a **coarse filter** removes candidate plans containing structural
+//!    feature values never seen in any executed plan (unseen
+//!    (join-signature, operator) pairs are exactly where learned models
+//!    extrapolate);
+//! 2. a **plan-cluster** stage groups plans by their feature vectors and
+//!    tracks the risk model's historical prediction quality per cluster;
+//!    plans from unreliable clusters are dropped. If nothing survives,
+//!    the native plan runs — regressions are bounded by construction.
+
+use std::collections::HashSet;
+
+use lqo_cost::PlanFeaturizer;
+use lqo_engine::{PhysNode, SpjQuery};
+use lqo_ml::kmeans::KMeans;
+
+use crate::framework::{CandidatePlan, ExecutionSample, OptContext};
+
+/// Structural signature of one join node: operator + the sorted table
+/// names it joins. Unseen signatures mark extrapolation territory.
+fn join_signatures(query: &SpjQuery, plan: &PhysNode) -> Vec<String> {
+    let mut out = Vec::new();
+    plan.visit_bottom_up(&mut |n| {
+        if let PhysNode::Join { algo, .. } = n {
+            let mut tables: Vec<&str> = n
+                .tables()
+                .iter()
+                .map(|p| query.tables[p].table.as_str())
+                .collect();
+            tables.sort();
+            out.push(format!("{algo}:{}", tables.join(",")));
+        }
+    });
+    out
+}
+
+/// The fitted Eraser guard.
+pub struct Eraser {
+    feat: PlanFeaturizer,
+    seen: HashSet<String>,
+    clusters: KMeans,
+    /// Mean |log predicted − log actual| per cluster.
+    cluster_error: Vec<f64>,
+    /// Clusters with error above this are unreliable.
+    pub error_threshold: f64,
+    /// Enable stage 1 (unseen-structure coarse filter). Ablation knob.
+    pub use_coarse_filter: bool,
+    /// Enable stage 2 (plan-cluster reliability filter). Ablation knob.
+    pub use_cluster_filter: bool,
+}
+
+impl Eraser {
+    /// Fit from execution history and the risk model's predictions at
+    /// execution time (`predicted[i]` corresponds to `samples[i]`).
+    pub fn fit(
+        ctx: &OptContext,
+        samples: &[ExecutionSample],
+        predicted: &[f64],
+        k: usize,
+    ) -> Eraser {
+        assert_eq!(samples.len(), predicted.len());
+        assert!(!samples.is_empty(), "Eraser needs execution history");
+        let feat = PlanFeaturizer::new(ctx.catalog.clone());
+        let mut seen = HashSet::new();
+        for s in samples {
+            for sig in join_signatures(&s.query, &s.plan) {
+                seen.insert(sig);
+            }
+        }
+        let xs: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| feat.flat(&s.query, &s.plan))
+            .collect();
+        let clusters = KMeans::fit(&xs, k, 30, 0xE4A5E4);
+        let mut err_sum = vec![0.0; clusters.k()];
+        let mut err_cnt = vec![0usize; clusters.k()];
+        for (i, s) in samples.iter().enumerate() {
+            let c = clusters.assignments[i];
+            let e = (predicted[i].max(1.0).ln() - s.work.max(1.0).ln()).abs();
+            err_sum[c] += e;
+            err_cnt[c] += 1;
+        }
+        let cluster_error: Vec<f64> = err_sum
+            .iter()
+            .zip(&err_cnt)
+            .map(|(&s, &n)| if n == 0 { f64::INFINITY } else { s / n as f64 })
+            .collect();
+        // Default threshold: a 3.5x average log error marks a
+        // cluster unreliable.
+        Eraser {
+            feat,
+            seen,
+            clusters,
+            cluster_error,
+            error_threshold: 3.5f64.ln(),
+            use_coarse_filter: true,
+            use_cluster_filter: true,
+        }
+    }
+
+    /// True when the plan contains a join signature never executed.
+    pub fn is_risky(&self, query: &SpjQuery, plan: &PhysNode) -> bool {
+        join_signatures(query, plan)
+            .iter()
+            .any(|sig| !self.seen.contains(sig))
+    }
+
+    /// Historical prediction error of the plan's cluster.
+    pub fn cluster_reliability(&self, query: &SpjQuery, plan: &PhysNode) -> f64 {
+        let c = self.clusters.assign(&self.feat.flat(query, plan));
+        self.cluster_error[c]
+    }
+
+    /// Apply both stages: among candidates, keep plans that are neither
+    /// structurally risky nor from unreliable clusters; return the
+    /// surviving plan with the best (lowest) score, or the native plan
+    /// when nothing survives.
+    pub fn guard(
+        &self,
+        query: &SpjQuery,
+        candidates: &[CandidatePlan],
+        scores: &[f64],
+        native: &PhysNode,
+    ) -> PhysNode {
+        assert_eq!(candidates.len(), scores.len());
+        let survivors: Vec<usize> = (0..candidates.len())
+            .filter(|&i| {
+                !self.is_risky(query, &candidates[i].plan)
+                    && self.cluster_reliability(query, &candidates[i].plan) <= self.error_threshold
+            })
+            .collect();
+        match survivors
+            .into_iter()
+            .min_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap())
+        {
+            Some(i) => candidates[i].plan.clone(),
+            None => native.clone(),
+        }
+    }
+}
+
+/// A learned optimizer wrapped with Eraser: candidates and risk scores
+/// come from the inner system; Eraser vetoes risky selections and falls
+/// back to the native plan. Refits its filter at every retrain from the
+/// inner system's execution history.
+pub struct GuardedOptimizer {
+    inner: crate::framework::ExploreSelectOptimizer,
+    ctx: OptContext,
+    eraser: Option<Eraser>,
+    /// `(sample, score the model gave the executed plan)` records.
+    records: Vec<(ExecutionSample, f64)>,
+    /// Plan clusters for the second stage.
+    pub clusters: usize,
+    /// Stage 1 toggle forwarded to every refitted [`Eraser`].
+    pub use_coarse_filter: bool,
+    /// Stage 2 toggle forwarded to every refitted [`Eraser`].
+    pub use_cluster_filter: bool,
+}
+
+impl GuardedOptimizer {
+    /// Wrap a system.
+    pub fn new(inner: crate::framework::ExploreSelectOptimizer) -> GuardedOptimizer {
+        let ctx = inner.context().clone();
+        GuardedOptimizer {
+            inner,
+            ctx,
+            eraser: None,
+            records: Vec::new(),
+            clusters: 6,
+            use_coarse_filter: true,
+            use_cluster_filter: true,
+        }
+    }
+
+    /// Ablation constructor: enable only the chosen Eraser stages.
+    pub fn with_stages(
+        inner: crate::framework::ExploreSelectOptimizer,
+        coarse: bool,
+        cluster: bool,
+    ) -> GuardedOptimizer {
+        GuardedOptimizer {
+            use_coarse_filter: coarse,
+            use_cluster_filter: cluster,
+            ..GuardedOptimizer::new(inner)
+        }
+    }
+
+    /// True once the guard is active.
+    pub fn is_guarding(&self) -> bool {
+        self.eraser.is_some()
+    }
+}
+
+impl crate::framework::LearnedOptimizer for GuardedOptimizer {
+    fn name(&self) -> &str {
+        "Eraser-guarded"
+    }
+
+    fn plan(&mut self, query: &SpjQuery) -> lqo_engine::Result<PhysNode> {
+        let candidates = self.inner.candidates(query)?;
+        if candidates.is_empty() {
+            return Err(lqo_engine::EngineError::NoPlanFound("no candidates".into()));
+        }
+        let scores: Vec<f64> = candidates
+            .iter()
+            .map(|c| self.inner.score(query, &c.plan))
+            .collect();
+        match &self.eraser {
+            Some(eraser) => {
+                let native = self
+                    .ctx
+                    .optimizer()
+                    .optimize_default(query, self.ctx.card.as_ref())?
+                    .plan;
+                Ok(eraser.guard(query, &candidates, &scores, &native))
+            }
+            None => {
+                // Ungated warm-up: behave like the inner system.
+                let idx = scores
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                Ok(candidates[idx].plan.clone())
+            }
+        }
+    }
+
+    fn observe(&mut self, query: &SpjQuery, plan: &PhysNode, work: f64) {
+        let predicted = self.inner.score(query, plan);
+        self.records.push((
+            ExecutionSample {
+                query: std::sync::Arc::new(query.clone()),
+                plan: plan.clone(),
+                work,
+            },
+            predicted,
+        ));
+        self.inner.observe(query, plan, work);
+    }
+
+    fn retrain(&mut self) {
+        self.inner.retrain();
+        if self.records.len() >= 8 {
+            let samples: Vec<ExecutionSample> =
+                self.records.iter().map(|(s, _)| s.clone()).collect();
+            let predicted: Vec<f64> = self.records.iter().map(|(_, p)| *p).collect();
+            let mut eraser = Eraser::fit(&self.ctx, &samples, &predicted, self.clusters);
+            eraser.use_coarse_filter = self.use_coarse_filter;
+            eraser.use_cluster_filter = self.use_cluster_filter;
+            self.eraser = Some(eraser);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorers::BaoExplorer;
+    use crate::framework::test_support::fixture;
+    use crate::framework::PlanExplorer;
+    use lqo_engine::{Executor, JoinAlgo};
+    use std::sync::Arc;
+
+    fn history(ctx: &OptContext, queries: &[SpjQuery]) -> (Vec<ExecutionSample>, Vec<f64>) {
+        let explorer = BaoExplorer::standard();
+        let executor = Executor::with_defaults(&ctx.catalog);
+        let mut samples = Vec::new();
+        let mut predicted = Vec::new();
+        for q in queries {
+            for c in explorer.explore(ctx, q).unwrap() {
+                if let Ok(r) = executor.execute(q, &c.plan) {
+                    // Pretend the risk model predicted within 1.2x.
+                    predicted.push(r.work * 1.2);
+                    samples.push(ExecutionSample {
+                        query: Arc::new(q.clone()),
+                        plan: c.plan,
+                        work: r.work,
+                    });
+                }
+            }
+        }
+        (samples, predicted)
+    }
+
+    #[test]
+    fn executed_plans_are_not_risky() {
+        let (ctx, queries) = fixture();
+        let (samples, predicted) = history(&ctx, &queries);
+        let eraser = Eraser::fit(&ctx, &samples, &predicted, 4);
+        for s in &samples {
+            assert!(!eraser.is_risky(&s.query, &s.plan));
+        }
+    }
+
+    #[test]
+    fn unseen_structure_is_risky() {
+        let (ctx, queries) = fixture();
+        // Train only on query 0's plans; query 3 joins different tables.
+        let (samples, predicted) = history(&ctx, &queries[..1]);
+        let eraser = Eraser::fit(&ctx, &samples, &predicted, 2);
+        let q3 = &queries[3];
+        let plan = ctx
+            .optimizer()
+            .optimize_default(q3, ctx.card.as_ref())
+            .unwrap()
+            .plan;
+        assert!(eraser.is_risky(q3, &plan));
+    }
+
+    #[test]
+    fn guard_falls_back_to_native_when_all_risky() {
+        let (ctx, queries) = fixture();
+        let (samples, predicted) = history(&ctx, &queries[..1]);
+        let eraser = Eraser::fit(&ctx, &samples, &predicted, 2);
+        let q3 = &queries[3];
+        let native = ctx
+            .optimizer()
+            .optimize_default(q3, ctx.card.as_ref())
+            .unwrap()
+            .plan;
+        let cands = vec![CandidatePlan {
+            plan: PhysNode::join(JoinAlgo::NestedLoop, PhysNode::scan(0), {
+                PhysNode::join(JoinAlgo::NestedLoop, PhysNode::scan(1), PhysNode::scan(2))
+            }),
+            label: "risky".into(),
+        }];
+        let chosen = eraser.guard(q3, &cands, &[1.0], &native);
+        assert_eq!(chosen, native);
+    }
+
+    #[test]
+    fn guard_keeps_good_candidates() {
+        let (ctx, queries) = fixture();
+        let (samples, predicted) = history(&ctx, &queries);
+        let eraser = Eraser::fit(&ctx, &samples, &predicted, 4);
+        let q = &queries[1];
+        let explorer = BaoExplorer::standard();
+        let cands = explorer.explore(&ctx, q).unwrap();
+        let scores: Vec<f64> = (0..cands.len()).map(|i| i as f64).collect();
+        let native = ctx
+            .optimizer()
+            .optimize_default(q, ctx.card.as_ref())
+            .unwrap()
+            .plan;
+        let chosen = eraser.guard(q, &cands, &scores, &native);
+        // The first (lowest-score) non-risky candidate should win.
+        assert_eq!(chosen, cands[0].plan);
+    }
+
+    #[test]
+    fn guarded_optimizer_warms_up_then_guards() {
+        use crate::framework::LearnedOptimizer;
+        let (ctx, queries) = fixture();
+        let mut guarded = GuardedOptimizer::new(crate::systems::bao(ctx.clone()));
+        assert!(!guarded.is_guarding());
+        let executor = Executor::with_defaults(&ctx.catalog);
+        for _ in 0..2 {
+            for q in &queries {
+                let plan = guarded.plan(q).unwrap();
+                if let Ok(r) = executor.execute(q, &plan) {
+                    guarded.observe(q, &plan, r.work);
+                }
+            }
+            guarded.retrain();
+        }
+        assert!(guarded.is_guarding());
+        // Guarded plans remain valid and executable.
+        for q in &queries {
+            let plan = guarded.plan(q).unwrap();
+            assert_eq!(plan.tables(), q.all_tables());
+            assert!(executor.execute(q, &plan).is_ok());
+        }
+    }
+
+    #[test]
+    fn cluster_reliability_reflects_good_predictions() {
+        let (ctx, queries) = fixture();
+        let (samples, predicted) = history(&ctx, &queries);
+        let eraser = Eraser::fit(&ctx, &samples, &predicted, 4);
+        // Predictions were within 1.2x, so every cluster is reliable.
+        for s in &samples {
+            assert!(eraser.cluster_reliability(&s.query, &s.plan) <= eraser.error_threshold);
+        }
+    }
+}

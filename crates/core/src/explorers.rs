@@ -1,0 +1,357 @@
+//! Plan exploration strategies steering the native optimizer.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use lqo_engine::optimizer::{CardSource, ScaledCardSource};
+use lqo_engine::{HintSet, Result, SpjQuery};
+
+use crate::framework::{CandidatePlan, OptContext, PlanExplorer};
+
+/// Bao-style exploration \[37\]: one candidate per hint-set arm (operator
+/// toggles, left-deep restriction), all optimized under the native
+/// cardinalities.
+pub struct BaoExplorer {
+    arms: Vec<HintSet>,
+}
+
+impl BaoExplorer {
+    /// The standard 8-arm family.
+    pub fn standard() -> BaoExplorer {
+        BaoExplorer {
+            arms: HintSet::standard_arms(),
+        }
+    }
+
+    /// Custom arms (AutoSteer-style discovered hint sets plug in here).
+    pub fn with_arms(arms: Vec<HintSet>) -> BaoExplorer {
+        BaoExplorer { arms }
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.arms.len()
+    }
+}
+
+impl PlanExplorer for BaoExplorer {
+    fn name(&self) -> &'static str {
+        "hint-sets"
+    }
+
+    fn explore(&self, ctx: &OptContext, query: &SpjQuery) -> Result<Vec<CandidatePlan>> {
+        let optimizer = ctx.optimizer();
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for arm in &self.arms {
+            let Ok(choice) = optimizer.optimize(query, ctx.card.as_ref(), arm) else {
+                continue;
+            };
+            if seen.insert(choice.plan.fingerprint()) {
+                out.push(CandidatePlan {
+                    plan: choice.plan,
+                    label: arm.label(),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Lero-style exploration \[79\]: re-optimize under cardinalities scaled by
+/// factors spanning under- to over-estimation; different factors surface
+/// systematically different plans.
+pub struct LeroExplorer {
+    factors: Vec<f64>,
+}
+
+impl LeroExplorer {
+    /// The paper's factor ladder.
+    pub fn standard() -> LeroExplorer {
+        LeroExplorer {
+            factors: vec![0.1, 0.5, 1.0, 2.0, 10.0],
+        }
+    }
+
+    /// Custom factors.
+    pub fn with_factors(factors: Vec<f64>) -> LeroExplorer {
+        LeroExplorer { factors }
+    }
+}
+
+impl PlanExplorer for LeroExplorer {
+    fn name(&self) -> &'static str {
+        "cardinality-scaling"
+    }
+
+    fn explore(&self, ctx: &OptContext, query: &SpjQuery) -> Result<Vec<CandidatePlan>> {
+        let optimizer = ctx.optimizer();
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for &f in &self.factors {
+            let scaled: Arc<dyn CardSource> = Arc::new(ScaledCardSource::new(ctx.card.clone(), f));
+            let Ok(choice) = optimizer.optimize(query, scaled.as_ref(), &HintSet::default()) else {
+                continue;
+            };
+            if seen.insert(choice.plan.fingerprint()) {
+                out.push(CandidatePlan {
+                    plan: choice.plan,
+                    label: format!("scale={f}"),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// HyperQO-style exploration \[72\]: leading hints force different join
+/// prefixes (single tables and connected pairs), plus the unconstrained
+/// native plan.
+pub struct LeadingHintExplorer {
+    /// Cap on the number of leading-pair candidates.
+    pub max_pairs: usize,
+}
+
+impl LeadingHintExplorer {
+    /// Default budget.
+    pub fn standard() -> LeadingHintExplorer {
+        LeadingHintExplorer { max_pairs: 6 }
+    }
+}
+
+impl PlanExplorer for LeadingHintExplorer {
+    fn name(&self) -> &'static str {
+        "leading-hints"
+    }
+
+    fn explore(&self, ctx: &OptContext, query: &SpjQuery) -> Result<Vec<CandidatePlan>> {
+        let optimizer = ctx.optimizer();
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut push = |hints: &HintSet, label: String| {
+            if let Ok(choice) = optimizer.optimize(query, ctx.card.as_ref(), hints) {
+                if seen.insert(choice.plan.fingerprint()) {
+                    out.push(CandidatePlan {
+                        plan: choice.plan,
+                        label,
+                    });
+                }
+            }
+        };
+        push(&HintSet::default(), "native".into());
+        let n = query.num_tables();
+        for t in 0..n {
+            push(&HintSet::with_leading(vec![t]), format!("leading=[{t}]"));
+        }
+        let graph = lqo_engine::query::JoinGraph::new(query);
+        let mut pairs = 0;
+        'outer: for a in 0..n {
+            for b in graph.neighbors(a).iter() {
+                if pairs >= self.max_pairs {
+                    break 'outer;
+                }
+                push(
+                    &HintSet::with_leading(vec![a, b]),
+                    format!("leading=[{a},{b}]"),
+                );
+                pairs += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// AutoSteer-style automated hint-set discovery \[1\]: probe which single
+/// operator toggles actually change plans on a sample workload, then
+/// greedily merge effective toggles into composite arms — minimizing the
+/// arm count a Bao deployment has to explore.
+pub fn discover_arms(ctx: &OptContext, probe: &[SpjQuery], max_arms: usize) -> Vec<HintSet> {
+    let optimizer = ctx.optimizer();
+    let default_fps: Vec<Option<String>> = probe
+        .iter()
+        .map(|q| {
+            optimizer
+                .optimize(q, ctx.card.as_ref(), &HintSet::default())
+                .ok()
+                .map(|c| c.plan.fingerprint())
+        })
+        .collect();
+    // How many probe plans an arm changes relative to the default.
+    let effectiveness = |arm: &HintSet| -> usize {
+        probe
+            .iter()
+            .zip(&default_fps)
+            .filter(|(q, dfp)| {
+                let Some(dfp) = dfp else { return false };
+                optimizer
+                    .optimize(q, ctx.card.as_ref(), arm)
+                    .map(|c| &c.plan.fingerprint() != dfp)
+                    .unwrap_or(false)
+            })
+            .count()
+    };
+
+    let singles = [
+        HintSet {
+            allow_hash: false,
+            ..HintSet::default()
+        },
+        HintSet {
+            allow_nl: false,
+            ..HintSet::default()
+        },
+        HintSet {
+            allow_merge: false,
+            ..HintSet::default()
+        },
+        HintSet {
+            left_deep_only: true,
+            ..HintSet::default()
+        },
+    ];
+    let effective: Vec<HintSet> = singles
+        .into_iter()
+        .filter(|arm| effectiveness(arm) > 0)
+        .collect();
+
+    let mut arms = vec![HintSet::default()];
+    arms.extend(effective.iter().cloned());
+    // Greedy pairwise merge of effective toggles.
+    let merge = |a: &HintSet, b: &HintSet| HintSet {
+        allow_hash: a.allow_hash && b.allow_hash,
+        allow_nl: a.allow_nl && b.allow_nl,
+        allow_merge: a.allow_merge && b.allow_merge,
+        left_deep_only: a.left_deep_only || b.left_deep_only,
+        ..HintSet::default()
+    };
+    'outer: for i in 0..effective.len() {
+        for j in i + 1..effective.len() {
+            if arms.len() >= max_arms {
+                break 'outer;
+            }
+            let candidate = merge(&effective[i], &effective[j]);
+            if candidate.num_allowed_algos() == 0 || arms.contains(&candidate) {
+                continue;
+            }
+            if effectiveness(&candidate) > 0 {
+                arms.push(candidate);
+            }
+        }
+    }
+    arms.truncate(max_arms.max(1));
+    arms
+}
+
+/// Union of several explorers (LEON's wider DP-based candidate pool).
+pub struct UnionExplorer {
+    parts: Vec<Box<dyn PlanExplorer>>,
+}
+
+impl UnionExplorer {
+    /// Combine explorers.
+    pub fn new(parts: Vec<Box<dyn PlanExplorer>>) -> UnionExplorer {
+        UnionExplorer { parts }
+    }
+}
+
+impl PlanExplorer for UnionExplorer {
+    fn name(&self) -> &'static str {
+        "union"
+    }
+
+    fn explore(&self, ctx: &OptContext, query: &SpjQuery) -> Result<Vec<CandidatePlan>> {
+        let mut out: Vec<CandidatePlan> = Vec::new();
+        let mut seen = HashSet::new();
+        for p in &self.parts {
+            for c in p.explore(ctx, query)? {
+                if seen.insert(c.plan.fingerprint()) {
+                    out.push(c);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::test_support::fixture;
+
+    #[test]
+    fn bao_generates_multiple_distinct_candidates() {
+        let (ctx, queries) = fixture();
+        let explorer = BaoExplorer::standard();
+        assert_eq!(explorer.num_arms(), 8);
+        let cands = explorer.explore(&ctx, &queries[2]).unwrap();
+        assert!(cands.len() >= 2, "got {} candidates", cands.len());
+        // All candidates are valid full plans.
+        for c in &cands {
+            assert_eq!(c.plan.tables(), queries[2].all_tables());
+        }
+        // Fingerprints are unique.
+        let fps: HashSet<String> = cands.iter().map(|c| c.plan.fingerprint()).collect();
+        assert_eq!(fps.len(), cands.len());
+    }
+
+    #[test]
+    fn lero_scaling_changes_plans() {
+        let (ctx, queries) = fixture();
+        let explorer = LeroExplorer::standard();
+        let cands = explorer.explore(&ctx, &queries[2]).unwrap();
+        assert!(!cands.is_empty());
+        assert!(cands.iter().any(|c| c.label.contains("scale")));
+    }
+
+    #[test]
+    fn leading_hints_cover_prefixes() {
+        let (ctx, queries) = fixture();
+        let explorer = LeadingHintExplorer::standard();
+        let cands = explorer.explore(&ctx, &queries[1]).unwrap();
+        // At least the native plan plus some forced prefixes.
+        assert!(cands.len() >= 2);
+        assert!(cands.iter().any(|c| c.label == "native"));
+        assert!(cands.iter().any(|c| c.label.starts_with("leading")));
+    }
+
+    #[test]
+    fn discovered_arms_start_with_default_and_change_plans() {
+        let (ctx, queries) = fixture();
+        let arms = discover_arms(&ctx, &queries, 6);
+        assert!(!arms.is_empty());
+        assert!(arms.len() <= 6);
+        assert_eq!(arms[0], HintSet::default());
+        // Every non-default arm changes at least one probe plan.
+        let optimizer = ctx.optimizer();
+        for arm in &arms[1..] {
+            let changes = queries.iter().any(|q| {
+                let d = optimizer
+                    .optimize(q, ctx.card.as_ref(), &HintSet::default())
+                    .unwrap()
+                    .plan
+                    .fingerprint();
+                optimizer
+                    .optimize(q, ctx.card.as_ref(), arm)
+                    .map(|c| c.plan.fingerprint() != d)
+                    .unwrap_or(false)
+            });
+            assert!(changes, "useless arm {arm:?}");
+        }
+        // Discovered arms plug straight into Bao.
+        let bao = BaoExplorer::with_arms(arms);
+        let cands = bao.explore(&ctx, &queries[2]).unwrap();
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn union_dedups_across_parts() {
+        let (ctx, queries) = fixture();
+        let union = UnionExplorer::new(vec![
+            Box::new(BaoExplorer::standard()),
+            Box::new(BaoExplorer::standard()),
+        ]);
+        let solo = BaoExplorer::standard().explore(&ctx, &queries[0]).unwrap();
+        let merged = union.explore(&ctx, &queries[0]).unwrap();
+        assert_eq!(solo.len(), merged.len());
+    }
+}

@@ -1,0 +1,192 @@
+//! Training/evaluation loop shared by experiments E4 and E5: run a
+//! learned optimizer over a workload for several epochs, executing its
+//! plans with a timeout budget, feeding back measured work, and comparing
+//! against the native baseline per epoch.
+
+use lqo_engine::{EngineError, ExecConfig, Executor, PhysNode, Result, SpjQuery};
+
+use crate::framework::{LearnedOptimizer, OptContext};
+
+/// The native cost-based optimizer behind the [`LearnedOptimizer`]
+/// interface, as the no-learning baseline.
+pub struct NativeBaseline {
+    ctx: OptContext,
+}
+
+impl NativeBaseline {
+    /// Wrap a context.
+    pub fn new(ctx: OptContext) -> NativeBaseline {
+        NativeBaseline { ctx }
+    }
+}
+
+impl LearnedOptimizer for NativeBaseline {
+    fn name(&self) -> &str {
+        "Native"
+    }
+    fn plan(&mut self, query: &SpjQuery) -> Result<PhysNode> {
+        Ok(self
+            .ctx
+            .optimizer()
+            .optimize_default(query, self.ctx.card.as_ref())?
+            .plan)
+    }
+    fn observe(&mut self, _q: &SpjQuery, _p: &PhysNode, _w: f64) {}
+    fn retrain(&mut self) {}
+}
+
+/// Per-epoch statistics of one optimizer over the workload.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Total work units over the workload.
+    pub total_work: f64,
+    /// Per-query work units (workload order).
+    pub per_query: Vec<f64>,
+    /// Queries slower than the native baseline by > 10%.
+    pub regressions: usize,
+    /// Worst per-query slowdown vs native (1.0 = never slower).
+    pub max_regression: f64,
+    /// Queries that hit the timeout budget.
+    pub timeouts: usize,
+}
+
+/// The training loop.
+pub struct TrainingLoop {
+    ctx: OptContext,
+    /// Timeout budget as a multiple of the native plan's work.
+    pub timeout_factor: f64,
+    native_work: Vec<f64>,
+    queries: Vec<SpjQuery>,
+}
+
+impl TrainingLoop {
+    /// Prepare the loop: executes the native plan of every query once to
+    /// establish the baseline works.
+    pub fn new(ctx: OptContext, queries: Vec<SpjQuery>) -> Result<TrainingLoop> {
+        let executor = Executor::with_defaults(&ctx.catalog);
+        let mut native_work = Vec::with_capacity(queries.len());
+        for q in &queries {
+            let plan = ctx.optimizer().optimize_default(q, ctx.card.as_ref())?.plan;
+            native_work.push(executor.execute(q, &plan)?.work);
+        }
+        Ok(TrainingLoop {
+            ctx,
+            timeout_factor: 20.0,
+            native_work,
+            queries,
+        })
+    }
+
+    /// Native baseline work per query.
+    pub fn native_work(&self) -> &[f64] {
+        &self.native_work
+    }
+
+    /// The workload.
+    pub fn queries(&self) -> &[SpjQuery] {
+        &self.queries
+    }
+
+    /// Run one epoch: plan, execute (with timeout), observe; returns the
+    /// epoch's statistics. `learn` controls whether feedback flows (off
+    /// for pure evaluation epochs).
+    pub fn run_epoch(&self, opt: &mut dyn LearnedOptimizer, learn: bool) -> EpochStats {
+        let mut per_query = Vec::with_capacity(self.queries.len());
+        let mut regressions = 0;
+        let mut max_regression = 1.0f64;
+        let mut timeouts = 0;
+        for (i, q) in self.queries.iter().enumerate() {
+            let budget = self.native_work[i] * self.timeout_factor;
+            let executor = Executor::new(
+                &self.ctx.catalog,
+                ExecConfig {
+                    max_work: Some(budget),
+                    ..Default::default()
+                },
+            );
+            let work = match opt.plan(q) {
+                Ok(plan) => match executor.execute(q, &plan) {
+                    Ok(r) => {
+                        if learn {
+                            opt.observe(q, &plan, r.work);
+                        }
+                        r.work
+                    }
+                    Err(EngineError::WorkLimitExceeded { .. }) => {
+                        timeouts += 1;
+                        if learn {
+                            // Timeout feedback: the budget itself, as Bao
+                            // and Balsa do with their timeout handling.
+                            opt.observe(q, &plan, budget);
+                        }
+                        budget
+                    }
+                    Err(_) => budget,
+                },
+                Err(_) => budget,
+            };
+            let ratio = work / self.native_work[i];
+            if ratio > 1.1 {
+                regressions += 1;
+            }
+            max_regression = max_regression.max(ratio);
+            per_query.push(work);
+        }
+        if learn {
+            opt.retrain();
+        }
+        EpochStats {
+            total_work: per_query.iter().sum(),
+            per_query,
+            regressions,
+            max_regression,
+            timeouts,
+        }
+    }
+
+    /// Run `epochs` learning epochs, returning per-epoch statistics.
+    pub fn run(&self, opt: &mut dyn LearnedOptimizer, epochs: usize) -> Vec<EpochStats> {
+        (0..epochs).map(|_| self.run_epoch(opt, true)).collect()
+    }
+
+    /// Total native work (the baseline every epoch is compared to).
+    pub fn native_total(&self) -> f64 {
+        self.native_work.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::test_support::fixture;
+    use crate::systems::bao;
+
+    #[test]
+    fn native_baseline_matches_loop_baseline() {
+        let (ctx, queries) = fixture();
+        let training = TrainingLoop::new(ctx.clone(), queries).unwrap();
+        let mut native = NativeBaseline::new(ctx);
+        let stats = training.run_epoch(&mut native, false);
+        assert_eq!(stats.regressions, 0);
+        assert!((stats.total_work - training.native_total()).abs() < 1e-9);
+        assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn bao_improves_or_holds_over_epochs() {
+        let (ctx, queries) = fixture();
+        let training = TrainingLoop::new(ctx.clone(), queries).unwrap();
+        let mut opt = bao(ctx);
+        let stats = training.run(&mut opt, 3);
+        assert_eq!(stats.len(), 3);
+        // After training, total work should be at worst mildly above
+        // native (Bao's candidate set always contains the native plan).
+        let last = stats.last().unwrap();
+        assert!(
+            last.total_work <= training.native_total() * 3.0,
+            "bao total {} vs native {}",
+            last.total_work,
+            training.native_total()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # learned-qo
+//!
+//! End-to-end learned query optimizers (paper §2.2), organized around the
+//! survey's unified two-step framework: a *plan exploration strategy*
+//! generates a candidate set `P_Q`, then a learned *risk model* picks the
+//! plan to execute.
+//!
+//! * Exploration strategies ([`explorers`]): Bao-style hint-set steering
+//!   \[37\], Lero-style cardinality scaling \[79\], HyperQO-style leading
+//!   hints \[72\], and their union;
+//! * Risk models ([`risk`]): pointwise tree-convolution latency
+//!   prediction (Bao/Neo), pairwise comparators (Lero/LEON), ensembles
+//!   with variance filtering (HyperQO);
+//! * Scratch explorers ([`mod@neo`]): Neo's best-first and Balsa's beam
+//!   search over the plan space guided by a learned value network
+//!   \[38, 69\];
+//! * Assembled systems ([`systems`]): `bao()`, `lero()`, `hyper_qo()`,
+//!   `leon()`, `neo()`, `balsa()`;
+//! * Regression elimination ([`eraser`]): Eraser's two-stage
+//!   coarse-filter + plan-clustering guard \[62\], pluggable on top of any
+//!   learned optimizer;
+//! * A training/evaluation loop ([`harness`]) used by experiments E4/E5.
+
+#![warn(missing_docs)]
+
+pub mod eraser;
+pub mod explorers;
+pub mod framework;
+pub mod harness;
+pub mod neo;
+pub mod risk;
+pub mod systems;
+
+pub use eraser::{Eraser, GuardedOptimizer};
+pub use explorers::discover_arms;
+pub use framework::{
+    CandidatePlan, ExecutionSample, ExploreSelectOptimizer, LearnedOptimizer, OptContext,
+    PlanExplorer, RiskModel,
+};
+pub use harness::{NativeBaseline, TrainingLoop};
+pub use systems::{balsa, bao, hyper_qo, leon, lero, neo};

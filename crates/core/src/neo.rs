@@ -1,0 +1,424 @@
+//! Scratch-exploring learned optimizers: Neo \[38\] and Balsa \[69\].
+//!
+//! Both search the (left-deep) plan space guided by a tree-convolution
+//! *value network* that predicts the final latency reachable from a
+//! partial plan; they differ in search strategy (best-first vs beam) and
+//! bootstrap (Neo starts from the native expert's plans, Balsa from
+//! random plans — "without expert demonstrations"). The restriction of
+//! the search to left-deep prefixes is recorded in DESIGN.md.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use lqo_cost::PlanFeaturizer;
+use lqo_engine::query::JoinGraph;
+use lqo_engine::{JoinTree, PhysNode, Result, SpjQuery, TableSet};
+use lqo_join::JoinEnv;
+use lqo_ml::scaler::log_label;
+use lqo_ml::treeconv::{FeatTree, TreeConvConfig, TreeConvNet};
+
+use crate::framework::{ExecutionSample, LearnedOptimizer, OptContext};
+
+/// How the value-guided search explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Neo: global best-first with an expansion budget.
+    BestFirst {
+        /// Maximum node expansions per query.
+        budget: usize,
+    },
+    /// Balsa: beam search of the given width.
+    Beam {
+        /// Beam width.
+        width: usize,
+    },
+}
+
+/// How the optimizer behaves before its first training round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bootstrap {
+    /// Use the native optimizer's plan (Neo's expert demonstrations).
+    Expert,
+    /// Use a random valid plan (Balsa learns from scratch).
+    Random,
+}
+
+/// A value-network-guided plan search optimizer.
+pub struct ValueSearchOptimizer {
+    name: String,
+    ctx: OptContext,
+    env: JoinEnv,
+    feat: PlanFeaturizer,
+    net: TreeConvNet,
+    strategy: SearchStrategy,
+    bootstrap: Bootstrap,
+    trained: bool,
+    history: Vec<ExecutionSample>,
+    fresh: usize,
+    /// Retrain after this many new observations.
+    pub retrain_every: usize,
+    /// Training epochs per retrain.
+    pub epochs: usize,
+    rng: StdRng,
+}
+
+struct Frontier {
+    value: f64,
+    order: Vec<usize>,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on negated value → min-value first.
+        other
+            .value
+            .partial_cmp(&self.value)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl ValueSearchOptimizer {
+    /// Build a searcher.
+    pub fn new(
+        name: impl Into<String>,
+        ctx: OptContext,
+        strategy: SearchStrategy,
+        bootstrap: Bootstrap,
+        seed: u64,
+    ) -> ValueSearchOptimizer {
+        let feat = PlanFeaturizer::new(ctx.catalog.clone());
+        let net = TreeConvNet::new(TreeConvConfig {
+            learning_rate: 2e-3,
+            channels: vec![24, 12],
+            head_hidden: vec![24],
+            seed: seed ^ 0xFE,
+            ..TreeConvConfig::new(feat.node_dim())
+        });
+        let env = JoinEnv::new(ctx.catalog.clone(), ctx.card.clone());
+        ValueSearchOptimizer {
+            name: name.into(),
+            ctx,
+            env,
+            feat,
+            net,
+            strategy,
+            bootstrap,
+            trained: false,
+            history: Vec::new(),
+            fresh: 0,
+            retrain_every: 12,
+            epochs: 60,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Value-network prediction of the final latency reachable from a
+    /// left-deep prefix (lower is better).
+    fn value(&self, query: &SpjQuery, order: &[usize]) -> f64 {
+        let tree = JoinTree::left_deep(order).expect("non-empty prefix");
+        let plan = self.env.assign_operators(query, &tree);
+        self.net.predict(&self.feat.tree(query, &plan))
+    }
+
+    fn random_order(&mut self, query: &SpjQuery, graph: &JoinGraph) -> Vec<usize> {
+        let n = query.num_tables();
+        let mut joined = TableSet::EMPTY;
+        let mut order = Vec::with_capacity(n);
+        while joined.len() < n {
+            let mut cands = self.env.candidates(query, graph, joined);
+            cands.shuffle(&mut self.rng);
+            let pick = cands[0];
+            order.push(pick);
+            joined = joined.insert(pick);
+        }
+        order
+    }
+
+    fn search(&self, query: &SpjQuery, graph: &JoinGraph) -> Vec<usize> {
+        let n = query.num_tables();
+        match self.strategy {
+            SearchStrategy::BestFirst { budget } => {
+                let mut heap = BinaryHeap::new();
+                for t in 0..n {
+                    heap.push(Frontier {
+                        value: self.value(query, &[t]),
+                        order: vec![t],
+                    });
+                }
+                let mut best_terminal: Option<Frontier> = None;
+                let mut expansions = 0;
+                while let Some(node) = heap.pop() {
+                    if node.order.len() == n {
+                        best_terminal = Some(node);
+                        break; // best-first: first terminal popped is best
+                    }
+                    expansions += 1;
+                    if expansions > budget {
+                        break;
+                    }
+                    let joined = TableSet::from_iter(node.order.iter().copied());
+                    for next in self.env.candidates(query, graph, joined) {
+                        let mut order = node.order.clone();
+                        order.push(next);
+                        heap.push(Frontier {
+                            value: self.value(query, &order),
+                            order,
+                        });
+                    }
+                }
+                match best_terminal {
+                    Some(t) => t.order,
+                    None => {
+                        // Budget exhausted: complete the most promising
+                        // frontier node greedily by value.
+                        let mut order = heap.pop().map(|f| f.order).unwrap_or_else(|| vec![0]);
+                        self.complete_greedy(query, graph, &mut order);
+                        order
+                    }
+                }
+            }
+            SearchStrategy::Beam { width } => {
+                let mut beam: Vec<Vec<usize>> = (0..n).map(|t| vec![t]).collect();
+                beam.sort_by(|a, b| {
+                    self.value(query, a)
+                        .partial_cmp(&self.value(query, b))
+                        .unwrap()
+                });
+                beam.truncate(width);
+                for _ in 1..n {
+                    let mut next: Vec<Vec<usize>> = Vec::new();
+                    for prefix in &beam {
+                        let joined = TableSet::from_iter(prefix.iter().copied());
+                        for cand in self.env.candidates(query, graph, joined) {
+                            let mut order = prefix.clone();
+                            order.push(cand);
+                            next.push(order);
+                        }
+                    }
+                    next.sort_by(|a, b| {
+                        self.value(query, a)
+                            .partial_cmp(&self.value(query, b))
+                            .unwrap()
+                    });
+                    next.truncate(width);
+                    beam = next;
+                }
+                beam.into_iter().next().unwrap_or_else(|| vec![0])
+            }
+        }
+    }
+
+    fn complete_greedy(&self, query: &SpjQuery, graph: &JoinGraph, order: &mut Vec<usize>) {
+        let n = query.num_tables();
+        let mut joined = TableSet::from_iter(order.iter().copied());
+        while order.len() < n {
+            let next = self
+                .env
+                .candidates(query, graph, joined)
+                .into_iter()
+                .min_by(|&a, &b| {
+                    let mut oa = order.clone();
+                    oa.push(a);
+                    let mut ob = order.clone();
+                    ob.push(b);
+                    self.value(query, &oa)
+                        .partial_cmp(&self.value(query, &ob))
+                        .unwrap()
+                })
+                .expect("candidates available");
+            order.push(next);
+            joined = joined.insert(next);
+        }
+    }
+}
+
+impl LearnedOptimizer for ValueSearchOptimizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn plan(&mut self, query: &SpjQuery) -> Result<PhysNode> {
+        let graph = JoinGraph::new(query);
+        if !self.trained {
+            return match self.bootstrap {
+                Bootstrap::Expert => Ok(self
+                    .ctx
+                    .optimizer()
+                    .optimize_default(query, self.ctx.card.as_ref())?
+                    .plan),
+                Bootstrap::Random => {
+                    let order = self.random_order(query, &graph);
+                    let tree = JoinTree::left_deep(&order).expect("non-empty order");
+                    Ok(self.env.assign_operators(query, &tree))
+                }
+            };
+        }
+        let order = self.search(query, &graph);
+        let tree = JoinTree::left_deep(&order).expect("non-empty order");
+        Ok(self.env.assign_operators(query, &tree))
+    }
+
+    fn observe(&mut self, query: &SpjQuery, plan: &PhysNode, work: f64) {
+        self.history.push(ExecutionSample {
+            query: Arc::new(query.clone()),
+            plan: plan.clone(),
+            work,
+        });
+        self.fresh += 1;
+        if self.fresh >= self.retrain_every {
+            self.retrain();
+        }
+    }
+
+    fn retrain(&mut self) {
+        self.fresh = 0;
+        if self.history.len() < 6 {
+            return;
+        }
+        // Neo's trick: every left-deep prefix of an executed plan is a
+        // training point labeled with the full plan's latency.
+        let mut trees: Vec<FeatTree> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.history {
+            let label = log_label::encode(s.work) / 25.0;
+            let jt = s.plan.join_tree();
+            if jt.is_left_deep() {
+                let order = jt.leaf_order();
+                for k in 1..=order.len() {
+                    let prefix = JoinTree::left_deep(&order[..k]).unwrap();
+                    let partial = self.env.assign_operators(&s.query, &prefix);
+                    trees.push(self.feat.tree(&s.query, &partial));
+                    ys.push(label);
+                }
+            } else {
+                trees.push(self.feat.tree(&s.query, &s.plan));
+                ys.push(label);
+            }
+        }
+        let refs: Vec<&FeatTree> = trees.iter().collect();
+        for _ in 0..self.epochs {
+            for (ct, cy) in refs.chunks(16).zip(ys.chunks(16)) {
+                self.net.train_batch(ct, cy);
+            }
+        }
+        self.trained = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::test_support::fixture;
+    use lqo_engine::Executor;
+
+    fn run_epochs(
+        opt: &mut ValueSearchOptimizer,
+        ctx: &OptContext,
+        queries: &[SpjQuery],
+        epochs: usize,
+    ) {
+        let executor = Executor::with_defaults(&ctx.catalog);
+        for _ in 0..epochs {
+            for q in queries {
+                let plan = opt.plan(q).unwrap();
+                if let Ok(r) = executor.execute(q, &plan) {
+                    opt.observe(q, &plan, r.work);
+                }
+            }
+            opt.retrain();
+        }
+    }
+
+    #[test]
+    fn neo_bootstraps_from_expert_and_learns() {
+        let (ctx, queries) = fixture();
+        let mut neo = ValueSearchOptimizer::new(
+            "Neo",
+            ctx.clone(),
+            SearchStrategy::BestFirst { budget: 64 },
+            Bootstrap::Expert,
+            1,
+        );
+        // Untrained: identical to the native plan.
+        let native = ctx
+            .optimizer()
+            .optimize_default(&queries[0], ctx.card.as_ref())
+            .unwrap()
+            .plan;
+        assert_eq!(neo.plan(&queries[0]).unwrap(), native);
+
+        run_epochs(&mut neo, &ctx, &queries, 2);
+        // Trained: still produces valid executable plans.
+        let executor = Executor::with_defaults(&ctx.catalog);
+        for q in &queries {
+            let plan = neo.plan(q).unwrap();
+            assert_eq!(plan.tables(), q.all_tables());
+            assert!(executor.execute(q, &plan).is_ok());
+        }
+    }
+
+    #[test]
+    fn balsa_bootstraps_randomly() {
+        let (ctx, queries) = fixture();
+        let mut balsa = ValueSearchOptimizer::new(
+            "Balsa",
+            ctx.clone(),
+            SearchStrategy::Beam { width: 4 },
+            Bootstrap::Random,
+            2,
+        );
+        // Untrained: random but valid.
+        let plan = balsa.plan(&queries[2]).unwrap();
+        assert_eq!(plan.tables(), queries[2].all_tables());
+        run_epochs(&mut balsa, &ctx, &queries, 2);
+        let plan = balsa.plan(&queries[2]).unwrap();
+        assert_eq!(plan.tables(), queries[2].all_tables());
+    }
+
+    #[test]
+    fn trained_search_does_not_collapse() {
+        let (ctx, queries) = fixture();
+        let mut neo = ValueSearchOptimizer::new(
+            "Neo",
+            ctx.clone(),
+            SearchStrategy::BestFirst { budget: 32 },
+            Bootstrap::Expert,
+            3,
+        );
+        run_epochs(&mut neo, &ctx, &queries, 3);
+        // Plan quality after training: within 20x of native total work.
+        let executor = Executor::with_defaults(&ctx.catalog);
+        let mut learned_work = 0.0;
+        let mut native_work = 0.0;
+        for q in &queries {
+            let lp = neo.plan(q).unwrap();
+            learned_work += executor.execute(q, &lp).unwrap().work;
+            let np = ctx
+                .optimizer()
+                .optimize_default(q, ctx.card.as_ref())
+                .unwrap()
+                .plan;
+            native_work += executor.execute(q, &np).unwrap().work;
+        }
+        assert!(
+            learned_work < native_work * 20.0,
+            "learned {learned_work} vs native {native_work}"
+        );
+    }
+}

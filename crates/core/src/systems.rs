@@ -1,0 +1,112 @@
+//! Assembled end-to-end systems: each constructor instantiates the paper's
+//! unified framework with the exploration strategy and risk model of one
+//! published system.
+
+use crate::explorers::{BaoExplorer, LeadingHintExplorer, LeroExplorer, UnionExplorer};
+use crate::framework::{ExploreSelectOptimizer, OptContext};
+use crate::neo::{Bootstrap, SearchStrategy, ValueSearchOptimizer};
+use crate::risk::{CalibratedPairwiseRisk, EnsembleRisk, PairwiseTcnnRisk, PointwiseTcnnRisk};
+
+/// Bao \[37\]: hint-set steering + pointwise TCNN reward model.
+pub fn bao(ctx: OptContext) -> ExploreSelectOptimizer {
+    let risk = PointwiseTcnnRisk::new(ctx.clone());
+    ExploreSelectOptimizer::new(
+        "Bao",
+        ctx,
+        Box::new(BaoExplorer::standard()),
+        Box::new(risk),
+    )
+}
+
+/// Lero \[79\]: cardinality-scaling exploration + pairwise comparator.
+pub fn lero(ctx: OptContext) -> ExploreSelectOptimizer {
+    let risk = PairwiseTcnnRisk::new(ctx.clone());
+    ExploreSelectOptimizer::new(
+        "Lero",
+        ctx,
+        Box::new(LeroExplorer::standard()),
+        Box::new(risk),
+    )
+}
+
+/// HyperQO \[72\]: leading-hint exploration + multi-head ensemble with
+/// variance filtering.
+pub fn hyper_qo(ctx: OptContext) -> ExploreSelectOptimizer {
+    let risk = EnsembleRisk::new(ctx.clone());
+    ExploreSelectOptimizer::new(
+        "HyperQO",
+        ctx,
+        Box::new(LeadingHintExplorer::standard()),
+        Box::new(risk),
+    )
+}
+
+/// LEON \[4\]: a wide DP-derived candidate pool + cost-calibrated pairwise
+/// comparison.
+pub fn leon(ctx: OptContext) -> ExploreSelectOptimizer {
+    let risk = CalibratedPairwiseRisk::new(ctx.clone());
+    let explorer = UnionExplorer::new(vec![
+        Box::new(BaoExplorer::standard()),
+        Box::new(LeroExplorer::with_factors(vec![0.5, 2.0])),
+    ]);
+    ExploreSelectOptimizer::new("LEON", ctx, Box::new(explorer), Box::new(risk))
+}
+
+/// Neo \[38\]: best-first value search bootstrapped from the native expert.
+pub fn neo(ctx: OptContext) -> ValueSearchOptimizer {
+    ValueSearchOptimizer::new(
+        "Neo",
+        ctx,
+        SearchStrategy::BestFirst { budget: 128 },
+        Bootstrap::Expert,
+        0xEE01,
+    )
+}
+
+/// Balsa \[69\]: beam value search learned from scratch (random bootstrap).
+pub fn balsa(ctx: OptContext) -> ValueSearchOptimizer {
+    ValueSearchOptimizer::new(
+        "Balsa",
+        ctx,
+        SearchStrategy::Beam { width: 8 },
+        Bootstrap::Random,
+        0xBA15A,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::test_support::fixture;
+    use crate::framework::LearnedOptimizer;
+
+    #[test]
+    fn all_systems_produce_valid_plans_untrained() {
+        let (ctx, queries) = fixture();
+        let mut systems: Vec<Box<dyn LearnedOptimizer>> = vec![
+            Box::new(bao(ctx.clone())),
+            Box::new(lero(ctx.clone())),
+            Box::new(hyper_qo(ctx.clone())),
+            Box::new(leon(ctx.clone())),
+            Box::new(neo(ctx.clone())),
+            Box::new(balsa(ctx.clone())),
+        ];
+        for sys in &mut systems {
+            for q in &queries {
+                let plan = sys.plan(q).unwrap();
+                assert_eq!(plan.tables(), q.all_tables(), "{}", sys.name());
+            }
+        }
+    }
+
+    #[test]
+    fn system_names_match_the_paper() {
+        let (ctx, _) = fixture();
+        assert_eq!(bao(ctx.clone()).name(), "Bao");
+        assert_eq!(lero(ctx.clone()).name(), "Lero");
+        assert_eq!(hyper_qo(ctx.clone()).name(), "HyperQO");
+        assert_eq!(leon(ctx.clone()).name(), "LEON");
+        assert_eq!(LearnedOptimizer::name(&neo(ctx.clone())), "Neo");
+        assert_eq!(LearnedOptimizer::name(&balsa(ctx)), "Balsa");
+    }
+}

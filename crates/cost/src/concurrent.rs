@@ -1,0 +1,193 @@
+//! Concurrent-query cost modelling (paper §2.1.2, "Cost Models for
+//! Concurrent Queries").
+//!
+//! The engine executes queries one at a time, so concurrency is
+//! *simulated*: [`ConcurrencySimulator`] defines the ground-truth latency
+//! of a query inside a batch as its solo work inflated by contention with
+//! overlapping queries (shared tables contend for buffers). The
+//! GPredictor-style model \[78\] then learns that interaction from features
+//! of the batch — without ever seeing the simulator's formula. The
+//! substitution is recorded in DESIGN.md.
+
+use lqo_engine::{SpjQuery, TableSet};
+use lqo_ml::gbdt::{Gbdt, GbdtConfig};
+
+use crate::model::PlanSample;
+
+/// One query inside a concurrent batch.
+#[derive(Clone)]
+pub struct BatchMember {
+    /// Solo work units of the chosen plan.
+    pub solo_work: f64,
+    /// Catalog-table footprint (by table-name hash-set, order-free).
+    pub tables: Vec<String>,
+}
+
+impl BatchMember {
+    /// Build from a plan sample.
+    pub fn from_sample(sample: &PlanSample) -> BatchMember {
+        BatchMember {
+            solo_work: sample.work,
+            tables: footprint(&sample.query, sample.plan.tables()),
+        }
+    }
+}
+
+fn footprint(query: &SpjQuery, set: TableSet) -> Vec<String> {
+    let mut t: Vec<String> = set
+        .iter()
+        .map(|pos| query.tables[pos].table.clone())
+        .collect();
+    t.sort();
+    t.dedup();
+    t
+}
+
+fn overlap(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let shared = a.iter().filter(|t| b.contains(t)).count();
+    shared as f64 / a.len() as f64
+}
+
+/// Ground-truth concurrent latency: solo work inflated by
+/// contention-weighted work of the co-runners.
+pub struct ConcurrencySimulator {
+    /// Contention coefficient.
+    pub alpha: f64,
+}
+
+impl Default for ConcurrencySimulator {
+    fn default() -> Self {
+        ConcurrencySimulator { alpha: 0.4 }
+    }
+}
+
+impl ConcurrencySimulator {
+    /// Latency of `member` when run together with `others`.
+    pub fn latency(&self, member: &BatchMember, others: &[&BatchMember]) -> f64 {
+        let mut contention = 0.0;
+        for o in others {
+            let ov = overlap(&member.tables, &o.tables);
+            // Bigger co-runners touching the same tables hurt more.
+            contention += ov * (o.solo_work / (member.solo_work + o.solo_work + 1.0));
+        }
+        member.solo_work * (1.0 + self.alpha * contention)
+    }
+}
+
+/// Features of one member within a batch.
+fn features(member: &BatchMember, others: &[&BatchMember]) -> Vec<f64> {
+    let mut sum_ov = 0.0;
+    let mut max_ov = 0.0f64;
+    let mut weighted = 0.0;
+    for o in others {
+        let ov = overlap(&member.tables, &o.tables);
+        sum_ov += ov;
+        max_ov = max_ov.max(ov);
+        weighted += ov * (o.solo_work + 1.0).ln();
+    }
+    vec![
+        (member.solo_work + 1.0).ln() / 25.0,
+        others.len() as f64 / 8.0,
+        sum_ov / 8.0,
+        max_ov,
+        weighted / 100.0,
+    ]
+}
+
+/// GPredictor-style learned concurrent-latency model: graph-structured
+/// interaction features + a boosted-tree regressor.
+pub struct GPredictorLite {
+    model: Gbdt,
+}
+
+impl GPredictorLite {
+    /// Fit on simulated batches drawn from the samples: every rotation of
+    /// a sliding window forms one training batch.
+    pub fn fit(
+        samples: &[PlanSample],
+        sim: &ConcurrencySimulator,
+        window: usize,
+    ) -> GPredictorLite {
+        let members: Vec<BatchMember> = samples.iter().map(BatchMember::from_sample).collect();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let w = window.max(2);
+        for start in 0..members.len() {
+            let batch: Vec<&BatchMember> = (0..w)
+                .map(|k| &members[(start + k) % members.len()])
+                .collect();
+            for i in 0..batch.len() {
+                let others: Vec<&BatchMember> = batch
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, m)| *m)
+                    .collect();
+                xs.push(features(batch[i], &others));
+                ys.push(sim.latency(batch[i], &others).ln());
+            }
+        }
+        GPredictorLite {
+            model: Gbdt::fit(&xs, &ys, &GbdtConfig::default()),
+        }
+    }
+
+    /// Predicted concurrent latency of `member` among `others`.
+    pub fn predict(&self, member: &BatchMember, others: &[&BatchMember]) -> f64 {
+        self.model.predict(&features(member, others)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::fixture;
+
+    #[test]
+    fn contention_inflates_latency() {
+        let sim = ConcurrencySimulator::default();
+        let a = BatchMember {
+            solo_work: 1000.0,
+            tables: vec!["t".into(), "u".into()],
+        };
+        let b = BatchMember {
+            solo_work: 2000.0,
+            tables: vec!["t".into()],
+        };
+        let disjoint = BatchMember {
+            solo_work: 2000.0,
+            tables: vec!["z".into()],
+        };
+        let solo = sim.latency(&a, &[]);
+        assert_eq!(solo, 1000.0);
+        assert!(sim.latency(&a, &[&b]) > solo);
+        assert_eq!(sim.latency(&a, &[&disjoint]), solo);
+    }
+
+    #[test]
+    fn gpredictor_learns_interaction() {
+        let (_, _, samples) = fixture();
+        let sim = ConcurrencySimulator::default();
+        let model = GPredictorLite::fit(&samples, &sim, 4);
+        // Evaluate on fresh rotations.
+        let members: Vec<BatchMember> = samples.iter().map(BatchMember::from_sample).collect();
+        let mut pred = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..members.len() {
+            let others: Vec<&BatchMember> = members
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j % 5 == (i + 1) % 5 && *j != i)
+                .map(|(_, m)| m)
+                .take(3)
+                .collect();
+            pred.push(model.predict(&members[i], &others).ln());
+            truth.push(sim.latency(&members[i], &others).ln());
+        }
+        let rho = lqo_ml::metrics::spearman(&pred, &truth);
+        assert!(rho > 0.8, "gpredictor rank correlation {rho}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # lqo-cost
+//!
+//! Cost models (paper §2.1.2): the native analytical model and three
+//! learned families —
+//!
+//! * [`TcnnCostModel`] — tree-convolution plan cost (Marcus &
+//!   Papaemmanouil 2019, \[39\]);
+//! * [`TreeRnnCostModel`] — recursive plan-embedding cost (Sun & Li 2019's
+//!   Tree-LSTM estimator, with the gating simplified to a TreeRNN, \[51\]);
+//! * [`SaturnEmbedder`] — plan auto-encoder embeddings reused for
+//!   downstream cost prediction via nearest neighbours (Saturn, \[34\]);
+//!
+//! plus [`concurrent`]: a workload-interaction simulator and a
+//! GPredictor-style concurrent-latency model \[78\].
+//!
+//! All learned models train on [`PlanSample`]s: `(query, plan, measured
+//! work units)` triples harvested from real executions — including the
+//! executor's runtime effects (hash spills, cache discounts) that the
+//! native analytical model deliberately ignores, which is exactly the
+//! signal a learned cost model can capture (experiment E7).
+
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod featurize;
+pub mod model;
+pub mod native;
+pub mod recursive;
+pub mod saturn;
+pub mod treeconv_cost;
+
+pub use featurize::PlanFeaturizer;
+pub use model::{harvest_samples, CostModel, PlanSample};
+pub use native::NativeCostModel;
+pub use recursive::TreeRnnCostModel;
+pub use saturn::SaturnEmbedder;
+pub use treeconv_cost::TcnnCostModel;

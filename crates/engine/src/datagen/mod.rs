@@ -1,0 +1,25 @@
+//! Synthetic dataset generators.
+//!
+//! Three multi-table schemas mirror the benchmarks of the paper's §2.3:
+//!
+//! * [`fn@imdb_like`]: an 8-table movie schema with Zipf-skewed fan-outs and
+//!   correlated attributes, standing in for IMDB/JOB;
+//! * [`fn@stats_like`]: an 8-table Stack-Exchange-style schema with
+//!   heavy-tailed user activity, standing in for STATS/STATS-CEB;
+//! * [`fn@tpch_like`]: a uniform, near-independent warehouse schema, standing
+//!   in for TPC-H — deliberately "too easy", as the paper notes synthetic
+//!   benchmarks are.
+//!
+//! [`single`] generates a single table with controllable skew and
+//! correlation for the single-table estimator studies (E1/E2).
+
+pub mod imdb_like;
+pub mod single;
+pub mod stats_like;
+pub mod tpch_like;
+pub mod util;
+
+pub use imdb_like::imdb_like;
+pub use single::{correlated_table, SingleTableConfig};
+pub use stats_like::stats_like;
+pub use tpch_like::tpch_like;

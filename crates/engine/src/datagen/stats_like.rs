@@ -1,0 +1,249 @@
+//! STATS/STATS-CEB-style synthetic schema: 8 Stack-Exchange tables with
+//! heavy-tailed user activity and correlated attributes — the "hard"
+//! benchmark shape of Han et al.'s cardinality benchmark (\[12\] in the
+//! paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::Catalog;
+use crate::datagen::util::{correlated_ints, dates, zipf_keys};
+use crate::error::Result;
+use crate::schema::ForeignKey;
+use crate::table::TableBuilder;
+
+/// Generate the STATS-like catalog at `scale` base users. Tables:
+///
+/// * `users(id, reputation, creation_date, views)` — Zipf reputation;
+/// * `badges(id, user_id→users, date, class)` — active users earn more;
+/// * `posts(id, owner_user_id→users, score, view_count, creation_date,
+///   answer_count)` — score correlated with owner reputation;
+/// * `comments(id, post_id→posts, user_id→users, score, creation_date)`;
+/// * `votes(id, post_id→posts, user_id→users, vote_type, creation_date)`;
+/// * `post_history(id, post_id→posts, user_id→users, kind, creation_date)`;
+/// * `post_links(id, post_id→posts, related_post_id→posts, link_type)`;
+/// * `tags(id, excerpt_post_id→posts, count)`.
+pub fn stats_like(scale: usize, seed: u64) -> Result<Catalog> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_users = scale.max(20);
+    let n_posts = n_users * 4;
+    let n_comments = n_posts * 3;
+    let n_votes = n_posts * 4;
+    let n_badges = n_users * 2;
+    let n_history = n_posts * 2;
+    let n_links = n_posts / 4;
+    let n_tags = (n_users / 5).max(10);
+    let span = 2000; // days
+
+    let mut catalog = Catalog::new();
+
+    // users
+    let reputation = zipf_keys(&mut rng, 100_000, n_users, 1.4);
+    let user_creation = dates(&mut rng, n_users, span, false);
+    let views = correlated_ints(&mut rng, &reputation, 5_000, 0.6);
+    catalog.add_table(
+        TableBuilder::new("users")
+            .int("id", (0..n_users as i64).collect())
+            .int("reputation", reputation.clone())
+            .int("creation_date", user_creation.clone())
+            .int("views", views)
+            .primary_key("id")
+            .build()?,
+    );
+
+    // badges: awarded to active (high-reputation) users more often.
+    let badge_user = zipf_keys(&mut rng, n_users, n_badges, 1.3);
+    let badge_class: Vec<i64> = badge_user
+        .iter()
+        .map(|&u| {
+            // Users with high reputation earn higher-class badges.
+            let rep = reputation[u as usize];
+            if rep > 1_000 {
+                rng.gen_range(0..3)
+            } else {
+                rng.gen_range(1..3)
+            }
+        })
+        .collect();
+    catalog.add_table(
+        TableBuilder::new("badges")
+            .int("id", (0..n_badges as i64).collect())
+            .int("user_id", badge_user)
+            .int("date", dates(&mut rng, n_badges, span, true))
+            .int("class", badge_class)
+            .primary_key("id")
+            .build()?,
+    );
+
+    // posts
+    let owner = zipf_keys(&mut rng, n_users, n_posts, 1.3);
+    let post_score: Vec<i64> = owner
+        .iter()
+        .map(|&u| {
+            let rep = reputation[u as usize] as f64;
+            let base = (rep + 1.0).log2();
+            (base as i64 + rng.gen_range(-2..3)).max(-5)
+        })
+        .collect();
+    let post_creation: Vec<i64> = owner
+        .iter()
+        .map(|&u| {
+            // A post cannot precede its author's account.
+            let lo = user_creation[u as usize];
+            rng.gen_range(lo..span as i64)
+        })
+        .collect();
+    catalog.add_table(
+        TableBuilder::new("posts")
+            .int("id", (0..n_posts as i64).collect())
+            .int("owner_user_id", owner)
+            .int("score", post_score)
+            .int("view_count", zipf_keys(&mut rng, 50_000, n_posts, 1.3))
+            .int("creation_date", post_creation)
+            .int("answer_count", zipf_keys(&mut rng, 30, n_posts, 1.5))
+            .primary_key("id")
+            .build()?,
+    );
+
+    // comments
+    catalog.add_table(
+        TableBuilder::new("comments")
+            .int("id", (0..n_comments as i64).collect())
+            .int("post_id", zipf_keys(&mut rng, n_posts, n_comments, 1.25))
+            .int("user_id", zipf_keys(&mut rng, n_users, n_comments, 1.35))
+            .int("score", zipf_keys(&mut rng, 100, n_comments, 1.6))
+            .int("creation_date", dates(&mut rng, n_comments, span, true))
+            .primary_key("id")
+            .build()?,
+    );
+
+    // votes: type skewed (upvotes dominate).
+    catalog.add_table(
+        TableBuilder::new("votes")
+            .int("id", (0..n_votes as i64).collect())
+            .int("post_id", zipf_keys(&mut rng, n_posts, n_votes, 1.3))
+            .int("user_id", zipf_keys(&mut rng, n_users, n_votes, 1.2))
+            .int("vote_type", zipf_keys(&mut rng, 15, n_votes, 1.8))
+            .int("creation_date", dates(&mut rng, n_votes, span, true))
+            .primary_key("id")
+            .build()?,
+    );
+
+    // post_history
+    catalog.add_table(
+        TableBuilder::new("post_history")
+            .int("id", (0..n_history as i64).collect())
+            .int("post_id", zipf_keys(&mut rng, n_posts, n_history, 1.1))
+            .int("user_id", zipf_keys(&mut rng, n_users, n_history, 1.3))
+            .int("kind", zipf_keys(&mut rng, 20, n_history, 1.2))
+            .int("creation_date", dates(&mut rng, n_history, span, true))
+            .primary_key("id")
+            .build()?,
+    );
+
+    // post_links (self-referencing posts)
+    catalog.add_table(
+        TableBuilder::new("post_links")
+            .int("id", (0..n_links as i64).collect())
+            .int("post_id", zipf_keys(&mut rng, n_posts, n_links, 1.1))
+            .int(
+                "related_post_id",
+                zipf_keys(&mut rng, n_posts, n_links, 1.3),
+            )
+            .int("link_type", zipf_keys(&mut rng, 3, n_links, 1.0))
+            .primary_key("id")
+            .build()?,
+    );
+
+    // tags
+    catalog.add_table(
+        TableBuilder::new("tags")
+            .int("id", (0..n_tags as i64).collect())
+            .int("excerpt_post_id", zipf_keys(&mut rng, n_posts, n_tags, 0.0))
+            .int("count", zipf_keys(&mut rng, 2_000, n_tags, 1.4))
+            .primary_key("id")
+            .build()?,
+    );
+
+    for fk in [
+        ForeignKey::new("badges", "user_id", "users", "id"),
+        ForeignKey::new("posts", "owner_user_id", "users", "id"),
+        ForeignKey::new("comments", "post_id", "posts", "id"),
+        ForeignKey::new("comments", "user_id", "users", "id"),
+        ForeignKey::new("votes", "post_id", "posts", "id"),
+        ForeignKey::new("votes", "user_id", "users", "id"),
+        ForeignKey::new("post_history", "post_id", "posts", "id"),
+        ForeignKey::new("post_history", "user_id", "users", "id"),
+        ForeignKey::new("post_links", "post_id", "posts", "id"),
+        ForeignKey::new("post_links", "related_post_id", "posts", "id"),
+        ForeignKey::new("tags", "excerpt_post_id", "posts", "id"),
+    ] {
+        catalog.add_foreign_key(fk);
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let c = stats_like(100, 1).unwrap();
+        assert_eq!(c.tables().len(), 8);
+        assert_eq!(c.foreign_keys().len(), 11);
+        assert_eq!(c.table("users").unwrap().nrows(), 100);
+        assert_eq!(c.table("posts").unwrap().nrows(), 400);
+        assert_eq!(c.table("comments").unwrap().nrows(), 1200);
+    }
+
+    #[test]
+    fn fk_integrity() {
+        let c = stats_like(80, 5).unwrap();
+        for fk in c.foreign_keys() {
+            let child = c.table(&fk.table).unwrap();
+            let parent = c.table(&fk.ref_table).unwrap();
+            let keys = child.column_by_name(&fk.column).unwrap().as_int().unwrap();
+            assert!(keys.iter().all(|&k| k >= 0 && k < parent.nrows() as i64));
+        }
+    }
+
+    #[test]
+    fn post_creation_respects_owner_creation() {
+        let c = stats_like(100, 7).unwrap();
+        let users = c.table("users").unwrap();
+        let posts = c.table("posts").unwrap();
+        let uc = users
+            .column_by_name("creation_date")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let owner = posts
+            .column_by_name("owner_user_id")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let pc = posts
+            .column_by_name("creation_date")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(owner.iter().zip(pc).all(|(&o, &d)| d >= uc[o as usize]));
+    }
+
+    #[test]
+    fn reputation_is_heavy_tailed() {
+        let c = stats_like(500, 11).unwrap();
+        let rep = c
+            .table("users")
+            .unwrap()
+            .column_by_name("reputation")
+            .unwrap()
+            .as_int()
+            .unwrap()
+            .to_vec();
+        let max = *rep.iter().max().unwrap() as f64;
+        let mean = rep.iter().sum::<i64>() as f64 / rep.len() as f64;
+        assert!(max > 20.0 * mean, "max {max}, mean {mean}");
+    }
+}

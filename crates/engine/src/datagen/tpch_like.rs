@@ -1,0 +1,178 @@
+//! TPC-H-style synthetic schema: uniform distributions and (mostly)
+//! independent attributes. The paper's §2.3 points out that such synthetic
+//! benchmarks "make oversimplified assumptions on the joint distribution of
+//! attributes" — this generator reproduces exactly that easiness, serving
+//! as the contrast case to [`fn@crate::datagen::stats_like`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::Catalog;
+use crate::datagen::util::{categorical, dates, uniform_keys};
+use crate::error::Result;
+use crate::schema::ForeignKey;
+use crate::table::TableBuilder;
+
+/// Generate the TPC-H-like catalog at `scale` customers.
+///
+/// Tables: `region(5)`, `nation(25)`, `supplier`, `customer`, `orders`,
+/// `lineitem` with uniform FK fan-outs and independent attributes.
+pub fn tpch_like(scale: usize, seed: u64) -> Result<Catalog> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_customer = scale.max(10);
+    let n_supplier = (n_customer / 10).max(5);
+    let n_orders = n_customer * 5;
+    let n_lineitem = n_orders * 4;
+
+    let mut catalog = Catalog::new();
+
+    let regions = ["africa", "america", "asia", "europe", "middle_east"];
+    catalog.add_table(
+        TableBuilder::new("region")
+            .int("id", (0..5).collect())
+            .text("name", regions.iter().map(|s| s.to_string()).collect())
+            .primary_key("id")
+            .build()?,
+    );
+
+    catalog.add_table(
+        TableBuilder::new("nation")
+            .int("id", (0..25).collect())
+            .int("region_id", uniform_keys(&mut rng, 5, 25))
+            .primary_key("id")
+            .build()?,
+    );
+
+    catalog.add_table(
+        TableBuilder::new("supplier")
+            .int("id", (0..n_supplier as i64).collect())
+            .int("nation_id", uniform_keys(&mut rng, 25, n_supplier))
+            .float(
+                "acctbal",
+                (0..n_supplier)
+                    .map(|_| rng.gen_range(-999.0..10_000.0))
+                    .collect(),
+            )
+            .primary_key("id")
+            .build()?,
+    );
+
+    catalog.add_table(
+        TableBuilder::new("customer")
+            .int("id", (0..n_customer as i64).collect())
+            .int("nation_id", uniform_keys(&mut rng, 25, n_customer))
+            .float(
+                "acctbal",
+                (0..n_customer)
+                    .map(|_| rng.gen_range(-999.0..10_000.0))
+                    .collect(),
+            )
+            .text(
+                "mktsegment",
+                categorical(
+                    &mut rng,
+                    &[
+                        "automobile",
+                        "building",
+                        "furniture",
+                        "household",
+                        "machinery",
+                    ],
+                    &[1.0, 1.0, 1.0, 1.0, 1.0],
+                    n_customer,
+                ),
+            )
+            .primary_key("id")
+            .build()?,
+    );
+
+    catalog.add_table(
+        TableBuilder::new("orders")
+            .int("id", (0..n_orders as i64).collect())
+            .int("cust_id", uniform_keys(&mut rng, n_customer, n_orders))
+            .int("orderdate", dates(&mut rng, n_orders, 2400, false))
+            .float(
+                "totalprice",
+                (0..n_orders)
+                    .map(|_| rng.gen_range(800.0..500_000.0))
+                    .collect(),
+            )
+            .int("orderstatus", uniform_keys(&mut rng, 3, n_orders))
+            .primary_key("id")
+            .build()?,
+    );
+
+    catalog.add_table(
+        TableBuilder::new("lineitem")
+            .int("id", (0..n_lineitem as i64).collect())
+            .int("order_id", uniform_keys(&mut rng, n_orders, n_lineitem))
+            .int("supp_id", uniform_keys(&mut rng, n_supplier, n_lineitem))
+            .int("quantity", uniform_keys(&mut rng, 50, n_lineitem))
+            .float(
+                "price",
+                (0..n_lineitem)
+                    .map(|_| rng.gen_range(900.0..105_000.0))
+                    .collect(),
+            )
+            .float(
+                "discount",
+                (0..n_lineitem).map(|_| rng.gen_range(0.0..0.11)).collect(),
+            )
+            .int("shipdate", dates(&mut rng, n_lineitem, 2500, false))
+            .primary_key("id")
+            .build()?,
+    );
+
+    for fk in [
+        ForeignKey::new("nation", "region_id", "region", "id"),
+        ForeignKey::new("supplier", "nation_id", "nation", "id"),
+        ForeignKey::new("customer", "nation_id", "nation", "id"),
+        ForeignKey::new("orders", "cust_id", "customer", "id"),
+        ForeignKey::new("lineitem", "order_id", "orders", "id"),
+        ForeignKey::new("lineitem", "supp_id", "supplier", "id"),
+    ] {
+        catalog.add_foreign_key(fk);
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let c = tpch_like(100, 1).unwrap();
+        assert_eq!(c.tables().len(), 6);
+        assert_eq!(c.foreign_keys().len(), 6);
+        assert_eq!(c.table("region").unwrap().nrows(), 5);
+        assert_eq!(c.table("lineitem").unwrap().nrows(), 2000);
+    }
+
+    #[test]
+    fn uniform_fanout() {
+        let c = tpch_like(200, 3).unwrap();
+        let li = c.table("lineitem").unwrap();
+        let keys = li.column_by_name("order_id").unwrap().as_int().unwrap();
+        // Uniform: hottest order should have far fewer than 10x the mean
+        // fan-out (contrast with the Zipf generators).
+        let mut counts = vec![0usize; 1000];
+        for &k in keys {
+            counts[k as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = keys.len() as f64 / 1000.0;
+        assert!(max < mean * 6.0, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn fk_integrity() {
+        let c = tpch_like(50, 5).unwrap();
+        for fk in c.foreign_keys() {
+            let child = c.table(&fk.table).unwrap();
+            let parent = c.table(&fk.ref_table).unwrap();
+            let keys = child.column_by_name(&fk.column).unwrap().as_int().unwrap();
+            assert!(keys.iter().all(|&k| k >= 0 && k < parent.nrows() as i64));
+        }
+    }
+}

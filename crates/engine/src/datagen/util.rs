@@ -1,0 +1,153 @@
+//! Shared generator utilities: skewed key sampling and correlated columns.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Zipf};
+
+/// Sample `n` foreign keys into `0..domain`, Zipf-distributed with exponent
+/// `skew` (0.0 = uniform). Hot parents receive disproportionately many
+/// children — the fan-out shape that makes IMDB/STATS joins hard.
+pub fn zipf_keys(rng: &mut StdRng, domain: usize, n: usize, skew: f64) -> Vec<i64> {
+    assert!(domain > 0, "zipf domain must be non-empty");
+    if skew <= 0.0 {
+        return (0..n).map(|_| rng.gen_range(0..domain) as i64).collect();
+    }
+    let dist = Zipf::new(domain as u64, skew).expect("valid zipf parameters");
+    (0..n)
+        .map(|_| (dist.sample(rng) as i64 - 1).clamp(0, domain as i64 - 1))
+        .collect()
+}
+
+/// Sample `n` values in `0..domain` uniformly.
+pub fn uniform_keys(rng: &mut StdRng, domain: usize, n: usize) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(0..domain) as i64).collect()
+}
+
+/// Derive a column correlated with `base`: with probability `strength`
+/// the value is a deterministic function of the base value (`base % domain`
+/// shifted); otherwise uniform noise. `strength = 1` is a functional
+/// dependency, `strength = 0` is independence.
+pub fn correlated_ints(rng: &mut StdRng, base: &[i64], domain: usize, strength: f64) -> Vec<i64> {
+    base.iter()
+        .map(|&b| {
+            if rng.gen_bool(strength.clamp(0.0, 1.0)) {
+                (b.rem_euclid(domain as i64) + 1).rem_euclid(domain as i64)
+            } else {
+                rng.gen_range(0..domain) as i64
+            }
+        })
+        .collect()
+}
+
+/// A float column linearly correlated with an integer base column plus
+/// Gaussian noise.
+pub fn correlated_floats(rng: &mut StdRng, base: &[i64], slope: f64, noise: f64) -> Vec<f64> {
+    use rand_distr::Normal;
+    let normal = Normal::new(0.0, noise.max(1e-12)).unwrap();
+    base.iter()
+        .map(|&b| b as f64 * slope + normal.sample(rng))
+        .collect()
+}
+
+/// Integer "dates": days since epoch 0, drawn uniformly from a window and
+/// optionally skewed toward the end of the window (recency bias).
+pub fn dates(rng: &mut StdRng, n: usize, span_days: usize, recency_bias: bool) -> Vec<i64> {
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let frac = if recency_bias { u.sqrt() } else { u };
+            (frac * span_days as f64) as i64
+        })
+        .collect()
+}
+
+/// Pick categorical labels with the given (unnormalized) weights.
+pub fn categorical(rng: &mut StdRng, labels: &[&str], weights: &[f64], n: usize) -> Vec<String> {
+    let total: f64 = weights.iter().sum();
+    (0..n)
+        .map(|_| {
+            let mut r = rng.gen_range(0.0..total);
+            for (label, &w) in labels.iter().zip(weights) {
+                if r < w {
+                    return label.to_string();
+                }
+                r -= w;
+            }
+            labels.last().unwrap().to_string()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut r = rng();
+        let keys = zipf_keys(&mut r, 100, 10_000, 1.2);
+        assert_eq!(keys.len(), 10_000);
+        assert!(keys.iter().all(|&k| (0..100).contains(&k)));
+        // Key 0 must be far more frequent than key 50.
+        let count = |v: i64| keys.iter().filter(|&&k| k == v).count();
+        assert!(count(0) > 10 * count(50).max(1));
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let mut r = rng();
+        let keys = zipf_keys(&mut r, 10, 10_000, 0.0);
+        let count0 = keys.iter().filter(|&&k| k == 0).count() as f64;
+        assert!((count0 - 1_000.0).abs() < 150.0);
+    }
+
+    #[test]
+    fn correlation_strength_extremes() {
+        let mut r = rng();
+        let base: Vec<i64> = (0..1000).map(|i| i % 7).collect();
+        let perfect = correlated_ints(&mut r, &base, 7, 1.0);
+        assert!(base
+            .iter()
+            .zip(&perfect)
+            .all(|(&b, &c)| c == (b + 1).rem_euclid(7)));
+        let noise = correlated_ints(&mut r, &base, 7, 0.0);
+        // Independence: the functional relation should hold ~1/7 of the time.
+        let hits = base
+            .iter()
+            .zip(&noise)
+            .filter(|(&b, &c)| c == (b + 1).rem_euclid(7))
+            .count();
+        assert!(hits < 300);
+    }
+
+    #[test]
+    fn dates_within_span() {
+        let mut r = rng();
+        let d = dates(&mut r, 1000, 365, true);
+        assert!(d.iter().all(|&x| (0..365).contains(&x)));
+        // Recency bias pushes the mean above the midpoint.
+        let mean: f64 = d.iter().map(|&x| x as f64).sum::<f64>() / 1000.0;
+        assert!(mean > 365.0 / 2.0);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let labels = categorical(&mut r, &["hot", "cold"], &[9.0, 1.0], 10_000);
+        let hot = labels.iter().filter(|s| *s == "hot").count();
+        assert!(hot > 8_500 && hot < 9_500);
+    }
+
+    #[test]
+    fn correlated_floats_track_base() {
+        let mut r = rng();
+        let base: Vec<i64> = (0..100).collect();
+        let f = correlated_floats(&mut r, &base, 2.0, 0.01);
+        assert!((f[50] - 100.0).abs() < 1.0);
+    }
+}

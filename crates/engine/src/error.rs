@@ -1,0 +1,64 @@
+//! Engine-wide error type.
+
+use std::fmt;
+
+/// Errors produced by the storage, query, execution and optimizer layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A table name could not be resolved in the catalog.
+    UnknownTable(String),
+    /// A column name could not be resolved in a table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column name.
+        column: String,
+    },
+    /// An alias used in a query does not refer to any `FROM` entry.
+    UnknownAlias(String),
+    /// A value or column had an unexpected data type.
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it found instead.
+        found: String,
+    },
+    /// The SQL-ish parser rejected the input.
+    Parse(String),
+    /// The executor exceeded its configured work budget.
+    WorkLimitExceeded {
+        /// The configured budget, in work units.
+        limit: f64,
+    },
+    /// A plan was structurally invalid for the query it was executed against.
+    InvalidPlan(String),
+    /// The optimizer could not produce a plan (e.g. disconnected join graph
+    /// with cross products disabled).
+    NoPlanFound(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            EngineError::UnknownAlias(a) => write!(f, "unknown alias: {a}"),
+            EngineError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            EngineError::Parse(msg) => write!(f, "parse error: {msg}"),
+            EngineError::WorkLimitExceeded { limit } => {
+                write!(f, "executor exceeded work limit of {limit} units")
+            }
+            EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EngineError::NoPlanFound(msg) => write!(f, "no plan found: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;

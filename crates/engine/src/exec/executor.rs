@@ -1,0 +1,755 @@
+//! The plan executor.
+//!
+//! Executes a [`PhysNode`] against a catalog, producing the count-star
+//! result, the *work units* spent (the engine's deterministic latency), the
+//! wall-clock time, and the true cardinality of every intermediate result —
+//! the raw material for training learned components.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::catalog::Catalog;
+use crate::column::Column;
+use crate::error::{EngineError, Result};
+use crate::exec::relation::Relation;
+use crate::exec::workunits::CostParams;
+use crate::plan::physical::{JoinAlgo, PhysNode};
+use crate::query::expr::{CmpOp, JoinCond, Predicate};
+use crate::query::spj::SpjQuery;
+use crate::query::table_set::TableSet;
+use crate::types::Value;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    /// Work-unit constants and runtime effects.
+    pub params: CostParams,
+    /// Abort execution when accumulated work exceeds this budget. Protects
+    /// experiments from catastrophically bad candidate plans (a real system
+    /// would time out).
+    pub max_work: Option<f64>,
+}
+
+/// Result of executing a plan.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// The count-star answer, i.e. the query's true cardinality.
+    pub count: u64,
+    /// Total work units spent (deterministic latency).
+    pub work: f64,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// True cardinality of every operator output, bottom-up.
+    pub intermediates: Vec<(TableSet, u64)>,
+}
+
+struct WorkMeter {
+    work: f64,
+    limit: Option<f64>,
+}
+
+impl WorkMeter {
+    fn add(&mut self, w: f64) -> Result<()> {
+        self.work += w;
+        match self.limit {
+            Some(lim) if self.work > lim => Err(EngineError::WorkLimitExceeded { limit: lim }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Compiled single-column predicate with fast paths per column type.
+enum Compiled<'a> {
+    Int {
+        data: &'a [i64],
+        op: CmpOp,
+        v: i64,
+    },
+    IntF {
+        data: &'a [i64],
+        op: CmpOp,
+        v: f64,
+    },
+    Float {
+        data: &'a [f64],
+        op: CmpOp,
+        v: f64,
+    },
+    TextEq {
+        codes: &'a [u32],
+        code: Option<u32>,
+        negate: bool,
+    },
+    Slow {
+        col: &'a Column,
+        op: CmpOp,
+        value: Value,
+    },
+}
+
+impl Compiled<'_> {
+    #[inline]
+    fn matches(&self, row: usize) -> bool {
+        match self {
+            Compiled::Int { data, op, v } => op.matches(data[row].cmp(v)),
+            Compiled::IntF { data, op, v } => (data[row] as f64)
+                .partial_cmp(v)
+                .is_some_and(|o| op.matches(o)),
+            Compiled::Float { data, op, v } => {
+                data[row].partial_cmp(v).is_some_and(|o| op.matches(o))
+            }
+            Compiled::TextEq {
+                codes,
+                code,
+                negate,
+            } => {
+                let hit = code.is_some_and(|c| codes[row] == c);
+                hit != *negate
+            }
+            Compiled::Slow { col, op, value } => {
+                col.value(row).compare(value).is_some_and(|o| op.matches(o))
+            }
+        }
+    }
+}
+
+fn compile_pred<'a>(col: &'a Column, pred: &Predicate) -> Compiled<'a> {
+    match (col, &pred.value, pred.op) {
+        (Column::Int(data), Value::Int(v), op) => Compiled::Int { data, op, v: *v },
+        (Column::Int(data), Value::Float(v), op) => Compiled::IntF { data, op, v: *v },
+        (Column::Float(data), Value::Int(v), op) => Compiled::Float {
+            data,
+            op,
+            v: *v as f64,
+        },
+        (Column::Float(data), Value::Float(v), op) => Compiled::Float { data, op, v: *v },
+        (Column::Text { dict: _, codes }, Value::Text(s), CmpOp::Eq) => Compiled::TextEq {
+            codes,
+            code: col.text_code(s),
+            negate: false,
+        },
+        (Column::Text { dict: _, codes }, Value::Text(s), CmpOp::Neq) => Compiled::TextEq {
+            codes,
+            code: col.text_code(s),
+            negate: true,
+        },
+        _ => Compiled::Slow {
+            col,
+            op: pred.op,
+            value: pred.value.clone(),
+        },
+    }
+}
+
+/// One side of a set of join conditions: for each condition, the slot in
+/// the relation's tuple layout and the integer column to read the key from.
+struct KeySide<'a> {
+    cols: Vec<(usize, &'a [i64])>,
+}
+
+impl KeySide<'_> {
+    #[inline]
+    fn single_key(&self, tuple: &[u32]) -> i64 {
+        let (slot, data) = self.cols[0];
+        data[tuple[slot] as usize]
+    }
+
+    fn multi_key(&self, tuple: &[u32]) -> Vec<i64> {
+        self.cols
+            .iter()
+            .map(|&(slot, data)| data[tuple[slot] as usize])
+            .collect()
+    }
+}
+
+/// The plan executor. Stateless across queries; cheap to construct.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    config: ExecConfig,
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor over a catalog.
+    pub fn new(catalog: &'a Catalog, config: ExecConfig) -> Executor<'a> {
+        Executor { catalog, config }
+    }
+
+    /// Executor with default configuration.
+    pub fn with_defaults(catalog: &'a Catalog) -> Executor<'a> {
+        Executor::new(catalog, ExecConfig::default())
+    }
+
+    /// The configured cost parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.config.params
+    }
+
+    /// Execute `plan` for `query`.
+    pub fn execute(&self, query: &SpjQuery, plan: &PhysNode) -> Result<ExecResult> {
+        // The plan must cover every table exactly once.
+        let mut leaves = 0usize;
+        plan.visit_bottom_up(&mut |n| {
+            if matches!(n, PhysNode::Scan { .. }) {
+                leaves += 1;
+            }
+        });
+        if plan.tables() != query.all_tables() || leaves != query.num_tables() {
+            return Err(EngineError::InvalidPlan(format!(
+                "plan covers {} with {} scans; query has {} tables",
+                plan.tables(),
+                leaves,
+                query.num_tables()
+            )));
+        }
+        let start = Instant::now();
+        let mut meter = WorkMeter {
+            work: 0.0,
+            limit: self.config.max_work,
+        };
+        let mut intermediates = Vec::new();
+        let rel = self.exec_node(query, plan, &mut meter, &mut intermediates)?;
+        Ok(ExecResult {
+            count: rel.len() as u64,
+            work: meter.work,
+            wall: start.elapsed(),
+            intermediates,
+        })
+    }
+
+    fn exec_node(
+        &self,
+        query: &SpjQuery,
+        node: &PhysNode,
+        meter: &mut WorkMeter,
+        intermediates: &mut Vec<(TableSet, u64)>,
+    ) -> Result<Relation> {
+        let rel = match node {
+            PhysNode::Scan { pos } => self.exec_scan(query, *pos, meter)?,
+            PhysNode::Join { algo, left, right } => {
+                let l = self.exec_node(query, left, meter, intermediates)?;
+                let r = self.exec_node(query, right, meter, intermediates)?;
+                self.exec_join(query, *algo, l, r, meter)?
+            }
+        };
+        intermediates.push((rel.tables(), rel.len() as u64));
+        Ok(rel)
+    }
+
+    fn exec_scan(&self, query: &SpjQuery, pos: usize, meter: &mut WorkMeter) -> Result<Relation> {
+        let table = self.catalog.table(&query.tables[pos].table)?;
+        let preds = query.predicates_on(pos);
+        let mut compiled = Vec::with_capacity(preds.len());
+        for p in &preds {
+            let col = table.column_by_name(&p.col.column)?;
+            compiled.push(compile_pred(col, p));
+        }
+        let n = table.nrows();
+        meter.add(self.config.params.scan_work(n as f64, compiled.len()))?;
+        let mut out = Vec::new();
+        'rows: for row in 0..n {
+            for c in &compiled {
+                if !c.matches(row) {
+                    continue 'rows;
+                }
+            }
+            out.push(row as u32);
+        }
+        Ok(Relation::from_scan(pos, out))
+    }
+
+    /// Resolve the key columns of `conds` on one side of a join.
+    fn key_side<'b>(
+        &'b self,
+        query: &SpjQuery,
+        rel: &Relation,
+        conds: &[&JoinCond],
+    ) -> Result<KeySide<'b>> {
+        let tables = rel.tables();
+        let mut cols = Vec::with_capacity(conds.len());
+        for cond in conds {
+            let (col_ref, pos) = {
+                let lp = query.col_pos(&cond.left)?;
+                if tables.contains(lp) {
+                    (&cond.left, lp)
+                } else {
+                    let rp = query.col_pos(&cond.right)?;
+                    if !tables.contains(rp) {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "join condition {cond} does not touch relation {tables}"
+                        )));
+                    }
+                    (&cond.right, rp)
+                }
+            };
+            let slot = rel.slot_of(pos).ok_or_else(|| {
+                EngineError::InvalidPlan(format!("table position {pos} missing from relation"))
+            })?;
+            let table = self.catalog.table(&query.tables[pos].table)?;
+            let column = table.column_by_name(&col_ref.column)?;
+            let data = column.as_int().ok_or_else(|| EngineError::TypeMismatch {
+                expected: "INT join key",
+                found: column.dtype().to_string(),
+            })?;
+            cols.push((slot, data));
+        }
+        Ok(KeySide { cols })
+    }
+
+    fn exec_join(
+        &self,
+        query: &SpjQuery,
+        algo: JoinAlgo,
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let conds = query.joins_between(left.tables(), right.tables());
+        if conds.is_empty() {
+            if algo != JoinAlgo::NestedLoop {
+                return Err(EngineError::InvalidPlan(format!(
+                    "{algo} requires at least one equi-join condition (cross products \
+                     must use NestedLoopJoin)"
+                )));
+            }
+            return self.cross_join(left, right, meter);
+        }
+        match algo {
+            JoinAlgo::Hash => self.hash_join(query, &conds, left, right, meter),
+            JoinAlgo::NestedLoop => self.nl_join(query, &conds, left, right, meter),
+            JoinAlgo::Merge => self.merge_join(query, &conds, left, right, meter),
+        }
+    }
+
+    fn emit(out: &mut Vec<u32>, ltuple: &[u32], rtuple: &[u32]) {
+        out.extend_from_slice(ltuple);
+        out.extend_from_slice(rtuple);
+    }
+
+    fn hash_join(
+        &self,
+        query: &SpjQuery,
+        conds: &[&JoinCond],
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let p = &self.config.params;
+        let spill = if left.len() > p.hash_mem_rows {
+            p.spill_factor
+        } else {
+            1.0
+        };
+        meter
+            .add((left.len() as f64 * p.hash_build + right.len() as f64 * p.hash_probe) * spill)?;
+
+        let lkeys = self.key_side(query, &left, conds)?;
+        let rkeys = self.key_side(query, &right, conds)?;
+        let slots = Relation::combined_slots(&left, &right);
+        let width = slots.len();
+        let mut rows: Vec<u32> = Vec::new();
+        let mut emitted = 0usize;
+
+        if conds.len() == 1 {
+            let mut table: HashMap<i64, Vec<u32>> = HashMap::new();
+            for i in 0..left.len() {
+                table
+                    .entry(lkeys.single_key(left.tuple(i)))
+                    .or_default()
+                    .push(i as u32);
+            }
+            for j in 0..right.len() {
+                let rt = right.tuple(j);
+                if let Some(matches) = table.get(&rkeys.single_key(rt)) {
+                    for &i in matches {
+                        Self::emit(&mut rows, left.tuple(i as usize), rt);
+                        emitted += 1;
+                        if emitted.is_multiple_of(65_536) {
+                            meter.add(p.output_work(65_536.0, width))?;
+                        }
+                    }
+                }
+            }
+        } else {
+            let mut table: HashMap<Vec<i64>, Vec<u32>> = HashMap::new();
+            for i in 0..left.len() {
+                table
+                    .entry(lkeys.multi_key(left.tuple(i)))
+                    .or_default()
+                    .push(i as u32);
+            }
+            for j in 0..right.len() {
+                let rt = right.tuple(j);
+                if let Some(matches) = table.get(&rkeys.multi_key(rt)) {
+                    for &i in matches {
+                        Self::emit(&mut rows, left.tuple(i as usize), rt);
+                        emitted += 1;
+                        if emitted.is_multiple_of(65_536) {
+                            meter.add(p.output_work(65_536.0, width))?;
+                        }
+                    }
+                }
+            }
+        }
+        meter.add(p.output_work((emitted % 65_536) as f64, width))?;
+        Ok(Relation { slots, rows })
+    }
+
+    fn nl_join(
+        &self,
+        query: &SpjQuery,
+        conds: &[&JoinCond],
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let p = &self.config.params;
+        let discount = if right.len() <= p.nl_cache_rows {
+            p.nl_cache_discount
+        } else {
+            1.0
+        };
+        // Charge pair work up front so hopeless plans abort immediately.
+        meter.add(left.len() as f64 * right.len() as f64 * p.nl_pair * discount)?;
+
+        let lkeys = self.key_side(query, &left, conds)?;
+        let rkeys = self.key_side(query, &right, conds)?;
+        let slots = Relation::combined_slots(&left, &right);
+        let width = slots.len();
+        let mut rows: Vec<u32> = Vec::new();
+        let mut emitted = 0usize;
+        for i in 0..left.len() {
+            let lt = left.tuple(i);
+            let lk = lkeys.multi_key(lt);
+            for j in 0..right.len() {
+                let rt = right.tuple(j);
+                if lk == rkeys.multi_key(rt) {
+                    Self::emit(&mut rows, lt, rt);
+                    emitted += 1;
+                    if emitted.is_multiple_of(65_536) {
+                        meter.add(p.output_work(65_536.0, width))?;
+                    }
+                }
+            }
+        }
+        meter.add(p.output_work((emitted % 65_536) as f64, width))?;
+        Ok(Relation { slots, rows })
+    }
+
+    fn cross_join(
+        &self,
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let p = &self.config.params;
+        let out = left.len() as f64 * right.len() as f64;
+        let slots = Relation::combined_slots(&left, &right);
+        let width = slots.len();
+        meter.add(out * p.nl_pair + p.output_work(out, width))?;
+        let mut rows = Vec::new();
+        for i in 0..left.len() {
+            for j in 0..right.len() {
+                Self::emit(&mut rows, left.tuple(i), right.tuple(j));
+            }
+        }
+        Ok(Relation { slots, rows })
+    }
+
+    fn merge_join(
+        &self,
+        query: &SpjQuery,
+        conds: &[&JoinCond],
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let p = &self.config.params;
+        meter.add(
+            p.sort_work(left.len() as f64)
+                + p.sort_work(right.len() as f64)
+                + (left.len() + right.len()) as f64 * p.merge_tuple,
+        )?;
+
+        let lkeys = self.key_side(query, &left, conds)?;
+        let rkeys = self.key_side(query, &right, conds)?;
+        let mut lsorted: Vec<(Vec<i64>, u32)> = (0..left.len())
+            .map(|i| (lkeys.multi_key(left.tuple(i)), i as u32))
+            .collect();
+        let mut rsorted: Vec<(Vec<i64>, u32)> = (0..right.len())
+            .map(|j| (rkeys.multi_key(right.tuple(j)), j as u32))
+            .collect();
+        lsorted.sort_unstable();
+        rsorted.sort_unstable();
+
+        let slots = Relation::combined_slots(&left, &right);
+        let width = slots.len();
+        let mut rows: Vec<u32> = Vec::new();
+        let mut emitted = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lsorted.len() && j < rsorted.len() {
+            match lsorted[i].0.cmp(&rsorted[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Find the full equal groups on both sides.
+                    let key = lsorted[i].0.clone();
+                    let i_end = lsorted[i..].iter().take_while(|(k, _)| *k == key).count() + i;
+                    let j_end = rsorted[j..].iter().take_while(|(k, _)| *k == key).count() + j;
+                    for (_, li) in &lsorted[i..i_end] {
+                        for (_, rj) in &rsorted[j..j_end] {
+                            Self::emit(
+                                &mut rows,
+                                left.tuple(*li as usize),
+                                right.tuple(*rj as usize),
+                            );
+                            emitted += 1;
+                            if emitted.is_multiple_of(65_536) {
+                                meter.add(p.output_work(65_536.0, width))?;
+                            }
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        meter.add(p.output_work((emitted % 65_536) as f64, width))?;
+        Ok(Relation { slots, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::expr::{ColRef, TableRef};
+    use crate::table::TableBuilder;
+
+    /// Two tables: `a(id)` with ids 0..10, `b(id, a_id)` where each a-row
+    /// has 2 matching b-rows, plus one dangling b-row.
+    fn fixture() -> (Catalog, SpjQuery) {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("a")
+                .int("id", (0..10).collect())
+                .int("v", (0..10).map(|i| i * 10).collect())
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        let mut a_ids: Vec<i64> = (0..10).flat_map(|i| [i, i]).collect();
+        a_ids.push(999); // dangling FK
+        c.add_table(
+            TableBuilder::new("b")
+                .int("id", (0..21).collect())
+                .int("a_id", a_ids)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        let q = SpjQuery::new(
+            vec![TableRef::new("a", "a"), TableRef::new("b", "b")],
+            vec![JoinCond::new(
+                ColRef::new("a", "id"),
+                ColRef::new("b", "a_id"),
+            )],
+            vec![],
+        );
+        (c, q)
+    }
+
+    fn join_plan(algo: JoinAlgo) -> PhysNode {
+        PhysNode::join(algo, PhysNode::scan(0), PhysNode::scan(1))
+    }
+
+    #[test]
+    fn all_join_algorithms_agree() {
+        let (c, q) = fixture();
+        let ex = Executor::with_defaults(&c);
+        for algo in JoinAlgo::ALL {
+            let r = ex.execute(&q, &join_plan(algo)).unwrap();
+            assert_eq!(r.count, 20, "algo {algo}");
+        }
+    }
+
+    #[test]
+    fn join_sides_are_symmetric() {
+        let (c, q) = fixture();
+        let ex = Executor::with_defaults(&c);
+        let flipped = PhysNode::join(JoinAlgo::Hash, PhysNode::scan(1), PhysNode::scan(0));
+        assert_eq!(ex.execute(&q, &flipped).unwrap().count, 20);
+    }
+
+    #[test]
+    fn predicates_filter_scans() {
+        let (c, mut q) = fixture();
+        q.predicates.push(Predicate::new(
+            ColRef::new("a", "v"),
+            CmpOp::Lt,
+            Value::Int(30),
+        ));
+        let ex = Executor::with_defaults(&c);
+        // a rows with v < 30: ids 0,1,2 -> 6 join results.
+        let r = ex.execute(&q, &join_plan(JoinAlgo::Hash)).unwrap();
+        assert_eq!(r.count, 6);
+    }
+
+    #[test]
+    fn intermediates_recorded_bottom_up() {
+        let (c, q) = fixture();
+        let ex = Executor::with_defaults(&c);
+        let r = ex.execute(&q, &join_plan(JoinAlgo::Hash)).unwrap();
+        assert_eq!(r.intermediates.len(), 3);
+        assert_eq!(r.intermediates[0], (TableSet::singleton(0), 10));
+        assert_eq!(r.intermediates[1], (TableSet::singleton(1), 21));
+        assert_eq!(r.intermediates[2], (TableSet::full(2), 20));
+    }
+
+    #[test]
+    fn work_limit_aborts() {
+        let (c, q) = fixture();
+        let ex = Executor::new(
+            &c,
+            ExecConfig {
+                max_work: Some(5.0),
+                ..Default::default()
+            },
+        );
+        let err = ex.execute(&q, &join_plan(JoinAlgo::Hash)).unwrap_err();
+        assert!(matches!(err, EngineError::WorkLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn invalid_plan_rejected() {
+        let (c, q) = fixture();
+        let ex = Executor::with_defaults(&c);
+        // Missing table 1.
+        assert!(ex.execute(&q, &PhysNode::scan(0)).is_err());
+        // Duplicate table 0.
+        let dup = PhysNode::join(JoinAlgo::Hash, PhysNode::scan(0), PhysNode::scan(0));
+        assert!(ex.execute(&q, &dup).is_err());
+    }
+
+    #[test]
+    fn cross_product_requires_nested_loop() {
+        let (c, mut q) = fixture();
+        q.joins.clear();
+        let ex = Executor::with_defaults(&c);
+        assert!(ex.execute(&q, &join_plan(JoinAlgo::Hash)).is_err());
+        let r = ex.execute(&q, &join_plan(JoinAlgo::NestedLoop)).unwrap();
+        assert_eq!(r.count, 10 * 21);
+    }
+
+    #[test]
+    fn nl_joins_cost_more_than_hash() {
+        let (c, q) = fixture();
+        let ex = Executor::with_defaults(&c);
+        let hash = ex.execute(&q, &join_plan(JoinAlgo::Hash)).unwrap();
+        let nl = ex.execute(&q, &join_plan(JoinAlgo::NestedLoop)).unwrap();
+        assert!(nl.work > hash.work);
+    }
+
+    #[test]
+    fn multi_condition_join() {
+        // Join on two columns simultaneously.
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("x")
+                .int("k1", vec![1, 1, 2])
+                .int("k2", vec![1, 2, 1])
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("y")
+                .int("k1", vec![1, 2])
+                .int("k2", vec![2, 1])
+                .build()
+                .unwrap(),
+        );
+        let q = SpjQuery::new(
+            vec![TableRef::bare("x"), TableRef::bare("y")],
+            vec![
+                JoinCond::new(ColRef::new("x", "k1"), ColRef::new("y", "k1")),
+                JoinCond::new(ColRef::new("x", "k2"), ColRef::new("y", "k2")),
+            ],
+            vec![],
+        );
+        let ex = Executor::with_defaults(&c);
+        for algo in JoinAlgo::ALL {
+            let r = ex.execute(&q, &join_plan(algo)).unwrap();
+            assert_eq!(r.count, 2, "algo {algo}");
+        }
+    }
+
+    #[test]
+    fn three_way_join_bushy_and_left_deep_agree() {
+        let (mut c, _) = fixture();
+        c.add_table(
+            TableBuilder::new("d")
+                .int("id", vec![0, 1])
+                .int("a_id", vec![0, 0])
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        let q = SpjQuery::new(
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("d", "d"),
+            ],
+            vec![
+                JoinCond::new(ColRef::new("a", "id"), ColRef::new("b", "a_id")),
+                JoinCond::new(ColRef::new("a", "id"), ColRef::new("d", "a_id")),
+            ],
+            vec![],
+        );
+        let ex = Executor::with_defaults(&c);
+        let left_deep = PhysNode::join(
+            JoinAlgo::Hash,
+            PhysNode::join(JoinAlgo::Hash, PhysNode::scan(0), PhysNode::scan(1)),
+            PhysNode::scan(2),
+        );
+        let other = PhysNode::join(
+            JoinAlgo::Hash,
+            PhysNode::join(JoinAlgo::Merge, PhysNode::scan(0), PhysNode::scan(2)),
+            PhysNode::scan(1),
+        );
+        let a = ex.execute(&q, &left_deep).unwrap();
+        let b = ex.execute(&q, &other).unwrap();
+        // a.id = 0 matches 2 b-rows and 2 d-rows -> 4; other a ids contribute
+        // 2 b-rows * 0 d-rows.
+        assert_eq!(a.count, 4);
+        assert_eq!(a.count, b.count);
+    }
+
+    #[test]
+    fn text_predicate_on_scan() {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t")
+                .int("id", vec![0, 1, 2])
+                .text("s", vec!["x".into(), "y".into(), "x".into()])
+                .build()
+                .unwrap(),
+        );
+        let q = SpjQuery::new(
+            vec![TableRef::bare("t")],
+            vec![],
+            vec![Predicate::new(
+                ColRef::new("t", "s"),
+                CmpOp::Eq,
+                Value::Text("x".into()),
+            )],
+        );
+        let ex = Executor::with_defaults(&c);
+        assert_eq!(ex.execute(&q, &PhysNode::scan(0)).unwrap().count, 2);
+
+        // Unknown literal matches nothing (Eq) / everything (Neq).
+        let mut q2 = q.clone();
+        q2.predicates[0].value = Value::Text("zzz".into());
+        assert_eq!(ex.execute(&q2, &PhysNode::scan(0)).unwrap().count, 0);
+        q2.predicates[0].op = CmpOp::Neq;
+        assert_eq!(ex.execute(&q2, &PhysNode::scan(0)).unwrap().count, 3);
+    }
+}

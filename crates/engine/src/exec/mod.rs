@@ -1,0 +1,12 @@
+//! Plan execution: physical operators over row-id relations, a work-unit
+//! accounting model, and the true-cardinality oracle.
+
+pub mod executor;
+pub mod oracle;
+pub mod relation;
+pub mod workunits;
+
+pub use executor::{ExecConfig, ExecResult, Executor};
+pub use oracle::TrueCardOracle;
+pub use relation::Relation;
+pub use workunits::CostParams;

@@ -1,0 +1,109 @@
+//! Intermediate relations: tuples of base-table row ids.
+//!
+//! The engine executes count-star SPJ queries, so an intermediate result
+//! never materializes attribute values — only, per output tuple, the row id
+//! of each participating base table. Attribute access during joins goes
+//! back to the columnar base tables.
+
+use crate::query::table_set::TableSet;
+
+/// An intermediate relation produced by a scan or join.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Table positions (into the query's `FROM` list) of each slot of a
+    /// tuple, in a fixed order.
+    pub slots: Vec<usize>,
+    /// Flattened tuples: `rows.len() == nrows * slots.len()`.
+    pub rows: Vec<u32>,
+}
+
+impl Relation {
+    /// A relation over one table from a list of row ids.
+    pub fn from_scan(pos: usize, row_ids: Vec<u32>) -> Relation {
+        Relation {
+            slots: vec![pos],
+            rows: row_ids,
+        }
+    }
+
+    /// Tuple width (number of participating base tables).
+    pub fn width(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        if self.slots.is_empty() {
+            0
+        } else {
+            self.rows.len() / self.slots.len()
+        }
+    }
+
+    /// True when no tuples are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The tables this relation covers.
+    pub fn tables(&self) -> TableSet {
+        TableSet::from_iter(self.slots.iter().copied())
+    }
+
+    /// Borrow the `i`-th tuple.
+    pub fn tuple(&self, i: usize) -> &[u32] {
+        let w = self.width();
+        &self.rows[i * w..(i + 1) * w]
+    }
+
+    /// Slot index of a table position.
+    pub fn slot_of(&self, pos: usize) -> Option<usize> {
+        self.slots.iter().position(|&p| p == pos)
+    }
+
+    /// Concatenate two tuples from `left` and `right` into a combined
+    /// relation layout (left slots first).
+    pub fn combined_slots(left: &Relation, right: &Relation) -> Vec<usize> {
+        let mut slots = left.slots.clone();
+        slots.extend_from_slice(&right.slots);
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_relation() {
+        let r = Relation::from_scan(2, vec![0, 5, 9]);
+        assert_eq!(r.width(), 1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tuple(1), &[5]);
+        assert_eq!(r.tables(), TableSet::singleton(2));
+        assert_eq!(r.slot_of(2), Some(0));
+        assert_eq!(r.slot_of(0), None);
+    }
+
+    #[test]
+    fn flattened_tuples() {
+        let r = Relation {
+            slots: vec![0, 3],
+            rows: vec![1, 10, 2, 20],
+        };
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuple(0), &[1, 10]);
+        assert_eq!(r.tuple(1), &[2, 20]);
+    }
+
+    #[test]
+    fn combined_slots_order() {
+        let l = Relation::from_scan(0, vec![]);
+        let r = Relation {
+            slots: vec![2, 1],
+            rows: vec![],
+        };
+        assert_eq!(Relation::combined_slots(&l, &r), vec![0, 2, 1]);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Work-unit cost parameters.
+//!
+//! The executor charges *work units* for every tuple it touches; the sum is
+//! the engine's deterministic, machine-independent notion of latency. The
+//! native cost model (see [`crate::optimizer::cost`]) predicts cost with the
+//! same per-tuple constants but — deliberately — **without** the runtime
+//! effects (`hash spill`, `nested-loop cache discount`): just as a real
+//! DBMS's analytical cost model abstracts away caches and memory pressure,
+//! our native model is a biased approximation of true execution cost. That
+//! residual bias is what learned cost models (and end-to-end learned
+//! optimizers) can exploit.
+
+/// Per-tuple cost constants shared by the executor and the native cost
+/// model, plus executor-only runtime effects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Cost of scanning one base tuple.
+    pub scan_tuple: f64,
+    /// Extra cost per predicate evaluated per tuple.
+    pub pred_eval: f64,
+    /// Cost of inserting one tuple into a hash table.
+    pub hash_build: f64,
+    /// Cost of probing the hash table with one tuple.
+    pub hash_probe: f64,
+    /// Cost of one nested-loop pair comparison.
+    pub nl_pair: f64,
+    /// Cost per tuple per `log2(n)` of sorting.
+    pub sort_tuple: f64,
+    /// Cost of advancing one tuple through the merge phase.
+    pub merge_tuple: f64,
+    /// Cost of materializing one output tuple, per unit of width.
+    pub output_tuple: f64,
+
+    // --- runtime-only effects, invisible to the native cost model ---
+    /// Hash tables above this many build rows "spill": build+probe work is
+    /// multiplied by [`CostParams::spill_factor`].
+    pub hash_mem_rows: usize,
+    /// Multiplier applied when a hash join spills.
+    pub spill_factor: f64,
+    /// Nested-loop inner relations at most this large are "cache resident".
+    pub nl_cache_rows: usize,
+    /// Pair-cost multiplier for cache-resident inner relations.
+    pub nl_cache_discount: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            scan_tuple: 1.0,
+            pred_eval: 0.2,
+            hash_build: 1.5,
+            hash_probe: 1.0,
+            nl_pair: 0.8,
+            sort_tuple: 0.4,
+            merge_tuple: 0.6,
+            output_tuple: 0.3,
+            hash_mem_rows: 100_000,
+            spill_factor: 2.5,
+            nl_cache_rows: 1_000,
+            nl_cache_discount: 0.3,
+        }
+    }
+}
+
+impl CostParams {
+    /// Work to scan `n` rows evaluating `p` predicates each.
+    pub fn scan_work(&self, n: f64, p: usize) -> f64 {
+        n * (self.scan_tuple + self.pred_eval * p as f64)
+    }
+
+    /// Analytical (spill-free) hash-join work.
+    pub fn hash_join_work(&self, build: f64, probe: f64, out: f64, width: usize) -> f64 {
+        build * self.hash_build + probe * self.hash_probe + self.output_work(out, width)
+    }
+
+    /// Analytical nested-loop work (no cache discount).
+    pub fn nl_join_work(&self, outer: f64, inner: f64, out: f64, width: usize) -> f64 {
+        outer * inner * self.nl_pair + self.output_work(out, width)
+    }
+
+    /// Analytical merge-join work (sorts both inputs).
+    pub fn merge_join_work(&self, left: f64, right: f64, out: f64, width: usize) -> f64 {
+        self.sort_work(left)
+            + self.sort_work(right)
+            + (left + right) * self.merge_tuple
+            + self.output_work(out, width)
+    }
+
+    /// `n log2 n` sort work.
+    pub fn sort_work(&self, n: f64) -> f64 {
+        if n <= 1.0 {
+            0.0
+        } else {
+            n * n.log2() * self.sort_tuple
+        }
+    }
+
+    /// Cost of materializing `out` tuples of `width` joined tables.
+    pub fn output_work(&self, out: f64, width: usize) -> f64 {
+        out * self.output_tuple * width as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_work_scales_with_predicates() {
+        let p = CostParams::default();
+        assert_eq!(p.scan_work(100.0, 0), 100.0);
+        assert!(p.scan_work(100.0, 2) > p.scan_work(100.0, 0));
+    }
+
+    #[test]
+    fn nl_quadratic_vs_hash_linear() {
+        let p = CostParams::default();
+        let hash = p.hash_join_work(1_000.0, 1_000.0, 100.0, 2);
+        let nl = p.nl_join_work(1_000.0, 1_000.0, 100.0, 2);
+        assert!(nl > 10.0 * hash);
+    }
+
+    #[test]
+    fn sort_work_degenerate() {
+        let p = CostParams::default();
+        assert_eq!(p.sort_work(0.0), 0.0);
+        assert_eq!(p.sort_work(1.0), 0.0);
+        assert!(p.sort_work(1024.0) > 0.0);
+    }
+
+    #[test]
+    fn merge_includes_both_sorts() {
+        let p = CostParams::default();
+        let m = p.merge_join_work(100.0, 200.0, 10.0, 2);
+        assert!(m >= p.sort_work(100.0) + p.sort_work(200.0));
+    }
+}

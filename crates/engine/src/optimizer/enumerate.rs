@@ -1,0 +1,616 @@
+//! Plan enumeration: exhaustive DP over connected subsets and GOO-style
+//! greedy construction.
+
+use std::collections::HashMap;
+
+use crate::catalog::Catalog;
+use crate::error::{EngineError, Result};
+use crate::exec::workunits::CostParams;
+use crate::optimizer::card_source::CardSource;
+use crate::optimizer::cost::join_op_cost;
+use crate::optimizer::hints::HintSet;
+use crate::plan::physical::{JoinAlgo, PhysNode};
+use crate::query::join_graph::JoinGraph;
+use crate::query::spj::SpjQuery;
+use crate::query::table_set::TableSet;
+
+/// An optimized plan with its estimated cost.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// The chosen physical plan.
+    pub plan: PhysNode,
+    /// Estimated cost under the cardinality source used at optimization.
+    pub cost: f64,
+}
+
+fn allowed_algos(hints: &HintSet) -> Vec<JoinAlgo> {
+    let mut v = Vec::with_capacity(3);
+    if hints.allow_hash {
+        v.push(JoinAlgo::Hash);
+    }
+    if hints.allow_nl {
+        v.push(JoinAlgo::NestedLoop);
+    }
+    if hints.allow_merge {
+        v.push(JoinAlgo::Merge);
+    }
+    v
+}
+
+struct LeadingConstraint {
+    prefix: Vec<TableSet>,
+    full: TableSet,
+}
+
+impl LeadingConstraint {
+    fn new(leading: &[usize]) -> LeadingConstraint {
+        let mut prefix = Vec::with_capacity(leading.len() + 1);
+        let mut acc = TableSet::EMPTY;
+        prefix.push(acc);
+        for &t in leading {
+            acc = acc.insert(t);
+            prefix.push(acc);
+        }
+        LeadingConstraint { prefix, full: acc }
+    }
+
+    fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// May `set` appear as a sub-plan?
+    fn set_ok(&self, set: TableSet) -> bool {
+        if self.len() == 0 || set.len() == 1 {
+            return true;
+        }
+        let inter = set.intersect(self.full);
+        if inter.is_empty() {
+            return true;
+        }
+        if set.len() <= self.len() {
+            set == self.prefix[set.len()]
+        } else {
+            inter == self.full
+        }
+    }
+
+    /// May `left ⋈ right` form the sub-plan over their union?
+    fn partition_ok(&self, left: TableSet, right: TableSet) -> bool {
+        if self.len() == 0 {
+            return true;
+        }
+        let union = left.union(right);
+        let inter = union.intersect(self.full);
+        if inter.is_empty() {
+            return true;
+        }
+        if union.len() <= self.len() {
+            // Inside the prefix: the spine is fixed, left-deep.
+            left == self.prefix[union.len() - 1] && right.len() == 1
+        } else {
+            // Above the prefix: the whole prefix must stay on the left.
+            inter.is_subset_of(left)
+        }
+    }
+}
+
+/// Exhaustive dynamic programming over connected subsets (DPsub). Requires
+/// a connected join graph; errors otherwise so callers can fall back to
+/// greedy enumeration.
+pub fn dp_optimize(
+    query: &SpjQuery,
+    graph: &JoinGraph,
+    catalog: &Catalog,
+    card: &dyn CardSource,
+    params: &CostParams,
+    hints: &HintSet,
+) -> Result<PlanChoice> {
+    let n = query.num_tables();
+    if n == 0 {
+        return Err(EngineError::NoPlanFound("query has no tables".into()));
+    }
+    if !graph.is_connected(query.all_tables()) {
+        return Err(EngineError::NoPlanFound(
+            "join graph is disconnected; use greedy enumeration".into(),
+        ));
+    }
+    let algos = allowed_algos(hints);
+    if algos.is_empty() {
+        return Err(EngineError::NoPlanFound(
+            "all join algorithms disabled".into(),
+        ));
+    }
+    let leading = LeadingConstraint::new(&hints.leading);
+
+    struct Entry {
+        plan: PhysNode,
+        cost: f64,
+        rows: f64,
+    }
+    let mut best: HashMap<u64, Entry> = HashMap::new();
+
+    // Base case: single-table scans.
+    for pos in 0..n {
+        let table = catalog.table(&query.tables[pos].table)?;
+        let npreds = query.predicates_on(pos).len();
+        let set = TableSet::singleton(pos);
+        best.insert(
+            set.0,
+            Entry {
+                plan: PhysNode::scan(pos),
+                cost: params.scan_work(table.nrows() as f64, npreds),
+                rows: card.cardinality(query, set),
+            },
+        );
+    }
+
+    let full = query.all_tables();
+    for mask in 1..=full.0 {
+        let set = TableSet(mask & full.0);
+        if set.0 != mask || set.len() < 2 {
+            continue;
+        }
+        if !graph.is_connected(set) || !leading.set_ok(set) {
+            continue;
+        }
+        let out_rows = card.cardinality(query, set);
+        let width = set.len();
+        let mut best_here: Option<Entry> = None;
+        for left in set.proper_subsets() {
+            let right = set.minus(left);
+            if hints.left_deep_only && right.len() != 1 {
+                continue;
+            }
+            if !leading.partition_ok(left, right) {
+                continue;
+            }
+            let (Some(le), Some(re)) = (best.get(&left.0), best.get(&right.0)) else {
+                continue;
+            };
+            // `set` is connected and both halves are connected, so at
+            // least one join edge crosses the cut.
+            let base = le.cost + re.cost;
+            let (lrows, rrows) = (le.rows, re.rows);
+            for &algo in &algos {
+                let op = join_op_cost(algo, params, lrows, rrows, out_rows, width, true);
+                let total = base + op;
+                if best_here.as_ref().is_none_or(|b| total < b.cost) {
+                    best_here = Some(Entry {
+                        plan: PhysNode::join(algo, le.plan.clone(), re.plan.clone()),
+                        cost: total,
+                        rows: out_rows,
+                    });
+                }
+            }
+        }
+        if let Some(e) = best_here {
+            best.insert(set.0, e);
+        }
+    }
+
+    best.remove(&full.0)
+        .map(|e| PlanChoice {
+            plan: e.plan,
+            cost: e.cost,
+        })
+        .ok_or_else(|| EngineError::NoPlanFound("DP produced no plan for the full query".into()))
+}
+
+struct Item {
+    plan: PhysNode,
+    set: TableSet,
+    rows: f64,
+    cost: f64,
+}
+
+/// Best permitted join of two items; cross products always fall back to
+/// nested loops (the only operator that can evaluate them), regardless of
+/// hints, so a plan always exists.
+fn best_join(
+    query: &SpjQuery,
+    card: &dyn CardSource,
+    params: &CostParams,
+    algos: &[JoinAlgo],
+    left: &Item,
+    right: &Item,
+) -> (JoinAlgo, f64, f64) {
+    let out_set = left.set.union(right.set);
+    let out_rows = card.cardinality(query, out_set);
+    let width = out_set.len();
+    let has_cond = !query.joins_between(left.set, right.set).is_empty();
+    if !has_cond {
+        let op = join_op_cost(
+            JoinAlgo::NestedLoop,
+            params,
+            left.rows,
+            right.rows,
+            out_rows,
+            width,
+            false,
+        );
+        return (JoinAlgo::NestedLoop, op, out_rows);
+    }
+    let mut best = (JoinAlgo::NestedLoop, f64::INFINITY, out_rows);
+    for &algo in algos {
+        let op = join_op_cost(algo, params, left.rows, right.rows, out_rows, width, true);
+        if op < best.1 {
+            best = (algo, op, out_rows);
+        }
+    }
+    if best.1.is_infinite() {
+        // No permitted algorithm: fall back to nested loops.
+        let op = join_op_cost(
+            JoinAlgo::NestedLoop,
+            params,
+            left.rows,
+            right.rows,
+            out_rows,
+            width,
+            true,
+        );
+        best = (JoinAlgo::NestedLoop, op, out_rows);
+    }
+    best
+}
+
+/// GOO-style greedy enumeration: repeatedly join the pair of sub-plans with
+/// the cheapest join, preferring joinable (connected) pairs over cross
+/// products. Handles disconnected graphs, any query size, leading prefixes
+/// and left-deep restrictions.
+pub fn greedy_optimize(
+    query: &SpjQuery,
+    graph: &JoinGraph,
+    catalog: &Catalog,
+    card: &dyn CardSource,
+    params: &CostParams,
+    hints: &HintSet,
+) -> Result<PlanChoice> {
+    let n = query.num_tables();
+    if n == 0 {
+        return Err(EngineError::NoPlanFound("query has no tables".into()));
+    }
+    let algos = allowed_algos(hints);
+    if algos.is_empty() {
+        return Err(EngineError::NoPlanFound(
+            "all join algorithms disabled".into(),
+        ));
+    }
+    let mut items: Vec<Item> = Vec::with_capacity(n);
+    for pos in 0..n {
+        let table = catalog.table(&query.tables[pos].table)?;
+        let npreds = query.predicates_on(pos).len();
+        let set = TableSet::singleton(pos);
+        items.push(Item {
+            plan: PhysNode::scan(pos),
+            set,
+            rows: card.cardinality(query, set),
+            cost: params.scan_work(table.nrows() as f64, npreds),
+        });
+    }
+
+    // Forced leading prefix: fold the named tables into one spine item.
+    let mut spine: Option<Item> = None;
+    for &t in &hints.leading {
+        let idx = items
+            .iter()
+            .position(|it| it.set == TableSet::singleton(t))
+            .ok_or_else(|| EngineError::NoPlanFound(format!("leading table {t} unavailable")))?;
+        let next = items.swap_remove(idx);
+        spine = Some(match spine {
+            None => next,
+            Some(s) => {
+                let (algo, op, rows) = best_join(query, card, params, &algos, &s, &next);
+                Item {
+                    plan: PhysNode::join(algo, s.plan, next.plan),
+                    set: s.set.union(next.set),
+                    rows,
+                    cost: s.cost + next.cost + op,
+                }
+            }
+        });
+    }
+
+    if hints.left_deep_only || spine.is_some() {
+        // Left-deep continuation from the spine (or cheapest table).
+        let mut spine = match spine {
+            Some(s) => s,
+            None => {
+                let idx = (0..items.len())
+                    .min_by(|&a, &b| items[a].rows.partial_cmp(&items[b].rows).unwrap())
+                    .unwrap();
+                items.swap_remove(idx)
+            }
+        };
+        while !items.is_empty() {
+            let mut best_idx = 0;
+            let mut best_score = f64::INFINITY;
+            let mut best_conn = false;
+            for (i, it) in items.iter().enumerate() {
+                let conn = graph.has_edge_between(spine.set, it.set);
+                let (_, op, _) = best_join(query, card, params, &algos, &spine, it);
+                // Connected candidates strictly dominate cross products.
+                if (conn, -op) > (best_conn, -best_score) {
+                    best_conn = conn;
+                    best_score = op;
+                    best_idx = i;
+                }
+            }
+            let next = items.swap_remove(best_idx);
+            let (algo, op, rows) = best_join(query, card, params, &algos, &spine, &next);
+            spine = Item {
+                plan: PhysNode::join(algo, spine.plan, next.plan),
+                set: spine.set.union(next.set),
+                rows,
+                cost: spine.cost + next.cost + op,
+            };
+        }
+        return Ok(PlanChoice {
+            plan: spine.plan,
+            cost: spine.cost,
+        });
+    }
+
+    // Full GOO: merge the globally cheapest pair until one item remains.
+    while items.len() > 1 {
+        let mut best_pair = (0usize, 1usize);
+        let mut best_op = f64::INFINITY;
+        let mut best_conn = false;
+        for i in 0..items.len() {
+            for j in 0..items.len() {
+                if i == j {
+                    continue;
+                }
+                let conn = graph.has_edge_between(items[i].set, items[j].set);
+                let (_, op, _) = best_join(query, card, params, &algos, &items[i], &items[j]);
+                if (conn, -op) > (best_conn, -best_op) {
+                    best_conn = conn;
+                    best_op = op;
+                    best_pair = (i, j);
+                }
+            }
+        }
+        let (i, j) = best_pair;
+        let (hi, lo) = (i.max(j), i.min(j));
+        let right = items.swap_remove(hi);
+        let left = items.swap_remove(lo);
+        // `right`/`left` may be swapped relative to best_pair orientation;
+        // re-derive the actual orientation.
+        let (l, r) = if i < j { (left, right) } else { (right, left) };
+        let (algo, op, rows) = best_join(query, card, params, &algos, &l, &r);
+        items.push(Item {
+            plan: PhysNode::join(algo, l.plan, r.plan),
+            set: l.set.union(r.set),
+            rows,
+            cost: l.cost + r.cost + op,
+        });
+    }
+    let final_item = items.pop().unwrap();
+    Ok(PlanChoice {
+        plan: final_item.plan,
+        cost: final_item.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::card_source::{TraditionalCardSource, TrueCardSource};
+    use crate::query::expr::{ColRef, JoinCond, TableRef};
+    use crate::stats::table_stats::{CatalogStats, StatsConfig};
+    use crate::table::TableBuilder;
+    use crate::TrueCardOracle;
+    use std::sync::Arc;
+
+    /// Chain schema a -> b -> d with skew: b has 10 rows per a, d has 3 per b.
+    fn setup() -> (Arc<Catalog>, SpjQuery) {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("a")
+                .int("id", (0..50).collect())
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("b")
+                .int("id", (0..500).collect())
+                .int("a_id", (0..500).map(|i| i % 50).collect())
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("d")
+                .int("id", (0..1500).collect())
+                .int("b_id", (0..1500).map(|i| i % 500).collect())
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        let q = SpjQuery::new(
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("d", "d"),
+            ],
+            vec![
+                JoinCond::new(ColRef::new("a", "id"), ColRef::new("b", "a_id")),
+                JoinCond::new(ColRef::new("b", "id"), ColRef::new("d", "b_id")),
+            ],
+            vec![],
+        );
+        (Arc::new(c), q)
+    }
+
+    fn sources(c: &Arc<Catalog>) -> (TraditionalCardSource, TrueCardSource) {
+        let stats = Arc::new(CatalogStats::build(c, StatsConfig::default()));
+        let oracle = Arc::new(TrueCardOracle::new(c.clone()));
+        (
+            TraditionalCardSource::new(c.clone(), stats),
+            TrueCardSource::new(oracle),
+        )
+    }
+
+    #[test]
+    fn dp_produces_valid_executable_plan() {
+        let (c, q) = setup();
+        let (trad, _) = sources(&c);
+        let g = JoinGraph::new(&q);
+        let choice = dp_optimize(
+            &q,
+            &g,
+            &c,
+            &trad,
+            &CostParams::default(),
+            &HintSet::default(),
+        )
+        .unwrap();
+        assert_eq!(choice.plan.tables(), q.all_tables());
+        assert!(choice.cost.is_finite());
+        let ex = crate::exec::executor::Executor::with_defaults(&c);
+        assert_eq!(ex.execute(&q, &choice.plan).unwrap().count, 1500);
+    }
+
+    #[test]
+    fn dp_is_no_worse_than_greedy_under_same_cards() {
+        let (c, q) = setup();
+        let (_, truth) = sources(&c);
+        let g = JoinGraph::new(&q);
+        let dp = dp_optimize(
+            &q,
+            &g,
+            &c,
+            &truth,
+            &CostParams::default(),
+            &HintSet::default(),
+        )
+        .unwrap();
+        let greedy = greedy_optimize(
+            &q,
+            &g,
+            &c,
+            &truth,
+            &CostParams::default(),
+            &HintSet::default(),
+        )
+        .unwrap();
+        assert!(dp.cost <= greedy.cost + 1e-9);
+    }
+
+    #[test]
+    fn left_deep_hint_restricts_shape() {
+        let (c, q) = setup();
+        let (trad, _) = sources(&c);
+        let g = JoinGraph::new(&q);
+        let hints = HintSet {
+            left_deep_only: true,
+            ..HintSet::default()
+        };
+        let dp = dp_optimize(&q, &g, &c, &trad, &CostParams::default(), &hints).unwrap();
+        assert!(dp.plan.join_tree().is_left_deep());
+        let greedy = greedy_optimize(&q, &g, &c, &trad, &CostParams::default(), &hints).unwrap();
+        assert!(greedy.plan.join_tree().is_left_deep());
+    }
+
+    #[test]
+    fn leading_hint_fixes_prefix() {
+        let (c, q) = setup();
+        let (trad, _) = sources(&c);
+        let g = JoinGraph::new(&q);
+        for leading in [vec![2, 1], vec![1, 0], vec![0, 1, 2]] {
+            let hints = HintSet::with_leading(leading.clone());
+            let dp = dp_optimize(&q, &g, &c, &trad, &CostParams::default(), &hints).unwrap();
+            let order = dp.plan.join_tree().leaf_order();
+            assert_eq!(
+                &order[..leading.len()],
+                &leading[..],
+                "DP violated leading {leading:?}: got {order:?}"
+            );
+            let gr = greedy_optimize(&q, &g, &c, &trad, &CostParams::default(), &hints).unwrap();
+            let order = gr.plan.join_tree().leaf_order();
+            assert_eq!(&order[..leading.len()], &leading[..]);
+        }
+    }
+
+    #[test]
+    fn operator_hints_respected() {
+        let (c, q) = setup();
+        let (trad, _) = sources(&c);
+        let g = JoinGraph::new(&q);
+        let hints = HintSet {
+            allow_hash: false,
+            allow_nl: false,
+            allow_merge: true,
+            ..HintSet::default()
+        };
+        let dp = dp_optimize(&q, &g, &c, &trad, &CostParams::default(), &hints).unwrap();
+        dp.plan.visit_bottom_up(&mut |n| {
+            if let PhysNode::Join { algo, .. } = n {
+                assert_eq!(*algo, JoinAlgo::Merge);
+            }
+        });
+    }
+
+    #[test]
+    fn disconnected_graph_dp_errors_greedy_succeeds() {
+        let (c, mut q) = setup();
+        q.joins.pop(); // disconnect d
+        let (trad, _) = sources(&c);
+        let g = JoinGraph::new(&q);
+        assert!(dp_optimize(
+            &q,
+            &g,
+            &c,
+            &trad,
+            &CostParams::default(),
+            &HintSet::default()
+        )
+        .is_err());
+        let gr = greedy_optimize(
+            &q,
+            &g,
+            &c,
+            &trad,
+            &CostParams::default(),
+            &HintSet::default(),
+        )
+        .unwrap();
+        assert_eq!(gr.plan.tables(), q.all_tables());
+        // a⋈b yields 500 rows; crossing with d's 1500 rows gives 750k.
+        let ex = crate::exec::executor::Executor::with_defaults(&c);
+        assert_eq!(ex.execute(&q, &gr.plan).unwrap().count, 500 * 1500);
+    }
+
+    #[test]
+    fn all_disabled_is_an_error() {
+        let (c, q) = setup();
+        let (trad, _) = sources(&c);
+        let g = JoinGraph::new(&q);
+        let hints = HintSet {
+            allow_hash: false,
+            allow_nl: false,
+            allow_merge: false,
+            ..HintSet::default()
+        };
+        assert!(dp_optimize(&q, &g, &c, &trad, &CostParams::default(), &hints).is_err());
+        assert!(greedy_optimize(&q, &g, &c, &trad, &CostParams::default(), &hints).is_err());
+    }
+
+    #[test]
+    fn single_table_query() {
+        let (c, _) = setup();
+        let q = SpjQuery::new(vec![TableRef::new("a", "a")], vec![], vec![]);
+        let (trad, _) = sources(&c);
+        let g = JoinGraph::new(&q);
+        let dp = dp_optimize(
+            &q,
+            &g,
+            &c,
+            &trad,
+            &CostParams::default(),
+            &HintSet::default(),
+        )
+        .unwrap();
+        assert_eq!(dp.plan, PhysNode::scan(0));
+    }
+}

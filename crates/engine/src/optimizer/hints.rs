@@ -1,0 +1,139 @@
+//! Optimizer hint sets — the steering surface Bao-style methods tune.
+
+/// Constraints on plan enumeration. A hint set restricts which physical
+/// operators the optimizer may use and, optionally, the shape and leading
+/// prefix of the join order — mirroring PostgreSQL's `enable_*` GUCs (used
+/// by Bao) and `pg_hint_plan`'s `Leading` hints (used by HyperQO).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintSet {
+    /// Permit hash joins.
+    pub allow_hash: bool,
+    /// Permit nested-loop joins.
+    pub allow_nl: bool,
+    /// Permit merge joins.
+    pub allow_merge: bool,
+    /// Restrict enumeration to left-deep trees.
+    pub left_deep_only: bool,
+    /// Force the join order to start with these table positions, in order
+    /// (implies a left-deep prefix). Empty = unconstrained.
+    pub leading: Vec<usize>,
+    /// Use exhaustive DP up to this many tables; greedy beyond.
+    pub dp_table_limit: usize,
+}
+
+impl Default for HintSet {
+    fn default() -> Self {
+        HintSet {
+            allow_hash: true,
+            allow_nl: true,
+            allow_merge: true,
+            left_deep_only: false,
+            leading: Vec::new(),
+            dp_table_limit: 12,
+        }
+    }
+}
+
+impl HintSet {
+    /// The unrestricted hint set.
+    pub fn none() -> HintSet {
+        HintSet::default()
+    }
+
+    /// The standard Bao-style arm family: every non-empty combination of
+    /// the three join operators, plus a left-deep variant of the
+    /// all-operators arm. Arm 0 is always the unrestricted native optimizer.
+    pub fn standard_arms() -> Vec<HintSet> {
+        let mut arms = Vec::new();
+        for mask in (1u8..8).rev() {
+            arms.push(HintSet {
+                allow_hash: mask & 0b100 != 0,
+                allow_nl: mask & 0b010 != 0,
+                allow_merge: mask & 0b001 != 0,
+                ..HintSet::default()
+            });
+        }
+        arms.push(HintSet {
+            left_deep_only: true,
+            ..HintSet::default()
+        });
+        arms
+    }
+
+    /// A hint set forcing a leading join-order prefix.
+    pub fn with_leading(leading: Vec<usize>) -> HintSet {
+        HintSet {
+            leading,
+            ..HintSet::default()
+        }
+    }
+
+    /// Number of join algorithms permitted.
+    pub fn num_allowed_algos(&self) -> usize {
+        self.allow_hash as usize + self.allow_nl as usize + self.allow_merge as usize
+    }
+
+    /// Short label for reports, e.g. `"hash+merge,left-deep"`.
+    pub fn label(&self) -> String {
+        let mut ops = Vec::new();
+        if self.allow_hash {
+            ops.push("hash");
+        }
+        if self.allow_nl {
+            ops.push("nl");
+        }
+        if self.allow_merge {
+            ops.push("merge");
+        }
+        let mut s = ops.join("+");
+        if self.left_deep_only {
+            s.push_str(",left-deep");
+        }
+        if !self.leading.is_empty() {
+            s.push_str(&format!(",leading={:?}", self.leading));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_allows_everything() {
+        let h = HintSet::default();
+        assert_eq!(h.num_allowed_algos(), 3);
+        assert!(!h.left_deep_only);
+        assert!(h.leading.is_empty());
+    }
+
+    #[test]
+    fn standard_arms_start_unrestricted() {
+        let arms = HintSet::standard_arms();
+        assert_eq!(arms.len(), 8);
+        assert_eq!(arms[0], HintSet::default());
+        // Every arm allows at least one operator.
+        assert!(arms.iter().all(|a| a.num_allowed_algos() >= 1));
+        // All arms are distinct.
+        for (i, a) in arms.iter().enumerate() {
+            for b in &arms[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(HintSet::default().label(), "hash+nl+merge");
+        let h = HintSet {
+            allow_merge: false,
+            left_deep_only: true,
+            ..HintSet::default()
+        };
+        assert_eq!(h.label(), "hash+nl,left-deep");
+        assert!(HintSet::with_leading(vec![2, 0])
+            .label()
+            .contains("leading"));
+    }
+}

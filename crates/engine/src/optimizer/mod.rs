@@ -1,0 +1,87 @@
+//! The classical cost-based optimizer: pluggable cardinality sources, an
+//! analytical cost model, hint sets, and DP/greedy plan enumeration.
+//!
+//! This is the "native optimizer" every learned method is measured against,
+//! and — through [`CardSource`], [`HintSet`] and the enumeration entry
+//! points — also the substrate learned methods steer (Bao steers hints,
+//! Lero scales cardinalities, HyperQO constrains leading orders, injected
+//! estimators replace cardinalities wholesale).
+
+pub mod card_source;
+pub mod cost;
+pub mod enumerate;
+pub mod hints;
+
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::exec::workunits::CostParams;
+use crate::plan::physical::PhysNode;
+use crate::query::join_graph::JoinGraph;
+use crate::query::spj::SpjQuery;
+
+pub use card_source::{
+    CardSource, InjectedCardSource, ScaledCardSource, TraditionalCardSource, TrueCardSource,
+};
+pub use cost::plan_cost;
+pub use enumerate::{dp_optimize, greedy_optimize, PlanChoice};
+pub use hints::HintSet;
+
+/// The cost-based optimizer.
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    params: CostParams,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Create an optimizer with given cost parameters.
+    pub fn new(catalog: &'a Catalog, params: CostParams) -> Optimizer<'a> {
+        Optimizer { catalog, params }
+    }
+
+    /// Optimizer with default cost parameters.
+    pub fn with_defaults(catalog: &'a Catalog) -> Optimizer<'a> {
+        Optimizer::new(catalog, CostParams::default())
+    }
+
+    /// Cost parameters in use.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Optimize under a hint set. Uses exhaustive DP when the query is
+    /// connected and small enough, greedy otherwise.
+    pub fn optimize(
+        &self,
+        query: &SpjQuery,
+        card: &dyn CardSource,
+        hints: &HintSet,
+    ) -> Result<PlanChoice> {
+        let graph = JoinGraph::new(query);
+        if query.num_tables() <= hints.dp_table_limit && graph.is_connected(query.all_tables()) {
+            dp_optimize(query, &graph, self.catalog, card, &self.params, hints)
+        } else {
+            greedy_optimize(query, &graph, self.catalog, card, &self.params, hints)
+        }
+    }
+
+    /// Optimize with default hints.
+    pub fn optimize_default(&self, query: &SpjQuery, card: &dyn CardSource) -> Result<PlanChoice> {
+        self.optimize(query, card, &HintSet::default())
+    }
+
+    /// Greedy optimization regardless of size (used as a baseline).
+    pub fn greedy(
+        &self,
+        query: &SpjQuery,
+        card: &dyn CardSource,
+        hints: &HintSet,
+    ) -> Result<PlanChoice> {
+        let graph = JoinGraph::new(query);
+        greedy_optimize(query, &graph, self.catalog, card, &self.params, hints)
+    }
+
+    /// Estimated cost of an arbitrary plan under a cardinality source.
+    pub fn cost(&self, query: &SpjQuery, plan: &PhysNode, card: &dyn CardSource) -> Result<f64> {
+        plan_cost(plan, query, self.catalog, card, &self.params)
+    }
+}

@@ -1,0 +1,130 @@
+//! Logical join trees: join order without physical operator choices.
+
+use crate::query::table_set::TableSet;
+
+/// A binary join tree over table positions. This is the object join-order
+/// search methods (`lqo-join`) produce; the optimizer then assigns physical
+/// operators to turn it into a [`crate::plan::PhysNode`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinTree {
+    /// A base table (position in the query's `FROM` list).
+    Leaf(usize),
+    /// A join of two subtrees.
+    Join(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    /// Join two subtrees.
+    pub fn join(left: JoinTree, right: JoinTree) -> JoinTree {
+        JoinTree::Join(Box::new(left), Box::new(right))
+    }
+
+    /// Build a left-deep tree following `order` (first element is the
+    /// left-most leaf).
+    pub fn left_deep(order: &[usize]) -> Option<JoinTree> {
+        let mut it = order.iter();
+        let first = *it.next()?;
+        let mut tree = JoinTree::Leaf(first);
+        for &pos in it {
+            tree = JoinTree::join(tree, JoinTree::Leaf(pos));
+        }
+        Some(tree)
+    }
+
+    /// Set of tables covered by this subtree.
+    pub fn tables(&self) -> TableSet {
+        match self {
+            JoinTree::Leaf(p) => TableSet::singleton(*p),
+            JoinTree::Join(l, r) => l.tables().union(r.tables()),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.tables().len()
+    }
+
+    /// Number of join nodes.
+    pub fn num_joins(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 0,
+            JoinTree::Join(l, r) => 1 + l.num_joins() + r.num_joins(),
+        }
+    }
+
+    /// True when every right child is a leaf (left-deep shape).
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join(l, r) => matches!(**r, JoinTree::Leaf(_)) && l.is_left_deep(),
+        }
+    }
+
+    /// Leaves in left-to-right order.
+    pub fn leaf_order(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        fn walk(t: &JoinTree, out: &mut Vec<usize>) {
+            match t {
+                JoinTree::Leaf(p) => out.push(*p),
+                JoinTree::Join(l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Height of the tree (a leaf has height 0).
+    pub fn height(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 0,
+            JoinTree::Join(l, r) => 1 + l.height().max(r.height()),
+        }
+    }
+}
+
+impl std::fmt::Display for JoinTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinTree::Leaf(p) => write!(f, "{p}"),
+            JoinTree::Join(l, r) => write!(f, "({l} ⋈ {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_deep_construction() {
+        let t = JoinTree::left_deep(&[2, 0, 1]).unwrap();
+        assert!(t.is_left_deep());
+        assert_eq!(t.leaf_order(), vec![2, 0, 1]);
+        assert_eq!(t.num_joins(), 2);
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.tables(), TableSet::full(3));
+        assert_eq!(t.to_string(), "((2 ⋈ 0) ⋈ 1)");
+    }
+
+    #[test]
+    fn bushy_tree_is_not_left_deep() {
+        let t = JoinTree::join(
+            JoinTree::join(JoinTree::Leaf(0), JoinTree::Leaf(1)),
+            JoinTree::join(JoinTree::Leaf(2), JoinTree::Leaf(3)),
+        );
+        assert!(!t.is_left_deep());
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn empty_order() {
+        assert!(JoinTree::left_deep(&[]).is_none());
+        let single = JoinTree::left_deep(&[5]).unwrap();
+        assert_eq!(single, JoinTree::Leaf(5));
+        assert!(single.is_left_deep());
+        assert_eq!(single.height(), 0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Logical join trees and physical plans.
+
+pub mod logical;
+pub mod physical;
+
+pub use logical::JoinTree;
+pub use physical::{JoinAlgo, PhysNode};

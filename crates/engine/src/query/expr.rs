@@ -1,0 +1,211 @@
+//! Query building blocks: table references, column references, comparison
+//! predicates and equi-join conditions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::Value;
+
+/// An entry of the `FROM` clause: a base table with an alias.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub table: String,
+    /// Alias used by predicates and joins (defaults to the table name).
+    pub alias: String,
+}
+
+impl TableRef {
+    /// Reference a table under an alias.
+    pub fn new(table: impl Into<String>, alias: impl Into<String>) -> TableRef {
+        TableRef {
+            table: table.into(),
+            alias: alias.into(),
+        }
+    }
+
+    /// Reference a table under its own name.
+    pub fn bare(table: impl Into<String>) -> TableRef {
+        let t = table.into();
+        TableRef {
+            alias: t.clone(),
+            table: t,
+        }
+    }
+}
+
+/// A column reference `alias.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColRef {
+    /// Alias of the table in the query's `FROM` list.
+    pub alias: String,
+    /// Column name within that table.
+    pub column: String,
+}
+
+impl ColRef {
+    /// Shorthand constructor.
+    pub fn new(alias: impl Into<String>, column: impl Into<String>) -> ColRef {
+        ColRef {
+            alias: alias.into(),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.alias, self.column)
+    }
+}
+
+/// Comparison operator of a filter predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// All operators, for featurization (one-hot encodings need a stable
+    /// ordering).
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Neq,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// Position in [`CmpOp::ALL`], for one-hot features.
+    pub fn index(self) -> usize {
+        CmpOp::ALL.iter().position(|&o| o == self).unwrap()
+    }
+
+    /// Evaluate the operator on an ordering of `lhs.cmp(rhs)`.
+    pub fn matches(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Neq => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single-column filter predicate `alias.column OP literal`.
+///
+/// Conjunctions are represented as a list of predicates on the query;
+/// `BETWEEN` desugars into a `Ge`/`Le` pair in the parser.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Filtered column.
+    pub col: ColRef,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Shorthand constructor.
+    pub fn new(col: ColRef, op: CmpOp, value: Value) -> Predicate {
+        Predicate { col, op, value }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.col, self.op, self.value)
+    }
+}
+
+/// An equi-join condition `left = right` between two integer columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JoinCond {
+    /// One side of the equality.
+    pub left: ColRef,
+    /// The other side.
+    pub right: ColRef,
+}
+
+impl JoinCond {
+    /// Shorthand constructor.
+    pub fn new(left: ColRef, right: ColRef) -> JoinCond {
+        JoinCond { left, right }
+    }
+}
+
+impl fmt::Display for JoinCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.left, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.matches(Ordering::Equal));
+        assert!(!CmpOp::Eq.matches(Ordering::Less));
+        assert!(CmpOp::Neq.matches(Ordering::Greater));
+        assert!(CmpOp::Lt.matches(Ordering::Less));
+        assert!(CmpOp::Le.matches(Ordering::Equal));
+        assert!(CmpOp::Gt.matches(Ordering::Greater));
+        assert!(CmpOp::Ge.matches(Ordering::Equal));
+        assert!(!CmpOp::Ge.matches(Ordering::Less));
+    }
+
+    #[test]
+    fn cmp_op_index_is_stable() {
+        for (i, op) in CmpOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Predicate::new(ColRef::new("t", "x"), CmpOp::Ge, Value::Int(5));
+        assert_eq!(p.to_string(), "t.x >= 5");
+        let j = JoinCond::new(ColRef::new("a", "id"), ColRef::new("b", "a_id"));
+        assert_eq!(j.to_string(), "a.id = b.a_id");
+    }
+
+    #[test]
+    fn bare_table_ref_aliases_to_itself() {
+        let t = TableRef::bare("title");
+        assert_eq!(t.alias, "title");
+    }
+}

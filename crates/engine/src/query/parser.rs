@@ -1,0 +1,332 @@
+//! A small SQL-ish parser for count-star SPJ queries.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := SELECT COUNT ( * ) FROM from (WHERE cond (AND cond)*)? ;?
+//! from    := table (AS? ident)? (, table (AS? ident)?)*
+//! cond    := col op literal
+//!          | col = col              -- equi-join
+//!          | col BETWEEN literal AND literal
+//! col     := ident . ident
+//! op      := = | <> | != | < | <= | > | >=
+//! literal := int | float | 'text'
+//! ```
+
+use crate::error::{EngineError, Result};
+use crate::query::expr::{CmpOp, ColRef, JoinCond, Predicate, TableRef};
+use crate::query::spj::SpjQuery;
+use crate::types::Value;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(String),
+}
+
+fn keyword_eq(tok: &Token, kw: &str) -> bool {
+    matches!(tok, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            i += 1;
+            let mut is_float = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                if chars[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float {
+                let v = text
+                    .parse::<f64>()
+                    .map_err(|_| EngineError::Parse(format!("bad float literal: {text}")))?;
+                out.push(Token::Float(v));
+            } else {
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|_| EngineError::Parse(format!("bad int literal: {text}")))?;
+                out.push(Token::Int(v));
+            }
+        } else if c == '\'' {
+            let start = i + 1;
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(EngineError::Parse("unterminated string literal".into()));
+            }
+            out.push(Token::Str(chars[start..i].iter().collect()));
+            i += 1;
+        } else {
+            // Multi-char operators first.
+            let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+            if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+                out.push(Token::Symbol(two));
+                i += 2;
+            } else {
+                out.push(Token::Symbol(c.to_string()));
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| EngineError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        let t = self.next()?;
+        if keyword_eq(&t, kw) {
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!("expected {kw}, got {t:?}")))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        let t = self.next()?;
+        if matches!(&t, Token::Symbol(s) if s == sym) {
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!("expected '{sym}', got {t:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            t => Err(EngineError::Parse(format!(
+                "expected identifier, got {t:?}"
+            ))),
+        }
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef> {
+        let alias = self.ident()?;
+        self.expect_symbol(".")?;
+        let column = self.ident()?;
+        Ok(ColRef::new(alias, column))
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next()? {
+            Token::Int(v) => Ok(Value::Int(v)),
+            Token::Float(v) => Ok(Value::Float(v)),
+            Token::Str(s) => Ok(Value::Text(s)),
+            t => Err(EngineError::Parse(format!("expected literal, got {t:?}"))),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        match self.next()? {
+            Token::Symbol(s) => match s.as_str() {
+                "=" => Ok(CmpOp::Eq),
+                "<>" | "!=" => Ok(CmpOp::Neq),
+                "<" => Ok(CmpOp::Lt),
+                "<=" => Ok(CmpOp::Le),
+                ">" => Ok(CmpOp::Gt),
+                ">=" => Ok(CmpOp::Ge),
+                other => Err(EngineError::Parse(format!("unknown operator '{other}'"))),
+            },
+            t => Err(EngineError::Parse(format!("expected operator, got {t:?}"))),
+        }
+    }
+}
+
+/// Parse a count-star SPJ query.
+pub fn parse_query(input: &str) -> Result<SpjQuery> {
+    let mut p = Parser {
+        toks: tokenize(input)?,
+        pos: 0,
+    };
+    p.expect_keyword("SELECT")?;
+    p.expect_keyword("COUNT")?;
+    p.expect_symbol("(")?;
+    p.expect_symbol("*")?;
+    p.expect_symbol(")")?;
+    p.expect_keyword("FROM")?;
+
+    let mut tables = Vec::new();
+    loop {
+        let table = p.ident()?;
+        // Optional alias: `t alias`, `t AS alias`.
+        let alias = match p.peek() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("AS") => {
+                p.next()?;
+                Some(p.ident()?)
+            }
+            Some(Token::Ident(s)) if !s.eq_ignore_ascii_case("WHERE") => {
+                let a = s.clone();
+                p.next()?;
+                Some(a)
+            }
+            _ => None,
+        };
+        tables.push(match alias {
+            Some(a) => TableRef::new(table, a),
+            None => TableRef::bare(table),
+        });
+        if matches!(p.peek(), Some(Token::Symbol(s)) if s == ",") {
+            p.next()?;
+        } else {
+            break;
+        }
+    }
+
+    let mut joins = Vec::new();
+    let mut predicates = Vec::new();
+    if p.peek().is_some_and(|t| keyword_eq(t, "WHERE")) {
+        p.next()?;
+        loop {
+            let col = p.col_ref()?;
+            if p.peek().is_some_and(|t| keyword_eq(t, "BETWEEN")) {
+                p.next()?;
+                let lo = p.literal()?;
+                p.expect_keyword("AND")?;
+                let hi = p.literal()?;
+                predicates.push(Predicate::new(col.clone(), CmpOp::Ge, lo));
+                predicates.push(Predicate::new(col, CmpOp::Le, hi));
+            } else {
+                let op = p.cmp_op()?;
+                // Column on the RHS means this is a join condition.
+                let is_col = matches!(
+                    (p.peek(), p.toks.get(p.pos + 1)),
+                    (Some(Token::Ident(_)), Some(Token::Symbol(s))) if s == "."
+                );
+                if is_col {
+                    if op != CmpOp::Eq {
+                        return Err(EngineError::Parse("only equi-joins are supported".into()));
+                    }
+                    let rhs = p.col_ref()?;
+                    joins.push(JoinCond::new(col, rhs));
+                } else {
+                    let v = p.literal()?;
+                    predicates.push(Predicate::new(col, op, v));
+                }
+            }
+            if p.peek().is_some_and(|t| keyword_eq(t, "AND")) {
+                p.next()?;
+            } else {
+                break;
+            }
+        }
+    }
+    // Optional trailing semicolon.
+    if matches!(p.peek(), Some(Token::Symbol(s)) if s == ";") {
+        p.next()?;
+    }
+    if p.pos != p.toks.len() {
+        return Err(EngineError::Parse(format!(
+            "trailing input at token {}",
+            p.pos
+        )));
+    }
+    Ok(SpjQuery::new(tables, joins, predicates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_join_query() {
+        let q = parse_query(
+            "SELECT COUNT(*) FROM title t, cast_info ci \
+             WHERE t.id = ci.movie_id AND t.production_year > 1990 AND ci.role_id = 2;",
+        )
+        .unwrap();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.tables[0].alias, "t");
+    }
+
+    #[test]
+    fn parse_between_desugars() {
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE t.x BETWEEN 3 AND 7").unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.predicates[0].op, CmpOp::Ge);
+        assert_eq!(q.predicates[1].op, CmpOp::Le);
+    }
+
+    #[test]
+    fn parse_as_alias_and_bare() {
+        let q = parse_query("SELECT COUNT(*) FROM users AS u, posts").unwrap();
+        assert_eq!(q.tables[0].alias, "u");
+        assert_eq!(q.tables[1].alias, "posts");
+    }
+
+    #[test]
+    fn parse_string_and_float_literals() {
+        let q =
+            parse_query("SELECT COUNT(*) FROM t WHERE t.s = 'abc' AND t.f <= 2.5 AND t.i <> -4")
+                .unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert_eq!(q.predicates[0].value, Value::Text("abc".into()));
+        assert_eq!(q.predicates[1].value, Value::Float(2.5));
+        assert_eq!(q.predicates[2].value, Value::Int(-4));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let q =
+            parse_query("SELECT COUNT(*) FROM a x, b y WHERE x.id = y.a_id AND x.v >= 10").unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn rejects_non_equi_join() {
+        let r = parse_query("SELECT COUNT(*) FROM a x, b y WHERE x.id < y.id");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("SELECT * FROM t").is_err());
+        assert!(parse_query("SELECT COUNT(*) FROM t WHERE").is_err());
+        assert!(parse_query("SELECT COUNT(*) FROM t WHERE t.x = 'oops").is_err());
+        assert!(parse_query("SELECT COUNT(*) FROM t extra tokens here").is_err());
+    }
+}

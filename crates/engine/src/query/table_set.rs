@@ -1,0 +1,226 @@
+//! Compact bitset over the tables of one query (≤ 64 relations).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of table positions within a single [`crate::query::SpjQuery`].
+///
+/// Position `i` refers to `query.tables[i]`. The optimizer's dynamic
+/// programming, the true-cardinality oracle and every cardinality-estimator
+/// interface key sub-plans by this type.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct TableSet(pub u64);
+
+impl TableSet {
+    /// The empty set.
+    pub const EMPTY: TableSet = TableSet(0);
+
+    /// Set containing a single table position.
+    pub fn singleton(pos: usize) -> TableSet {
+        debug_assert!(pos < 64);
+        TableSet(1u64 << pos)
+    }
+
+    /// Set containing positions `0..n`.
+    pub fn full(n: usize) -> TableSet {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            TableSet(u64::MAX)
+        } else {
+            TableSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Build from an iterator of positions (also available through the
+    /// standard [`FromIterator`] impl, so `collect()` works).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(iter: impl IntoIterator<Item = usize>) -> TableSet {
+        iter.into_iter().collect()
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, pos: usize) -> bool {
+        pos < 64 && (self.0 >> pos) & 1 == 1
+    }
+
+    /// Set with `pos` added.
+    #[must_use]
+    pub fn insert(self, pos: usize) -> TableSet {
+        TableSet(self.0 | (1u64 << pos))
+    }
+
+    /// Set with `pos` removed.
+    #[must_use]
+    pub fn remove(self, pos: usize) -> TableSet {
+        TableSet(self.0 & !(1u64 << pos))
+    }
+
+    /// Union.
+    #[must_use]
+    pub fn union(self, other: TableSet) -> TableSet {
+        TableSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[must_use]
+    pub fn intersect(self, other: TableSet) -> TableSet {
+        TableSet(self.0 & other.0)
+    }
+
+    /// Difference (`self \ other`).
+    #[must_use]
+    pub fn minus(self, other: TableSet) -> TableSet {
+        TableSet(self.0 & !other.0)
+    }
+
+    /// True when `self ⊆ other`.
+    pub fn is_subset_of(self, other: TableSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True when the sets share no member.
+    pub fn is_disjoint(self, other: TableSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterate member positions in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let pos = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(pos)
+            }
+        })
+    }
+
+    /// Smallest member, if any.
+    pub fn first(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Enumerate all non-empty proper subsets of `self`.
+    ///
+    /// Used by DP-over-subsets plan enumeration: for a set `S` this yields
+    /// every `S1` with `∅ ⊂ S1 ⊂ S`, from which the complement `S \ S1`
+    /// forms the join partner.
+    pub fn proper_subsets(self) -> impl Iterator<Item = TableSet> {
+        let full = self.0;
+        let mut sub = full & full.wrapping_sub(1); // largest proper subset
+        let mut done = full == 0;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            if sub == 0 {
+                done = true;
+                return None;
+            }
+            let cur = TableSet(sub);
+            sub = (sub - 1) & full;
+            Some(cur)
+        })
+    }
+}
+
+impl FromIterator<usize> for TableSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> TableSet {
+        let mut s = TableSet::EMPTY;
+        for p in iter {
+            s = s.insert(p);
+        }
+        s
+    }
+}
+
+impl fmt::Display for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let s = TableSet::from_iter([0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2));
+        assert!(!s.contains(1));
+        assert_eq!(s.remove(2).len(), 2);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(s.to_string(), "{0,2,5}");
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = TableSet::from_iter([0, 1]);
+        let b = TableSet::from_iter([1, 2]);
+        assert_eq!(a.union(b), TableSet::from_iter([0, 1, 2]));
+        assert_eq!(a.intersect(b), TableSet::singleton(1));
+        assert_eq!(a.minus(b), TableSet::singleton(0));
+        assert!(a.is_subset_of(TableSet::full(3)));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_disjoint(TableSet::singleton(2)));
+    }
+
+    #[test]
+    fn proper_subsets_of_three_elements() {
+        let s = TableSet::from_iter([0, 1, 3]);
+        let subs: Vec<TableSet> = s.proper_subsets().collect();
+        // 2^3 - 2 = 6 proper non-empty subsets.
+        assert_eq!(subs.len(), 6);
+        for sub in &subs {
+            assert!(sub.is_subset_of(s));
+            assert!(!sub.is_empty());
+            assert_ne!(*sub, s);
+        }
+    }
+
+    #[test]
+    fn proper_subsets_of_singleton_is_empty() {
+        assert_eq!(TableSet::singleton(4).proper_subsets().count(), 0);
+        assert_eq!(TableSet::EMPTY.proper_subsets().count(), 0);
+    }
+
+    #[test]
+    fn full_set() {
+        assert_eq!(TableSet::full(0), TableSet::EMPTY);
+        assert_eq!(TableSet::full(3).len(), 3);
+    }
+
+    #[test]
+    fn iter_order() {
+        let s = TableSet::from_iter([7, 1, 4]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 4, 7]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Table schemas and key metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::DataType;
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+}
+
+impl ColumnDef {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// Schema of a table: ordered column definitions plus an optional primary
+/// key (always a single integer column in this engine).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name, unique within the catalog.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Index into `columns` of the primary key, if any.
+    pub primary_key: Option<usize>,
+}
+
+impl TableSchema {
+    /// Create a schema; `primary_key` names the PK column if present.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: Option<&str>,
+    ) -> Self {
+        let pk = primary_key.and_then(|p| columns.iter().position(|c| c.name == p));
+        TableSchema {
+            name: name.into(),
+            columns,
+            primary_key: pk,
+        }
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A foreign-key edge between two tables in the catalog. These edges define
+/// the join graph that the workload generators draw joins from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing table name.
+    pub table: String,
+    /// Referencing column name.
+    pub column: String,
+    /// Referenced table name.
+    pub ref_table: String,
+    /// Referenced column name (its primary key in all generators).
+    pub ref_column: String,
+}
+
+impl ForeignKey {
+    /// Shorthand constructor.
+    pub fn new(
+        table: impl Into<String>,
+        column: impl Into<String>,
+        ref_table: impl Into<String>,
+        ref_column: impl Into<String>,
+    ) -> Self {
+        ForeignKey {
+            table: table.into(),
+            column: column.into(),
+            ref_table: ref_table.into(),
+            ref_column: ref_column.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("x", DataType::Float),
+            ],
+            Some("id"),
+        )
+    }
+
+    #[test]
+    fn pk_resolution() {
+        let s = schema();
+        assert_eq!(s.primary_key, Some(0));
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn missing_pk_is_none() {
+        let s = TableSchema::new("t", vec![ColumnDef::new("x", DataType::Int)], Some("nope"));
+        assert_eq!(s.primary_key, None);
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let s = schema();
+        assert_eq!(s.column_index("x"), Some(1));
+        assert_eq!(s.column_index("y"), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Equi-depth (equi-height) histograms over numeric columns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::query::expr::CmpOp;
+
+/// An equi-depth histogram: bucket boundaries chosen so each bucket holds
+/// (approximately) the same number of rows. Selectivity of a range predicate
+/// is estimated by linear interpolation within the boundary bucket — the
+/// same scheme PostgreSQL's `scalarltsel` uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiDepthHistogram {
+    /// `buckets + 1` boundaries, non-decreasing.
+    bounds: Vec<f64>,
+    /// Total number of rows summarized.
+    total: f64,
+}
+
+impl EquiDepthHistogram {
+    /// Build from raw values (need not be sorted). `buckets` is clamped to
+    /// the number of values. Returns `None` for empty input.
+    pub fn build(values: &[f64], buckets: usize) -> Option<EquiDepthHistogram> {
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let b = buckets.min(sorted.len());
+        let n = sorted.len();
+        let mut bounds = Vec::with_capacity(b + 1);
+        bounds.push(sorted[0]);
+        for i in 1..b {
+            let idx = (i * n) / b;
+            bounds.push(sorted[idx.min(n - 1)]);
+        }
+        bounds.push(sorted[n - 1]);
+        Some(EquiDepthHistogram {
+            bounds,
+            total: n as f64,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Smallest summarized value.
+    pub fn min(&self) -> f64 {
+        self.bounds[0]
+    }
+
+    /// Largest summarized value.
+    pub fn max(&self) -> f64 {
+        *self.bounds.last().unwrap()
+    }
+
+    /// Estimated fraction of rows with value `< v` (strict).
+    pub fn frac_below(&self, v: f64) -> f64 {
+        if v <= self.min() {
+            return 0.0;
+        }
+        if v > self.max() {
+            return 1.0;
+        }
+        let nb = self.num_buckets() as f64;
+        // Find the bucket containing v.
+        let mut lo = 0usize;
+        let mut hi = self.num_buckets();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.bounds[mid + 1] < v {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let (b_lo, b_hi) = (self.bounds[lo], self.bounds[lo + 1]);
+        let within = if b_hi > b_lo {
+            ((v - b_lo) / (b_hi - b_lo)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        ((lo as f64 + within) / nb).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of a range operator. Equality is better served
+    /// by MCVs + distinct counts; here it falls back to one bucket-width of
+    /// probability mass, which the caller overrides when it has ndv.
+    pub fn selectivity(&self, op: CmpOp, v: f64) -> f64 {
+        match op {
+            CmpOp::Lt => self.frac_below(v),
+            CmpOp::Le => self.frac_below(v + 0.0) + self.point_mass(),
+            CmpOp::Gt => 1.0 - self.frac_below(v) - self.point_mass(),
+            CmpOp::Ge => 1.0 - self.frac_below(v),
+            CmpOp::Eq => self.point_mass(),
+            CmpOp::Neq => 1.0 - self.point_mass(),
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    /// Default point-probability mass: one part in `total` rows, floored at
+    /// a tiny epsilon so products never collapse to zero.
+    fn point_mass(&self) -> f64 {
+        (1.0 / self.total).max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_0_99() -> EquiDepthHistogram {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        EquiDepthHistogram::build(&vals, 10).unwrap()
+    }
+
+    #[test]
+    fn build_shapes() {
+        let h = uniform_0_99();
+        assert_eq!(h.num_buckets(), 10);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 99.0);
+    }
+
+    #[test]
+    fn frac_below_uniform_is_linear() {
+        let h = uniform_0_99();
+        assert!((h.frac_below(50.0) - 0.5).abs() < 0.05);
+        assert!((h.frac_below(25.0) - 0.25).abs() < 0.05);
+        assert_eq!(h.frac_below(-10.0), 0.0);
+        assert_eq!(h.frac_below(1000.0), 1.0);
+    }
+
+    #[test]
+    fn range_selectivities_are_complementary() {
+        let h = uniform_0_99();
+        let lt = h.selectivity(CmpOp::Lt, 30.0);
+        let ge = h.selectivity(CmpOp::Ge, 30.0);
+        assert!((lt + ge - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_data_buckets_adapt() {
+        // 90% of mass at value 0, the rest spread over [1, 10].
+        let mut vals = vec![0.0; 900];
+        vals.extend((0..100).map(|i| 1.0 + (i as f64) * 0.09));
+        let h = EquiDepthHistogram::build(&vals, 10).unwrap();
+        // Almost everything is below 0.5.
+        assert!(h.frac_below(0.5) > 0.8);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(EquiDepthHistogram::build(&[], 10).is_none());
+        assert!(EquiDepthHistogram::build(&[1.0], 0).is_none());
+        let h = EquiDepthHistogram::build(&[5.0, 5.0, 5.0], 4).unwrap();
+        assert_eq!(h.min(), 5.0);
+        assert_eq!(h.max(), 5.0);
+        // All-equal column: everything is >= 5 and <= 5.
+        assert_eq!(h.frac_below(5.0), 0.0);
+        assert_eq!(h.frac_below(5.1), 1.0);
+    }
+
+    #[test]
+    fn non_finite_values_filtered() {
+        let h = EquiDepthHistogram::build(&[1.0, f64::NAN, 2.0, f64::INFINITY], 2).unwrap();
+        assert_eq!(h.max(), 2.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! HyperLogLog distinct-count sketch.
+//!
+//! Used to estimate per-column NDV (number of distinct values) without
+//! materializing a hash set over the whole column. NDV feeds the classical
+//! join-selectivity formula `1 / max(ndv_l, ndv_r)`.
+
+/// A HyperLogLog sketch with `2^b` registers.
+#[derive(Debug, Clone)]
+pub struct HyperLogLog {
+    b: u8,
+    registers: Vec<u8>,
+}
+
+/// SplitMix64: a fast, well-mixed 64-bit hash for integer keys.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl HyperLogLog {
+    /// Create a sketch with `2^b` registers (`4 <= b <= 16`).
+    pub fn new(b: u8) -> HyperLogLog {
+        let b = b.clamp(4, 16);
+        HyperLogLog {
+            b,
+            registers: vec![0; 1 << b],
+        }
+    }
+
+    /// Insert a pre-hashed 64-bit key.
+    pub fn insert_hash(&mut self, hash: u64) {
+        let idx = (hash >> (64 - self.b)) as usize;
+        let rest = hash << self.b;
+        // Rank = position of the leftmost 1-bit in the remaining bits.
+        let rank = (rest.leading_zeros() as u8).min(64 - self.b) + 1;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Insert an integer key (hashed internally).
+    pub fn insert_i64(&mut self, v: i64) {
+        self.insert_hash(splitmix64(v as u64));
+    }
+
+    /// Insert a float key (hashed by bit pattern; `-0.0` normalized).
+    pub fn insert_f64(&mut self, v: f64) {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.insert_hash(splitmix64(v.to_bits()));
+    }
+
+    /// Estimated number of distinct inserted keys, with the standard
+    /// small-range (linear counting) correction.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+}
+
+/// Exact-or-sketched NDV of an integer slice: exact via hash set for small
+/// inputs, HLL for large ones. The cutoff keeps stats builds fast while
+/// exercising the sketch on realistic sizes.
+pub fn ndv_i64(values: &[i64]) -> f64 {
+    if values.len() <= 4096 {
+        let set: std::collections::HashSet<i64> = values.iter().copied().collect();
+        set.len() as f64
+    } else {
+        let mut hll = HyperLogLog::new(12);
+        for &v in values {
+            hll.insert_i64(v);
+        }
+        hll.estimate().min(values.len() as f64).max(1.0)
+    }
+}
+
+/// Same as [`ndv_i64`] for floats.
+pub fn ndv_f64(values: &[f64]) -> f64 {
+    if values.len() <= 4096 {
+        let set: std::collections::HashSet<u64> = values.iter().map(|v| v.to_bits()).collect();
+        set.len() as f64
+    } else {
+        let mut hll = HyperLogLog::new(12);
+        for &v in values {
+            hll.insert_f64(v);
+        }
+        hll.estimate().min(values.len() as f64).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hll_small_cardinality_is_near_exact() {
+        let mut h = HyperLogLog::new(10);
+        for i in 0..100 {
+            h.insert_i64(i);
+        }
+        let est = h.estimate();
+        assert!((est - 100.0).abs() / 100.0 < 0.1, "est = {est}");
+    }
+
+    #[test]
+    fn hll_large_cardinality_within_5_percent() {
+        let mut h = HyperLogLog::new(12);
+        for i in 0..200_000i64 {
+            h.insert_i64(i * 7 + 13);
+        }
+        let est = h.estimate();
+        let err = (est - 200_000.0).abs() / 200_000.0;
+        assert!(err < 0.05, "relative error {err} too large (est {est})");
+    }
+
+    #[test]
+    fn hll_duplicates_do_not_inflate() {
+        let mut h = HyperLogLog::new(10);
+        for _ in 0..10_000 {
+            h.insert_i64(42);
+        }
+        assert!(h.estimate() < 3.0);
+    }
+
+    #[test]
+    fn ndv_helpers() {
+        let v: Vec<i64> = (0..1000).map(|i| i % 17).collect();
+        assert_eq!(ndv_i64(&v), 17.0);
+        let big: Vec<i64> = (0..10_000).collect();
+        let est = ndv_i64(&big);
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.05);
+        let f: Vec<f64> = (0..100).map(|i| (i % 5) as f64).collect();
+        assert_eq!(ndv_f64(&f), 5.0);
+    }
+
+    #[test]
+    fn float_zero_normalization() {
+        let mut h = HyperLogLog::new(10);
+        h.insert_f64(0.0);
+        h.insert_f64(-0.0);
+        assert!(h.estimate() < 1.5);
+    }
+}

@@ -1,0 +1,19 @@
+//! Classical per-column statistics: equi-depth histograms, most-common
+//! values, HyperLogLog distinct-count sketches and reservoir samples.
+//!
+//! These drive the engine's *traditional* cardinality estimator (the
+//! PostgreSQL-style baseline every learned method in the paper is compared
+//! against) and also serve as featurization inputs for several learned
+//! estimators.
+
+pub mod histogram;
+pub mod hll;
+pub mod mcv;
+pub mod sample;
+pub mod table_stats;
+
+pub use histogram::EquiDepthHistogram;
+pub use hll::HyperLogLog;
+pub use mcv::Mcv;
+pub use sample::reservoir_sample;
+pub use table_stats::{CatalogStats, ColumnStats, StatsConfig, TableStats};

@@ -1,0 +1,57 @@
+//! Reservoir sampling of row ids.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw a uniform sample of `k` row ids from `0..n` without replacement
+/// using reservoir sampling (Algorithm R). Deterministic given the seed.
+///
+/// The sample underlies the engine's sampling-based cardinality estimator
+/// and the kernel-density estimators in `lqo-card`.
+pub fn reservoir_sample(n: usize, k: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = k.min(n);
+    let mut reservoir: Vec<u32> = (0..k as u32).collect();
+    for i in k..n {
+        let j = rng.gen_range(0..=i);
+        if j < k {
+            reservoir[j] = i as u32;
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_and_range() {
+        let s = reservoir_sample(1000, 100, 7);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&i| i < 1000));
+        // No duplicates.
+        let set: std::collections::HashSet<u32> = s.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn sample_smaller_population() {
+        let s = reservoir_sample(5, 100, 7);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(reservoir_sample(500, 50, 42), reservoir_sample(500, 50, 42));
+        assert_ne!(reservoir_sample(500, 50, 42), reservoir_sample(500, 50, 43));
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Mean of a uniform sample of 0..10000 should be near 5000.
+        let s = reservoir_sample(10_000, 1_000, 3);
+        let mean: f64 = s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64;
+        assert!((mean - 5_000.0).abs() < 500.0, "mean = {mean}");
+    }
+}

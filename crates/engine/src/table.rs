@@ -1,0 +1,259 @@
+//! In-memory tables: a schema plus one [`Column`] per column definition.
+
+use crate::column::Column;
+use crate::error::{EngineError, Result};
+use crate::schema::{ColumnDef, TableSchema};
+use crate::types::Value;
+
+/// An immutable in-memory table. Built once by a generator (or appended to
+/// wholesale for drift experiments), then only read.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Schema of the table.
+    pub schema: TableSchema,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Build a table from a schema and matching columns.
+    ///
+    /// Returns an error when the column count or any column length is
+    /// inconsistent with the schema.
+    pub fn new(schema: TableSchema, columns: Vec<Column>) -> Result<Table> {
+        if schema.columns.len() != columns.len() {
+            return Err(EngineError::InvalidPlan(format!(
+                "table {}: schema has {} columns but {} provided",
+                schema.name,
+                schema.columns.len(),
+                columns.len()
+            )));
+        }
+        let nrows = columns.first().map_or(0, Column::len);
+        for (def, col) in schema.columns.iter().zip(&columns) {
+            if col.len() != nrows {
+                return Err(EngineError::InvalidPlan(format!(
+                    "table {}: column {} has {} rows, expected {}",
+                    schema.name,
+                    def.name,
+                    col.len(),
+                    nrows
+                )));
+            }
+            if col.dtype() != def.dtype {
+                return Err(EngineError::TypeMismatch {
+                    expected: "column type matching schema",
+                    found: format!("{} for column {}", col.dtype(), def.name),
+                });
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            nrows,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Borrow a column by position.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Borrow a column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .column_index(name)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: name.to_string(),
+            })?;
+        Ok(&self.columns[idx])
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Materialize one row as values (slow path; used by tests and display).
+    pub fn row(&self, idx: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(idx)).collect()
+    }
+
+    /// Append all rows of `other` (same schema) to this table. Used by the
+    /// data-drift experiments (E1) to model inserts.
+    pub fn append(&mut self, other: &Table) -> Result<()> {
+        if self.schema.columns != other.schema.columns {
+            return Err(EngineError::TypeMismatch {
+                expected: "identical schema for append",
+                found: other.schema.name.clone(),
+            });
+        }
+        for (dst, src) in self.columns.iter_mut().zip(other.columns.iter()) {
+            match (dst, src) {
+                (Column::Int(d), Column::Int(s)) => d.extend_from_slice(s),
+                (Column::Float(d), Column::Float(s)) => d.extend_from_slice(s),
+                (
+                    Column::Text { dict, codes },
+                    Column::Text {
+                        dict: sdict,
+                        codes: scodes,
+                    },
+                ) => {
+                    // Re-encode source codes into the destination dictionary.
+                    let mut remap = Vec::with_capacity(sdict.len());
+                    for s in sdict {
+                        let code = dict.iter().position(|d| d == s).unwrap_or_else(|| {
+                            dict.push(s.clone());
+                            dict.len() - 1
+                        });
+                        remap.push(code as u32);
+                    }
+                    codes.extend(scodes.iter().map(|&c| remap[c as usize]));
+                }
+                _ => {
+                    return Err(EngineError::TypeMismatch {
+                        expected: "matching column types for append",
+                        found: "mixed".to_string(),
+                    })
+                }
+            }
+        }
+        self.nrows += other.nrows;
+        Ok(())
+    }
+}
+
+/// Convenience builder used by the data generators.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    defs: Vec<ColumnDef>,
+    cols: Vec<Column>,
+    pk: Option<String>,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add an integer column.
+    pub fn int(mut self, name: impl Into<String>, data: Vec<i64>) -> Self {
+        self.defs
+            .push(ColumnDef::new(name, crate::types::DataType::Int));
+        self.cols.push(Column::Int(data));
+        self
+    }
+
+    /// Add a float column.
+    pub fn float(mut self, name: impl Into<String>, data: Vec<f64>) -> Self {
+        self.defs
+            .push(ColumnDef::new(name, crate::types::DataType::Float));
+        self.cols.push(Column::Float(data));
+        self
+    }
+
+    /// Add a text column from raw strings.
+    pub fn text(mut self, name: impl Into<String>, data: Vec<String>) -> Self {
+        self.defs
+            .push(ColumnDef::new(name, crate::types::DataType::Text));
+        self.cols.push(Column::from_strings(data));
+        self
+    }
+
+    /// Mark a column as the primary key.
+    pub fn primary_key(mut self, name: impl Into<String>) -> Self {
+        self.pk = Some(name.into());
+        self
+    }
+
+    /// Finish, validating shape consistency.
+    pub fn build(self) -> Result<Table> {
+        let schema = TableSchema::new(self.name, self.defs, self.pk.as_deref());
+        Table::new(schema, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn small() -> Table {
+        TableBuilder::new("t")
+            .int("id", vec![1, 2, 3])
+            .float("x", vec![0.1, 0.2, 0.3])
+            .text("s", vec!["a".into(), "b".into(), "a".into()])
+            .primary_key("id")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let t = small();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.schema.primary_key, Some(0));
+        assert_eq!(t.column_by_name("x").unwrap().dtype(), DataType::Float);
+        assert_eq!(
+            t.row(2),
+            vec![Value::Int(3), Value::Float(0.3), Value::Text("a".into())]
+        );
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let r = TableBuilder::new("t")
+            .int("a", vec![1, 2])
+            .int("b", vec![1])
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn append_grows_and_remaps_dictionary() {
+        let mut t = small();
+        let extra = TableBuilder::new("t")
+            .int("id", vec![4])
+            .float("x", vec![0.4])
+            .text("s", vec!["c".into()])
+            .primary_key("id")
+            .build()
+            .unwrap();
+        t.append(&extra).unwrap();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.row(3)[2], Value::Text("c".into()));
+    }
+
+    #[test]
+    fn append_schema_mismatch_rejected() {
+        let mut t = small();
+        let other = TableBuilder::new("u").int("id", vec![1]).build().unwrap();
+        assert!(t.append(&other).is_err());
+    }
+
+    #[test]
+    fn unknown_column_error() {
+        let t = small();
+        assert!(matches!(
+            t.column_by_name("nope"),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! Scalar value and data-type definitions.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Logical data type of a column.
+///
+/// Join keys are restricted to [`DataType::Int`]; the synthetic generators
+/// only ever join integer primary/foreign keys, matching the PK–FK structure
+/// of the IMDB and STATS schemas the paper's benchmark section relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Dictionary-encoded string.
+    Text,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A scalar value appearing in predicates and query literals.
+///
+/// Columns themselves never store `Null`; it exists so the parser can
+/// faithfully reject `IS NULL`-style constructs with a typed error rather
+/// than a panic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Absent value (parser-level only; columns never store it).
+    Null,
+}
+
+impl Value {
+    /// The data type of this value, if it is not `Null`.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Null => None,
+        }
+    }
+
+    /// Numeric view used by histogram statistics: ints and floats map to
+    /// `f64`, text maps to `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view used for join keys.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Compare two values of the same type. Cross-type numeric comparisons
+    /// (`Int` vs `Float`) are supported; anything else returns `None`.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_compare_same_type() {
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Float(2.0).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Text("b".into()).compare(&Value::Text("a".into())),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn value_compare_cross_numeric() {
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(2.5)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Float(2.5).compare(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn value_compare_incompatible_is_none() {
+        assert_eq!(Value::Int(1).compare(&Value::Text("1".into())), None);
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn value_numeric_views() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert_eq!(Value::Float(7.0).as_i64(), None);
+    }
+}

@@ -1,0 +1,102 @@
+//! Non-learned baselines wrapping the engine's plan enumerators.
+
+use lqo_engine::query::JoinGraph;
+use lqo_engine::{HintSet, JoinTree, Optimizer, Result, SpjQuery};
+
+use crate::env::{require_tables, JoinEnv, JoinOrderSearch};
+
+/// Exhaustive dynamic programming (the optimum under the environment's
+/// cardinalities, up to the DP size limit).
+#[derive(Debug, Default)]
+pub struct DpBaseline {
+    /// Restrict to left-deep trees (matches the RL methods' search space).
+    pub left_deep_only: bool,
+}
+
+impl JoinOrderSearch for DpBaseline {
+    fn name(&self) -> &'static str {
+        if self.left_deep_only {
+            "DP (left-deep)"
+        } else {
+            "DP (bushy)"
+        }
+    }
+
+    fn find_plan(&mut self, env: &JoinEnv, query: &SpjQuery) -> Result<JoinTree> {
+        require_tables(query)?;
+        let optimizer = Optimizer::new(&env.catalog, env.params.clone());
+        let hints = HintSet {
+            left_deep_only: self.left_deep_only,
+            ..HintSet::default()
+        };
+        let choice = optimizer.optimize(query, env.card.as_ref(), &hints)?;
+        Ok(choice.plan.join_tree())
+    }
+}
+
+/// GOO-style greedy enumeration.
+#[derive(Debug, Default)]
+pub struct GreedyBaseline;
+
+impl JoinOrderSearch for GreedyBaseline {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn find_plan(&mut self, env: &JoinEnv, query: &SpjQuery) -> Result<JoinTree> {
+        require_tables(query)?;
+        let optimizer = Optimizer::new(&env.catalog, env.params.clone());
+        let graph = JoinGraph::new(query);
+        let _ = graph;
+        let choice = optimizer.greedy(query, env.card.as_ref(), &HintSet::default())?;
+        Ok(choice.plan.join_tree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_support::fixture;
+
+    #[test]
+    fn dp_never_loses_to_greedy() {
+        let (env, queries) = fixture();
+        let mut dp = DpBaseline::default();
+        let mut greedy = GreedyBaseline;
+        for q in &queries {
+            let t_dp = dp.find_plan(&env, q).unwrap();
+            let t_gr = greedy.find_plan(&env, q).unwrap();
+            assert!(env.tree_cost(q, &t_dp) <= env.tree_cost(q, &t_gr) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn search_works_under_erroneous_estimates_too() {
+        // The traditional estimator is wrong on skewed joins; plans are
+        // worse but must stay valid and executable.
+        let (env, queries) = crate::env::test_support::traditional_env();
+        let mut dp = DpBaseline::default();
+        let mut greedy = GreedyBaseline;
+        let ex = lqo_engine::Executor::with_defaults(&env.catalog);
+        for q in &queries {
+            for tree in [
+                dp.find_plan(&env, q).unwrap(),
+                greedy.find_plan(&env, q).unwrap(),
+            ] {
+                let plan = env.assign_operators(q, &tree);
+                assert!(ex.execute(q, &plan).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn left_deep_dp_is_left_deep() {
+        let (env, queries) = fixture();
+        let mut dp = DpBaseline {
+            left_deep_only: true,
+        };
+        for q in &queries {
+            assert!(dp.find_plan(&env, q).unwrap().is_left_deep());
+        }
+    }
+}

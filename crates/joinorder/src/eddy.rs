@@ -1,0 +1,117 @@
+//! Eddy-RL \[58\]: online tabular Q-learning over join orders for a single
+//! query — the adaptive-processing view, where the order is adjusted
+//! between "episodes" of the same running query using observed
+//! intermediate sizes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lqo_engine::query::JoinGraph;
+use lqo_engine::{JoinTree, Result, SpjQuery, TableSet};
+use lqo_ml::qlearn::QTable;
+
+use crate::dq::log_cost;
+use crate::env::{require_tables, JoinEnv, JoinOrderSearch};
+
+/// The Eddy-RL online learner. Fresh Q-table per query (nothing carries
+/// across queries — it is an *adaptive processing* method).
+pub struct EddyRl {
+    /// Episodes (time slices) spent adapting per query.
+    pub episodes: usize,
+    /// Exploration rate.
+    pub epsilon: f64,
+    seed: u64,
+}
+
+impl EddyRl {
+    /// New learner with the given per-query episode budget.
+    pub fn new(episodes: usize) -> EddyRl {
+        EddyRl {
+            episodes,
+            epsilon: 0.3,
+            seed: 97,
+        }
+    }
+}
+
+impl JoinOrderSearch for EddyRl {
+    fn name(&self) -> &'static str {
+        "Eddy-RL"
+    }
+
+    fn find_plan(&mut self, env: &JoinEnv, query: &SpjQuery) -> Result<JoinTree> {
+        require_tables(query)?;
+        let graph = JoinGraph::new(query);
+        let n = query.num_tables();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // State = joined-set bitmask; action = next table.
+        let mut q: QTable<u64, usize> = QTable::new(0.4, 1.0);
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for _ in 0..self.episodes {
+            let mut joined = TableSet::EMPTY;
+            let mut order = Vec::with_capacity(n);
+            let mut total = 0.0;
+            while joined.len() < n {
+                let cands = env.candidates(query, &graph, joined);
+                // Q stores cost-to-go; pick by *negated* value so
+                // epsilon-greedy's argmax minimizes cost.
+                let neg_cands: Vec<usize> = cands.clone();
+                let action = q
+                    .epsilon_greedy(&joined.0, &neg_cands, self.epsilon, &mut rng)
+                    .expect("non-empty candidates");
+                let cost = if joined.is_empty() {
+                    0.0
+                } else {
+                    log_cost(env.step_cost(query, joined, action))
+                };
+                total += cost;
+                let next = joined.insert(action);
+                let next_cands: Vec<usize> = if next.len() < n {
+                    env.candidates(query, &graph, next)
+                } else {
+                    Vec::new()
+                };
+                // Negative cost as reward; max over next = min cost-to-go.
+                q.update(joined.0, action, -cost, &next.0, &next_cands);
+                order.push(action);
+                joined = next;
+            }
+            if best.as_ref().is_none_or(|(c, _)| total < *c) {
+                best = Some((total, order));
+            }
+        }
+        let (_, order) = best.expect("at least one episode ran");
+        Ok(JoinTree::left_deep(&order).expect("non-empty order"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::DpBaseline;
+    use crate::env::test_support::fixture;
+
+    #[test]
+    fn eddy_adapts_within_a_query() {
+        let (env, queries) = fixture();
+        let mut eddy = EddyRl::new(80);
+        let mut dp = DpBaseline {
+            left_deep_only: true,
+        };
+        for q in &queries {
+            let t = eddy.find_plan(&env, q).unwrap();
+            assert_eq!(t.tables(), q.all_tables());
+            let ratio = env.tree_cost(q, &t) / env.tree_cost(q, &dp.find_plan(&env, q).unwrap());
+            assert!(ratio < 5.0, "Eddy-RL {ratio}x worse than DP");
+        }
+    }
+
+    #[test]
+    fn more_episodes_do_not_hurt() {
+        let (env, queries) = fixture();
+        let q = &queries[2];
+        let few = EddyRl::new(3).find_plan(&env, q).unwrap();
+        let many = EddyRl::new(120).find_plan(&env, q).unwrap();
+        assert!(env.tree_cost(q, &many) <= env.tree_cost(q, &few) * 1.5 + 1e-9);
+    }
+}

@@ -1,0 +1,256 @@
+//! The shared environment join-order methods search in: operator
+//! assignment, tree costing and the search trait.
+
+use std::sync::Arc;
+
+use lqo_engine::exec::workunits::CostParams;
+use lqo_engine::optimizer::cost::join_op_cost;
+use lqo_engine::optimizer::CardSource;
+use lqo_engine::query::JoinGraph;
+use lqo_engine::{Catalog, EngineError, JoinAlgo, JoinTree, PhysNode, Result, SpjQuery};
+
+/// Everything a join-order search needs to evaluate candidate orders.
+pub struct JoinEnv {
+    /// The database.
+    pub catalog: Arc<Catalog>,
+    /// Cardinality estimates driving the cost evaluation.
+    pub card: Arc<dyn CardSource>,
+    /// Cost constants.
+    pub params: CostParams,
+}
+
+impl JoinEnv {
+    /// Build an environment.
+    pub fn new(catalog: Arc<Catalog>, card: Arc<dyn CardSource>) -> JoinEnv {
+        JoinEnv {
+            catalog,
+            card,
+            params: CostParams::default(),
+        }
+    }
+
+    /// Assign the cheapest physical operator to every join of a logical
+    /// tree (cross products get nested loops).
+    pub fn assign_operators(&self, query: &SpjQuery, tree: &JoinTree) -> PhysNode {
+        match tree {
+            JoinTree::Leaf(p) => PhysNode::scan(*p),
+            JoinTree::Join(l, r) => {
+                let left = self.assign_operators(query, l);
+                let right = self.assign_operators(query, r);
+                let lrows = self.card.cardinality(query, left.tables());
+                let rrows = self.card.cardinality(query, right.tables());
+                let out_set = left.tables().union(right.tables());
+                let out = self.card.cardinality(query, out_set);
+                let has_cond = !query
+                    .joins_between(left.tables(), right.tables())
+                    .is_empty();
+                let algo = if !has_cond {
+                    JoinAlgo::NestedLoop
+                } else {
+                    *JoinAlgo::ALL
+                        .iter()
+                        .min_by(|&&a, &&b| {
+                            let ca = join_op_cost(
+                                a,
+                                &self.params,
+                                lrows,
+                                rrows,
+                                out,
+                                out_set.len(),
+                                true,
+                            );
+                            let cb = join_op_cost(
+                                b,
+                                &self.params,
+                                lrows,
+                                rrows,
+                                out,
+                                out_set.len(),
+                                true,
+                            );
+                            ca.partial_cmp(&cb).unwrap()
+                        })
+                        .unwrap()
+                };
+                PhysNode::join(algo, left, right)
+            }
+        }
+    }
+
+    /// Cost of a logical tree under best-operator assignment.
+    pub fn tree_cost(&self, query: &SpjQuery, tree: &JoinTree) -> f64 {
+        let plan = self.assign_operators(query, tree);
+        lqo_engine::optimizer::plan_cost(
+            &plan,
+            query,
+            &self.catalog,
+            self.card.as_ref(),
+            &self.params,
+        )
+        .unwrap_or(f64::INFINITY)
+    }
+
+    /// Incremental cost of appending table `next` to a left-deep prefix
+    /// whose intermediate covers `joined` (used as the per-step RL
+    /// reward signal).
+    pub fn step_cost(&self, query: &SpjQuery, joined: lqo_engine::TableSet, next: usize) -> f64 {
+        let lrows = self.card.cardinality(query, joined);
+        let rset = lqo_engine::TableSet::singleton(next);
+        let rrows = self.card.cardinality(query, rset);
+        let out_set = joined.insert(next);
+        let out = self.card.cardinality(query, out_set);
+        let has_cond = !query.joins_between(joined, rset).is_empty();
+        if has_cond {
+            JoinAlgo::ALL
+                .iter()
+                .map(|&a| join_op_cost(a, &self.params, lrows, rrows, out, out_set.len(), true))
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            join_op_cost(
+                JoinAlgo::NestedLoop,
+                &self.params,
+                lrows,
+                rrows,
+                out,
+                out_set.len(),
+                false,
+            )
+        }
+    }
+
+    /// Valid next tables for a left-deep prefix: graph neighbours when any
+    /// exist, otherwise all remaining (cross product).
+    pub fn candidates(
+        &self,
+        query: &SpjQuery,
+        graph: &JoinGraph,
+        joined: lqo_engine::TableSet,
+    ) -> Vec<usize> {
+        let all = query.all_tables();
+        if joined.is_empty() {
+            return all.iter().collect();
+        }
+        let remaining = all.minus(joined);
+        let connected: Vec<usize> = graph
+            .neighborhood(joined)
+            .intersect(remaining)
+            .iter()
+            .collect();
+        if connected.is_empty() {
+            remaining.iter().collect()
+        } else {
+            connected
+        }
+    }
+}
+
+/// A join-order search method.
+pub trait JoinOrderSearch {
+    /// Method name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Offline training over a workload (no-op for online methods and
+    /// baselines).
+    fn train(&mut self, _env: &JoinEnv, _workload: &[SpjQuery]) {}
+
+    /// Produce a join order for one query.
+    fn find_plan(&mut self, env: &JoinEnv, query: &SpjQuery) -> Result<JoinTree>;
+}
+
+/// Shared helper: error for empty queries.
+pub(crate) fn require_tables(query: &SpjQuery) -> Result<()> {
+    if query.num_tables() == 0 {
+        Err(EngineError::NoPlanFound("query has no tables".into()))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use lqo_engine::datagen::imdb_like;
+    use lqo_engine::query::parse_query;
+    use lqo_engine::stats::table_stats::CatalogStats;
+    use lqo_engine::{TraditionalCardSource, TrueCardOracle, TrueCardSource};
+
+    /// IMDB-like fixture: environment (true cards for determinism) plus a
+    /// chain-join workload of 3–5 tables.
+    pub fn fixture() -> (JoinEnv, Vec<SpjQuery>) {
+        let catalog = Arc::new(imdb_like(120, 5).unwrap());
+        let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+        let card: Arc<dyn CardSource> = Arc::new(TrueCardSource::new(oracle));
+        let env = JoinEnv::new(catalog, card);
+        let queries = vec![
+            parse_query(
+                "SELECT COUNT(*) FROM title t, cast_info ci, person p \
+                 WHERE t.id = ci.movie_id AND ci.person_id = p.id \
+                 AND t.production_year > 1980 AND p.gender = 0",
+            )
+            .unwrap(),
+            parse_query(
+                "SELECT COUNT(*) FROM title t, movie_companies mc, company c, kind k \
+                 WHERE t.id = mc.movie_id AND mc.company_id = c.id AND t.kind_id = k.id \
+                 AND c.country_code < 10",
+            )
+            .unwrap(),
+            parse_query(
+                "SELECT COUNT(*) FROM title t, movie_keyword mk, keyword kw, cast_info ci \
+                 WHERE t.id = mk.movie_id AND mk.keyword_id = kw.id AND t.id = ci.movie_id \
+                 AND kw.category < 5 AND t.votes > 50",
+            )
+            .unwrap(),
+        ];
+        (env, queries)
+    }
+
+    /// Environment with the traditional (erroneous) estimator.
+    pub fn traditional_env() -> (JoinEnv, Vec<SpjQuery>) {
+        let (env, queries) = fixture();
+        let stats = Arc::new(CatalogStats::build_default(&env.catalog));
+        let card: Arc<dyn CardSource> =
+            Arc::new(TraditionalCardSource::new(env.catalog.clone(), stats));
+        (JoinEnv::new(env.catalog, card), queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::fixture;
+    use super::*;
+
+    #[test]
+    fn operator_assignment_produces_executable_plans() {
+        let (env, queries) = fixture();
+        for q in &queries {
+            let order: Vec<usize> = (0..q.num_tables()).collect();
+            let tree = JoinTree::left_deep(&order).unwrap();
+            let plan = env.assign_operators(q, &tree);
+            assert_eq!(plan.tables(), q.all_tables());
+            let ex = lqo_engine::Executor::with_defaults(&env.catalog);
+            assert!(ex.execute(q, &plan).is_ok());
+        }
+    }
+
+    #[test]
+    fn tree_cost_is_finite_and_order_sensitive() {
+        let (env, queries) = fixture();
+        let q = &queries[0];
+        let a = env.tree_cost(q, &JoinTree::left_deep(&[0, 1, 2]).unwrap());
+        let b = env.tree_cost(q, &JoinTree::left_deep(&[1, 2, 0]).unwrap());
+        assert!(a.is_finite() && b.is_finite());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn candidates_respect_connectivity() {
+        let (env, queries) = fixture();
+        let q = &queries[0]; // chain t - ci - p
+        let graph = JoinGraph::new(q);
+        let joined = lqo_engine::TableSet::singleton(0); // title
+        let cands = env.candidates(q, &graph, joined);
+        assert_eq!(cands, vec![1]); // only cast_info connects
+        let empty = env.candidates(q, &graph, lqo_engine::TableSet::EMPTY);
+        assert_eq!(empty.len(), 3);
+    }
+}

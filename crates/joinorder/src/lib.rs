@@ -1,0 +1,31 @@
+//! # lqo-join
+//!
+//! Learned join-order search (paper §2.1.3):
+//!
+//! * offline learning — [`DqJoinOrderer`] (DQ-style approximate
+//!   Q-learning, \[15\]/\[24\]) and [`RtosLite`] (richer recursive state
+//!   encoding, \[73\]);
+//! * online learning — [`EddyRl`] (tabular Q-learning during adaptive
+//!   processing, \[58\]) and [`SkinnerMcts`] (UCT over join orders with
+//!   regret accounting, \[56\]);
+//! * exhaustive and greedy baselines wrapping the engine's enumerators.
+//!
+//! All methods produce a logical [`lqo_engine::JoinTree`]; [`env::JoinEnv`] assigns
+//! physical operators and costs trees consistently so the comparison in
+//! experiment E6 is apples-to-apples.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod dq;
+pub mod eddy;
+pub mod env;
+pub mod rtos;
+pub mod skinner;
+
+pub use baselines::{DpBaseline, GreedyBaseline};
+pub use dq::DqJoinOrderer;
+pub use eddy::EddyRl;
+pub use env::{JoinEnv, JoinOrderSearch};
+pub use rtos::RtosLite;
+pub use skinner::SkinnerMcts;

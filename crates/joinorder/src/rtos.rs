@@ -1,0 +1,195 @@
+//! RTOS-lite \[73\]: the same episodic Q-learning loop as DQ, but with a
+//! richer state representation standing in for the TreeLSTM join-state
+//! encoder — the state carries the (log) cardinality of the current
+//! intermediate and the filtered size of every base table, so the network
+//! can reason about sizes, not just identities. The TreeLSTM→features
+//! substitution is recorded in DESIGN.md.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lqo_engine::query::JoinGraph;
+use lqo_engine::{JoinTree, Result, SpjQuery, TableSet};
+use lqo_ml::mlp::{Mlp, MlpConfig};
+
+use crate::dq::log_cost;
+use crate::env::{require_tables, JoinEnv, JoinOrderSearch};
+
+/// The RTOS-lite learner.
+pub struct RtosLite {
+    episodes: usize,
+    max_tables: usize,
+    net: Option<Mlp>,
+    seed: u64,
+}
+
+impl RtosLite {
+    /// New untrained learner.
+    pub fn new(max_tables: usize, episodes: usize) -> RtosLite {
+        RtosLite {
+            episodes,
+            max_tables,
+            net: None,
+            seed: 83,
+        }
+    }
+
+    fn dim(&self) -> usize {
+        // joined one-hot + action one-hot + per-table log filtered rows
+        // + current intermediate log rows + next intermediate log rows.
+        3 * self.max_tables + 2
+    }
+
+    fn features(
+        &self,
+        env: &JoinEnv,
+        query: &SpjQuery,
+        joined: TableSet,
+        action: usize,
+    ) -> Vec<f64> {
+        let mut x = vec![0.0; self.dim()];
+        for p in joined.iter() {
+            if p < self.max_tables {
+                x[p] = 1.0;
+            }
+        }
+        if action < self.max_tables {
+            x[self.max_tables + action] = 1.0;
+        }
+        for pos in 0..query.num_tables().min(self.max_tables) {
+            let rows = env.card.cardinality(query, TableSet::singleton(pos));
+            x[2 * self.max_tables + pos] = log_cost(rows);
+        }
+        let cur = if joined.is_empty() {
+            0.0
+        } else {
+            env.card.cardinality(query, joined)
+        };
+        x[3 * self.max_tables] = log_cost(cur);
+        x[3 * self.max_tables + 1] = log_cost(env.card.cardinality(query, joined.insert(action)));
+        x
+    }
+}
+
+impl JoinOrderSearch for RtosLite {
+    fn name(&self) -> &'static str {
+        "RTOS-lite"
+    }
+
+    fn train(&mut self, env: &JoinEnv, workload: &[SpjQuery]) {
+        let mut net = Mlp::new(MlpConfig {
+            learning_rate: 3e-3,
+            seed: self.seed,
+            ..MlpConfig::new(vec![self.dim(), 64, 32, 1])
+        });
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for ep in 0..self.episodes {
+            let eps = 0.5 * (1.0 - ep as f64 / self.episodes as f64);
+            for query in workload {
+                if query.num_tables() > self.max_tables {
+                    continue;
+                }
+                let graph = JoinGraph::new(query);
+                let n = query.num_tables();
+                let mut joined = TableSet::EMPTY;
+                let mut steps: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n);
+                while joined.len() < n {
+                    let cands = env.candidates(query, &graph, joined);
+                    let action = if rng.gen_bool(eps.clamp(0.0, 1.0)) {
+                        cands[rng.gen_range(0..cands.len())]
+                    } else {
+                        *cands
+                            .iter()
+                            .min_by(|&&a, &&b| {
+                                let qa = net.predict_scalar(&self.features(env, query, joined, a));
+                                let qb = net.predict_scalar(&self.features(env, query, joined, b));
+                                qa.partial_cmp(&qb).unwrap()
+                            })
+                            .unwrap()
+                    };
+                    let r = if joined.is_empty() {
+                        0.0
+                    } else {
+                        log_cost(env.step_cost(query, joined, action))
+                    };
+                    steps.push((self.features(env, query, joined, action), r));
+                    joined = joined.insert(action);
+                }
+                let mut xs = Vec::new();
+                let mut ys = Vec::new();
+                let mut future = 0.0;
+                for (x, r) in steps.into_iter().rev() {
+                    future += r;
+                    xs.push(x);
+                    ys.push(future);
+                }
+                net.train_scalar_batch(&xs, &ys);
+            }
+        }
+        self.net = Some(net);
+    }
+
+    fn find_plan(&mut self, env: &JoinEnv, query: &SpjQuery) -> Result<JoinTree> {
+        require_tables(query)?;
+        let graph = JoinGraph::new(query);
+        let n = query.num_tables();
+        let mut joined = TableSet::EMPTY;
+        let mut order = Vec::with_capacity(n);
+        while joined.len() < n {
+            let cands = env.candidates(query, &graph, joined);
+            let next = match &self.net {
+                Some(net) => *cands
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let qa = net.predict_scalar(&self.features(env, query, joined, a));
+                        let qb = net.predict_scalar(&self.features(env, query, joined, b));
+                        qa.partial_cmp(&qb).unwrap()
+                    })
+                    .unwrap(),
+                // Untrained: smallest estimated intermediate first.
+                None => *cands
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let ca = env.card.cardinality(query, joined.insert(a));
+                        let cb = env.card.cardinality(query, joined.insert(b));
+                        ca.partial_cmp(&cb).unwrap()
+                    })
+                    .unwrap(),
+            };
+            order.push(next);
+            joined = joined.insert(next);
+        }
+        Ok(JoinTree::left_deep(&order).expect("non-empty order"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::DpBaseline;
+    use crate::env::test_support::fixture;
+
+    #[test]
+    fn rtos_competitive_after_training() {
+        let (env, queries) = fixture();
+        let mut rtos = RtosLite::new(8, 40);
+        rtos.train(&env, &queries);
+        let mut dp = DpBaseline {
+            left_deep_only: true,
+        };
+        for q in &queries {
+            let t = rtos.find_plan(&env, q).unwrap();
+            let ratio = env.tree_cost(q, &t) / env.tree_cost(q, &dp.find_plan(&env, q).unwrap());
+            assert!(ratio < 8.0, "RTOS-lite {ratio}x worse than DP");
+        }
+    }
+
+    #[test]
+    fn untrained_uses_cardinality_heuristic() {
+        let (env, queries) = fixture();
+        let mut rtos = RtosLite::new(8, 10);
+        let t = rtos.find_plan(&env, &queries[1]).unwrap();
+        assert_eq!(t.tables(), queries[1].all_tables());
+        assert!(t.is_left_deep());
+    }
+}

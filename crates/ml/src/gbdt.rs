@@ -1,0 +1,145 @@
+//! Gradient-boosted regression trees (XGBoost-style squared-loss boosting,
+//! the workhorse of Dutt et al. 2020's lightweight selectivity models).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::tree::{RegressionTree, TreeConfig};
+
+/// GBDT hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Per-tree induction parameters.
+    pub tree: TreeConfig,
+    /// Seed for any feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            n_trees: 50,
+            learning_rate: 0.2,
+            tree: TreeConfig {
+                max_depth: 4,
+                min_samples_split: 8,
+                max_features: None,
+            },
+            seed: 11,
+        }
+    }
+}
+
+/// A fitted gradient-boosted ensemble for squared loss.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl Gbdt {
+    /// Fit with squared loss: each round fits a tree to the residuals.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: &GbdtConfig) -> Gbdt {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let base = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mut pred = vec![base; ys.len()];
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees {
+            let residuals: Vec<f64> = ys.iter().zip(&pred).map(|(&y, &p)| y - p).collect();
+            let tree = RegressionTree::fit(xs, &residuals, &cfg.tree, &mut rng);
+            for (p, x) in pred.iter_mut().zip(xs) {
+                *p += cfg.learning_rate * tree.predict(x);
+            }
+            trees.push(tree);
+        }
+        Gbdt {
+            base,
+            learning_rate: cfg.learning_rate,
+            trees,
+        }
+    }
+
+    /// Predict one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// Number of boosting rounds fitted.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True when no trees were fitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Total number of tree nodes (model-size metric).
+    pub fn num_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.num_nodes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_smooth_nonlinear_function() {
+        let xs: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64 / 400.0]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (x[0] * std::f64::consts::PI * 2.0).sin())
+            .collect();
+        let model = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        let mse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, &y)| (model.predict(x) - y).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn boosting_improves_over_single_tree() {
+        let xs: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 17) as f64, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[1]).collect();
+        let shallow = Gbdt::fit(
+            &xs,
+            &ys,
+            &GbdtConfig {
+                n_trees: 1,
+                learning_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        let boosted = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        let mse = |m: &Gbdt| {
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, &y)| (m.predict(x) - y).powi(2))
+                .sum::<f64>()
+                / xs.len() as f64
+        };
+        assert!(mse(&boosted) < mse(&shallow) * 0.5);
+    }
+
+    #[test]
+    fn constant_target() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![7.0; 20];
+        let model = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        assert!((model.predict(&[3.0]) - 7.0).abs() < 1e-6);
+        assert!(model.num_nodes() >= model.len());
+    }
+}

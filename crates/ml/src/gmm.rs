@@ -1,0 +1,182 @@
+//! One-dimensional Gaussian mixtures fit by EM, plus a normal-CDF helper
+//! shared with the KDE module.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (absolute error < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// A 1-D Gaussian mixture model.
+#[derive(Debug, Clone)]
+pub struct Gmm1d {
+    /// Component weights (sum to 1).
+    pub weights: Vec<f64>,
+    /// Component means.
+    pub means: Vec<f64>,
+    /// Component standard deviations (floored at a small epsilon).
+    pub stds: Vec<f64>,
+}
+
+impl Gmm1d {
+    /// Fit `k` components with EM for `iters` iterations.
+    pub fn fit(values: &[f64], k: usize, iters: usize, seed: u64) -> Gmm1d {
+        assert!(!values.is_empty());
+        let k = k.clamp(1, values.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = values.len();
+
+        // Initialize means from random points, shared variance.
+        let global_mean = values.iter().sum::<f64>() / n as f64;
+        let global_var = values
+            .iter()
+            .map(|v| (v - global_mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let mut means: Vec<f64> = (0..k).map(|_| values[rng.gen_range(0..n)]).collect();
+        let mut stds = vec![(global_var.sqrt()).max(1e-6); k];
+        let mut weights = vec![1.0 / k as f64; k];
+
+        let mut resp = vec![vec![0.0; k]; n];
+        for _ in 0..iters {
+            // E-step.
+            for (i, &v) in values.iter().enumerate() {
+                let mut total = 0.0;
+                for c in 0..k {
+                    let z = (v - means[c]) / stds[c];
+                    let pdf =
+                        (-0.5 * z * z).exp() / (stds[c] * (2.0 * std::f64::consts::PI).sqrt());
+                    resp[i][c] = weights[c] * pdf;
+                    total += resp[i][c];
+                }
+                if total <= 1e-300 {
+                    for c in 0..k {
+                        resp[i][c] = 1.0 / k as f64;
+                    }
+                } else {
+                    for c in 0..k {
+                        resp[i][c] /= total;
+                    }
+                }
+            }
+            // M-step.
+            for c in 0..k {
+                let rc: f64 = resp.iter().map(|r| r[c]).sum();
+                if rc <= 1e-12 {
+                    continue;
+                }
+                weights[c] = rc / n as f64;
+                means[c] = values
+                    .iter()
+                    .zip(&resp)
+                    .map(|(&v, r)| r[c] * v)
+                    .sum::<f64>()
+                    / rc;
+                let var = values
+                    .iter()
+                    .zip(&resp)
+                    .map(|(&v, r)| r[c] * (v - means[c]).powi(2))
+                    .sum::<f64>()
+                    / rc;
+                stds[c] = var.sqrt().max(1e-6);
+            }
+        }
+        Gmm1d {
+            weights,
+            means,
+            stds,
+        }
+    }
+
+    /// Mixture density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((&w, &m), &s)| {
+                let z = (x - m) / s;
+                w * (-0.5 * z * z).exp() / (s * (2.0 * std::f64::consts::PI).sqrt())
+            })
+            .sum()
+    }
+
+    /// Mixture CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((&w, &m), &s)| w * normal_cdf((x - m) / s))
+            .sum()
+    }
+
+    /// `P(lo <= X <= hi)`.
+    pub fn prob_range(&self, lo: f64, hi: f64) -> f64 {
+        (self.cdf(hi) - self.cdf(lo)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_distr::{Distribution, Normal};
+
+    #[test]
+    fn erf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn recovers_two_well_separated_modes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n1 = Normal::new(-5.0, 0.5).unwrap();
+        let n2 = Normal::new(5.0, 0.5).unwrap();
+        let mut values: Vec<f64> = (0..500).map(|_| n1.sample(&mut rng)).collect();
+        values.extend((0..500).map(|_| n2.sample(&mut rng)));
+        let gmm = Gmm1d::fit(&values, 2, 50, 6);
+        let mut means = gmm.means.clone();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] + 5.0).abs() < 0.5, "means {means:?}");
+        assert!((means[1] - 5.0).abs() < 0.5);
+        // Each mode holds roughly half the mass.
+        assert!((gmm.prob_range(-7.0, -3.0) - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let values: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let gmm = Gmm1d::fit(&values, 3, 30, 7);
+        let mut prev = 0.0;
+        for i in -5..20 {
+            let c = gmm.cdf(i as f64);
+            assert!(c >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!(gmm.prob_range(-100.0, 100.0) > 0.999);
+    }
+
+    #[test]
+    fn single_component_matches_moments() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64) / 100.0).collect();
+        let gmm = Gmm1d::fit(&values, 1, 20, 8);
+        assert!((gmm.means[0] - 4.995).abs() < 0.01);
+        assert!((gmm.weights[0] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Multi-dimensional Gaussian kernel density estimation with diagonal
+//! bandwidth (Scott's rule) — the Heimel/Kiefer KDE selectivity estimators.
+
+use crate::gmm::normal_cdf;
+
+/// A KDE over sample points.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    points: Vec<Vec<f64>>,
+    bandwidth: Vec<f64>,
+}
+
+impl Kde {
+    /// Fit on sample points with Scott's-rule per-dimension bandwidth
+    /// `h_d = sigma_d * n^(-1/(d+4))`.
+    pub fn fit(points: Vec<Vec<f64>>) -> Kde {
+        assert!(!points.is_empty());
+        let n = points.len() as f64;
+        let d = points[0].len();
+        let mut bandwidth = Vec::with_capacity(d);
+        for dim in 0..d {
+            let mean = points.iter().map(|p| p[dim]).sum::<f64>() / n;
+            let var = points.iter().map(|p| (p[dim] - mean).powi(2)).sum::<f64>() / n;
+            let sigma = var.sqrt().max(1e-6);
+            bandwidth.push(sigma * n.powf(-1.0 / (d as f64 + 4.0)));
+        }
+        Kde { points, bandwidth }
+    }
+
+    /// Fit with explicit bandwidths (bandwidth-optimized variants tune
+    /// these against observed queries).
+    pub fn with_bandwidth(points: Vec<Vec<f64>>, bandwidth: Vec<f64>) -> Kde {
+        assert!(!points.is_empty());
+        assert_eq!(points[0].len(), bandwidth.len());
+        Kde { points, bandwidth }
+    }
+
+    /// Number of kernel centers.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Current bandwidths.
+    pub fn bandwidth(&self) -> &[f64] {
+        &self.bandwidth
+    }
+
+    /// Estimated probability of the axis-aligned box `[lo, hi]` (inclusive):
+    /// the average over kernels of the product of per-dimension Gaussian
+    /// masses.
+    pub fn prob_box(&self, lo: &[f64], hi: &[f64]) -> f64 {
+        assert_eq!(lo.len(), self.bandwidth.len());
+        assert_eq!(hi.len(), self.bandwidth.len());
+        let mut total = 0.0;
+        for p in &self.points {
+            let mut mass = 1.0;
+            for dim in 0..p.len() {
+                let h = self.bandwidth[dim];
+                let m = normal_cdf((hi[dim] - p[dim]) / h) - normal_cdf((lo[dim] - p[dim]) / h);
+                mass *= m.max(0.0);
+                if mass == 0.0 {
+                    break;
+                }
+            }
+            total += mass;
+        }
+        (total / self.points.len() as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn full_box_is_near_one() {
+        let kde = Kde::fit(uniform_points(500, 2, 1));
+        let p = kde.prob_box(&[-10.0, -10.0], &[10.0, 10.0]);
+        assert!(p > 0.999);
+    }
+
+    #[test]
+    fn half_box_on_uniform() {
+        let kde = Kde::fit(uniform_points(2000, 1, 2));
+        let p = kde.prob_box(&[-10.0], &[0.5]);
+        assert!((p - 0.5).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn correlated_2d_box() {
+        // Points on the diagonal: P(x < 0.5 AND y < 0.5) ≈ 0.5, not 0.25.
+        let points: Vec<Vec<f64>> = (0..1000)
+            .map(|i| {
+                let v = i as f64 / 1000.0;
+                vec![v, v]
+            })
+            .collect();
+        let kde = Kde::fit(points);
+        let p = kde.prob_box(&[-10.0, -10.0], &[0.5, 0.5]);
+        assert!(p > 0.4, "p = {p}");
+        assert!(p < 0.6);
+    }
+
+    #[test]
+    fn empty_region_near_zero() {
+        let kde = Kde::fit(uniform_points(500, 2, 3));
+        let p = kde.prob_box(&[5.0, 5.0], &[6.0, 6.0]);
+        assert!(p < 0.01);
+    }
+
+    #[test]
+    fn explicit_bandwidth_is_used() {
+        let points = vec![vec![0.0]; 10];
+        let kde = Kde::with_bandwidth(points, vec![2.0]);
+        assert_eq!(kde.bandwidth(), &[2.0]);
+        // With h=2, about 38% of mass lies within ±1.
+        let p = kde.prob_box(&[-1.0], &[1.0]);
+        assert!((p - 0.383).abs() < 0.01, "p = {p}");
+        assert_eq!(kde.len(), 10);
+    }
+}

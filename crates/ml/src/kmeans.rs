@@ -1,0 +1,174 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Used for SPN row splits and for Eraser's plan-cluster stage.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Run k-means with k-means++ initialization. `k` is clamped to the
+    /// number of rows. Deterministic given the seed.
+    pub fn fit(xs: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeans {
+        assert!(!xs.is_empty());
+        let k = k.clamp(1, xs.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(xs[rng.gen_range(0..xs.len())].clone());
+        while centroids.len() < k {
+            let d2: Vec<f64> = xs
+                .iter()
+                .map(|x| {
+                    centroids
+                        .iter()
+                        .map(|c| dist2(x, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            if total <= 1e-18 {
+                // All points identical to some centroid: duplicate one.
+                centroids.push(centroids[0].clone());
+                continue;
+            }
+            let mut r = rng.gen_range(0.0..total);
+            let mut chosen = 0;
+            for (i, &d) in d2.iter().enumerate() {
+                if r < d {
+                    chosen = i;
+                    break;
+                }
+                r -= d;
+            }
+            centroids.push(xs[chosen].clone());
+        }
+
+        let mut assignments = vec![0usize; xs.len()];
+        for _ in 0..max_iter {
+            // Assign.
+            let mut changed = false;
+            for (i, x) in xs.iter().enumerate() {
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        dist2(x, &centroids[a])
+                            .partial_cmp(&dist2(x, &centroids[b]))
+                            .unwrap()
+                    })
+                    .unwrap();
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Update.
+            let d = xs[0].len();
+            let mut sums = vec![vec![0.0; d]; k];
+            let mut counts = vec![0usize; k];
+            for (x, &a) in xs.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, &v) in sums[a].iter_mut().zip(x) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for s in &mut sums[c] {
+                        *s /= counts[c] as f64;
+                    }
+                    centroids[c] = sums[c].clone();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        KMeans {
+            centroids,
+            assignments,
+        }
+    }
+
+    /// Nearest centroid of a new point.
+    pub fn assign(&self, x: &[f64]) -> usize {
+        (0..self.centroids.len())
+            .min_by(|&a, &b| {
+                dist2(x, &self.centroids[a])
+                    .partial_cmp(&dist2(x, &self.centroids[b]))
+                    .unwrap()
+            })
+            .unwrap()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut xs = Vec::new();
+        for i in 0..50 {
+            xs.push(vec![0.0 + (i % 5) as f64 * 0.01, 0.0]);
+            xs.push(vec![10.0 + (i % 5) as f64 * 0.01, 10.0]);
+        }
+        xs
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let xs = two_blobs();
+        let km = KMeans::fit(&xs, 2, 50, 1);
+        // All even rows (blob A) in one cluster, all odd in the other.
+        let a = km.assignments[0];
+        assert!(km.assignments.iter().step_by(2).all(|&c| c == a));
+        assert!(km.assignments.iter().skip(1).step_by(2).all(|&c| c != a));
+    }
+
+    #[test]
+    fn assign_new_points() {
+        let xs = two_blobs();
+        let km = KMeans::fit(&xs, 2, 50, 1);
+        assert_eq!(km.assign(&[0.5, 0.5]), km.assignments[0]);
+        assert_eq!(km.assign(&[9.5, 9.5]), km.assignments[1]);
+    }
+
+    #[test]
+    fn k_clamped_to_rows() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::fit(&xs, 10, 10, 0);
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let xs = vec![vec![3.0, 3.0]; 20];
+        let km = KMeans::fit(&xs, 3, 10, 0);
+        assert!(km.assignments.iter().all(|&a| a < km.k()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs = two_blobs();
+        let a = KMeans::fit(&xs, 2, 50, 9);
+        let b = KMeans::fit(&xs, 2, 50, 9);
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

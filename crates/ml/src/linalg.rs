@@ -1,0 +1,233 @@
+//! Minimal dense linear algebra: row-major matrices and vector helpers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` long.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = A x` (matrix–vector product).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.cols);
+        (0..self.rows).map(|r| dot(self.row(r), x)).collect()
+    }
+
+    /// `y = Aᵀ x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.rows);
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (yc, &a) in y.iter_mut().zip(self.row(r)) {
+                *yc += a * xr;
+            }
+        }
+        y
+    }
+
+    /// Rank-1 update `A += alpha * u vᵀ`.
+    pub fn add_outer(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
+        debug_assert_eq!(u.len(), self.rows);
+        debug_assert_eq!(v.len(), self.cols);
+        for r in 0..self.rows {
+            let s = alpha * u[r];
+            if s == 0.0 {
+                continue;
+            }
+            for (a, &vc) in self.row_mut(r).iter_mut().zip(v) {
+                *a += s * vc;
+            }
+        }
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Solve the square linear system `A x = b` by Gaussian elimination with
+/// partial pivoting. Returns `None` when `A` is (numerically) singular.
+/// Used by ridge regression and QuickSel's mixture-weight fit; systems are
+/// small (≤ a few hundred unknowns).
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.rows;
+    if a.cols != n || b.len() != n {
+        return None;
+    }
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a.get(i, col)
+                .abs()
+                .partial_cmp(&a.get(j, col).abs())
+                .unwrap()
+        })?;
+        if a.get(pivot, col).abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for c in 0..n {
+                let tmp = a.get(col, c);
+                a.set(col, c, a.get(pivot, c));
+                a.set(pivot, c, tmp);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        for r in col + 1..n {
+            let f = a.get(r, col) / a.get(col, col);
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = a.get(r, c) - f * a.get(col, c);
+                a.set(r, c, v);
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for c in col + 1..n {
+            s -= a.get(col, c) * x[c];
+        }
+        x[col] = s / a.get(col, col);
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_and_transpose() {
+        let mut a = Matrix::zeros(2, 3);
+        a.set(0, 0, 1.0);
+        a.set(0, 2, 2.0);
+        a.set(1, 1, 3.0);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+        assert_eq!(a.matvec_t(&[1.0, 2.0]), vec![1.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn outer_update() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_outer(2.0, &[1.0, 0.5], &[3.0, 4.0]);
+        assert_eq!(a.data, vec![6.0, 8.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_with_pivoting() {
+        // Leading zero forces a row swap.
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        let x = solve(a, vec![2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Matrix::xavier(10, 20, &mut rng);
+        let bound = (6.0 / 30.0f64).sqrt();
+        assert!(a.data.iter().all(|&v| v.abs() <= bound));
+        // Not all identical.
+        assert!(a.data.iter().any(|&v| v != a.data[0]));
+    }
+}

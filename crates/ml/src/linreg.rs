@@ -1,0 +1,84 @@
+//! Ordinary / ridge least squares via the normal equations.
+
+use crate::linalg::{solve, Matrix};
+
+/// A fitted linear model `y = wᵀx + b`.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+impl LinearRegression {
+    /// Fit with L2 regularization strength `lambda` (0 = OLS). Returns
+    /// `None` when the (regularized) normal equations are singular.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<LinearRegression> {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return None;
+        }
+        let d = xs[0].len() + 1; // +1 for bias
+        let mut xtx = Matrix::zeros(d, d);
+        let mut xty = vec![0.0; d];
+        for (x, &y) in xs.iter().zip(ys) {
+            // Augmented feature vector [x, 1].
+            for i in 0..d {
+                let xi = if i < d - 1 { x[i] } else { 1.0 };
+                xty[i] += xi * y;
+                for j in 0..d {
+                    let xj = if j < d - 1 { x[j] } else { 1.0 };
+                    xtx.data[i * d + j] += xi * xj;
+                }
+            }
+        }
+        // Ridge term (do not regularize the bias).
+        for i in 0..d - 1 {
+            xtx.data[i * d + i] += lambda;
+        }
+        let w = solve(xtx, xty)?;
+        let bias = w[d - 1];
+        Some(LinearRegression {
+            weights: w[..d - 1].to_vec(),
+            bias,
+        })
+    }
+
+    /// Predict one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        crate::linalg::dot(&self.weights, x) + self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - 3.0 * x[1] + 5.0).collect();
+        let m = LinearRegression::fit(&xs, &ys, 0.0).unwrap();
+        assert!((m.weights[0] - 2.0).abs() < 1e-6);
+        assert!((m.weights[1] + 3.0).abs() < 1e-6);
+        assert!((m.bias - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        // Second feature duplicates the first: OLS is singular, ridge not.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 4.0 * i as f64).collect();
+        assert!(LinearRegression::fit(&xs, &ys, 0.0).is_none());
+        let m = LinearRegression::fit(&xs, &ys, 1e-3).unwrap();
+        assert!((m.predict(&[10.0, 10.0]) - 40.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(LinearRegression::fit(&[], &[], 0.0).is_none());
+    }
+}

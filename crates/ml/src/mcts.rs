@@ -1,0 +1,254 @@
+//! UCT Monte-Carlo tree search over a generic MDP — the search core of
+//! SkinnerDB-style online join ordering.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A deterministic MDP whose terminal states can be evaluated (higher
+/// reward = better). `evaluate` may perform a random rollout internally.
+pub trait Mdp {
+    /// State type.
+    type State: Clone;
+    /// Action type.
+    type Action: Clone + PartialEq;
+
+    /// Available actions (empty = terminal).
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// Deterministic transition.
+    fn step(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+
+    /// Reward of (a rollout from) `state`. Called on the state reached
+    /// after expansion; implementations typically complete the episode
+    /// randomly and return the terminal reward.
+    fn evaluate(&mut self, state: &Self::State, rng: &mut StdRng) -> f64;
+}
+
+struct Node<S, A> {
+    state: S,
+    visits: f64,
+    total: f64,
+    /// Expanded children: (action, node index).
+    children: Vec<(A, usize)>,
+    /// Actions not yet expanded.
+    untried: Vec<A>,
+    parent: Option<usize>,
+}
+
+/// A UCT search tree rooted at one state. Reusable across iterations
+/// (SkinnerDB keeps the tree across time slices).
+pub struct Uct<M: Mdp> {
+    nodes: Vec<Node<M::State, M::Action>>,
+    /// Exploration constant.
+    pub exploration: f64,
+}
+
+impl<M: Mdp> Uct<M> {
+    /// New tree rooted at `root` with UCB1 exploration constant `c`.
+    pub fn new(env: &M, root: M::State, c: f64) -> Uct<M> {
+        let untried = env.actions(&root);
+        Uct {
+            nodes: vec![Node {
+                state: root,
+                visits: 0.0,
+                total: 0.0,
+                children: Vec::new(),
+                untried,
+                parent: None,
+            }],
+            exploration: c,
+        }
+    }
+
+    /// Number of tree nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists and it is unvisited.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[0].visits == 0.0
+    }
+
+    /// Run one select–expand–simulate–backpropagate iteration.
+    pub fn iterate(&mut self, env: &mut M, rng: &mut StdRng) {
+        // Select.
+        let mut cur = 0usize;
+        loop {
+            if !self.nodes[cur].untried.is_empty() {
+                break;
+            }
+            if self.nodes[cur].children.is_empty() {
+                break; // terminal
+            }
+            let parent_visits = self.nodes[cur].visits.max(1.0);
+            let c = self.exploration;
+            cur = self.nodes[cur]
+                .children
+                .iter()
+                .map(|&(_, child)| child)
+                .max_by(|&a, &b| {
+                    let ucb = |i: usize| {
+                        let n = &self.nodes[i];
+                        if n.visits == 0.0 {
+                            f64::INFINITY
+                        } else {
+                            n.total / n.visits + c * (parent_visits.ln() / n.visits).sqrt()
+                        }
+                    };
+                    ucb(a).partial_cmp(&ucb(b)).unwrap()
+                })
+                .expect("non-empty children");
+        }
+        // Expand.
+        let leaf = if self.nodes[cur].untried.is_empty() {
+            cur
+        } else {
+            let pick = rng.gen_range(0..self.nodes[cur].untried.len());
+            let action = self.nodes[cur].untried.swap_remove(pick);
+            let state = env.step(&self.nodes[cur].state, &action);
+            let untried = env.actions(&state);
+            self.nodes.push(Node {
+                state,
+                visits: 0.0,
+                total: 0.0,
+                children: Vec::new(),
+                untried,
+                parent: Some(cur),
+            });
+            let idx = self.nodes.len() - 1;
+            self.nodes[cur].children.push((action, idx));
+            idx
+        };
+        // Simulate.
+        let reward = env.evaluate(&self.nodes[leaf].state.clone(), rng);
+        // Backpropagate.
+        let mut node = Some(leaf);
+        while let Some(i) = node {
+            self.nodes[i].visits += 1.0;
+            self.nodes[i].total += reward;
+            node = self.nodes[i].parent;
+        }
+    }
+
+    /// Run `iterations` search iterations.
+    pub fn search(&mut self, env: &mut M, iterations: usize, rng: &mut StdRng) {
+        for _ in 0..iterations {
+            self.iterate(env, rng);
+        }
+    }
+
+    /// The most-visited action at the root (the standard UCT
+    /// recommendation), or `None` when nothing was expanded.
+    pub fn best_root_action(&self) -> Option<M::Action> {
+        self.nodes[0]
+            .children
+            .iter()
+            .max_by(|a, b| {
+                self.nodes[a.1]
+                    .visits
+                    .partial_cmp(&self.nodes[b.1].visits)
+                    .unwrap()
+            })
+            .map(|(a, _)| a.clone())
+    }
+
+    /// Follow most-visited children from the root to a terminal node,
+    /// returning the action sequence (greedy plan extraction).
+    pub fn best_path(&self) -> Vec<M::Action> {
+        let mut out = Vec::new();
+        let mut cur = 0usize;
+        while let Some(&(ref a, child)) = self.nodes[cur].children.iter().max_by(|a, b| {
+            self.nodes[a.1]
+                .visits
+                .partial_cmp(&self.nodes[b.1].visits)
+                .unwrap()
+        }) {
+            out.push(a.clone());
+            cur = child;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Pick 3 digits left to right; reward = the number formed. Optimal
+    /// play always picks 9.
+    struct DigitGame;
+
+    impl Mdp for DigitGame {
+        type State = Vec<u8>;
+        type Action = u8;
+
+        fn actions(&self, s: &Vec<u8>) -> Vec<u8> {
+            if s.len() >= 3 {
+                vec![]
+            } else {
+                (0..10).collect()
+            }
+        }
+
+        fn step(&self, s: &Vec<u8>, a: &u8) -> Vec<u8> {
+            let mut next = s.clone();
+            next.push(*a);
+            next
+        }
+
+        fn evaluate(&mut self, s: &Vec<u8>, rng: &mut StdRng) -> f64 {
+            let mut digits = s.clone();
+            while digits.len() < 3 {
+                digits.push(rng.gen_range(0..10));
+            }
+            digits.iter().fold(0.0, |acc, &d| acc * 10.0 + d as f64) / 999.0
+        }
+    }
+
+    #[test]
+    fn uct_finds_best_first_digit() {
+        let mut env = DigitGame;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut uct = Uct::new(&env, vec![], 0.7);
+        uct.search(&mut env, 3000, &mut rng);
+        assert_eq!(uct.best_root_action(), Some(9));
+    }
+
+    #[test]
+    fn best_path_reaches_terminal() {
+        let mut env = DigitGame;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut uct = Uct::new(&env, vec![], 0.7);
+        uct.search(&mut env, 5000, &mut rng);
+        let path = uct.best_path();
+        assert!(path.len() <= 3);
+        assert_eq!(path[0], 9);
+    }
+
+    #[test]
+    fn tree_grows_monotonically() {
+        let mut env = DigitGame;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut uct = Uct::new(&env, vec![], 1.0);
+        assert!(uct.is_empty());
+        let mut prev = uct.len();
+        for _ in 0..10 {
+            uct.iterate(&mut env, &mut rng);
+            assert!(uct.len() >= prev);
+            prev = uct.len();
+        }
+        assert!(!uct.is_empty());
+    }
+
+    #[test]
+    fn terminal_root_is_harmless() {
+        let mut env = DigitGame;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut uct = Uct::new(&env, vec![9, 9, 9], 0.7);
+        uct.search(&mut env, 10, &mut rng);
+        assert_eq!(uct.best_root_action(), None);
+        assert!(uct.best_path().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Evaluation metrics shared by the experiments: q-error, correlation
+//! coefficients and ranking accuracy.
+
+/// Q-error of an estimate against the truth: `max(est/true, true/est)`,
+/// with both sides floored at 1 tuple (the standard convention, so empty
+/// results do not produce infinities).
+pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+/// Percentile of a sample (linear interpolation), `p` in `\[0, 100\]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty());
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    v[lo] * (1.0 - frac) + v[hi] * frac
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean (of positive values; non-positive values floored at
+/// `1e-12`).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Pearson correlation coefficient.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx < 1e-18 || vy < 1e-18 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Ranks with ties broken by average rank.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Fraction of pairs `(i, j)` whose order under `scores` matches their
+/// order under `truth` (pairwise ranking accuracy; ties in truth skipped).
+pub fn pairwise_rank_accuracy(scores: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(scores.len(), truth.len());
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for i in 0..scores.len() {
+        for j in i + 1..scores.len() {
+            if truth[i] == truth[j] {
+                continue;
+            }
+            total += 1;
+            if (scores[i] < scores[j]) == (truth[i] < truth[j]) {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_symmetry_and_floor() {
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(5.0, 5.0), 1.0);
+        // Zero truth is floored, not infinite.
+        assert_eq!(q_error(10.0, 0.0), 10.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 25.0), 2.0);
+        assert_eq!(percentile(&v, 90.0), 4.6);
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &vec![3.0; 50]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        // Monotone but nonlinear: Spearman 1, Pearson < 1.
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = vec![1.0, 1.0, 2.0, 3.0];
+        let ys = vec![10.0, 10.0, 20.0, 30.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_accuracy() {
+        let truth = vec![1.0, 2.0, 3.0];
+        assert_eq!(pairwise_rank_accuracy(&[10.0, 20.0, 30.0], &truth), 1.0);
+        assert_eq!(pairwise_rank_accuracy(&[30.0, 20.0, 10.0], &truth), 0.0);
+        // Ties in truth are skipped.
+        assert_eq!(pairwise_rank_accuracy(&[1.0, 2.0], &[5.0, 5.0]), 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Tabular Q-learning with epsilon-greedy exploration — the learning core
+//! of Eddy-RL-style adaptive join processing and the simplest baseline for
+//! DQ-style join-order agents.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A tabular Q-function over hashable states and actions.
+#[derive(Debug, Clone)]
+pub struct QTable<S, A>
+where
+    S: Eq + Hash + Clone,
+    A: Eq + Hash + Clone,
+{
+    q: HashMap<(S, A), f64>,
+    /// Learning rate.
+    pub alpha: f64,
+    /// Discount factor.
+    pub gamma: f64,
+}
+
+impl<S, A> QTable<S, A>
+where
+    S: Eq + Hash + Clone,
+    A: Eq + Hash + Clone,
+{
+    /// New table with learning rate `alpha` and discount `gamma`.
+    pub fn new(alpha: f64, gamma: f64) -> QTable<S, A> {
+        QTable {
+            q: HashMap::new(),
+            alpha,
+            gamma,
+        }
+    }
+
+    /// Current Q-value (0 for unseen pairs).
+    pub fn get(&self, s: &S, a: &A) -> f64 {
+        self.q.get(&(s.clone(), a.clone())).copied().unwrap_or(0.0)
+    }
+
+    /// Max Q over the given actions in state `s` (0 when empty).
+    pub fn max_q(&self, s: &S, actions: &[A]) -> f64 {
+        if actions.is_empty() {
+            return 0.0;
+        }
+        actions
+            .iter()
+            .map(|a| self.get(s, a))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Greedy action (ties broken by first occurrence); `None` when the
+    /// action list is empty.
+    pub fn best_action(&self, s: &S, actions: &[A]) -> Option<A> {
+        actions
+            .iter()
+            .max_by(|a, b| self.get(s, a).partial_cmp(&self.get(s, b)).unwrap())
+            .cloned()
+    }
+
+    /// Epsilon-greedy action selection.
+    pub fn epsilon_greedy(
+        &self,
+        s: &S,
+        actions: &[A],
+        epsilon: f64,
+        rng: &mut StdRng,
+    ) -> Option<A> {
+        if actions.is_empty() {
+            return None;
+        }
+        if rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
+            Some(actions[rng.gen_range(0..actions.len())].clone())
+        } else {
+            self.best_action(s, actions)
+        }
+    }
+
+    /// One Q-learning backup:
+    /// `Q(s,a) += alpha * (r + gamma * max_a' Q(s',a') - Q(s,a))`.
+    /// `next_actions` empty means `s'` is terminal.
+    pub fn update(&mut self, s: S, a: A, reward: f64, next: &S, next_actions: &[A]) {
+        let target = reward
+            + if next_actions.is_empty() {
+                0.0
+            } else {
+                self.gamma * self.max_q(next, next_actions)
+            };
+        let entry = self.q.entry((s, a)).or_insert(0.0);
+        *entry += self.alpha * (target - *entry);
+    }
+
+    /// Number of stored state–action values.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when nothing has been learned.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A 5-state corridor: move right (+1) to reach the goal at state 4;
+    /// moving left (-1) wastes time. Reward 10 at the goal, -1 per step.
+    fn corridor_episode(q: &mut QTable<i32, i32>, rng: &mut StdRng, eps: f64) {
+        let mut s = 0i32;
+        for _ in 0..50 {
+            let actions = [-1, 1];
+            let a = q.epsilon_greedy(&s, &actions, eps, rng).unwrap();
+            let next = (s + a).clamp(0, 4);
+            let (r, next_actions): (f64, &[i32]) = if next == 4 {
+                (10.0, &[])
+            } else {
+                (-1.0, &actions)
+            };
+            q.update(s, a, r, &next, next_actions);
+            if next == 4 {
+                break;
+            }
+            s = next;
+        }
+    }
+
+    #[test]
+    fn learns_corridor_policy() {
+        let mut q = QTable::new(0.3, 0.95);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            corridor_episode(&mut q, &mut rng, 0.2);
+        }
+        // Greedy policy must move right from every non-terminal state.
+        for s in 0..4 {
+            assert_eq!(q.best_action(&s, &[-1, 1]), Some(1), "state {s}");
+        }
+    }
+
+    #[test]
+    fn terminal_update_ignores_future() {
+        let mut q = QTable::new(1.0, 0.9);
+        q.update(0, 1, 5.0, &1, &[]);
+        assert_eq!(q.get(&0, &1), 5.0);
+    }
+
+    #[test]
+    fn unseen_pairs_default_zero() {
+        let q: QTable<u8, u8> = QTable::new(0.1, 0.9);
+        assert_eq!(q.get(&0, &0), 0.0);
+        assert!(q.is_empty());
+        assert_eq!(q.best_action(&0, &[]), None);
+    }
+
+    #[test]
+    fn epsilon_one_explores() {
+        let q: QTable<u8, u8> = QTable::new(0.1, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(q.epsilon_greedy(&0, &[0, 1, 2], 1.0, &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Feature scaling.
+
+/// Per-feature standardization to zero mean and unit variance.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit on rows. Features with zero variance get std 1 (pass-through).
+    pub fn fit(xs: &[Vec<f64>]) -> StandardScaler {
+        assert!(!xs.is_empty());
+        let d = xs[0].len();
+        let n = xs.len() as f64;
+        let mut mean = vec![0.0; d];
+        for x in xs {
+            for (m, &v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for x in xs {
+            for ((v, &xi), &m) in var.iter_mut().zip(x).zip(&mean) {
+                *v += (xi - m) * (xi - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Scale one row.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Scale all rows.
+    pub fn transform_all(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+
+    /// Undo scaling of one row.
+    pub fn inverse(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&v, &m), &s)| v * s + m)
+            .collect()
+    }
+}
+
+/// Scale a scalar target into `log1p` space and back — the standard label
+/// transform for cardinalities and latencies, whose distributions span
+/// many orders of magnitude.
+pub mod log_label {
+    /// `y -> ln(1 + y)`.
+    pub fn encode(y: f64) -> f64 {
+        (1.0 + y.max(0.0)).ln()
+    }
+
+    /// Inverse of [`encode`].
+    pub fn decode(z: f64) -> f64 {
+        (z.exp() - 1.0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 5.0]).collect();
+        let s = StandardScaler::fit(&xs);
+        let t = s.transform_all(&xs);
+        let mean0: f64 = t.iter().map(|x| x[0]).sum::<f64>() / 100.0;
+        assert!(mean0.abs() < 1e-9);
+        let var0: f64 = t.iter().map(|x| x[0] * x[0]).sum::<f64>() / 100.0;
+        assert!((var0 - 1.0).abs() < 1e-9);
+        // Constant feature passes through shifted to 0.
+        assert!(t.iter().all(|x| x[1].abs() < 1e-9));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let xs = vec![vec![1.0, 2.0], vec![3.0, 8.0], vec![-1.0, 0.0]];
+        let s = StandardScaler::fit(&xs);
+        for x in &xs {
+            let back = s.inverse(&s.transform(x));
+            for (a, b) in back.iter().zip(x) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn log_label_roundtrip_and_clamping() {
+        for y in [0.0, 1.0, 999.5, 1e12] {
+            let z = log_label::encode(y);
+            assert!((log_label::decode(z) - y).abs() / (y + 1.0) < 1e-9);
+        }
+        assert_eq!(log_label::encode(-5.0), 0.0);
+        assert_eq!(log_label::decode(-10.0), 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! CART regression trees (variance-reduction splits).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Hyper-parameters for regression-tree induction.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Number of candidate features per split (`None` = all); used by
+    /// random forests.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 8,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fit on rows `xs` (all of equal length) and targets `ys`. `rng` is
+    /// used only when `max_features` subsamples candidates.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: &TreeConfig, rng: &mut StdRng) -> RegressionTree {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "cannot fit a tree on no data");
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut nodes = Vec::new();
+        build(xs, ys, &idx, cfg, 0, &mut nodes, rng);
+        RegressionTree { nodes }
+    }
+
+    /// Predict one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (model-size metric).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree.
+    pub fn depth(&self) -> usize {
+        fn d(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(nodes, *left).max(d(nodes, *right)),
+            }
+        }
+        d(&self.nodes, 0)
+    }
+}
+
+fn mean(ys: &[f64], idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len().max(1) as f64
+}
+
+/// Returns the index of the created node.
+fn build(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: &[usize],
+    cfg: &TreeConfig,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+    rng: &mut StdRng,
+) -> usize {
+    let node_mean = mean(ys, idx);
+    if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+        nodes.push(Node::Leaf { value: node_mean });
+        return nodes.len() - 1;
+    }
+    let nfeat = xs[0].len();
+    let mut feats: Vec<usize> = (0..nfeat).collect();
+    if let Some(k) = cfg.max_features {
+        feats.shuffle(rng);
+        feats.truncate(k.max(1));
+    }
+
+    // Best split by weighted variance (sum of squared errors) reduction.
+    let total_sse: f64 = idx.iter().map(|&i| (ys[i] - node_mean).powi(2)).sum();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    for &f in &feats {
+        let mut vals: Vec<(f64, f64)> = idx.iter().map(|&i| (xs[i][f], ys[i])).collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // Prefix sums for O(n) split evaluation.
+        let n = vals.len();
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let total_sum: f64 = vals.iter().map(|v| v.1).sum();
+        let total_sumsq: f64 = vals.iter().map(|v| v.1 * v.1).sum();
+        for k in 0..n - 1 {
+            sum += vals[k].1;
+            sumsq += vals[k].1 * vals[k].1;
+            if vals[k].0 == vals[k + 1].0 {
+                continue; // cannot split between equal values
+            }
+            let nl = (k + 1) as f64;
+            let nr = (n - k - 1) as f64;
+            let sse_l = sumsq - sum * sum / nl;
+            let sse_r = (total_sumsq - sumsq) - (total_sum - sum).powi(2) / nr;
+            let sse = sse_l + sse_r;
+            if best.as_ref().is_none_or(|b| sse < b.2) {
+                best = Some((f, (vals[k].0 + vals[k + 1].0) / 2.0, sse));
+            }
+        }
+    }
+    let Some((feature, threshold, sse)) = best else {
+        nodes.push(Node::Leaf { value: node_mean });
+        return nodes.len() - 1;
+    };
+    if sse >= total_sse - 1e-12 {
+        // No reduction: stop.
+        nodes.push(Node::Leaf { value: node_mean });
+        return nodes.len() - 1;
+    }
+    let (lidx, ridx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+    // Reserve this node's slot, then build children.
+    let slot = nodes.len();
+    nodes.push(Node::Leaf { value: node_mean });
+    let left = build(xs, ys, &lidx, cfg, depth + 1, nodes, rng);
+    let right = build(xs, ys, &ridx, cfg, depth + 1, nodes, rng);
+    nodes[slot] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    slot
+}
+
+/// A bagged random forest of regression trees ("tree-based ensembles",
+/// Dutt et al. 2019).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fit `n_trees` trees on bootstrap samples with feature subsampling.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        n_trees: usize,
+        cfg: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> RandomForest {
+        use rand::Rng;
+        let n = xs.len();
+        let nfeat = xs[0].len();
+        let cfg = TreeConfig {
+            max_features: cfg
+                .max_features
+                .or(Some(((nfeat as f64).sqrt().ceil() as usize).max(1))),
+            ..cfg.clone()
+        };
+        let trees = (0..n_trees)
+            .map(|_| {
+                let bidx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let bxs: Vec<Vec<f64>> = bidx.iter().map(|&i| xs[i].clone()).collect();
+                let bys: Vec<f64> = bidx.iter().map(|&i| ys[i]).collect();
+                RegressionTree::fit(&bxs, &bys, &cfg, rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Mean prediction over the ensemble.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len().max(1) as f64
+    }
+
+    /// Per-tree predictions (drives Fauce-style uncertainty estimates).
+    pub fn predict_all(&self, x: &[f64]) -> Vec<f64> {
+        self.trees.iter().map(|t| t.predict(x)).collect()
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True when the ensemble is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] < 0.5 { 1.0 } else { 5.0 })
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn tree_learns_step_function() {
+        let (xs, ys) = step_data();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default(), &mut rng());
+        assert!((t.predict(&[0.2]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[0.8]) - 5.0).abs() < 1e-9);
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys = vec![3.0; 50];
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default(), &mut rng());
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict(&[17.0]), 3.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let xs: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let t = RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeConfig {
+                max_depth: 3,
+                min_samples_split: 2,
+                max_features: None,
+            },
+            &mut rng(),
+        );
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // Target depends on the second feature only; the tree must find it.
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 13) as f64, (i % 2) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[1] * 10.0).collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default(), &mut rng());
+        assert!((t.predict(&[6.0, 0.0]) - 0.0).abs() < 1e-6);
+        assert!((t.predict(&[6.0, 1.0]) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forest_reduces_to_reasonable_predictions() {
+        let (xs, ys) = step_data();
+        let f = RandomForest::fit(&xs, &ys, 20, &TreeConfig::default(), &mut rng());
+        assert_eq!(f.len(), 20);
+        assert!((f.predict(&[0.1]) - 1.0).abs() < 0.8);
+        assert!((f.predict(&[0.9]) - 5.0).abs() < 0.8);
+        assert_eq!(f.predict_all(&[0.1]).len(), 20);
+    }
+}

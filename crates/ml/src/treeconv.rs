@@ -1,0 +1,497 @@
+//! Tree convolution networks (Mou et al. 2016), as used by Neo, Bao and
+//! plan-structured cost models: per-node convolution over (node, left
+//! child, right child) feature triples, stacked, followed by dynamic
+//! max+mean pooling and a dense head.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::linalg::Matrix;
+use crate::mlp::{Activation, Mlp, MlpConfig};
+
+/// A node of a featurized binary tree. Children are indices into the
+/// owning [`FeatTree`]'s node vector and must be smaller than the node's
+/// own index (build trees bottom-up).
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Node feature vector (fixed dimension across the tree).
+    pub feat: Vec<f64>,
+    /// Left child index.
+    pub left: Option<usize>,
+    /// Right child index.
+    pub right: Option<usize>,
+}
+
+/// A featurized binary tree in bottom-up (children-first) node order.
+#[derive(Debug, Clone, Default)]
+pub struct FeatTree {
+    /// Nodes; the last node is the root.
+    pub nodes: Vec<TreeNode>,
+}
+
+impl FeatTree {
+    /// Empty tree.
+    pub fn new() -> FeatTree {
+        FeatTree::default()
+    }
+
+    /// Add a leaf, returning its index.
+    pub fn leaf(&mut self, feat: Vec<f64>) -> usize {
+        self.nodes.push(TreeNode {
+            feat,
+            left: None,
+            right: None,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Add an internal node over two existing children, returning its index.
+    pub fn internal(&mut self, feat: Vec<f64>, left: usize, right: usize) -> usize {
+        assert!(left < self.nodes.len() && right < self.nodes.len());
+        self.nodes.push(TreeNode {
+            feat,
+            left: Some(left),
+            right: Some(right),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Tree-convolution hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConvConfig {
+    /// Per-node input feature dimension.
+    pub input_dim: usize,
+    /// Output channels of each convolution layer.
+    pub channels: Vec<usize>,
+    /// Hidden sizes of the dense head (input is `2 * channels.last()`).
+    pub head_hidden: Vec<usize>,
+    /// Adam learning rate (shared by conv layers and head).
+    pub learning_rate: f64,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl TreeConvConfig {
+    /// Default shape for plan-value networks.
+    pub fn new(input_dim: usize) -> TreeConvConfig {
+        TreeConvConfig {
+            input_dim,
+            channels: vec![32, 16],
+            head_hidden: vec![32],
+            learning_rate: 1e-3,
+            seed: 5,
+        }
+    }
+}
+
+struct ConvLayer {
+    w: Matrix, // ch_out x 3*ch_in
+    b: Vec<f64>,
+    m_w: Vec<f64>,
+    v_w: Vec<f64>,
+    m_b: Vec<f64>,
+    v_b: Vec<f64>,
+}
+
+/// A tree convolution network with a scalar dense head.
+pub struct TreeConvNet {
+    cfg: TreeConvConfig,
+    convs: Vec<ConvLayer>,
+    head: Mlp,
+    t: u64,
+}
+
+struct Forward {
+    /// `h[l][i]` = activation of node i after conv layer l (h\[0\] = inputs).
+    h: Vec<Vec<Vec<f64>>>,
+    pooled: Vec<f64>,
+    /// Argmax node per channel of the max-pool half.
+    argmax: Vec<usize>,
+}
+
+fn adam_update(params: &mut [f64], grads: &[f64], m: &mut [f64], v: &mut [f64], t: u64, lr: f64) {
+    let (b1, b2, eps) = (0.9f64, 0.999f64, 1e-8);
+    let corr1 = 1.0 - b1.powi(t as i32);
+    let corr2 = 1.0 - b2.powi(t as i32);
+    for i in 0..params.len() {
+        let g = grads[i];
+        m[i] = b1 * m[i] + (1.0 - b1) * g;
+        v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+        params[i] -= lr * (m[i] / corr1) / ((v[i] / corr2).sqrt() + eps);
+    }
+}
+
+impl TreeConvNet {
+    /// Initialize the network.
+    pub fn new(cfg: TreeConvConfig) -> TreeConvNet {
+        assert!(!cfg.channels.is_empty());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut convs = Vec::new();
+        let mut ch_in = cfg.input_dim;
+        for &ch_out in &cfg.channels {
+            let w = Matrix::xavier(ch_out, 3 * ch_in, &mut rng);
+            convs.push(ConvLayer {
+                m_w: vec![0.0; w.data.len()],
+                v_w: vec![0.0; w.data.len()],
+                m_b: vec![0.0; ch_out],
+                v_b: vec![0.0; ch_out],
+                w,
+                b: vec![0.0; ch_out],
+            });
+            ch_in = ch_out;
+        }
+        let last = *cfg.channels.last().unwrap();
+        let mut head_layers = vec![2 * last];
+        head_layers.extend_from_slice(&cfg.head_hidden);
+        head_layers.push(1);
+        let head = Mlp::new(MlpConfig {
+            learning_rate: cfg.learning_rate,
+            activation: Activation::Relu,
+            ..MlpConfig::new(head_layers)
+        });
+        TreeConvNet {
+            cfg,
+            convs,
+            head,
+            t: 0,
+        }
+    }
+
+    /// Number of trainable parameters (model-size metric).
+    pub fn num_params(&self) -> usize {
+        self.convs
+            .iter()
+            .map(|c| c.w.data.len() + c.b.len())
+            .sum::<usize>()
+            + self.head.num_params()
+    }
+
+    fn forward(&self, tree: &FeatTree) -> Forward {
+        let n = tree.nodes.len();
+        assert!(n > 0, "cannot evaluate an empty tree");
+        let mut h: Vec<Vec<Vec<f64>>> = Vec::with_capacity(self.convs.len() + 1);
+        h.push(tree.nodes.iter().map(|nd| nd.feat.clone()).collect());
+        for (l, conv) in self.convs.iter().enumerate() {
+            let ch_in = conv.w.cols / 3;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut z = vec![0.0; 3 * ch_in];
+                z[..ch_in].copy_from_slice(&h[l][i]);
+                if let Some(li) = tree.nodes[i].left {
+                    z[ch_in..2 * ch_in].copy_from_slice(&h[l][li]);
+                }
+                if let Some(ri) = tree.nodes[i].right {
+                    z[2 * ch_in..].copy_from_slice(&h[l][ri]);
+                }
+                let mut y = conv.w.matvec(&z);
+                for (yi, &bi) in y.iter_mut().zip(&conv.b) {
+                    *yi = (*yi + bi).max(0.0); // ReLU
+                }
+                out.push(y);
+            }
+            h.push(out);
+        }
+        // Dynamic pooling: concat(max, mean) over nodes of the last layer.
+        let last = h.last().unwrap();
+        let ch = last[0].len();
+        let mut maxv = vec![f64::NEG_INFINITY; ch];
+        let mut argmax = vec![0usize; ch];
+        let mut meanv = vec![0.0; ch];
+        for (i, node) in last.iter().enumerate() {
+            for c in 0..ch {
+                if node[c] > maxv[c] {
+                    maxv[c] = node[c];
+                    argmax[c] = i;
+                }
+                meanv[c] += node[c];
+            }
+        }
+        for m in &mut meanv {
+            *m /= n as f64;
+        }
+        let mut pooled = maxv;
+        pooled.extend(meanv);
+        Forward { h, pooled, argmax }
+    }
+
+    /// Predicted scalar value of a tree.
+    pub fn predict(&self, tree: &FeatTree) -> f64 {
+        self.head.predict_scalar(&self.forward(tree).pooled)
+    }
+
+    /// Backprop `grad_out` (dL/d score) through head and conv layers,
+    /// accumulating conv-weight gradients into `dws`/`dbs` and head
+    /// gradients into `head_buf`.
+    fn backward(
+        &self,
+        tree: &FeatTree,
+        fwd: &Forward,
+        grad_out: f64,
+        dws: &mut [Vec<f64>],
+        dbs: &mut [Vec<f64>],
+        head_buf: &mut crate::mlp::GradBuf,
+    ) {
+        let head_cache = self.head.forward_cache(&fwd.pooled);
+        let grad_pooled = self.head.backward(&head_cache, vec![grad_out], head_buf);
+        Mlp::bump_count(head_buf);
+
+        let n = tree.nodes.len();
+        let nlayers = self.convs.len();
+        let ch = fwd.h[nlayers][0].len();
+        // Gradient wrt the last conv layer's node activations.
+        let mut gh: Vec<Vec<f64>> = vec![vec![0.0; ch]; n];
+        for c in 0..ch {
+            gh[fwd.argmax[c]][c] += grad_pooled[c]; // max half
+        }
+        for node in gh.iter_mut() {
+            for c in 0..ch {
+                node[c] += grad_pooled[ch + c] / n as f64; // mean half
+            }
+        }
+        // Conv layers, top down.
+        for l in (0..nlayers).rev() {
+            let conv = &self.convs[l];
+            let ch_in = conv.w.cols / 3;
+            let ch_out = conv.w.rows;
+            let mut gh_prev: Vec<Vec<f64>> = vec![vec![0.0; ch_in]; n];
+            for i in 0..n {
+                // Through ReLU: activation > 0.
+                let g: Vec<f64> = fwd.h[l + 1][i]
+                    .iter()
+                    .zip(&gh[i])
+                    .map(|(&y, &gy)| if y > 0.0 { gy } else { 0.0 })
+                    .collect();
+                if g.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                // Rebuild the input z of this node.
+                let mut z = vec![0.0; 3 * ch_in];
+                z[..ch_in].copy_from_slice(&fwd.h[l][i]);
+                if let Some(li) = tree.nodes[i].left {
+                    z[ch_in..2 * ch_in].copy_from_slice(&fwd.h[l][li]);
+                }
+                if let Some(ri) = tree.nodes[i].right {
+                    z[2 * ch_in..].copy_from_slice(&fwd.h[l][ri]);
+                }
+                // dW += g ⊗ z; db += g; dz = Wᵀ g.
+                for r in 0..ch_out {
+                    let gr = g[r];
+                    if gr == 0.0 {
+                        continue;
+                    }
+                    dbs[l][r] += gr;
+                    let drow = &mut dws[l][r * conv.w.cols..(r + 1) * conv.w.cols];
+                    for k in 0..conv.w.cols {
+                        drow[k] += gr * z[k];
+                    }
+                }
+                // dz distribution to self / left / right in the layer below.
+                let mut dz = vec![0.0; 3 * ch_in];
+                for r in 0..ch_out {
+                    let gr = g[r];
+                    if gr == 0.0 {
+                        continue;
+                    }
+                    let row = &conv.w.data[r * conv.w.cols..(r + 1) * conv.w.cols];
+                    for k in 0..3 * ch_in {
+                        dz[k] += gr * row[k];
+                    }
+                }
+                for c in 0..ch_in {
+                    gh_prev[i][c] += dz[c];
+                }
+                if let Some(li) = tree.nodes[i].left {
+                    for c in 0..ch_in {
+                        gh_prev[li][c] += dz[ch_in + c];
+                    }
+                }
+                if let Some(ri) = tree.nodes[i].right {
+                    for c in 0..ch_in {
+                        gh_prev[ri][c] += dz[2 * ch_in + c];
+                    }
+                }
+            }
+            gh = gh_prev;
+        }
+    }
+
+    fn apply_grads(
+        &mut self,
+        dws: Vec<Vec<f64>>,
+        dbs: Vec<Vec<f64>>,
+        head_buf: crate::mlp::GradBuf,
+        batch: usize,
+    ) {
+        self.t += 1;
+        let scale = 1.0 / batch.max(1) as f64;
+        let lr = self.cfg.learning_rate;
+        for (l, conv) in self.convs.iter_mut().enumerate() {
+            let gw: Vec<f64> = dws[l].iter().map(|g| g * scale).collect();
+            adam_update(
+                &mut conv.w.data,
+                &gw,
+                &mut conv.m_w,
+                &mut conv.v_w,
+                self.t,
+                lr,
+            );
+            let gb: Vec<f64> = dbs[l].iter().map(|g| g * scale).collect();
+            adam_update(&mut conv.b, &gb, &mut conv.m_b, &mut conv.v_b, self.t, lr);
+        }
+        self.head.step(head_buf);
+    }
+
+    /// One Adam step of squared-error regression on a batch of trees.
+    /// Returns the batch MSE before the update.
+    pub fn train_batch(&mut self, trees: &[&FeatTree], ys: &[f64]) -> f64 {
+        assert_eq!(trees.len(), ys.len());
+        let mut dws: Vec<Vec<f64>> = self
+            .convs
+            .iter()
+            .map(|c| vec![0.0; c.w.data.len()])
+            .collect();
+        let mut dbs: Vec<Vec<f64>> = self.convs.iter().map(|c| vec![0.0; c.b.len()]).collect();
+        let mut head_buf = self.head.zero_grads();
+        let mut loss = 0.0;
+        for (tree, &y) in trees.iter().zip(ys) {
+            let fwd = self.forward(tree);
+            let pred = self.head.predict_scalar(&fwd.pooled);
+            loss += (pred - y) * (pred - y);
+            self.backward(
+                tree,
+                &fwd,
+                2.0 * (pred - y),
+                &mut dws,
+                &mut dbs,
+                &mut head_buf,
+            );
+        }
+        let n = trees.len().max(1);
+        self.apply_grads(dws, dbs, head_buf, n);
+        loss / n as f64
+    }
+
+    /// One Adam step of pairwise logistic ranking: `y = +1` when `a`
+    /// should score higher than `b`. Returns mean logistic loss.
+    pub fn train_pairwise_batch(&mut self, pairs: &[(&FeatTree, &FeatTree, f64)]) -> f64 {
+        let mut dws: Vec<Vec<f64>> = self
+            .convs
+            .iter()
+            .map(|c| vec![0.0; c.w.data.len()])
+            .collect();
+        let mut dbs: Vec<Vec<f64>> = self.convs.iter().map(|c| vec![0.0; c.b.len()]).collect();
+        let mut head_buf = self.head.zero_grads();
+        let mut loss = 0.0;
+        for (a, b, y) in pairs {
+            let fa = self.forward(a);
+            let fb = self.forward(b);
+            let sa = self.head.predict_scalar(&fa.pooled);
+            let sb = self.head.predict_scalar(&fb.pooled);
+            let margin = y * (sa - sb);
+            loss += (1.0 + (-margin).exp()).ln();
+            let g = -y / (1.0 + margin.exp());
+            self.backward(a, &fa, g, &mut dws, &mut dbs, &mut head_buf);
+            self.backward(b, &fb, -g, &mut dws, &mut dbs, &mut head_buf);
+        }
+        let n = pairs.len().max(1);
+        self.apply_grads(dws, dbs, head_buf, 2 * n);
+        loss / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tree whose value is the sum of leaf features: left-deep chains of
+    /// varying depth.
+    fn chain_tree(leaf_vals: &[f64]) -> FeatTree {
+        let mut t = FeatTree::new();
+        let mut prev = t.leaf(vec![leaf_vals[0], 1.0]);
+        for &v in &leaf_vals[1..] {
+            let leaf = t.leaf(vec![v, 1.0]);
+            prev = t.internal(vec![0.0, 0.0], prev, leaf);
+        }
+        t
+    }
+
+    #[test]
+    fn builder_orders_children_first() {
+        let t = chain_tree(&[1.0, 2.0, 3.0]);
+        assert_eq!(t.len(), 5);
+        for (i, n) in t.nodes.iter().enumerate() {
+            if let (Some(l), Some(r)) = (n.left, n.right) {
+                assert!(l < i && r < i);
+            }
+        }
+    }
+
+    #[test]
+    fn learns_sum_of_leaves() {
+        let mut net = TreeConvNet::new(TreeConvConfig {
+            learning_rate: 3e-3,
+            channels: vec![16],
+            head_hidden: vec![16],
+            ..TreeConvConfig::new(2)
+        });
+        // Trees of varying depth whose target is the (scaled) leaf sum.
+        let data: Vec<(FeatTree, f64)> = (0..60)
+            .map(|i| {
+                let vals: Vec<f64> = (0..2 + i % 4).map(|j| ((i + j) % 5) as f64 / 5.0).collect();
+                let target = vals.iter().sum::<f64>() / 4.0;
+                (chain_tree(&vals), target)
+            })
+            .collect();
+        let trees: Vec<&FeatTree> = data.iter().map(|(t, _)| t).collect();
+        let ys: Vec<f64> = data.iter().map(|(_, y)| *y).collect();
+        let mut loss = f64::INFINITY;
+        for _ in 0..400 {
+            loss = net.train_batch(&trees, &ys);
+        }
+        assert!(loss < 0.01, "tree-conv loss {loss}");
+    }
+
+    #[test]
+    fn pairwise_ranking_on_trees() {
+        let mut net = TreeConvNet::new(TreeConvConfig {
+            learning_rate: 5e-3,
+            channels: vec![8],
+            head_hidden: vec![8],
+            ..TreeConvConfig::new(2)
+        });
+        // Bigger leaf value should rank higher.
+        let lo = chain_tree(&[0.1, 0.1]);
+        let hi = chain_tree(&[0.9, 0.9]);
+        let pairs = vec![(&hi, &lo, 1.0)];
+        for _ in 0..200 {
+            net.train_pairwise_batch(&pairs);
+        }
+        assert!(net.predict(&hi) > net.predict(&lo));
+    }
+
+    #[test]
+    fn handles_single_leaf_tree() {
+        let net = TreeConvNet::new(TreeConvConfig::new(2));
+        let mut t = FeatTree::new();
+        t.leaf(vec![0.5, 0.5]);
+        let v = net.predict(&t);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn param_count_positive() {
+        let net = TreeConvNet::new(TreeConvConfig::new(4));
+        assert!(net.num_params() > 100);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests on the probabilistic models: invariants that must hold
+//! for any training data — normalization, monotonicity under mask
+//! widening, and point-mass consistency.
+
+use proptest::prelude::*;
+
+use lqo_ml::bayesnet::BayesNet;
+use lqo_ml::metrics::q_error;
+use lqo_ml::spn::{Spn, SpnConfig};
+
+prop_compose! {
+    /// Random discrete rows over fixed small domains [3, 4, 2].
+    fn rows()(data in prop::collection::vec((0usize..3, 0usize..4, 0usize..2), 20..200))
+        -> Vec<Vec<usize>> {
+        data.into_iter().map(|(a, b, c)| vec![a, b, c]).collect()
+    }
+}
+
+const DOMAINS: [usize; 3] = [3, 4, 2];
+
+fn full_masks() -> Vec<Vec<bool>> {
+    DOMAINS.iter().map(|&d| vec![true; d]).collect()
+}
+
+prop_compose! {
+    /// A random non-empty mask set over the domains.
+    fn masks()(bits in prop::collection::vec(prop::bool::ANY, 9)) -> Vec<Vec<bool>> {
+        let mut out = Vec::new();
+        let mut off = 0;
+        for &d in &DOMAINS {
+            let mut m: Vec<bool> = bits[off..off + d].to_vec();
+            if m.iter().all(|&b| !b) {
+                m[0] = true; // keep masks satisfiable per-variable
+            }
+            out.push(m);
+            off += d;
+        }
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// SPNs and Bayes nets are normalized and bounded for any data.
+    #[test]
+    fn distributions_are_normalized(rows in rows(), masks in masks()) {
+        let spn = Spn::fit(&rows, &DOMAINS, &SpnConfig::default());
+        let bn = BayesNet::fit(&rows, &DOMAINS, 0.3);
+        prop_assert!((spn.prob(&full_masks()) - 1.0).abs() < 1e-9);
+        prop_assert!((bn.prob(&full_masks()) - 1.0).abs() < 1e-9);
+        for p in [spn.prob(&masks), bn.prob(&masks)] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "p = {p}");
+        }
+    }
+
+    /// Widening a mask never lowers the probability (monotonicity).
+    #[test]
+    fn probability_is_monotone_in_masks(rows in rows(), masks in masks()) {
+        let spn = Spn::fit(&rows, &DOMAINS, &SpnConfig::default());
+        let bn = BayesNet::fit(&rows, &DOMAINS, 0.3);
+        // Widen: allow everything on variable 1.
+        let mut wider = masks.clone();
+        wider[1] = vec![true; DOMAINS[1]];
+        prop_assert!(spn.prob(&wider) + 1e-12 >= spn.prob(&masks));
+        prop_assert!(bn.prob(&wider) + 1e-12 >= bn.prob(&masks));
+    }
+
+    /// Point probabilities sum to (about) 1 over the whole domain.
+    #[test]
+    fn point_masses_sum_to_one(rows in rows()) {
+        let spn = Spn::fit(&rows, &DOMAINS, &SpnConfig::default());
+        let bn = BayesNet::fit(&rows, &DOMAINS, 0.3);
+        let mut spn_total = 0.0;
+        let mut bn_total = 0.0;
+        for a in 0..DOMAINS[0] {
+            for b in 0..DOMAINS[1] {
+                for c in 0..DOMAINS[2] {
+                    spn_total += spn.prob_point(&[a, b, c]);
+                    bn_total += bn.prob_point(&[a, b, c]);
+                }
+            }
+        }
+        prop_assert!((spn_total - 1.0).abs() < 1e-6, "spn total {spn_total}");
+        prop_assert!((bn_total - 1.0).abs() < 1e-6, "bn total {bn_total}");
+    }
+
+    /// Q-error is symmetric and at least 1.
+    #[test]
+    fn q_error_properties(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let q = q_error(a, b);
+        prop_assert!(q >= 1.0);
+        prop_assert!((q - q_error(b, a)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! The PilotScope console: registers drivers, manages sessions, routes
+//! SQL through the active driver, and runs background model updates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lqo_engine::query::parse_query;
+use lqo_engine::{EngineError, Result};
+
+use crate::driver::{Driver, DriverDecision, ExecFeedback};
+use crate::interactor::{DbInteractor, PullReply, PullRequest, SessionId};
+
+/// Result of executing SQL through the console.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Count-star result.
+    pub count: u64,
+    /// Work units spent.
+    pub work: f64,
+    /// Wall-clock time.
+    pub wall: Duration,
+    /// Which driver steered the query (`None` = plain database).
+    pub driver: Option<String>,
+}
+
+/// The console operating the middleware.
+pub struct PilotConsole {
+    interactor: Arc<dyn DbInteractor>,
+    drivers: HashMap<String, Box<dyn Driver>>,
+    active: Option<String>,
+    session: SessionId,
+    executed: usize,
+}
+
+impl PilotConsole {
+    /// Connect a console to a database through its interactor.
+    pub fn new(interactor: Arc<dyn DbInteractor>) -> PilotConsole {
+        let session = interactor.open_session();
+        PilotConsole {
+            interactor,
+            drivers: HashMap::new(),
+            active: None,
+            session,
+            executed: 0,
+        }
+    }
+
+    /// Register a driver under its own name, calling its `init`.
+    pub fn register_driver(&mut self, mut driver: Box<dyn Driver>) -> Result<()> {
+        driver.init(self.interactor.as_ref(), self.session)?;
+        self.drivers.insert(driver.name().to_string(), driver);
+        Ok(())
+    }
+
+    /// Start (activate) a driver; `None` reverts to the plain database.
+    pub fn start_driver(&mut self, name: Option<&str>) -> Result<()> {
+        if let Some(n) = name {
+            if !self.drivers.contains_key(n) {
+                return Err(EngineError::InvalidPlan(format!("unknown driver {n}")));
+            }
+        }
+        self.active = name.map(str::to_string);
+        Ok(())
+    }
+
+    /// Registered driver names.
+    pub fn driver_names(&self) -> Vec<&str> {
+        self.drivers.keys().map(String::as_str).collect()
+    }
+
+    /// Queries executed through this console.
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+
+    /// Execute a SQL string. The active driver (if any) steers planning;
+    /// execution feedback is delivered back to it for training.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let query = parse_query(sql)?;
+        let decision = match &self.active {
+            Some(name) => {
+                let driver = self.drivers.get_mut(name).expect("active driver exists");
+                driver.algo(self.interactor.as_ref(), self.session, &query)?
+            }
+            None => DriverDecision::Delegate,
+        };
+        let request = match decision {
+            DriverDecision::Plan(plan) => PullRequest::ExecutePlan(query.clone(), plan),
+            DriverDecision::Delegate => PullRequest::Execute(query.clone()),
+        };
+        let PullReply::Execution {
+            count,
+            work,
+            wall,
+            plan,
+        } = self.interactor.pull(self.session, request)?
+        else {
+            return Err(EngineError::InvalidPlan("expected execution reply".into()));
+        };
+        self.executed += 1;
+        if let Some(name) = &self.active {
+            let feedback = ExecFeedback {
+                query,
+                plan,
+                count,
+                work,
+                wall,
+            };
+            self.drivers
+                .get_mut(name)
+                .expect("active driver exists")
+                .collect(&feedback);
+        }
+        Ok(ExecOutcome {
+            count,
+            work,
+            wall,
+            driver: self.active.clone(),
+        })
+    }
+
+    /// Background tick: every driver updates its models (PilotScope's
+    /// background model updating).
+    pub fn tick(&mut self) {
+        for driver in self.drivers.values_mut() {
+            driver.update_models();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::{BaoDriver, CardDriver, LeroDriver};
+    use crate::engine_impl::EngineInteractor;
+    use learned_qo::framework::OptContext;
+    use lqo_card::estimator::FitContext;
+    use lqo_card::traditional::SamplingEstimator;
+    use lqo_engine::datagen::stats_like;
+
+    fn console() -> (PilotConsole, OptContext) {
+        let catalog = Arc::new(stats_like(80, 23).unwrap());
+        let ctx = OptContext::new(catalog.clone());
+        let interactor = Arc::new(EngineInteractor::new(catalog));
+        (PilotConsole::new(interactor), ctx)
+    }
+
+    const SQL: &str = "SELECT COUNT(*) FROM users u, posts p \
+                       WHERE u.id = p.owner_user_id AND u.reputation > 50";
+
+    #[test]
+    fn plain_execution_without_driver() {
+        let (mut console, _) = console();
+        let out = console.execute_sql(SQL).unwrap();
+        assert!(out.count > 0);
+        assert_eq!(out.driver, None);
+        assert_eq!(console.executed(), 1);
+    }
+
+    #[test]
+    fn card_driver_injects_and_delegates() {
+        let (mut console, ctx) = console();
+        let fit = FitContext {
+            catalog: ctx.catalog.clone(),
+            stats: ctx.stats.clone(),
+        };
+        let est = Arc::new(SamplingEstimator::fit(&fit));
+        console
+            .register_driver(Box::new(CardDriver::new(est)))
+            .unwrap();
+        console.start_driver(Some("learned-cardinality")).unwrap();
+        let with_driver = console.execute_sql(SQL).unwrap();
+        assert_eq!(with_driver.driver.as_deref(), Some("learned-cardinality"));
+        // Same answer as plain execution: steering never changes results.
+        console.start_driver(None).unwrap();
+        let plain = console.execute_sql(SQL).unwrap();
+        assert_eq!(with_driver.count, plain.count);
+    }
+
+    #[test]
+    fn bao_and_lero_drivers_run_and_learn() {
+        let (mut console, ctx) = console();
+        console
+            .register_driver(Box::new(BaoDriver::new(ctx.clone())))
+            .unwrap();
+        console
+            .register_driver(Box::new(LeroDriver::new(ctx)))
+            .unwrap();
+        let mut names = console.driver_names();
+        names.sort();
+        assert_eq!(names, vec!["bao", "lero"]);
+
+        for driver in ["bao", "lero"] {
+            console.start_driver(Some(driver)).unwrap();
+            let out = console.execute_sql(SQL).unwrap();
+            assert!(out.count > 0, "{driver}");
+            assert_eq!(out.driver.as_deref(), Some(driver));
+        }
+        console.tick(); // background updates must not panic
+    }
+
+    #[test]
+    fn unknown_driver_is_rejected() {
+        let (mut console, _) = console();
+        assert!(console.start_driver(Some("nope")).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! The driver programming model: `init()` + `algo()` plus training-data
+//! collection and background model updates.
+
+use std::time::Duration;
+
+use lqo_engine::{PhysNode, Result, SpjQuery};
+
+use crate::interactor::{DbInteractor, SessionId};
+
+/// What a driver decides for one query.
+#[derive(Debug, Clone)]
+pub enum DriverDecision {
+    /// Execute this specific plan.
+    Plan(PhysNode),
+    /// Let the (possibly steered) database plan by itself — e.g. after
+    /// the cardinality driver has batch-injected its estimates.
+    Delegate,
+}
+
+/// Execution feedback delivered to the active driver after every query —
+/// the pre-defined training data PilotScope collects.
+#[derive(Debug, Clone)]
+pub struct ExecFeedback {
+    /// The executed query.
+    pub query: SpjQuery,
+    /// The executed plan.
+    pub plan: PhysNode,
+    /// Count-star result.
+    pub count: u64,
+    /// Work units spent.
+    pub work: f64,
+    /// Wall-clock time.
+    pub wall: Duration,
+}
+
+/// An AI4DB task packaged as a driver.
+pub trait Driver: Send {
+    /// Driver name (console registry key).
+    fn name(&self) -> &str;
+
+    /// Preparation: the driver declares itself ready and may pull
+    /// statistics or warm its models through the interactor.
+    fn init(&mut self, interactor: &dyn DbInteractor, session: SessionId) -> Result<()>;
+
+    /// The AI4DB algorithm: steer the database through push/pull and
+    /// decide how the query is planned.
+    fn algo(
+        &mut self,
+        interactor: &dyn DbInteractor,
+        session: SessionId,
+        query: &SpjQuery,
+    ) -> Result<DriverDecision>;
+
+    /// Collect training data from an execution (default: ignore).
+    fn collect(&mut self, _feedback: &ExecFeedback) {}
+
+    /// Background model update (invoked by the console's `tick`).
+    fn update_models(&mut self) {}
+}

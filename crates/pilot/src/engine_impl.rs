@@ -1,0 +1,280 @@
+//! The `lqo-engine` implementation of the DB interactor — the
+//! "lightweight patch" a real deployment would apply to the database
+//! kernel.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lqo_engine::optimizer::{CardSource, InjectedCardSource, ScaledCardSource};
+use lqo_engine::stats::table_stats::CatalogStats;
+use lqo_engine::{
+    Catalog, EngineError, ExecConfig, Executor, HintSet, Optimizer, Result, TraditionalCardSource,
+    TrueCardOracle,
+};
+
+use crate::interactor::{DbInteractor, PullReply, PullRequest, PushAction, SessionId};
+
+struct SessionState {
+    injected: Arc<InjectedCardSource>,
+    hints: HintSet,
+    scaling: f64,
+}
+
+/// Interactor over an in-process `lqo-engine` database.
+pub struct EngineInteractor {
+    catalog: Arc<Catalog>,
+    base_card: Arc<dyn CardSource>,
+    oracle: Arc<TrueCardOracle>,
+    sessions: Mutex<HashMap<SessionId, SessionState>>,
+    next_session: AtomicU64,
+    /// Work budget per execution (timeout stand-in).
+    pub max_work: Option<f64>,
+}
+
+impl EngineInteractor {
+    /// Attach to a catalog.
+    pub fn new(catalog: Arc<Catalog>) -> EngineInteractor {
+        let stats = Arc::new(CatalogStats::build_default(&catalog));
+        let base_card: Arc<dyn CardSource> =
+            Arc::new(TraditionalCardSource::new(catalog.clone(), stats));
+        let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+        EngineInteractor {
+            catalog,
+            base_card,
+            oracle,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            max_work: Some(1e10),
+        }
+    }
+
+    /// The underlying catalog (the console needs it for parsing checks).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    fn with_session<T>(
+        &self,
+        session: SessionId,
+        f: impl FnOnce(&mut SessionState) -> T,
+    ) -> Result<T> {
+        let mut sessions = self.sessions.lock();
+        let state = sessions
+            .get_mut(&session)
+            .ok_or_else(|| EngineError::InvalidPlan(format!("unknown session {session:?}")))?;
+        Ok(f(state))
+    }
+
+    /// The session's effective cardinality source (injections over the
+    /// base estimator, then scaling).
+    fn session_card(&self, session: SessionId) -> Result<(Arc<dyn CardSource>, HintSet)> {
+        self.with_session(session, |s| {
+            let injected: Arc<dyn CardSource> = s.injected.clone();
+            let card: Arc<dyn CardSource> = if (s.scaling - 1.0).abs() > 1e-12 {
+                Arc::new(ScaledCardSource::new(injected, s.scaling))
+            } else {
+                injected
+            };
+            (card, s.hints.clone())
+        })
+    }
+}
+
+impl DbInteractor for EngineInteractor {
+    fn open_session(&self) -> SessionId {
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        self.sessions.lock().insert(
+            id,
+            SessionState {
+                injected: Arc::new(InjectedCardSource::new(self.base_card.clone())),
+                hints: HintSet::default(),
+                scaling: 1.0,
+            },
+        );
+        id
+    }
+
+    fn close_session(&self, session: SessionId) {
+        self.sessions.lock().remove(&session);
+    }
+
+    fn push(&self, session: SessionId, action: PushAction) -> Result<()> {
+        self.with_session(session, |s| match action {
+            PushAction::InjectCardinality { query, set, card } => {
+                s.injected.inject(&query, set, card);
+            }
+            PushAction::SetHints(h) => s.hints = h,
+            PushAction::SetCardScaling(f) => s.scaling = f,
+            PushAction::ClearInjections => s.injected.clear(),
+            PushAction::ResetSteering => {
+                s.hints = HintSet::default();
+                s.scaling = 1.0;
+            }
+        })
+    }
+
+    fn pull(&self, session: SessionId, request: PullRequest) -> Result<PullReply> {
+        match request {
+            PullRequest::Plan(query) => {
+                query.validate(&self.catalog)?;
+                let (card, hints) = self.session_card(session)?;
+                let optimizer = Optimizer::with_defaults(&self.catalog);
+                let choice = optimizer.optimize(&query, card.as_ref(), &hints)?;
+                Ok(PullReply::Plan {
+                    plan: choice.plan,
+                    cost: choice.cost,
+                })
+            }
+            PullRequest::Execute(query) => {
+                query.validate(&self.catalog)?;
+                let (card, hints) = self.session_card(session)?;
+                let optimizer = Optimizer::with_defaults(&self.catalog);
+                let choice = optimizer.optimize(&query, card.as_ref(), &hints)?;
+                self.pull(session, PullRequest::ExecutePlan(query, choice.plan))
+            }
+            PullRequest::ExecutePlan(query, plan) => {
+                let executor = Executor::new(
+                    &self.catalog,
+                    ExecConfig {
+                        max_work: self.max_work,
+                        ..Default::default()
+                    },
+                );
+                let result = executor.execute(&query, &plan)?;
+                Ok(PullReply::Execution {
+                    count: result.count,
+                    work: result.work,
+                    wall: result.wall,
+                    plan,
+                })
+            }
+            PullRequest::TableRows(name) => {
+                let table = self.catalog.table(&name)?;
+                Ok(PullReply::Scalar(table.nrows() as f64))
+            }
+            PullRequest::TrueCardinality(query, set) => {
+                let card = self.oracle.true_card(&query, set)?;
+                Ok(PullReply::Scalar(card as f64))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqo_engine::datagen::stats_like;
+    use lqo_engine::query::parse_query;
+    use lqo_engine::TableSet;
+
+    fn setup() -> (EngineInteractor, lqo_engine::SpjQuery) {
+        let catalog = Arc::new(stats_like(80, 17).unwrap());
+        let q = parse_query(
+            "SELECT COUNT(*) FROM users u, posts p \
+             WHERE u.id = p.owner_user_id AND u.reputation > 50",
+        )
+        .unwrap();
+        (EngineInteractor::new(catalog), q)
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let (ix, q) = setup();
+        let s1 = ix.open_session();
+        let s2 = ix.open_session();
+        assert_ne!(s1, s2);
+        ix.push(
+            s1,
+            PushAction::InjectCardinality {
+                query: q.clone(),
+                set: q.all_tables(),
+                card: 99999.0,
+            },
+        )
+        .unwrap();
+        // s2 is unaffected: both still plan, but with different costs.
+        let PullReply::Plan { cost: c1, .. } = ix.pull(s1, PullRequest::Plan(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        let PullReply::Plan { cost: c2, .. } = ix.pull(s2, PullRequest::Plan(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn push_pull_roundtrip_executes() {
+        let (ix, q) = setup();
+        let s = ix.open_session();
+        let PullReply::Execution { count, work, .. } =
+            ix.pull(s, PullRequest::Execute(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        assert!(work > 0.0);
+        // Execution result matches the oracle.
+        let PullReply::Scalar(truth) = ix
+            .pull(s, PullRequest::TrueCardinality(q.clone(), q.all_tables()))
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(count as f64, truth);
+    }
+
+    #[test]
+    fn hints_steer_the_plan() {
+        let (ix, q) = setup();
+        let s = ix.open_session();
+        let PullReply::Plan { plan: free, .. } = ix.pull(s, PullRequest::Plan(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        ix.push(
+            s,
+            PushAction::SetHints(HintSet {
+                allow_hash: false,
+                allow_merge: false,
+                ..HintSet::default()
+            }),
+        )
+        .unwrap();
+        let PullReply::Plan { plan: nl_only, .. } =
+            ix.pull(s, PullRequest::Plan(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        assert_ne!(free.fingerprint(), nl_only.fingerprint());
+        ix.push(s, PushAction::ResetSteering).unwrap();
+        let PullReply::Plan { plan: back, .. } = ix.pull(s, PullRequest::Plan(q)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(free.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn closed_session_rejects() {
+        let (ix, q) = setup();
+        let s = ix.open_session();
+        ix.close_session(s);
+        assert!(ix.pull(s, PullRequest::Plan(q)).is_err());
+    }
+
+    #[test]
+    fn table_rows_pull() {
+        let (ix, _) = setup();
+        let s = ix.open_session();
+        let PullReply::Scalar(rows) = ix.pull(s, PullRequest::TableRows("users".into())).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rows, 80.0);
+        assert!(ix.pull(s, PullRequest::TableRows("nope".into())).is_err());
+        let _ = TableSet::EMPTY;
+    }
+}

@@ -1,0 +1,89 @@
+//! The unified DB interactor interface: push/pull operators over sessions.
+
+use std::time::Duration;
+
+use lqo_engine::{HintSet, PhysNode, Result, SpjQuery, TableSet};
+
+/// Identifier of one interaction session (one "database connection").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// Actions a driver enforces on the database.
+#[derive(Debug, Clone)]
+pub enum PushAction {
+    /// Replace the optimizer's cardinality for one sub-query (the batch
+    /// injection interface of the learned-cardinality driver).
+    InjectCardinality {
+        /// The enclosing query.
+        query: SpjQuery,
+        /// Sub-query subset.
+        set: TableSet,
+        /// Injected estimate.
+        card: f64,
+    },
+    /// Constrain the optimizer with a hint set (Bao steering).
+    SetHints(HintSet),
+    /// Scale join-cardinality estimates (Lero's tuning knob).
+    SetCardScaling(f64),
+    /// Drop all injected cardinalities of this session.
+    ClearInjections,
+    /// Reset hints and scaling to defaults.
+    ResetSteering,
+}
+
+/// Data a driver acquires from the database.
+#[derive(Debug, Clone)]
+pub enum PullRequest {
+    /// The plan the (steered) optimizer would pick for a query.
+    Plan(SpjQuery),
+    /// Execute a query under the session's current steering.
+    Execute(SpjQuery),
+    /// Execute a specific plan.
+    ExecutePlan(SpjQuery, PhysNode),
+    /// Row count of a table.
+    TableRows(String),
+    /// Exact cardinality of a sub-query (training-label acquisition).
+    TrueCardinality(SpjQuery, TableSet),
+}
+
+/// Replies to [`PullRequest`]s.
+#[derive(Debug, Clone)]
+pub enum PullReply {
+    /// A plan and its estimated cost.
+    Plan {
+        /// The chosen plan.
+        plan: PhysNode,
+        /// Estimated cost under the session's cardinalities.
+        cost: f64,
+    },
+    /// An execution result.
+    Execution {
+        /// Count-star result.
+        count: u64,
+        /// Work units spent.
+        work: f64,
+        /// Wall-clock time.
+        wall: Duration,
+        /// The executed plan.
+        plan: PhysNode,
+    },
+    /// A scalar.
+    Scalar(f64),
+}
+
+/// The unified bridge between drivers and a database. Implemented once
+/// per DBMS (here: [`crate::engine_impl::EngineInteractor`]); drivers only
+/// ever see this trait.
+pub trait DbInteractor: Send + Sync {
+    /// Open a new session.
+    fn open_session(&self) -> SessionId;
+
+    /// Close a session, dropping its steering state.
+    fn close_session(&self, session: SessionId);
+
+    /// Enforce an action.
+    fn push(&self, session: SessionId, action: PushAction) -> Result<()>;
+
+    /// Acquire data.
+    fn pull(&self, session: SessionId, request: PullRequest) -> Result<PullReply>;
+}

@@ -1,0 +1,33 @@
+//! # lqo-pilot
+//!
+//! A PilotScope-style AI4DB middleware (paper §3): a [`console::PilotConsole`]
+//! manages [`driver::Driver`]s that steer the database through the
+//! unified push/pull [`interactor::DbInteractor`] interface.
+//!
+//! * `push` operators enforce actions on the database (inject
+//!   cardinalities, set hints, scale estimates);
+//! * `pull` operators acquire data (plans, execution results, statistics,
+//!   sub-query cardinalities);
+//! * each AI4DB task is packaged as a driver with `init()` + `algo()`,
+//!   collects its own training data from execution feedback, and updates
+//!   its models in the background;
+//! * the database user just runs SQL through the console — which driver
+//!   steers the session is transparent, exactly the PilotScope promise.
+//!
+//! [`engine_impl::EngineInteractor`] is the "lightweight patch" binding
+//! the interface to `lqo-engine`; a different DBMS would provide its own
+//! implementation while drivers stay unchanged.
+
+#![warn(missing_docs)]
+
+pub mod console;
+pub mod driver;
+pub mod drivers;
+pub mod engine_impl;
+pub mod interactor;
+
+pub use console::{ExecOutcome, PilotConsole};
+pub use driver::{Driver, DriverDecision, ExecFeedback};
+pub use drivers::{BaoDriver, CardDriver, LeroDriver};
+pub use engine_impl::EngineInteractor;
+pub use interactor::{DbInteractor, PullReply, PullRequest, PushAction, SessionId};

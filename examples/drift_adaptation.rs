@@ -1,0 +1,103 @@
+//! Model updating under data drift (paper §2.2.2): a DDUp-style detector
+//! notices the distribution shift, a Warper-style update set retrains the
+//! estimator, and an ALECE-style model adapts by refreshing its data
+//! features without retraining.
+//!
+//! ```bash
+//! cargo run --example drift_adaptation
+//! ```
+
+use std::sync::Arc;
+
+use lqo::card::drift::{warper_update_set, DriftDetector};
+use lqo::card::estimator::{label_workload, CardEstimator, FitContext};
+use lqo::card::query_driven::GbdtQdEstimator;
+use lqo::engine::datagen::{correlated_table, SingleTableConfig};
+use lqo::engine::stats::table_stats::CatalogStats;
+use lqo::engine::{Catalog, TrueCardOracle};
+use lqo_bench_suite::workload::generate_single_table_workload;
+use lqo_bench_suite::{QErrorSummary, WorkloadConfig};
+
+fn median(est: &dyn CardEstimator, eval: &[lqo::card::estimator::LabeledSubquery]) -> f64 {
+    let pairs: Vec<(f64, f64)> = eval
+        .iter()
+        .map(|l| (est.estimate(&l.query, l.set), l.card))
+        .collect();
+    QErrorSummary::from_pairs(&pairs).median
+}
+
+fn main() {
+    // A skewed, correlated table; train a query-driven estimator on it.
+    let mut catalog = Catalog::new();
+    catalog.add_table(
+        correlated_table(
+            "t",
+            &SingleTableConfig {
+                nrows: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let catalog = Arc::new(catalog);
+    let ctx = FitContext::new(catalog.clone());
+    let oracle = TrueCardOracle::new(catalog.clone());
+
+    let wcfg = WorkloadConfig {
+        num_queries: 60,
+        max_predicates: 2,
+        ..Default::default()
+    };
+    let train_q = generate_single_table_workload(&catalog, "t", &wcfg);
+    let train = label_workload(&oracle, &train_q, 1).unwrap();
+    let model = GbdtQdEstimator::fit(&ctx, &train);
+    println!("trained GBDT on {} labeled queries", train.len());
+    println!("in-distribution median q-error: {:.2}\n", median(&model, &train));
+
+    // Baseline the drift detector, then drift the data hard: append 60%
+    // new rows with no skew and no correlation.
+    let detector = DriftDetector::baseline(&ctx);
+    let mut drifted = (*catalog).clone();
+    let extra = correlated_table(
+        "t",
+        &SingleTableConfig {
+            nrows: 6_000,
+            skew: 0.0,
+            correlation: 0.0,
+            seed: 777,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    drifted.table_mut("t").unwrap().append(&extra).unwrap();
+    let drifted = Arc::new(drifted);
+    println!(
+        "drift detector: drifted tables = {:?} (KS distance {:.3})",
+        detector.detect(&drifted),
+        detector.distance(&drifted, "t")
+    );
+
+    // Evaluate the stale model against the drifted truth.
+    let drift_oracle = TrueCardOracle::new(drifted.clone());
+    let eval_q = generate_single_table_workload(
+        &drifted,
+        "t",
+        &WorkloadConfig {
+            seed: 99,
+            ..wcfg.clone()
+        },
+    );
+    let eval = label_workload(&drift_oracle, &eval_q, 1).unwrap();
+    println!("\nstale model on drifted data:   median q-error {:.2}", median(&model, &eval));
+
+    // Warper: generate an update set over the drifted table and refit.
+    let update = warper_update_set(&drifted, &drift_oracle, &["t".into()], 60, 5).unwrap();
+    let mut augmented = train.clone();
+    augmented.extend(update);
+    let drift_ctx = FitContext {
+        catalog: drifted.clone(),
+        stats: Arc::new(CatalogStats::build_default(&drifted)),
+    };
+    let updated = GbdtQdEstimator::fit(&drift_ctx, &augmented);
+    println!("after Warper update:           median q-error {:.2}", median(&updated, &eval));
+}

@@ -1,0 +1,81 @@
+//! A miniature of experiment T1: fit one estimator per Table-1 family and
+//! compare q-error distributions on held-out multi-join queries.
+//!
+//! ```bash
+//! cargo run --example estimator_showdown
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lqo::card::estimator::{label_workload, FitContext};
+use lqo::card::registry::{build_estimator, EstimatorKind};
+use lqo::engine::datagen::stats_like;
+use lqo::engine::TrueCardOracle;
+use lqo_bench_suite::{generate_workload, QErrorSummary, TextTable, WorkloadConfig};
+
+fn main() {
+    let catalog = Arc::new(stats_like(200, 5).unwrap());
+    let ctx = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+
+    let train_q = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 40,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let eval_q = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 20,
+            seed: 2,
+            ..Default::default()
+        },
+    );
+    let train = label_workload(&oracle, &train_q, 3).unwrap();
+    let eval = label_workload(&oracle, &eval_q, 3).unwrap();
+    println!(
+        "training on {} labeled sub-queries, evaluating on {}\n",
+        train.len(),
+        eval.len()
+    );
+
+    // One representative per family.
+    let kinds = [
+        EstimatorKind::Histogram,  // traditional
+        EstimatorKind::GbdtQd,     // query-driven, statistical
+        EstimatorKind::Mscn,       // query-driven, DNN
+        EstimatorKind::Kde,        // data-driven, kernel
+        EstimatorKind::NeuroCard,  // data-driven, autoregressive
+        EstimatorKind::Flat,       // data-driven, PGM
+        EstimatorKind::FactorJoin, // data-driven, join histograms
+        EstimatorKind::Glue,       // hybrid
+    ];
+
+    let mut table = TextTable::new(
+        "estimator showdown (held-out q-errors)",
+        &["Method", "Technique", "median", "p95", "max", "fit-ms"],
+    );
+    for kind in kinds {
+        let t0 = Instant::now();
+        let est = build_estimator(kind, &ctx, &oracle, &train);
+        let fit_ms = t0.elapsed().as_millis();
+        let pairs: Vec<(f64, f64)> = eval
+            .iter()
+            .map(|l| (est.estimate(&l.query, l.set), l.card))
+            .collect();
+        let q = QErrorSummary::from_pairs(&pairs);
+        table.row(vec![
+            est.name().into(),
+            est.technique().into(),
+            format!("{:.2}", q.median),
+            format!("{:.2}", q.p95),
+            format!("{:.0}", q.max),
+            fit_ms.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,78 @@
+//! Learned join-order search (paper §2.1.3): offline RL (DQ, RTOS-lite),
+//! online adaptive methods (Eddy-RL, Skinner-MCTS) and the classical
+//! baselines, compared on the same queries under true cardinalities.
+//!
+//! ```bash
+//! cargo run --example join_order_search
+//! ```
+
+use std::sync::Arc;
+
+use lqo::engine::datagen::imdb_like;
+use lqo::engine::optimizer::CardSource;
+use lqo::engine::{TrueCardOracle, TrueCardSource};
+use lqo::joinorder::{
+    DpBaseline, DqJoinOrderer, EddyRl, GreedyBaseline, JoinEnv, JoinOrderSearch, RtosLite,
+    SkinnerMcts,
+};
+use lqo_bench_suite::{generate_workload, WorkloadConfig};
+
+fn main() {
+    let catalog = Arc::new(imdb_like(150, 21).unwrap());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let card: Arc<dyn CardSource> = Arc::new(TrueCardSource::new(oracle));
+    let env = JoinEnv::new(catalog.clone(), card);
+
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 10,
+            min_tables: 4,
+            max_tables: 6,
+            ..Default::default()
+        },
+    );
+    println!("{} queries with 4–6 joined tables\n", queries.len());
+
+    // Reference: exhaustive bushy DP.
+    let mut dp = DpBaseline {
+        left_deep_only: false,
+    };
+    let reference: Vec<f64> = queries
+        .iter()
+        .map(|q| env.tree_cost(q, &dp.find_plan(&env, q).unwrap()))
+        .collect();
+
+    let mut methods: Vec<Box<dyn JoinOrderSearch>> = vec![
+        Box::new(DpBaseline {
+            left_deep_only: true,
+        }),
+        Box::new(GreedyBaseline),
+        Box::new(DqJoinOrderer::new(8, Default::default())),
+        Box::new(RtosLite::new(8, 40)),
+        Box::new(EddyRl::new(60)),
+        Box::new(SkinnerMcts::new(300)),
+    ];
+    println!("{:<16} {:>14} {:>10}", "method", "geo-mean-ratio", "worst");
+    for m in &mut methods {
+        m.train(&env, &queries); // no-op for the online methods
+        let ratios: Vec<f64> = queries
+            .iter()
+            .zip(&reference)
+            .map(|(q, &r)| env.tree_cost(q, &m.find_plan(&env, q).unwrap()) / r)
+            .collect();
+        let geo = lqo::ml::metrics::geometric_mean(&ratios);
+        let worst = ratios.iter().copied().fold(0.0f64, f64::max);
+        println!("{:<16} {geo:>14.2} {worst:>9.1}x", m.name());
+    }
+
+    // Skinner's regret accounting from its last query.
+    let mut skinner = SkinnerMcts::new(300);
+    skinner.find_plan(&env, &queries[0]).unwrap();
+    let report = skinner.last_report.unwrap();
+    println!(
+        "\nSkinner regret report: final cost {:.0}, best seen {:.0}, \
+         cumulative regret {:.0} over {} slices",
+        report.final_cost, report.best_seen_cost, report.cumulative_regret, report.slices
+    );
+}

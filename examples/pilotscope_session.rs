@@ -1,0 +1,88 @@
+//! The PilotScope middleware demonstration (paper §3): a console managing
+//! drivers over the push/pull DB interactor. The database user just runs
+//! SQL — which AI4DB driver steers each query is transparent.
+//!
+//! ```bash
+//! cargo run --example pilotscope_session
+//! ```
+
+use std::sync::Arc;
+
+use lqo::card::data_driven::DeepDbEstimator;
+use lqo::card::estimator::FitContext;
+use lqo::engine::datagen::stats_like;
+use lqo::engine::TrueCardOracle;
+use lqo::framework::framework::OptContext;
+use lqo::pilot::{BaoDriver, CardDriver, EngineInteractor, LeroDriver, PilotConsole};
+
+fn main() {
+    // The "database" plus the lightweight interactor patch.
+    let catalog = Arc::new(stats_like(200, 99).unwrap());
+    let ctx = OptContext::new(catalog.clone());
+    let interactor = Arc::new(EngineInteractor::new(catalog.clone()));
+    let mut console = PilotConsole::new(interactor);
+
+    // Register drivers: a learned-cardinality driver wrapping DeepDB, plus
+    // the Bao and Lero end-to-end optimizer drivers.
+    let fit = FitContext {
+        catalog: ctx.catalog.clone(),
+        stats: ctx.stats.clone(),
+    };
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let deepdb = Arc::new(DeepDbEstimator::fit(&fit, oracle));
+    console
+        .register_driver(Box::new(CardDriver::new(deepdb)))
+        .unwrap();
+    console
+        .register_driver(Box::new(BaoDriver::new(ctx.clone())))
+        .unwrap();
+    console
+        .register_driver(Box::new(LeroDriver::new(ctx)))
+        .unwrap();
+    println!("registered drivers: {:?}\n", console.driver_names());
+
+    let workload = [
+        "SELECT COUNT(*) FROM users u, posts p \
+         WHERE u.id = p.owner_user_id AND u.reputation > 200",
+        "SELECT COUNT(*) FROM posts p, comments c, votes v \
+         WHERE p.id = c.post_id AND p.id = v.post_id AND v.vote_type < 3",
+        "SELECT COUNT(*) FROM users u, badges b \
+         WHERE u.id = b.user_id AND b.class = 0",
+    ];
+
+    // 1. Plain database, no driver.
+    println!("-- plain database --");
+    for sql in &workload {
+        let out = console.execute_sql(sql).unwrap();
+        println!(
+            "  count={:<8} work={:>10.0}  driver={:?}",
+            out.count, out.work, out.driver
+        );
+    }
+
+    // 2. Each driver in turn; the SQL (and the answers) never change.
+    for driver in ["learned-cardinality", "bao", "lero"] {
+        console.start_driver(Some(driver)).unwrap();
+        println!("\n-- driver: {driver} --");
+        for sql in &workload {
+            let out = console.execute_sql(sql).unwrap();
+            println!(
+                "  count={:<8} work={:>10.0}  driver={:?}",
+                out.count, out.work, out.driver
+            );
+        }
+    }
+
+    // 3. Background model update, then a second steered pass.
+    console.tick();
+    console.start_driver(Some("bao")).unwrap();
+    println!("\n-- bao after one background model update --");
+    for sql in &workload {
+        let out = console.execute_sql(sql).unwrap();
+        println!("  count={:<8} work={:>10.0}", out.count, out.work);
+    }
+    println!(
+        "\nqueries executed through the console: {}",
+        console.executed()
+    );
+}

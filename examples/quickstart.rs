@@ -1,0 +1,92 @@
+//! Quickstart: build a synthetic database, run SQL through the native
+//! optimizer, then swap in a learned cardinality estimator and watch the
+//! plan change.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use lqo::card::estimator::{label_workload, EstimatorCardSource, FitContext};
+use lqo::card::registry::{build_estimator, EstimatorKind};
+use lqo::engine::datagen::stats_like;
+use lqo::engine::query::parse_query;
+use lqo::engine::{Executor, Optimizer, TrueCardOracle};
+use lqo_bench_suite::{generate_workload, WorkloadConfig};
+
+fn main() {
+    // 1. A STATS-like database: 8 Stack-Exchange-style tables with skewed,
+    //    correlated data.
+    let catalog = Arc::new(stats_like(300, 42).unwrap());
+    println!(
+        "catalog: {} tables, {} rows total\n",
+        catalog.tables().len(),
+        catalog.total_rows()
+    );
+
+    // 2. Parse and validate a SQL query.
+    let sql = "SELECT COUNT(*) FROM users u, posts p, comments c \
+               WHERE u.id = p.owner_user_id AND p.id = c.post_id \
+               AND u.reputation > 500 AND p.score >= 4";
+    let query = parse_query(sql).unwrap();
+    query.validate(&catalog).unwrap();
+    println!("query: {query}\n");
+
+    // 3. Plan with the native cost-based optimizer (histogram estimates).
+    let ctx = FitContext::new(catalog.clone());
+    let optimizer = Optimizer::with_defaults(&catalog);
+    let trad = lqo::engine::TraditionalCardSource::new(catalog.clone(), ctx.stats.clone());
+    let native = optimizer.optimize_default(&query, &trad).unwrap();
+    println!(
+        "native plan (est. cost {:.0}):\n{}",
+        native.cost,
+        native.plan.explain(&query)
+    );
+
+    // 4. Execute it: the engine reports the count, deterministic work
+    //    units, and every intermediate result size.
+    let executor = Executor::with_defaults(&catalog);
+    let result = executor.execute(&query, &native.plan).unwrap();
+    println!(
+        "result: count = {}, work = {:.0} units, wall = {:?}\n",
+        result.count, result.work, result.wall
+    );
+
+    // 5. Train a learned estimator (DeepDB-style SPNs) and re-plan with
+    //    its cardinalities injected into the same optimizer.
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let train_queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 20,
+            ..Default::default()
+        },
+    );
+    let workload = label_workload(&oracle, &train_queries, 3).unwrap();
+    let deepdb = build_estimator(EstimatorKind::DeepDb, &ctx, &oracle, &workload);
+    println!(
+        "fitted {} ({} parameters)",
+        deepdb.name(),
+        deepdb.model_size()
+    );
+
+    let learned_src = EstimatorCardSource::new(Arc::from(deepdb));
+    let learned = optimizer.optimize_default(&query, &learned_src).unwrap();
+    println!(
+        "\nlearned-cardinality plan:\n{}",
+        learned.plan.explain(&query)
+    );
+
+    let learned_result = executor.execute(&query, &learned.plan).unwrap();
+    println!(
+        "same answer ({} rows); work {:.0} vs native {:.0} units",
+        learned_result.count, learned_result.work, result.work
+    );
+
+    // 6. Ground truth, for reference.
+    let truth = oracle.true_card_full(&query).unwrap();
+    assert_eq!(truth, result.count);
+    assert_eq!(truth, learned_result.count);
+    println!("\ntrue cardinality (oracle): {truth}");
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the learned-qo framework for workspace examples/tests.
+pub use learned_qo as framework;
+pub use lqo_bench_suite as bench_suite;
+pub use lqo_card as card;
+pub use lqo_cost as cost;
+pub use lqo_engine as engine;
+pub use lqo_join as joinorder;
+pub use lqo_ml as ml;
+pub use lqo_pilot as pilot;

@@ -1,0 +1,126 @@
+//! Cross-crate integration: data generation → workload → estimator fit →
+//! cardinality injection → optimization → execution, end to end.
+
+use std::sync::Arc;
+
+use lqo::card::estimator::{label_workload, EstimatorCardSource, FitContext};
+use lqo::card::registry::{build_estimator, EstimatorKind};
+use lqo::engine::datagen::{imdb_like, stats_like, tpch_like};
+use lqo::engine::optimizer::CardSource;
+use lqo::engine::{Executor, Optimizer, TrueCardOracle, TrueCardSource};
+use lqo_bench_suite::{generate_workload, WorkloadConfig};
+
+fn workload(
+    catalog: &Arc<lqo::engine::Catalog>,
+    n: usize,
+    seed: u64,
+) -> Vec<lqo::engine::SpjQuery> {
+    generate_workload(
+        catalog,
+        &WorkloadConfig {
+            num_queries: n,
+            min_tables: 2,
+            max_tables: 4,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn any_estimator_plan_gives_correct_answers() {
+    let catalog = Arc::new(stats_like(100, 31).unwrap());
+    let ctx = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let queries = workload(&catalog, 8, 77);
+    let train = label_workload(&oracle, &queries[..4], 2).unwrap();
+
+    let optimizer = Optimizer::with_defaults(&catalog);
+    let executor = Executor::with_defaults(&catalog);
+    for kind in [
+        EstimatorKind::Histogram,
+        EstimatorKind::GbdtQd,
+        EstimatorKind::BayesNet,
+        EstimatorKind::FactorJoin,
+    ] {
+        let est = build_estimator(kind, &ctx, &oracle, &train);
+        let src = EstimatorCardSource::new(Arc::from(est));
+        for q in &queries {
+            let plan = optimizer.optimize_default(q, &src).unwrap().plan;
+            let count = executor.execute(q, &plan).unwrap().count;
+            let truth = oracle.true_card_full(q).unwrap();
+            // Plans differ; answers never do.
+            assert_eq!(count, truth, "kind {kind:?} on {q}");
+        }
+    }
+}
+
+#[test]
+fn all_three_schemas_support_the_full_pipeline() {
+    for (name, catalog) in [
+        ("imdb", imdb_like(80, 1).unwrap()),
+        ("stats", stats_like(80, 1).unwrap()),
+        ("tpch", tpch_like(80, 1).unwrap()),
+    ] {
+        let catalog = Arc::new(catalog);
+        let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+        let queries = workload(&catalog, 5, 13);
+        assert!(!queries.is_empty(), "{name}: no queries generated");
+        let optimizer = Optimizer::with_defaults(&catalog);
+        let executor = Executor::with_defaults(&catalog);
+        let truth = TrueCardSource::new(oracle.clone());
+        for q in &queries {
+            let plan = optimizer.optimize_default(q, &truth).unwrap().plan;
+            let count = executor.execute(q, &plan).unwrap().count;
+            assert_eq!(count, oracle.true_card_full(q).unwrap(), "{name}: {q}");
+        }
+    }
+}
+
+#[test]
+fn true_card_plans_never_lose_badly_to_traditional() {
+    let catalog = Arc::new(imdb_like(120, 9).unwrap());
+    let ctx = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let queries = workload(&catalog, 8, 21);
+    let optimizer = Optimizer::with_defaults(&catalog);
+    let executor = Executor::with_defaults(&catalog);
+    let truth = TrueCardSource::new(oracle);
+    let trad = lqo::engine::TraditionalCardSource::new(catalog.clone(), ctx.stats.clone());
+
+    let mut true_total = 0.0;
+    let mut trad_total = 0.0;
+    for q in &queries {
+        let tp = optimizer.optimize_default(q, &truth).unwrap().plan;
+        true_total += executor.execute(q, &tp).unwrap().work;
+        let np = optimizer
+            .optimize_default(q, &trad as &dyn CardSource)
+            .unwrap()
+            .plan;
+        trad_total += executor.execute(q, &np).unwrap().work;
+    }
+    // The paper's benchmark finding: true cardinalities give plans at
+    // least as good as histogram estimates (modulo cost-model bias).
+    assert!(
+        true_total <= trad_total * 1.3,
+        "true {true_total} vs traditional {trad_total}"
+    );
+}
+
+#[test]
+fn estimator_feedback_improves_lpce() {
+    let catalog = Arc::new(stats_like(80, 47).unwrap());
+    let ctx = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let queries = workload(&catalog, 6, 3);
+    let train = label_workload(&oracle, &queries[..3], 2).unwrap();
+    let est = build_estimator(EstimatorKind::Lpce, &ctx, &oracle, &train);
+
+    let q = &queries[5];
+    let truth = oracle.true_card_full(q).unwrap() as f64;
+    let before = lqo::ml::metrics::q_error(est.estimate(q, q.all_tables()), truth);
+    est.observe(q, q.all_tables(), truth);
+    let after = lqo::ml::metrics::q_error(est.estimate(q, q.all_tables()), truth);
+    assert!(after <= before);
+    assert!((after - 1.0).abs() < 1e-9);
+}

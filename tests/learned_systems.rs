@@ -1,0 +1,131 @@
+//! Integration tests of the end-to-end learned optimizers and the Eraser
+//! guard, spanning `learned-qo`, `lqo-join`, `lqo-cost` and the engine.
+
+use std::sync::Arc;
+
+use lqo::engine::datagen::imdb_like;
+use lqo::engine::Executor;
+use lqo::framework::framework::{LearnedOptimizer, OptContext};
+use lqo::framework::harness::TrainingLoop;
+use lqo::framework::{balsa, bao, hyper_qo, leon, lero, neo, GuardedOptimizer, NativeBaseline};
+use lqo_bench_suite::{generate_workload, WorkloadConfig};
+
+fn setup() -> (OptContext, Vec<lqo::engine::SpjQuery>) {
+    let catalog = Arc::new(imdb_like(100, 3).unwrap());
+    let ctx = OptContext::new(catalog.clone());
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 8,
+            min_tables: 2,
+            max_tables: 4,
+            seed: 55,
+            ..Default::default()
+        },
+    );
+    (ctx, queries)
+}
+
+#[test]
+fn every_system_survives_a_full_training_loop() {
+    let (ctx, queries) = setup();
+    let training = TrainingLoop::new(ctx.clone(), queries).unwrap();
+    let native = training.native_total();
+    let mut systems: Vec<Box<dyn LearnedOptimizer>> = vec![
+        Box::new(NativeBaseline::new(ctx.clone())),
+        Box::new(bao(ctx.clone())),
+        Box::new(lero(ctx.clone())),
+        Box::new(hyper_qo(ctx.clone())),
+        Box::new(leon(ctx.clone())),
+        Box::new(neo(ctx.clone())),
+        Box::new(balsa(ctx.clone())),
+    ];
+    for sys in &mut systems {
+        let stats = training.run(sys.as_mut(), 3);
+        let last = stats.last().unwrap();
+        // The timeout budget bounds any system's total work.
+        assert!(
+            last.total_work <= native * training.timeout_factor,
+            "{}: {} vs bound {}",
+            sys.name(),
+            last.total_work,
+            native * training.timeout_factor
+        );
+        assert_eq!(last.per_query.len(), training.queries().len());
+    }
+}
+
+#[test]
+fn trained_systems_produce_executable_plans_on_unseen_queries() {
+    let (ctx, queries) = setup();
+    let (train_q, test_q) = queries.split_at(5);
+    let training = TrainingLoop::new(ctx.clone(), train_q.to_vec()).unwrap();
+    let executor = Executor::with_defaults(&ctx.catalog);
+    let mut systems: Vec<Box<dyn LearnedOptimizer>> = vec![
+        Box::new(bao(ctx.clone())),
+        Box::new(lero(ctx.clone())),
+        Box::new(neo(ctx.clone())),
+    ];
+    for sys in &mut systems {
+        training.run(sys.as_mut(), 2);
+        for q in test_q {
+            let plan = sys.plan(q).unwrap();
+            assert_eq!(plan.tables(), q.all_tables(), "{}", sys.name());
+            executor.execute(q, &plan).unwrap();
+        }
+    }
+}
+
+#[test]
+fn eraser_guard_composes_with_training() {
+    let (ctx, queries) = setup();
+    let training = TrainingLoop::new(ctx.clone(), queries.clone()).unwrap();
+    let mut guarded = GuardedOptimizer::new(bao(ctx.clone()));
+    training.run(&mut guarded, 2);
+    assert!(guarded.is_guarding());
+
+    // On a shifted workload the guard still produces valid plans.
+    let shifted = generate_workload(
+        &ctx.catalog,
+        &WorkloadConfig {
+            num_queries: 5,
+            min_tables: 3,
+            max_tables: 5,
+            seed: 999,
+            ..Default::default()
+        },
+    );
+    let executor = Executor::with_defaults(&ctx.catalog);
+    for q in &shifted {
+        let plan = guarded.plan(q).unwrap();
+        executor.execute(q, &plan).unwrap();
+    }
+}
+
+#[test]
+fn learned_optimizer_beats_a_sabotaged_native() {
+    // Give the native optimizer deliberately terrible cardinalities
+    // (everything = 1); Bao's hint arms + learning must recover.
+    use lqo::engine::optimizer::CardSource;
+    use lqo::engine::{SpjQuery, TableSet};
+    struct AllOnes;
+    impl CardSource for AllOnes {
+        fn cardinality(&self, _q: &SpjQuery, _s: TableSet) -> f64 {
+            1.0
+        }
+    }
+    let (mut ctx, queries) = setup();
+    ctx.card = Arc::new(AllOnes);
+    let training = TrainingLoop::new(ctx.clone(), queries).unwrap();
+    let mut opt = bao(ctx);
+    let stats = training.run(&mut opt, 4);
+    let first = &stats[0];
+    let last = stats.last().unwrap();
+    // Learning from execution feedback must not make things worse.
+    assert!(
+        last.total_work <= first.total_work * 1.5,
+        "first {} last {}",
+        first.total_work,
+        last.total_work
+    );
+}

@@ -1,0 +1,144 @@
+//! Property-based tests over randomly generated databases and workloads:
+//! invariants that must hold for *every* query and plan.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lqo::engine::datagen::stats_like;
+use lqo::engine::exec::workunits::CostParams;
+use lqo::engine::optimizer::{dp_optimize, greedy_optimize};
+use lqo::engine::query::{parse_query, JoinGraph};
+use lqo::engine::stats::table_stats::CatalogStats;
+use lqo::engine::{Executor, HintSet, JoinAlgo, PhysNode, TraditionalCardSource, TrueCardOracle};
+use lqo_bench_suite::{generate_workload, WorkloadConfig};
+
+fn setup(
+    seed: u64,
+) -> (
+    Arc<lqo::engine::Catalog>,
+    Arc<TrueCardOracle>,
+    TraditionalCardSource,
+    Vec<lqo::engine::SpjQuery>,
+) {
+    let catalog = Arc::new(stats_like(60, seed % 5).unwrap());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let stats = Arc::new(CatalogStats::build_default(&catalog));
+    let card = TraditionalCardSource::new(catalog.clone(), stats);
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 3,
+            min_tables: 2,
+            max_tables: 4,
+            seed,
+            ..Default::default()
+        },
+    );
+    (catalog, oracle, card, queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, .. ProptestConfig::default()
+    })]
+
+    /// Every valid plan for a query — any join order, any operators —
+    /// returns the same count, and it equals the oracle's.
+    #[test]
+    fn plan_invariance_of_results(seed in 0u64..500) {
+        let (catalog, oracle, card, queries) = setup(seed);
+        let executor = Executor::with_defaults(&catalog);
+        for q in &queries {
+            let truth = oracle.true_card_full(q).unwrap();
+            let graph = JoinGraph::new(q);
+            for hints in [
+                HintSet::default(),
+                HintSet { left_deep_only: true, ..HintSet::default() },
+                HintSet { allow_hash: false, ..HintSet::default() },
+            ] {
+                let Ok(choice) = dp_optimize(q, &graph, &catalog, &card, &CostParams::default(), &hints) else { continue };
+                let count = executor.execute(q, &choice.plan).unwrap().count;
+                prop_assert_eq!(count, truth);
+            }
+        }
+    }
+
+    /// DP cost never exceeds greedy cost under identical cardinalities.
+    #[test]
+    fn dp_dominates_greedy(seed in 0u64..500) {
+        let (catalog, _oracle, card, queries) = setup(seed);
+        for q in &queries {
+            let graph = JoinGraph::new(q);
+            let dp = dp_optimize(q, &graph, &catalog, &card, &CostParams::default(), &HintSet::default());
+            let gr = greedy_optimize(q, &graph, &catalog, &card, &CostParams::default(), &HintSet::default());
+            if let (Ok(dp), Ok(gr)) = (dp, gr) {
+                prop_assert!(dp.cost <= gr.cost + 1e-6,
+                    "dp {} > greedy {} on {}", dp.cost, gr.cost, q);
+            }
+        }
+    }
+
+    /// Display → parse round-trips every generated query.
+    #[test]
+    fn sql_roundtrip(seed in 0u64..500) {
+        let (_, _, _, queries) = setup(seed);
+        for q in &queries {
+            let reparsed = parse_query(&q.to_string()).unwrap();
+            prop_assert_eq!(&reparsed, q);
+        }
+    }
+
+    /// Oracle subset cardinalities are monotone under predicate removal:
+    /// dropping all predicates never shrinks the count.
+    #[test]
+    fn unfiltered_card_is_upper_bound(seed in 0u64..500) {
+        let (_, oracle, _, queries) = setup(seed);
+        for q in &queries {
+            let filtered = oracle.true_card_full(q).unwrap();
+            let mut bare = q.clone();
+            bare.predicates.clear();
+            let unfiltered = oracle.true_card_full(&bare).unwrap();
+            prop_assert!(unfiltered >= filtered);
+        }
+    }
+
+    /// Work accounting is additive and positive: executing a join plan
+    /// costs at least as much as scanning its inputs.
+    #[test]
+    fn work_units_are_sane(seed in 0u64..500) {
+        let (catalog, _, card, queries) = setup(seed);
+        let executor = Executor::with_defaults(&catalog);
+        for q in &queries {
+            let graph = JoinGraph::new(q);
+            let Ok(choice) = dp_optimize(q, &graph, &catalog, &card, &CostParams::default(), &HintSet::default()) else { continue };
+            let r = executor.execute(q, &choice.plan).unwrap();
+            prop_assert!(r.work > 0.0);
+            // Scan-only lower bound: every base table is read once.
+            let scan_work: f64 = q.tables.iter()
+                .map(|t| catalog.table(&t.table).unwrap().nrows() as f64)
+                .sum();
+            prop_assert!(r.work >= scan_work);
+            // Intermediates: one entry per plan node.
+            let mut nodes = 0;
+            choice.plan.visit_bottom_up(&mut |_| nodes += 1);
+            prop_assert_eq!(r.intermediates.len(), nodes);
+        }
+    }
+}
+
+#[test]
+fn join_algorithms_agree_on_every_generated_query() {
+    let (catalog, oracle, _, queries) = setup(7);
+    let executor = Executor::with_defaults(&catalog);
+    for q in &queries {
+        if q.num_tables() != 2 || q.joins.is_empty() {
+            continue;
+        }
+        let truth = oracle.true_card_full(q).unwrap();
+        for algo in JoinAlgo::ALL {
+            let plan = PhysNode::join(algo, PhysNode::scan(0), PhysNode::scan(1));
+            assert_eq!(executor.execute(q, &plan).unwrap().count, truth);
+        }
+    }
+}

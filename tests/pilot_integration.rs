@@ -1,0 +1,155 @@
+//! Integration of the PilotScope middleware with estimators and learned
+//! optimizers: the full §3 demonstration as assertions.
+
+use std::sync::Arc;
+
+use lqo::card::estimator::label_workload;
+use lqo::card::estimator::FitContext;
+use lqo::card::registry::{build_estimator, EstimatorKind};
+use lqo::engine::datagen::stats_like;
+use lqo::engine::TrueCardOracle;
+use lqo::framework::framework::OptContext;
+use lqo::pilot::{
+    BaoDriver, CardDriver, DbInteractor, EngineInteractor, LeroDriver, PilotConsole, PullReply,
+    PullRequest, PushAction,
+};
+use lqo_bench_suite::{generate_workload, WorkloadConfig};
+
+fn setup() -> (Arc<lqo::engine::Catalog>, OptContext, Vec<String>) {
+    let catalog = Arc::new(stats_like(90, 12).unwrap());
+    let ctx = OptContext::new(catalog.clone());
+    let sqls = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 6,
+            seed: 8,
+            ..Default::default()
+        },
+    )
+    .iter()
+    .map(|q| q.to_string())
+    .collect();
+    (catalog, ctx, sqls)
+}
+
+#[test]
+fn every_driver_preserves_query_answers() {
+    let (catalog, ctx, sqls) = setup();
+    let interactor = Arc::new(EngineInteractor::new(catalog.clone()));
+    let mut console = PilotConsole::new(interactor);
+
+    // Reference answers: no driver.
+    let reference: Vec<u64> = sqls
+        .iter()
+        .map(|sql| console.execute_sql(sql).unwrap().count)
+        .collect();
+
+    // Register all three drivers.
+    let fit = FitContext {
+        catalog: ctx.catalog.clone(),
+        stats: ctx.stats.clone(),
+    };
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 5,
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let train = label_workload(&oracle, &queries, 2).unwrap();
+    let est = build_estimator(EstimatorKind::BayesNet, &fit, &oracle, &train);
+    console
+        .register_driver(Box::new(CardDriver::new(Arc::from(est))))
+        .unwrap();
+    console
+        .register_driver(Box::new(BaoDriver::new(ctx.clone())))
+        .unwrap();
+    console
+        .register_driver(Box::new(LeroDriver::new(ctx.clone())))
+        .unwrap();
+
+    for driver in ["learned-cardinality", "bao", "lero"] {
+        console.start_driver(Some(driver)).unwrap();
+        for (sql, &expected) in sqls.iter().zip(&reference) {
+            let out = console.execute_sql(sql).unwrap();
+            assert_eq!(out.count, expected, "driver {driver} changed the answer");
+            assert_eq!(out.driver.as_deref(), Some(driver));
+        }
+        console.tick();
+    }
+}
+
+#[test]
+fn interactor_steering_is_session_scoped_and_reversible() {
+    let (catalog, _, _) = setup();
+    let interactor = EngineInteractor::new(catalog);
+    let q = lqo::engine::query::parse_query(
+        "SELECT COUNT(*) FROM users u, posts p, comments c \
+         WHERE u.id = p.owner_user_id AND p.id = c.post_id AND u.views < 400",
+    )
+    .unwrap();
+    let s1 = interactor.open_session();
+    let s2 = interactor.open_session();
+
+    // Steer s1 towards nested loops only.
+    interactor
+        .push(
+            s1,
+            PushAction::SetHints(lqo::engine::HintSet {
+                allow_hash: false,
+                allow_merge: false,
+                ..Default::default()
+            }),
+        )
+        .unwrap();
+    let PullReply::Plan { plan: p1, .. } =
+        interactor.pull(s1, PullRequest::Plan(q.clone())).unwrap()
+    else {
+        panic!()
+    };
+    let PullReply::Plan { plan: p2, .. } =
+        interactor.pull(s2, PullRequest::Plan(q.clone())).unwrap()
+    else {
+        panic!()
+    };
+    assert_ne!(p1.fingerprint(), p2.fingerprint());
+
+    // Both plans execute to the same answer.
+    let exec = |s, plan| {
+        let PullReply::Execution { count, .. } = interactor
+            .pull(s, PullRequest::ExecutePlan(q.clone(), plan))
+            .unwrap()
+        else {
+            panic!()
+        };
+        count
+    };
+    assert_eq!(exec(s1, p1), exec(s2, p2));
+}
+
+#[test]
+fn card_driver_injection_count_grows() {
+    let (catalog, ctx, sqls) = setup();
+    let interactor = Arc::new(EngineInteractor::new(catalog.clone()));
+    let mut console = PilotConsole::new(interactor);
+    let fit = FitContext {
+        catalog: ctx.catalog.clone(),
+        stats: ctx.stats.clone(),
+    };
+    let est = build_estimator(
+        EstimatorKind::Sampling,
+        &fit,
+        &Arc::new(TrueCardOracle::new(catalog)),
+        &[],
+    );
+    console
+        .register_driver(Box::new(CardDriver::new(Arc::from(est))))
+        .unwrap();
+    console.start_driver(Some("learned-cardinality")).unwrap();
+    for sql in &sqls {
+        console.execute_sql(sql).unwrap();
+    }
+    assert_eq!(console.executed(), sqls.len());
+}
