@@ -1,13 +1,21 @@
 //! Experiment binary — see `lqo_bench_suite::experiments::e8_pilotscope`.
 //! Scale with `LQO_SCALE=small|default|large`.
 
-use lqo_bench_suite::experiments::e8_pilotscope::{run, Config};
-use lqo_bench_suite::report::dump_json;
+use lqo_bench_suite::experiments::e8_pilotscope::{run_traced, Config};
+use lqo_bench_suite::report::{dump_json, dump_text, obs_report};
+use lqo_obs::export::write_jsonl;
 
 fn main() {
     let cfg = Config::default();
     eprintln!("running e8_pilotscope with {cfg:?}");
-    let table = run(&cfg);
+    let (table, obs) = run_traced(&cfg);
     println!("{}", table.render());
+    println!("{}", obs_report(&obs));
     dump_json("exp_e8_pilotscope", &table);
+    let traces = obs.take_finished_traces();
+    dump_text("exp_e8_traces.jsonl", &write_jsonl(&traces));
+    eprintln!(
+        "wrote {} query traces to results/exp_e8_traces.jsonl",
+        traces.len()
+    );
 }

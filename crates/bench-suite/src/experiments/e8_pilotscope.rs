@@ -11,6 +11,7 @@ use lqo_card::data_driven::DeepDbEstimator;
 use lqo_card::estimator::FitContext;
 use lqo_engine::datagen::stats_like;
 use lqo_engine::{Executor, Optimizer, TrueCardOracle};
+use lqo_obs::ObsContext;
 use lqo_pilot::{BaoDriver, CardDriver, EngineInteractor, LeroDriver, PilotConsole};
 
 use crate::report::TextTable;
@@ -40,6 +41,16 @@ impl Default for Config {
 
 /// Run E8.
 pub fn run(cfg: &Config) -> TextTable {
+    run_traced(cfg).0
+}
+
+/// Run E8 with query-lifecycle observability enabled on the console.
+/// Returns the result table and the observability context holding one
+/// trace per console-routed query (parse/plan/execute phases, driver
+/// attribution, per-operator est-vs-true cardinalities) plus the metrics
+/// registry.
+pub fn run_traced(cfg: &Config) -> (TextTable, ObsContext) {
+    let obs = ObsContext::enabled();
     let catalog = Arc::new(stats_like(cfg.scale.max(40), cfg.seed).unwrap());
     let ctx = OptContext::new(catalog.clone());
     let queries = generate_workload(
@@ -83,7 +94,7 @@ pub fn run(cfg: &Config) -> TextTable {
 
     // Console without a driver: pure middleware overhead.
     let interactor = Arc::new(EngineInteractor::new(catalog.clone()));
-    let mut console = PilotConsole::new(interactor);
+    let mut console = PilotConsole::new(interactor).with_obs(obs.clone());
     let t0 = Instant::now();
     let mut console_work = 0.0;
     for sql in &sqls {
@@ -150,12 +161,60 @@ pub fn run(cfg: &Config) -> TextTable {
             "push/pull steering + learning".into(),
         ]);
     }
-    table
+    (table, obs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e8_traces_cover_the_query_lifecycle() {
+        let cfg = Config {
+            scale: 50,
+            num_queries: 4,
+            ..Default::default()
+        };
+        let (_, obs) = run_traced(&cfg);
+        let traces = obs.finished_traces();
+        // 4 queries x (console + card driver + 2x bao + 2x lero) passes.
+        assert_eq!(traces.len(), 24);
+        for t in &traces {
+            let phases: Vec<&str> = t.phases.iter().map(|p| p.name.as_str()).collect();
+            assert!(phases.contains(&"parse"), "phases {phases:?}");
+            assert!(phases.contains(&"execute"), "phases {phases:?}");
+            assert!(!t.exec.operators.is_empty(), "no operator events");
+            assert!(t.outcome.is_some(), "no outcome");
+        }
+        // Driver attribution: the card/bao/lero passes carry their names,
+        // with per-query decision latency.
+        for name in ["learned-cardinality", "bao", "lero"] {
+            let steered: Vec<_> = traces
+                .iter()
+                .filter(|t| t.driver.as_deref() == Some(name))
+                .collect();
+            assert!(!steered.is_empty(), "no traces for driver {name}");
+            assert!(steered.iter().all(|t| t.decision_ns.is_some()));
+        }
+        // Estimated-vs-true cardinalities: the optimizer-planned passes
+        // record card lookups that join_estimates matched to operators.
+        assert!(
+            traces.iter().any(|t| t
+                .exec
+                .operators
+                .iter()
+                .any(|o| o.est_rows.is_some() && o.q_error().is_some())),
+            "no operator with both estimated and true cardinality"
+        );
+        // The whole log survives a JSONL round trip.
+        let jsonl = lqo_obs::export::write_jsonl(&traces);
+        assert_eq!(lqo_obs::export::parse_jsonl(&jsonl).expect("parse"), traces);
+        // Execution metrics accumulated in the shared registry.
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("lqo.pilot.queries"), Some(24));
+        assert!(snap.counter("lqo.card.lookups").unwrap_or(0) > 0);
+        assert!(snap.histogram("lqo.exec.work_units").is_some());
+    }
 
     #[test]
     fn tiny_e8_console_matches_direct_work() {

@@ -85,6 +85,37 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Write a raw text artifact (e.g. a JSONL trace dump or a rendered
+/// metrics table) to `results/<name>`; creates the directory if needed.
+/// Errors are reported but non-fatal, like [`dump_json`].
+pub fn dump_text(name: &str, contents: &str) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Render an observability context as a report section: the metrics
+/// snapshot table, then an EXPLAIN ANALYZE-style rendering of the last
+/// finished query trace as a worked example. Empty when disabled.
+pub fn obs_report(obs: &lqo_obs::ObsContext) -> String {
+    let mut out = String::new();
+    if let Some(metrics) = obs.metrics() {
+        out.push_str("== observability: metrics ==\n");
+        out.push_str(&lqo_obs::render::render_metrics(&metrics.snapshot()));
+    }
+    if let Some(trace) = obs.finished_traces().last() {
+        out.push_str("== observability: last query trace ==\n");
+        out.push_str(&lqo_obs::render::render_trace(trace));
+    }
+    out
+}
+
 /// Experiment scale taken from the `LQO_SCALE` environment variable
 /// (`small`, `default`, `large`), controlling data size and query counts
 /// so the same binaries serve smoke tests and full runs.

@@ -4,6 +4,9 @@
 //! against the native baseline per epoch.
 
 use lqo_engine::{EngineError, ExecConfig, Executor, PhysNode, Result, SpjQuery};
+use lqo_obs::trace::QueryOutcome;
+use lqo_obs::ObsContext;
+use serde::Serialize;
 
 use crate::framework::{LearnedOptimizer, OptContext};
 
@@ -36,7 +39,7 @@ impl LearnedOptimizer for NativeBaseline {
 }
 
 /// Per-epoch statistics of one optimizer over the workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct EpochStats {
     /// Total work units over the workload.
     pub total_work: f64,
@@ -57,6 +60,7 @@ pub struct TrainingLoop {
     pub timeout_factor: f64,
     native_work: Vec<f64>,
     queries: Vec<SpjQuery>,
+    obs: ObsContext,
 }
 
 impl TrainingLoop {
@@ -74,7 +78,16 @@ impl TrainingLoop {
             timeout_factor: 20.0,
             native_work,
             queries,
+            obs: ObsContext::disabled(),
         })
+    }
+
+    /// Attach an observability context: every executed query in every
+    /// epoch becomes one trace, attributed to the optimizer under
+    /// training, and epoch metrics land in the registry.
+    pub fn with_obs(mut self, obs: ObsContext) -> TrainingLoop {
+        self.obs = obs;
+        self
     }
 
     /// Native baseline work per query.
@@ -103,12 +116,26 @@ impl TrainingLoop {
                     max_work: Some(budget),
                     ..Default::default()
                 },
-            );
-            let work = match opt.plan(q) {
-                Ok(plan) => match executor.execute(q, &plan) {
+            )
+            .with_obs(self.obs.clone());
+            if self.obs.is_enabled() {
+                self.obs.begin_query(&q.to_string());
+                let name = opt.name().to_string();
+                self.obs.with_query(|t| t.driver = Some(name));
+            }
+            let work = match self.obs.phase("plan", || opt.plan(q)) {
+                Ok(plan) => match self.obs.phase("execute", || executor.execute(q, &plan)) {
                     Ok(r) => {
                         if learn {
                             opt.observe(q, &plan, r.work);
+                        }
+                        if self.obs.is_enabled() {
+                            let outcome = QueryOutcome {
+                                count: r.count,
+                                work: r.work,
+                                wall_ns: r.wall.as_nanos() as u64,
+                            };
+                            self.obs.with_query(|t| t.outcome = Some(outcome));
                         }
                         r.work
                     }
@@ -125,6 +152,10 @@ impl TrainingLoop {
                 },
                 Err(_) => budget,
             };
+            if self.obs.is_enabled() {
+                self.obs.with_query(|t| t.join_estimates());
+                self.obs.end_query();
+            }
             let ratio = work / self.native_work[i];
             if ratio > 1.1 {
                 regressions += 1;
@@ -135,13 +166,21 @@ impl TrainingLoop {
         if learn {
             opt.retrain();
         }
-        EpochStats {
+        let stats = EpochStats {
             total_work: per_query.iter().sum(),
             per_query,
             regressions,
             max_regression,
             timeouts,
+        };
+        if self.obs.is_enabled() {
+            self.obs.count("lqo.train.epochs", 1);
+            self.obs.count("lqo.train.timeouts", stats.timeouts as u64);
+            self.obs
+                .count("lqo.train.regressions", stats.regressions as u64);
+            self.obs.observe("lqo.train.epoch_work", stats.total_work);
         }
+        stats
     }
 
     /// Run `epochs` learning epochs, returning per-epoch statistics.

@@ -8,6 +8,10 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use lqo_obs::trace::OperatorEvent;
+use lqo_obs::ObsContext;
+use serde::Serialize;
+
 use crate::catalog::Catalog;
 use crate::column::Column;
 use crate::error::{EngineError, Result};
@@ -31,7 +35,7 @@ pub struct ExecConfig {
 }
 
 /// Result of executing a plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ExecResult {
     /// The count-star answer, i.e. the query's true cardinality.
     pub count: u64,
@@ -162,21 +166,42 @@ impl KeySide<'_> {
     }
 }
 
+fn join_label(algo: JoinAlgo) -> &'static str {
+    match algo {
+        JoinAlgo::Hash => "HashJoin",
+        JoinAlgo::NestedLoop => "NestedLoopJoin",
+        JoinAlgo::Merge => "MergeJoin",
+    }
+}
+
 /// The plan executor. Stateless across queries; cheap to construct.
 pub struct Executor<'a> {
     catalog: &'a Catalog,
     config: ExecConfig,
+    obs: ObsContext,
 }
 
 impl<'a> Executor<'a> {
     /// Create an executor over a catalog.
     pub fn new(catalog: &'a Catalog, config: ExecConfig) -> Executor<'a> {
-        Executor { catalog, config }
+        Executor {
+            catalog,
+            config,
+            obs: ObsContext::disabled(),
+        }
     }
 
     /// Executor with default configuration.
     pub fn with_defaults(catalog: &'a Catalog) -> Executor<'a> {
         Executor::new(catalog, ExecConfig::default())
+    }
+
+    /// Attach an observability context; per-operator events (true rows,
+    /// work units) and execution metrics are recorded on the context's
+    /// current query trace.
+    pub fn with_obs(mut self, obs: ObsContext) -> Executor<'a> {
+        self.obs = obs;
+        self
     }
 
     /// The configured cost parameters.
@@ -201,19 +226,42 @@ impl<'a> Executor<'a> {
                 query.num_tables()
             )));
         }
+        let _span = self.obs.span("exec.query");
         let start = Instant::now();
         let mut meter = WorkMeter {
             work: 0.0,
             limit: self.config.max_work,
         };
         let mut intermediates = Vec::new();
-        let rel = self.exec_node(query, plan, &mut meter, &mut intermediates)?;
-        Ok(ExecResult {
-            count: rel.len() as u64,
-            work: meter.work,
-            wall: start.elapsed(),
-            intermediates,
-        })
+        let mut events = Vec::new();
+        match self.exec_node(query, plan, &mut meter, &mut intermediates, &mut events) {
+            Ok(rel) => {
+                if self.obs.is_enabled() {
+                    self.obs.count("lqo.exec.queries", 1);
+                    self.obs.observe("lqo.exec.work_units", meter.work);
+                    self.obs.with_query(|t| t.exec.operators.extend(events));
+                }
+                Ok(ExecResult {
+                    count: rel.len() as u64,
+                    work: meter.work,
+                    wall: start.elapsed(),
+                    intermediates,
+                })
+            }
+            Err(e) => {
+                if self.obs.is_enabled() {
+                    if matches!(e, EngineError::WorkLimitExceeded { .. }) {
+                        self.obs.count("lqo.exec.timeouts", 1);
+                        self.obs.with_query(|t| {
+                            t.exec.timeout = true;
+                            t.exec.operators.extend(events);
+                        });
+                    }
+                    self.obs.count("lqo.exec.errors", 1);
+                }
+                Err(e)
+            }
+        }
     }
 
     fn exec_node(
@@ -222,16 +270,35 @@ impl<'a> Executor<'a> {
         node: &PhysNode,
         meter: &mut WorkMeter,
         intermediates: &mut Vec<(TableSet, u64)>,
+        events: &mut Vec<OperatorEvent>,
     ) -> Result<Relation> {
-        let rel = match node {
-            PhysNode::Scan { pos } => self.exec_scan(query, *pos, meter)?,
+        // `meter.work` snapshots bracket only this node's own operator
+        // (children account for themselves first), so per-operator work
+        // attribution is exact even for bushy plans.
+        let (rel, op, own_work) = match node {
+            PhysNode::Scan { pos } => {
+                let before = meter.work;
+                let rel = self.exec_scan(query, *pos, meter)?;
+                (rel, "Scan", meter.work - before)
+            }
             PhysNode::Join { algo, left, right } => {
-                let l = self.exec_node(query, left, meter, intermediates)?;
-                let r = self.exec_node(query, right, meter, intermediates)?;
-                self.exec_join(query, *algo, l, r, meter)?
+                let l = self.exec_node(query, left, meter, intermediates, events)?;
+                let r = self.exec_node(query, right, meter, intermediates, events)?;
+                let before = meter.work;
+                let rel = self.exec_join(query, *algo, l, r, meter)?;
+                (rel, join_label(*algo), meter.work - before)
             }
         };
         intermediates.push((rel.tables(), rel.len() as u64));
+        if self.obs.is_enabled() {
+            events.push(OperatorEvent {
+                op: op.to_string(),
+                tables: rel.tables().0,
+                true_rows: rel.len() as u64,
+                est_rows: None,
+                work: own_work,
+            });
+        }
         Ok(rel)
     }
 

@@ -227,6 +227,41 @@ impl CardSource for ScaledCardSource {
     }
 }
 
+/// Decorator that reports every cardinality lookup to an [`ObsContext`]:
+/// each call is appended to the current query trace as a
+/// [`lqo_obs::trace::CardLookup`] and counted under `lqo.card.lookups`.
+/// Wrapped locally by the obs-aware enumerators, so estimator code and
+/// the public `CardSource` implementations stay untouched.
+pub struct TracingCardSource<'a> {
+    inner: &'a dyn CardSource,
+    obs: &'a lqo_obs::ObsContext,
+}
+
+impl<'a> TracingCardSource<'a> {
+    /// Wrap `inner`, reporting lookups to `obs`.
+    pub fn new(inner: &'a dyn CardSource, obs: &'a lqo_obs::ObsContext) -> TracingCardSource<'a> {
+        TracingCardSource { inner, obs }
+    }
+}
+
+impl CardSource for TracingCardSource<'_> {
+    fn cardinality(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        let est = self.inner.cardinality(query, set);
+        self.obs.count("lqo.card.lookups", 1);
+        self.obs.with_query(|t| {
+            t.planner.card_lookups.push(lqo_obs::trace::CardLookup {
+                tables: set.0,
+                est_rows: est,
+            });
+        });
+        est
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,10 +3,12 @@
 
 use std::collections::HashMap;
 
+use lqo_obs::ObsContext;
+
 use crate::catalog::Catalog;
 use crate::error::{EngineError, Result};
 use crate::exec::workunits::CostParams;
-use crate::optimizer::card_source::CardSource;
+use crate::optimizer::card_source::{CardSource, TracingCardSource};
 use crate::optimizer::cost::join_op_cost;
 use crate::optimizer::hints::HintSet;
 use crate::plan::physical::{JoinAlgo, PhysNode};
@@ -105,6 +107,40 @@ pub fn dp_optimize(
     params: &CostParams,
     hints: &HintSet,
 ) -> Result<PlanChoice> {
+    dp_optimize_obs(
+        query,
+        graph,
+        catalog,
+        card,
+        params,
+        hints,
+        &ObsContext::disabled(),
+    )
+}
+
+/// [`dp_optimize`] with observability: records the enumeration algorithm,
+/// subproblem and cost-evaluation counts, and the chosen plan's cost on
+/// the in-flight query trace (no-ops when `obs` is disabled).
+#[allow(clippy::too_many_arguments)]
+pub fn dp_optimize_obs(
+    query: &SpjQuery,
+    graph: &JoinGraph,
+    catalog: &Catalog,
+    card: &dyn CardSource,
+    params: &CostParams,
+    hints: &HintSet,
+    obs: &ObsContext,
+) -> Result<PlanChoice> {
+    let _span = obs.span("plan.dp");
+    let traced;
+    let card: &dyn CardSource = if obs.is_enabled() {
+        traced = TracingCardSource::new(card, obs);
+        &traced
+    } else {
+        card
+    };
+    let mut subproblems = 0u64;
+    let mut cost_evals = 0u64;
     let n = query.num_tables();
     if n == 0 {
         return Err(EngineError::NoPlanFound("query has no tables".into()));
@@ -153,6 +189,7 @@ pub fn dp_optimize(
         if !graph.is_connected(set) || !leading.set_ok(set) {
             continue;
         }
+        subproblems += 1;
         let out_rows = card.cardinality(query, set);
         let width = set.len();
         let mut best_here: Option<Entry> = None;
@@ -172,6 +209,7 @@ pub fn dp_optimize(
             let base = le.cost + re.cost;
             let (lrows, rrows) = (le.rows, re.rows);
             for &algo in &algos {
+                cost_evals += 1;
                 let op = join_op_cost(algo, params, lrows, rrows, out_rows, width, true);
                 let total = base + op;
                 if best_here.as_ref().is_none_or(|b| total < b.cost) {
@@ -188,12 +226,31 @@ pub fn dp_optimize(
         }
     }
 
-    best.remove(&full.0)
+    let choice = best
+        .remove(&full.0)
         .map(|e| PlanChoice {
             plan: e.plan,
             cost: e.cost,
         })
-        .ok_or_else(|| EngineError::NoPlanFound("DP produced no plan for the full query".into()))
+        .ok_or_else(|| EngineError::NoPlanFound("DP produced no plan for the full query".into()))?;
+    record_enumeration(obs, "dp", subproblems, cost_evals, choice.cost);
+    Ok(choice)
+}
+
+/// Attach enumeration provenance to the in-flight trace and metrics.
+fn record_enumeration(obs: &ObsContext, algo: &str, subproblems: u64, cost_evals: u64, cost: f64) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.with_query(|t| {
+        t.planner.algo = Some(algo.to_string());
+        t.planner.subproblems = subproblems;
+        t.planner.cost_evals = cost_evals;
+        t.planner.chosen_cost = Some(cost);
+    });
+    obs.count("lqo.plan.queries", 1);
+    obs.observe("lqo.plan.subproblems", subproblems as f64);
+    obs.observe("lqo.plan.cost_evals", cost_evals as f64);
 }
 
 struct Item {
@@ -201,6 +258,15 @@ struct Item {
     set: TableSet,
     rows: f64,
     cost: f64,
+}
+
+/// Enumeration effort counters for observability.
+#[derive(Default)]
+struct EnumCounters {
+    /// Candidate subproblems (table-set pairs) evaluated.
+    subproblems: u64,
+    /// Cost-model invocations.
+    cost_evals: u64,
 }
 
 /// Best permitted join of two items; cross products always fall back to
@@ -213,12 +279,15 @@ fn best_join(
     algos: &[JoinAlgo],
     left: &Item,
     right: &Item,
+    counters: &mut EnumCounters,
 ) -> (JoinAlgo, f64, f64) {
+    counters.subproblems += 1;
     let out_set = left.set.union(right.set);
     let out_rows = card.cardinality(query, out_set);
     let width = out_set.len();
     let has_cond = !query.joins_between(left.set, right.set).is_empty();
     if !has_cond {
+        counters.cost_evals += 1;
         let op = join_op_cost(
             JoinAlgo::NestedLoop,
             params,
@@ -232,6 +301,7 @@ fn best_join(
     }
     let mut best = (JoinAlgo::NestedLoop, f64::INFINITY, out_rows);
     for &algo in algos {
+        counters.cost_evals += 1;
         let op = join_op_cost(algo, params, left.rows, right.rows, out_rows, width, true);
         if op < best.1 {
             best = (algo, op, out_rows);
@@ -239,6 +309,7 @@ fn best_join(
     }
     if best.1.is_infinite() {
         // No permitted algorithm: fall back to nested loops.
+        counters.cost_evals += 1;
         let op = join_op_cost(
             JoinAlgo::NestedLoop,
             params,
@@ -265,6 +336,40 @@ pub fn greedy_optimize(
     params: &CostParams,
     hints: &HintSet,
 ) -> Result<PlanChoice> {
+    greedy_optimize_obs(
+        query,
+        graph,
+        catalog,
+        card,
+        params,
+        hints,
+        &ObsContext::disabled(),
+    )
+}
+
+/// [`greedy_optimize`] with observability: records the enumeration
+/// algorithm, candidate-pair and cost-evaluation counts, and the chosen
+/// plan's cost on the in-flight query trace (no-ops when `obs` is
+/// disabled).
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_optimize_obs(
+    query: &SpjQuery,
+    graph: &JoinGraph,
+    catalog: &Catalog,
+    card: &dyn CardSource,
+    params: &CostParams,
+    hints: &HintSet,
+    obs: &ObsContext,
+) -> Result<PlanChoice> {
+    let _span = obs.span("plan.greedy");
+    let traced;
+    let card: &dyn CardSource = if obs.is_enabled() {
+        traced = TracingCardSource::new(card, obs);
+        &traced
+    } else {
+        card
+    };
+    let mut counters = EnumCounters::default();
     let n = query.num_tables();
     if n == 0 {
         return Err(EngineError::NoPlanFound("query has no tables".into()));
@@ -299,7 +404,8 @@ pub fn greedy_optimize(
         spine = Some(match spine {
             None => next,
             Some(s) => {
-                let (algo, op, rows) = best_join(query, card, params, &algos, &s, &next);
+                let (algo, op, rows) =
+                    best_join(query, card, params, &algos, &s, &next, &mut counters);
                 Item {
                     plan: PhysNode::join(algo, s.plan, next.plan),
                     set: s.set.union(next.set),
@@ -327,7 +433,7 @@ pub fn greedy_optimize(
             let mut best_conn = false;
             for (i, it) in items.iter().enumerate() {
                 let conn = graph.has_edge_between(spine.set, it.set);
-                let (_, op, _) = best_join(query, card, params, &algos, &spine, it);
+                let (_, op, _) = best_join(query, card, params, &algos, &spine, it, &mut counters);
                 // Connected candidates strictly dominate cross products.
                 if (conn, -op) > (best_conn, -best_score) {
                     best_conn = conn;
@@ -336,7 +442,8 @@ pub fn greedy_optimize(
                 }
             }
             let next = items.swap_remove(best_idx);
-            let (algo, op, rows) = best_join(query, card, params, &algos, &spine, &next);
+            let (algo, op, rows) =
+                best_join(query, card, params, &algos, &spine, &next, &mut counters);
             spine = Item {
                 plan: PhysNode::join(algo, spine.plan, next.plan),
                 set: spine.set.union(next.set),
@@ -344,6 +451,13 @@ pub fn greedy_optimize(
                 cost: spine.cost + next.cost + op,
             };
         }
+        record_enumeration(
+            obs,
+            "greedy",
+            counters.subproblems,
+            counters.cost_evals,
+            spine.cost,
+        );
         return Ok(PlanChoice {
             plan: spine.plan,
             cost: spine.cost,
@@ -361,7 +475,15 @@ pub fn greedy_optimize(
                     continue;
                 }
                 let conn = graph.has_edge_between(items[i].set, items[j].set);
-                let (_, op, _) = best_join(query, card, params, &algos, &items[i], &items[j]);
+                let (_, op, _) = best_join(
+                    query,
+                    card,
+                    params,
+                    &algos,
+                    &items[i],
+                    &items[j],
+                    &mut counters,
+                );
                 if (conn, -op) > (best_conn, -best_op) {
                     best_conn = conn;
                     best_op = op;
@@ -376,7 +498,7 @@ pub fn greedy_optimize(
         // `right`/`left` may be swapped relative to best_pair orientation;
         // re-derive the actual orientation.
         let (l, r) = if i < j { (left, right) } else { (right, left) };
-        let (algo, op, rows) = best_join(query, card, params, &algos, &l, &r);
+        let (algo, op, rows) = best_join(query, card, params, &algos, &l, &r, &mut counters);
         items.push(Item {
             plan: PhysNode::join(algo, l.plan, r.plan),
             set: l.set.union(r.set),
@@ -385,6 +507,13 @@ pub fn greedy_optimize(
         });
     }
     let final_item = items.pop().unwrap();
+    record_enumeration(
+        obs,
+        "greedy",
+        counters.subproblems,
+        counters.cost_evals,
+        final_item.cost,
+    );
     Ok(PlanChoice {
         plan: final_item.plan,
         cost: final_item.cost,

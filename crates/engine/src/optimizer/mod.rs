@@ -12,6 +12,8 @@ pub mod cost;
 pub mod enumerate;
 pub mod hints;
 
+use lqo_obs::ObsContext;
+
 use crate::catalog::Catalog;
 use crate::error::Result;
 use crate::exec::workunits::CostParams;
@@ -20,27 +22,43 @@ use crate::query::join_graph::JoinGraph;
 use crate::query::spj::SpjQuery;
 
 pub use card_source::{
-    CardSource, InjectedCardSource, ScaledCardSource, TraditionalCardSource, TrueCardSource,
+    CardSource, InjectedCardSource, ScaledCardSource, TracingCardSource, TraditionalCardSource,
+    TrueCardSource,
 };
 pub use cost::plan_cost;
-pub use enumerate::{dp_optimize, greedy_optimize, PlanChoice};
+pub use enumerate::{
+    dp_optimize, dp_optimize_obs, greedy_optimize, greedy_optimize_obs, PlanChoice,
+};
 pub use hints::HintSet;
 
 /// The cost-based optimizer.
 pub struct Optimizer<'a> {
     catalog: &'a Catalog,
     params: CostParams,
+    obs: ObsContext,
 }
 
 impl<'a> Optimizer<'a> {
     /// Create an optimizer with given cost parameters.
     pub fn new(catalog: &'a Catalog, params: CostParams) -> Optimizer<'a> {
-        Optimizer { catalog, params }
+        Optimizer {
+            catalog,
+            params,
+            obs: ObsContext::disabled(),
+        }
     }
 
     /// Optimizer with default cost parameters.
     pub fn with_defaults(catalog: &'a Catalog) -> Optimizer<'a> {
         Optimizer::new(catalog, CostParams::default())
+    }
+
+    /// Attach an observability context; planner provenance (enumeration
+    /// counters, cardinality lookups, hints, chosen cost) is recorded on
+    /// the context's current query trace.
+    pub fn with_obs(mut self, obs: ObsContext) -> Optimizer<'a> {
+        self.obs = obs;
+        self
     }
 
     /// Cost parameters in use.
@@ -56,11 +74,35 @@ impl<'a> Optimizer<'a> {
         card: &dyn CardSource,
         hints: &HintSet,
     ) -> Result<PlanChoice> {
+        if self.obs.is_enabled() {
+            let name = card.name().to_string();
+            let label = hints.label();
+            self.obs.with_query(|t| {
+                t.planner.card_source = Some(name);
+                t.planner.hints = Some(label);
+            });
+        }
         let graph = JoinGraph::new(query);
         if query.num_tables() <= hints.dp_table_limit && graph.is_connected(query.all_tables()) {
-            dp_optimize(query, &graph, self.catalog, card, &self.params, hints)
+            dp_optimize_obs(
+                query,
+                &graph,
+                self.catalog,
+                card,
+                &self.params,
+                hints,
+                &self.obs,
+            )
         } else {
-            greedy_optimize(query, &graph, self.catalog, card, &self.params, hints)
+            greedy_optimize_obs(
+                query,
+                &graph,
+                self.catalog,
+                card,
+                &self.params,
+                hints,
+                &self.obs,
+            )
         }
     }
 
@@ -77,7 +119,15 @@ impl<'a> Optimizer<'a> {
         hints: &HintSet,
     ) -> Result<PlanChoice> {
         let graph = JoinGraph::new(query);
-        greedy_optimize(query, &graph, self.catalog, card, &self.params, hints)
+        greedy_optimize_obs(
+            query,
+            &graph,
+            self.catalog,
+            card,
+            &self.params,
+            hints,
+            &self.obs,
+        )
     }
 
     /// Estimated cost of an arbitrary plan under a cardinality source.

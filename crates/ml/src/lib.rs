@@ -28,7 +28,6 @@
 //! * [`scaler`], [`metrics`], [`linalg`] — shared utilities.
 
 #![warn(missing_docs)]
-
 // Indexed loops over matrix rows/columns are the clearest way to write
 // the hand-rolled numeric kernels in this crate.
 #![allow(clippy::needless_range_loop)]

@@ -1,0 +1,261 @@
+//! JSONL export and import of [`QueryTrace`]s.
+//!
+//! One trace per line, stable field names, lossless for every field —
+//! the round trip `parse_jsonl(write_jsonl(traces)) == traces` holds and
+//! is covered by tests.
+
+use crate::json::{parse, Value};
+use crate::trace::{
+    CardLookup, ExecTrace, OperatorEvent, PhaseTiming, PlannerTrace, QueryOutcome, QueryTrace,
+};
+
+fn u64_value(v: u64) -> Value {
+    // Table masks and counters fit i64 in practice; saturate defensively.
+    Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+fn opt_str(v: &Option<String>) -> Value {
+    match v {
+        Some(s) => Value::Str(s.clone()),
+        None => Value::Null,
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> Value {
+    match v {
+        Some(f) => Value::Float(f),
+        None => Value::Null,
+    }
+}
+
+/// Encode one trace as a JSON object.
+pub fn trace_to_json(t: &QueryTrace) -> Value {
+    let phases = t
+        .phases
+        .iter()
+        .map(|p| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(p.name.clone())),
+                ("elapsed_ns".into(), u64_value(p.elapsed_ns)),
+            ])
+        })
+        .collect();
+    let lookups = t
+        .planner
+        .card_lookups
+        .iter()
+        .map(|l| {
+            Value::Obj(vec![
+                ("tables".into(), u64_value(l.tables)),
+                ("est_rows".into(), Value::Float(l.est_rows)),
+            ])
+        })
+        .collect();
+    let planner = Value::Obj(vec![
+        ("algo".into(), opt_str(&t.planner.algo)),
+        ("subproblems".into(), u64_value(t.planner.subproblems)),
+        ("cost_evals".into(), u64_value(t.planner.cost_evals)),
+        ("card_source".into(), opt_str(&t.planner.card_source)),
+        ("card_lookups".into(), Value::Arr(lookups)),
+        ("hints".into(), opt_str(&t.planner.hints)),
+        ("chosen_cost".into(), opt_f64(t.planner.chosen_cost)),
+    ]);
+    let operators = t
+        .exec
+        .operators
+        .iter()
+        .map(|o| {
+            Value::Obj(vec![
+                ("op".into(), Value::Str(o.op.clone())),
+                ("tables".into(), u64_value(o.tables)),
+                ("true_rows".into(), u64_value(o.true_rows)),
+                ("est_rows".into(), opt_f64(o.est_rows)),
+                ("work".into(), Value::Float(o.work)),
+            ])
+        })
+        .collect();
+    let exec = Value::Obj(vec![
+        ("operators".into(), Value::Arr(operators)),
+        ("timeout".into(), Value::Bool(t.exec.timeout)),
+    ]);
+    let outcome = match &t.outcome {
+        Some(o) => Value::Obj(vec![
+            ("count".into(), u64_value(o.count)),
+            ("work".into(), Value::Float(o.work)),
+            ("wall_ns".into(), u64_value(o.wall_ns)),
+        ]),
+        None => Value::Null,
+    };
+    Value::Obj(vec![
+        ("query".into(), Value::Str(t.query.clone())),
+        ("driver".into(), opt_str(&t.driver)),
+        (
+            "decision_ns".into(),
+            match t.decision_ns {
+                Some(ns) => u64_value(ns),
+                None => Value::Null,
+            },
+        ),
+        ("phases".into(), Value::Arr(phases)),
+        ("planner".into(), planner),
+        ("exec".into(), exec),
+        ("outcome".into(), outcome),
+    ])
+}
+
+fn str_field(v: &Value, key: &str) -> Option<String> {
+    v.get(key)?.as_str().map(str::to_string)
+}
+
+fn opt_str_field(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+/// Decode one trace from a JSON object; `None` on any shape mismatch.
+pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
+    let phases = v
+        .get("phases")?
+        .as_arr()?
+        .iter()
+        .map(|p| {
+            Some(PhaseTiming {
+                name: str_field(p, "name")?,
+                elapsed_ns: p.get("elapsed_ns")?.as_u64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let pl = v.get("planner")?;
+    let card_lookups = pl
+        .get("card_lookups")?
+        .as_arr()?
+        .iter()
+        .map(|l| {
+            Some(CardLookup {
+                tables: l.get("tables")?.as_u64()?,
+                est_rows: l.get("est_rows")?.as_f64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let planner = PlannerTrace {
+        algo: opt_str_field(pl, "algo"),
+        subproblems: pl.get("subproblems")?.as_u64()?,
+        cost_evals: pl.get("cost_evals")?.as_u64()?,
+        card_source: opt_str_field(pl, "card_source"),
+        card_lookups,
+        hints: opt_str_field(pl, "hints"),
+        chosen_cost: pl.get("chosen_cost").and_then(Value::as_f64),
+    };
+    let ex = v.get("exec")?;
+    let operators = ex
+        .get("operators")?
+        .as_arr()?
+        .iter()
+        .map(|o| {
+            Some(OperatorEvent {
+                op: str_field(o, "op")?,
+                tables: o.get("tables")?.as_u64()?,
+                true_rows: o.get("true_rows")?.as_u64()?,
+                est_rows: o.get("est_rows").and_then(Value::as_f64),
+                work: o.get("work")?.as_f64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let exec = ExecTrace {
+        operators,
+        timeout: ex.get("timeout")?.as_bool()?,
+    };
+    let outcome = match v.get("outcome")? {
+        Value::Null => None,
+        o => Some(QueryOutcome {
+            count: o.get("count")?.as_u64()?,
+            work: o.get("work")?.as_f64()?,
+            wall_ns: o.get("wall_ns")?.as_u64()?,
+        }),
+    };
+    Some(QueryTrace {
+        query: str_field(v, "query")?,
+        driver: opt_str_field(v, "driver"),
+        decision_ns: v.get("decision_ns").and_then(Value::as_u64),
+        phases,
+        planner,
+        exec,
+        outcome,
+    })
+}
+
+/// Serialize traces as JSONL: one compact JSON object per line.
+pub fn write_jsonl(traces: &[QueryTrace]) -> String {
+    let mut out = String::new();
+    for t in traces {
+        out.push_str(&trace_to_json(t).to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL document produced by [`write_jsonl`]. Blank lines are
+/// skipped; a malformed line makes the whole parse fail.
+pub fn parse_jsonl(input: &str) -> Option<Vec<QueryTrace>> {
+    input
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| trace_from_json(&parse(l)?))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> QueryTrace {
+        let mut t = QueryTrace::new("SELECT * FROM t0, t1 WHERE t0.a = t1.b");
+        t.driver = Some("BaoDriver".into());
+        t.decision_ns = Some(1_234_567);
+        t.record_phase("parse", 10_000);
+        t.record_phase("plan", 2_000_000);
+        t.record_phase("execute", 9_000_000);
+        t.planner.algo = Some("dp".into());
+        t.planner.subproblems = 6;
+        t.planner.cost_evals = 14;
+        t.planner.card_source = Some("true".into());
+        t.planner.hints = Some("algos=hash,nl dp_limit=12".into());
+        t.planner.chosen_cost = Some(512.25);
+        t.planner.card_lookups.push(CardLookup {
+            tables: 0b11,
+            est_rows: 42.5,
+        });
+        t.exec.operators.push(OperatorEvent {
+            op: "HashJoin".into(),
+            tables: 0b11,
+            true_rows: 40,
+            est_rows: Some(42.5),
+            work: 123.0,
+        });
+        t.exec.timeout = false;
+        t.outcome = Some(QueryOutcome {
+            count: 40,
+            work: 321.5,
+            wall_ns: 11_000_000,
+        });
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless() {
+        let mut minimal = QueryTrace::new("bare");
+        minimal.exec.timeout = true;
+        let traces = vec![sample_trace(), minimal];
+        let text = write_jsonl(&traces);
+        assert_eq!(text.lines().count(), 2);
+        let back = parse_jsonl(&text).expect("parse");
+        assert_eq!(back, traces);
+    }
+
+    #[test]
+    fn blank_lines_skipped_bad_lines_fail() {
+        let text = write_jsonl(&[sample_trace()]) + "\n\n";
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 1);
+        assert!(parse_jsonl("not json\n").is_none());
+        assert!(parse_jsonl("{\"query\":\"x\"}\n").is_none());
+    }
+}

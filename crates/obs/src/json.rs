@@ -1,0 +1,368 @@
+//! A minimal JSON value, writer, and parser.
+//!
+//! `lqo-obs` sits below every other crate in the stack and deliberately
+//! carries no serialization dependency, so it ships its own ~small JSON
+//! implementation for the JSONL trace exporter ([`crate::export`]).
+//! Numbers are kept split into integer and float variants so `u64`
+//! cardinalities survive a round trip exactly.
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer number.
+    Int(i64),
+    /// A floating-point number. Non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (accepts both number variants).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize compactly (single line — JSONL-safe).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self);
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    // Keep the float/int distinction through a round trip.
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one JSON document. Returns `None` on any syntax error or
+/// trailing garbage.
+pub fn parse(input: &str) -> Option<Value> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    (pos == bytes.len()).then_some(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'n' => parse_lit(b, pos, "null", Value::Null),
+        b't' => parse_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Value::Bool(false)),
+        b'"' => parse_string(b, pos).map(Value::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Value::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return None;
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Value::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Option<Value> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match *b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match *b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).ok()?;
+    if text.is_empty() || text == "-" {
+        return None;
+    }
+    if is_float {
+        text.parse::<f64>().ok().map(Value::Float)
+    } else {
+        text.parse::<i64>().ok().map(Value::Int)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structures() {
+        let v = Value::Obj(vec![
+            ("q".into(), Value::Str("SELECT \"x\"\n".into())),
+            ("n".into(), Value::Int(42)),
+            ("f".into(), Value::Float(2.5)),
+            ("whole".into(), Value::Float(3.0)),
+            ("neg".into(), Value::Int(-7)),
+            (
+                "arr".into(),
+                Value::Arr(vec![Value::Null, Value::Bool(true), Value::Bool(false)]),
+            ),
+            ("empty".into(), Value::Obj(vec![])),
+        ]);
+        let text = v.to_compact();
+        assert!(!text.contains('\n'), "compact output must be JSONL-safe");
+        assert_eq!(parse(&text), Some(v));
+    }
+
+    #[test]
+    fn int_float_distinction_survives() {
+        let text = Value::Arr(vec![Value::Int(3), Value::Float(3.0)]).to_compact();
+        assert_eq!(text, "[3,3.0]");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.as_arr().unwrap()[0], Value::Int(3));
+        assert_eq!(back.as_arr().unwrap()[1], Value::Float(3.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse(""), None);
+        assert_eq!(parse("{"), None);
+        assert_eq!(parse("[1,]"), None);
+        assert_eq!(parse("1 2"), None);
+        assert_eq!(parse("{\"a\" 1}"), None);
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        assert_eq!(
+            parse("\"a\\u0041\\n\""),
+            Some(Value::Str("aA\n".to_string()))
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_compact(), "null");
+    }
+}

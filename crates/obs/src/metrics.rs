@@ -1,0 +1,295 @@
+//! Metrics: named counters, gauges, and log-bucketed histograms.
+//!
+//! A [`MetricsRegistry`] is a plain value (no global state) guarded by
+//! `parking_lot` mutexes, so one registry can be shared across the stack
+//! through an `ObsContext`. Histograms bucket by powers of two, which is
+//! cheap, monotonic, and wide enough to cover nanosecond latencies and
+//! work-unit counts with one scheme.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Smallest histogram exponent: the first finite bucket is `(0, 2^MIN_EXP]`.
+pub const HIST_MIN_EXP: i32 = -20;
+/// Largest histogram exponent: the last finite bucket is
+/// `(2^(MAX_EXP-1), 2^MAX_EXP]`; larger values overflow.
+pub const HIST_MAX_EXP: i32 = 64;
+
+/// Number of buckets: one underflow (`v <= 0`), one per exponent in
+/// `[HIST_MIN_EXP, HIST_MAX_EXP]`, one overflow.
+pub const HIST_BUCKETS: usize = (HIST_MAX_EXP - HIST_MIN_EXP + 1) as usize + 2;
+
+/// A log₂-bucketed histogram with exact totals.
+///
+/// Bucket layout (`i` is the bucket index):
+/// * `i == 0`: underflow — `v <= 0` (and NaN).
+/// * `1 <= i <= N`: `v` in `(2^(e-1), 2^e]` where
+///   `e = HIST_MIN_EXP + (i - 1)`; the first of these also catches every
+///   positive value below `2^HIST_MIN_EXP`.
+/// * `i == N + 1`: overflow — `v > 2^HIST_MAX_EXP`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: f64) -> usize {
+        if value.is_nan() || value <= 0.0 {
+            return 0; // underflow: zero, negative, NaN
+        }
+        // Smallest exponent e in [HIST_MIN_EXP, HIST_MAX_EXP] with
+        // value <= 2^e. Powers of two are exact in f64, so boundary
+        // values land deterministically in the lower bucket.
+        let exps = HIST_MIN_EXP..=HIST_MAX_EXP;
+        for (i, e) in exps.enumerate() {
+            if value <= pow2(e) {
+                return i + 1;
+            }
+        }
+        HIST_BUCKETS - 1 // overflow
+    }
+
+    /// The inclusive upper bound of bucket `i` (`f64::INFINITY` for the
+    /// overflow bucket, `0.0` for underflow).
+    pub fn bucket_upper_bound(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else if i >= HIST_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            pow2(HIST_MIN_EXP + (i as i32 - 1))
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of finite observations, `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest finite observation, `None` if none.
+    pub fn min(&self) -> Option<f64> {
+        self.min.is_finite().then_some(self.min)
+    }
+
+    /// Largest finite observation, `None` if none.
+    pub fn max(&self) -> Option<f64> {
+        self.max.is_finite().then_some(self.max)
+    }
+
+    /// Per-bucket counts (including under/overflow).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0 <= q <= 1`), `None` if empty. Bucketed, so an upper estimate
+    /// within one power of two of the true quantile.
+    pub fn quantile_upper(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_upper_bound(i));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+fn pow2(e: i32) -> f64 {
+    // Exact for the exponent range used here.
+    (2.0f64).powi(e)
+}
+
+/// An immutable snapshot of a registry, for reporting.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → histogram, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Thread-safe registry of named metrics.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to the named counter (created at zero on first use).
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        let mut c = self.counters.lock();
+        match c.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                c.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// Record `value` in the named histogram (created on first use).
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut h = self.histograms.lock();
+        match h.get_mut(name) {
+            Some(hist) => hist.record(value),
+            None => {
+                let mut hist = Histogram::new();
+                hist.record(value);
+                h.insert(name.to_string(), hist);
+            }
+        }
+    }
+
+    /// Capture a point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.inc_counter("lqo.exec.queries", 1);
+        reg.inc_counter("lqo.exec.queries", 2);
+        reg.set_gauge("lqo.plan.last_cost", 12.5);
+        reg.set_gauge("lqo.plan.last_cost", 99.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("lqo.exec.queries"), Some(3));
+        assert_eq!(snap.gauge("lqo.plan.last_cost"), Some(99.0));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_totals() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 107.0);
+        assert_eq!(h.mean(), Some(26.75));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(100.0));
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(3.0); // bucket (2, 4]
+        }
+        h.record(1000.0); // bucket (512, 1024]
+        assert_eq!(h.quantile_upper(0.5), Some(4.0));
+        assert_eq!(h.quantile_upper(1.0), Some(1024.0));
+        assert_eq!(Histogram::new().quantile_upper(0.5), None);
+    }
+}

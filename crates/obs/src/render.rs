@@ -1,0 +1,210 @@
+//! Human-readable rendering: an EXPLAIN ANALYZE-style view of a
+//! [`QueryTrace`] and a fixed-width table for a [`MetricsSnapshot`].
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::QueryTrace;
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn fmt_tables(mask: u64) -> String {
+    let ids: Vec<String> = (0..64)
+        .filter(|i| mask >> i & 1 == 1)
+        .map(|i| format!("t{i}"))
+        .collect();
+    format!("{{{}}}", ids.join(","))
+}
+
+/// Render a trace as indented text, in the spirit of EXPLAIN ANALYZE:
+/// a query header with driver attribution, the phase timeline with
+/// planner provenance inline, then per-operator estimated-vs-true rows.
+pub fn render_trace(t: &QueryTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Query: {}\n", t.query));
+    if let Some(driver) = &t.driver {
+        let decision = t
+            .decision_ns
+            .map(|ns| format!(", decision={}", fmt_ns(ns)))
+            .unwrap_or_default();
+        out.push_str(&format!("  driver: {driver}{decision}\n"));
+    }
+    for phase in &t.phases {
+        out.push_str(&format!(
+            "  {:<10} {:>12}",
+            phase.name,
+            fmt_ns(phase.elapsed_ns)
+        ));
+        if phase.name == "plan" {
+            let p = &t.planner;
+            let mut notes = Vec::new();
+            if let Some(algo) = &p.algo {
+                notes.push(format!("algo={algo}"));
+            }
+            if p.subproblems > 0 {
+                notes.push(format!("subproblems={}", p.subproblems));
+            }
+            if p.cost_evals > 0 {
+                notes.push(format!("cost_evals={}", p.cost_evals));
+            }
+            if let Some(src) = &p.card_source {
+                notes.push(format!("card={src}"));
+            }
+            if let Some(cost) = p.chosen_cost {
+                notes.push(format!("cost={cost:.1}"));
+            }
+            if !notes.is_empty() {
+                out.push_str(&format!("  [{}]", notes.join(", ")));
+            }
+        }
+        out.push('\n');
+    }
+    if let Some(hints) = &t.planner.hints {
+        out.push_str(&format!("  hints: {hints}\n"));
+    }
+    if !t.exec.operators.is_empty() {
+        out.push_str("  operators (est vs true):\n");
+        for op in &t.exec.operators {
+            let est = op
+                .est_rows
+                .map(|e| format!("{e:.1}"))
+                .unwrap_or_else(|| "-".into());
+            let q = op
+                .q_error()
+                .map(|q| format!("  q={q:.2}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "    {:<10} {:<12} est={:<12} true={:<10} work={:.1}{}\n",
+                op.op,
+                fmt_tables(op.tables),
+                est,
+                op.true_rows,
+                op.work,
+                q
+            ));
+        }
+    }
+    if t.exec.timeout {
+        out.push_str("  ** execution hit its work budget (timeout) **\n");
+    }
+    if let Some(o) = &t.outcome {
+        out.push_str(&format!(
+            "  result: {} rows, {:.1} work units, {}\n",
+            o.count,
+            o.work,
+            fmt_ns(o.wall_ns)
+        ));
+    }
+    out
+}
+
+/// Render a metrics snapshot as a fixed-width text table: counters,
+/// gauges, then histogram summaries (count/mean/p50/p99/max).
+pub fn render_metrics(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<36} {v:>14}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<36} {v:>14.3}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        out.push_str(&format!(
+            "  {:<36} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+            "name", "count", "mean", "p50<=", "p99<=", "max"
+        ));
+        for (name, h) in &snap.histograms {
+            let fmt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "  {:<36} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                name,
+                h.count(),
+                fmt(h.mean()),
+                fmt(h.quantile_upper(0.5)),
+                fmt(h.quantile_upper(0.99)),
+                fmt(h.max()),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::trace::{CardLookup, OperatorEvent, QueryOutcome};
+
+    #[test]
+    fn trace_rendering_mentions_key_facts() {
+        let mut t = QueryTrace::new("q7");
+        t.driver = Some("LeroDriver".into());
+        t.decision_ns = Some(2_000_000);
+        t.record_phase("parse", 1_000);
+        t.record_phase("plan", 3_000_000);
+        t.record_phase("execute", 40_000_000);
+        t.planner.algo = Some("dp".into());
+        t.planner.subproblems = 11;
+        t.planner.card_lookups.push(CardLookup {
+            tables: 0b101,
+            est_rows: 20.0,
+        });
+        t.exec.operators.push(OperatorEvent {
+            op: "HashJoin".into(),
+            tables: 0b101,
+            true_rows: 80,
+            est_rows: Some(20.0),
+            work: 64.0,
+        });
+        t.exec.timeout = true;
+        t.outcome = Some(QueryOutcome {
+            count: 80,
+            work: 99.0,
+            wall_ns: 44_000_000,
+        });
+        let text = render_trace(&t);
+        for needle in [
+            "Query: q7",
+            "LeroDriver",
+            "decision=2.00 ms",
+            "algo=dp",
+            "subproblems=11",
+            "{t0,t2}",
+            "true=80",
+            "q=4.00",
+            "timeout",
+            "80 rows",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn metrics_table_lists_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.inc_counter("lqo.exec.queries", 9);
+        reg.set_gauge("lqo.plan.last_cost", 5.5);
+        reg.observe("lqo.card.qerror", 2.0);
+        let text = render_metrics(&reg.snapshot());
+        assert!(text.contains("lqo.exec.queries"));
+        assert!(text.contains("lqo.plan.last_cost"));
+        assert!(text.contains("lqo.card.qerror"));
+        assert!(text.contains("p99<="));
+    }
+}

@@ -1,0 +1,206 @@
+//! Span tracing: monotonic timing of named, nested regions.
+//!
+//! A [`Tracer`] hands out [`SpanGuard`]s; a span starts when the guard is
+//! created and ends when it drops. Nesting is tracked per thread — a span
+//! opened while another span from the same tracer is live on the same
+//! thread records that span as its parent. Spans from different threads
+//! are independent roots (or nest within that thread's own stack), so a
+//! tracer can be shared freely across threads.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One closed span, with times in nanoseconds since the tracer's epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within the tracer (1-based, allocation order).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Start offset from the tracer epoch, nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the tracer epoch, nanoseconds.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+struct TracerInner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    closed: Mutex<Vec<SpanRecord>>,
+}
+
+thread_local! {
+    /// Per-thread stack of open span ids, segregated by tracer identity
+    /// so two tracers interleaved on one thread do not cross-parent.
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Collects spans. Cloning shares the underlying log.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A fresh tracer whose epoch is "now".
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                closed: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    fn key(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// Open a span; it closes when the returned guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let key = self.key();
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.iter().rev().find(|(k, _)| *k == key).map(|(_, id)| *id);
+            s.push((key, id));
+            parent
+        });
+        SpanGuard {
+            live: Some(LiveSpan {
+                tracer: self.inner.clone(),
+                key,
+                id,
+                parent,
+                name: name.to_string(),
+                start_ns: self.inner.epoch.elapsed().as_nanos() as u64,
+            }),
+        }
+    }
+
+    /// All spans closed so far, in closing order.
+    pub fn closed_spans(&self) -> Vec<SpanRecord> {
+        self.inner.closed.lock().clone()
+    }
+
+    /// Number of spans closed so far.
+    pub fn closed_count(&self) -> usize {
+        self.inner.closed.lock().len()
+    }
+}
+
+struct LiveSpan {
+    tracer: Arc<TracerInner>,
+    key: usize,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_ns: u64,
+}
+
+/// RAII guard: the span it represents ends when this drops. The no-op
+/// variant (from a disabled context) holds nothing and does nothing.
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing — the disabled-tracer fast path.
+    pub fn noop() -> SpanGuard {
+        SpanGuard { live: None }
+    }
+
+    /// Whether this guard will record a span on drop.
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Usually the top of the stack; search defensively in case
+            // guards are dropped out of order.
+            if let Some(pos) = s
+                .iter()
+                .rposition(|&(k, id)| k == live.key && id == live.id)
+            {
+                s.remove(pos);
+            }
+        });
+        let end_ns = live.tracer.epoch.elapsed().as_nanos() as u64;
+        live.tracer.closed.lock().push(SpanRecord {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            start_ns: live.start_ns,
+            end_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let tracer = Tracer::enabled();
+        {
+            let _outer = tracer.span("outer");
+            {
+                let _inner = tracer.span("inner");
+            }
+            let _sibling = tracer.span("sibling");
+        }
+        let spans = tracer.closed_spans();
+        assert_eq!(spans.len(), 3);
+        // Closed in order: inner, sibling, outer.
+        let inner = &spans[0];
+        let sibling = &spans[1];
+        let outer = &spans[2];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(sibling.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+    }
+
+    #[test]
+    fn two_tracers_do_not_cross_parent() {
+        let a = Tracer::enabled();
+        let b = Tracer::enabled();
+        let _ga = a.span("a-root");
+        let gb = b.span("b-root");
+        drop(gb);
+        let b_spans = b.closed_spans();
+        assert_eq!(b_spans.len(), 1);
+        assert_eq!(b_spans[0].parent, None);
+    }
+
+    #[test]
+    fn noop_guard_records_nothing() {
+        let g = SpanGuard::noop();
+        assert!(!g.is_recording());
+        drop(g);
+    }
+}

@@ -1,0 +1,232 @@
+//! Plan provenance: the per-query [`QueryTrace`] record.
+//!
+//! One `QueryTrace` tells the story of a single query end to end: the
+//! lifecycle phases it went through (parse → plan → execute → feedback),
+//! what the planner explored and believed (subproblems, cardinality
+//! lookups, cost evaluations, hint set), what the executor measured
+//! (per-operator true cardinalities and work units), and which driver —
+//! if any — made the planning decision and how long that decision took.
+
+/// A timed lifecycle phase (parse/plan/execute/feedback).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase name.
+    pub name: String,
+    /// Wall time spent in the phase, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// One cardinality-source lookup made while planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardLookup {
+    /// Bitmask of the tables in the subproblem (`TableSet` raw bits).
+    pub tables: u64,
+    /// The estimate the planner received, in rows.
+    pub est_rows: f64,
+}
+
+/// What the planner did and believed for one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlannerTrace {
+    /// Join-enumeration algorithm used (`"dp"` or `"greedy"`).
+    pub algo: Option<String>,
+    /// Number of joint subproblems enumerated.
+    pub subproblems: u64,
+    /// Number of cost-model evaluations.
+    pub cost_evals: u64,
+    /// Name of the cardinality source consulted.
+    pub card_source: Option<String>,
+    /// Every cardinality lookup, in lookup order.
+    pub card_lookups: Vec<CardLookup>,
+    /// Human-readable rendering of the hint set in force.
+    pub hints: Option<String>,
+    /// Estimated cost of the chosen plan.
+    pub chosen_cost: Option<f64>,
+}
+
+impl PlannerTrace {
+    /// The estimate recorded for a table set, if one was looked up.
+    pub fn estimate_for(&self, tables: u64) -> Option<f64> {
+        self.card_lookups
+            .iter()
+            .rev()
+            .find(|l| l.tables == tables)
+            .map(|l| l.est_rows)
+    }
+}
+
+/// One operator finishing during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorEvent {
+    /// Operator label (`"HashJoin"`, `"Scan"`, ...).
+    pub op: String,
+    /// Bitmask of the tables this operator's output covers.
+    pub tables: u64,
+    /// True output cardinality, in rows.
+    pub true_rows: u64,
+    /// Planner's estimate for the same table set, if it made one.
+    pub est_rows: Option<f64>,
+    /// Work units charged to this operator.
+    pub work: f64,
+}
+
+impl OperatorEvent {
+    /// Q-error of the estimate against the true cardinality
+    /// (`max(est/true, true/est)`, both floored at one row).
+    pub fn q_error(&self) -> Option<f64> {
+        let est = self.est_rows?.max(1.0);
+        let truth = (self.true_rows as f64).max(1.0);
+        Some((est / truth).max(truth / est))
+    }
+}
+
+/// What the executor measured for one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecTrace {
+    /// Operator completions, in completion (bottom-up) order.
+    pub operators: Vec<OperatorEvent>,
+    /// Whether execution hit its work-unit budget and was cut off.
+    pub timeout: bool,
+}
+
+/// Final result facts, recorded when the query finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Result cardinality.
+    pub count: u64,
+    /// Total work units spent.
+    pub work: f64,
+    /// End-to-end wall time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// The full per-query observability record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// The query text (or a stable name for generated workloads).
+    pub query: String,
+    /// Name of the driver that made the planning decision, if any.
+    pub driver: Option<String>,
+    /// Wall time the driver spent deciding, nanoseconds.
+    pub decision_ns: Option<u64>,
+    /// Lifecycle phases, in completion order.
+    pub phases: Vec<PhaseTiming>,
+    /// Planner provenance.
+    pub planner: PlannerTrace,
+    /// Executor measurements.
+    pub exec: ExecTrace,
+    /// Final outcome, if the query ran to an answer.
+    pub outcome: Option<QueryOutcome>,
+}
+
+impl QueryTrace {
+    /// A fresh, empty trace for `query`.
+    pub fn new(query: &str) -> QueryTrace {
+        QueryTrace {
+            query: query.to_string(),
+            driver: None,
+            decision_ns: None,
+            phases: Vec::new(),
+            planner: PlannerTrace::default(),
+            exec: ExecTrace::default(),
+            outcome: None,
+        }
+    }
+
+    /// Append a finished phase.
+    pub fn record_phase(&mut self, name: &str, elapsed_ns: u64) {
+        self.phases.push(PhaseTiming {
+            name: name.to_string(),
+            elapsed_ns,
+        });
+    }
+
+    /// Total nanoseconds across recorded phases.
+    pub fn total_phase_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.elapsed_ns).sum()
+    }
+
+    /// Fill in `est_rows` on every operator event from the planner's
+    /// recorded cardinality lookups (matched by table set). Call once
+    /// both sides are complete — typically at `end_query` time.
+    pub fn join_estimates(&mut self) {
+        for op in &mut self.exec.operators {
+            if op.est_rows.is_none() {
+                op.est_rows = self.planner.estimate_for(op.tables);
+            }
+        }
+    }
+
+    /// Largest operator q-error in the trace, if any estimate exists.
+    pub fn max_q_error(&self) -> Option<f64> {
+        self.exec
+            .operators
+            .iter()
+            .filter_map(OperatorEvent::q_error)
+            .fold(None, |acc, q| Some(acc.map_or(q, |a: f64| a.max(q))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_estimates_matches_by_table_set() {
+        let mut t = QueryTrace::new("q");
+        t.planner.card_lookups.push(CardLookup {
+            tables: 0b011,
+            est_rows: 50.0,
+        });
+        t.planner.card_lookups.push(CardLookup {
+            tables: 0b111,
+            est_rows: 10.0,
+        });
+        t.exec.operators.push(OperatorEvent {
+            op: "HashJoin".into(),
+            tables: 0b011,
+            true_rows: 100,
+            est_rows: None,
+            work: 1.0,
+        });
+        t.exec.operators.push(OperatorEvent {
+            op: "HashJoin".into(),
+            tables: 0b111,
+            true_rows: 10,
+            est_rows: None,
+            work: 1.0,
+        });
+        t.join_estimates();
+        assert_eq!(t.exec.operators[0].est_rows, Some(50.0));
+        assert_eq!(t.exec.operators[0].q_error(), Some(2.0));
+        assert_eq!(t.exec.operators[1].q_error(), Some(1.0));
+        assert_eq!(t.max_q_error(), Some(2.0));
+    }
+
+    #[test]
+    fn q_error_floors_at_one_row() {
+        let op = OperatorEvent {
+            op: "Scan".into(),
+            tables: 1,
+            true_rows: 0,
+            est_rows: Some(0.25),
+            work: 0.0,
+        };
+        assert_eq!(op.q_error(), Some(1.0));
+    }
+
+    #[test]
+    fn later_lookup_wins() {
+        let mut p = PlannerTrace::default();
+        p.card_lookups.push(CardLookup {
+            tables: 1,
+            est_rows: 5.0,
+        });
+        p.card_lookups.push(CardLookup {
+            tables: 1,
+            est_rows: 9.0,
+        });
+        assert_eq!(p.estimate_for(1), Some(9.0));
+        assert_eq!(p.estimate_for(2), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! Behavioral tests for lqo-obs: histogram bucket boundaries, nested and
+//! concurrent span correctness, JSONL trace round-trips, and the
+//! disabled-context no-op guarantees.
+
+use lqo_obs::export::{parse_jsonl, write_jsonl};
+use lqo_obs::metrics::{Histogram, HIST_BUCKETS, HIST_MAX_EXP, HIST_MIN_EXP};
+use lqo_obs::span::Tracer;
+use lqo_obs::trace::{CardLookup, OperatorEvent, QueryOutcome, QueryTrace};
+use lqo_obs::ObsContext;
+use std::sync::Arc;
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper() {
+    // Bucket i (1-based over exponents) covers (2^(e-1), 2^e].
+    for e in [-3, 0, 1, 10, 40] {
+        let bound = (2.0f64).powi(e);
+        let at = Histogram::bucket_index(bound);
+        let above = Histogram::bucket_index(bound * (1.0 + 1e-12));
+        let below = Histogram::bucket_index(bound * (1.0 - 1e-12));
+        assert_eq!(
+            at,
+            (e - HIST_MIN_EXP) as usize + 1,
+            "2^{e} must land in its own bucket"
+        );
+        assert_eq!(above, at + 1, "just above 2^{e} goes to the next bucket");
+        assert_eq!(below, at, "just below 2^{e} stays in 2^{e}'s bucket");
+    }
+}
+
+#[test]
+fn histogram_extreme_values() {
+    // Zero, negatives, and NaN go to the underflow bucket.
+    assert_eq!(Histogram::bucket_index(0.0), 0);
+    assert_eq!(Histogram::bucket_index(-5.0), 0);
+    assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+    // Positive values below the smallest boundary collapse into the
+    // first finite bucket.
+    assert_eq!(Histogram::bucket_index(f64::MIN_POSITIVE), 1);
+    // Values beyond 2^MAX_EXP overflow.
+    let over = (2.0f64).powi(HIST_MAX_EXP) * 2.0;
+    assert_eq!(Histogram::bucket_index(over), HIST_BUCKETS - 1);
+    assert_eq!(Histogram::bucket_index(f64::INFINITY), HIST_BUCKETS - 1);
+    // Recording non-finite values must not poison the totals.
+    let mut h = Histogram::new();
+    h.record(f64::INFINITY);
+    h.record(f64::NAN);
+    h.record(8.0);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.sum(), 8.0);
+    assert_eq!(h.min(), Some(8.0));
+    assert_eq!(h.max(), Some(8.0));
+}
+
+#[test]
+fn histogram_bucket_upper_bound_inverts_index() {
+    for (value, expect_upper) in [(3.0, 4.0), (4.0, 4.0), (4.0001, 8.0), (0.75, 1.0)] {
+        let i = Histogram::bucket_index(value);
+        assert_eq!(
+            Histogram::bucket_upper_bound(i),
+            expect_upper,
+            "value {value}"
+        );
+        assert!(value <= Histogram::bucket_upper_bound(i));
+    }
+    assert_eq!(Histogram::bucket_upper_bound(0), 0.0);
+    assert_eq!(
+        Histogram::bucket_upper_bound(HIST_BUCKETS - 1),
+        f64::INFINITY
+    );
+}
+
+#[test]
+fn nested_spans_record_parent_chain() {
+    let tracer = Tracer::enabled();
+    {
+        let _a = tracer.span("a");
+        {
+            let _b = tracer.span("b");
+            let _c = tracer.span("c");
+        }
+    }
+    let spans = tracer.closed_spans();
+    assert_eq!(spans.len(), 3);
+    let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+    let (a, b, c) = (by_name("a"), by_name("b"), by_name("c"));
+    assert_eq!(a.parent, None);
+    assert_eq!(b.parent, Some(a.id));
+    assert_eq!(c.parent, Some(b.id));
+    assert!(a.start_ns <= b.start_ns && b.start_ns <= c.start_ns);
+    assert!(c.end_ns <= a.end_ns);
+}
+
+#[test]
+fn concurrent_spans_stay_per_thread() {
+    let tracer = Tracer::enabled();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let tracer = tracer.clone();
+            std::thread::spawn(move || {
+                let _outer = tracer.span(&format!("outer-{i}"));
+                for j in 0..50 {
+                    let _inner = tracer.span(&format!("inner-{i}-{j}"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let spans = tracer.closed_spans();
+    assert_eq!(spans.len(), 8 * 51);
+    // Every inner span's parent must be the outer span of ITS thread,
+    // never one from another thread.
+    for i in 0..8 {
+        let outer = spans
+            .iter()
+            .find(|s| s.name == format!("outer-{i}"))
+            .unwrap();
+        assert_eq!(outer.parent, None);
+        for s in spans
+            .iter()
+            .filter(|s| s.name.starts_with(&format!("inner-{i}-")))
+        {
+            assert_eq!(s.parent, Some(outer.id), "span {} cross-parented", s.name);
+        }
+    }
+}
+
+#[test]
+fn jsonl_round_trip_many_traces() {
+    let mut traces = Vec::new();
+    for i in 0..10 {
+        let mut t = QueryTrace::new(&format!("SELECT {i} FROM \"weird\ntable\""));
+        t.driver = (i % 2 == 0).then(|| format!("driver-{i}"));
+        t.decision_ns = Some(i * 1000);
+        t.record_phase("parse", i);
+        t.record_phase("plan", i * 7);
+        t.planner.algo = Some(if i % 2 == 0 { "dp" } else { "greedy" }.into());
+        t.planner.subproblems = i * i;
+        t.planner.cost_evals = i + 1;
+        t.planner.card_source = Some("injected".into());
+        t.planner.chosen_cost = Some(i as f64 * 0.5);
+        t.planner.card_lookups.push(CardLookup {
+            tables: 1 << i,
+            est_rows: i as f64 + 0.25,
+        });
+        t.exec.operators.push(OperatorEvent {
+            op: "MergeJoin".into(),
+            tables: 1 << i,
+            true_rows: i * 11,
+            est_rows: (i > 4).then_some(3.5),
+            work: i as f64 * 2.0,
+        });
+        t.exec.timeout = i == 9;
+        t.outcome = (i != 3).then(|| QueryOutcome {
+            count: i,
+            work: i as f64,
+            wall_ns: i * 999,
+        });
+        traces.push(t);
+    }
+    let text = write_jsonl(&traces);
+    assert_eq!(text.lines().count(), traces.len());
+    assert_eq!(parse_jsonl(&text).expect("round trip"), traces);
+}
+
+#[test]
+fn disabled_context_records_nothing_and_costs_no_allocation() {
+    let obs = ObsContext::disabled();
+    // A disabled context is a None — clones stay inert.
+    let clone = obs.clone();
+    assert!(!clone.is_enabled());
+    // All write paths are no-ops.
+    clone.begin_query("q");
+    clone.count("lqo.x", 1);
+    clone.gauge("lqo.g", 1.0);
+    clone.observe("lqo.h", 1.0);
+    let span = clone.span("s");
+    assert!(!span.is_recording());
+    drop(span);
+    let mut ran = false;
+    let out = clone.phase("plan", || {
+        ran = true;
+        7
+    });
+    assert!(ran, "phase must still run the closure");
+    assert_eq!(out, 7);
+    clone.with_query(|_| panic!("must not be called when disabled"));
+    assert!(clone.end_query().is_none());
+    assert!(clone.finished_traces().is_empty());
+}
+
+#[test]
+fn enabled_context_is_shareable_across_threads() {
+    let obs = Arc::new(ObsContext::enabled());
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    obs.count("lqo.threads.ops", 1);
+                    obs.observe("lqo.threads.latency", i as f64 + 1.0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = obs.metrics().unwrap().snapshot();
+    assert_eq!(snap.counter("lqo.threads.ops"), Some(400));
+    assert_eq!(snap.histogram("lqo.threads.latency").unwrap().count(), 400);
+}

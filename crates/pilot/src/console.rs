@@ -3,16 +3,19 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lqo_engine::query::parse_query;
 use lqo_engine::{EngineError, Result};
+use lqo_obs::trace::QueryOutcome;
+use lqo_obs::ObsContext;
+use serde::Serialize;
 
 use crate::driver::{Driver, DriverDecision, ExecFeedback};
 use crate::interactor::{DbInteractor, PullReply, PullRequest, SessionId};
 
 /// Result of executing SQL through the console.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ExecOutcome {
     /// Count-star result.
     pub count: u64,
@@ -22,6 +25,9 @@ pub struct ExecOutcome {
     pub wall: Duration,
     /// Which driver steered the query (`None` = plain database).
     pub driver: Option<String>,
+    /// Time the driver spent deciding how to steer this query (`None`
+    /// when no driver was active).
+    pub decision: Option<Duration>,
 }
 
 /// The console operating the middleware.
@@ -31,6 +37,7 @@ pub struct PilotConsole {
     active: Option<String>,
     session: SessionId,
     executed: usize,
+    obs: ObsContext,
 }
 
 impl PilotConsole {
@@ -43,7 +50,22 @@ impl PilotConsole {
             active: None,
             session,
             executed: 0,
+            obs: ObsContext::disabled(),
         }
+    }
+
+    /// Attach an observability context: each `execute_sql` call becomes
+    /// one query trace (parse/plan/execute/feedback phases, driver
+    /// attribution, planner and operator provenance), and the context is
+    /// propagated down to the interactor's optimizer and executor.
+    pub fn with_obs(self, obs: ObsContext) -> PilotConsole {
+        self.interactor.attach_obs(&obs);
+        PilotConsole { obs, ..self }
+    }
+
+    /// The console's observability context.
+    pub fn obs(&self) -> &ObsContext {
+        &self.obs
     }
 
     /// Register a driver under its own name, calling its `init`.
@@ -77,25 +99,51 @@ impl PilotConsole {
     /// Execute a SQL string. The active driver (if any) steers planning;
     /// execution feedback is delivered back to it for training.
     pub fn execute_sql(&mut self, sql: &str) -> Result<ExecOutcome> {
-        let query = parse_query(sql)?;
+        self.obs.begin_query(sql);
+        let query = self.obs.phase("parse", || parse_query(sql))?;
+        let mut decision_latency = None;
         let decision = match &self.active {
             Some(name) => {
                 let driver = self.drivers.get_mut(name).expect("active driver exists");
-                driver.algo(self.interactor.as_ref(), self.session, &query)?
+                let start = Instant::now();
+                let decision = driver.algo(self.interactor.as_ref(), self.session, &query)?;
+                decision_latency = Some(start.elapsed());
+                decision
             }
             None => DriverDecision::Delegate,
         };
+        if self.obs.is_enabled() {
+            let driver = self.active.clone();
+            let decision_ns = decision_latency.map(|d| d.as_nanos() as u64);
+            self.obs.with_query(|t| {
+                t.driver = driver;
+                t.decision_ns = decision_ns;
+            });
+            if let Some(ns) = decision_ns {
+                self.obs.observe("lqo.pilot.decision_ns", ns as f64);
+            }
+        }
         let request = match decision {
             DriverDecision::Plan(plan) => PullRequest::ExecutePlan(query.clone(), plan),
             DriverDecision::Delegate => PullRequest::Execute(query.clone()),
         };
+        let reply = self
+            .obs
+            .phase("execute", || self.interactor.pull(self.session, request));
         let PullReply::Execution {
             count,
             work,
             wall,
             plan,
-        } = self.interactor.pull(self.session, request)?
+        } = (match reply {
+            Ok(r) => r,
+            Err(e) => {
+                self.obs.end_query();
+                return Err(e);
+            }
+        })
         else {
+            self.obs.end_query();
             return Err(EngineError::InvalidPlan("expected execution reply".into()));
         };
         self.executed += 1;
@@ -107,16 +155,31 @@ impl PilotConsole {
                 work,
                 wall,
             };
-            self.drivers
-                .get_mut(name)
-                .expect("active driver exists")
-                .collect(&feedback);
+            self.obs.phase("feedback", || {
+                self.drivers
+                    .get_mut(name)
+                    .expect("active driver exists")
+                    .collect(&feedback)
+            });
+        }
+        if self.obs.is_enabled() {
+            self.obs.count("lqo.pilot.queries", 1);
+            self.obs.with_query(|t| {
+                t.outcome = Some(QueryOutcome {
+                    count,
+                    work,
+                    wall_ns: wall.as_nanos() as u64,
+                });
+                t.join_estimates();
+            });
+            self.obs.end_query();
         }
         Ok(ExecOutcome {
             count,
             work,
             wall,
             driver: self.active.clone(),
+            decision: decision_latency,
         })
     }
 

@@ -14,6 +14,7 @@ use lqo_engine::{
     Catalog, EngineError, ExecConfig, Executor, HintSet, Optimizer, Result, TraditionalCardSource,
     TrueCardOracle,
 };
+use lqo_obs::ObsContext;
 
 use crate::interactor::{DbInteractor, PullReply, PullRequest, PushAction, SessionId};
 
@@ -30,6 +31,7 @@ pub struct EngineInteractor {
     oracle: Arc<TrueCardOracle>,
     sessions: Mutex<HashMap<SessionId, SessionState>>,
     next_session: AtomicU64,
+    obs: Mutex<ObsContext>,
     /// Work budget per execution (timeout stand-in).
     pub max_work: Option<f64>,
 }
@@ -47,8 +49,13 @@ impl EngineInteractor {
             oracle,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
+            obs: Mutex::new(ObsContext::disabled()),
             max_work: Some(1e10),
         }
+    }
+
+    fn obs(&self) -> ObsContext {
+        self.obs.lock().clone()
     }
 
     /// The underlying catalog (the console needs it for parsing checks).
@@ -121,7 +128,7 @@ impl DbInteractor for EngineInteractor {
             PullRequest::Plan(query) => {
                 query.validate(&self.catalog)?;
                 let (card, hints) = self.session_card(session)?;
-                let optimizer = Optimizer::with_defaults(&self.catalog);
+                let optimizer = Optimizer::with_defaults(&self.catalog).with_obs(self.obs());
                 let choice = optimizer.optimize(&query, card.as_ref(), &hints)?;
                 Ok(PullReply::Plan {
                     plan: choice.plan,
@@ -131,8 +138,10 @@ impl DbInteractor for EngineInteractor {
             PullRequest::Execute(query) => {
                 query.validate(&self.catalog)?;
                 let (card, hints) = self.session_card(session)?;
-                let optimizer = Optimizer::with_defaults(&self.catalog);
-                let choice = optimizer.optimize(&query, card.as_ref(), &hints)?;
+                let obs = self.obs();
+                let optimizer = Optimizer::with_defaults(&self.catalog).with_obs(obs.clone());
+                let choice =
+                    obs.phase("plan", || optimizer.optimize(&query, card.as_ref(), &hints))?;
                 self.pull(session, PullRequest::ExecutePlan(query, choice.plan))
             }
             PullRequest::ExecutePlan(query, plan) => {
@@ -142,7 +151,8 @@ impl DbInteractor for EngineInteractor {
                         max_work: self.max_work,
                         ..Default::default()
                     },
-                );
+                )
+                .with_obs(self.obs());
                 let result = executor.execute(&query, &plan)?;
                 Ok(PullReply::Execution {
                     count: result.count,
@@ -160,6 +170,10 @@ impl DbInteractor for EngineInteractor {
                 Ok(PullReply::Scalar(card as f64))
             }
         }
+    }
+
+    fn attach_obs(&self, obs: &ObsContext) {
+        *self.obs.lock() = obs.clone();
     }
 }
 

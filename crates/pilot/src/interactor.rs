@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use lqo_engine::{HintSet, PhysNode, Result, SpjQuery, TableSet};
+use lqo_obs::ObsContext;
 
 /// Identifier of one interaction session (one "database connection").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -86,4 +87,9 @@ pub trait DbInteractor: Send + Sync {
 
     /// Acquire data.
     fn pull(&self, session: SessionId, request: PullRequest) -> Result<PullReply>;
+
+    /// Attach an observability context: subsequent planning and execution
+    /// report provenance and metrics to it. Default: ignored, so
+    /// interactors without instrumentation keep working unchanged.
+    fn attach_obs(&self, _obs: &ObsContext) {}
 }

@@ -52,7 +52,10 @@ fn main() {
     let train = label_workload(&oracle, &train_q, 1).unwrap();
     let model = GbdtQdEstimator::fit(&ctx, &train);
     println!("trained GBDT on {} labeled queries", train.len());
-    println!("in-distribution median q-error: {:.2}\n", median(&model, &train));
+    println!(
+        "in-distribution median q-error: {:.2}\n",
+        median(&model, &train)
+    );
 
     // Baseline the drift detector, then drift the data hard: append 60%
     // new rows with no skew and no correlation.
@@ -88,7 +91,10 @@ fn main() {
         },
     );
     let eval = label_workload(&drift_oracle, &eval_q, 1).unwrap();
-    println!("\nstale model on drifted data:   median q-error {:.2}", median(&model, &eval));
+    println!(
+        "\nstale model on drifted data:   median q-error {:.2}",
+        median(&model, &eval)
+    );
 
     // Warper: generate an update set over the drifted table and refit.
     let update = warper_update_set(&drifted, &drift_oracle, &["t".into()], 60, 5).unwrap();
@@ -99,5 +105,8 @@ fn main() {
         stats: Arc::new(CatalogStats::build_default(&drifted)),
     };
     let updated = GbdtQdEstimator::fit(&drift_ctx, &augmented);
-    println!("after Warper update:           median q-error {:.2}", median(&updated, &eval));
+    println!(
+        "after Warper update:           median q-error {:.2}",
+        median(&updated, &eval)
+    );
 }

@@ -106,16 +106,8 @@ fn uncertainty_grows_off_distribution() {
     let (ctx, train, _) = setup();
     // Train only on 2-table sub-queries; 3-table joins are then
     // off-distribution and should carry larger ensemble disagreement.
-    let small: Vec<LabeledSubquery> = train
-        .iter()
-        .filter(|l| l.set.len() <= 2)
-        .cloned()
-        .collect();
-    let big: Vec<LabeledSubquery> = train
-        .iter()
-        .filter(|l| l.set.len() >= 3)
-        .cloned()
-        .collect();
+    let small: Vec<LabeledSubquery> = train.iter().filter(|l| l.set.len() <= 2).cloned().collect();
+    let big: Vec<LabeledSubquery> = train.iter().filter(|l| l.set.len() >= 3).cloned().collect();
     if big.is_empty() {
         return; // workload happened to have no 3-way joins; nothing to test
     }

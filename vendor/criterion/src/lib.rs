@@ -1,0 +1,155 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Supports the subset of the criterion API the workspace benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `bench_function` + `finish`), [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's adaptive sampling, each benchmark runs a fixed
+//! small budget (1 warmup + `CRITERION_STUB_ITERS` timed iterations,
+//! default 20) and prints the mean wall time per iteration. When the
+//! binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets) each closure runs exactly once, so
+//! test runs stay fast.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Runs one benchmark body repeatedly.
+pub struct Bencher {
+    iters: u64,
+    /// Total time spent in timed iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it once for warmup and `iters` times measured.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let iters = if test_mode {
+            1
+        } else {
+            std::env::var("CRITERION_STUB_ITERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(20)
+        };
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(id, self.iters, b.elapsed);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks; ids are prefixed with the group name.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark inside this group.
+    pub fn bench_function<D: Display, F: FnMut(&mut Bencher)>(&mut self, id: D, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, iters: u64, elapsed: Duration) {
+    let per_iter = if iters > 0 {
+        elapsed.as_secs_f64() / iters as f64
+    } else {
+        0.0
+    };
+    println!(
+        "bench {id:<40} {:>12.3} us/iter ({iters} iters)",
+        per_iter * 1e6
+    );
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { iters: 3 };
+        let mut calls = 0u32;
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        // 1 warmup + 3 timed iterations.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion { iters: 1 };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("x", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline vendored stand-in for the `rand_distr` crate: the
+//! [`Distribution`] trait plus the two distributions the workspace's data
+//! generators use — [`Normal`] (Box–Muller) and [`Zipf`] (rejection
+//! sampling, matching `rand_distr::Zipf`'s 1-based support).
+
+use rand::{RngCore, Standard};
+
+/// A sampleable distribution over `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Gaussian distribution with given mean and standard deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Construct; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(ParamError("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one fresh pair per sample keeps the type stateless.
+        let u1: f64 = <f64 as Standard>::draw(rng).max(f64::MIN_POSITIVE);
+        let u2: f64 = <f64 as Standard>::draw(rng);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std_dev * r * theta.cos()
+    }
+}
+
+/// Zipf distribution over `{1, 2, ..., n}` with exponent `s`, matching the
+/// support convention of `rand_distr::Zipf`.
+///
+/// Samples by inverse CDF over a precomputed cumulative mass table —
+/// O(n) once at construction, O(log n) per sample, exactly distributed.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative masses; `cdf[k-1]` = P(X <= k), `cdf[n-1]` = 1.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Construct over `{1..=n}` with exponent `s >= 0`.
+    pub fn new(n: u64, s: f64) -> Result<Zipf, ParamError> {
+        if n == 0 {
+            return Err(ParamError("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError("Zipf requires finite s >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = <f64 as Standard>::draw(rng);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_support_and_skew() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Zipf::new(100, 1.1).unwrap();
+        let mut counts = [0usize; 101];
+        for _ in 0..20_000 {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&k), "k = {k}");
+            counts[k as usize] += 1;
+        }
+        // Head heavier than tail, markedly.
+        assert!(
+            counts[1] > 10 * counts[50].max(1),
+            "counts1={} counts50={}",
+            counts[1],
+            counts[50]
+        );
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Zipf::new(10, 0.0).unwrap();
+        let mut counts = [0usize; 11];
+        for _ in 0..20_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts[1..] {
+            assert!((1_400..2_600).contains(&c), "counts = {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serialization substrate with the same *spelling* as serde at
+//! every call site it uses: `#[derive(Serialize, Deserialize)]`,
+//! `use serde::{Serialize, Deserialize}`, and
+//! `serde_json::to_string_pretty(&value)`.
+//!
+//! Instead of serde's visitor architecture, [`Serialize`] maps a value
+//! directly to an owned JSON tree ([`json::Value`]) and [`Deserialize`]
+//! maps back. The derive macros (re-exported from `serde_derive`) generate
+//! both impls for plain structs and enums, using serde's externally-tagged
+//! enum encoding so the output looks like what upstream serde_json would
+//! produce.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::Value;
+
+/// A value that can be converted to a JSON tree.
+pub trait Serialize {
+    /// Convert to a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// A value that can be reconstructed from a JSON tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a JSON value; `None` on shape mismatch.
+    fn from_json_value(v: &Value) -> Option<Self>;
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Option<$t> {
+                match v {
+                    Value::Int(i) => Some(*i as $t),
+                    Value::Float(f) if f.fract() == 0.0 => Some(*f as $t),
+                    _ => None,
+                }
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Option<$t> {
+                match v {
+                    Value::Float(f) => Some(*f as $t),
+                    Value::Int(i) => Some(*i as $t),
+                    _ => None,
+                }
+            }
+        }
+    )*};
+}
+
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Option<bool> {
+        match v {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Option<String> {
+        match v {
+            Value::String(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Option<Vec<T>> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::from_json_value).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Option<Option<T>> {
+        match v {
+            Value::Null => Some(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json_value(v: &Value) -> Option<(A, B)> {
+        match v {
+            Value::Array(xs) if xs.len() == 2 => {
+                Some((A::from_json_value(&xs[0])?, B::from_json_value(&xs[1])?))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Option<Value> {
+        Some(v.clone())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_json_value(&self) -> Value {
+        // Matches serde's default {secs, nanos} encoding for Duration.
+        Value::Object(vec![
+            ("secs".to_string(), Value::Int(self.as_secs() as i64)),
+            ("nanos".to_string(), Value::Int(self.subsec_nanos() as i64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_json_value(v: &Value) -> Option<std::time::Duration> {
+        match v {
+            Value::Object(fields) => {
+                let get = |name: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .and_then(|(_, v)| u64::from_json_value(v))
+                };
+                Some(std::time::Duration::new(get("secs")?, get("nanos")? as u32))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(42i64.to_json_value(), Value::Int(42));
+        assert_eq!(i64::from_json_value(&Value::Int(42)), Some(42));
+        assert_eq!(Option::<i64>::from_json_value(&Value::Null), Some(None));
+        assert_eq!(
+            Vec::<u32>::from_json_value(&vec![1u32, 2, 3].to_json_value()),
+            Some(vec![1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let d = std::time::Duration::new(3, 500);
+        assert_eq!(
+            std::time::Duration::from_json_value(&d.to_json_value()),
+            Some(d)
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; the type definition is parsed directly from the
+//! `proc_macro::TokenStream` and the impls are emitted as formatted source
+//! strings. Supports the shapes this workspace derives on: plain structs
+//! (named, tuple/newtype, unit) and enums (unit, tuple, and struct
+//! variants) without generic parameters, encoded the way upstream
+//! serde_json encodes them (externally-tagged enums, transparent
+//! newtypes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_type(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic type `{name}`");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        k => panic!("cannot derive for `{k}`"),
+    };
+    (name, shape)
+}
+
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next(); // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, tracking angle-bracket depth so
+/// commas inside `HashMap<String, f64>` do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("expected field name, found {tt:?}");
+        };
+        fields.push(field.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+    }
+    fields
+}
+
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle: i32 = 0;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut iter);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("expected variant name, found {tt:?}");
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = VariantShape::Tuple(count_tuple_fields(g.stream()));
+                iter.next();
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = VariantShape::Named(parse_named_fields(g.stream()));
+                iter.next();
+                s
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a possible `= discriminant` and the trailing comma.
+        skip_type_until_comma(&mut iter);
+        variants.push((name.to_string(), shape));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+const V: &str = "::serde::json::Value";
+
+fn ser_named(fields: &[String], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_json_value(&{access}{f}))"))
+        .collect();
+    format!("{V}::Object(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => ser_named(fields, "self."),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("{V}::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => format!("{V}::Null"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, vshape)| match vshape {
+                    VariantShape::Unit => format!(
+                        "{name}::{vname} => {V}::String({vname:?}.to_string()),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("{V}::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => {V}::Object(vec![({vname:?}.to_string(), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let inner = ser_named(fields, "*");
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => {V}::Object(vec![({vname:?}.to_string(), {inner})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> {V} {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_named(ty_path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_json_value({src}.iter().find(|(k, _)| k == {f:?}).map(|(_, v)| v)?)?"
+            )
+        })
+        .collect();
+    format!("{ty_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let build = de_named(name, fields, "__fields");
+            format!(
+                "if let {V}::Object(__fields) = __v {{\n\
+                     return ::core::option::Option::Some({build});\n\
+                 }}\n\
+                 ::core::option::Option::None"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::core::option::Option::Some({name}(::serde::Deserialize::from_json_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&__xs[{i}])?"))
+                .collect();
+            format!(
+                "if let {V}::Array(__xs) = __v {{\n\
+                     if __xs.len() == {n} {{\n\
+                         return ::core::option::Option::Some({name}({}));\n\
+                     }}\n\
+                 }}\n\
+                 ::core::option::Option::None",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::core::option::Option::Some({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => unit_arms.push(format!(
+                        "{vname:?} => return ::core::option::Option::Some({name}::{vname}),"
+                    )),
+                    VariantShape::Tuple(1) => tagged_arms.push(format!(
+                        "{vname:?} => return ::core::option::Option::Some({name}::{vname}(::serde::Deserialize::from_json_value(__inner)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&__xs[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vname:?} => {{\n\
+                                 if let {V}::Array(__xs) = __inner {{\n\
+                                     if __xs.len() == {n} {{\n\
+                                         return ::core::option::Option::Some({name}::{vname}({}));\n\
+                                     }}\n\
+                                 }}\n\
+                             }}",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let build = de_named(&format!("{name}::{vname}"), fields, "__fields");
+                        tagged_arms.push(format!(
+                            "{vname:?} => {{\n\
+                                 if let {V}::Object(__fields) = __inner {{\n\
+                                     return ::core::option::Option::Some({build});\n\
+                                 }}\n\
+                             }}"
+                        ));
+                    }
+                }
+            }
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let {V}::String(__s) = __v {{\n\
+                         match __s.as_str() {{ {} _ => {{}} }}\n\
+                     }}",
+                    unit_arms.join("\n")
+                )
+            };
+            let tagged_match = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let {V}::Object(__fields) = __v {{\n\
+                         if __fields.len() == 1 {{\n\
+                             let (__tag, __inner) = &__fields[0];\n\
+                             match __tag.as_str() {{ {} _ => {{}} }}\n\
+                         }}\n\
+                     }}",
+                    tagged_arms.join("\n")
+                )
+            };
+            format!("{unit_match}\n{tagged_match}\n::core::option::Option::None")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             #[allow(unused_variables, clippy::question_mark)]\n\
+             fn from_json_value(__v: &{V}) -> ::core::option::Option<Self> {{ {body} }}\n\
+         }}"
+    )
+}
