@@ -1,0 +1,299 @@
+//! **E9 — chaos: robustness of the guarded optimizer under fault
+//! injection.** The survey's deployability argument (and PilotScope's
+//! reason to exist) is that a misbehaving learned component must degrade,
+//! never crash. This experiment injects deterministic faults (panics,
+//! NaN/∞/negative estimates, stalls, wrong-by-10^k estimates) into the
+//! learned rungs of a [`GuardedCardSource`] degradation ladder at a sweep
+//! of fault rates, runs an E1-style single-table workload plus a join
+//! workload end to end, and reports the fallback rate, breaker activity,
+//! and the p50/p99 latency the guard adds per query — while asserting the
+//! two invariants the guard exists for: zero aborts, and byte-identical
+//! query results versus the fault-free run (plans may differ; answers may
+//! not).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lqo_card::estimator::{EstimatorCardSource, FitContext};
+use lqo_card::registry::{build_estimator, EstimatorKind};
+use lqo_engine::datagen::stats_like;
+use lqo_engine::optimizer::CardSource;
+use lqo_engine::{Executor, Optimizer, SpjQuery, TraditionalCardSource, TrueCardOracle};
+use lqo_guard::{
+    FaultConfig, FaultKind, FaultPlan, FaultyCardSource, GuardConfig, GuardedCardSource,
+};
+use lqo_obs::ObsContext;
+
+use crate::report::TextTable;
+use crate::workload::{generate_single_table_workload, generate_workload, WorkloadConfig};
+
+/// One cell of the sweep: a fault rate crossed with a set of fault kinds.
+#[derive(Debug, Clone)]
+pub struct KindSet {
+    /// Label for the report.
+    pub name: &'static str,
+    /// The kinds injected in this cell.
+    pub kinds: Vec<FaultKind>,
+}
+
+/// E9 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `stats_like` scale.
+    pub scale: usize,
+    /// Single-table (E1-style) queries.
+    pub num_single: usize,
+    /// Join queries.
+    pub num_joins: usize,
+    /// Fault rates to sweep.
+    pub rates: Vec<f64>,
+    /// Fault-kind sets to sweep.
+    pub kind_sets: Vec<KindSet>,
+    /// Stall duration for [`FaultKind::Stall`], in microseconds.
+    pub stall_us: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let f = crate::report::scale_factor();
+        Config {
+            scale: (120.0 * f) as usize,
+            num_single: (20.0 * f) as usize,
+            num_joins: (20.0 * f) as usize,
+            rates: vec![0.05, 0.2, 0.5],
+            kind_sets: vec![
+                KindSet {
+                    name: "values",
+                    kinds: vec![
+                        FaultKind::Nan,
+                        FaultKind::Infinite,
+                        FaultKind::Negative,
+                        FaultKind::WrongBy(4),
+                        FaultKind::WrongBy(-4),
+                    ],
+                },
+                KindSet {
+                    name: "panic",
+                    kinds: vec![FaultKind::Panic],
+                },
+                KindSet {
+                    name: "stall",
+                    kinds: vec![FaultKind::Stall],
+                },
+                KindSet {
+                    name: "all",
+                    kinds: FaultKind::ALL.to_vec(),
+                },
+            ],
+            stall_us: 500,
+            seed: 0xE9,
+        }
+    }
+}
+
+/// Percentile of a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Run the workload through a guarded ladder whose learned rungs fault per
+/// `plan`; returns (per-query wall seconds, per-query counts, obs).
+fn run_cell(
+    catalog: &Arc<lqo_engine::Catalog>,
+    queries: &[SpjQuery],
+    learned: &Arc<dyn CardSource>,
+    hybrid: &Arc<dyn CardSource>,
+    native: &Arc<dyn CardSource>,
+    fault_cfg: Option<FaultConfig>,
+) -> (Vec<f64>, Vec<u64>, ObsContext, Arc<FaultPlan>) {
+    let obs = ObsContext::enabled();
+    let plan = Arc::new(FaultPlan::new(fault_cfg.unwrap_or_default()));
+    let learned_rung: Arc<dyn CardSource> =
+        Arc::new(FaultyCardSource::new(learned.clone(), plan.clone()));
+    let hybrid_rung: Arc<dyn CardSource> =
+        Arc::new(FaultyCardSource::new(hybrid.clone(), plan.clone()));
+    let guarded = GuardedCardSource::new("card", GuardConfig::default(), obs.clone())
+        .rung("learned", learned_rung)
+        .rung("hybrid", hybrid_rung)
+        .rung("native", native.clone());
+    let optimizer = Optimizer::with_defaults(catalog);
+    let executor = Executor::with_defaults(catalog);
+    let mut walls = Vec::with_capacity(queries.len());
+    let mut counts = Vec::with_capacity(queries.len());
+    for q in queries {
+        obs.begin_query(&q.to_string());
+        guarded.begin_query();
+        let start = Instant::now();
+        let choice = optimizer
+            .optimize_default(q, &guarded)
+            .expect("guarded planning never fails");
+        let result = executor
+            .execute(q, &choice.plan)
+            .expect("execution never fails");
+        walls.push(start.elapsed().as_secs_f64());
+        counts.push(result.count);
+        obs.end_query();
+    }
+    (walls, counts, obs, plan)
+}
+
+/// Run E9: sweep fault rates × kinds, asserting zero aborts and
+/// byte-identical results; returns the sweep table and the last cell's
+/// observability context (the densest one) for trace inspection.
+pub fn run_traced(cfg: &Config) -> (TextTable, ObsContext) {
+    let catalog = Arc::new(stats_like(cfg.scale.max(40), cfg.seed).unwrap());
+    let fit = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+
+    // E1-style single-table workload plus a join workload.
+    let mut queries = generate_single_table_workload(
+        &catalog,
+        "posts",
+        &WorkloadConfig {
+            num_queries: cfg.num_single.max(2),
+            seed: cfg.seed ^ 0x11,
+            ..Default::default()
+        },
+    );
+    queries.extend(generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.num_joins.max(2),
+            min_tables: 2,
+            max_tables: 4,
+            seed: cfg.seed ^ 0x22,
+            ..Default::default()
+        },
+    ));
+
+    // The ladder's rungs: a learned estimator, a hybrid-ish second
+    // opinion, and the trusted native histogram source.
+    let learned: Arc<dyn CardSource> = Arc::new(EstimatorCardSource::new(Arc::from(
+        build_estimator(EstimatorKind::Sampling, &fit, &oracle, &[]),
+    )));
+    let hybrid: Arc<dyn CardSource> = Arc::new(EstimatorCardSource::new(Arc::from(
+        build_estimator(EstimatorKind::Histogram, &fit, &oracle, &[]),
+    )));
+    let native: Arc<dyn CardSource> = Arc::new(TraditionalCardSource::new(
+        catalog.clone(),
+        fit.stats.clone(),
+    ));
+
+    // Fault-free reference run (still guarded, so the guard's own
+    // overhead is excluded from "added latency").
+    let (base_walls, base_counts, _, _) =
+        run_cell(&catalog, &queries, &learned, &hybrid, &native, None);
+
+    let mut table = TextTable::new(
+        "E9: chaos — guarded ladder under injected faults (zero aborts, identical results)",
+        &[
+            "rate",
+            "kinds",
+            "calls",
+            "faults",
+            "fallbacks",
+            "breaker-opens",
+            "p50-added",
+            "p99-added",
+            "results",
+        ],
+    );
+    let mut last_obs = ObsContext::disabled();
+    for rate in &cfg.rates {
+        for ks in &cfg.kind_sets {
+            let fault_cfg = FaultConfig {
+                seed: cfg.seed ^ ((*rate * 1e3) as u64) ^ ((ks.name.len() as u64) << 32),
+                rate: *rate,
+                kinds: ks.kinds.clone(),
+                stall: std::time::Duration::from_micros(cfg.stall_us),
+            };
+            let (walls, counts, obs, plan) = run_cell(
+                &catalog,
+                &queries,
+                &learned,
+                &hybrid,
+                &native,
+                Some(fault_cfg),
+            );
+            // The two invariants: no aborts (we got here), no wrong rows.
+            let mismatches = counts
+                .iter()
+                .zip(&base_counts)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(mismatches, 0, "fault injection changed query results");
+            let mut added: Vec<f64> = walls
+                .iter()
+                .zip(&base_walls)
+                .map(|(w, b)| (w - b).max(0.0) * 1e3)
+                .collect();
+            added.sort_by(f64::total_cmp);
+            let snap = obs.metrics().unwrap().snapshot();
+            let faults = snap.counter("lqo.guard.faults").unwrap_or(0);
+            let fallbacks = snap.counter("lqo.guard.fallbacks").unwrap_or(0);
+            let opens = snap.counter("lqo.guard.breaker_opens").unwrap_or(0);
+            table.row(vec![
+                format!("{rate:.2}"),
+                ks.name.to_string(),
+                plan.calls().to_string(),
+                faults.to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * fallbacks as f64 / plan.calls().max(1) as f64
+                ),
+                opens.to_string(),
+                format!("{:.2}ms", percentile(&added, 0.50)),
+                format!("{:.2}ms", percentile(&added, 0.99)),
+                "identical".to_string(),
+            ]);
+            last_obs = obs;
+        }
+    }
+    (table, last_obs)
+}
+
+/// Run E9 and return just the sweep table.
+pub fn run(cfg: &Config) -> TextTable {
+    run_traced(cfg).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_e9_survives_all_fault_kinds() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // injected panics are loud
+        let cfg = Config {
+            scale: 60,
+            num_single: 4,
+            num_joins: 4,
+            // One dense cell: at 50% across all kinds, non-stall faults
+            // land with near-certainty over the workload's ~50 calls.
+            rates: vec![0.5],
+            kind_sets: vec![KindSet {
+                name: "all",
+                kinds: FaultKind::ALL.to_vec(),
+            }],
+            stall_us: 50,
+            ..Default::default()
+        };
+        let (table, obs) = run_traced(&cfg);
+        std::panic::set_hook(prev);
+        assert_eq!(table.rows.len(), cfg.kind_sets.len());
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "identical");
+        }
+        // The densest cell ("all" kinds at 20%) recorded guard activity.
+        let snap = obs.metrics().unwrap().snapshot();
+        assert!(snap.counter("lqo.guard.faults").unwrap_or(0) > 0);
+        assert!(obs.finished_traces().iter().any(|t| !t.guard.is_empty()));
+    }
+}

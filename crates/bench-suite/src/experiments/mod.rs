@@ -10,4 +10,5 @@ pub mod e5_regression;
 pub mod e6_join_order;
 pub mod e7_cost_models;
 pub mod e8_pilotscope;
+pub mod e9_chaos;
 pub mod t1_taxonomy;

@@ -15,6 +15,7 @@
 //! | E6 | `exp_e6_join_order` | learned join-order search |
 //! | E7 | `exp_e7_cost_models` | learned cost models |
 //! | E8 | `exp_e8_pilotscope` | PilotScope overhead & drivers |
+//! | E9 | `exp_e9_chaos` | fault injection & guarded degradation |
 
 #![warn(missing_docs)]
 

@@ -155,18 +155,15 @@ impl AutoCeAdvisor {
                 (d, e)
             })
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut votes: HashMap<EstimatorKind, f64> = HashMap::new();
         for (d, e) in dists.into_iter().take(k.max(1)) {
-            let best = e
-                .scores
-                .iter()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+            let best = e.scores.iter().min_by(|a, b| a.1.total_cmp(b.1))?;
             *votes.entry(*best.0).or_insert(0.0) += 1.0 / (d + 1e-6);
         }
         votes
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(k, _)| k)
     }
 }

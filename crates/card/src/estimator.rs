@@ -140,7 +140,15 @@ impl EstimatorCardSource {
 
 impl CardSource for EstimatorCardSource {
     fn cardinality(&self, query: &SpjQuery, set: TableSet) -> f64 {
-        self.inner.estimate(query, set).max(1.0)
+        // The optimizer's cost model assumes finite, positive rows; a
+        // NaN/∞ estimate from a misbehaving model must not cross this
+        // boundary (∞ would survive the `.max(1.0)` floor).
+        let est = self.inner.estimate(query, set);
+        if est.is_finite() {
+            est.max(1.0)
+        } else {
+            1.0
+        }
     }
 
     fn name(&self) -> &str {
@@ -196,7 +204,7 @@ pub(crate) mod test_support {
             .iter()
             .map(|l| lqo_ml::metrics::q_error(est.estimate(&l.query, l.set), l.card))
             .collect();
-        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        qs.sort_by(f64::total_cmp);
         qs[qs.len() / 2]
     }
 }
@@ -249,5 +257,30 @@ mod tests {
         let src = EstimatorCardSource::new(Arc::new(Zero));
         assert_eq!(src.cardinality(&queries[0], TableSet::singleton(0)), 1.0);
         assert_eq!(CardSource::name(&src), "zero");
+    }
+
+    #[test]
+    fn card_source_adapter_sanitizes_non_finite() {
+        struct Broken(f64);
+        impl CardEstimator for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn category(&self) -> Category {
+                Category::Traditional
+            }
+            fn technique(&self) -> &'static str {
+                "none"
+            }
+            fn estimate(&self, _q: &SpjQuery, _s: TableSet) -> f64 {
+                self.0
+            }
+        }
+        let (_, _, queries) = fixture();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let src = EstimatorCardSource::new(Arc::new(Broken(bad)));
+            let est = src.cardinality(&queries[0], TableSet::singleton(0));
+            assert_eq!(est, 1.0, "estimate {bad} should sanitize to 1.0");
+        }
     }
 }

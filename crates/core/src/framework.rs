@@ -6,6 +6,7 @@ use lqo_engine::exec::workunits::CostParams;
 use lqo_engine::optimizer::CardSource;
 use lqo_engine::stats::table_stats::CatalogStats;
 use lqo_engine::{Catalog, Optimizer, PhysNode, Result, SpjQuery, TraditionalCardSource};
+use lqo_obs::ObsContext;
 
 /// Shared context for plan exploration: the database, its statistics, the
 /// native cardinality source and cost constants.
@@ -19,6 +20,9 @@ pub struct OptContext {
     pub card: Arc<dyn CardSource>,
     /// Cost constants.
     pub params: CostParams,
+    /// Observability context; disabled by default. Risk models report
+    /// guard-relevant events (e.g. native-cost failures) through it.
+    pub obs: ObsContext,
 }
 
 impl OptContext {
@@ -33,12 +37,20 @@ impl OptContext {
             stats,
             card,
             params: CostParams::default(),
+            obs: ObsContext::disabled(),
         }
+    }
+
+    /// Attach an observability context (threaded into risk models and the
+    /// optimizers built from this context).
+    pub fn with_obs(mut self, obs: ObsContext) -> OptContext {
+        self.obs = obs;
+        self
     }
 
     /// A native optimizer over this context.
     pub fn optimizer(&self) -> Optimizer<'_> {
-        Optimizer::new(&self.catalog, self.params.clone())
+        Optimizer::new(&self.catalog, self.params.clone()).with_obs(self.obs.clone())
     }
 }
 
@@ -85,16 +97,15 @@ pub trait RiskModel: Send {
 
     /// Pick the index of the plan to execute. The default takes the
     /// minimum score; pairwise comparators and variance filters override.
+    /// NaN scores sort last (`total_cmp`), so a misbehaving model can
+    /// never panic the selection or win it with garbage.
     fn select(&self, query: &SpjQuery, candidates: &[CandidatePlan]) -> usize {
-        candidates
+        let scores: Vec<f64> = candidates
             .iter()
-            .enumerate()
-            .min_by(|a, b| {
-                self.score(query, &a.1.plan)
-                    .partial_cmp(&self.score(query, &b.1.plan))
-                    .unwrap()
-            })
-            .map(|(i, _)| i)
+            .map(|c| self.score(query, &c.plan))
+            .collect();
+        (0..candidates.len())
+            .min_by(|&a, &b| scores[a].total_cmp(&scores[b]))
             .unwrap_or(0)
     }
 }

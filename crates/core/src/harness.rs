@@ -59,24 +59,29 @@ pub struct TrainingLoop {
     /// Timeout budget as a multiple of the native plan's work.
     pub timeout_factor: f64,
     native_work: Vec<f64>,
+    native_plans: Vec<PhysNode>,
     queries: Vec<SpjQuery>,
     obs: ObsContext,
 }
 
 impl TrainingLoop {
     /// Prepare the loop: executes the native plan of every query once to
-    /// establish the baseline works.
+    /// establish the baseline works. The plans are kept — they are the
+    /// fallback when a learned optimizer panics or errors mid-epoch.
     pub fn new(ctx: OptContext, queries: Vec<SpjQuery>) -> Result<TrainingLoop> {
         let executor = Executor::with_defaults(&ctx.catalog);
         let mut native_work = Vec::with_capacity(queries.len());
+        let mut native_plans = Vec::with_capacity(queries.len());
         for q in &queries {
             let plan = ctx.optimizer().optimize_default(q, ctx.card.as_ref())?.plan;
             native_work.push(executor.execute(q, &plan)?.work);
+            native_plans.push(plan);
         }
         Ok(TrainingLoop {
             ctx,
             timeout_factor: 20.0,
             native_work,
+            native_plans,
             queries,
             obs: ObsContext::disabled(),
         })
@@ -123,33 +128,49 @@ impl TrainingLoop {
                 let name = opt.name().to_string();
                 self.obs.with_query(|t| t.driver = Some(name));
             }
-            let work = match self.obs.phase("plan", || opt.plan(q)) {
-                Ok(plan) => match self.obs.phase("execute", || executor.execute(q, &plan)) {
-                    Ok(r) => {
-                        if learn {
-                            opt.observe(q, &plan, r.work);
-                        }
-                        if self.obs.is_enabled() {
-                            let outcome = QueryOutcome {
-                                count: r.count,
-                                work: r.work,
-                                wall_ns: r.wall.as_nanos() as u64,
-                            };
-                            self.obs.with_query(|t| t.outcome = Some(outcome));
-                        }
-                        r.work
+            // A learned optimizer that panics or errors while planning
+            // must not take the epoch down with it: contain the failure,
+            // note it on the trace, and run the stored native plan.
+            let planned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.obs.phase("plan", || opt.plan(q))
+            }));
+            let (plan, fell_back) = match planned {
+                Ok(Ok(plan)) => (plan, false),
+                Ok(Err(e)) => {
+                    self.record_plan_fallback(e.to_string());
+                    (self.native_plans[i].clone(), true)
+                }
+                Err(_) => {
+                    self.record_plan_fallback("panic".to_string());
+                    (self.native_plans[i].clone(), true)
+                }
+            };
+            let work = match self.obs.phase("execute", || executor.execute(q, &plan)) {
+                Ok(r) => {
+                    // No feedback on fallback: the native plan was not the
+                    // optimizer's choice, so it must not train on it.
+                    if learn && !fell_back {
+                        opt.observe(q, &plan, r.work);
                     }
-                    Err(EngineError::WorkLimitExceeded { .. }) => {
-                        timeouts += 1;
-                        if learn {
-                            // Timeout feedback: the budget itself, as Bao
-                            // and Balsa do with their timeout handling.
-                            opt.observe(q, &plan, budget);
-                        }
-                        budget
+                    if self.obs.is_enabled() {
+                        let outcome = QueryOutcome {
+                            count: r.count,
+                            work: r.work,
+                            wall_ns: r.wall.as_nanos() as u64,
+                        };
+                        self.obs.with_query(|t| t.outcome = Some(outcome));
                     }
-                    Err(_) => budget,
-                },
+                    r.work
+                }
+                Err(EngineError::WorkLimitExceeded { .. }) => {
+                    timeouts += 1;
+                    if learn && !fell_back {
+                        // Timeout feedback: the budget itself, as Bao
+                        // and Balsa do with their timeout handling.
+                        opt.observe(q, &plan, budget);
+                    }
+                    budget
+                }
                 Err(_) => budget,
             };
             if self.obs.is_enabled() {
@@ -183,6 +204,19 @@ impl TrainingLoop {
         stats
     }
 
+    /// Note a contained planning failure: metric + trace guard event.
+    fn record_plan_fallback(&self, fault: String) {
+        self.obs.count("lqo.guard.fallbacks", 1);
+        self.obs.count("lqo.guard.train_plan_failures", 1);
+        self.obs.with_query(|t| {
+            t.guard.push(lqo_obs::trace::GuardEvent {
+                component: "train:optimizer".to_string(),
+                fault,
+                action: "fallback:native-plan".to_string(),
+            });
+        });
+    }
+
     /// Run `epochs` learning epochs, returning per-epoch statistics.
     pub fn run(&self, opt: &mut dyn LearnedOptimizer, epochs: usize) -> Vec<EpochStats> {
         (0..epochs).map(|_| self.run_epoch(opt, true)).collect()
@@ -209,6 +243,51 @@ mod tests {
         assert_eq!(stats.regressions, 0);
         assert!((stats.total_work - training.native_total()).abs() < 1e-9);
         assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn panicking_optimizer_falls_back_to_native_plans() {
+        struct Hostile {
+            calls: usize,
+        }
+        impl LearnedOptimizer for Hostile {
+            fn name(&self) -> &str {
+                "hostile"
+            }
+            fn plan(&mut self, _q: &SpjQuery) -> Result<PhysNode> {
+                self.calls += 1;
+                if self.calls.is_multiple_of(2) {
+                    panic!("injected optimizer panic");
+                }
+                Err(EngineError::NoPlanFound("injected planning error".into()))
+            }
+            fn observe(&mut self, _q: &SpjQuery, _p: &PhysNode, _w: f64) {
+                panic!("fallback executions must not be fed back");
+            }
+            fn retrain(&mut self) {}
+        }
+        let (ctx, queries) = fixture();
+        let n = queries.len();
+        let obs = ObsContext::enabled();
+        let training = TrainingLoop::new(ctx, queries)
+            .unwrap()
+            .with_obs(obs.clone());
+        let mut hostile = Hostile { calls: 0 };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let stats = training.run_epoch(&mut hostile, true);
+        std::panic::set_hook(prev);
+        // Every query fell back to its native plan: work matches native
+        // exactly and nothing regressed or timed out.
+        assert_eq!(stats.regressions, 0);
+        assert_eq!(stats.timeouts, 0);
+        assert!((stats.total_work - training.native_total()).abs() < 1e-9);
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("lqo.guard.fallbacks"), Some(n as u64));
+        assert_eq!(
+            snap.counter("lqo.guard.train_plan_failures"),
+            Some(n as u64)
+        );
     }
 
     #[test]

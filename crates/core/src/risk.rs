@@ -12,12 +12,50 @@ use crate::framework::{CandidatePlan, ExecutionSample, OptContext, RiskModel};
 /// Native analytical cost of a plan (the cold-start fallback of every
 /// learned risk model — exactly how Bao defaults to the native optimizer
 /// until its model has seen enough executions).
+///
+/// A `plan_cost` failure is *surfaced*, not swallowed: the error lands on
+/// the current query trace as a guard event and in the
+/// `lqo.guard.native_cost_errors` counter before the plan is scored ∞
+/// (so it still loses every comparison, but now visibly).
 pub(crate) fn native_cost(ctx: &OptContext, query: &SpjQuery, plan: &PhysNode) -> f64 {
-    plan_cost(plan, query, &ctx.catalog, ctx.card.as_ref(), &ctx.params).unwrap_or(f64::INFINITY)
+    match plan_cost(plan, query, &ctx.catalog, ctx.card.as_ref(), &ctx.params) {
+        Ok(cost) => cost,
+        Err(e) => {
+            ctx.obs.count("lqo.guard.native_cost_errors", 1);
+            let detail = e.to_string();
+            ctx.obs.with_query(|t| {
+                t.guard.push(lqo_obs::trace::GuardEvent {
+                    component: "risk:native-cost".to_string(),
+                    fault: detail.clone(),
+                    action: "score:infinity".to_string(),
+                });
+            });
+            f64::INFINITY
+        }
+    }
 }
 
 /// Minimum observations before a learned model overrides the native cost.
 const MIN_SAMPLES: usize = 8;
+
+/// Whether a training set carries enough signal to trust a pointwise
+/// model over the native cost. A history saturated with duplicates — the
+/// same native plan re-executed every epoch, which is exactly what an
+/// untrained selector produces — has no ranking signal: a net fit on it
+/// predicts near-constants and then picks arbitrarily among candidates.
+/// Require [`MIN_SAMPLES`] *distinct* (query, plan) observations, not
+/// just raw count. (The pairwise comparator gets this for free: identical
+/// plans form no training pairs.)
+fn has_training_diversity(samples: &[ExecutionSample]) -> bool {
+    let mut distinct = std::collections::HashSet::new();
+    for s in samples {
+        distinct.insert((s.query.to_string(), s.plan.fingerprint()));
+        if distinct.len() >= MIN_SAMPLES {
+            return true;
+        }
+    }
+    false
+}
 
 /// Pointwise tree-convolution latency prediction — Bao's and Neo's value
 /// model \[37, 38\].
@@ -64,7 +102,7 @@ impl RiskModel for PointwiseTcnnRisk {
     }
 
     fn train(&mut self, samples: &[ExecutionSample]) {
-        if samples.len() < MIN_SAMPLES {
+        if !has_training_diversity(samples) {
             return;
         }
         let trees: Vec<FeatTree> = samples
@@ -234,7 +272,7 @@ impl RiskModel for EnsembleRisk {
     }
 
     fn train(&mut self, samples: &[ExecutionSample]) {
-        if samples.len() < MIN_SAMPLES {
+        if !has_training_diversity(samples) {
             return;
         }
         let xs: Vec<Vec<f64>> = samples
@@ -257,15 +295,12 @@ impl RiskModel for EnsembleRisk {
 
     fn select(&self, query: &SpjQuery, candidates: &[CandidatePlan]) -> usize {
         if !self.trained || candidates.len() <= 1 {
-            return candidates
+            let scores: Vec<f64> = candidates
                 .iter()
-                .enumerate()
-                .min_by(|a, b| {
-                    self.score(query, &a.1.plan)
-                        .partial_cmp(&self.score(query, &b.1.plan))
-                        .unwrap()
-                })
-                .map(|(i, _)| i)
+                .map(|c| self.score(query, &c.plan))
+                .collect();
+            return (0..candidates.len())
+                .min_by(|&a, &b| scores[a].total_cmp(&scores[b]))
                 .unwrap_or(0);
         }
         let stats: Vec<(f64, f64)> = candidates
@@ -273,7 +308,7 @@ impl RiskModel for EnsembleRisk {
             .map(|c| self.predict_stats(query, &c.plan))
             .collect();
         let mut vars: Vec<f64> = stats.iter().map(|s| s.1).collect();
-        vars.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vars.sort_by(f64::total_cmp);
         let median = vars[vars.len() / 2];
         let cutoff = (median * self.variance_cutoff).max(1e-12);
         let filtered: Vec<usize> = (0..candidates.len())
@@ -285,7 +320,7 @@ impl RiskModel for EnsembleRisk {
             filtered
         };
         pool.into_iter()
-            .min_by(|&a, &b| stats[a].0.partial_cmp(&stats[b].0).unwrap())
+            .min_by(|&a, &b| stats[a].0.total_cmp(&stats[b].0))
             .unwrap_or(0)
     }
 }

@@ -107,7 +107,9 @@ impl CostModel for SaturnEmbedder {
                 (d, *y)
             })
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // total_cmp: a NaN distance (degenerate embedding) sorts last
+        // instead of panicking mid-query.
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
         let k = dists.len().min(3);
         if k == 0 {
             return 1.0;

@@ -140,8 +140,14 @@ impl InjectedCardSource {
         }
     }
 
-    /// Inject an estimate for the sub-query induced by `set`.
+    /// Inject an estimate for the sub-query induced by `set`. Non-finite
+    /// injections (NaN/±∞, e.g. from a misbehaving learned estimator) are
+    /// dropped rather than stored — the fallback source answers instead,
+    /// so one bad push cannot poison every plan for the sub-query.
     pub fn inject(&self, query: &SpjQuery, set: TableSet, card: f64) {
+        if !card.is_finite() {
+            return;
+        }
         self.overrides
             .lock()
             .unwrap()
@@ -344,6 +350,20 @@ mod tests {
         );
         injected.clear();
         assert!(injected.is_empty());
+    }
+
+    #[test]
+    fn non_finite_injections_are_dropped() {
+        let (c, stats, q) = setup();
+        let fallback: Arc<dyn CardSource> = Arc::new(TraditionalCardSource::new(c, stats));
+        let injected = InjectedCardSource::new(fallback.clone());
+        injected.inject(&q, q.all_tables(), f64::NAN);
+        injected.inject(&q, q.all_tables(), f64::INFINITY);
+        assert!(injected.is_empty());
+        assert_eq!(
+            injected.cardinality(&q, q.all_tables()),
+            fallback.cardinality(&q, q.all_tables())
+        );
     }
 
     #[test]

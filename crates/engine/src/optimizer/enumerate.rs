@@ -212,7 +212,12 @@ pub fn dp_optimize_obs(
                 cost_evals += 1;
                 let op = join_op_cost(algo, params, lrows, rrows, out_rows, width, true);
                 let total = base + op;
-                if best_here.as_ref().is_none_or(|b| total < b.cost) {
+                // total_cmp so a NaN cost (from a misbehaving estimator)
+                // sorts last instead of poisoning the incumbent.
+                if best_here
+                    .as_ref()
+                    .is_none_or(|b| total.total_cmp(&b.cost).is_lt())
+                {
                     best_here = Some(Entry {
                         plan: PhysNode::join(algo, le.plan.clone(), re.plan.clone()),
                         cost: total,
@@ -303,7 +308,7 @@ fn best_join(
     for &algo in algos {
         counters.cost_evals += 1;
         let op = join_op_cost(algo, params, left.rows, right.rows, out_rows, width, true);
-        if op < best.1 {
+        if op.total_cmp(&best.1).is_lt() {
             best = (algo, op, out_rows);
         }
     }
@@ -421,8 +426,10 @@ pub fn greedy_optimize_obs(
         let mut spine = match spine {
             Some(s) => s,
             None => {
+                // total_cmp: a NaN estimate from a misbehaving source must
+                // not panic the planner (NaN sorts last, so it never wins).
                 let idx = (0..items.len())
-                    .min_by(|&a, &b| items[a].rows.partial_cmp(&items[b].rows).unwrap())
+                    .min_by(|&a, &b| items[a].rows.total_cmp(&items[b].rows))
                     .unwrap();
                 items.swap_remove(idx)
             }

@@ -1,0 +1,252 @@
+//! A circuit breaker with call-count cooldowns and exponential backoff.
+//!
+//! Classic three-state breaker (closed → open → half-open), with one
+//! deliberate twist: cooldowns are measured in *calls*, not wall-clock
+//! time. A planner makes model calls at a high, workload-dependent rate,
+//! and counting calls keeps every breaker trajectory deterministic for a
+//! given call sequence — the property the chaos tests and the seeded E9
+//! experiment rely on. The backoff doubles the cooldown each time a
+//! half-open probe fails, up to a cap, exactly like time-based breakers
+//! double their retry interval.
+
+use parking_lot::Mutex;
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive faults (in the closed state) that open the breaker.
+    pub failure_threshold: u32,
+    /// Base cooldown: calls the breaker stays open before half-opening.
+    pub cooldown_calls: u64,
+    /// Cap on the backoff exponent: cooldown = `cooldown_calls << level`.
+    pub max_backoff_level: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_calls: 16,
+            max_backoff_level: 6,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls pass through.
+    Closed,
+    /// Tripped: calls are rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next call is a probe.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric code for gauges: 0 closed, 1 half-open, 2 open.
+    pub fn code(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    backoff_level: u32,
+    cooldown_remaining: u64,
+    opens: u64,
+}
+
+/// A thread-safe per-component circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                backoff_level: 0,
+                cooldown_remaining: 0,
+                opens: 0,
+            }),
+        }
+    }
+
+    /// Current state (without consuming a call).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Current backoff exponent.
+    pub fn backoff_level(&self) -> u32 {
+        self.inner.lock().backoff_level
+    }
+
+    /// Times the breaker has transitioned to open.
+    pub fn opens(&self) -> u64 {
+        self.inner.lock().opens
+    }
+
+    /// Gate one call: `true` means the protected component should be
+    /// attempted (closed, or a half-open probe); `false` means skip it and
+    /// use the fallback. Rejected calls tick the cooldown down, so the
+    /// breaker half-opens after `cooldown_calls << backoff_level`
+    /// rejections.
+    pub fn allow(&self) -> bool {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                g.cooldown_remaining = g.cooldown_remaining.saturating_sub(1);
+                if g.cooldown_remaining == 0 {
+                    g.state = BreakerState::HalfOpen;
+                }
+                false
+            }
+        }
+    }
+
+    /// Report a successful guarded call. A successful half-open probe
+    /// closes the breaker and resets the backoff schedule.
+    pub fn record_success(&self) {
+        let mut g = self.inner.lock();
+        g.consecutive_failures = 0;
+        if g.state == BreakerState::HalfOpen {
+            g.state = BreakerState::Closed;
+            g.backoff_level = 0;
+        }
+    }
+
+    /// Report a faulted guarded call. In the closed state this counts
+    /// toward the failure threshold; a failed half-open probe re-opens
+    /// immediately with a doubled cooldown.
+    pub fn record_failure(&self) {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.cfg.failure_threshold {
+                    Self::open(&self.cfg, &mut g);
+                }
+            }
+            BreakerState::HalfOpen => {
+                g.backoff_level = (g.backoff_level + 1).min(self.cfg.max_backoff_level);
+                Self::open(&self.cfg, &mut g);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn open(cfg: &BreakerConfig, g: &mut Inner) {
+        g.state = BreakerState::Open;
+        g.consecutive_failures = 0;
+        g.cooldown_remaining = cfg.cooldown_calls << g.backoff_level;
+        g.opens += 1;
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_calls: 4,
+            max_backoff_level: 2,
+        }
+    }
+
+    #[test]
+    fn opens_after_k_consecutive_failures() {
+        let b = CircuitBreaker::new(cfg());
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = CircuitBreaker::new(cfg());
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_opens_after_cooldown_and_probe_success_closes() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        // 4 rejected calls tick the cooldown to zero.
+        for _ in 0..4 {
+            assert!(!b.allow());
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow()); // the probe
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.backoff_level(), 0);
+    }
+
+    fn rejections_until_half_open(b: &CircuitBreaker) -> u64 {
+        let mut n = 0;
+        while b.state() == BreakerState::Open {
+            assert!(!b.allow());
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn failed_probe_doubles_the_cooldown_up_to_the_cap() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        // Cooldowns: 4 initially, then 8, 16, and capped at 16.
+        assert_eq!(rejections_until_half_open(&b), 4);
+        for expected in [8u64, 16, 16] {
+            assert!(b.allow()); // the probe
+            b.record_failure(); // probe fails
+            assert_eq!(rejections_until_half_open(&b), expected);
+        }
+        assert_eq!(b.backoff_level(), 2);
+        assert_eq!(b.opens(), 4);
+    }
+
+    #[test]
+    fn state_codes_for_gauges() {
+        assert_eq!(BreakerState::Closed.code(), 0.0);
+        assert_eq!(BreakerState::HalfOpen.code(), 1.0);
+        assert_eq!(BreakerState::Open.code(), 2.0);
+    }
+}

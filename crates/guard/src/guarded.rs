@@ -1,0 +1,620 @@
+//! Guarded invocation: run model calls under `catch_unwind`, validate
+//! their outputs, enforce inference deadlines, and step down a
+//! degradation ladder when a component misbehaves.
+//!
+//! The containment contract mirrors PilotScope's: learned code may panic,
+//! emit garbage, or stall, and the query pipeline still answers — at
+//! worst with the native optimizer's plan. Deadlines are enforced
+//! *post hoc*: the call runs to completion, its elapsed time is compared
+//! to the deadline, and an overrun rejects the result and trips the
+//! breaker, so subsequent calls skip the slow component entirely. This is
+//! the honest in-process trade-off — we cannot preempt a running model
+//! thread, but we can refuse to let a slow model steer more than one
+//! plan.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lqo_card::estimator::{CardEstimator, Category};
+use lqo_engine::optimizer::CardSource;
+use lqo_engine::{EngineError, PhysNode, SpjQuery, TableSet};
+use lqo_obs::trace::GuardEvent;
+use lqo_obs::ObsContext;
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+
+/// Everything the guard enforces on one component.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Per-call inference deadline (post-hoc; `None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// Per-query plan-time budget across all guarded calls (`None` =
+    /// unlimited). Reset via [`GuardedCardSource::begin_query`].
+    pub plan_budget: Option<Duration>,
+    /// Sane upper bound on any cardinality estimate, in rows.
+    pub max_estimate: f64,
+    /// Breaker tuning, applied per guarded rung.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for GuardConfig {
+    fn default() -> GuardConfig {
+        GuardConfig {
+            deadline: Some(Duration::from_millis(250)),
+            plan_budget: Some(Duration::from_secs(2)),
+            max_estimate: 1e15,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Why a guarded call was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardFault {
+    /// The component panicked; the unwind was caught.
+    Panicked,
+    /// The output was NaN or ±∞.
+    NonFinite,
+    /// The output was negative where only counts make sense.
+    Negative,
+    /// The output exceeded the configured sanity bound.
+    OutOfBounds,
+    /// The call finished after its inference deadline.
+    DeadlineExceeded,
+    /// The per-query plan-time budget was already exhausted.
+    BudgetExhausted,
+}
+
+impl GuardFault {
+    /// Short stable label for metrics and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            GuardFault::Panicked => "panic",
+            GuardFault::NonFinite => "non-finite",
+            GuardFault::Negative => "negative",
+            GuardFault::OutOfBounds => "out-of-bounds",
+            GuardFault::DeadlineExceeded => "deadline",
+            GuardFault::BudgetExhausted => "budget",
+        }
+    }
+
+    /// The [`EngineError`] equivalent, for paths that propagate `Result`.
+    pub fn to_engine_error(self, component: &str) -> EngineError {
+        match self {
+            GuardFault::DeadlineExceeded | GuardFault::BudgetExhausted => {
+                EngineError::InferenceTimeout {
+                    component: component.to_string(),
+                }
+            }
+            other => EngineError::ModelFault {
+                component: component.to_string(),
+                fault: other.label().to_string(),
+            },
+        }
+    }
+}
+
+/// Validate a cardinality-like output: finite, non-negative, bounded.
+pub fn validate_estimate(value: f64, cfg: &GuardConfig) -> Result<f64, GuardFault> {
+    if !value.is_finite() {
+        Err(GuardFault::NonFinite)
+    } else if value < 0.0 {
+        Err(GuardFault::Negative)
+    } else if value > cfg.max_estimate {
+        Err(GuardFault::OutOfBounds)
+    } else {
+        Ok(value)
+    }
+}
+
+/// Validate a risk-score output: finite (ranking utilities may be
+/// negative, so no sign constraint).
+pub fn validate_score(value: f64) -> Result<f64, GuardFault> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(GuardFault::NonFinite)
+    }
+}
+
+/// Run `f` under `catch_unwind`, timing it and enforcing `deadline`
+/// post hoc. Returns the value and its latency, or the fault.
+pub fn invoke_guarded<T>(
+    deadline: Option<Duration>,
+    f: impl FnOnce() -> T,
+) -> Result<(T, Duration), GuardFault> {
+    let start = Instant::now();
+    let out = catch_unwind(AssertUnwindSafe(f));
+    let elapsed = start.elapsed();
+    match out {
+        Err(_) => Err(GuardFault::Panicked),
+        Ok(_) if deadline.is_some_and(|d| elapsed > d) => Err(GuardFault::DeadlineExceeded),
+        Ok(v) => Ok((v, elapsed)),
+    }
+}
+
+/// A per-query plan-time budget shared by every guarded call made while
+/// planning one query.
+#[derive(Debug, Default)]
+pub struct PlanBudget {
+    limit_ns: Option<u64>,
+    spent_ns: AtomicU64,
+}
+
+impl PlanBudget {
+    /// A budget with the given limit (`None` = unlimited).
+    pub fn new(limit: Option<Duration>) -> PlanBudget {
+        PlanBudget {
+            limit_ns: limit.map(|d| d.as_nanos() as u64),
+            spent_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Start a new query: forget everything spent.
+    pub fn reset(&self) {
+        self.spent_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Charge one call's latency.
+    pub fn charge(&self, elapsed: Duration) {
+        self.spent_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Whether the budget is used up.
+    pub fn exhausted(&self) -> bool {
+        self.limit_ns
+            .is_some_and(|l| self.spent_ns.load(Ordering::Relaxed) >= l)
+    }
+
+    /// Nanoseconds spent so far.
+    pub fn spent_ns(&self) -> u64 {
+        self.spent_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// One step of the degradation ladder.
+struct Rung {
+    name: String,
+    source: Arc<dyn CardSource>,
+}
+
+/// A [`CardSource`] that walks a degradation ladder of sources — most
+/// learned first, most trusted last. Every rung but the last runs under
+/// the full guard (unwind containment, output validation, deadline,
+/// breaker); the last rung is the trusted native fallback and is called
+/// directly. This is the "learned estimator → hybrid → traditional
+/// histogram → native" ladder from the survey's containment story.
+pub struct GuardedCardSource {
+    component: String,
+    rungs: Vec<Rung>,
+    breakers: Vec<CircuitBreaker>,
+    cfg: GuardConfig,
+    budget: PlanBudget,
+    obs: ObsContext,
+    last_rung: AtomicUsize,
+}
+
+impl GuardedCardSource {
+    /// An empty ladder for a named component (e.g. `"card"`). Add rungs
+    /// with [`GuardedCardSource::rung`]; at least one is required before
+    /// use.
+    pub fn new(component: &str, cfg: GuardConfig, obs: ObsContext) -> GuardedCardSource {
+        GuardedCardSource {
+            component: component.to_string(),
+            rungs: Vec::new(),
+            breakers: Vec::new(),
+            cfg,
+            budget: PlanBudget::default(),
+            obs,
+            last_rung: AtomicUsize::new(0),
+        }
+    }
+
+    /// Append a rung. Order matters: first added is tried first; the last
+    /// added is the trusted unguarded fallback.
+    pub fn rung(mut self, name: &str, source: Arc<dyn CardSource>) -> GuardedCardSource {
+        self.rungs.push(Rung {
+            name: name.to_string(),
+            source,
+        });
+        self.breakers
+            .push(CircuitBreaker::new(self.cfg.breaker.clone()));
+        self.budget = PlanBudget::new(self.cfg.plan_budget);
+        self
+    }
+
+    /// Rung names, ladder order.
+    pub fn rung_names(&self) -> Vec<&str> {
+        self.rungs.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    /// The breaker guarding rung `i`.
+    pub fn breaker(&self, i: usize) -> &CircuitBreaker {
+        &self.breakers[i]
+    }
+
+    /// Index of the rung that answered the most recent lookup.
+    pub fn last_rung(&self) -> usize {
+        self.last_rung.load(Ordering::Relaxed)
+    }
+
+    /// Reset the per-query plan budget; call at the start of each query's
+    /// planning.
+    pub fn begin_query(&self) {
+        self.budget.reset();
+    }
+
+    fn record_fault(&self, rung: &str, fault: GuardFault, next: &str) {
+        self.obs.count("lqo.guard.faults", 1);
+        self.obs
+            .count(&format!("lqo.guard.faults.{}", fault.label()), 1);
+        self.obs.count("lqo.guard.fallbacks", 1);
+        let component = format!("{}:{}", self.component, rung);
+        let action = format!("fallback:{next}");
+        self.obs.with_query(|t| {
+            t.guard.push(GuardEvent {
+                component: component.clone(),
+                fault: fault.label().to_string(),
+                action: action.clone(),
+            });
+        });
+    }
+
+    fn publish_breaker_state(&self, i: usize) {
+        let name = format!(
+            "lqo.guard.{}.{}.breaker",
+            self.component, self.rungs[i].name
+        );
+        self.obs.gauge(&name, self.breakers[i].state().code());
+    }
+}
+
+impl CardSource for GuardedCardSource {
+    fn cardinality(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        assert!(!self.rungs.is_empty(), "GuardedCardSource has no rungs");
+        let last = self.rungs.len() - 1;
+        for i in 0..last {
+            let rung = &self.rungs[i];
+            let next = self.rungs[i + 1].name.as_str();
+            if self.budget.exhausted() {
+                self.record_fault(&rung.name, GuardFault::BudgetExhausted, next);
+                continue;
+            }
+            if !self.breakers[i].allow() {
+                self.obs.count("lqo.guard.skips", 1);
+                continue;
+            }
+            let outcome = invoke_guarded(self.cfg.deadline, || rung.source.cardinality(query, set))
+                .and_then(|(v, elapsed)| {
+                    self.budget.charge(elapsed);
+                    self.obs
+                        .observe("lqo.guard.deadline_ns", elapsed.as_nanos() as f64);
+                    validate_estimate(v, &self.cfg)
+                });
+            match outcome {
+                Ok(v) => {
+                    self.breakers[i].record_success();
+                    self.publish_breaker_state(i);
+                    self.last_rung.store(i, Ordering::Relaxed);
+                    self.obs
+                        .gauge(&format!("lqo.guard.{}.rung", self.component), i as f64);
+                    return v;
+                }
+                Err(fault) => {
+                    let opens_before = self.breakers[i].opens();
+                    self.breakers[i].record_failure();
+                    if self.breakers[i].opens() > opens_before {
+                        self.obs.count("lqo.guard.breaker_opens", 1);
+                    }
+                    self.publish_breaker_state(i);
+                    self.record_fault(&rung.name, fault, next);
+                }
+            }
+        }
+        // The trusted rung: called directly, no guard.
+        self.last_rung.store(last, Ordering::Relaxed);
+        self.obs
+            .gauge(&format!("lqo.guard.{}.rung", self.component), last as f64);
+        self.rungs[last].source.cardinality(query, set)
+    }
+
+    fn name(&self) -> &str {
+        "guarded"
+    }
+}
+
+/// A [`CardEstimator`] guard: primary model behind the full guard, with a
+/// trusted fallback estimator and a breaker. The shape PilotScope's
+/// cardinality driver needs — the pushed-down estimates are already
+/// validated by the time they reach the optimizer.
+pub struct GuardedEstimator {
+    component: String,
+    primary: Arc<dyn CardEstimator>,
+    fallback: Arc<dyn CardEstimator>,
+    breaker: CircuitBreaker,
+    cfg: GuardConfig,
+    obs: ObsContext,
+}
+
+impl GuardedEstimator {
+    /// Guard `primary`, degrading to `fallback`.
+    pub fn new(
+        component: &str,
+        primary: Arc<dyn CardEstimator>,
+        fallback: Arc<dyn CardEstimator>,
+        cfg: GuardConfig,
+        obs: ObsContext,
+    ) -> GuardedEstimator {
+        let breaker = CircuitBreaker::new(cfg.breaker.clone());
+        GuardedEstimator {
+            component: component.to_string(),
+            primary,
+            fallback,
+            breaker,
+            cfg,
+            obs,
+        }
+    }
+
+    /// The breaker guarding the primary estimator.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    fn fall_back(&self, query: &SpjQuery, set: TableSet, fault: GuardFault) -> f64 {
+        let opens_before = self.breaker.opens();
+        self.breaker.record_failure();
+        if self.breaker.opens() > opens_before {
+            self.obs.count("lqo.guard.breaker_opens", 1);
+        }
+        self.obs.count("lqo.guard.faults", 1);
+        self.obs
+            .count(&format!("lqo.guard.faults.{}", fault.label()), 1);
+        self.obs.count("lqo.guard.fallbacks", 1);
+        let component = self.component.clone();
+        let fault_label = fault.label().to_string();
+        self.obs.with_query(|t| {
+            t.guard.push(GuardEvent {
+                component,
+                fault: fault_label,
+                action: "fallback:estimator".to_string(),
+            });
+        });
+        self.fallback.estimate(query, set)
+    }
+}
+
+impl CardEstimator for GuardedEstimator {
+    fn name(&self) -> &'static str {
+        "guarded-estimator"
+    }
+
+    fn category(&self) -> Category {
+        self.primary.category()
+    }
+
+    fn technique(&self) -> &'static str {
+        self.primary.technique()
+    }
+
+    fn estimate(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        if !self.breaker.allow() {
+            self.obs.count("lqo.guard.skips", 1);
+            return self.fallback.estimate(query, set);
+        }
+        let outcome = invoke_guarded(self.cfg.deadline, || self.primary.estimate(query, set))
+            .and_then(|(v, elapsed)| {
+                self.obs
+                    .observe("lqo.guard.deadline_ns", elapsed.as_nanos() as f64);
+                validate_estimate(v, &self.cfg)
+            });
+        match outcome {
+            Ok(v) => {
+                self.breaker.record_success();
+                v
+            }
+            Err(fault) => self.fall_back(query, set, fault),
+        }
+    }
+
+    fn model_size(&self) -> usize {
+        self.primary.model_size()
+    }
+
+    fn observe(&self, query: &SpjQuery, set: TableSet, true_card: f64) {
+        // Feedback is best-effort: a panicking feedback hook is contained
+        // and counted, never propagated.
+        if catch_unwind(AssertUnwindSafe(|| {
+            self.primary.observe(query, set, true_card)
+        }))
+        .is_err()
+        {
+            self.obs.count("lqo.guard.faults", 1);
+            self.obs.count("lqo.guard.faults.panic", 1);
+        }
+    }
+}
+
+/// A guarded risk model: score/selection calls on the learned model run
+/// under the guard; on any fault the trusted fallback model (typically
+/// the native cost) answers instead.
+pub struct GuardedRiskModel {
+    component: String,
+    inner: Box<dyn learned_qo::framework::RiskModel>,
+    fallback: Box<dyn learned_qo::framework::RiskModel>,
+    breaker: CircuitBreaker,
+    cfg: GuardConfig,
+    obs: ObsContext,
+}
+
+impl GuardedRiskModel {
+    /// Guard `inner`, degrading to `fallback`.
+    pub fn new(
+        component: &str,
+        inner: Box<dyn learned_qo::framework::RiskModel>,
+        fallback: Box<dyn learned_qo::framework::RiskModel>,
+        cfg: GuardConfig,
+        obs: ObsContext,
+    ) -> GuardedRiskModel {
+        let breaker = CircuitBreaker::new(cfg.breaker.clone());
+        GuardedRiskModel {
+            component: component.to_string(),
+            inner,
+            fallback,
+            breaker,
+            cfg,
+            obs,
+        }
+    }
+
+    /// The breaker guarding the learned model.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    fn note_fault(&self, fault: GuardFault) {
+        let opens_before = self.breaker.opens();
+        self.breaker.record_failure();
+        if self.breaker.opens() > opens_before {
+            self.obs.count("lqo.guard.breaker_opens", 1);
+        }
+        self.obs.count("lqo.guard.faults", 1);
+        self.obs
+            .count(&format!("lqo.guard.faults.{}", fault.label()), 1);
+        self.obs.count("lqo.guard.fallbacks", 1);
+        let component = self.component.clone();
+        let fault_label = fault.label().to_string();
+        self.obs.with_query(|t| {
+            t.guard.push(GuardEvent {
+                component,
+                fault: fault_label,
+                action: "fallback:risk".to_string(),
+            });
+        });
+    }
+}
+
+impl learned_qo::framework::RiskModel for GuardedRiskModel {
+    fn name(&self) -> &'static str {
+        "guarded-risk"
+    }
+
+    fn score(&self, query: &SpjQuery, plan: &PhysNode) -> f64 {
+        if !self.breaker.allow() {
+            self.obs.count("lqo.guard.skips", 1);
+            return self.fallback.score(query, plan);
+        }
+        let outcome = invoke_guarded(self.cfg.deadline, || self.inner.score(query, plan)).and_then(
+            |(v, elapsed)| {
+                self.obs
+                    .observe("lqo.guard.deadline_ns", elapsed.as_nanos() as f64);
+                validate_score(v)
+            },
+        );
+        match outcome {
+            Ok(v) => {
+                self.breaker.record_success();
+                v
+            }
+            Err(fault) => {
+                self.note_fault(fault);
+                self.fallback.score(query, plan)
+            }
+        }
+    }
+
+    fn train(&mut self, samples: &[learned_qo::framework::ExecutionSample]) {
+        // Training faults are contained (and tripped into the breaker):
+        // a model that cannot train is a model that should not steer.
+        let inner = &mut self.inner;
+        if catch_unwind(AssertUnwindSafe(|| inner.train(samples))).is_err() {
+            self.note_fault(GuardFault::Panicked);
+        }
+    }
+
+    fn select(
+        &self,
+        query: &SpjQuery,
+        candidates: &[learned_qo::framework::CandidatePlan],
+    ) -> usize {
+        if self.breaker.state() == BreakerState::Open {
+            // Scores below will all delegate; let the fallback pick
+            // directly to avoid N wasted skip counts.
+            let _ = self.breaker.allow();
+            return self.fallback.select(query, candidates);
+        }
+        match invoke_guarded(self.cfg.deadline, || self.inner.select(query, candidates)) {
+            Ok((idx, _)) if idx < candidates.len() => idx,
+            Ok(_) => {
+                self.note_fault(GuardFault::OutOfBounds);
+                self.fallback.select(query, candidates)
+            }
+            Err(fault) => {
+                self.note_fault(fault);
+                self.fallback.select(query, candidates)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invoke_guarded_contains_panics_and_checks_deadlines() {
+        let out = invoke_guarded(None, || panic!("boom"));
+        assert_eq!(out.unwrap_err(), GuardFault::Panicked);
+        let out = invoke_guarded(Some(Duration::from_nanos(1)), || {
+            std::thread::sleep(Duration::from_millis(2));
+            7
+        });
+        assert_eq!(out.unwrap_err(), GuardFault::DeadlineExceeded);
+        let (v, _) = invoke_guarded(Some(Duration::from_secs(10)), || 7).unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        let cfg = GuardConfig::default();
+        assert_eq!(validate_estimate(42.0, &cfg), Ok(42.0));
+        assert_eq!(
+            validate_estimate(f64::NAN, &cfg),
+            Err(GuardFault::NonFinite)
+        );
+        assert_eq!(
+            validate_estimate(f64::INFINITY, &cfg),
+            Err(GuardFault::NonFinite)
+        );
+        assert_eq!(validate_estimate(-3.0, &cfg), Err(GuardFault::Negative));
+        assert_eq!(validate_estimate(1e20, &cfg), Err(GuardFault::OutOfBounds));
+        assert_eq!(validate_score(-3.0), Ok(-3.0));
+        assert_eq!(validate_score(f64::NAN), Err(GuardFault::NonFinite));
+    }
+
+    #[test]
+    fn plan_budget_charges_and_exhausts() {
+        let b = PlanBudget::new(Some(Duration::from_millis(1)));
+        assert!(!b.exhausted());
+        b.charge(Duration::from_millis(2));
+        assert!(b.exhausted());
+        b.reset();
+        assert!(!b.exhausted());
+        let unlimited = PlanBudget::new(None);
+        unlimited.charge(Duration::from_secs(3600));
+        assert!(!unlimited.exhausted());
+    }
+
+    #[test]
+    fn guard_faults_map_to_engine_errors() {
+        let e = GuardFault::DeadlineExceeded.to_engine_error("card");
+        assert!(matches!(e, EngineError::InferenceTimeout { .. }));
+        assert!(e.to_string().contains("card"));
+        let e = GuardFault::Panicked.to_engine_error("risk");
+        assert!(matches!(e, EngineError::ModelFault { .. }));
+        assert!(e.to_string().contains("panic"));
+    }
+}

@@ -84,7 +84,7 @@ impl DqJoinOrderer {
             let cands = env.candidates(query, graph, joined);
             let next = cands
                 .into_iter()
-                .min_by(|&a, &b| self.q(joined, a).partial_cmp(&self.q(joined, b)).unwrap())
+                .min_by(|&a, &b| self.q(joined, a).total_cmp(&self.q(joined, b)))
                 .expect("non-empty candidates");
             order.push(next);
             joined = joined.insert(next);

@@ -68,7 +68,7 @@ impl JoinEnv {
                                 out_set.len(),
                                 true,
                             );
-                            ca.partial_cmp(&cb).unwrap()
+                            ca.total_cmp(&cb)
                         })
                         .unwrap()
                 };

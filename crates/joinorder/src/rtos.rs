@@ -103,7 +103,7 @@ impl JoinOrderSearch for RtosLite {
                             .min_by(|&&a, &&b| {
                                 let qa = net.predict_scalar(&self.features(env, query, joined, a));
                                 let qb = net.predict_scalar(&self.features(env, query, joined, b));
-                                qa.partial_cmp(&qb).unwrap()
+                                qa.total_cmp(&qb)
                             })
                             .unwrap()
                     };
@@ -143,7 +143,7 @@ impl JoinOrderSearch for RtosLite {
                     .min_by(|&&a, &&b| {
                         let qa = net.predict_scalar(&self.features(env, query, joined, a));
                         let qb = net.predict_scalar(&self.features(env, query, joined, b));
-                        qa.partial_cmp(&qb).unwrap()
+                        qa.total_cmp(&qb)
                     })
                     .unwrap(),
                 // Untrained: smallest estimated intermediate first.

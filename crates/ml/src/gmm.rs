@@ -1,13 +1,12 @@
 //! One-dimensional Gaussian mixtures fit by EM, plus a normal-CDF helper
 //! shared with the KDE module.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// Standard normal CDF via the Abramowitz–Stegun erf approximation
 /// (absolute error < 1.5e-7).
 pub fn normal_cdf(x: f64) -> f64 {
-    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+    // The erf polynomial can overshoot ±1 by ~1e-7 for near-degenerate
+    // z; clamp so mixture CDFs stay inside [0, 1].
+    (0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))).clamp(0.0, 1.0)
 }
 
 fn erf(x: f64) -> f64 {
@@ -32,21 +31,28 @@ pub struct Gmm1d {
 }
 
 impl Gmm1d {
-    /// Fit `k` components with EM for `iters` iterations.
-    pub fn fit(values: &[f64], k: usize, iters: usize, seed: u64) -> Gmm1d {
+    /// Fit `k` components with EM for `iters` iterations. Fitting is
+    /// deterministic (`_seed` is kept for API stability): means start at
+    /// spread quantiles of the data rather than random draws, which can
+    /// land inside one mode and collapse EM onto the symmetric saddle at
+    /// the global mean.
+    pub fn fit(values: &[f64], k: usize, iters: usize, _seed: u64) -> Gmm1d {
         assert!(!values.is_empty());
         let k = k.clamp(1, values.len());
-        let mut rng = StdRng::seed_from_u64(seed);
         let n = values.len();
 
-        // Initialize means from random points, shared variance.
+        // Quantile-spread initialization, shared variance.
         let global_mean = values.iter().sum::<f64>() / n as f64;
         let global_var = values
             .iter()
             .map(|v| (v - global_mean).powi(2))
             .sum::<f64>()
             / n as f64;
-        let mut means: Vec<f64> = (0..k).map(|_| values[rng.gen_range(0..n)]).collect();
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mut means: Vec<f64> = (0..k)
+            .map(|c| sorted[(((c as f64 + 0.5) / k as f64) * n as f64) as usize % n])
+            .collect();
         let mut stds = vec![(global_var.sqrt()).max(1e-6); k];
         let mut weights = vec![1.0 / k as f64; k];
 
@@ -121,7 +127,9 @@ impl Gmm1d {
             .zip(&self.means)
             .zip(&self.stds)
             .map(|((&w, &m), &s)| w * normal_cdf((x - m) / s))
-            .sum()
+            .sum::<f64>()
+            // Weights sum to 1 only up to roundoff; keep this a probability.
+            .clamp(0.0, 1.0)
     }
 
     /// `P(lo <= X <= hi)`.
@@ -133,6 +141,8 @@ impl Gmm1d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use rand_distr::{Distribution, Normal};
 
     #[test]

@@ -96,7 +96,7 @@ impl<M: Mdp> Uct<M> {
                             n.total / n.visits + c * (parent_visits.ln() / n.visits).sqrt()
                         }
                     };
-                    ucb(a).partial_cmp(&ucb(b)).unwrap()
+                    ucb(a).total_cmp(&ucb(b))
                 })
                 .expect("non-empty children");
         }

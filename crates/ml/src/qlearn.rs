@@ -57,7 +57,7 @@ where
     pub fn best_action(&self, s: &S, actions: &[A]) -> Option<A> {
         actions
             .iter()
-            .max_by(|a, b| self.get(s, a).partial_cmp(&self.get(s, b)).unwrap())
+            .max_by(|a, b| self.get(s, a).total_cmp(&self.get(s, b)))
             .cloned()
     }
 

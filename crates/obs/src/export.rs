@@ -6,7 +6,8 @@
 
 use crate::json::{parse, Value};
 use crate::trace::{
-    CardLookup, ExecTrace, OperatorEvent, PhaseTiming, PlannerTrace, QueryOutcome, QueryTrace,
+    CardLookup, ExecTrace, GuardEvent, OperatorEvent, PhaseTiming, PlannerTrace, QueryOutcome,
+    QueryTrace,
 };
 
 fn u64_value(v: u64) -> Value {
@@ -78,6 +79,17 @@ pub fn trace_to_json(t: &QueryTrace) -> Value {
         ("operators".into(), Value::Arr(operators)),
         ("timeout".into(), Value::Bool(t.exec.timeout)),
     ]);
+    let guard = t
+        .guard
+        .iter()
+        .map(|g| {
+            Value::Obj(vec![
+                ("component".into(), Value::Str(g.component.clone())),
+                ("fault".into(), Value::Str(g.fault.clone())),
+                ("action".into(), Value::Str(g.action.clone())),
+            ])
+        })
+        .collect();
     let outcome = match &t.outcome {
         Some(o) => Value::Obj(vec![
             ("count".into(), u64_value(o.count)),
@@ -99,6 +111,7 @@ pub fn trace_to_json(t: &QueryTrace) -> Value {
         ("phases".into(), Value::Arr(phases)),
         ("planner".into(), planner),
         ("exec".into(), exec),
+        ("guard".into(), Value::Arr(guard)),
         ("outcome".into(), outcome),
     ])
 }
@@ -164,6 +177,18 @@ pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
         operators,
         timeout: ex.get("timeout")?.as_bool()?,
     };
+    let guard = v
+        .get("guard")?
+        .as_arr()?
+        .iter()
+        .map(|g| {
+            Some(GuardEvent {
+                component: str_field(g, "component")?,
+                fault: str_field(g, "fault")?,
+                action: str_field(g, "action")?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
     let outcome = match v.get("outcome")? {
         Value::Null => None,
         o => Some(QueryOutcome {
@@ -179,6 +204,7 @@ pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
         phases,
         planner,
         exec,
+        guard,
         outcome,
     })
 }
@@ -232,6 +258,11 @@ mod tests {
             work: 123.0,
         });
         t.exec.timeout = false;
+        t.guard.push(GuardEvent {
+            component: "card:learned".into(),
+            fault: "nan".into(),
+            action: "fallback:traditional".into(),
+        });
         t.outcome = Some(QueryOutcome {
             count: 40,
             work: 321.5,

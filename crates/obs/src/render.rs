@@ -93,6 +93,15 @@ pub fn render_trace(t: &QueryTrace) -> String {
             ));
         }
     }
+    if !t.guard.is_empty() {
+        out.push_str("  guard interventions:\n");
+        for g in &t.guard {
+            out.push_str(&format!(
+                "    {:<20} fault={:<14} -> {}\n",
+                g.component, g.fault, g.action
+            ));
+        }
+    }
     if t.exec.timeout {
         out.push_str("  ** execution hit its work budget (timeout) **\n");
     }
@@ -149,7 +158,7 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
 mod tests {
     use super::*;
     use crate::metrics::MetricsRegistry;
-    use crate::trace::{CardLookup, OperatorEvent, QueryOutcome};
+    use crate::trace::{CardLookup, GuardEvent, OperatorEvent, QueryOutcome};
 
     #[test]
     fn trace_rendering_mentions_key_facts() {
@@ -173,6 +182,11 @@ mod tests {
             work: 64.0,
         });
         t.exec.timeout = true;
+        t.guard.push(GuardEvent {
+            component: "card:learned".into(),
+            fault: "deadline".into(),
+            action: "fallback:traditional".into(),
+        });
         t.outcome = Some(QueryOutcome {
             count: 80,
             work: 99.0,
@@ -188,6 +202,9 @@ mod tests {
             "{t0,t2}",
             "true=80",
             "q=4.00",
+            "guard interventions",
+            "fault=deadline",
+            "fallback:traditional",
             "timeout",
             "80 rows",
         ] {

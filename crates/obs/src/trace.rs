@@ -89,6 +89,18 @@ pub struct ExecTrace {
     pub timeout: bool,
 }
 
+/// One guard intervention while processing the query: a contained fault,
+/// a breaker decision, or an execution-layer replan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardEvent {
+    /// Guarded component (e.g. `"card:learned"`, `"driver:bao"`, `"exec"`).
+    pub component: String,
+    /// What went wrong (`"panic"`, `"nan"`, `"deadline"`, ...).
+    pub fault: String,
+    /// What the guard did about it (`"fallback:<rung>"`, `"replan:native"`).
+    pub action: String,
+}
+
 /// Final result facts, recorded when the query finishes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
@@ -115,6 +127,9 @@ pub struct QueryTrace {
     pub planner: PlannerTrace,
     /// Executor measurements.
     pub exec: ExecTrace,
+    /// Guard interventions (contained faults, fallbacks, replans), in
+    /// occurrence order. Empty when every component behaved.
+    pub guard: Vec<GuardEvent>,
     /// Final outcome, if the query ran to an answer.
     pub outcome: Option<QueryOutcome>,
 }
@@ -129,6 +144,7 @@ impl QueryTrace {
             phases: Vec::new(),
             planner: PlannerTrace::default(),
             exec: ExecTrace::default(),
+            guard: Vec::new(),
             outcome: None,
         }
     }

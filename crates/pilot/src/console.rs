@@ -2,11 +2,14 @@
 //! SQL through the active driver, and runs background model updates.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lqo_engine::query::parse_query;
 use lqo_engine::{EngineError, Result};
+use lqo_guard::{BreakerConfig, BreakerState, CircuitBreaker};
+use lqo_obs::trace::GuardEvent;
 use lqo_obs::trace::QueryOutcome;
 use lqo_obs::ObsContext;
 use serde::Serialize;
@@ -38,6 +41,14 @@ pub struct PilotConsole {
     session: SessionId,
     executed: usize,
     obs: ObsContext,
+    /// One circuit breaker per driver; a driver whose `algo` keeps
+    /// panicking, erroring, or blowing the deadline is cut off and its
+    /// queries delegate to the plain database until a probe succeeds.
+    breakers: HashMap<String, CircuitBreaker>,
+    breaker_cfg: BreakerConfig,
+    /// Per-query decision deadline for driver `algo` calls; `None`
+    /// disables deadline enforcement.
+    decision_deadline: Option<Duration>,
 }
 
 impl PilotConsole {
@@ -51,7 +62,28 @@ impl PilotConsole {
             session,
             executed: 0,
             obs: ObsContext::disabled(),
+            breakers: HashMap::new(),
+            breaker_cfg: BreakerConfig::default(),
+            decision_deadline: Some(Duration::from_millis(250)),
         }
+    }
+
+    /// Configure the driver guard: the per-query decision deadline
+    /// (`None` = unlimited) and the breaker parameters.
+    pub fn with_driver_guard(
+        mut self,
+        deadline: Option<Duration>,
+        breaker: BreakerConfig,
+    ) -> PilotConsole {
+        self.decision_deadline = deadline;
+        self.breaker_cfg = breaker;
+        self.breakers.clear();
+        self
+    }
+
+    /// Breaker state of a registered driver (for reports and tests).
+    pub fn breaker_state(&self, name: &str) -> Option<BreakerState> {
+        self.breakers.get(name).map(|b| b.state())
     }
 
     /// Attach an observability context: each `execute_sql` call becomes
@@ -102,14 +134,8 @@ impl PilotConsole {
         self.obs.begin_query(sql);
         let query = self.obs.phase("parse", || parse_query(sql))?;
         let mut decision_latency = None;
-        let decision = match &self.active {
-            Some(name) => {
-                let driver = self.drivers.get_mut(name).expect("active driver exists");
-                let start = Instant::now();
-                let decision = driver.algo(self.interactor.as_ref(), self.session, &query)?;
-                decision_latency = Some(start.elapsed());
-                decision
-            }
+        let decision = match self.active.clone() {
+            Some(name) => self.guarded_decision(&name, &query, &mut decision_latency),
             None => DriverDecision::Delegate,
         };
         if self.obs.is_enabled() {
@@ -147,20 +173,33 @@ impl PilotConsole {
             return Err(EngineError::InvalidPlan("expected execution reply".into()));
         };
         self.executed += 1;
-        if let Some(name) = &self.active {
-            let feedback = ExecFeedback {
-                query,
-                plan,
-                count,
-                work,
-                wall,
-            };
-            self.obs.phase("feedback", || {
-                self.drivers
-                    .get_mut(name)
-                    .expect("active driver exists")
-                    .collect(&feedback)
-            });
+        if let Some(name) = self.active.clone() {
+            if let Some(driver) = self.drivers.get_mut(&name) {
+                let feedback = ExecFeedback {
+                    query,
+                    plan,
+                    count,
+                    work,
+                    wall,
+                };
+                // A panicking feedback hook loses that driver its training
+                // sample, never the query's result.
+                let obs = &self.obs;
+                let contained = obs.phase("feedback", || {
+                    catch_unwind(AssertUnwindSafe(|| driver.collect(&feedback)))
+                });
+                if contained.is_err() {
+                    obs.count("lqo.guard.faults", 1);
+                    obs.count("lqo.guard.faults.panic", 1);
+                    obs.with_query(|t| {
+                        t.guard.push(GuardEvent {
+                            component: format!("driver:{name}"),
+                            fault: "panic".to_string(),
+                            action: "drop-feedback".to_string(),
+                        });
+                    });
+                }
+            }
         }
         if self.obs.is_enabled() {
             self.obs.count("lqo.pilot.queries", 1);
@@ -181,6 +220,80 @@ impl PilotConsole {
             driver: self.active.clone(),
             decision: decision_latency,
         })
+    }
+
+    /// Run the active driver's `algo` under the guard: breaker gate,
+    /// panic containment, and the decision deadline. Any contained
+    /// failure degrades the query to [`DriverDecision::Delegate`] (plain
+    /// database planning) and is recorded as a guard event.
+    fn guarded_decision(
+        &mut self,
+        name: &str,
+        query: &lqo_engine::SpjQuery,
+        latency: &mut Option<Duration>,
+    ) -> DriverDecision {
+        let Some(driver) = self.drivers.get_mut(name) else {
+            // start_driver validates names, but a missing driver must
+            // degrade to plain execution, never panic mid-query.
+            self.obs.count("lqo.guard.fallbacks", 1);
+            return DriverDecision::Delegate;
+        };
+        let breaker = self
+            .breakers
+            .entry(name.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.breaker_cfg.clone()));
+        if !breaker.allow() {
+            self.obs.count("lqo.guard.skips", 1);
+            self.obs.with_query(|t| {
+                t.guard.push(GuardEvent {
+                    component: format!("driver:{name}"),
+                    fault: "breaker-open".to_string(),
+                    action: "delegate".to_string(),
+                });
+            });
+            return DriverDecision::Delegate;
+        }
+        let interactor = self.interactor.clone();
+        let session = self.session;
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            driver.algo(interactor.as_ref(), session, query)
+        }));
+        let elapsed = start.elapsed();
+        self.obs
+            .observe("lqo.guard.decision_ns", elapsed.as_nanos() as f64);
+        let fault = match outcome {
+            Ok(Ok(decision)) => {
+                if self.decision_deadline.is_none_or(|d| elapsed <= d) {
+                    breaker.record_success();
+                    self.obs
+                        .gauge(&format!("lqo.guard.driver.{name}.breaker"), 0.0);
+                    *latency = Some(elapsed);
+                    return decision;
+                }
+                "deadline".to_string()
+            }
+            Ok(Err(e)) => e.to_string(),
+            Err(_) => "panic".to_string(),
+        };
+        let was_open = breaker.state() == BreakerState::Open;
+        breaker.record_failure();
+        let state = breaker.state();
+        if state == BreakerState::Open && !was_open {
+            self.obs.count("lqo.guard.breaker_opens", 1);
+        }
+        self.obs
+            .gauge(&format!("lqo.guard.driver.{name}.breaker"), state.code());
+        self.obs.count("lqo.guard.faults", 1);
+        self.obs.count("lqo.guard.fallbacks", 1);
+        self.obs.with_query(|t| {
+            t.guard.push(GuardEvent {
+                component: format!("driver:{name}"),
+                fault,
+                action: "delegate".to_string(),
+            });
+        });
+        DriverDecision::Delegate
     }
 
     /// Background tick: every driver updates its models (PilotScope's
@@ -267,5 +380,139 @@ mod tests {
     fn unknown_driver_is_rejected() {
         let (mut console, _) = console();
         assert!(console.start_driver(Some("nope")).is_err());
+    }
+
+    /// A driver whose `algo` panics on every call and whose feedback hook
+    /// panics too — the worst-behaved learned component possible.
+    struct HostileDriver;
+    impl Driver for HostileDriver {
+        fn name(&self) -> &str {
+            "hostile"
+        }
+        fn init(
+            &mut self,
+            _i: &dyn crate::interactor::DbInteractor,
+            _s: crate::interactor::SessionId,
+        ) -> Result<()> {
+            Ok(())
+        }
+        fn algo(
+            &mut self,
+            _i: &dyn crate::interactor::DbInteractor,
+            _s: crate::interactor::SessionId,
+            _q: &lqo_engine::SpjQuery,
+        ) -> Result<DriverDecision> {
+            panic!("injected driver panic");
+        }
+        fn collect(&mut self, _feedback: &ExecFeedback) {
+            panic!("injected feedback panic");
+        }
+    }
+
+    #[test]
+    fn panicking_driver_is_contained_and_circuit_broken() {
+        let baseline = {
+            let (mut plain, _) = console();
+            plain.execute_sql(SQL).unwrap().count
+        };
+        let (guarded, _) = console();
+        let obs = ObsContext::enabled();
+        let mut guarded = guarded.with_obs(obs.clone()).with_driver_guard(
+            Some(Duration::from_millis(250)),
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown_calls: 3,
+                max_backoff_level: 2,
+            },
+        );
+        guarded.register_driver(Box::new(HostileDriver)).unwrap();
+        guarded.start_driver(Some("hostile")).unwrap();
+
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+                                                // Every query succeeds with the correct answer despite the driver.
+        for _ in 0..6 {
+            let out = guarded.execute_sql(SQL).unwrap();
+            assert_eq!(out.count, baseline);
+            assert_eq!(out.decision, None, "no successful decision exists");
+        }
+        std::panic::set_hook(prev);
+        // Queries 1-2 panic and open the breaker; 3-5 are skipped while
+        // the cooldown ticks; query 6 is the half-open probe, panics, and
+        // re-opens it — two open transitions in total.
+        assert_eq!(guarded.breaker_state("hostile"), Some(BreakerState::Open));
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("lqo.guard.breaker_opens"), Some(2));
+        // 3 algo panics plus 6 contained feedback panics.
+        assert_eq!(snap.counter("lqo.guard.faults"), Some(9));
+        assert_eq!(snap.counter("lqo.guard.skips"), Some(3));
+        // The guard events landed on the traces.
+        let traces = obs.finished_traces();
+        assert!(traces
+            .iter()
+            .flat_map(|t| t.guard.iter())
+            .any(|g| g.component == "driver:hostile" && g.fault == "panic"));
+        assert!(traces
+            .iter()
+            .flat_map(|t| t.guard.iter())
+            .any(|g| g.fault == "breaker-open" && g.action == "delegate"));
+    }
+
+    #[test]
+    fn breaker_recovers_after_cooldown_probe() {
+        struct FlakyDriver {
+            calls: usize,
+        }
+        impl Driver for FlakyDriver {
+            fn name(&self) -> &str {
+                "flaky"
+            }
+            fn init(
+                &mut self,
+                _i: &dyn crate::interactor::DbInteractor,
+                _s: crate::interactor::SessionId,
+            ) -> Result<()> {
+                Ok(())
+            }
+            fn algo(
+                &mut self,
+                _i: &dyn crate::interactor::DbInteractor,
+                _s: crate::interactor::SessionId,
+                _q: &lqo_engine::SpjQuery,
+            ) -> Result<DriverDecision> {
+                self.calls += 1;
+                if self.calls <= 2 {
+                    panic!("transient failure");
+                }
+                Ok(DriverDecision::Delegate)
+            }
+        }
+        let (console, _) = console();
+        let mut console = console.with_driver_guard(
+            None,
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown_calls: 2,
+                max_backoff_level: 2,
+            },
+        );
+        console
+            .register_driver(Box::new(FlakyDriver { calls: 0 }))
+            .unwrap();
+        console.start_driver(Some("flaky")).unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for _ in 0..2 {
+            console.execute_sql(SQL).unwrap(); // panics -> breaker opens
+        }
+        std::panic::set_hook(prev);
+        assert_eq!(console.breaker_state("flaky"), Some(BreakerState::Open));
+        for _ in 0..2 {
+            console.execute_sql(SQL).unwrap(); // cooldown ticks
+        }
+        assert_eq!(console.breaker_state("flaky"), Some(BreakerState::HalfOpen));
+        let out = console.execute_sql(SQL).unwrap(); // successful probe
+        assert!(out.decision.is_some());
+        assert_eq!(console.breaker_state("flaky"), Some(BreakerState::Closed));
     }
 }
