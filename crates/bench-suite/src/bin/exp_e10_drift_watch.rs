@@ -1,0 +1,50 @@
+//! Experiment binary — see `lqo_bench_suite::experiments::e10_drift_watch`.
+//! Scale with `LQO_SCALE=small|default|large`.
+//!
+//! Artifacts: `results/exp_e10_drift_watch.json` (summary),
+//! `results/exp_e10_series.jsonl` (monitor time series), and
+//! `results/dashboard.html` (self-contained model-health dashboard).
+
+use lqo_bench_suite::experiments::e10_drift_watch::{run_watched, summarize, Config};
+use lqo_bench_suite::report::{dump_json, dump_text, obs_report};
+use lqo_watch::{render_dashboard, render_health_ansi, write_series_jsonl};
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running e10_drift_watch with {cfg:?}");
+    let out = run_watched(&cfg);
+    println!("{}", out.table.render());
+
+    let report = out.monitor.report();
+    println!("{}", render_health_ansi(&report));
+    println!("{}", obs_report(&out.obs));
+
+    assert_eq!(
+        out.stationary_alarms, 0,
+        "model-health alarm fired before the drift point"
+    );
+    for c in report
+        .components
+        .iter()
+        .filter(|c| c.name.starts_with("card:"))
+    {
+        let first = c
+            .first_alarm
+            .unwrap_or_else(|| panic!("{}: no alarm after the drift point", c.name));
+        assert!(
+            first > out.drift_point,
+            "{}: alarm at {first} not after drift point {}",
+            c.name,
+            out.drift_point
+        );
+    }
+
+    dump_json("exp_e10_drift_watch", &summarize(&out));
+    let series = out.monitor.series();
+    dump_text("exp_e10_series.jsonl", &write_series_jsonl(&series));
+    dump_text("dashboard.html", &render_dashboard(&report, &series));
+    eprintln!(
+        "wrote {} series samples to results/exp_e10_series.jsonl and results/dashboard.html",
+        series.len()
+    );
+}

@@ -1,13 +1,21 @@
 //! Experiment binary — see `lqo_bench_suite::experiments::e5_regression`.
 //! Scale with `LQO_SCALE=small|default|large`.
 
-use lqo_bench_suite::experiments::e5_regression::{run, Config};
-use lqo_bench_suite::report::dump_json;
+use lqo_bench_suite::experiments::e5_regression::{run_traced, Config};
+use lqo_bench_suite::report::{dump_json, dump_text, obs_report};
+use lqo_obs::export::write_jsonl;
 
 fn main() {
     let cfg = Config::default();
     eprintln!("running e5_regression with {cfg:?}");
-    let table = run(&cfg);
+    let (table, obs) = run_traced(&cfg);
     println!("{}", table.render());
+    println!("{}", obs_report(&obs));
     dump_json("exp_e5_regression", &table);
+    let traces = obs.take_finished_traces();
+    dump_text("exp_e5_traces.jsonl", &write_jsonl(&traces));
+    eprintln!(
+        "wrote {} query traces to results/exp_e5_traces.jsonl",
+        traces.len()
+    );
 }

@@ -7,10 +7,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use lqo_card::estimator::{label_workload, FitContext};
+use lqo_card::estimator::{label_workload, CardEstimator, FitContext, LabeledSubquery};
 use lqo_card::registry::{build_estimator, EstimatorKind};
 use lqo_engine::datagen::{correlated_table, SingleTableConfig};
 use lqo_engine::{Catalog, TrueCardOracle};
+use lqo_obs::trace::{CardLookup, OperatorEvent, QueryOutcome};
+use lqo_obs::ObsContext;
 
 use crate::metrics::QErrorSummary;
 use crate::report::TextTable;
@@ -56,8 +58,64 @@ impl Default for Config {
     }
 }
 
-/// Run E1: returns the static-vs-drift table.
+/// Evaluate one estimator over a labeled set, recording per-estimate
+/// metrics and one synthesized provenance trace per point: the estimate
+/// as a planner card lookup, the oracle truth as the operator's measured
+/// cardinality. That is exactly the feedback shape a live system would
+/// harvest, so the JSONL dump slots into the same tooling as E8/E9.
+fn evaluate_traced(
+    obs: &ObsContext,
+    phase: &str,
+    name: &str,
+    est: &dyn CardEstimator,
+    labeled: &[LabeledSubquery],
+) -> Vec<(f64, f64)> {
+    labeled
+        .iter()
+        .map(|l| {
+            obs.begin_query(&format!("{phase}/{name}: {}", l.query));
+            let t0 = Instant::now();
+            let pred = est.estimate(&l.query, l.set);
+            let ns = t0.elapsed().as_nanos() as u64;
+            let (e, t) = (pred.max(1.0), l.card.max(1.0));
+            obs.count("lqo.card.estimates", 1);
+            obs.observe(&format!("lqo.card.q_error.{phase}"), (e / t).max(t / e));
+            obs.observe("lqo.card.estimate_ns", ns as f64);
+            obs.with_query(|tr| {
+                tr.planner.card_source = Some(name.to_string());
+                tr.planner.card_lookups.push(CardLookup {
+                    tables: l.set.0,
+                    est_rows: pred,
+                });
+                tr.record_phase("estimate", ns);
+                tr.exec.operators.push(OperatorEvent {
+                    op: "Scan".into(),
+                    tables: l.set.0,
+                    true_rows: l.card as u64,
+                    est_rows: Some(pred),
+                    work: l.card,
+                });
+                tr.outcome = Some(QueryOutcome {
+                    count: l.card as u64,
+                    work: l.card,
+                    wall_ns: ns,
+                });
+            });
+            obs.end_query();
+            (pred, l.card)
+        })
+        .collect()
+}
+
+/// Run E1 and return just the static-vs-drift table.
 pub fn run(cfg: &Config) -> TextTable {
+    run_traced(cfg).0
+}
+
+/// Run E1: returns the static-vs-drift table plus the observability
+/// context holding per-estimate metrics and synthesized traces.
+pub fn run_traced(cfg: &Config) -> (TextTable, ObsContext) {
+    let obs = ObsContext::enabled();
     // Static world.
     let base_cfg = SingleTableConfig {
         nrows: cfg.nrows.max(200),
@@ -121,14 +179,8 @@ pub fn run(cfg: &Config) -> TextTable {
         let t0 = Instant::now();
         let est = build_estimator(kind, &ctx, &oracle, &train);
         let fit_ms = t0.elapsed().as_millis();
-        let static_pairs: Vec<(f64, f64)> = eval
-            .iter()
-            .map(|l| (est.estimate(&l.query, l.set), l.card))
-            .collect();
-        let drift_pairs: Vec<(f64, f64)> = drift_eval
-            .iter()
-            .map(|l| (est.estimate(&l.query, l.set), l.card))
-            .collect();
+        let static_pairs = evaluate_traced(&obs, "static", est.name(), est.as_ref(), &eval);
+        let drift_pairs = evaluate_traced(&obs, "drift", est.name(), est.as_ref(), &drift_eval);
         let qs = QErrorSummary::from_pairs(&static_pairs);
         let qd = QErrorSummary::from_pairs(&drift_pairs);
         table.row(vec![
@@ -153,10 +205,13 @@ pub fn run(cfg: &Config) -> TextTable {
     let t0 = Instant::now();
     let refreshed = build_estimator(EstimatorKind::Histogram, &drift_ctx, &drift_oracle, &[]);
     let fit_ms = t0.elapsed().as_millis();
-    let pairs: Vec<(f64, f64)> = drift_eval
-        .iter()
-        .map(|l| (refreshed.estimate(&l.query, l.set), l.card))
-        .collect();
+    let pairs = evaluate_traced(
+        &obs,
+        "drift",
+        "Histogram-refreshed",
+        refreshed.as_ref(),
+        &drift_eval,
+    );
     let q = QErrorSummary::from_pairs(&pairs);
     table.row(vec![
         "Histogram (refreshed)".into(),
@@ -182,10 +237,13 @@ pub fn run(cfg: &Config) -> TextTable {
     augmented.extend(update);
     let warped = build_estimator(EstimatorKind::GbdtQd, &drift_ctx, &drift_oracle, &augmented);
     let fit_ms = t0.elapsed().as_millis();
-    let pairs: Vec<(f64, f64)> = drift_eval
-        .iter()
-        .map(|l| (warped.estimate(&l.query, l.set), l.card))
-        .collect();
+    let pairs = evaluate_traced(
+        &obs,
+        "drift",
+        "GBDT-QD-Warper",
+        warped.as_ref(),
+        &drift_eval,
+    );
     let q = QErrorSummary::from_pairs(&pairs);
     table.row(vec![
         format!("GBDT-QD + Warper (drift on {drifted_tables:?})"),
@@ -196,7 +254,7 @@ pub fn run(cfg: &Config) -> TextTable {
         warped.model_size().to_string(),
         fit_ms.to_string(),
     ]);
-    table
+    (table, obs)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use learned_qo::framework::{LearnedOptimizer, OptContext};
 use learned_qo::harness::TrainingLoop;
 use learned_qo::{bao, hyper_qo, GuardedOptimizer};
 use lqo_engine::datagen::imdb_like;
+use lqo_obs::ObsContext;
 
 use crate::report::TextTable;
 use crate::workload::{generate_workload, WorkloadConfig};
@@ -56,10 +57,17 @@ fn train_then_evaluate(
     eval.run_epoch(opt, false)
 }
 
-/// Run E5.
+/// Run E5 and return just the table.
 pub fn run(cfg: &Config) -> TextTable {
+    run_traced(cfg).0
+}
+
+/// Run E5: returns the table plus the observability context the training
+/// and evaluation loops traced into (all systems share it).
+pub fn run_traced(cfg: &Config) -> (TextTable, ObsContext) {
+    let obs = ObsContext::enabled();
     let catalog = Arc::new(imdb_like(cfg.scale.max(40), cfg.seed).unwrap());
-    let ctx = OptContext::new(catalog.clone());
+    let ctx = OptContext::new(catalog.clone()).with_obs(obs.clone());
     let train_w = generate_workload(
         &catalog,
         &WorkloadConfig {
@@ -81,8 +89,12 @@ pub fn run(cfg: &Config) -> TextTable {
             seed: cfg.seed ^ 0x61,
         },
     );
-    let train = TrainingLoop::new(ctx.clone(), train_w).unwrap();
-    let eval = TrainingLoop::new(ctx.clone(), eval_w).unwrap();
+    let train = TrainingLoop::new(ctx.clone(), train_w)
+        .unwrap()
+        .with_obs(obs.clone());
+    let eval = TrainingLoop::new(ctx.clone(), eval_w)
+        .unwrap()
+        .with_obs(obs.clone());
     let native_total = eval.native_total();
 
     let mut table = TextTable::new(
@@ -119,7 +131,7 @@ pub fn run(cfg: &Config) -> TextTable {
             stats.timeouts.to_string(),
         ]);
     }
-    table
+    (table, obs)
 }
 
 #[cfg(test)]

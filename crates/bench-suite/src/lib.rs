@@ -16,6 +16,7 @@
 //! | E7 | `exp_e7_cost_models` | learned cost models |
 //! | E8 | `exp_e8_pilotscope` | PilotScope overhead & drivers |
 //! | E9 | `exp_e9_chaos` | fault injection & guarded degradation |
+//! | E10 | `exp_e10_drift_watch` | lqo-watch model-health monitor on the E1 drift scenario |
 
 #![warn(missing_docs)]
 

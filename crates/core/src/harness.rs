@@ -3,9 +3,12 @@
 //! plans with a timeout budget, feeding back measured work, and comparing
 //! against the native baseline per epoch.
 
+use std::sync::Arc;
+
 use lqo_engine::{EngineError, ExecConfig, Executor, PhysNode, Result, SpjQuery};
 use lqo_obs::trace::QueryOutcome;
 use lqo_obs::ObsContext;
+use lqo_watch::ModelHealthMonitor;
 use serde::Serialize;
 
 use crate::framework::{LearnedOptimizer, OptContext};
@@ -62,6 +65,7 @@ pub struct TrainingLoop {
     native_plans: Vec<PhysNode>,
     queries: Vec<SpjQuery>,
     obs: ObsContext,
+    watch: Option<Arc<ModelHealthMonitor>>,
 }
 
 impl TrainingLoop {
@@ -84,6 +88,7 @@ impl TrainingLoop {
             native_plans,
             queries,
             obs: ObsContext::disabled(),
+            watch: None,
         })
     }
 
@@ -92,6 +97,15 @@ impl TrainingLoop {
     /// training, and epoch metrics land in the registry.
     pub fn with_obs(mut self, obs: ObsContext) -> TrainingLoop {
         self.obs = obs;
+        self
+    }
+
+    /// Attach a model-health monitor: every finished trace is ingested
+    /// together with its query's native-baseline work, so the monitor
+    /// sees estimate accuracy, calibration, SLO latencies, and per-query
+    /// regressions with ranked blame. Requires an enabled obs context.
+    pub fn with_watch(mut self, watch: Arc<ModelHealthMonitor>) -> TrainingLoop {
+        self.watch = Some(watch);
         self
     }
 
@@ -175,7 +189,10 @@ impl TrainingLoop {
             };
             if self.obs.is_enabled() {
                 self.obs.with_query(|t| t.join_estimates());
-                self.obs.end_query();
+                let trace = self.obs.end_query();
+                if let (Some(watch), Some(trace)) = (&self.watch, trace) {
+                    watch.ingest_trace(&trace, Some(self.native_work[i]));
+                }
             }
             let ratio = work / self.native_work[i];
             if ratio > 1.1 {
@@ -288,6 +305,33 @@ mod tests {
             snap.counter("lqo.guard.train_plan_failures"),
             Some(n as u64)
         );
+    }
+
+    #[test]
+    fn watch_monitor_ingests_training_traces() {
+        use lqo_watch::WatchConfig;
+
+        let (ctx, queries) = fixture();
+        let obs = ObsContext::enabled();
+        // The planner records card lookups through the context's obs, so
+        // the traces carry estimate/truth pairs for the monitor.
+        let ctx = ctx.with_obs(obs.clone());
+        let watch = Arc::new(ModelHealthMonitor::new(WatchConfig::default()));
+        let training = TrainingLoop::new(ctx.clone(), queries)
+            .unwrap()
+            .with_obs(obs)
+            .with_watch(watch.clone());
+        let mut native = NativeBaseline::new(ctx);
+        training.run_epoch(&mut native, false);
+        let report = watch.report();
+        // Operator estimate/truth pairs flowed into per-component sketches
+        // and the SLO tracker saw every query's latencies.
+        assert!(!report.components.is_empty());
+        let total_obs: u64 = report.components.iter().map(|c| c.observations).sum();
+        assert!(total_obs > 0);
+        assert_eq!(report.slo.exec.count, training.queries().len() as u64);
+        // The native baseline run cannot regress against itself.
+        assert!(report.regressions.is_empty());
     }
 
     #[test]

@@ -233,7 +233,8 @@ impl CardSource for ScaledCardSource {
     }
 }
 
-/// Decorator that reports every cardinality lookup to an [`ObsContext`]:
+/// Decorator that reports every cardinality lookup to an
+/// [`lqo_obs::ObsContext`]:
 /// each call is appended to the current query trace as a
 /// [`lqo_obs::trace::CardLookup`] and counted under `lqo.card.lookups`.
 /// Wrapped locally by the obs-aware enumerators, so estimator code and

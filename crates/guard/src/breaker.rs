@@ -52,6 +52,26 @@ impl BreakerState {
             BreakerState::Open => 2.0,
         }
     }
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::HalfOpen => "half-open",
+            BreakerState::Open => "open",
+        }
+    }
+}
+
+/// A point-in-time breaker snapshot, cheap to hand to health monitors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerStats {
+    /// Current state.
+    pub state: BreakerState,
+    /// Current backoff exponent.
+    pub backoff_level: u32,
+    /// Lifetime open transitions.
+    pub opens: u64,
 }
 
 #[derive(Debug)]
@@ -98,6 +118,16 @@ impl CircuitBreaker {
     /// Times the breaker has transitioned to open.
     pub fn opens(&self) -> u64 {
         self.inner.lock().opens
+    }
+
+    /// A consistent snapshot of state, backoff level, and open count.
+    pub fn stats(&self) -> BreakerStats {
+        let g = self.inner.lock();
+        BreakerStats {
+            state: g.state,
+            backoff_level: g.backoff_level,
+            opens: g.opens,
+        }
     }
 
     /// Gate one call: `true` means the protected component should be
@@ -248,5 +278,18 @@ mod tests {
         assert_eq!(BreakerState::Closed.code(), 0.0);
         assert_eq!(BreakerState::HalfOpen.code(), 1.0);
         assert_eq!(BreakerState::Open.code(), 2.0);
+        assert_eq!(BreakerState::HalfOpen.name(), "half-open");
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        let s = b.stats();
+        assert_eq!(s.state, BreakerState::Open);
+        assert_eq!(s.opens, 1);
+        assert_eq!(s.backoff_level, 0);
     }
 }

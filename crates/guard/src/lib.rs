@@ -39,7 +39,7 @@ pub mod exec_guard;
 pub mod fault;
 pub mod guarded;
 
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use exec_guard::{GuardedExecution, RegressionGuard, RegressionGuardConfig};
 pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultyCardSource, FaultyEstimator};
 pub use guarded::{

@@ -5,6 +5,7 @@
 //! is covered by tests.
 
 use crate::json::{parse, Value};
+use crate::metrics::{Histogram, MetricsSnapshot};
 use crate::trace::{
     CardLookup, ExecTrace, GuardEvent, OperatorEvent, PhaseTiming, PlannerTrace, QueryOutcome,
     QueryTrace,
@@ -209,6 +210,78 @@ pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
     })
 }
 
+/// Encode a histogram as a JSON object: totals, interpolated quantiles,
+/// and every populated bucket with its *boundaries* (`lo` exclusive,
+/// `hi` inclusive; `null` stands for an unbounded edge) so consumers can
+/// re-bin or render without knowing the log₂ layout.
+pub fn histogram_to_json(h: &Histogram) -> Value {
+    let bound = |b: f64| {
+        if b.is_finite() {
+            Value::Float(b)
+        } else {
+            Value::Null
+        }
+    };
+    let buckets = h
+        .bucket_counts()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            Value::Obj(vec![
+                ("lo".into(), bound(Histogram::bucket_lower_bound(i))),
+                ("hi".into(), bound(Histogram::bucket_upper_bound(i))),
+                ("count".into(), u64_value(c)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("count".into(), u64_value(h.count())),
+        ("sum".into(), Value::Float(h.sum())),
+        ("min".into(), opt_f64(h.min())),
+        ("max".into(), opt_f64(h.max())),
+        ("p50".into(), opt_f64(h.quantile(0.5))),
+        ("p95".into(), opt_f64(h.quantile(0.95))),
+        ("p99".into(), opt_f64(h.quantile(0.99))),
+        ("buckets".into(), Value::Arr(buckets)),
+    ])
+}
+
+/// Encode a whole metrics snapshot as one JSON object
+/// (`counters`/`gauges`/`histograms` keyed by metric name), histograms
+/// via [`histogram_to_json`].
+pub fn snapshot_to_json(snap: &MetricsSnapshot) -> Value {
+    Value::Obj(vec![
+        (
+            "counters".into(),
+            Value::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), u64_value(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".into(),
+            Value::Obj(
+                snap.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".into(),
+            Value::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), histogram_to_json(h)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Serialize traces as JSONL: one compact JSON object per line.
 pub fn write_jsonl(traces: &[QueryTrace]) -> String {
     let mut out = String::new();
@@ -280,6 +353,63 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         let back = parse_jsonl(&text).expect("parse");
         assert_eq!(back, traces);
+    }
+
+    #[test]
+    fn histogram_json_carries_bucket_boundaries() {
+        let mut h = Histogram::new();
+        for i in 1..=64 {
+            h.record(i as f64);
+        }
+        let v = histogram_to_json(&h);
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(64));
+        assert_eq!(v.get("p50").unwrap().as_f64(), Some(32.0));
+        assert_eq!(v.get("p95").unwrap().as_f64(), Some(61.0));
+        let buckets = v.get("buckets").unwrap().as_arr().unwrap();
+        // 1..=64 spans buckets (0.5,1], (1,2], ..., (32,64]: seven.
+        assert_eq!(buckets.len(), 7);
+        let total: u64 = buckets
+            .iter()
+            .map(|b| b.get("count").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 64);
+        let last = buckets.last().unwrap();
+        assert_eq!(last.get("lo").unwrap().as_f64(), Some(32.0));
+        assert_eq!(last.get("hi").unwrap().as_f64(), Some(64.0));
+        // Adjacent buckets tile: each lo equals the previous hi.
+        for w in buckets.windows(2) {
+            assert_eq!(
+                w[0].get("hi").unwrap().as_f64(),
+                w[1].get("lo").unwrap().as_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_json_lists_all_metric_kinds() {
+        use crate::metrics::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        reg.inc_counter("lqo.exec.queries", 3);
+        reg.set_gauge("lqo.watch.health.card", 1.0);
+        reg.observe("lqo.card.qerror", 2.0);
+        let v = snapshot_to_json(&reg.snapshot());
+        let text = v.to_compact();
+        assert!(crate::json::parse(&text).is_some());
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("lqo.exec.queries")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        assert!(v
+            .get("histograms")
+            .unwrap()
+            .get("lqo.card.qerror")
+            .unwrap()
+            .get("buckets")
+            .is_some());
     }
 
     #[test]

@@ -83,6 +83,23 @@ impl Histogram {
         }
     }
 
+    /// The exclusive lower bound of bucket `i`. The first finite bucket
+    /// catches every positive value below its upper bound, so its lower
+    /// bound is `0.0`; the underflow bucket has no lower bound.
+    pub fn bucket_lower_bound(i: usize) -> f64 {
+        if i <= 1 {
+            if i == 0 {
+                f64::NEG_INFINITY
+            } else {
+                0.0
+            }
+        } else if i >= HIST_BUCKETS - 1 {
+            pow2(HIST_MAX_EXP)
+        } else {
+            pow2(HIST_MIN_EXP + (i as i32 - 2))
+        }
+    }
+
     /// Record one observation.
     pub fn record(&mut self, value: f64) {
         self.counts[Self::bucket_index(value)] += 1;
@@ -141,6 +158,62 @@ impl Histogram {
             }
         }
         Some(f64::INFINITY)
+    }
+
+    /// The `q`-quantile with within-bucket linear interpolation, `None`
+    /// if empty. The `k`-th of `c` observations in bucket `(lo, hi]` maps
+    /// to `lo + (k/c)·(hi − lo)`, and the result is clamped to the exact
+    /// observed `[min, max]` — so a histogram of identical values reports
+    /// that value at every quantile, and quantiles are monotone in `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let value = if i == 0 {
+                    0.0 // underflow: v <= 0, reported as the bound
+                } else if i == HIST_BUCKETS - 1 {
+                    // Overflow: no finite upper bound to interpolate to.
+                    return Some(if self.max.is_finite() {
+                        self.max
+                    } else {
+                        f64::INFINITY
+                    });
+                } else {
+                    let lo = Self::bucket_lower_bound(i);
+                    let hi = Self::bucket_upper_bound(i);
+                    let frac = (target - seen) as f64 / c as f64;
+                    lo + frac * (hi - lo)
+                };
+                return Some(if self.min.is_finite() && self.max.is_finite() {
+                    value.clamp(self.min.min(self.max), self.max)
+                } else {
+                    value
+                });
+            }
+            seen += c;
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Merge another histogram into this one: bucket counts add, totals
+    /// and extrema combine. `a.merge(&b)` equals recording every
+    /// observation of `b` into `a`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -291,5 +364,67 @@ mod tests {
         assert_eq!(h.quantile_upper(0.5), Some(4.0));
         assert_eq!(h.quantile_upper(1.0), Some(1024.0));
         assert_eq!(Histogram::new().quantile_upper(0.5), None);
+    }
+
+    #[test]
+    fn interpolated_quantiles_pin_known_sample() {
+        // 1..=64: bucket boundaries are powers of two, so within-bucket
+        // linear interpolation lands exactly on the nearest-rank values.
+        let mut h = Histogram::new();
+        for i in 1..=64 {
+            h.record(i as f64);
+        }
+        // p50: rank 32 closes bucket (16, 32] -> exactly 32.
+        assert_eq!(h.quantile(0.5), Some(32.0));
+        // p95: rank 61 is the 29th of 32 samples in (32, 64] -> 61.
+        assert_eq!(h.quantile(0.95), Some(61.0));
+        assert_eq!(h.quantile(1.0), Some(64.0));
+        // Versus the old upper-bound report, a full power of two high.
+        assert_eq!(h.quantile_upper(0.5), Some(32.0));
+        assert_eq!(h.quantile_upper(0.95), Some(64.0));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn constant_samples_report_their_value_at_every_quantile() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(3.0); // bucket (2, 4]: interpolation clamps to max
+        }
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), Some(3.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for i in 1..HIST_BUCKETS - 1 {
+            let lo = Histogram::bucket_lower_bound(i);
+            let hi = Histogram::bucket_upper_bound(i);
+            assert!(lo < hi, "bucket {i}: {lo} >= {hi}");
+            if i > 1 {
+                assert_eq!(Histogram::bucket_upper_bound(i - 1), lo);
+            }
+        }
+        assert_eq!(Histogram::bucket_lower_bound(1), 0.0);
+        assert!(Histogram::bucket_upper_bound(HIST_BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [0.5, 3.0, 17.0, 900.0] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [-1.0, 2.0, 64.0] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 7);
     }
 }

@@ -136,7 +136,7 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
         out.push_str("histograms:\n");
         out.push_str(&format!(
             "  {:<36} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
-            "name", "count", "mean", "p50<=", "p99<=", "max"
+            "name", "count", "mean", "p50", "p99", "max"
         ));
         for (name, h) in &snap.histograms {
             let fmt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
@@ -145,8 +145,8 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
                 name,
                 h.count(),
                 fmt(h.mean()),
-                fmt(h.quantile_upper(0.5)),
-                fmt(h.quantile_upper(0.99)),
+                fmt(h.quantile(0.5)),
+                fmt(h.quantile(0.99)),
                 fmt(h.max()),
             ));
         }
@@ -222,6 +222,6 @@ mod tests {
         assert!(text.contains("lqo.exec.queries"));
         assert!(text.contains("lqo.plan.last_cost"));
         assert!(text.contains("lqo.card.qerror"));
-        assert!(text.contains("p99<="));
+        assert!(text.contains("p99"));
     }
 }

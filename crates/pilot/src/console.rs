@@ -8,10 +8,11 @@ use std::time::{Duration, Instant};
 
 use lqo_engine::query::parse_query;
 use lqo_engine::{EngineError, Result};
-use lqo_guard::{BreakerConfig, BreakerState, CircuitBreaker};
+use lqo_guard::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 use lqo_obs::trace::GuardEvent;
 use lqo_obs::trace::QueryOutcome;
 use lqo_obs::ObsContext;
+use lqo_watch::ModelHealthMonitor;
 use serde::Serialize;
 
 use crate::driver::{Driver, DriverDecision, ExecFeedback};
@@ -49,6 +50,9 @@ pub struct PilotConsole {
     /// Per-query decision deadline for driver `algo` calls; `None`
     /// disables deadline enforcement.
     decision_deadline: Option<Duration>,
+    /// Optional model-health monitor: finished traces are ingested and
+    /// breaker transitions correlated per driver component.
+    watch: Option<Arc<ModelHealthMonitor>>,
 }
 
 impl PilotConsole {
@@ -65,6 +69,7 @@ impl PilotConsole {
             breakers: HashMap::new(),
             breaker_cfg: BreakerConfig::default(),
             decision_deadline: Some(Duration::from_millis(250)),
+            watch: None,
         }
     }
 
@@ -84,6 +89,25 @@ impl PilotConsole {
     /// Breaker state of a registered driver (for reports and tests).
     pub fn breaker_state(&self, name: &str) -> Option<BreakerState> {
         self.breakers.get(name).map(|b| b.state())
+    }
+
+    /// Full breaker snapshot of a registered driver.
+    pub fn breaker_stats(&self, name: &str) -> Option<BreakerStats> {
+        self.breakers.get(name).map(|b| b.stats())
+    }
+
+    /// Attach a model-health monitor. Requires an enabled obs context to
+    /// see traces: every finished query trace is ingested (estimate
+    /// accuracy, cost calibration, SLO latencies, guard events), and
+    /// breaker state changes are reported per `driver:<name>` component.
+    pub fn with_watch(mut self, watch: Arc<ModelHealthMonitor>) -> PilotConsole {
+        self.watch = Some(watch);
+        self
+    }
+
+    /// The attached model-health monitor, if any.
+    pub fn watch(&self) -> Option<&Arc<ModelHealthMonitor>> {
+        self.watch.as_ref()
     }
 
     /// Attach an observability context: each `execute_sql` call becomes
@@ -147,6 +171,8 @@ impl PilotConsole {
             });
             if let Some(ns) = decision_ns {
                 self.obs.observe("lqo.pilot.decision_ns", ns as f64);
+                self.obs
+                    .observe("lqo.pilot.decision_us", ns as f64 / 1_000.0);
             }
         }
         let request = match decision {
@@ -164,12 +190,12 @@ impl PilotConsole {
         } = (match reply {
             Ok(r) => r,
             Err(e) => {
-                self.obs.end_query();
+                self.finish_query();
                 return Err(e);
             }
         })
         else {
-            self.obs.end_query();
+            self.finish_query();
             return Err(EngineError::InvalidPlan("expected execution reply".into()));
         };
         self.executed += 1;
@@ -211,7 +237,7 @@ impl PilotConsole {
                 });
                 t.join_estimates();
             });
-            self.obs.end_query();
+            self.finish_query();
         }
         Ok(ExecOutcome {
             count,
@@ -220,6 +246,14 @@ impl PilotConsole {
             driver: self.active.clone(),
             decision: decision_latency,
         })
+    }
+
+    /// Finalize the in-flight trace and feed it to the health monitor.
+    fn finish_query(&self) {
+        let trace = self.obs.end_query();
+        if let (Some(watch), Some(trace)) = (&self.watch, trace) {
+            watch.ingest_trace(&trace, None);
+        }
     }
 
     /// Run the active driver's `algo` under the guard: breaker gate,
@@ -243,6 +277,10 @@ impl PilotConsole {
             .entry(name.to_string())
             .or_insert_with(|| CircuitBreaker::new(self.breaker_cfg.clone()));
         if !breaker.allow() {
+            if let Some(watch) = &self.watch {
+                let s = breaker.stats();
+                watch.record_breaker(&format!("driver:{name}"), s.state.code(), s.opens);
+            }
             self.obs.count("lqo.guard.skips", 1);
             self.obs.with_query(|t| {
                 t.guard.push(GuardEvent {
@@ -266,6 +304,10 @@ impl PilotConsole {
             Ok(Ok(decision)) => {
                 if self.decision_deadline.is_none_or(|d| elapsed <= d) {
                     breaker.record_success();
+                    if let Some(watch) = &self.watch {
+                        let s = breaker.stats();
+                        watch.record_breaker(&format!("driver:{name}"), s.state.code(), s.opens);
+                    }
                     self.obs
                         .gauge(&format!("lqo.guard.driver.{name}.breaker"), 0.0);
                     *latency = Some(elapsed);
@@ -281,6 +323,9 @@ impl PilotConsole {
         let state = breaker.state();
         if state == BreakerState::Open && !was_open {
             self.obs.count("lqo.guard.breaker_opens", 1);
+        }
+        if let Some(watch) = &self.watch {
+            watch.record_breaker(&format!("driver:{name}"), state.code(), breaker.opens());
         }
         self.obs
             .gauge(&format!("lqo.guard.driver.{name}.breaker"), state.code());
@@ -456,6 +501,82 @@ mod tests {
             .iter()
             .flat_map(|t| t.guard.iter())
             .any(|g| g.fault == "breaker-open" && g.action == "delegate"));
+    }
+
+    #[test]
+    fn watch_monitor_sees_traces_and_breaker_state() {
+        use lqo_watch::{HealthState, WatchConfig};
+
+        let baseline = {
+            let (mut plain, _) = console();
+            plain.execute_sql(SQL).unwrap().count
+        };
+        let (console_, ctx) = console();
+        let obs = ObsContext::enabled();
+        let watch = Arc::new(ModelHealthMonitor::new(WatchConfig::default()).with_obs(obs.clone()));
+        let mut console_ = console_
+            .with_obs(obs.clone())
+            .with_watch(watch.clone())
+            .with_driver_guard(
+                Some(Duration::from_millis(250)),
+                BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown_calls: 3,
+                    max_backoff_level: 2,
+                },
+            );
+        let fit = FitContext {
+            catalog: ctx.catalog.clone(),
+            stats: ctx.stats.clone(),
+        };
+        let est = Arc::new(SamplingEstimator::fit(&fit));
+        console_
+            .register_driver(Box::new(CardDriver::new(est)))
+            .unwrap();
+        console_.register_driver(Box::new(HostileDriver)).unwrap();
+
+        // Healthy driver: traces flow into the monitor.
+        console_.start_driver(Some("learned-cardinality")).unwrap();
+        for _ in 0..4 {
+            assert_eq!(console_.execute_sql(SQL).unwrap().count, baseline);
+        }
+        let report = watch.report();
+        assert!(!report.components.is_empty());
+        assert!(report.slo.plan.count >= 4, "plan SLO saw the queries");
+        assert_eq!(report.overall(), HealthState::Healthy);
+
+        // Hostile driver: panics open the breaker; the monitor both sees
+        // the guard events on traces and the reported breaker state.
+        console_.start_driver(Some("hostile")).unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for _ in 0..3 {
+            assert_eq!(console_.execute_sql(SQL).unwrap().count, baseline);
+        }
+        std::panic::set_hook(prev);
+        assert_eq!(console_.breaker_state("hostile"), Some(BreakerState::Open));
+        let stats = console_.breaker_stats("hostile").unwrap();
+        assert_eq!(stats.opens, 1);
+        assert_eq!(
+            watch.health("driver:hostile"),
+            Some(HealthState::Degrading),
+            "open breaker degrades the driver component"
+        );
+        let hostile = watch
+            .report()
+            .components
+            .into_iter()
+            .find(|c| c.name == "driver:hostile")
+            .unwrap();
+        assert!(hostile.guard_faults >= 2, "guard events correlated");
+        assert_eq!(hostile.breaker_state, 2.0);
+        // The decision-latency histogram (microseconds) recorded the
+        // healthy driver's decisions.
+        let snap = obs.metrics().unwrap().snapshot();
+        let us = snap
+            .histogram("lqo.pilot.decision_us")
+            .expect("decision_us");
+        assert!(us.count() >= 4);
     }
 
     #[test]

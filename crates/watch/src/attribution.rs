@@ -1,0 +1,139 @@
+//! Per-query regression attribution: which estimate is to blame?
+//!
+//! When a steered plan loses to the native baseline, the useful question
+//! is not *that* it lost but *which estimator error explains the
+//! choice*. Every operator in a [`QueryTrace`] carries the planner's
+//! estimate and the executor's truth; an operator's blame score weighs
+//! its log q-error by the share of the query's work spent under it, so a
+//! 100× miss on the operator that consumed 90% of the runtime outranks a
+//! 1000× miss on a one-row side branch.
+
+use lqo_obs::trace::QueryTrace;
+
+/// One operator's share of the blame for a regressed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blame {
+    /// Operator label (`"HashJoin"`, `"Scan"`, ...).
+    pub op: String,
+    /// Table-set bitmask of the operator's output.
+    pub tables: u64,
+    /// The q-error of the planner's estimate at this operator.
+    pub q_error: f64,
+    /// Fraction of the query's work charged to this operator.
+    pub work_share: f64,
+    /// Ranking score: `ln(q_error) · work_share`.
+    pub score: f64,
+}
+
+/// Rank the operators of a trace by blame score, descending. Operators
+/// without both an estimate and a truth are skipped; ties break on the
+/// table mask so the order is deterministic.
+pub fn rank_blame(trace: &QueryTrace) -> Vec<Blame> {
+    let total_work: f64 = trace
+        .exec
+        .operators
+        .iter()
+        .map(|o| o.work.max(0.0))
+        .sum::<f64>()
+        .max(1e-9);
+    let mut out: Vec<Blame> = trace
+        .exec
+        .operators
+        .iter()
+        .filter_map(|o| {
+            let q = o.q_error()?;
+            let work_share = o.work.max(0.0) / total_work;
+            Some(Blame {
+                op: o.op.clone(),
+                tables: o.tables,
+                q_error: q,
+                work_share,
+                score: q.max(1.0).ln() * work_share,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.tables.cmp(&b.tables))
+    });
+    out
+}
+
+/// A regressed query with its ranked blame list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionRecord {
+    /// The query text (or stable workload name).
+    pub query: String,
+    /// The component (driver/optimizer) that chose the plan.
+    pub component: String,
+    /// Slowdown versus the native baseline (`work / native_work`).
+    pub ratio: f64,
+    /// Operators ranked by blame, worst first.
+    pub blame: Vec<Blame>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqo_obs::trace::OperatorEvent;
+
+    fn op(label: &str, tables: u64, truth: u64, est: f64, work: f64) -> OperatorEvent {
+        OperatorEvent {
+            op: label.into(),
+            tables,
+            true_rows: truth,
+            est_rows: Some(est),
+            work,
+        }
+    }
+
+    #[test]
+    fn heavy_moderate_miss_outranks_light_huge_miss() {
+        let mut t = QueryTrace::new("q");
+        // 100x miss on 90% of the work vs 1000x miss on 1% of it.
+        t.exec
+            .operators
+            .push(op("HashJoin", 0b11, 10_000, 100.0, 90.0));
+        t.exec.operators.push(op("Scan", 0b100, 1, 1000.0, 1.0));
+        t.exec.operators.push(OperatorEvent {
+            op: "Scan".into(),
+            tables: 0b1000,
+            true_rows: 5,
+            est_rows: None, // no estimate: not blamable
+            work: 9.0,
+        });
+        let blame = rank_blame(&t);
+        assert_eq!(blame.len(), 2);
+        assert_eq!(blame[0].op, "HashJoin");
+        assert_eq!(blame[0].q_error, 100.0);
+        assert!((blame[0].work_share - 0.9).abs() < 1e-9);
+        assert!(blame[0].score > blame[1].score);
+    }
+
+    #[test]
+    fn no_estimates_means_no_blame() {
+        let mut t = QueryTrace::new("q");
+        t.exec.operators.push(OperatorEvent {
+            op: "Scan".into(),
+            tables: 1,
+            true_rows: 10,
+            est_rows: None,
+            work: 5.0,
+        });
+        assert!(rank_blame(&t).is_empty());
+        assert!(rank_blame(&QueryTrace::new("empty")).is_empty());
+    }
+
+    #[test]
+    fn perfect_estimates_score_zero_and_order_is_deterministic() {
+        let mut t = QueryTrace::new("q");
+        t.exec.operators.push(op("A", 2, 100, 100.0, 10.0));
+        t.exec.operators.push(op("B", 1, 100, 100.0, 10.0));
+        let blame = rank_blame(&t);
+        assert!(blame.iter().all(|b| b.score == 0.0));
+        // Tie broken by table mask, ascending.
+        assert_eq!(blame[0].tables, 1);
+        assert_eq!(blame[1].tables, 2);
+    }
+}

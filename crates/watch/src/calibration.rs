@@ -1,0 +1,164 @@
+//! Calibration tracking: predicted vs actual, bucketed by prediction.
+//!
+//! A calibrated model's predictions match reality *at every magnitude*,
+//! not just on average — a cost model that is 10× optimistic on cheap
+//! plans and 10× pessimistic on expensive ones has a perfect mean and
+//! picks terrible plans. The tracker buckets each observation by the
+//! log₂ of its *predicted* value and keeps per-bucket predicted/actual
+//! totals, yielding a calibration curve plus an overall log-scale bias
+//! (positive = over-estimation, negative = under-estimation).
+
+use std::collections::BTreeMap;
+
+/// One calibration bucket: observations whose prediction fell in
+/// `(2^(exp−1), 2^exp]`.
+#[derive(Debug, Clone, Default)]
+pub struct CalBucket {
+    /// Observations in the bucket.
+    pub count: u64,
+    /// Sum of predicted values.
+    pub predicted_sum: f64,
+    /// Sum of actual values.
+    pub actual_sum: f64,
+}
+
+impl CalBucket {
+    /// Mean log₂(predicted/actual) proxy for the bucket: the ratio of
+    /// sums, in log₂ (0 = calibrated, +1 = 2× over-estimation).
+    pub fn bias_log2(&self) -> f64 {
+        if self.count == 0 || self.actual_sum <= 0.0 || self.predicted_sum <= 0.0 {
+            return 0.0;
+        }
+        (self.predicted_sum / self.actual_sum).log2()
+    }
+}
+
+/// Streaming predicted-vs-actual calibration tracker.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationTracker {
+    buckets: BTreeMap<i32, CalBucket>,
+    count: u64,
+    /// Sum of per-observation log₂(predicted/actual), values floored at 1.
+    log2_ratio_sum: f64,
+    over: u64,
+    under: u64,
+}
+
+impl CalibrationTracker {
+    /// An empty tracker.
+    pub fn new() -> CalibrationTracker {
+        CalibrationTracker::default()
+    }
+
+    /// Record one prediction against its measured outcome. Non-finite or
+    /// non-positive pairs are floored at 1 so a rogue model cannot poison
+    /// the tracker.
+    pub fn observe(&mut self, predicted: f64, actual: f64) {
+        let p = if predicted.is_finite() {
+            predicted.max(1.0)
+        } else {
+            return;
+        };
+        let a = if actual.is_finite() {
+            actual.max(1.0)
+        } else {
+            return;
+        };
+        let exp = p.log2().ceil() as i32;
+        let b = self.buckets.entry(exp).or_default();
+        b.count += 1;
+        b.predicted_sum += p;
+        b.actual_sum += a;
+        self.count += 1;
+        let r = (p / a).log2();
+        self.log2_ratio_sum += r;
+        if r > 0.0 {
+            self.over += 1;
+        } else if r < 0.0 {
+            self.under += 1;
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean log₂(predicted/actual): 0 = calibrated, +k = `2^k`×
+    /// over-estimation on geometric average.
+    pub fn bias_log2(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.log2_ratio_sum / self.count as f64
+    }
+
+    /// Fraction of observations that over-estimated.
+    pub fn over_fraction(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.over as f64 / self.count as f64
+    }
+
+    /// Fraction of observations that under-estimated.
+    pub fn under_fraction(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.under as f64 / self.count as f64
+    }
+
+    /// The calibration curve: `(bucket exponent, bucket)` in ascending
+    /// prediction-magnitude order.
+    pub fn curve(&self) -> Vec<(i32, CalBucket)> {
+        self.buckets.iter().map(|(&e, b)| (e, b.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_model_has_zero_bias() {
+        let mut c = CalibrationTracker::new();
+        for v in [2.0, 16.0, 300.0, 5000.0] {
+            c.observe(v, v);
+        }
+        assert_eq!(c.count(), 4);
+        assert!(c.bias_log2().abs() < 1e-12);
+        assert_eq!(c.over_fraction(), 0.0);
+        assert_eq!(c.under_fraction(), 0.0);
+        assert!(c.curve().iter().all(|(_, b)| b.bias_log2().abs() < 1e-12));
+    }
+
+    #[test]
+    fn magnitude_dependent_bias_shows_in_the_curve_not_the_mean() {
+        let mut c = CalibrationTracker::new();
+        // 4x over on small predictions, 4x under on large ones.
+        for _ in 0..10 {
+            c.observe(8.0, 2.0);
+            c.observe(1024.0, 4096.0);
+        }
+        assert!(c.bias_log2().abs() < 1e-9, "means cancel");
+        let curve = c.curve();
+        assert_eq!(curve.len(), 2);
+        assert!((curve[0].1.bias_log2() - 2.0).abs() < 1e-9);
+        assert!((curve[1].1.bias_log2() + 2.0).abs() < 1e-9);
+        assert_eq!(c.over_fraction(), 0.5);
+        assert_eq!(c.under_fraction(), 0.5);
+    }
+
+    #[test]
+    fn hostile_values_are_ignored_or_floored() {
+        let mut c = CalibrationTracker::new();
+        c.observe(f64::NAN, 5.0);
+        c.observe(f64::INFINITY, 5.0);
+        c.observe(5.0, f64::NAN);
+        assert_eq!(c.count(), 0);
+        c.observe(-3.0, 0.0); // both floored at 1
+        assert_eq!(c.count(), 1);
+        assert!(c.bias_log2().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,456 @@
+//! Health-report rendering: ANSI console table + self-contained HTML.
+//!
+//! Two renderers over the same [`HealthReport`]: an ANSI-colored summary
+//! table for terminals, and a single-file HTML dashboard whose charts
+//! are inline SVG built from the JSONL time series — no scripts, no
+//! external assets, openable from disk years later.
+
+use std::fmt::Write as _;
+
+use crate::monitor::{HealthReport, HealthState};
+use crate::series::SamplePoint;
+use crate::slo::SloObjectiveReport;
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.2}"),
+        Some(_) => "inf".to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn ansi_health(h: HealthState) -> String {
+    match h {
+        HealthState::Healthy => format!("\x1b[32m{}\x1b[0m", h.name()),
+        HealthState::Degrading => format!("\x1b[33m{}\x1b[0m", h.name()),
+        HealthState::Drifted => format!("\x1b[31m{}\x1b[0m", h.name()),
+    }
+}
+
+fn slo_line(name: &str, o: &SloObjectiveReport) -> String {
+    format!(
+        "  {name:<6} count={:<6} p95={:<12} budget={:<12} violations={:<5} burn={:.2} {}",
+        o.count,
+        fmt_opt(o.p95),
+        format!("{:.0}", o.budget),
+        o.violations,
+        o.burn_rate,
+        if o.met {
+            "\x1b[32mmet\x1b[0m"
+        } else {
+            "\x1b[31mMISSED\x1b[0m"
+        }
+    )
+}
+
+/// Render the report as an ANSI-colored console summary.
+pub fn render_health_ansi(report: &HealthReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model health: {} ({} components)",
+        ansi_health(report.overall()),
+        report.components.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>6} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6}  health",
+        "component", "obs", "q50", "q95", "qmax", "psi", "ks", "bias", "faults", "opens"
+    );
+    for c in &report.components {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>6} {:>8} {:>8} {:>8} {:>6.2} {:>6.2} {:>6.2} {:>6} {:>6}  {}",
+            c.name,
+            c.observations,
+            fmt_opt(c.q50),
+            fmt_opt(c.q95),
+            fmt_opt(c.qmax),
+            c.psi,
+            c.ks,
+            c.bias_log2,
+            c.guard_faults,
+            c.breaker_opens,
+            ansi_health(c.health)
+        );
+    }
+    let _ = writeln!(out, "slo:");
+    out.push_str(&slo_line("plan", &report.slo.plan));
+    out.push('\n');
+    out.push_str(&slo_line("exec", &report.slo.exec));
+    out.push('\n');
+    if !report.regressions.is_empty() {
+        let _ = writeln!(out, "regressions (worst first):");
+        for r in report.regressions.iter().take(5) {
+            let top = r
+                .blame
+                .first()
+                .map(|b| {
+                    format!(
+                        "{} q={:.1} share={:.0}%",
+                        b.op,
+                        b.q_error,
+                        b.work_share * 100.0
+                    )
+                })
+                .unwrap_or_else(|| "no blamable operator".to_string());
+            let _ = writeln!(
+                out,
+                "  {:.2}x [{}] {} <- {}",
+                r.ratio,
+                r.component,
+                truncate(&r.query, 48),
+                top
+            );
+        }
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+const HEALTH_COLORS: [&str; 3] = ["#2e9e44", "#d99a1b", "#cc3b3b"];
+
+fn health_color(code: u8) -> &'static str {
+    HEALTH_COLORS[usize::from(code).min(2)]
+}
+
+/// An inline SVG sparkline of `(x, y)` points on a log-ish y scale, with
+/// per-point health coloring on the final segment markers.
+fn sparkline(points: &[(f64, f64, u8)], width: u32, height: u32, threshold: Option<f64>) -> String {
+    if points.is_empty() {
+        return format!(
+            "<svg width=\"{width}\" height=\"{height}\" role=\"img\"><text x=\"4\" y=\"{}\" \
+             class=\"empty\">no data</text></svg>",
+            height / 2
+        );
+    }
+    let (w, h) = (width as f64, height as f64);
+    let xmin = points.first().map(|p| p.0).unwrap_or(0.0);
+    let xmax = points.last().map(|p| p.0).unwrap_or(1.0).max(xmin + 1.0);
+    let ymax = points
+        .iter()
+        .map(|p| p.1)
+        .chain(threshold)
+        .fold(1e-12f64, f64::max);
+    let ymin = points.iter().map(|p| p.1).fold(ymax, f64::min).min(0.0);
+    let span = (ymax - ymin).max(1e-12);
+    let px = |x: f64| 2.0 + (x - xmin) / (xmax - xmin) * (w - 4.0);
+    let py = |y: f64| h - 2.0 - (y - ymin) / span * (h - 6.0);
+    let mut path = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            path,
+            "{}{:.1},{:.1}",
+            if i == 0 { "M" } else { " L" },
+            px(p.0),
+            py(p.1)
+        );
+    }
+    let mut svg = format!("<svg width=\"{width}\" height=\"{height}\" role=\"img\">");
+    if let Some(t) = threshold {
+        if t <= ymax {
+            let _ = write!(
+                svg,
+                "<line x1=\"0\" y1=\"{0:.1}\" x2=\"{w}\" y2=\"{0:.1}\" class=\"thr\"/>",
+                py(t)
+            );
+        }
+    }
+    let _ = write!(svg, "<path d=\"{path}\" class=\"line\"/>");
+    // Mark unhealthy samples so alarm onset is visible on the chart.
+    for p in points.iter().filter(|p| p.2 > 0) {
+        let _ = write!(
+            svg,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2\" fill=\"{}\"/>",
+            px(p.0),
+            py(p.1),
+            health_color(p.2)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// A tiny inline-SVG bar chart of the component's windowed q-error
+/// summary (q50 / q95 / qmax), log₂-scaled bars.
+fn qerror_bars(q50: Option<f64>, q95: Option<f64>, qmax: Option<f64>) -> String {
+    let vals = [("q50", q50), ("q95", q95), ("qmax", qmax)];
+    let mut svg = String::from("<svg width=\"160\" height=\"46\" role=\"img\">");
+    let top = vals
+        .iter()
+        .filter_map(|(_, v)| *v)
+        .filter(|v| v.is_finite())
+        .fold(2.0f64, f64::max)
+        .log2();
+    for (i, (label, v)) in vals.iter().enumerate() {
+        let y = 4 + i as u32 * 14;
+        let frac = match v {
+            Some(x) if x.is_finite() => (x.max(1.0).log2() / top).clamp(0.02, 1.0),
+            _ => 0.0,
+        };
+        let _ = write!(
+            svg,
+            "<text x=\"0\" y=\"{}\" class=\"lbl\">{label}</text>\
+             <rect x=\"34\" y=\"{}\" width=\"{:.1}\" height=\"9\" class=\"bar\"/>\
+             <text x=\"{:.1}\" y=\"{}\" class=\"val\">{}</text>",
+            y + 9,
+            y,
+            110.0 * frac,
+            36.0 + 110.0 * frac + 4.0,
+            y + 9,
+            escape(&fmt_opt(*v))
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Render the self-contained HTML dashboard from a report and its time
+/// series. The output embeds all styling and SVG inline: no scripts, no
+/// network fetches, no external files.
+pub fn render_dashboard(report: &HealthReport, series: &[SamplePoint]) -> String {
+    let mut html = String::new();
+    html.push_str(
+        "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>lqo-watch model health</title>\n<style>\n\
+         body{font:14px/1.4 system-ui,sans-serif;margin:24px;color:#1c2330;background:#f7f8fa}\n\
+         h1{font-size:20px} h2{font-size:16px;margin-top:28px}\n\
+         table{border-collapse:collapse;background:#fff;box-shadow:0 1px 2px #0002}\n\
+         th,td{padding:6px 10px;border:1px solid #dde1e8;text-align:right;font-variant-numeric:tabular-nums}\n\
+         th{background:#eef1f5} td.name,th.name{text-align:left;font-family:ui-monospace,monospace}\n\
+         .badge{display:inline-block;padding:1px 8px;border-radius:9px;color:#fff;font-size:12px}\n\
+         svg{background:#fff;border:1px solid #dde1e8;border-radius:3px}\n\
+         svg .line{fill:none;stroke:#3567b2;stroke-width:1.4}\n\
+         svg .thr{stroke:#cc3b3b;stroke-width:1;stroke-dasharray:4 3}\n\
+         svg .lbl,svg .val,svg .empty{font:10px ui-monospace,monospace;fill:#5a6270}\n\
+         svg .bar{fill:#3567b2}\n\
+         .cards{display:flex;flex-wrap:wrap;gap:16px}\n\
+         .card{background:#fff;border:1px solid #dde1e8;border-radius:6px;padding:12px 14px;\
+         box-shadow:0 1px 2px #0002}\n\
+         .card h3{margin:0 0 6px;font-size:14px;font-family:ui-monospace,monospace}\n\
+         .meta{color:#5a6270;font-size:12px;margin:4px 0}\n\
+         </style></head><body>\n<h1>lqo-watch · model health</h1>\n",
+    );
+    let overall = report.overall();
+    let _ = writeln!(
+        html,
+        "<p>overall: <span class=\"badge\" style=\"background:{}\">{}</span> \
+         · {} components · {} series samples</p>",
+        health_color(overall.code()),
+        overall.name(),
+        report.components.len(),
+        series.len()
+    );
+
+    // Component summary table.
+    html.push_str(
+        "<h2>Components</h2>\n<table><tr><th class=\"name\">component</th><th>obs</th>\
+         <th>q50</th><th>q95</th><th>qmax</th><th>baseline p95</th><th>psi</th><th>ks</th>\
+         <th>bias (log2)</th><th>faults</th><th>opens</th><th>first alarm</th><th>health</th></tr>\n",
+    );
+    for c in &report.components {
+        let _ = writeln!(
+            html,
+            "<tr><td class=\"name\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{:.3}</td><td>{:.3}</td><td>{:+.2}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td><span class=\"badge\" style=\"background:{}\">{}</span></td></tr>",
+            escape(&c.name),
+            c.observations,
+            fmt_opt(c.q50),
+            fmt_opt(c.q95),
+            fmt_opt(c.qmax),
+            fmt_opt(c.baseline_p95),
+            c.psi,
+            c.ks,
+            c.bias_log2,
+            c.guard_faults,
+            c.breaker_opens,
+            c.first_alarm
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            health_color(c.health.code()),
+            c.health.name()
+        );
+    }
+    html.push_str("</table>\n");
+
+    // Per-component sparklines from the series.
+    html.push_str("<h2>Time series</h2>\n<div class=\"cards\">\n");
+    for c in &report.components {
+        let pts: Vec<&SamplePoint> = series.iter().filter(|s| s.component == c.name).collect();
+        let q95: Vec<(f64, f64, u8)> = pts
+            .iter()
+            .map(|s| (s.seq as f64, s.q95.max(1.0).log2(), s.health))
+            .collect();
+        let psi: Vec<(f64, f64, u8)> = pts
+            .iter()
+            .map(|s| (s.seq as f64, s.psi, s.health))
+            .collect();
+        let ks: Vec<(f64, f64, u8)> = pts.iter().map(|s| (s.seq as f64, s.ks, s.health)).collect();
+        let _ = writeln!(
+            html,
+            "<div class=\"card\"><h3>{}</h3>\
+             <div class=\"meta\">log₂ q95 over time (dots = unhealthy samples)</div>{}\
+             <div class=\"meta\">PSI (dashed = threshold)</div>{}\
+             <div class=\"meta\">KS distance</div>{}\
+             <div class=\"meta\">windowed q-error</div>{}</div>",
+            escape(&c.name),
+            sparkline(&q95, 320, 60, None),
+            sparkline(&psi, 320, 48, Some(0.25)),
+            sparkline(&ks, 320, 48, Some(0.35)),
+            qerror_bars(c.q50, c.q95, c.qmax)
+        );
+    }
+    html.push_str("</div>\n");
+
+    // SLOs.
+    html.push_str(
+        "<h2>SLOs</h2>\n<table><tr><th class=\"name\">objective</th><th>count</th><th>p95</th>\
+         <th>budget</th><th>violations</th><th>burn rate</th><th>state</th></tr>\n",
+    );
+    for (name, o) in [
+        ("plan time (ns)", &report.slo.plan),
+        ("exec work", &report.slo.exec),
+    ] {
+        let _ = writeln!(
+            html,
+            "<tr><td class=\"name\">{}</td><td>{}</td><td>{}</td><td>{:.0}</td><td>{}</td>\
+             <td>{:.2}</td><td><span class=\"badge\" style=\"background:{}\">{}</span></td></tr>",
+            name,
+            o.count,
+            fmt_opt(o.p95),
+            o.budget,
+            o.violations,
+            o.burn_rate,
+            if o.met {
+                HEALTH_COLORS[0]
+            } else {
+                HEALTH_COLORS[2]
+            },
+            if o.met { "met" } else { "missed" }
+        );
+    }
+    html.push_str("</table>\n");
+
+    // Regressions.
+    html.push_str("<h2>Regressions</h2>\n");
+    if report.regressions.is_empty() {
+        html.push_str("<p class=\"meta\">no regressed queries recorded</p>\n");
+    } else {
+        html.push_str(
+            "<table><tr><th class=\"name\">query</th><th class=\"name\">component</th>\
+             <th>slowdown</th><th class=\"name\">top blame</th></tr>\n",
+        );
+        for r in &report.regressions {
+            let top = r
+                .blame
+                .first()
+                .map(|b| {
+                    format!(
+                        "{} (q-error {:.1}, {:.0}% of work)",
+                        b.op,
+                        b.q_error,
+                        b.work_share * 100.0
+                    )
+                })
+                .unwrap_or_else(|| "no blamable operator".to_string());
+            let _ = writeln!(
+                html,
+                "<tr><td class=\"name\">{}</td><td class=\"name\">{}</td>\
+                 <td>{:.2}&times;</td><td class=\"name\">{}</td></tr>",
+                escape(&truncate(&r.query, 80)),
+                escape(&r.component),
+                r.ratio,
+                escape(&top)
+            );
+        }
+        html.push_str("</table>\n");
+    }
+    html.push_str("</body></html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{ModelHealthMonitor, WatchConfig};
+
+    fn populated_monitor() -> ModelHealthMonitor {
+        let m = ModelHealthMonitor::new(WatchConfig::default());
+        for i in 0..60 {
+            let truth = 100.0 + (i % 10) as f64 * 11.0;
+            m.observe_estimate("card:histogram", truth * 1.5, truth);
+            m.observe_estimate("card:<learned>", truth * 40.0, truth);
+        }
+        m.observe_latency(Some(60_000_000), Some(2e6));
+        m
+    }
+
+    #[test]
+    fn ansi_summary_names_every_component_and_slo() {
+        let m = populated_monitor();
+        let text = render_health_ansi(&m.report());
+        assert!(text.contains("card:histogram"));
+        assert!(text.contains("card:<learned>"));
+        assert!(text.contains("plan"));
+        assert!(text.contains("exec"));
+        assert!(text.contains("\x1b["), "expected ANSI colors");
+    }
+
+    #[test]
+    fn dashboard_is_self_contained_html() {
+        let m = populated_monitor();
+        let html = render_dashboard(&m.report(), &m.series());
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("<svg"), "charts must be inline SVG");
+        assert!(html.contains("<style>"), "styling must be inline");
+        // Self-contained: no scripts, no external fetches.
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        assert!(!html.contains("src="));
+        // Component names are HTML-escaped.
+        assert!(html.contains("card:&lt;learned&gt;"));
+        assert!(!html.contains("card:<learned>"));
+    }
+
+    #[test]
+    fn empty_report_still_renders() {
+        let m = ModelHealthMonitor::new(WatchConfig::default());
+        let html = render_dashboard(&m.report(), &[]);
+        assert!(html.contains("0 components"));
+        let text = render_health_ansi(&m.report());
+        assert!(text.contains("healthy"));
+    }
+
+    #[test]
+    fn sparkline_handles_empty_and_flat_series() {
+        assert!(sparkline(&[], 100, 30, None).contains("no data"));
+        let flat = vec![(1.0, 5.0, 0u8), (2.0, 5.0, 0u8)];
+        let svg = sparkline(&flat, 100, 30, Some(10.0));
+        assert!(svg.contains("<path"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # lqo-watch
+//!
+//! Online model-health observability for the learned-qo stack: *is the
+//! learned component still the component we validated?*
+//!
+//! The survey's deployment chapter argues that a learned optimizer needs
+//! more than crash containment (`lqo-guard`'s job) — it needs to notice
+//! *silent* failure: estimates drifting away from the data, calibration
+//! bias creeping into the cost model, tail latencies eating the SLO.
+//! This crate watches the execution-feedback stream and answers that
+//! continuously, per component:
+//!
+//! * **Q-error sketches** ([`sketch`]) — streaming median/p95/max on the
+//!   `lqo-obs` log₂-histogram machinery, with a sliding window compared
+//!   against a frozen baseline;
+//! * **Calibration** ([`calibration`]) — predicted-vs-actual buckets by
+//!   prediction magnitude, exposing over/under-estimation bias that a
+//!   mean hides;
+//! * **Drift detection** ([`drift`]) — PSI and a two-sample KS test
+//!   between a frozen reference window and a sliding current window,
+//!   with warm-up so the detector cannot alarm before it has a baseline;
+//! * **SLO tracking** ([`slo`]) — plan-time and execution-work budgets
+//!   with sliding-window burn rates;
+//! * **Regression attribution** ([`attribution`]) — when a steered query
+//!   loses to the native baseline, a ranked blame list of the operator
+//!   estimates that explain the loss;
+//! * the **monitor** ([`monitor`]) — ties the above together per
+//!   component, correlates `lqo-guard` breaker/fault events, publishes
+//!   `Healthy` / `Degrading` / `Drifted` states as `lqo.watch.*`
+//!   metrics, and samples a JSONL time series ([`series`]);
+//! * **dashboards** ([`dashboard`]) — an ANSI console summary and a
+//!   self-contained static HTML dashboard with inline-SVG sparklines.
+//!
+//! The crate deliberately depends only on `lqo-obs`: breaker
+//! correlation arrives as data (trace [`lqo_obs::trace::GuardEvent`]s
+//! and state codes reported by the pilot), never as a `lqo-guard`
+//! dependency, keeping the watch layer reusable below any stack.
+
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod calibration;
+pub mod dashboard;
+pub mod drift;
+pub mod monitor;
+pub mod series;
+pub mod sketch;
+pub mod slo;
+
+pub use attribution::{rank_blame, Blame, RegressionRecord};
+pub use calibration::{CalBucket, CalibrationTracker};
+pub use dashboard::{render_dashboard, render_health_ansi};
+pub use drift::{ks_statistic, psi, DriftConfig, DriftDetector, DriftStatus};
+pub use monitor::{
+    component_of, ComponentReport, HealthReport, HealthState, ModelHealthMonitor, WatchConfig,
+};
+pub use series::{parse_series_jsonl, write_series_jsonl, SamplePoint};
+pub use sketch::{q_error, QErrorSketch};
+pub use slo::{SloConfig, SloObjectiveReport, SloReport, SloTracker};

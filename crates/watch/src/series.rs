@@ -1,0 +1,118 @@
+//! Model-health time series: one JSONL sample per observation tick.
+//!
+//! The monitor appends a [`SamplePoint`] per component at a configurable
+//! stride; the series is the data behind the dashboard's sparklines and
+//! is exported as JSONL (one compact object per line) so external tools
+//! can tail it. The round trip `parse_series_jsonl(write_series_jsonl(s))
+//! == s` holds for every finite field.
+
+use lqo_obs::json::{parse, Value};
+
+/// One component's health sample at one point in the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePoint {
+    /// Component name (`"card:histogram"`, `"driver:bao"`, ...).
+    pub component: String,
+    /// Component-local observation index (1-based, monotone).
+    pub seq: u64,
+    /// Window median q-error.
+    pub q50: f64,
+    /// Window p95 q-error.
+    pub q95: f64,
+    /// Window max q-error.
+    pub qmax: f64,
+    /// Drift PSI score at this point (0 before warm-up).
+    pub psi: f64,
+    /// Drift KS score at this point (0 before warm-up).
+    pub ks: f64,
+    /// Calibration bias, log₂(predicted/actual).
+    pub bias_log2: f64,
+    /// Health code: 0 healthy, 1 degrading, 2 drifted.
+    pub health: u8,
+}
+
+fn f(v: f64) -> Value {
+    Value::Float(if v.is_finite() { v } else { 0.0 })
+}
+
+/// Encode one sample as a JSON object.
+pub fn sample_to_json(s: &SamplePoint) -> Value {
+    Value::Obj(vec![
+        ("component".into(), Value::Str(s.component.clone())),
+        (
+            "seq".into(),
+            Value::Int(i64::try_from(s.seq).unwrap_or(i64::MAX)),
+        ),
+        ("q50".into(), f(s.q50)),
+        ("q95".into(), f(s.q95)),
+        ("qmax".into(), f(s.qmax)),
+        ("psi".into(), f(s.psi)),
+        ("ks".into(), f(s.ks)),
+        ("bias_log2".into(), f(s.bias_log2)),
+        ("health".into(), Value::Int(s.health as i64)),
+    ])
+}
+
+/// Decode one sample; `None` on shape mismatch.
+pub fn sample_from_json(v: &Value) -> Option<SamplePoint> {
+    Some(SamplePoint {
+        component: v.get("component")?.as_str()?.to_string(),
+        seq: v.get("seq")?.as_u64()?,
+        q50: v.get("q50")?.as_f64()?,
+        q95: v.get("q95")?.as_f64()?,
+        qmax: v.get("qmax")?.as_f64()?,
+        psi: v.get("psi")?.as_f64()?,
+        ks: v.get("ks")?.as_f64()?,
+        bias_log2: v.get("bias_log2")?.as_f64()?,
+        health: u8::try_from(v.get("health")?.as_u64()?).ok()?,
+    })
+}
+
+/// Serialize a series as JSONL, one sample per line.
+pub fn write_series_jsonl(series: &[SamplePoint]) -> String {
+    let mut out = String::new();
+    for s in series {
+        out.push_str(&sample_to_json(s).to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL series. Blank lines are skipped; any malformed line
+/// fails the whole parse.
+pub fn parse_series_jsonl(input: &str) -> Option<Vec<SamplePoint>> {
+    input
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| sample_from_json(&parse(l)?))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64) -> SamplePoint {
+        SamplePoint {
+            component: "card:histogram".into(),
+            seq,
+            q50: 1.5,
+            q95: 12.25,
+            qmax: 400.0,
+            psi: 0.07,
+            ks: 0.11,
+            bias_log2: -0.5,
+            health: 0,
+        }
+    }
+
+    #[test]
+    fn series_round_trips() {
+        let series = vec![sample(1), sample(2), sample(3)];
+        let text = write_series_jsonl(&series);
+        assert_eq!(text.lines().count(), 3);
+        assert_eq!(parse_series_jsonl(&text).expect("parse"), series);
+        assert!(parse_series_jsonl("not json\n").is_none());
+        assert_eq!(parse_series_jsonl("\n\n").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Streaming Q-error sketches on the `lqo-obs` log₂-histogram machinery.
+//!
+//! A [`QErrorSketch`] summarizes a stream of per-operator q-errors with
+//! two views: a *lifetime* histogram (everything ever observed) and a
+//! *sliding window* built from a ring of fixed-size chunks, so recent
+//! behaviour can be compared against a frozen baseline without storing
+//! the raw stream. Both views answer interpolated quantiles (median /
+//! p95 / max) in O(buckets), and sketches merge exactly (bucket-wise),
+//! which is what makes per-shard sketches aggregate to the global one.
+
+use std::collections::VecDeque;
+
+use lqo_obs::metrics::Histogram;
+
+/// Q-error of an estimate against the truth: `max(est/true, true/est)`,
+/// both floored at one row, so it is always `>= 1` and symmetric in
+/// over/under-estimation.
+pub fn q_error(est: f64, truth: f64) -> f64 {
+    let est = if est.is_finite() {
+        est.max(1.0)
+    } else {
+        f64::MAX
+    };
+    let truth = truth.max(1.0);
+    (est / truth).max(truth / est)
+}
+
+/// A windowed, mergeable q-error sketch.
+#[derive(Debug, Clone)]
+pub struct QErrorSketch {
+    /// Observations per chunk.
+    chunk_size: usize,
+    /// Chunks kept in the sliding window (newest last).
+    max_chunks: usize,
+    chunks: VecDeque<Histogram>,
+    /// Observations recorded into the newest chunk so far.
+    open: usize,
+    lifetime: Histogram,
+}
+
+impl QErrorSketch {
+    /// An empty sketch whose window covers the last
+    /// `chunk_size × max_chunks` observations (within one chunk of
+    /// granularity).
+    pub fn new(chunk_size: usize, max_chunks: usize) -> QErrorSketch {
+        QErrorSketch {
+            chunk_size: chunk_size.max(1),
+            max_chunks: max_chunks.max(1),
+            chunks: VecDeque::new(),
+            open: 0,
+            lifetime: Histogram::new(),
+        }
+    }
+
+    /// Record one estimate/truth pair.
+    pub fn record(&mut self, est: f64, truth: f64) {
+        self.record_q(q_error(est, truth));
+    }
+
+    /// Record a precomputed q-error.
+    pub fn record_q(&mut self, q: f64) {
+        if self.chunks.is_empty() || self.open == self.chunk_size {
+            self.chunks.push_back(Histogram::new());
+            self.open = 0;
+            while self.chunks.len() > self.max_chunks {
+                self.chunks.pop_front();
+            }
+        }
+        self.chunks.back_mut().expect("chunk").record(q);
+        self.open += 1;
+        self.lifetime.record(q);
+    }
+
+    /// Total observations ever recorded.
+    pub fn count(&self) -> u64 {
+        self.lifetime.count()
+    }
+
+    /// The lifetime histogram.
+    pub fn lifetime(&self) -> &Histogram {
+        &self.lifetime
+    }
+
+    /// The sliding-window histogram (chunks merged).
+    pub fn window(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for c in &self.chunks {
+            merged.merge(c);
+        }
+        merged
+    }
+
+    /// Window median q-error (interpolated), `None` if empty.
+    pub fn p50(&self) -> Option<f64> {
+        self.window().quantile(0.5)
+    }
+
+    /// Window p95 q-error (interpolated), `None` if empty.
+    pub fn p95(&self) -> Option<f64> {
+        self.window().quantile(0.95)
+    }
+
+    /// Window maximum q-error, `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.window().max()
+    }
+
+    /// Merge another sketch into this one. Lifetime views merge exactly;
+    /// window chunks are concatenated newest-last and re-trimmed to this
+    /// sketch's ring capacity.
+    pub fn merge(&mut self, other: &QErrorSketch) {
+        self.lifetime.merge(&other.lifetime);
+        for c in &other.chunks {
+            self.chunks.push_back(c.clone());
+        }
+        self.open = self.chunk_size; // force a fresh chunk on next record
+        while self.chunks.len() > self.max_chunks {
+            self.chunks.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert_eq!(q_error(0.25, 0.0), 1.0);
+        assert!(q_error(f64::NAN, 10.0) > 1e100);
+    }
+
+    #[test]
+    fn window_slides_lifetime_accumulates() {
+        let mut s = QErrorSketch::new(4, 2); // window = last 8 (±1 chunk)
+        for _ in 0..8 {
+            s.record_q(100.0);
+        }
+        assert_eq!(s.count(), 8);
+        assert!(s.p95().unwrap() >= 64.0);
+        // 8 good observations push both bad chunks out of the window.
+        for _ in 0..8 {
+            s.record_q(1.0);
+        }
+        assert_eq!(s.count(), 16);
+        assert_eq!(s.p95(), Some(1.0), "window forgot the bad epoch");
+        // Lifetime still remembers: p95 over 8 bad + 8 good stays high.
+        assert!(s.lifetime().quantile(0.95).unwrap() > 50.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_lifetime() {
+        let mut a = QErrorSketch::new(4, 4);
+        let mut b = QErrorSketch::new(4, 4);
+        let mut combined = QErrorSketch::new(4, 8);
+        for q in [1.0, 2.0, 8.0] {
+            a.record_q(q);
+            combined.record_q(q);
+        }
+        for q in [4.0, 100.0] {
+            b.record_q(q);
+            combined.record_q(q);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.lifetime(), combined.lifetime());
+        assert_eq!(a.max(), Some(100.0));
+    }
+}

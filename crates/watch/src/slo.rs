@@ -1,0 +1,217 @@
+//! SLO tracking: latency/work budgets with burn-rate counters.
+//!
+//! Two service-level objectives matter for a learned optimizer serving
+//! traffic: *plan time* (the optimizer's own latency, where learned
+//! inference hides) and *execution work* (the cost of the plans it
+//! picks). Each is an objective of the form "p-fraction of queries under
+//! the budget"; the tracker keeps lifetime histograms, violation
+//! counters, and a sliding-window **burn rate** — the observed violation
+//! rate divided by the allowed rate (`1 − target`). Burn 1.0 spends the
+//! error budget exactly on schedule; sustained burn ≫ 1 means the SLO
+//! will be missed and is the standard paging signal.
+
+use std::collections::VecDeque;
+
+use lqo_obs::metrics::Histogram;
+
+/// SLO tuning.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Plan-time budget per query, nanoseconds.
+    pub plan_budget_ns: u64,
+    /// Execution-work budget per query, work units.
+    pub exec_budget_work: f64,
+    /// Objective: this fraction of queries must be within budget.
+    pub target: f64,
+    /// Sliding window (queries) for the burn rate.
+    pub window: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            plan_budget_ns: 50_000_000, // 50 ms
+            exec_budget_work: 1e6,
+            target: 0.95,
+            window: 64,
+        }
+    }
+}
+
+/// One objective's live state.
+#[derive(Debug, Clone)]
+struct Objective {
+    hist: Histogram,
+    violations: u64,
+    recent: VecDeque<bool>,
+}
+
+impl Objective {
+    fn new() -> Objective {
+        Objective {
+            hist: Histogram::new(),
+            violations: 0,
+            recent: VecDeque::new(),
+        }
+    }
+
+    fn observe(&mut self, value: f64, budget: f64, window: usize) {
+        self.hist.record(value);
+        let violated = value > budget;
+        if violated {
+            self.violations += 1;
+        }
+        self.recent.push_back(violated);
+        while self.recent.len() > window {
+            self.recent.pop_front();
+        }
+    }
+
+    fn burn_rate(&self, target: f64) -> f64 {
+        if self.recent.is_empty() {
+            return 0.0;
+        }
+        let rate = self.recent.iter().filter(|&&v| v).count() as f64 / self.recent.len() as f64;
+        let allowed = (1.0 - target).max(1e-9);
+        rate / allowed
+    }
+}
+
+/// Point-in-time report for one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloObjectiveReport {
+    /// Queries observed.
+    pub count: u64,
+    /// Interpolated p95 of the observed values.
+    pub p95: Option<f64>,
+    /// The budget in force.
+    pub budget: f64,
+    /// Lifetime violations.
+    pub violations: u64,
+    /// Sliding-window burn rate (1.0 = spending the error budget exactly
+    /// on schedule).
+    pub burn_rate: f64,
+    /// Whether the lifetime violation fraction still meets the target.
+    pub met: bool,
+}
+
+/// Point-in-time report for both objectives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Plan-time objective (nanoseconds).
+    pub plan: SloObjectiveReport,
+    /// Execution-work objective (work units).
+    pub exec: SloObjectiveReport,
+}
+
+/// Tracks both SLOs for a query stream.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    plan: Objective,
+    exec: Objective,
+}
+
+impl SloTracker {
+    /// An empty tracker.
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        SloTracker {
+            cfg,
+            plan: Objective::new(),
+            exec: Objective::new(),
+        }
+    }
+
+    /// Record one query's plan time.
+    pub fn observe_plan_ns(&mut self, ns: u64) {
+        self.plan
+            .observe(ns as f64, self.cfg.plan_budget_ns as f64, self.cfg.window);
+    }
+
+    /// Record one query's execution work.
+    pub fn observe_exec_work(&mut self, work: f64) {
+        self.exec
+            .observe(work, self.cfg.exec_budget_work, self.cfg.window);
+    }
+
+    /// Current report.
+    pub fn report(&self) -> SloReport {
+        let objective = |o: &Objective, budget: f64| {
+            let count = o.hist.count();
+            let met = count == 0 || (count - o.violations) as f64 / count as f64 >= self.cfg.target;
+            SloObjectiveReport {
+                count,
+                p95: o.hist.quantile(0.95),
+                budget,
+                violations: o.violations,
+                burn_rate: o.burn_rate(self.cfg.target),
+                met,
+            }
+        };
+        SloReport {
+            plan: objective(&self.plan, self.cfg.plan_budget_ns as f64),
+            exec: objective(&self.exec, self.cfg.exec_budget_work),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            plan_budget_ns: 1000,
+            exec_budget_work: 100.0,
+            target: 0.9,
+            window: 10,
+        }
+    }
+
+    #[test]
+    fn within_budget_burns_nothing() {
+        let mut t = SloTracker::new(cfg());
+        for _ in 0..50 {
+            t.observe_plan_ns(500);
+            t.observe_exec_work(10.0);
+        }
+        let r = t.report();
+        assert_eq!(r.plan.violations, 0);
+        assert_eq!(r.plan.burn_rate, 0.0);
+        assert!(r.plan.met && r.exec.met);
+        assert_eq!(r.plan.count, 50);
+    }
+
+    #[test]
+    fn sustained_violations_burn_fast_and_break_the_objective() {
+        let mut t = SloTracker::new(cfg());
+        for _ in 0..10 {
+            t.observe_exec_work(10.0);
+        }
+        // Window full of violations: burn = 1.0 / (1 - 0.9) = 10.
+        for _ in 0..10 {
+            t.observe_exec_work(500.0);
+        }
+        let r = t.report();
+        assert_eq!(r.exec.violations, 10);
+        assert!((r.exec.burn_rate - 10.0).abs() < 1e-9);
+        assert!(!r.exec.met, "50% violations vs 90% target");
+        // Plan objective untouched.
+        assert_eq!(r.plan.count, 0);
+        assert!(r.plan.met);
+    }
+
+    #[test]
+    fn burn_recovers_when_the_window_slides_past() {
+        let mut t = SloTracker::new(cfg());
+        for _ in 0..5 {
+            t.observe_plan_ns(5000);
+        }
+        assert!(t.report().plan.burn_rate > 0.0);
+        for _ in 0..10 {
+            t.observe_plan_ns(10);
+        }
+        assert_eq!(t.report().plan.burn_rate, 0.0);
+        assert_eq!(t.report().plan.violations, 5, "lifetime count remains");
+    }
+}

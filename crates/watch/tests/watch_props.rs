@@ -1,0 +1,140 @@
+//! Property tests on the watch layer: invariants that must hold for any
+//! feedback stream — the drift detector stays quiet on stationary data,
+//! q-error sketch quantiles are monotone and window-consistent, and
+//! sketch merging matches recording the combined stream.
+
+use proptest::prelude::*;
+
+use lqo_watch::{q_error, DriftConfig, DriftDetector, QErrorSketch};
+
+/// Deterministic pseudo-uniform stream in [0, 1) from a seed.
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// A stationary stream keeps the drift alarm quiet, for any seed,
+    /// scale, and spread: false positives are bounded at ≤ 2% of
+    /// observations (narrow distributions straddling a bucket boundary
+    /// can excurse briefly; sustained alarms would blow the bound).
+    #[test]
+    fn drift_detector_is_quiet_on_stationary_streams(
+        seed in 0u64..1_000_000,
+        scale in 1.0f64..1e6,
+        spread in 1.5f64..50.0,
+        len in 150usize..500,
+    ) {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        let mut rng = lcg(seed);
+        let mut alarms = 0usize;
+        for _ in 0..len {
+            det.observe(scale * (1.0 + (spread - 1.0) * rng()));
+            if det.status().drifted {
+                alarms += 1;
+            }
+        }
+        prop_assert!(
+            alarms * 50 <= len,
+            "{alarms} alarm observations in a stationary stream of {len}"
+        );
+    }
+
+    /// A sustained order-of-magnitude shift always fires once the
+    /// current window has fully turned over, and never *before* the
+    /// shift point.
+    #[test]
+    fn drift_detector_fires_on_sustained_shift(
+        seed in 0u64..1_000_000,
+        factor in 100.0f64..10_000.0,
+    ) {
+        let cfg = DriftConfig::default();
+        let horizon = cfg.window + cfg.confirm + 8;
+        let mut det = DriftDetector::new(cfg);
+        let mut rng = lcg(seed);
+        for _ in 0..200 {
+            det.observe(1.0 + 9.0 * rng());
+        }
+        prop_assert!(!det.status().drifted, "alarm before the shift");
+        let mut fired = false;
+        for _ in 0..horizon {
+            det.observe(factor * (1.0 + 9.0 * rng()));
+            if det.status().drifted {
+                fired = true;
+                break;
+            }
+        }
+        prop_assert!(fired, "no alarm within {horizon} shifted observations");
+    }
+
+    /// Sketch quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn sketch_quantiles_are_monotone_and_bounded(
+        qs in prop::collection::vec(1.0f64..1e9, 1..300),
+    ) {
+        let mut s = QErrorSketch::new(16, 4);
+        for &q in &qs {
+            s.record_q(q);
+        }
+        let w = s.window();
+        let lo = w.quantile(0.0).unwrap();
+        let mut prev = lo;
+        for i in 1..=20 {
+            let v = w.quantile(i as f64 / 20.0).unwrap();
+            prop_assert!(v >= prev, "quantile dropped: {v} < {prev}");
+            prev = v;
+        }
+        prop_assert!(w.quantile(1.0).unwrap() <= w.max().unwrap());
+        prop_assert!(lo >= w.min().unwrap());
+    }
+
+    /// Merging two sketches gives exactly the lifetime view of recording
+    /// both streams into one, regardless of interleaving.
+    #[test]
+    fn sketch_merge_matches_combined_stream(
+        a in prop::collection::vec(1.0f64..1e9, 0..120),
+        b in prop::collection::vec(1.0f64..1e9, 0..120),
+    ) {
+        let mut sa = QErrorSketch::new(8, 4);
+        let mut sb = QErrorSketch::new(8, 4);
+        let mut combined = QErrorSketch::new(8, 1024);
+        for &q in &a {
+            sa.record_q(q);
+            combined.record_q(q);
+        }
+        for &q in &b {
+            sb.record_q(q);
+            combined.record_q(q);
+        }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), (a.len() + b.len()) as u64);
+        let (merged, direct) = (sa.lifetime(), combined.lifetime());
+        prop_assert_eq!(merged.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(merged.min(), direct.min());
+        prop_assert_eq!(merged.max(), direct.max());
+        // Sums agree up to float addition order.
+        prop_assert!((merged.sum() - direct.sum()).abs() <= 1e-9 * direct.sum().abs().max(1.0));
+    }
+
+    /// q_error is symmetric, floored at 1, and monotone in the miss
+    /// factor. `truth = base × factor` keeps the under-estimate above
+    /// the one-row floor so over/under are exact mirrors.
+    #[test]
+    fn q_error_properties(base in 1.0f64..1e3, factor in 1.0f64..1e6) {
+        let truth = base * factor;
+        let over = q_error(truth * factor, truth);
+        let under = q_error(truth / factor, truth);
+        prop_assert!(over >= 1.0);
+        prop_assert!((over - under).abs() <= 1e-6 * over.max(1.0),
+            "asymmetric: over {over} under {under}");
+        let worse = q_error(truth * factor * 2.0, truth);
+        prop_assert!(worse >= over);
+    }
+}
