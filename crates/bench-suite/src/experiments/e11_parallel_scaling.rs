@@ -1,0 +1,305 @@
+//! **E11 — parallel scaling: speedup curves for the morsel-driven
+//! executor.** Balsa/Bao-style training loops execute thousands of plans
+//! per epoch; the survey's cost argument for learned optimizers collapses
+//! if the execution feedback itself is the bottleneck. This experiment
+//! runs a scan-heavy workload (single-table scans plus 2-table hash
+//! joins over a scaled `stats_like` catalog) through `ExecMode::Serial`
+//! and `ExecMode::Parallel` at a sweep of thread counts, verifying byte
+//! identity at every cell (counts, bit-exact work, relation digests)
+//! and reporting wall-clock speedup and worker utilization. Artifacts:
+//! one JSONL record per thread count in `results/exp_e11_scaling.jsonl`.
+//!
+//! On hosts with at least four cores the binary asserts ≥2× speedup at
+//! four threads; on smaller machines (including 1-CPU CI containers) the
+//! timing assertion is skipped — byte identity is always asserted.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use lqo_engine::datagen::stats_like;
+use lqo_engine::{Catalog, ExecConfig, ExecMode, Executor, ParallelConfig, PhysNode, SpjQuery};
+use lqo_obs::ObsContext;
+
+use crate::report::TextTable;
+use crate::workload::{generate_single_table_workload, generate_workload, WorkloadConfig};
+
+/// E11 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `stats_like` scale (rows per table ∝ scale).
+    pub scale: usize,
+    /// Single-table scan queries (the scan-heavy core of the workload).
+    pub num_scans: usize,
+    /// 2-table join queries.
+    pub num_joins: usize,
+    /// Thread counts to sweep (serial is always measured first).
+    pub thread_counts: Vec<usize>,
+    /// Morsel size in rows.
+    pub morsel_rows: usize,
+    /// Timed repetitions per mode; the minimum wall time is reported.
+    pub repeats: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let f = crate::report::scale_factor();
+        Config {
+            scale: (2_000.0 * f) as usize,
+            num_scans: (24.0 * f).max(4.0) as usize,
+            num_joins: (8.0 * f).max(2.0) as usize,
+            thread_counts: vec![1, 2, 4, 8],
+            morsel_rows: 4096,
+            repeats: 3,
+            seed: 0xE11,
+        }
+    }
+}
+
+/// One JSONL record: the measured scaling at one thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingPoint {
+    /// Worker threads (`0` encodes the serial reference run).
+    pub threads: usize,
+    /// Execution mode label (`serial` or `parallel:N`).
+    pub mode: String,
+    /// Best-of-`repeats` wall time for the whole workload, seconds.
+    pub wall_s: f64,
+    /// `serial_wall / wall` (1.0 for the serial row).
+    pub speedup: f64,
+    /// Queries executed.
+    pub queries: usize,
+    /// Total result rows across the workload (identical in every row).
+    pub total_count: u64,
+    /// Morsels dispatched (0 for serial).
+    pub morsels: u64,
+    /// Mean worker utilization across queries, when observed.
+    pub utilization: f64,
+}
+
+/// E11 output: the scaling table plus per-mode records.
+#[derive(Debug, Serialize)]
+pub struct Output {
+    /// Rendered summary table.
+    pub table: TextTable,
+    /// One record per measured mode, serial first.
+    pub points: Vec<ScalingPoint>,
+    /// Hardware parallelism the run observed (for interpreting speedups).
+    pub host_threads: usize,
+}
+
+fn workload(catalog: &Catalog, cfg: &Config) -> Vec<(SpjQuery, PhysNode)> {
+    let mut pairs: Vec<(SpjQuery, PhysNode)> = Vec::new();
+    for q in generate_single_table_workload(
+        catalog,
+        "posts",
+        &WorkloadConfig {
+            num_queries: cfg.num_scans,
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    ) {
+        pairs.push((q, PhysNode::scan(0)));
+    }
+    for q in generate_workload(
+        catalog,
+        &WorkloadConfig {
+            num_queries: cfg.num_joins,
+            min_tables: 2,
+            max_tables: 2,
+            max_predicates: 2,
+            seed: cfg.seed ^ 0x5EED,
+        },
+    ) {
+        let plan = PhysNode::join(
+            lqo_engine::JoinAlgo::Hash,
+            PhysNode::scan(0),
+            PhysNode::scan(1),
+        );
+        pairs.push((q, plan));
+    }
+    pairs
+}
+
+struct ModeRun {
+    wall_s: f64,
+    total_count: u64,
+    digest: u64,
+    work_bits: Vec<u64>,
+    morsels: u64,
+    utilization: f64,
+}
+
+fn run_mode(
+    catalog: &Catalog,
+    pairs: &[(SpjQuery, PhysNode)],
+    cfg: &Config,
+    mode: ExecMode,
+) -> ModeRun {
+    let mut best = f64::INFINITY;
+    let mut total_count = 0;
+    let mut digest = 0u64;
+    let mut work_bits = Vec::new();
+    let mut morsels = 0;
+    let mut util_sum = 0.0;
+    let mut util_n = 0u64;
+    for _ in 0..cfg.repeats {
+        let obs = ObsContext::enabled();
+        let ex = Executor::new(
+            catalog,
+            ExecConfig {
+                mode,
+                parallel: ParallelConfig {
+                    morsel_rows: cfg.morsel_rows,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .with_obs(obs.clone());
+        total_count = 0;
+        digest = 0;
+        work_bits.clear();
+        let start = Instant::now();
+        for (q, plan) in pairs {
+            obs.begin_query(&q.to_string());
+            let (r, rel) = ex.execute_collect(q, plan).expect("workload executes");
+            obs.end_query();
+            total_count += r.count;
+            // Fold per-query digests so one scalar fingerprints the run.
+            digest = digest.rotate_left(7) ^ rel.digest();
+            work_bits.push(r.work.to_bits());
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        let snap = obs.metrics().expect("obs enabled").snapshot();
+        morsels = snap.counter("lqo.exec.parallel.morsels").unwrap_or(0);
+        if let Some(u) = snap.gauge("lqo.exec.parallel.utilization") {
+            util_sum += u;
+            util_n += 1;
+        }
+    }
+    ModeRun {
+        wall_s: best,
+        total_count,
+        digest,
+        work_bits,
+        morsels,
+        utilization: if util_n > 0 {
+            util_sum / util_n as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Run the scaling sweep. Panics if any parallel cell diverges from the
+/// serial reference in counts, digests, or bit-exact work.
+pub fn run(cfg: &Config) -> Output {
+    let catalog = stats_like(cfg.scale, 0xE11).expect("catalog");
+    let pairs = workload(&catalog, cfg);
+    assert!(!pairs.is_empty(), "empty workload");
+
+    let serial = run_mode(&catalog, &pairs, cfg, ExecMode::Serial);
+    let mut table = TextTable::new(
+        "E11: morsel-driven parallel scaling (byte-identity verified per cell)",
+        &["mode", "wall_s", "speedup", "morsels", "utilization"],
+    );
+    let mut points = vec![ScalingPoint {
+        threads: 0,
+        mode: "serial".into(),
+        wall_s: serial.wall_s,
+        speedup: 1.0,
+        queries: pairs.len(),
+        total_count: serial.total_count,
+        morsels: 0,
+        utilization: 0.0,
+    }];
+    table.row(vec![
+        "serial".into(),
+        format!("{:.4}", serial.wall_s),
+        "1.00".into(),
+        "0".into(),
+        "-".into(),
+    ]);
+
+    for &threads in &cfg.thread_counts {
+        let run = run_mode(&catalog, &pairs, cfg, ExecMode::Parallel { threads });
+        assert_eq!(
+            run.total_count, serial.total_count,
+            "count divergence at {threads} threads"
+        );
+        assert_eq!(
+            run.digest, serial.digest,
+            "digest divergence at {threads} threads"
+        );
+        assert_eq!(
+            run.work_bits, serial.work_bits,
+            "work-unit divergence at {threads} threads"
+        );
+        let speedup = serial.wall_s / run.wall_s.max(1e-12);
+        table.row(vec![
+            format!("parallel:{threads}"),
+            format!("{:.4}", run.wall_s),
+            format!("{speedup:.2}"),
+            run.morsels.to_string(),
+            format!("{:.2}", run.utilization),
+        ]);
+        points.push(ScalingPoint {
+            threads,
+            mode: format!("parallel:{threads}"),
+            wall_s: run.wall_s,
+            speedup,
+            queries: pairs.len(),
+            total_count: run.total_count,
+            morsels: run.morsels,
+            utilization: run.utilization,
+        });
+    }
+
+    Output {
+        table,
+        points,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Render the per-mode records as JSONL for `results/exp_e11_scaling.jsonl`.
+pub fn to_jsonl(points: &[ScalingPoint]) -> String {
+    let mut out = String::new();
+    for p in points {
+        out.push_str(&serde_json::to_string(p).expect("serialize point"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_byte_identical_and_reports_points() {
+        let cfg = Config {
+            scale: 200,
+            num_scans: 3,
+            num_joins: 2,
+            thread_counts: vec![2, 4],
+            morsel_rows: 64,
+            repeats: 1,
+            seed: 0xE11,
+        };
+        let out = run(&cfg);
+        assert_eq!(out.points.len(), 3);
+        assert_eq!(out.points[0].mode, "serial");
+        assert!(out
+            .points
+            .iter()
+            .all(|p| p.total_count == out.points[0].total_count));
+        assert!(out.points[1].morsels > 0, "parallel runs dispatch morsels");
+        let jsonl = to_jsonl(&out.points);
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.contains("\"mode\":\"parallel:2\""));
+    }
+}

@@ -263,6 +263,116 @@ pub fn run(cfg: &Config) -> TextTable {
     run_traced(cfg).0
 }
 
+/// Execution-layer chaos: the same deployability invariant, one layer
+/// down. The workload runs under the morsel-driven parallel executor
+/// while a worker thread is made to panic mid-morsel at a sweep of fault
+/// positions; the executor must degrade to the serial path (visible in
+/// `lqo.exec.parallel.degraded` and as `exec:parallel` guard events) and
+/// every query must still return the serial reference answer with
+/// bit-identical work units.
+pub fn run_worker_chaos(cfg: &Config) -> (TextTable, ObsContext) {
+    use lqo_engine::{ExecConfig, ExecMode, ParallelConfig};
+
+    let catalog = Arc::new(stats_like(cfg.scale.max(40), cfg.seed).unwrap());
+    let fit = FitContext::new(catalog.clone());
+    let mut queries = generate_single_table_workload(
+        &catalog,
+        "posts",
+        &WorkloadConfig {
+            num_queries: cfg.num_single.max(2),
+            seed: cfg.seed ^ 0x11,
+            ..Default::default()
+        },
+    );
+    queries.extend(generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.num_joins.max(2),
+            min_tables: 2,
+            max_tables: 4,
+            seed: cfg.seed ^ 0x22,
+            ..Default::default()
+        },
+    ));
+    let native: Arc<dyn CardSource> = Arc::new(TraditionalCardSource::new(
+        catalog.clone(),
+        fit.stats.clone(),
+    ));
+    let optimizer = Optimizer::with_defaults(&catalog);
+    let plans: Vec<_> = queries
+        .iter()
+        .map(|q| optimizer.optimize_default(q, native.as_ref()).unwrap().plan)
+        .collect();
+
+    let serial = Executor::with_defaults(&catalog);
+    let baseline: Vec<(u64, u64)> = queries
+        .iter()
+        .zip(&plans)
+        .map(|(q, p)| {
+            let r = serial.execute(q, p).unwrap();
+            (r.count, r.work.to_bits())
+        })
+        .collect();
+
+    let mut table = TextTable::new(
+        "E9b: worker-panic chaos — parallel executor degradation (results identical)",
+        &[
+            "panic-morsel",
+            "queries",
+            "degraded",
+            "guard-events",
+            "results",
+        ],
+    );
+    let mut last_obs = ObsContext::disabled();
+    for panic_on in [0u64, 3, 9] {
+        let obs = ObsContext::enabled();
+        let executor = Executor::new(
+            &catalog,
+            ExecConfig {
+                mode: ExecMode::Parallel { threads: 4 },
+                parallel: ParallelConfig {
+                    morsel_rows: 16,
+                    panic_on_morsel: Some(panic_on),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .with_obs(obs.clone());
+        let mut guard_events = 0usize;
+        for ((q, p), (count, work_bits)) in queries.iter().zip(&plans).zip(&baseline) {
+            obs.begin_query(&q.to_string());
+            let r = executor.execute(q, p).expect("degradation, not failure");
+            let trace = obs.end_query().expect("trace");
+            assert_eq!(r.count, *count, "worker fault changed a result");
+            assert_eq!(r.work.to_bits(), *work_bits, "worker fault changed work");
+            guard_events += trace
+                .guard
+                .iter()
+                .filter(|g| g.component == "exec:parallel")
+                .count();
+        }
+        let degraded = obs
+            .metrics()
+            .unwrap()
+            .snapshot()
+            .counter("lqo.exec.parallel.degraded")
+            .unwrap_or(0);
+        assert!(degraded > 0, "the injected fault must actually fire");
+        assert!(guard_events > 0, "degradation must be visible to the guard");
+        table.row(vec![
+            panic_on.to_string(),
+            queries.len().to_string(),
+            degraded.to_string(),
+            guard_events.to_string(),
+            "identical".to_string(),
+        ]);
+        last_obs = obs;
+    }
+    (table, last_obs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +405,31 @@ mod tests {
         let snap = obs.metrics().unwrap().snapshot();
         assert!(snap.counter("lqo.guard.faults").unwrap_or(0) > 0);
         assert!(obs.finished_traces().iter().any(|t| !t.guard.is_empty()));
+    }
+
+    #[test]
+    fn tiny_worker_chaos_degrades_identically() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // injected worker panics are loud
+        let cfg = Config {
+            scale: 60,
+            num_single: 3,
+            num_joins: 3,
+            ..Default::default()
+        };
+        let (table, obs) = run_worker_chaos(&cfg);
+        std::panic::set_hook(prev);
+        assert_eq!(table.rows.len(), 3);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "identical");
+        }
+        assert!(
+            obs.metrics()
+                .unwrap()
+                .snapshot()
+                .counter("lqo.exec.parallel.degraded")
+                .unwrap_or(0)
+                > 0
+        );
     }
 }

@@ -3,6 +3,7 @@
 //! [`crate::TextTable`]s; the `src/bin/exp_*` binaries are thin wrappers.
 
 pub mod e10_drift_watch;
+pub mod e11_parallel_scaling;
 pub mod e1_single_table;
 pub mod e2_design_space;
 pub mod e3_injection;

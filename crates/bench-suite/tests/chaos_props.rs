@@ -134,6 +134,57 @@ proptest! {
         let counts = run_guarded(fix, cfg, &ObsContext::disabled());
         prop_assert_eq!(&counts, &fix.baseline);
     }
+
+    /// Both chaos layers at once: the card ladder faulting at any rate
+    /// while a parallel-executor worker panics mid-morsel at any
+    /// position. The planner degrades rung by rung, the executor degrades
+    /// to serial, and the answers still match the fault-free baseline.
+    #[test]
+    fn worker_and_card_faults_compose(
+        seed in 0u64..u64::MAX,
+        rate_milli in 0u32..=1000,
+        panic_on in 0u64..48,
+    ) {
+        use lqo_engine::{ExecConfig, ExecMode, ParallelConfig};
+        let fix = fixture();
+        let fault_cfg = FaultConfig {
+            seed,
+            rate: rate_milli as f64 / 1000.0,
+            kinds: FaultKind::ALL.to_vec(),
+            stall: Duration::from_micros(100),
+        };
+        let plan = Arc::new(FaultPlan::new(fault_cfg));
+        let obs = ObsContext::disabled();
+        let guarded = GuardedCardSource::new("card", GuardConfig::default(), obs.clone())
+            .rung(
+                "learned",
+                Arc::new(FaultyCardSource::new(fix.learned.clone(), plan)),
+            )
+            .rung("native", fix.native.clone());
+        let optimizer = Optimizer::with_defaults(&fix.catalog);
+        let executor = Executor::new(
+            &fix.catalog,
+            ExecConfig {
+                mode: ExecMode::Parallel { threads: 4 },
+                parallel: ParallelConfig {
+                    morsel_rows: 16,
+                    panic_on_morsel: Some(panic_on),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let counts: Vec<u64> = fix
+            .queries
+            .iter()
+            .map(|q| {
+                guarded.begin_query();
+                let choice = optimizer.optimize_default(q, &guarded).unwrap();
+                executor.execute(q, &choice.plan).unwrap().count
+            })
+            .collect();
+        prop_assert_eq!(&counts, &fix.baseline);
+    }
 }
 
 /// The PR's acceptance criterion, verbatim: a 20% fault rate across every

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use lqo_engine::{EngineError, ExecConfig, Executor, PhysNode, Result, SpjQuery};
+use lqo_engine::{EngineError, ExecConfig, ExecMode, Executor, PhysNode, Result, SpjQuery};
 use lqo_obs::trace::QueryOutcome;
 use lqo_obs::ObsContext;
 use lqo_watch::ModelHealthMonitor;
@@ -66,6 +66,7 @@ pub struct TrainingLoop {
     queries: Vec<SpjQuery>,
     obs: ObsContext,
     watch: Option<Arc<ModelHealthMonitor>>,
+    exec_mode: ExecMode,
 }
 
 impl TrainingLoop {
@@ -89,7 +90,17 @@ impl TrainingLoop {
             queries,
             obs: ObsContext::disabled(),
             watch: None,
+            exec_mode: ExecMode::Serial,
         })
+    }
+
+    /// Execute epochs in the given mode (serial by default). The parallel
+    /// executor is verified byte-identical to serial by the differential
+    /// harness, so work-unit feedback — the training signal — is exactly
+    /// the same in either mode; only wall-clock time changes.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> TrainingLoop {
+        self.exec_mode = mode;
+        self
     }
 
     /// Attach an observability context: every executed query in every
@@ -133,6 +144,7 @@ impl TrainingLoop {
                 &self.ctx.catalog,
                 ExecConfig {
                     max_work: Some(budget),
+                    mode: self.exec_mode,
                     ..Default::default()
                 },
             )
@@ -332,6 +344,26 @@ mod tests {
         assert_eq!(report.slo.exec.count, training.queries().len() as u64);
         // The native baseline run cannot regress against itself.
         assert!(report.regressions.is_empty());
+    }
+
+    #[test]
+    fn parallel_epoch_matches_serial_epoch_bit_for_bit() {
+        let (ctx, queries) = fixture();
+        let serial = TrainingLoop::new(ctx.clone(), queries.clone()).unwrap();
+        let parallel = TrainingLoop::new(ctx.clone(), queries)
+            .unwrap()
+            .with_exec_mode(ExecMode::Parallel { threads: 4 });
+        let s = serial.run_epoch(&mut NativeBaseline::new(ctx.clone()), false);
+        let p = parallel.run_epoch(&mut NativeBaseline::new(ctx), false);
+        assert_eq!(s.per_query.len(), p.per_query.len());
+        for (a, b) in s.per_query.iter().zip(&p.per_query) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "per-query work must be bit-identical"
+            );
+        }
+        assert_eq!(s.timeouts, p.timeouts);
     }
 
     #[test]

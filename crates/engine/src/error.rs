@@ -49,6 +49,13 @@ pub enum EngineError {
         /// Short fault label (`"panic"`, `"non-finite"`, ...).
         fault: String,
     },
+    /// A parallel worker thread panicked mid-morsel. The panic was
+    /// contained by the pool; depending on configuration the query either
+    /// surfaces this error or degrades to the serial execution path.
+    WorkerFault {
+        /// The operator the faulting morsel belonged to.
+        op: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -73,6 +80,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::ModelFault { component, fault } => {
                 write!(f, "model fault in {component}: {fault}")
+            }
+            EngineError::WorkerFault { op } => {
+                write!(f, "parallel worker fault during {op}")
             }
         }
     }

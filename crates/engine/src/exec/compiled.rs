@@ -1,0 +1,142 @@
+//! Compiled predicate and join-key accessors shared by the serial and
+//! parallel executors.
+//!
+//! Both execution paths must evaluate predicates and extract join keys
+//! with *identical* semantics — the differential harness in
+//! `crates/testkit` asserts byte-identical output between them — so the
+//! compiled forms live here, in one place, and borrow directly from the
+//! columnar base tables. Everything in this module is immutable after
+//! construction and safe to share across worker threads.
+
+use crate::column::Column;
+use crate::query::expr::{CmpOp, Predicate};
+use crate::types::Value;
+
+/// Compiled single-column predicate with fast paths per column type.
+pub(crate) enum Compiled<'a> {
+    /// Integer column compared to an integer literal.
+    Int {
+        /// Column data.
+        data: &'a [i64],
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal.
+        v: i64,
+    },
+    /// Integer column compared to a float literal.
+    IntF {
+        /// Column data.
+        data: &'a [i64],
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal.
+        v: f64,
+    },
+    /// Float column compared to a numeric literal.
+    Float {
+        /// Column data.
+        data: &'a [f64],
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal.
+        v: f64,
+    },
+    /// Dictionary-coded text equality / inequality.
+    TextEq {
+        /// Dictionary codes.
+        codes: &'a [u32],
+        /// Code of the literal, if present in the dictionary.
+        code: Option<u32>,
+        /// True for `!=`.
+        negate: bool,
+    },
+    /// Fallback: untyped comparison through [`Value`].
+    Slow {
+        /// The column.
+        col: &'a Column,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal.
+        value: Value,
+    },
+}
+
+impl Compiled<'_> {
+    /// Does `row` satisfy the predicate?
+    #[inline]
+    pub(crate) fn matches(&self, row: usize) -> bool {
+        match self {
+            Compiled::Int { data, op, v } => op.matches(data[row].cmp(v)),
+            Compiled::IntF { data, op, v } => (data[row] as f64)
+                .partial_cmp(v)
+                .is_some_and(|o| op.matches(o)),
+            Compiled::Float { data, op, v } => {
+                data[row].partial_cmp(v).is_some_and(|o| op.matches(o))
+            }
+            Compiled::TextEq {
+                codes,
+                code,
+                negate,
+            } => {
+                let hit = code.is_some_and(|c| codes[row] == c);
+                hit != *negate
+            }
+            Compiled::Slow { col, op, value } => {
+                col.value(row).compare(value).is_some_and(|o| op.matches(o))
+            }
+        }
+    }
+}
+
+/// Compile `pred` against `col`, choosing the fastest evaluation path.
+pub(crate) fn compile_pred<'a>(col: &'a Column, pred: &Predicate) -> Compiled<'a> {
+    match (col, &pred.value, pred.op) {
+        (Column::Int(data), Value::Int(v), op) => Compiled::Int { data, op, v: *v },
+        (Column::Int(data), Value::Float(v), op) => Compiled::IntF { data, op, v: *v },
+        (Column::Float(data), Value::Int(v), op) => Compiled::Float {
+            data,
+            op,
+            v: *v as f64,
+        },
+        (Column::Float(data), Value::Float(v), op) => Compiled::Float { data, op, v: *v },
+        (Column::Text { dict: _, codes }, Value::Text(s), CmpOp::Eq) => Compiled::TextEq {
+            codes,
+            code: col.text_code(s),
+            negate: false,
+        },
+        (Column::Text { dict: _, codes }, Value::Text(s), CmpOp::Neq) => Compiled::TextEq {
+            codes,
+            code: col.text_code(s),
+            negate: true,
+        },
+        _ => Compiled::Slow {
+            col,
+            op: pred.op,
+            value: pred.value.clone(),
+        },
+    }
+}
+
+/// One side of a set of join conditions: for each condition, the slot in
+/// the relation's tuple layout and the integer column to read the key from.
+pub(crate) struct KeySide<'a> {
+    /// `(slot, column data)` per condition.
+    pub(crate) cols: Vec<(usize, &'a [i64])>,
+}
+
+impl KeySide<'_> {
+    /// Key of a single-condition join for `tuple`.
+    #[inline]
+    pub(crate) fn single_key(&self, tuple: &[u32]) -> i64 {
+        let (slot, data) = self.cols[0];
+        data[tuple[slot] as usize]
+    }
+
+    /// Composite key of a multi-condition join for `tuple`.
+    pub(crate) fn multi_key(&self, tuple: &[u32]) -> Vec<i64> {
+        self.cols
+            .iter()
+            .map(|&(slot, data)| data[tuple[slot] as usize])
+            .collect()
+    }
+}

@@ -4,24 +4,50 @@
 //! result, the *work units* spent (the engine's deterministic latency), the
 //! wall-clock time, and the true cardinality of every intermediate result —
 //! the raw material for training learned components.
+//!
+//! # Row-ordering contract
+//!
+//! Every operator produces its output tuples in a **canonical, fully
+//! deterministic order**, so that two executions of the same plan — on any
+//! execution mode, thread count, or morsel schedule — yield byte-identical
+//! [`Relation`]s. The contract, operator by operator:
+//!
+//! * **Scan** emits qualifying row ids in ascending base-table row order.
+//! * **HashJoin** emits in probe-side-major order: output tuples are
+//!   ordered by the probe (right) tuple's index, and within one probe
+//!   tuple by the build (left) tuples' insertion order, which is ascending
+//!   left-input order.
+//! * **NestedLoopJoin** (and cross products) emit in outer-major order:
+//!   by left tuple index, then right tuple index.
+//! * **MergeJoin** emits by ascending key group; within a group by left
+//!   sort position then right sort position. Sort positions themselves are
+//!   deterministic because sort keys are disambiguated by input index.
+//!
+//! The parallel executor ([`crate::exec::parallel`]) preserves this order
+//! by assigning contiguous input ranges (morsels) to workers and
+//! concatenating per-morsel outputs in morsel index order; the
+//! differential harness in `crates/testkit` asserts the equivalence on
+//! every workload. Work-unit accounting follows the same contract: the
+//! sequence of work charges is identical across modes, so
+//! [`ExecResult::work`] is bit-identical too.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use lqo_obs::trace::OperatorEvent;
+use lqo_obs::trace::{GuardEvent, OperatorEvent};
 use lqo_obs::ObsContext;
 use serde::Serialize;
 
 use crate::catalog::Catalog;
-use crate::column::Column;
 use crate::error::{EngineError, Result};
+use crate::exec::compiled::{compile_pred, Compiled, KeySide};
+use crate::exec::parallel::{self, ExecMode, ParallelConfig};
 use crate::exec::relation::Relation;
 use crate::exec::workunits::CostParams;
 use crate::plan::physical::{JoinAlgo, PhysNode};
-use crate::query::expr::{CmpOp, JoinCond, Predicate};
+use crate::query::expr::JoinCond;
 use crate::query::spj::SpjQuery;
 use crate::query::table_set::TableSet;
-use crate::types::Value;
 
 /// Executor configuration.
 #[derive(Debug, Clone, Default)]
@@ -30,8 +56,13 @@ pub struct ExecConfig {
     pub params: CostParams,
     /// Abort execution when accumulated work exceeds this budget. Protects
     /// experiments from catastrophically bad candidate plans (a real system
-    /// would time out).
+    /// would time out). The parallel executor honours the same budget via
+    /// cancellation-aware morsel dispatch.
     pub max_work: Option<f64>,
+    /// Execution mode: serial (default) or morsel-driven parallel.
+    pub mode: ExecMode,
+    /// Tuning and fault-injection knobs for the parallel mode.
+    pub parallel: ParallelConfig,
 }
 
 /// Result of executing a plan.
@@ -47,13 +78,20 @@ pub struct ExecResult {
     pub intermediates: Vec<(TableSet, u64)>,
 }
 
-struct WorkMeter {
-    work: f64,
-    limit: Option<f64>,
+/// Deterministic work accounting with an optional abort budget.
+pub(crate) struct WorkMeter {
+    /// Accumulated work units.
+    pub(crate) work: f64,
+    /// Abort budget.
+    pub(crate) limit: Option<f64>,
 }
 
 impl WorkMeter {
-    fn add(&mut self, w: f64) -> Result<()> {
+    pub(crate) fn new(limit: Option<f64>) -> WorkMeter {
+        WorkMeter { work: 0.0, limit }
+    }
+
+    pub(crate) fn add(&mut self, w: f64) -> Result<()> {
         self.work += w;
         match self.limit {
             Some(lim) if self.work > lim => Err(EngineError::WorkLimitExceeded { limit: lim }),
@@ -62,111 +100,7 @@ impl WorkMeter {
     }
 }
 
-/// Compiled single-column predicate with fast paths per column type.
-enum Compiled<'a> {
-    Int {
-        data: &'a [i64],
-        op: CmpOp,
-        v: i64,
-    },
-    IntF {
-        data: &'a [i64],
-        op: CmpOp,
-        v: f64,
-    },
-    Float {
-        data: &'a [f64],
-        op: CmpOp,
-        v: f64,
-    },
-    TextEq {
-        codes: &'a [u32],
-        code: Option<u32>,
-        negate: bool,
-    },
-    Slow {
-        col: &'a Column,
-        op: CmpOp,
-        value: Value,
-    },
-}
-
-impl Compiled<'_> {
-    #[inline]
-    fn matches(&self, row: usize) -> bool {
-        match self {
-            Compiled::Int { data, op, v } => op.matches(data[row].cmp(v)),
-            Compiled::IntF { data, op, v } => (data[row] as f64)
-                .partial_cmp(v)
-                .is_some_and(|o| op.matches(o)),
-            Compiled::Float { data, op, v } => {
-                data[row].partial_cmp(v).is_some_and(|o| op.matches(o))
-            }
-            Compiled::TextEq {
-                codes,
-                code,
-                negate,
-            } => {
-                let hit = code.is_some_and(|c| codes[row] == c);
-                hit != *negate
-            }
-            Compiled::Slow { col, op, value } => {
-                col.value(row).compare(value).is_some_and(|o| op.matches(o))
-            }
-        }
-    }
-}
-
-fn compile_pred<'a>(col: &'a Column, pred: &Predicate) -> Compiled<'a> {
-    match (col, &pred.value, pred.op) {
-        (Column::Int(data), Value::Int(v), op) => Compiled::Int { data, op, v: *v },
-        (Column::Int(data), Value::Float(v), op) => Compiled::IntF { data, op, v: *v },
-        (Column::Float(data), Value::Int(v), op) => Compiled::Float {
-            data,
-            op,
-            v: *v as f64,
-        },
-        (Column::Float(data), Value::Float(v), op) => Compiled::Float { data, op, v: *v },
-        (Column::Text { dict: _, codes }, Value::Text(s), CmpOp::Eq) => Compiled::TextEq {
-            codes,
-            code: col.text_code(s),
-            negate: false,
-        },
-        (Column::Text { dict: _, codes }, Value::Text(s), CmpOp::Neq) => Compiled::TextEq {
-            codes,
-            code: col.text_code(s),
-            negate: true,
-        },
-        _ => Compiled::Slow {
-            col,
-            op: pred.op,
-            value: pred.value.clone(),
-        },
-    }
-}
-
-/// One side of a set of join conditions: for each condition, the slot in
-/// the relation's tuple layout and the integer column to read the key from.
-struct KeySide<'a> {
-    cols: Vec<(usize, &'a [i64])>,
-}
-
-impl KeySide<'_> {
-    #[inline]
-    fn single_key(&self, tuple: &[u32]) -> i64 {
-        let (slot, data) = self.cols[0];
-        data[tuple[slot] as usize]
-    }
-
-    fn multi_key(&self, tuple: &[u32]) -> Vec<i64> {
-        self.cols
-            .iter()
-            .map(|&(slot, data)| data[tuple[slot] as usize])
-            .collect()
-    }
-}
-
-fn join_label(algo: JoinAlgo) -> &'static str {
+pub(crate) fn join_label(algo: JoinAlgo) -> &'static str {
     match algo {
         JoinAlgo::Hash => "HashJoin",
         JoinAlgo::NestedLoop => "NestedLoopJoin",
@@ -176,9 +110,9 @@ fn join_label(algo: JoinAlgo) -> &'static str {
 
 /// The plan executor. Stateless across queries; cheap to construct.
 pub struct Executor<'a> {
-    catalog: &'a Catalog,
-    config: ExecConfig,
-    obs: ObsContext,
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) config: ExecConfig,
+    pub(crate) obs: ObsContext,
 }
 
 impl<'a> Executor<'a> {
@@ -209,8 +143,26 @@ impl<'a> Executor<'a> {
         &self.config.params
     }
 
+    /// The configured execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.config.mode
+    }
+
     /// Execute `plan` for `query`.
     pub fn execute(&self, query: &SpjQuery, plan: &PhysNode) -> Result<ExecResult> {
+        self.execute_collect(query, plan).map(|(r, _)| r)
+    }
+
+    /// Execute `plan` for `query`, also returning the final output
+    /// relation (tuples of base-table row ids in the canonical operator
+    /// order documented on this module). This is the interface of the
+    /// differential correctness harness: two executions are equivalent
+    /// iff their [`ExecResult`]s and final relations are byte-identical.
+    pub fn execute_collect(
+        &self,
+        query: &SpjQuery,
+        plan: &PhysNode,
+    ) -> Result<(ExecResult, Relation)> {
         // The plan must cover every table exactly once.
         let mut leaves = 0usize;
         plan.visit_bottom_up(&mut |n| {
@@ -228,25 +180,51 @@ impl<'a> Executor<'a> {
         }
         let _span = self.obs.span("exec.query");
         let start = Instant::now();
-        let mut meter = WorkMeter {
-            work: 0.0,
-            limit: self.config.max_work,
-        };
+        let mut meter = WorkMeter::new(self.config.max_work);
         let mut intermediates = Vec::new();
         let mut events = Vec::new();
-        match self.exec_node(query, plan, &mut meter, &mut intermediates, &mut events) {
+        let attempt = match self.config.mode {
+            ExecMode::Parallel { threads } if threads > 1 => {
+                match parallel::exec_plan(
+                    self,
+                    query,
+                    plan,
+                    threads,
+                    &mut meter,
+                    &mut intermediates,
+                    &mut events,
+                ) {
+                    Err(EngineError::WorkerFault { op })
+                        if self.config.parallel.fallback_serial =>
+                    {
+                        // A worker died mid-morsel: degrade the query to
+                        // the serial path rather than fail it. The serial
+                        // retry restarts accounting from zero.
+                        self.record_degrade(&op);
+                        meter = WorkMeter::new(self.config.max_work);
+                        intermediates.clear();
+                        events.clear();
+                        self.exec_node(query, plan, &mut meter, &mut intermediates, &mut events)
+                    }
+                    other => other,
+                }
+            }
+            _ => self.exec_node(query, plan, &mut meter, &mut intermediates, &mut events),
+        };
+        match attempt {
             Ok(rel) => {
                 if self.obs.is_enabled() {
                     self.obs.count("lqo.exec.queries", 1);
                     self.obs.observe("lqo.exec.work_units", meter.work);
                     self.obs.with_query(|t| t.exec.operators.extend(events));
                 }
-                Ok(ExecResult {
+                let result = ExecResult {
                     count: rel.len() as u64,
                     work: meter.work,
                     wall: start.elapsed(),
                     intermediates,
-                })
+                };
+                Ok((result, rel))
             }
             Err(e) => {
                 if self.obs.is_enabled() {
@@ -264,7 +242,23 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn exec_node(
+    /// Note a contained parallel worker fault and the serial retry.
+    fn record_degrade(&self, op: &str) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.count("lqo.exec.parallel.degraded", 1);
+        let op = op.to_string();
+        self.obs.with_query(|t| {
+            t.guard.push(GuardEvent {
+                component: "exec:parallel".to_string(),
+                fault: format!("worker-panic:{op}"),
+                action: "fallback:serial".to_string(),
+            });
+        });
+    }
+
+    pub(crate) fn exec_node(
         &self,
         query: &SpjQuery,
         node: &PhysNode,
@@ -324,8 +318,24 @@ impl<'a> Executor<'a> {
         Ok(Relation::from_scan(pos, out))
     }
 
+    /// Compile the filter predicates of the scan at `pos`.
+    pub(crate) fn compile_scan<'b>(
+        &'b self,
+        query: &SpjQuery,
+        pos: usize,
+    ) -> Result<(usize, Vec<Compiled<'b>>)> {
+        let table = self.catalog.table(&query.tables[pos].table)?;
+        let preds = query.predicates_on(pos);
+        let mut compiled = Vec::with_capacity(preds.len());
+        for p in &preds {
+            let col = table.column_by_name(&p.col.column)?;
+            compiled.push(compile_pred(col, p));
+        }
+        Ok((table.nrows(), compiled))
+    }
+
     /// Resolve the key columns of `conds` on one side of a join.
-    fn key_side<'b>(
+    pub(crate) fn key_side<'b>(
         &'b self,
         query: &SpjQuery,
         rel: &Relation,
@@ -387,9 +397,27 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn emit(out: &mut Vec<u32>, ltuple: &[u32], rtuple: &[u32]) {
+    pub(crate) fn emit(out: &mut Vec<u32>, ltuple: &[u32], rtuple: &[u32]) {
         out.extend_from_slice(ltuple);
         out.extend_from_slice(rtuple);
+    }
+
+    /// The hash-join "spill" multiplier for a build side of `build_rows`.
+    pub(crate) fn hash_spill(&self, build_rows: usize) -> f64 {
+        if build_rows > self.config.params.hash_mem_rows {
+            self.config.params.spill_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// The nested-loop cache discount for an inner side of `inner_rows`.
+    pub(crate) fn nl_discount(&self, inner_rows: usize) -> f64 {
+        if inner_rows <= self.config.params.nl_cache_rows {
+            self.config.params.nl_cache_discount
+        } else {
+            1.0
+        }
     }
 
     fn hash_join(
@@ -401,11 +429,7 @@ impl<'a> Executor<'a> {
         meter: &mut WorkMeter,
     ) -> Result<Relation> {
         let p = &self.config.params;
-        let spill = if left.len() > p.hash_mem_rows {
-            p.spill_factor
-        } else {
-            1.0
-        };
+        let spill = self.hash_spill(left.len());
         meter
             .add((left.len() as f64 * p.hash_build + right.len() as f64 * p.hash_probe) * spill)?;
 
@@ -470,11 +494,7 @@ impl<'a> Executor<'a> {
         meter: &mut WorkMeter,
     ) -> Result<Relation> {
         let p = &self.config.params;
-        let discount = if right.len() <= p.nl_cache_rows {
-            p.nl_cache_discount
-        } else {
-            1.0
-        };
+        let discount = self.nl_discount(right.len());
         // Charge pair work up front so hopeless plans abort immediately.
         meter.add(left.len() as f64 * right.len() as f64 * p.nl_pair * discount)?;
 
@@ -547,8 +567,21 @@ impl<'a> Executor<'a> {
             .collect();
         lsorted.sort_unstable();
         rsorted.sort_unstable();
+        Self::merge_phase(p, &left, &right, &lsorted, &rsorted, meter)
+    }
 
-        let slots = Relation::combined_slots(&left, &right);
+    /// The merge phase of a merge join over pre-sorted key/index vectors.
+    /// Shared with the parallel executor, whose only parallel piece is key
+    /// extraction: the merge itself is inherently sequential and cheap.
+    pub(crate) fn merge_phase(
+        p: &CostParams,
+        left: &Relation,
+        right: &Relation,
+        lsorted: &[(Vec<i64>, u32)],
+        rsorted: &[(Vec<i64>, u32)],
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let slots = Relation::combined_slots(left, right);
         let width = slots.len();
         let mut rows: Vec<u32> = Vec::new();
         let mut emitted = 0usize;
@@ -588,8 +621,9 @@ impl<'a> Executor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::expr::{ColRef, TableRef};
+    use crate::query::expr::{CmpOp, ColRef, Predicate, TableRef};
     use crate::table::TableBuilder;
+    use crate::types::Value;
 
     /// Two tables: `a(id)` with ids 0..10, `b(id, a_id)` where each a-row
     /// has 2 matching b-rows, plus one dangling b-row.
@@ -818,5 +852,112 @@ mod tests {
         assert_eq!(ex.execute(&q2, &PhysNode::scan(0)).unwrap().count, 0);
         q2.predicates[0].op = CmpOp::Neq;
         assert_eq!(ex.execute(&q2, &PhysNode::scan(0)).unwrap().count, 3);
+    }
+
+    #[test]
+    fn parallel_mode_matches_serial_byte_for_byte() {
+        let (c, q) = fixture();
+        let serial = Executor::with_defaults(&c);
+        for algo in JoinAlgo::ALL {
+            let plan = join_plan(algo);
+            let (sr, srel) = serial.execute_collect(&q, &plan).unwrap();
+            for threads in [2, 4] {
+                let par = Executor::new(
+                    &c,
+                    ExecConfig {
+                        mode: ExecMode::Parallel { threads },
+                        parallel: ParallelConfig {
+                            morsel_rows: 4,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                );
+                let (pr, prel) = par.execute_collect(&q, &plan).unwrap();
+                assert_eq!(sr.count, pr.count, "{algo} x{threads}");
+                assert_eq!(sr.work.to_bits(), pr.work.to_bits(), "{algo} x{threads}");
+                assert_eq!(sr.intermediates, pr.intermediates, "{algo} x{threads}");
+                assert_eq!(srel.slots, prel.slots, "{algo} x{threads}");
+                assert_eq!(srel.rows, prel.rows, "{algo} x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_worker_fault_degrades_to_serial() {
+        let (c, q) = fixture();
+        let serial_count = Executor::with_defaults(&c)
+            .execute(&q, &join_plan(JoinAlgo::Hash))
+            .unwrap()
+            .count;
+        let obs = ObsContext::enabled();
+        let ex = Executor::new(
+            &c,
+            ExecConfig {
+                mode: ExecMode::Parallel { threads: 2 },
+                parallel: ParallelConfig {
+                    morsel_rows: 4,
+                    panic_on_morsel: Some(0),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .with_obs(obs.clone());
+        obs.begin_query("degrade-test");
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        let r = ex.execute(&q, &join_plan(JoinAlgo::Hash)).unwrap();
+        std::panic::set_hook(prev);
+        let trace = obs.end_query().unwrap();
+        assert_eq!(r.count, serial_count);
+        assert_eq!(
+            obs.metrics()
+                .unwrap()
+                .snapshot()
+                .counter("lqo.exec.parallel.degraded"),
+            Some(1)
+        );
+        assert!(trace
+            .guard
+            .iter()
+            .any(|g| g.component == "exec:parallel" && g.action == "fallback:serial"));
+    }
+
+    #[test]
+    fn parallel_worker_fault_errors_without_fallback() {
+        let (c, q) = fixture();
+        let ex = Executor::new(
+            &c,
+            ExecConfig {
+                mode: ExecMode::Parallel { threads: 2 },
+                parallel: ParallelConfig {
+                    morsel_rows: 4,
+                    panic_on_morsel: Some(0),
+                    fallback_serial: false,
+                },
+                ..Default::default()
+            },
+        );
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = ex.execute(&q, &join_plan(JoinAlgo::Hash)).unwrap_err();
+        std::panic::set_hook(prev);
+        assert!(matches!(err, EngineError::WorkerFault { .. }));
+    }
+
+    #[test]
+    fn parallel_respects_work_budget() {
+        let (c, q) = fixture();
+        let ex = Executor::new(
+            &c,
+            ExecConfig {
+                max_work: Some(5.0),
+                mode: ExecMode::Parallel { threads: 2 },
+                ..Default::default()
+            },
+        );
+        let err = ex.execute(&q, &join_plan(JoinAlgo::Hash)).unwrap_err();
+        assert!(matches!(err, EngineError::WorkLimitExceeded { .. }));
     }
 }

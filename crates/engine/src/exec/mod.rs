@@ -1,12 +1,15 @@
 //! Plan execution: physical operators over row-id relations, a work-unit
 //! accounting model, and the true-cardinality oracle.
 
+pub(crate) mod compiled;
 pub mod executor;
 pub mod oracle;
+pub mod parallel;
 pub mod relation;
 pub mod workunits;
 
 pub use executor::{ExecConfig, ExecResult, Executor};
 pub use oracle::TrueCardOracle;
+pub use parallel::{ExecMode, ParallelConfig};
 pub use relation::Relation;
 pub use workunits::CostParams;

@@ -1,0 +1,278 @@
+//! Parallel join operators.
+//!
+//! Each join mirrors its serial counterpart operator-for-operator and
+//! charge-for-charge:
+//!
+//! * upfront operator work is charged on the **exact** meter before any
+//!   morsel is dispatched (so hopeless plans abort as early as serially);
+//! * workers feed the shared *approximate* accumulator as they emit, so
+//!   the budget can cancel dispatch mid-operator;
+//! * after the deterministic morsel-order merge, output work is
+//!   **replayed** as the exact serial sequence of chunked charges, making
+//!   the final work value bit-identical to serial execution.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::error::{EngineError, Result};
+use crate::exec::compiled::KeySide;
+use crate::exec::executor::{Executor, WorkMeter};
+use crate::exec::parallel::ParRun;
+use crate::exec::relation::Relation;
+use crate::exec::workunits::CostParams;
+use crate::plan::physical::JoinAlgo;
+use crate::query::expr::JoinCond;
+
+/// Replay the serial executor's chunked output-work charges for a join
+/// that emitted `emitted` tuples of `width` slots: one charge per full
+/// 65,536-tuple chunk, then the remainder. Bit-identical to the serial
+/// interleaved sequence because f64 addition is deterministic for a fixed
+/// sequence of operands.
+fn replay_output_charges(
+    meter: &mut WorkMeter,
+    p: &CostParams,
+    emitted: usize,
+    width: usize,
+) -> Result<()> {
+    for _ in 0..emitted / 65_536 {
+        meter.add(p.output_work(65_536.0, width))?;
+    }
+    meter.add(p.output_work((emitted % 65_536) as f64, width))
+}
+
+impl ParRun<'_> {
+    pub(crate) fn join(
+        &self,
+        algo: JoinAlgo,
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let conds = self.query.joins_between(left.tables(), right.tables());
+        if conds.is_empty() {
+            if algo != JoinAlgo::NestedLoop {
+                return Err(EngineError::InvalidPlan(format!(
+                    "{algo} requires at least one equi-join condition (cross products \
+                     must use NestedLoopJoin)"
+                )));
+            }
+            return self.cross_join(left, right, meter);
+        }
+        match algo {
+            JoinAlgo::Hash => self.hash_join(&conds, left, right, meter),
+            JoinAlgo::NestedLoop => self.nl_join(&conds, left, right, meter),
+            JoinAlgo::Merge => self.merge_join(&conds, left, right, meter),
+        }
+    }
+
+    fn hash_join(
+        &self,
+        conds: &[&JoinCond],
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let p = &self.ex.config.params;
+        let spill = self.ex.hash_spill(left.len());
+        meter
+            .add((left.len() as f64 * p.hash_build + right.len() as f64 * p.hash_probe) * spill)?;
+        self.shared.seed_work(meter.work);
+
+        let lkeys = self.ex.key_side(self.query, &left, conds)?;
+        let rkeys = self.ex.key_side(self.query, &right, conds)?;
+        let slots = Relation::combined_slots(&left, &right);
+        let width = slots.len();
+        let (rows, emitted) = if conds.len() == 1 {
+            self.hash_join_keyed(&left, &right, width, &lkeys, &rkeys, |ks, t| {
+                ks.single_key(t)
+            })?
+        } else {
+            self.hash_join_keyed(&left, &right, width, &lkeys, &rkeys, |ks, t| {
+                ks.multi_key(t)
+            })?
+        };
+        replay_output_charges(meter, p, emitted, width)?;
+        Ok(Relation { slots, rows })
+    }
+
+    /// Partitioned build, shared read-only probe.
+    ///
+    /// Build morsels each construct a local key→rows map over their
+    /// ascending slice; local maps are merged **in morsel order**, so each
+    /// key's row vector is in ascending build-input order — the serial
+    /// insertion order. Probe morsels then scan ascending probe ranges
+    /// against the shared table; concatenating their outputs in morsel
+    /// order reproduces the serial probe-major emit order exactly.
+    fn hash_join_keyed<K, F>(
+        &self,
+        left: &Relation,
+        right: &Relation,
+        width: usize,
+        lkeys: &KeySide<'_>,
+        rkeys: &KeySide<'_>,
+        key: F,
+    ) -> Result<(Vec<u32>, usize)>
+    where
+        K: Eq + Hash + Send + Sync,
+        F: Fn(&KeySide<'_>, &[u32]) -> K + Sync,
+    {
+        let key = &key;
+        let locals = self.dispatch(left.len(), "HashJoin", move |_, range| {
+            let mut m: HashMap<K, Vec<u32>> = HashMap::new();
+            for i in range {
+                m.entry(key(lkeys, left.tuple(i)))
+                    .or_default()
+                    .push(i as u32);
+            }
+            m
+        })?;
+        let mut table: HashMap<K, Vec<u32>> = HashMap::new();
+        for local in locals {
+            for (k, v) in local {
+                table.entry(k).or_default().extend(v);
+            }
+        }
+
+        let table = &table;
+        let shared = &self.shared;
+        let params = &self.ex.config.params;
+        let chunks = self.dispatch(right.len(), "HashJoin", move |_, range| {
+            let mut rows: Vec<u32> = Vec::new();
+            let mut emitted = 0usize;
+            for j in range {
+                let rt = right.tuple(j);
+                if let Some(matches) = table.get(&key(rkeys, rt)) {
+                    for &i in matches {
+                        Executor::emit(&mut rows, left.tuple(i as usize), rt);
+                        emitted += 1;
+                    }
+                }
+            }
+            shared.add_approx(params.output_work(emitted as f64, width));
+            (rows, emitted)
+        })?;
+        Ok(concat_chunks(chunks))
+    }
+
+    fn nl_join(
+        &self,
+        conds: &[&JoinCond],
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let p = &self.ex.config.params;
+        let discount = self.ex.nl_discount(right.len());
+        meter.add(left.len() as f64 * right.len() as f64 * p.nl_pair * discount)?;
+        self.shared.seed_work(meter.work);
+
+        let lkeys = self.ex.key_side(self.query, &left, conds)?;
+        let rkeys = self.ex.key_side(self.query, &right, conds)?;
+        let slots = Relation::combined_slots(&left, &right);
+        let width = slots.len();
+        let (lkeys, rkeys) = (&lkeys, &rkeys);
+        let (lref, rref) = (&left, &right);
+        let shared = &self.shared;
+        let chunks = self.dispatch(left.len(), "NestedLoopJoin", move |_, range| {
+            let mut rows: Vec<u32> = Vec::new();
+            let mut emitted = 0usize;
+            for i in range {
+                let lt = lref.tuple(i);
+                let lk = lkeys.multi_key(lt);
+                for j in 0..rref.len() {
+                    let rt = rref.tuple(j);
+                    if lk == rkeys.multi_key(rt) {
+                        Executor::emit(&mut rows, lt, rt);
+                        emitted += 1;
+                    }
+                }
+            }
+            shared.add_approx(p.output_work(emitted as f64, width));
+            (rows, emitted)
+        })?;
+        let (rows, emitted) = concat_chunks(chunks);
+        replay_output_charges(meter, p, emitted, width)?;
+        Ok(Relation { slots, rows })
+    }
+
+    fn cross_join(
+        &self,
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let p = &self.ex.config.params;
+        let out = left.len() as f64 * right.len() as f64;
+        let slots = Relation::combined_slots(&left, &right);
+        let width = slots.len();
+        // Serial charges the cross product in one upfront add; match it.
+        meter.add(out * p.nl_pair + p.output_work(out, width))?;
+        self.shared.seed_work(meter.work);
+        let (lref, rref) = (&left, &right);
+        let chunks = self.dispatch(left.len(), "NestedLoopJoin", move |_, range| {
+            let mut rows: Vec<u32> = Vec::new();
+            for i in range {
+                for j in 0..rref.len() {
+                    Executor::emit(&mut rows, lref.tuple(i), rref.tuple(j));
+                }
+            }
+            rows
+        })?;
+        let mut rows = Vec::new();
+        for c in chunks {
+            rows.extend(c);
+        }
+        Ok(Relation { slots, rows })
+    }
+
+    /// Merge join: key extraction is parallel (order-preserving because
+    /// per-morsel extractions are concatenated in morsel order); the sort
+    /// and the merge phase reuse the serial implementation verbatim, so
+    /// charges and output are identical by construction.
+    fn merge_join(
+        &self,
+        conds: &[&JoinCond],
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        let p = &self.ex.config.params;
+        meter.add(
+            p.sort_work(left.len() as f64)
+                + p.sort_work(right.len() as f64)
+                + (left.len() + right.len()) as f64 * p.merge_tuple,
+        )?;
+        self.shared.seed_work(meter.work);
+
+        let lkeys = self.ex.key_side(self.query, &left, conds)?;
+        let rkeys = self.ex.key_side(self.query, &right, conds)?;
+        let (lkeys, rkeys) = (&lkeys, &rkeys);
+        let (lref, rref) = (&left, &right);
+        let lext = self.dispatch(left.len(), "MergeJoin", move |_, range| {
+            range
+                .map(|i| (lkeys.multi_key(lref.tuple(i)), i as u32))
+                .collect::<Vec<_>>()
+        })?;
+        let rext = self.dispatch(right.len(), "MergeJoin", move |_, range| {
+            range
+                .map(|j| (rkeys.multi_key(rref.tuple(j)), j as u32))
+                .collect::<Vec<_>>()
+        })?;
+        let mut lsorted: Vec<(Vec<i64>, u32)> = lext.into_iter().flatten().collect();
+        let mut rsorted: Vec<(Vec<i64>, u32)> = rext.into_iter().flatten().collect();
+        lsorted.sort_unstable();
+        rsorted.sort_unstable();
+        Executor::merge_phase(p, &left, &right, &lsorted, &rsorted, meter)
+    }
+}
+
+/// Concatenate per-morsel `(rows, emitted)` chunks in morsel order.
+fn concat_chunks(chunks: Vec<(Vec<u32>, usize)>) -> (Vec<u32>, usize) {
+    let mut rows = Vec::new();
+    let mut emitted = 0usize;
+    for (c, e) in chunks {
+        rows.extend(c);
+        emitted += e;
+    }
+    (rows, emitted)
+}

@@ -1,0 +1,328 @@
+//! Morsel-driven parallel execution.
+//!
+//! A fixed-size pool of `std::thread` workers pulls *morsels* — contiguous,
+//! cache-sized ranges of input indices — from a shared atomic counter and
+//! executes them free-running; the coordinator stitches per-morsel outputs
+//! back together **in morsel index order**. Combined with the row-ordering
+//! contract of the serial executor (see [`crate::exec::executor`]), this
+//! makes the parallel output — result rows, intermediate cardinalities,
+//! per-operator events, and the accumulated work units — **byte-identical**
+//! to the serial executor for every plan, thread count, and morsel size.
+//!
+//! Determinism argument, per operator:
+//!
+//! * **Scan**: morsels partition the base table into ascending contiguous
+//!   ranges; each emits qualifying ids in ascending order; concatenation in
+//!   morsel order reproduces the serial ascending scan.
+//! * **Hash join build**: each morsel builds a local key→rows map over its
+//!   ascending slice of the build input; local maps are merged in morsel
+//!   order, so every key's row vector ends up in ascending build-input
+//!   order — exactly the serial insertion order. (Map *iteration* order is
+//!   irrelevant: merging is per key.)
+//! * **Hash join probe**: probe morsels cover ascending probe ranges
+//!   against the shared read-only table; each emits probe-major output;
+//!   concatenation in morsel order reproduces the serial probe loop.
+//! * **Nested-loop / cross join**: outer side is morselised; inner loop is
+//!   unchanged; concatenation reproduces the serial outer-major order.
+//! * **Merge join**: only key extraction is parallel (order-preserving by
+//!   construction); sorting and merging reuse the serial code verbatim.
+//!
+//! Work accounting is replayed, not summed: after the deterministic merge,
+//! the coordinator issues the *exact serial sequence* of work charges, so
+//! `ExecResult::work` is bit-identical across modes. During execution an
+//! *approximate* shared accumulator (exact value re-seeded after every
+//! exact charge) makes morsel dispatch budget-aware: workers stop pulling
+//! morsels as soon as the work budget is provably exceeded, which is how
+//! lqo-guard plan budgets cancel runaway parallel plans mid-operator.
+//!
+//! A panicking worker is contained by `catch_unwind`, recorded on the run,
+//! and cancels remaining morsels; the query then degrades to the serial
+//! path (default) or surfaces [`crate::error::EngineError::WorkerFault`].
+
+pub(crate) mod join;
+pub(crate) mod morsel;
+pub(crate) mod pool;
+
+use std::cell::Cell;
+
+use lqo_obs::trace::OperatorEvent;
+use serde::Serialize;
+
+use crate::error::Result;
+use crate::exec::executor::{join_label, Executor, WorkMeter};
+use crate::exec::parallel::morsel::{morsels, SharedRun};
+use crate::exec::parallel::pool::{run_morsels, PoolStats};
+use crate::exec::relation::Relation;
+use crate::plan::physical::PhysNode;
+use crate::query::spj::SpjQuery;
+use crate::query::table_set::TableSet;
+
+/// How the executor runs a plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub enum ExecMode {
+    /// Single-threaded execution (the reference path).
+    #[default]
+    Serial,
+    /// Morsel-driven parallel execution on a fixed-size worker pool.
+    Parallel {
+        /// Worker pool size. `Parallel { threads: 1 }` is executed on the
+        /// serial path (one worker cannot beat zero dispatch overhead).
+        threads: usize,
+    },
+}
+
+impl ExecMode {
+    /// The worker count this mode runs with (1 for serial).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel { threads } => (*threads).max(1),
+        }
+    }
+
+    /// Parse `"serial"`, `"parallel"` (hardware threads) or
+    /// `"parallel:N"`.
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s.trim() {
+            "serial" => Some(ExecMode::Serial),
+            "parallel" => Some(ExecMode::Parallel {
+                threads: std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            }),
+            other => {
+                let threads = other.strip_prefix("parallel:")?.parse().ok()?;
+                Some(ExecMode::Parallel { threads })
+            }
+        }
+    }
+
+    /// Read the mode from the `LQO_EXEC_MODE` environment variable
+    /// (`serial` | `parallel` | `parallel:N`); defaults to serial.
+    pub fn from_env() -> ExecMode {
+        std::env::var("LQO_EXEC_MODE")
+            .ok()
+            .and_then(|s| ExecMode::parse(&s))
+            .unwrap_or(ExecMode::Serial)
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::Serial => write!(f, "serial"),
+            ExecMode::Parallel { threads } => write!(f, "parallel:{threads}"),
+        }
+    }
+}
+
+/// Tuning and fault-injection knobs for the parallel executor.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Maximum rows per morsel. The default keeps a morsel's footprint
+    /// within a few hundred KiB of L2 for typical tuple widths.
+    pub morsel_rows: usize,
+    /// Degrade to the serial path when a worker panics (default). When
+    /// off, a worker fault surfaces as [`crate::error::EngineError::WorkerFault`].
+    pub fallback_serial: bool,
+    /// Fault injection for chaos tests: panic inside the morsel with this
+    /// global dispatch sequence number.
+    pub panic_on_morsel: Option<u64>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            morsel_rows: 32_768,
+            fallback_serial: true,
+            panic_on_morsel: None,
+        }
+    }
+}
+
+/// Coordinator state for one parallel plan execution.
+pub(crate) struct ParRun<'a> {
+    pub(crate) ex: &'a Executor<'a>,
+    pub(crate) query: &'a SpjQuery,
+    pub(crate) threads: usize,
+    pub(crate) shared: SharedRun,
+    /// Total morsels dispatched, worker busy ns, and pool capacity
+    /// (spawned workers × dispatch wall ns) — accumulated across
+    /// dispatches for utilization metrics.
+    morsels_run: Cell<u64>,
+    busy_ns: Cell<u64>,
+    capacity_ns: Cell<u64>,
+}
+
+/// Execute `plan` with `threads` workers. Mirrors
+/// [`Executor::exec_node`] exactly: same validation, same intermediates,
+/// same operator events, bit-identical work accounting.
+pub(crate) fn exec_plan(
+    ex: &Executor<'_>,
+    query: &SpjQuery,
+    plan: &PhysNode,
+    threads: usize,
+    meter: &mut WorkMeter,
+    intermediates: &mut Vec<(TableSet, u64)>,
+    events: &mut Vec<OperatorEvent>,
+) -> Result<Relation> {
+    let run = ParRun {
+        ex,
+        query,
+        threads: threads.max(1),
+        shared: SharedRun::new(ex.config.max_work, ex.config.parallel.panic_on_morsel),
+        morsels_run: Cell::new(0),
+        busy_ns: Cell::new(0),
+        capacity_ns: Cell::new(0),
+    };
+    let result = run.node(plan, meter, intermediates, events);
+    run.finish();
+    result
+}
+
+impl ParRun<'_> {
+    /// Execute one plan node; identical structure to the serial
+    /// `exec_node` so per-operator work attribution and event order match.
+    fn node(
+        &self,
+        node: &PhysNode,
+        meter: &mut WorkMeter,
+        intermediates: &mut Vec<(TableSet, u64)>,
+        events: &mut Vec<OperatorEvent>,
+    ) -> Result<Relation> {
+        let (rel, op, own_work) = match node {
+            PhysNode::Scan { pos } => {
+                let before = meter.work;
+                let rel = self.scan(*pos, meter)?;
+                (rel, "Scan", meter.work - before)
+            }
+            PhysNode::Join { algo, left, right } => {
+                let l = self.node(left, meter, intermediates, events)?;
+                let r = self.node(right, meter, intermediates, events)?;
+                let before = meter.work;
+                let rel = self.join(*algo, l, r, meter)?;
+                (rel, join_label(*algo), meter.work - before)
+            }
+        };
+        intermediates.push((rel.tables(), rel.len() as u64));
+        if self.ex.obs.is_enabled() {
+            events.push(OperatorEvent {
+                op: op.to_string(),
+                tables: rel.tables().0,
+                true_rows: rel.len() as u64,
+                est_rows: None,
+                work: own_work,
+            });
+        }
+        Ok(rel)
+    }
+
+    /// Parallel filter scan: morsels over the base table, qualifying row
+    /// ids concatenated in morsel (= ascending row) order.
+    fn scan(&self, pos: usize, meter: &mut WorkMeter) -> Result<Relation> {
+        let (n, compiled) = self.ex.compile_scan(self.query, pos)?;
+        meter.add(self.ex.config.params.scan_work(n as f64, compiled.len()))?;
+        self.shared.seed_work(meter.work);
+        let compiled = &compiled;
+        let chunks = self.dispatch(n, "Scan", move |_, range| {
+            let mut out = Vec::new();
+            'rows: for row in range {
+                for c in compiled {
+                    if !c.matches(row) {
+                        continue 'rows;
+                    }
+                }
+                out.push(row as u32);
+            }
+            out
+        })?;
+        let mut out = Vec::new();
+        for c in chunks {
+            out.extend(c);
+        }
+        Ok(Relation::from_scan(pos, out))
+    }
+
+    /// Run `f` over morsels of `0..n` on the pool, recording timings.
+    pub(crate) fn dispatch<T, F>(&self, n: usize, op: &'static str, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+    {
+        let ms = morsels(n, self.ex.config.parallel.morsel_rows);
+        let (results, stats) = run_morsels(self.threads, &ms, &self.shared, op, f)?;
+        self.note(&stats);
+        Ok(results)
+    }
+
+    fn note(&self, stats: &PoolStats) {
+        self.morsels_run
+            .set(self.morsels_run.get() + stats.morsel_ns.len() as u64);
+        self.busy_ns.set(self.busy_ns.get() + stats.busy_ns);
+        self.capacity_ns
+            .set(self.capacity_ns.get() + stats.workers as u64 * stats.elapsed_ns);
+        if self.ex.obs.is_enabled() {
+            self.ex
+                .obs
+                .count("lqo.exec.parallel.morsels", stats.morsel_ns.len() as u64);
+            for &ns in &stats.morsel_ns {
+                self.ex
+                    .obs
+                    .observe("lqo.exec.parallel.morsel_ns", ns as f64);
+            }
+        }
+    }
+
+    /// Record run-level pool metrics: total busy time and utilization
+    /// (busy / (spawned workers × parallel-section wall time)).
+    fn finish(&self) {
+        if !self.ex.obs.is_enabled() || self.morsels_run.get() == 0 {
+            return;
+        }
+        self.ex.obs.observe(
+            "lqo.exec.parallel.worker_busy_ns",
+            self.busy_ns.get() as f64,
+        );
+        let denom = self.capacity_ns.get() as f64;
+        if denom > 0.0 {
+            self.ex.obs.gauge(
+                "lqo.exec.parallel.utilization",
+                self.busy_ns.get() as f64 / denom,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_mode_parses() {
+        assert_eq!(ExecMode::parse("serial"), Some(ExecMode::Serial));
+        assert_eq!(
+            ExecMode::parse("parallel:4"),
+            Some(ExecMode::Parallel { threads: 4 })
+        );
+        assert!(matches!(
+            ExecMode::parse("parallel"),
+            Some(ExecMode::Parallel { .. })
+        ));
+        assert_eq!(ExecMode::parse("bogus"), None);
+        assert_eq!(ExecMode::parse("parallel:x"), None);
+    }
+
+    #[test]
+    fn exec_mode_display_roundtrips() {
+        for mode in [ExecMode::Serial, ExecMode::Parallel { threads: 8 }] {
+            assert_eq!(ExecMode::parse(&mode.to_string()), Some(mode));
+        }
+    }
+
+    #[test]
+    fn exec_mode_threads() {
+        assert_eq!(ExecMode::Serial.threads(), 1);
+        assert_eq!(ExecMode::Parallel { threads: 8 }.threads(), 8);
+        assert_eq!(ExecMode::Parallel { threads: 0 }.threads(), 1);
+    }
+}

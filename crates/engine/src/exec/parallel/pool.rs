@@ -1,0 +1,182 @@
+//! The fixed-size worker pool that drives morsel execution.
+//!
+//! `run_morsels` spawns scoped `std::thread` workers that pull morsel
+//! indices from a shared atomic counter, run the morsel closure under
+//! `catch_unwind` (a panicking worker is contained, recorded on the
+//! [`SharedRun`], and cancels the run), and hand their results back tagged
+//! with the morsel index. The coordinator reassembles results **in morsel
+//! index order**, which is the cornerstone of the determinism argument:
+//! scheduling is free-running, output order is not.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::error::{EngineError, Result};
+use crate::exec::parallel::morsel::SharedRun;
+
+/// Timing statistics of one `run_morsels` dispatch.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PoolStats {
+    /// Wall-clock nanoseconds of each executed morsel.
+    pub(crate) morsel_ns: Vec<u64>,
+    /// Total busy nanoseconds summed over workers.
+    pub(crate) busy_ns: u64,
+    /// Wall-clock nanoseconds of the whole dispatch.
+    pub(crate) elapsed_ns: u64,
+    /// Number of workers actually spawned.
+    pub(crate) workers: usize,
+}
+
+/// Execute `f` over every morsel on up to `threads` workers and return the
+/// results **in morsel index order** together with pool timings.
+///
+/// Fails with [`EngineError::WorkerFault`] if a worker panicked (panic
+/// contained, remaining workers drained cooperatively) and with
+/// [`EngineError::WorkLimitExceeded`] if the shared approximate work
+/// accumulator tripped the budget mid-run.
+pub(crate) fn run_morsels<T, F>(
+    threads: usize,
+    morsels: &[Range<usize>],
+    shared: &SharedRun,
+    op: &'static str,
+    f: F,
+) -> Result<(Vec<T>, PoolStats)>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    // A worker's return: its locally collected `(morsel index, result,
+    // nanos)` triples plus its busy time.
+    type WorkerOut<T> = (Vec<(usize, T, u64)>, u64);
+    let workers = threads.min(morsels.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let per_worker: Vec<WorkerOut<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T, u64)> = Vec::new();
+                    let mut busy = 0u64;
+                    loop {
+                        if shared.is_cancelled() {
+                            break;
+                        }
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= morsels.len() {
+                            break;
+                        }
+                        let seq = shared.next_seq();
+                        let range = morsels[idx].clone();
+                        let t0 = Instant::now();
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if shared.should_panic(seq) {
+                                    panic!("injected fault in {op} morsel #{seq}");
+                                }
+                                f(idx, range)
+                            }));
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        busy += ns;
+                        match outcome {
+                            Ok(value) => local.push((idx, value, ns)),
+                            Err(_) => {
+                                shared.set_fault(op);
+                                break;
+                            }
+                        }
+                    }
+                    (local, busy)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("morsel panics are contained by catch_unwind")
+            })
+            .collect()
+    });
+    if let Some(op) = shared.take_fault() {
+        return Err(EngineError::WorkerFault { op });
+    }
+    if shared.budget_tripped() {
+        return Err(EngineError::WorkLimitExceeded {
+            limit: shared.limit().unwrap_or(f64::INFINITY),
+        });
+    }
+
+    let mut stats = PoolStats {
+        morsel_ns: Vec::with_capacity(morsels.len()),
+        busy_ns: 0,
+        elapsed_ns: started.elapsed().as_nanos() as u64,
+        workers,
+    };
+    let mut ordered: Vec<Option<T>> = (0..morsels.len()).map(|_| None).collect();
+    for (local, busy) in per_worker {
+        stats.busy_ns += busy;
+        for (idx, value, ns) in local {
+            stats.morsel_ns.push(ns);
+            ordered[idx] = Some(value);
+        }
+    }
+    let results = ordered
+        .into_iter()
+        .map(|slot| {
+            slot.ok_or_else(|| EngineError::InvalidPlan("morsel dropped by pool".to_string()))
+        })
+        .collect::<Result<Vec<T>>>()?;
+    Ok((results, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::parallel::morsel::morsels;
+
+    #[test]
+    fn results_come_back_in_morsel_order() {
+        let ms = morsels(1000, 7);
+        let shared = SharedRun::new(None, None);
+        let (sums, stats) = run_morsels(4, &ms, &shared, "test", |_, r| {
+            r.map(|i| i as u64).sum::<u64>()
+        })
+        .unwrap();
+        let expect: Vec<u64> = ms
+            .iter()
+            .map(|r| r.clone().map(|i| i as u64).sum())
+            .collect();
+        assert_eq!(sums, expect);
+        assert_eq!(stats.morsel_ns.len(), ms.len());
+        assert!(stats.workers <= 4);
+    }
+
+    #[test]
+    fn single_thread_pool_still_works() {
+        let ms = morsels(10, 3);
+        let shared = SharedRun::new(None, None);
+        let (v, _) = run_morsels(1, &ms, &shared, "test", |idx, _| idx).unwrap();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_reported() {
+        let ms = morsels(100, 10);
+        let shared = SharedRun::new(None, Some(0));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = run_morsels(2, &ms, &shared, "Scan", |_, _| 0u32).unwrap_err();
+        std::panic::set_hook(prev);
+        assert_eq!(err, EngineError::WorkerFault { op: "Scan".into() });
+    }
+
+    #[test]
+    fn budget_trip_cancels_dispatch() {
+        let ms = morsels(10_000, 1);
+        let shared = SharedRun::new(Some(10.0), None);
+        shared.seed_work(0.0);
+        let err = run_morsels(2, &ms, &shared, "Scan", |_, _| shared.add_approx(5.0)).unwrap_err();
+        assert!(matches!(err, EngineError::WorkLimitExceeded { .. }));
+    }
+}

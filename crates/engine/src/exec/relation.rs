@@ -4,6 +4,16 @@
 //! never materializes attribute values — only, per output tuple, the row id
 //! of each participating base table. Attribute access during joins goes
 //! back to the columnar base tables.
+//!
+//! Relations carry the executor's **stable row-ordering contract** (see
+//! [`crate::exec::executor`]): operators emit tuples in a canonical order
+//! that is a pure function of the plan and the data, never of the
+//! execution schedule. [`Relation::digest`] hashes a relation in that
+//! order, so two executions are byte-identical iff their digests (plus
+//! slot layouts) agree; [`Relation::canonical_digest`] hashes the
+//! *sorted* tuple multiset instead, which is order-insensitive and used
+//! by property tests for assertions like build/probe symmetry where the
+//! emit order legitimately differs.
 
 use crate::query::table_set::TableSet;
 
@@ -68,6 +78,79 @@ impl Relation {
         slots.extend_from_slice(&right.slots);
         slots
     }
+
+    /// Order-sensitive FNV-1a digest over the slot layout and the tuples
+    /// in emit order. Equal digests (for same-width relations) mean
+    /// byte-identical output — the equivalence the differential harness
+    /// asserts between serial and parallel execution.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.push(self.slots.len() as u64);
+        for &s in &self.slots {
+            h.push(s as u64);
+        }
+        for &r in &self.rows {
+            h.push(r as u64);
+        }
+        h.finish()
+    }
+
+    /// Order-insensitive digest: hashes the tuple *multiset* by sorting
+    /// tuples first. Two relations with the same slot layout and the same
+    /// tuples in any order have equal canonical digests — used for
+    /// assertions (e.g. hash-join build/probe symmetry) where emit order
+    /// legitimately differs. Tuples may be reordered by `normalize` first
+    /// to compare relations with permuted slot layouts.
+    pub fn canonical_digest(&self) -> u64 {
+        let w = self.width().max(1);
+        let mut tuples: Vec<&[u32]> = (0..self.len()).map(|i| self.tuple(i)).collect();
+        tuples.sort_unstable();
+        let mut h = Fnv::new();
+        h.push(w as u64);
+        for t in tuples {
+            for &r in t {
+                h.push(r as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// Reorder each tuple's slots into ascending table-position order
+    /// (rows reordered to match). Lets relations produced with flipped
+    /// join sides — whose slot layouts are permutations of each other —
+    /// be compared via [`Relation::canonical_digest`].
+    pub fn normalize(&self) -> Relation {
+        let w = self.width();
+        let mut order: Vec<usize> = (0..w).collect();
+        order.sort_unstable_by_key(|&s| self.slots[s]);
+        let slots: Vec<usize> = order.iter().map(|&s| self.slots[s]).collect();
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for i in 0..self.len() {
+            let t = self.tuple(i);
+            rows.extend(order.iter().map(|&s| t[s]));
+        }
+        Relation { slots, rows }
+    }
+}
+
+/// Minimal FNV-1a accumulator over `u64` words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +177,38 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert_eq!(r.tuple(0), &[1, 10]);
         assert_eq!(r.tuple(1), &[2, 20]);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_canonical_is_not() {
+        let a = Relation {
+            slots: vec![0, 1],
+            rows: vec![1, 10, 2, 20],
+        };
+        let b = Relation {
+            slots: vec![0, 1],
+            rows: vec![2, 20, 1, 10],
+        };
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.canonical_digest(), b.canonical_digest());
+        assert_eq!(a.digest(), a.clone().digest());
+    }
+
+    #[test]
+    fn normalize_permutes_slots_and_rows() {
+        let r = Relation {
+            slots: vec![2, 0],
+            rows: vec![7, 1, 8, 2],
+        };
+        let n = r.normalize();
+        assert_eq!(n.slots, vec![0, 2]);
+        assert_eq!(n.rows, vec![1, 7, 2, 8]);
+        // Flipped join sides compare equal after normalization.
+        let flipped = Relation {
+            slots: vec![0, 2],
+            rows: vec![1, 7, 2, 8],
+        };
+        assert_eq!(n.canonical_digest(), flipped.normalize().canonical_digest());
     }
 
     #[test]

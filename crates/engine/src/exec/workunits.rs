@@ -9,6 +9,17 @@
 //! our native model is a biased approximation of true execution cost. That
 //! residual bias is what learned cost models (and end-to-end learned
 //! optimizers) can exploit.
+//!
+//! **Charging-cadence contract.** The work account is part of the
+//! executor's determinism guarantee (the row-ordering half lives in
+//! [`crate::exec::executor`]'s module docs): charges are accumulated in a
+//! fixed serial order — per-operator up-front charges, then per-tuple
+//! output charges in 64 Ki-tuple blocks as rows are emitted. `f64`
+//! addition does not associate, so the parallel executor must *replay*
+//! emission charges in this exact cadence after its deterministic merge
+//! rather than summing worker-local totals; any change to the cadence
+//! here changes recorded work bit-for-bit and must be mirrored in
+//! `exec::parallel`.
 
 /// Per-tuple cost constants shared by the executor and the native cost
 /// model, plus executor-only runtime effects.
@@ -99,7 +110,23 @@ impl CostParams {
     pub fn output_work(&self, out: f64, width: usize) -> f64 {
         out * self.output_tuple * width as f64
     }
+
+    /// Predicted wall-clock scaling of `work` units on `threads` workers
+    /// under Amdahl's law with serial fraction
+    /// [`PARALLEL_SERIAL_FRACTION`]. This is a *planning hook* for
+    /// latency-aware components choosing between serial and parallel
+    /// execution; the deterministic work-unit account itself is
+    /// mode-independent by construction.
+    pub fn parallel_work(&self, work: f64, threads: usize) -> f64 {
+        let t = threads.max(1) as f64;
+        work * (PARALLEL_SERIAL_FRACTION + (1.0 - PARALLEL_SERIAL_FRACTION) / t)
+    }
 }
+
+/// Fraction of operator work that does not parallelize (coordination,
+/// morsel dispatch, build-table merge, final concatenation). Used by
+/// [`CostParams::parallel_work`].
+pub const PARALLEL_SERIAL_FRACTION: f64 = 0.08;
 
 #[cfg(test)]
 mod tests {
@@ -126,6 +153,18 @@ mod tests {
         assert_eq!(p.sort_work(0.0), 0.0);
         assert_eq!(p.sort_work(1.0), 0.0);
         assert!(p.sort_work(1024.0) > 0.0);
+    }
+
+    #[test]
+    fn parallel_work_amdahl_bounds() {
+        let p = CostParams::default();
+        assert_eq!(p.parallel_work(1000.0, 1), 1000.0);
+        let w4 = p.parallel_work(1000.0, 4);
+        let w8 = p.parallel_work(1000.0, 8);
+        // Monotone in threads, bounded below by the serial fraction.
+        assert!(w4 < 1000.0 && w8 < w4);
+        assert!(w8 > 1000.0 * PARALLEL_SERIAL_FRACTION);
+        assert_eq!(p.parallel_work(1000.0, 0), 1000.0);
     }
 
     #[test]

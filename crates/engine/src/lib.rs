@@ -41,7 +41,7 @@ pub mod types;
 
 pub use catalog::Catalog;
 pub use error::{EngineError, Result};
-pub use exec::{ExecConfig, ExecResult, Executor, TrueCardOracle};
+pub use exec::{ExecConfig, ExecMode, ExecResult, Executor, ParallelConfig, TrueCardOracle};
 pub use optimizer::{CardSource, HintSet, Optimizer, TraditionalCardSource, TrueCardSource};
 pub use plan::{JoinAlgo, JoinTree, PhysNode};
 pub use query::{CmpOp, ColRef, JoinCond, Predicate, SpjQuery, TableRef, TableSet};

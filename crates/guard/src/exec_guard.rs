@@ -12,7 +12,7 @@
 use lqo_engine::exec::workunits::CostParams;
 use lqo_engine::optimizer::{plan_cost, CardSource};
 use lqo_engine::{
-    Catalog, EngineError, ExecConfig, ExecResult, Executor, PhysNode, Result, SpjQuery,
+    Catalog, EngineError, ExecConfig, ExecMode, ExecResult, Executor, PhysNode, Result, SpjQuery,
 };
 use lqo_obs::trace::GuardEvent;
 use lqo_obs::ObsContext;
@@ -56,6 +56,7 @@ pub struct RegressionGuard<'a> {
     params: CostParams,
     cfg: RegressionGuardConfig,
     obs: ObsContext,
+    mode: ExecMode,
 }
 
 impl<'a> RegressionGuard<'a> {
@@ -71,7 +72,17 @@ impl<'a> RegressionGuard<'a> {
             params,
             cfg,
             obs,
+            mode: ExecMode::Serial,
         }
+    }
+
+    /// Execute guarded plans in the given mode. Budget semantics are
+    /// unchanged: work accounting is mode-independent (the parallel
+    /// executor is byte-identical to serial, with cancellation-aware
+    /// morsel dispatch honouring the same budget mid-operator).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> RegressionGuard<'a> {
+        self.mode = mode;
+        self
     }
 
     /// The budget the guard would grant `chosen` given the native plan's
@@ -106,6 +117,7 @@ impl<'a> RegressionGuard<'a> {
             self.catalog,
             ExecConfig {
                 max_work,
+                mode: self.mode,
                 ..Default::default()
             },
         )
@@ -125,8 +137,14 @@ impl<'a> RegressionGuard<'a> {
                         action: "replan:native".to_string(),
                     });
                 });
-                let native_exec =
-                    Executor::new(self.catalog, ExecConfig::default()).with_obs(self.obs.clone());
+                let native_exec = Executor::new(
+                    self.catalog,
+                    ExecConfig {
+                        mode: self.mode,
+                        ..Default::default()
+                    },
+                )
+                .with_obs(self.obs.clone());
                 let result = native_exec.execute(query, native)?;
                 Ok(GuardedExecution {
                     result,
@@ -177,6 +195,35 @@ mod tests {
         let out = guard.execute(&q, &native, &native, card.as_ref()).unwrap();
         assert!(!out.replanned);
         assert!(out.result.work > 0.0);
+    }
+
+    #[test]
+    fn parallel_guard_matches_serial_guard() {
+        let (catalog, card, q) = setup();
+        let native = Optimizer::with_defaults(&catalog)
+            .optimize_default(&q, card.as_ref())
+            .unwrap()
+            .plan;
+        let serial = RegressionGuard::new(
+            &catalog,
+            CostParams::default(),
+            RegressionGuardConfig::default(),
+            ObsContext::disabled(),
+        );
+        let parallel = RegressionGuard::new(
+            &catalog,
+            CostParams::default(),
+            RegressionGuardConfig::default(),
+            ObsContext::disabled(),
+        )
+        .with_exec_mode(ExecMode::Parallel { threads: 4 });
+        let s = serial.execute(&q, &native, &native, card.as_ref()).unwrap();
+        let p = parallel
+            .execute(&q, &native, &native, card.as_ref())
+            .unwrap();
+        assert_eq!(s.result.count, p.result.count);
+        assert_eq!(s.result.work.to_bits(), p.result.work.to_bits());
+        assert_eq!(s.replanned, p.replanned);
     }
 
     #[test]

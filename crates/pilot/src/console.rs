@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lqo_engine::query::parse_query;
-use lqo_engine::{EngineError, Result};
+use lqo_engine::{EngineError, ExecMode, Result};
 use lqo_guard::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 use lqo_obs::trace::GuardEvent;
 use lqo_obs::trace::QueryOutcome;
@@ -108,6 +108,17 @@ impl PilotConsole {
     /// The attached model-health monitor, if any.
     pub fn watch(&self) -> Option<&Arc<ModelHealthMonitor>> {
         self.watch.as_ref()
+    }
+
+    /// Select the execution mode for all queries routed through this
+    /// console (serial by default). The parallel path is verified
+    /// byte-identical to serial by the differential harness, so results,
+    /// work units, and driver training feedback are unchanged — only wall
+    /// clock differs. Can also be driven by the `LQO_EXEC_MODE`
+    /// environment variable via [`ExecMode::from_env`].
+    pub fn with_exec_mode(self, mode: ExecMode) -> PilotConsole {
+        self.interactor.set_exec_mode(mode);
+        self
     }
 
     /// Attach an observability context: each `execute_sql` call becomes
@@ -419,6 +430,20 @@ mod tests {
             assert_eq!(out.driver.as_deref(), Some(driver));
         }
         console.tick(); // background updates must not panic
+    }
+
+    #[test]
+    fn parallel_exec_mode_preserves_results_and_work() {
+        let (serial_out, parallel_out) = {
+            let (mut serial, _) = console();
+            let s = serial.execute_sql(SQL).unwrap();
+            let (parallel, _) = console();
+            let mut parallel = parallel.with_exec_mode(ExecMode::Parallel { threads: 4 });
+            let p = parallel.execute_sql(SQL).unwrap();
+            (s, p)
+        };
+        assert_eq!(serial_out.count, parallel_out.count);
+        assert_eq!(serial_out.work.to_bits(), parallel_out.work.to_bits());
     }
 
     #[test]

@@ -11,8 +11,8 @@ use parking_lot::Mutex;
 use lqo_engine::optimizer::{CardSource, InjectedCardSource, ScaledCardSource};
 use lqo_engine::stats::table_stats::CatalogStats;
 use lqo_engine::{
-    Catalog, EngineError, ExecConfig, Executor, HintSet, Optimizer, Result, TraditionalCardSource,
-    TrueCardOracle,
+    Catalog, EngineError, ExecConfig, ExecMode, Executor, HintSet, Optimizer, Result,
+    TraditionalCardSource, TrueCardOracle,
 };
 use lqo_obs::ObsContext;
 
@@ -32,6 +32,7 @@ pub struct EngineInteractor {
     sessions: Mutex<HashMap<SessionId, SessionState>>,
     next_session: AtomicU64,
     obs: Mutex<ObsContext>,
+    exec_mode: Mutex<ExecMode>,
     /// Work budget per execution (timeout stand-in).
     pub max_work: Option<f64>,
 }
@@ -50,12 +51,18 @@ impl EngineInteractor {
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             obs: Mutex::new(ObsContext::disabled()),
+            exec_mode: Mutex::new(ExecMode::Serial),
             max_work: Some(1e10),
         }
     }
 
     fn obs(&self) -> ObsContext {
         self.obs.lock().clone()
+    }
+
+    /// The currently selected execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        *self.exec_mode.lock()
     }
 
     /// The underlying catalog (the console needs it for parsing checks).
@@ -149,6 +156,7 @@ impl DbInteractor for EngineInteractor {
                     &self.catalog,
                     ExecConfig {
                         max_work: self.max_work,
+                        mode: self.exec_mode(),
                         ..Default::default()
                     },
                 )
@@ -174,6 +182,10 @@ impl DbInteractor for EngineInteractor {
 
     fn attach_obs(&self, obs: &ObsContext) {
         *self.obs.lock() = obs.clone();
+    }
+
+    fn set_exec_mode(&self, mode: ExecMode) {
+        *self.exec_mode.lock() = mode;
     }
 }
 
@@ -269,6 +281,28 @@ mod tests {
             panic!()
         };
         assert_eq!(free.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn exec_mode_switch_preserves_results() {
+        let (ix, q) = setup();
+        let s = ix.open_session();
+        let PullReply::Execution {
+            count: serial_count,
+            work: serial_work,
+            ..
+        } = ix.pull(s, PullRequest::Execute(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        ix.set_exec_mode(ExecMode::Parallel { threads: 4 });
+        assert_eq!(ix.exec_mode(), ExecMode::Parallel { threads: 4 });
+        let PullReply::Execution { count, work, .. } = ix.pull(s, PullRequest::Execute(q)).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(count, serial_count);
+        assert_eq!(work.to_bits(), serial_work.to_bits());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use lqo_engine::{HintSet, PhysNode, Result, SpjQuery, TableSet};
+use lqo_engine::{ExecMode, HintSet, PhysNode, Result, SpjQuery, TableSet};
 use lqo_obs::ObsContext;
 
 /// Identifier of one interaction session (one "database connection").
@@ -92,4 +92,12 @@ pub trait DbInteractor: Send + Sync {
     /// report provenance and metrics to it. Default: ignored, so
     /// interactors without instrumentation keep working unchanged.
     fn attach_obs(&self, _obs: &ObsContext) {}
+
+    /// Select the execution mode (serial or morsel-driven parallel) for
+    /// subsequent executions. The parallel path is verified byte-identical
+    /// to serial by the differential harness in `crates/testkit`, so
+    /// drivers and training loops may switch modes without perturbing
+    /// learned-component feedback signals. Default: ignored, so
+    /// interactors without a parallel engine keep working unchanged.
+    fn set_exec_mode(&self, _mode: ExecMode) {}
 }

@@ -1,0 +1,89 @@
+//! Golden-file snapshot checking with a `BLESS=1` regeneration path.
+//!
+//! Golden files live in `crates/testkit/tests/golden/` and are committed
+//! to the repository. A test renders its observation to a string and
+//! calls [`check_golden`]; on mismatch the test fails with a diff hint
+//! and the regeneration instructions. To re-bless after an intentional
+//! change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p lqo-testkit --test golden
+//! ```
+//!
+//! then review the resulting `tests/golden/*.txt` diff in version
+//! control like any other code change.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Absolute path of the golden file named `name` (e.g. `"workload.txt"`).
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+/// Compare `actual` against the committed golden file `name`.
+///
+/// With `BLESS=1` in the environment the file is (re)written instead and
+/// the check passes. Otherwise a missing or differing file panics with
+/// the first differing line and regeneration instructions.
+pub fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("BLESS").is_ok_and(|v| v == "1") {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).expect("create golden dir");
+        }
+        fs::write(&path, actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             `BLESS=1 cargo test -p lqo-testkit --test golden`",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff = first_diff(&expected, actual);
+        panic!(
+            "golden mismatch for {}:\n{diff}\n\
+             If the change is intentional, re-bless with \
+             `BLESS=1 cargo test -p lqo-testkit --test golden` and commit the diff.",
+            path.display()
+        );
+    }
+}
+
+fn first_diff(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("  line {}:\n  - {e}\n  + {a}", i + 1);
+        }
+    }
+    format!(
+        "  line counts differ: expected {}, actual {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_path_is_inside_testkit() {
+        let p = golden_path("x.txt");
+        assert!(p.ends_with("tests/golden/x.txt"));
+        assert!(p.to_string_lossy().contains("crates/testkit"));
+    }
+
+    #[test]
+    fn first_diff_reports_line() {
+        let d = first_diff("a\nb\n", "a\nc\n");
+        assert!(d.contains("line 2"), "{d}");
+        assert!(d.contains("- b"), "{d}");
+    }
+}

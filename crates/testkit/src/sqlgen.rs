@@ -1,0 +1,126 @@
+//! Seeded random SPJ query and physical-plan generators.
+//!
+//! Property tests need two axes of randomness the bench workloads alone
+//! do not give: arbitrary *plan shapes* (bushy trees, bad join orders,
+//! deliberate cross products, every join algorithm) and arbitrary *morsel
+//! schedules*. Queries come from the bench-suite generator (connected FK
+//! joins, data-derived predicates); plans are random binary trees over
+//! the query's tables with a random algorithm per join — any such tree is
+//! a valid executable plan, which is exactly the space the differential
+//! harness must hold byte-identical across execution modes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use lqo_bench_suite::workload::{generate_workload, WorkloadConfig};
+use lqo_engine::{Catalog, JoinAlgo, PhysNode, SpjQuery};
+
+/// Shape knobs for [`random_query`].
+#[derive(Debug, Clone)]
+pub struct RandomQueryConfig {
+    /// Maximum joined tables (2..=this).
+    pub max_tables: usize,
+    /// Maximum filter predicates.
+    pub max_predicates: usize,
+}
+
+impl Default for RandomQueryConfig {
+    fn default() -> RandomQueryConfig {
+        RandomQueryConfig {
+            // Debug-build property tests run random (often terrible)
+            // plans; keep the join count small so nested-loop worst cases
+            // stay fast.
+            max_tables: 3,
+            max_predicates: 3,
+        }
+    }
+}
+
+/// Generate one random connected SPJ query over `catalog`, deterministic
+/// in `rng`'s state.
+pub fn random_query(catalog: &Catalog, rng: &mut StdRng, cfg: &RandomQueryConfig) -> SpjQuery {
+    loop {
+        let seed = rng.gen_range(0..u64::MAX);
+        let mut queries = generate_workload(
+            catalog,
+            &WorkloadConfig {
+                num_queries: 1,
+                min_tables: 2,
+                max_tables: cfg.max_tables.max(2),
+                max_predicates: cfg.max_predicates.max(1),
+                seed,
+            },
+        );
+        if let Some(q) = queries.pop() {
+            return q;
+        }
+    }
+}
+
+/// Build a uniformly random physical plan for `query`: a random binary
+/// tree over its table positions with a random join algorithm at each
+/// inner node (cross products forced to nested loop, as the executor
+/// requires). Every plan this returns is executable; none is required to
+/// be *good* — bad plans are the interesting differential cases.
+pub fn random_plan(query: &SpjQuery, rng: &mut StdRng) -> PhysNode {
+    let mut positions: Vec<usize> = (0..query.num_tables()).collect();
+    shuffle(&mut positions, rng);
+    build(query, &positions, rng)
+}
+
+fn build(query: &SpjQuery, positions: &[usize], rng: &mut StdRng) -> PhysNode {
+    if positions.len() == 1 {
+        return PhysNode::scan(positions[0]);
+    }
+    let split = rng.gen_range(1..positions.len());
+    let left = build(query, &positions[..split], rng);
+    let right = build(query, &positions[split..], rng);
+    let conds = query.joins_between(left.tables(), right.tables());
+    let algo = if conds.is_empty() {
+        JoinAlgo::NestedLoop
+    } else {
+        JoinAlgo::ALL[rng.gen_range(0..JoinAlgo::ALL.len())]
+    };
+    PhysNode::join(algo, left, right)
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqo_engine::datagen::stats_like;
+    use lqo_engine::Executor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_plans_are_executable() {
+        let catalog = stats_like(50, 11).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let ex = Executor::with_defaults(&catalog);
+        for _ in 0..20 {
+            let q = random_query(&catalog, &mut rng, &RandomQueryConfig::default());
+            let plan = random_plan(&q, &mut rng);
+            ex.execute(&q, &plan)
+                .unwrap_or_else(|e| panic!("plan {plan:?} for `{q}` failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        let catalog = stats_like(50, 11).unwrap();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let q = random_query(&catalog, &mut rng, &RandomQueryConfig::default());
+            let p = random_plan(&q, &mut rng);
+            (q, p.fingerprint())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
+    }
+}

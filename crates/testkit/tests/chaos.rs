@@ -1,0 +1,133 @@
+//! Worker-fault chaos: a worker thread panics mid-morsel. The pool must
+//! contain the panic (no deadlock, no poisoned output), the executor
+//! must degrade to the serial path when fallback is enabled and surface
+//! `WorkerFault` when it is not, and the degraded result must be
+//! byte-identical to a clean serial run — with the degradation visible
+//! to lqo-obs/lqo-guard.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lqo_engine::datagen::stats_like;
+use lqo_engine::{
+    Catalog, EngineError, ExecConfig, ExecMode, Executor, JoinAlgo, ParallelConfig, PhysNode,
+};
+use lqo_obs::ObsContext;
+use lqo_testkit::{random_plan, random_query, RandomQueryConfig};
+
+fn fixture() -> (Catalog, lqo_engine::SpjQuery, PhysNode) {
+    let catalog = stats_like(60, 7).unwrap();
+    let q = lqo_engine::query::parse_query(
+        "SELECT COUNT(*) FROM users u, posts p \
+         WHERE u.id = p.owner_user_id AND u.reputation > 10",
+    )
+    .unwrap();
+    let plan = PhysNode::join(JoinAlgo::Hash, PhysNode::scan(0), PhysNode::scan(1));
+    (catalog, q, plan)
+}
+
+fn faulty_config(panic_on_morsel: u64, fallback_serial: bool) -> ExecConfig {
+    ExecConfig {
+        mode: ExecMode::Parallel { threads: 4 },
+        parallel: ParallelConfig {
+            morsel_rows: 8,
+            panic_on_morsel: Some(panic_on_morsel),
+            fallback_serial,
+        },
+        ..Default::default()
+    }
+}
+
+/// Run `f` with the panic hook silenced, so injected worker panics do
+/// not spam the test log. Restored afterwards.
+fn silenced<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+#[test]
+fn worker_panic_degrades_to_serial_with_correct_results() {
+    let (catalog, q, plan) = fixture();
+    let (serial, serial_rel) = Executor::with_defaults(&catalog)
+        .execute_collect(&q, &plan)
+        .unwrap();
+    for panic_on in [0u64, 1, 5] {
+        let obs = ObsContext::enabled();
+        let ex = Executor::new(&catalog, faulty_config(panic_on, true)).with_obs(obs.clone());
+        obs.begin_query("chaos");
+        let (degraded, degraded_rel) = silenced(|| ex.execute_collect(&q, &plan)).unwrap();
+        let trace = obs.end_query().unwrap();
+        assert_eq!(degraded.count, serial.count, "panic_on={panic_on}");
+        assert_eq!(degraded.work.to_bits(), serial.work.to_bits());
+        assert_eq!(degraded_rel.digest(), serial_rel.digest());
+        assert_eq!(
+            obs.metrics()
+                .unwrap()
+                .snapshot()
+                .counter("lqo.exec.parallel.degraded"),
+            Some(1),
+            "degradation must be visible in metrics"
+        );
+        assert!(
+            trace.guard.iter().any(|g| g.component == "exec:parallel"
+                && g.fault.starts_with("worker-panic")
+                && g.action == "fallback:serial"),
+            "degradation must be visible as a guard event"
+        );
+    }
+}
+
+#[test]
+fn worker_panic_without_fallback_surfaces_worker_fault() {
+    let (catalog, q, plan) = fixture();
+    let ex = Executor::new(&catalog, faulty_config(0, false));
+    let err = silenced(|| ex.execute_collect(&q, &plan)).unwrap_err();
+    assert!(
+        matches!(err, EngineError::WorkerFault { .. }),
+        "expected WorkerFault, got {err}"
+    );
+}
+
+#[test]
+fn repeated_faults_never_deadlock() {
+    // The pool joins all workers even when one dies mid-morsel; if that
+    // ever regressed into a hang, this loop would trip the test-harness
+    // timeout. 12 consecutive faulted runs at varying fault positions.
+    let (catalog, q, plan) = fixture();
+    silenced(|| {
+        for panic_on in 0..12u64 {
+            let ex = Executor::new(&catalog, faulty_config(panic_on, true));
+            let r = ex.execute_collect(&q, &plan).unwrap();
+            assert!(r.0.count > 0);
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// For ANY random query/plan and ANY fault position, the degraded
+    /// run equals the clean serial run byte for byte.
+    #[test]
+    fn degraded_run_equals_serial_for_random_plans(
+        seed in 0u64..u64::MAX,
+        panic_on in 0u64..64,
+    ) {
+        let catalog = stats_like(50, 11).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_query(&catalog, &mut rng, &RandomQueryConfig::default());
+        let plan = random_plan(&q, &mut rng);
+        let (serial, serial_rel) = Executor::with_defaults(&catalog)
+            .execute_collect(&q, &plan)
+            .unwrap();
+        let ex = Executor::new(&catalog, faulty_config(panic_on, true));
+        let (degraded, degraded_rel) = silenced(|| ex.execute_collect(&q, &plan)).unwrap();
+        prop_assert_eq!(degraded.count, serial.count);
+        prop_assert_eq!(degraded.work.to_bits(), serial.work.to_bits());
+        prop_assert_eq!(degraded_rel.digest(), serial_rel.digest());
+    }
+}
