@@ -122,6 +122,12 @@ pub fn run(cfg: &Config) -> TextTable {
     // TrueCard reference: best plans the optimizer can produce.
     let truth = TrueCardSource::new(oracle.clone());
     let true_work = run_workload(&catalog, &queries, &truth, None);
+    assert_eq!(
+        truth.misses(),
+        0,
+        "TrueCard oracle missed {} lookups: the E3 upper bound would be fake",
+        truth.misses()
+    );
     let budgets: Vec<f64> = true_work.iter().map(|w| w * cfg.timeout_factor).collect();
     let true_total: f64 = true_work.iter().sum();
 

@@ -1,0 +1,191 @@
+//! A small bounded LRU map keyed by `String`.
+//!
+//! Recency is a monotonic tick per entry plus a `BTreeMap` index from
+//! tick to key, so `get`/`insert` are `O(log n)` and eviction pops the
+//! smallest tick. No unsafe, no intrusive lists — capacities here are
+//! thousands of entries, not millions.
+
+use std::collections::{BTreeMap, HashMap};
+
+struct Slot<V> {
+    value: V,
+    tick: u64,
+}
+
+/// Bounded least-recently-used map. Inserting beyond capacity evicts the
+/// least recently touched entry; `get` counts as a touch.
+pub struct BoundedLru<V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<String, Slot<V>>,
+    order: BTreeMap<u64, String>,
+}
+
+impl<V> BoundedLru<V> {
+    /// An empty LRU holding at most `cap` entries (floored at 1).
+    pub fn new(cap: usize) -> BoundedLru<V> {
+        BoundedLru {
+            cap: cap.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entries held.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up and touch an entry.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        let tick = self.next_tick();
+        let slot = self.map.get_mut(key)?;
+        self.order.remove(&slot.tick);
+        slot.tick = tick;
+        self.order.insert(tick, key.to_string());
+        Some(&slot.value)
+    }
+
+    /// Look up without touching (no recency update).
+    pub fn peek(&self, key: &str) -> Option<&V> {
+        self.map.get(key).map(|s| &s.value)
+    }
+
+    /// Insert or replace an entry; returns how many entries were evicted
+    /// to make room (0 or 1).
+    pub fn insert(&mut self, key: String, value: V) -> usize {
+        let tick = self.next_tick();
+        if let Some(old) = self.map.insert(key.clone(), Slot { value, tick }) {
+            self.order.remove(&old.tick);
+            self.order.insert(tick, key);
+            return 0;
+        }
+        self.order.insert(tick, key);
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            let Some((&oldest, _)) = self.order.iter().next() else {
+                break;
+            };
+            if let Some(victim) = self.order.remove(&oldest) {
+                self.map.remove(&victim);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Remove one entry.
+    pub fn remove(&mut self, key: &str) -> Option<V> {
+        let slot = self.map.remove(key)?;
+        self.order.remove(&slot.tick);
+        Some(slot.value)
+    }
+
+    /// Keep only entries the predicate accepts; returns how many were
+    /// removed.
+    pub fn retain(&mut self, mut keep: impl FnMut(&str, &V) -> bool) -> usize {
+        let before = self.map.len();
+        let order = &mut self.order;
+        self.map.retain(|k, slot| {
+            let keep_it = keep(k, &slot.value);
+            if !keep_it {
+                order.remove(&slot.tick);
+            }
+            keep_it
+        });
+        before - self.map.len()
+    }
+
+    /// Drop everything; returns how many entries were removed.
+    pub fn clear(&mut self) -> usize {
+        let n = self.map.len();
+        self.map.clear();
+        self.order.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = BoundedLru::new(2);
+        assert_eq!(lru.insert("a".into(), 1), 0);
+        assert_eq!(lru.insert("b".into(), 2), 0);
+        // Touch "a" so "b" is the LRU victim.
+        assert_eq!(lru.get("a"), Some(&1));
+        assert_eq!(lru.insert("c".into(), 3), 1);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.peek("b"), None);
+        assert_eq!(lru.peek("a"), Some(&1));
+        assert_eq!(lru.peek("c"), Some(&3));
+    }
+
+    #[test]
+    fn replace_does_not_evict() {
+        let mut lru = BoundedLru::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        assert_eq!(lru.insert("a".into(), 10), 0);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.peek("a"), Some(&10));
+    }
+
+    #[test]
+    fn retain_and_clear_report_removals() {
+        let mut lru = BoundedLru::new(8);
+        for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
+            lru.insert((*k).into(), i);
+        }
+        assert_eq!(lru.retain(|_, &v| v % 2 == 0), 2);
+        assert_eq!(lru.len(), 2);
+        // Recency index stays consistent after retain: inserts beyond
+        // capacity still evict exactly one entry.
+        let mut small = BoundedLru::new(2);
+        small.insert("x".into(), 0);
+        small.insert("y".into(), 1);
+        small.retain(|k, _| k == "y");
+        small.insert("z".into(), 2);
+        assert_eq!(small.insert("w".into(), 3), 1);
+        assert_eq!(lru.clear(), 2);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn remove_unindexes_recency() {
+        let mut lru = BoundedLru::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        assert_eq!(lru.remove("a"), Some(1));
+        assert_eq!(lru.remove("a"), None);
+        assert_eq!(lru.insert("c".into(), 3), 0);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn capacity_floors_at_one() {
+        let mut lru = BoundedLru::new(0);
+        assert_eq!(lru.capacity(), 1);
+        lru.insert("a".into(), 1);
+        assert_eq!(lru.insert("b".into(), 2), 1);
+        assert_eq!(lru.len(), 1);
+    }
+}

@@ -32,7 +32,7 @@ impl ColumnBinner {
         match col {
             Column::Int(_) | Column::Float(_) => {
                 let mut vals: Vec<f64> = (0..col.len()).map(|r| col.numeric_at(r)).collect();
-                vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                vals.sort_by(|a, b| a.total_cmp(b));
                 vals.dedup();
                 let bins = max_bins.max(1).min(vals.len().max(1));
                 let mut edges = Vec::with_capacity(bins + 1);

@@ -24,8 +24,8 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     }
     let mut sa: Vec<f64> = a.to_vec();
     let mut sb: Vec<f64> = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sb.sort_by(|x, y| x.total_cmp(y));
     let (mut i, mut j) = (0usize, 0usize);
     let mut d = 0.0f64;
     while i < sa.len() && j < sb.len() {

@@ -133,7 +133,7 @@ impl Eraser {
             .collect();
         match survivors
             .into_iter()
-            .min_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap())
+            .min_by(|&a, &b| scores[a].total_cmp(&scores[b]))
         {
             Some(i) => candidates[i].plan.clone(),
             None => native.clone(),
@@ -221,7 +221,7 @@ impl crate::framework::LearnedOptimizer for GuardedOptimizer {
                 let idx = scores
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .min_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 Ok(candidates[idx].plan.clone())

@@ -48,6 +48,17 @@ impl OptContext {
         self
     }
 
+    /// Memoize this context's cardinality source through a shared plan &
+    /// inference cache: estimates are looked up under canonical sub-query
+    /// keys across queries, explorers, and clones of this context.
+    /// Observationally transparent — cached estimates are bit-identical
+    /// to fresh ones, so exploration and risk training are unchanged.
+    pub fn with_cache(mut self, cache: Arc<lqo_cache::LqoCache>) -> OptContext {
+        cache.attach_obs(&self.obs);
+        self.card = Arc::new(lqo_cache::MemoCardSource::new(self.card, cache));
+        self
+    }
+
     /// A native optimizer over this context.
     pub fn optimizer(&self) -> Optimizer<'_> {
         Optimizer::new(&self.catalog, self.params.clone()).with_obs(self.obs.clone())

@@ -120,6 +120,15 @@ impl TrainingLoop {
         self
     }
 
+    /// Memoize cardinality lookups across epochs through a shared cache.
+    /// Transparent to training: cached estimates are bit-identical, so
+    /// every epoch plans exactly as it would uncached — repeated epochs
+    /// over the same workload just stop re-running the estimator.
+    pub fn with_cache(mut self, cache: Arc<lqo_cache::LqoCache>) -> TrainingLoop {
+        self.ctx = self.ctx.with_cache(cache);
+        self
+    }
+
     /// Native baseline work per query.
     pub fn native_work(&self) -> &[f64] {
         &self.native_work

@@ -86,10 +86,7 @@ impl PartialOrd for Frontier {
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on negated value → min-value first.
-        other
-            .value
-            .partial_cmp(&self.value)
-            .unwrap_or(Ordering::Equal)
+        other.value.total_cmp(&self.value)
     }
 }
 
@@ -195,11 +192,7 @@ impl ValueSearchOptimizer {
             }
             SearchStrategy::Beam { width } => {
                 let mut beam: Vec<Vec<usize>> = (0..n).map(|t| vec![t]).collect();
-                beam.sort_by(|a, b| {
-                    self.value(query, a)
-                        .partial_cmp(&self.value(query, b))
-                        .unwrap()
-                });
+                beam.sort_by(|a, b| self.value(query, a).total_cmp(&self.value(query, b)));
                 beam.truncate(width);
                 for _ in 1..n {
                     let mut next: Vec<Vec<usize>> = Vec::new();
@@ -211,11 +204,7 @@ impl ValueSearchOptimizer {
                             next.push(order);
                         }
                     }
-                    next.sort_by(|a, b| {
-                        self.value(query, a)
-                            .partial_cmp(&self.value(query, b))
-                            .unwrap()
-                    });
+                    next.sort_by(|a, b| self.value(query, a).total_cmp(&self.value(query, b)));
                     next.truncate(width);
                     beam = next;
                 }
@@ -237,9 +226,7 @@ impl ValueSearchOptimizer {
                     oa.push(a);
                     let mut ob = order.clone();
                     ob.push(b);
-                    self.value(query, &oa)
-                        .partial_cmp(&self.value(query, &ob))
-                        .unwrap()
+                    self.value(query, &oa).total_cmp(&self.value(query, &ob))
                 })
                 .expect("candidates available");
             order.push(next);

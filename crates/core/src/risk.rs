@@ -423,11 +423,11 @@ mod tests {
             }
             let best = of_q
                 .iter()
-                .min_by(|a, b| a.work.partial_cmp(&b.work).unwrap())
+                .min_by(|a, b| a.work.total_cmp(&b.work))
                 .unwrap();
             let worst = of_q
                 .iter()
-                .max_by(|a, b| a.work.partial_cmp(&b.work).unwrap())
+                .max_by(|a, b| a.work.total_cmp(&b.work))
                 .unwrap();
             if best.work == worst.work {
                 continue;

@@ -134,7 +134,7 @@ fn components(graph: &JoinGraph, set: TableSet) -> Vec<TableSet> {
 fn greedy_left_deep(graph: &JoinGraph, sizes: &[f64]) -> PhysNode {
     let n = sizes.len();
     let start = (0..n)
-        .min_by(|&a, &b| sizes[a].partial_cmp(&sizes[b]).unwrap())
+        .min_by(|&a, &b| sizes[a].total_cmp(&sizes[b]))
         .unwrap();
     let mut joined = TableSet::singleton(start);
     let mut plan = PhysNode::scan(start);
@@ -142,7 +142,7 @@ fn greedy_left_deep(graph: &JoinGraph, sizes: &[f64]) -> PhysNode {
         let candidates = graph.neighborhood(joined);
         let next = candidates
             .iter()
-            .min_by(|&a, &b| sizes[a].partial_cmp(&sizes[b]).unwrap())
+            .min_by(|&a, &b| sizes[a].total_cmp(&sizes[b]))
             .expect("connected subset must always have a joinable neighbor");
         plan = PhysNode::join(JoinAlgo::Hash, plan, PhysNode::scan(next));
         joined = joined.insert(next);

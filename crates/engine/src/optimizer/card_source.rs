@@ -2,6 +2,7 @@
 //! — classical, true, injected, or learned — plugs into the optimizer.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::catalog::Catalog;
@@ -27,21 +28,47 @@ pub trait CardSource: Send + Sync {
 /// end-to-end evaluation (as in the STATS benchmark paper).
 pub struct TrueCardSource {
     oracle: Arc<TrueCardOracle>,
+    misses: AtomicU64,
+    obs: lqo_obs::ObsContext,
 }
 
 impl TrueCardSource {
     /// Wrap an oracle.
     pub fn new(oracle: Arc<TrueCardOracle>) -> TrueCardSource {
-        TrueCardSource { oracle }
+        TrueCardSource {
+            oracle,
+            misses: AtomicU64::new(0),
+            obs: lqo_obs::ObsContext::disabled(),
+        }
+    }
+
+    /// Report oracle misses to `obs` (counter `lqo.card.true.misses`).
+    pub fn with_obs(mut self, obs: lqo_obs::ObsContext) -> TrueCardSource {
+        self.obs = obs;
+        self
+    }
+
+    /// How many lookups the oracle could not answer (each was substituted
+    /// with `1.0`). A non-zero value means the "TrueCard upper bound" is
+    /// not actually true cardinalities — callers defining baselines (E3)
+    /// must assert this stays zero.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
 impl CardSource for TrueCardSource {
     fn cardinality(&self, query: &SpjQuery, set: TableSet) -> f64 {
-        self.oracle
-            .true_card(query, set)
-            .map(|c| c as f64)
-            .unwrap_or(1.0)
+        match self.oracle.true_card(query, set) {
+            Ok(c) => c as f64,
+            Err(_) => {
+                // An oracle miss silently degrades the TrueCard baseline;
+                // make it observable instead of papering over it.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.count("lqo.card.true.misses", 1);
+                1.0
+            }
+        }
     }
 
     fn name(&self) -> &str {
@@ -334,6 +361,23 @@ mod tests {
         // True full card: a rows with v=3 are ids {3,13,...,93}; each
         // matches 5 b rows -> 50.
         assert_eq!(true_card, 50.0);
+    }
+
+    #[test]
+    fn true_source_counts_oracle_misses() {
+        let (c, _, q) = setup();
+        let src = TrueCardSource::new(Arc::new(TrueCardOracle::new(c)));
+        // Valid lookups are not misses.
+        let _ = src.cardinality(&q, q.all_tables());
+        let _ = src.cardinality(&q, TableSet::singleton(0));
+        assert_eq!(src.misses(), 0);
+        // A query over a table the catalog does not hold cannot be
+        // executed: the substitute 1.0 must be counted, not silent.
+        let bad = SpjQuery::new(vec![TableRef::new("missing", "m")], vec![], vec![]);
+        assert_eq!(src.cardinality(&bad, bad.all_tables()), 1.0);
+        assert_eq!(src.misses(), 1);
+        assert_eq!(src.cardinality(&bad, bad.all_tables()), 1.0);
+        assert_eq!(src.misses(), 2);
     }
 
     #[test]

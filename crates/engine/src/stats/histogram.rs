@@ -27,7 +27,7 @@ impl EquiDepthHistogram {
         if sorted.is_empty() {
             return None;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let b = buckets.min(sorted.len());
         let n = sorted.len();
         let mut bounds = Vec::with_capacity(b + 1);

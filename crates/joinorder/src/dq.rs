@@ -131,8 +131,7 @@ impl JoinOrderSearch for DqJoinOrderer {
                             .iter()
                             .min_by(|&&a, &&b| {
                                 net.predict_scalar(&self.features(joined, a))
-                                    .partial_cmp(&net.predict_scalar(&self.features(joined, b)))
-                                    .unwrap()
+                                    .total_cmp(&net.predict_scalar(&self.features(joined, b)))
                             })
                             .unwrap()
                     };

@@ -152,7 +152,7 @@ impl JoinOrderSearch for RtosLite {
                     .min_by(|&&a, &&b| {
                         let ca = env.card.cardinality(query, joined.insert(a));
                         let cb = env.card.cardinality(query, joined.insert(b));
-                        ca.partial_cmp(&cb).unwrap()
+                        ca.total_cmp(&cb)
                     })
                     .unwrap(),
             };

@@ -65,7 +65,7 @@ impl BayesNet {
         for _ in 1..d {
             let v = (0..d)
                 .filter(|&v| !in_tree[v])
-                .max_by(|&a, &b| best_edge[a].0.partial_cmp(&best_edge[b].0).unwrap())
+                .max_by(|&a, &b| best_edge[a].0.total_cmp(&best_edge[b].0))
                 .unwrap();
             in_tree[v] = true;
             parents[v] = Some(best_edge[v].1);

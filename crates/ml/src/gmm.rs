@@ -161,7 +161,7 @@ mod tests {
         values.extend((0..500).map(|_| n2.sample(&mut rng)));
         let gmm = Gmm1d::fit(&values, 2, 50, 6);
         let mut means = gmm.means.clone();
-        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        means.sort_by(|a, b| a.total_cmp(b));
         assert!((means[0] + 5.0).abs() < 0.5, "means {means:?}");
         assert!((means[1] - 5.0).abs() < 0.5);
         // Each mode holds roughly half the mass.

@@ -63,11 +63,7 @@ impl KMeans {
             let mut changed = false;
             for (i, x) in xs.iter().enumerate() {
                 let best = (0..k)
-                    .min_by(|&a, &b| {
-                        dist2(x, &centroids[a])
-                            .partial_cmp(&dist2(x, &centroids[b]))
-                            .unwrap()
-                    })
+                    .min_by(|&a, &b| dist2(x, &centroids[a]).total_cmp(&dist2(x, &centroids[b])))
                     .unwrap();
                 if assignments[i] != best {
                     assignments[i] = best;
@@ -105,11 +101,7 @@ impl KMeans {
     /// Nearest centroid of a new point.
     pub fn assign(&self, x: &[f64]) -> usize {
         (0..self.centroids.len())
-            .min_by(|&a, &b| {
-                dist2(x, &self.centroids[a])
-                    .partial_cmp(&dist2(x, &self.centroids[b]))
-                    .unwrap()
-            })
+            .min_by(|&a, &b| dist2(x, &self.centroids[a]).total_cmp(&dist2(x, &self.centroids[b])))
             .unwrap()
     }
 

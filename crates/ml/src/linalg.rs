@@ -125,12 +125,8 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Option<Vec<f64>> {
     }
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a.get(i, col)
-                .abs()
-                .partial_cmp(&a.get(j, col).abs())
-                .unwrap()
-        })?;
+        let pivot =
+            (col..n).max_by(|&i, &j| a.get(i, col).abs().total_cmp(&a.get(j, col).abs()))?;
         if a.get(pivot, col).abs() < 1e-12 {
             return None;
         }

@@ -144,12 +144,7 @@ impl<M: Mdp> Uct<M> {
         self.nodes[0]
             .children
             .iter()
-            .max_by(|a, b| {
-                self.nodes[a.1]
-                    .visits
-                    .partial_cmp(&self.nodes[b.1].visits)
-                    .unwrap()
-            })
+            .max_by(|a, b| self.nodes[a.1].visits.total_cmp(&self.nodes[b.1].visits))
             .map(|(a, _)| a.clone())
     }
 
@@ -158,12 +153,11 @@ impl<M: Mdp> Uct<M> {
     pub fn best_path(&self) -> Vec<M::Action> {
         let mut out = Vec::new();
         let mut cur = 0usize;
-        while let Some(&(ref a, child)) = self.nodes[cur].children.iter().max_by(|a, b| {
-            self.nodes[a.1]
-                .visits
-                .partial_cmp(&self.nodes[b.1].visits)
-                .unwrap()
-        }) {
+        while let Some(&(ref a, child)) = self.nodes[cur]
+            .children
+            .iter()
+            .max_by(|a, b| self.nodes[a.1].visits.total_cmp(&self.nodes[b.1].visits))
+        {
             out.push(a.clone());
             cur = child;
         }

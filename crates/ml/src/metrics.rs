@@ -4,9 +4,22 @@
 /// Q-error of an estimate against the truth: `max(est/true, true/est)`,
 /// with both sides floored at 1 tuple (the standard convention, so empty
 /// results do not produce infinities).
+///
+/// Total on degenerate inputs: non-finite estimates or truths (NaN/±∞
+/// from a misbehaving estimator) are treated as `f64::MAX` — the worst
+/// representable miss — so the result is always a finite value `>= 1`
+/// and never poisons a workload summary with NaN/∞.
 pub fn q_error(estimate: f64, truth: f64) -> f64 {
-    let e = estimate.max(1.0);
-    let t = truth.max(1.0);
+    let e = if estimate.is_finite() {
+        estimate.max(1.0)
+    } else {
+        f64::MAX
+    };
+    let t = if truth.is_finite() {
+        truth.max(1.0)
+    } else {
+        f64::MAX
+    };
     (e / t).max(t / e)
 }
 
@@ -14,7 +27,7 @@ pub fn q_error(estimate: f64, truth: f64) -> f64 {
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty());
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let rank = (p / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -66,7 +79,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// Ranks with ties broken by average rank.
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -124,6 +137,27 @@ mod tests {
         // Zero truth is floored, not infinite.
         assert_eq!(q_error(10.0, 0.0), 10.0);
         assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_total_on_degenerate_inputs() {
+        // Negative inputs are floored like zeros.
+        assert_eq!(q_error(-5.0, 10.0), 10.0);
+        assert_eq!(q_error(10.0, -5.0), 10.0);
+        // Non-finite inputs map to the worst representable miss: the
+        // result is finite, >= 1, and never NaN.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for good in [0.0, 1.0, 1e12] {
+                for (e, t) in [(bad, good), (good, bad)] {
+                    let q = q_error(e, t);
+                    assert!(q.is_finite() && q >= 1.0, "q_error({e}, {t}) = {q}");
+                }
+            }
+            assert_eq!(q_error(bad, bad), 1.0);
+        }
+        // A summary over a batch containing one bad sample stays finite.
+        let batch = [q_error(f64::NAN, 50.0), q_error(2.0, 1.0)];
+        assert!(mean(&batch).is_finite());
     }
 
     #[test]

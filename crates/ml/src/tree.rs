@@ -126,7 +126,7 @@ fn build(
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
     for &f in &feats {
         let mut vals: Vec<(f64, f64)> = idx.iter().map(|&i| (xs[i][f], ys[i])).collect();
-        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        vals.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Prefix sums for O(n) split evaluation.
         let n = vals.len();
         let mut sum = 0.0;

@@ -7,8 +7,8 @@
 use crate::json::{parse, Value};
 use crate::metrics::{Histogram, MetricsSnapshot};
 use crate::trace::{
-    CardLookup, ExecTrace, GuardEvent, OperatorEvent, PhaseTiming, PlannerTrace, QueryOutcome,
-    QueryTrace,
+    CacheEvent, CardLookup, ExecTrace, GuardEvent, OperatorEvent, PhaseTiming, PlannerTrace,
+    QueryOutcome, QueryTrace,
 };
 
 fn u64_value(v: u64) -> Value {
@@ -91,6 +91,17 @@ pub fn trace_to_json(t: &QueryTrace) -> Value {
             ])
         })
         .collect();
+    let cache = t
+        .cache
+        .iter()
+        .map(|c| {
+            Value::Obj(vec![
+                ("cache".into(), Value::Str(c.cache.clone())),
+                ("event".into(), Value::Str(c.event.clone())),
+                ("detail".into(), Value::Str(c.detail.clone())),
+            ])
+        })
+        .collect();
     let outcome = match &t.outcome {
         Some(o) => Value::Obj(vec![
             ("count".into(), u64_value(o.count)),
@@ -113,6 +124,7 @@ pub fn trace_to_json(t: &QueryTrace) -> Value {
         ("planner".into(), planner),
         ("exec".into(), exec),
         ("guard".into(), Value::Arr(guard)),
+        ("cache".into(), Value::Arr(cache)),
         ("outcome".into(), outcome),
     ])
 }
@@ -190,6 +202,22 @@ pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
             })
         })
         .collect::<Option<Vec<_>>>()?;
+    // Absent in traces exported before cache events existed: read as
+    // empty rather than failing the whole parse.
+    let cache = match v.get("cache") {
+        Some(arr) => arr
+            .as_arr()?
+            .iter()
+            .map(|c| {
+                Some(CacheEvent {
+                    cache: str_field(c, "cache")?,
+                    event: str_field(c, "event")?,
+                    detail: str_field(c, "detail")?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        None => Vec::new(),
+    };
     let outcome = match v.get("outcome")? {
         Value::Null => None,
         o => Some(QueryOutcome {
@@ -206,6 +234,7 @@ pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
         planner,
         exec,
         guard,
+        cache,
         outcome,
     })
 }
@@ -336,6 +365,11 @@ mod tests {
             fault: "nan".into(),
             action: "fallback:traditional".into(),
         });
+        t.cache.push(CacheEvent {
+            cache: "plan".into(),
+            event: "hit".into(),
+            detail: "epoch=3".into(),
+        });
         t.outcome = Some(QueryOutcome {
             count: 40,
             work: 321.5,
@@ -410,6 +444,21 @@ mod tests {
             .unwrap()
             .get("buckets")
             .is_some());
+    }
+
+    #[test]
+    fn traces_without_cache_field_still_parse() {
+        // Pre-cache exports had no "cache" array; they must round-trip
+        // to an empty event list, not a parse failure.
+        let mut with = sample_trace();
+        let text = trace_to_json(&with).to_compact().replace(
+            ",\"cache\":[{\"cache\":\"plan\",\"event\":\"hit\",\"detail\":\"epoch=3\"}]",
+            "",
+        );
+        assert!(!text.contains("\"cache\""), "field not stripped: {text}");
+        let back = trace_from_json(&parse(&text).unwrap()).unwrap();
+        with.cache.clear();
+        assert_eq!(back, with);
     }
 
     #[test]

@@ -102,6 +102,15 @@ pub fn render_trace(t: &QueryTrace) -> String {
             ));
         }
     }
+    if !t.cache.is_empty() {
+        out.push_str("  cache events:\n");
+        for c in &t.cache {
+            out.push_str(&format!(
+                "    {:<6} {:<12} {}\n",
+                c.cache, c.event, c.detail
+            ));
+        }
+    }
     if t.exec.timeout {
         out.push_str("  ** execution hit its work budget (timeout) **\n");
     }
@@ -158,7 +167,7 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
 mod tests {
     use super::*;
     use crate::metrics::MetricsRegistry;
-    use crate::trace::{CardLookup, GuardEvent, OperatorEvent, QueryOutcome};
+    use crate::trace::{CacheEvent, CardLookup, GuardEvent, OperatorEvent, QueryOutcome};
 
     #[test]
     fn trace_rendering_mentions_key_facts() {
@@ -187,6 +196,11 @@ mod tests {
             fault: "deadline".into(),
             action: "fallback:traditional".into(),
         });
+        t.cache.push(CacheEvent {
+            cache: "card".into(),
+            event: "hit".into(),
+            detail: "saved=5".into(),
+        });
         t.outcome = Some(QueryOutcome {
             count: 80,
             work: 99.0,
@@ -205,6 +219,8 @@ mod tests {
             "guard interventions",
             "fault=deadline",
             "fallback:traditional",
+            "cache events",
+            "saved=5",
             "timeout",
             "80 rows",
         ] {

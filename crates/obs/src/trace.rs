@@ -101,6 +101,20 @@ pub struct GuardEvent {
     pub action: String,
 }
 
+/// One cache interaction while processing the query: a plan-cache or
+/// inference-cache hit, miss, store, or invalidation observed on this
+/// query's path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEvent {
+    /// Which cache (`"plan"` or `"card"`).
+    pub cache: String,
+    /// What happened (`"hit"`, `"miss"`, `"store"`, `"bypass"`,
+    /// `"invalidate"`).
+    pub event: String,
+    /// Free-form detail (key, epoch, source tag, ...).
+    pub detail: String,
+}
+
 /// Final result facts, recorded when the query finishes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
@@ -130,6 +144,10 @@ pub struct QueryTrace {
     /// Guard interventions (contained faults, fallbacks, replans), in
     /// occurrence order. Empty when every component behaved.
     pub guard: Vec<GuardEvent>,
+    /// Cache interactions (plan/inference cache hits, misses, stores,
+    /// invalidations), in occurrence order. Empty when no cache is
+    /// attached.
+    pub cache: Vec<CacheEvent>,
     /// Final outcome, if the query ran to an answer.
     pub outcome: Option<QueryOutcome>,
 }
@@ -145,6 +163,7 @@ impl QueryTrace {
             planner: PlannerTrace::default(),
             exec: ExecTrace::default(),
             guard: Vec::new(),
+            cache: Vec::new(),
             outcome: None,
         }
     }

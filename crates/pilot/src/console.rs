@@ -6,6 +6,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use lqo_cache::LqoCache;
 use lqo_engine::query::parse_query;
 use lqo_engine::{EngineError, ExecMode, Result};
 use lqo_guard::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
@@ -53,6 +54,9 @@ pub struct PilotConsole {
     /// Optional model-health monitor: finished traces are ingested and
     /// breaker transitions correlated per driver component.
     watch: Option<Arc<ModelHealthMonitor>>,
+    /// Optional plan & inference cache: invalidated on confirmed drift
+    /// alarms and breaker-open transitions.
+    cache: Option<Arc<LqoCache>>,
 }
 
 impl PilotConsole {
@@ -70,6 +74,7 @@ impl PilotConsole {
             breaker_cfg: BreakerConfig::default(),
             decision_deadline: Some(Duration::from_millis(250)),
             watch: None,
+            cache: None,
         }
     }
 
@@ -110,6 +115,26 @@ impl PilotConsole {
         self.watch.as_ref()
     }
 
+    /// Attach a plan & inference cache. The interactor memoizes
+    /// cardinality lookups across queries and reuses previously optimized
+    /// plans for unsteered sessions — observationally transparent, so
+    /// results and driver feedback are byte-identical to the uncached
+    /// path. The console wires invalidation to runtime signals: confirmed
+    /// drift alarms from the attached watch monitor and circuit-breaker
+    /// open transitions both purge the affected entries. Attach before
+    /// registering drivers or pushing steering state.
+    pub fn with_cache(mut self, cache: Arc<LqoCache>) -> PilotConsole {
+        self.interactor.attach_cache(&cache);
+        cache.attach_obs(&self.obs);
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<LqoCache>> {
+        self.cache.as_ref()
+    }
+
     /// Select the execution mode for all queries routed through this
     /// console (serial by default). The parallel path is verified
     /// byte-identical to serial by the differential harness, so results,
@@ -127,6 +152,9 @@ impl PilotConsole {
     /// propagated down to the interactor's optimizer and executor.
     pub fn with_obs(self, obs: ObsContext) -> PilotConsole {
         self.interactor.attach_obs(&obs);
+        if let Some(cache) = &self.cache {
+            cache.attach_obs(&obs);
+        }
         PilotConsole { obs, ..self }
     }
 
@@ -259,11 +287,17 @@ impl PilotConsole {
         })
     }
 
-    /// Finalize the in-flight trace and feed it to the health monitor.
+    /// Finalize the in-flight trace, feed it to the health monitor, and
+    /// relay confirmed drift verdicts to the cache.
     fn finish_query(&self) {
         let trace = self.obs.end_query();
         if let (Some(watch), Some(trace)) = (&self.watch, trace) {
             watch.ingest_trace(&trace, None);
+            if let Some(cache) = &self.cache {
+                let component = lqo_watch::component_of(&trace);
+                let drifted = watch.health(&component) == Some(lqo_watch::HealthState::Drifted);
+                cache.note_health(&component, drifted);
+            }
         }
     }
 
@@ -334,6 +368,9 @@ impl PilotConsole {
         let state = breaker.state();
         if state == BreakerState::Open && !was_open {
             self.obs.count("lqo.guard.breaker_opens", 1);
+            if let Some(cache) = &self.cache {
+                cache.on_breaker_open(&format!("driver:{name}"));
+            }
         }
         if let Some(watch) = &self.watch {
             watch.record_breaker(&format!("driver:{name}"), state.code(), breaker.opens());
@@ -602,6 +639,84 @@ mod tests {
             .histogram("lqo.pilot.decision_us")
             .expect("decision_us");
         assert!(us.count() >= 4);
+    }
+
+    #[test]
+    fn cached_console_execution_is_transparent() {
+        let (mut plain, _) = console();
+        let (cached, _) = console();
+        let cache = Arc::new(LqoCache::default());
+        let mut cached = cached.with_cache(cache.clone());
+        for _ in 0..3 {
+            let p = plain.execute_sql(SQL).unwrap();
+            let c = cached.execute_sql(SQL).unwrap();
+            assert_eq!(p.count, c.count);
+            assert_eq!(p.work.to_bits(), c.work.to_bits());
+        }
+        let stats = cache.stats();
+        assert!(stats.plan_hits >= 2, "{stats:?}");
+        assert!(
+            stats.card_misses > 0,
+            "inference cache was populated: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_watch_traffic_leaves_cache_intact() {
+        let (console_, _) = console();
+        let obs = ObsContext::enabled();
+        let watch = Arc::new(ModelHealthMonitor::new(lqo_watch::WatchConfig::default()));
+        let cache = Arc::new(LqoCache::default());
+        let mut console_ = console_
+            .with_obs(obs.clone())
+            .with_watch(watch.clone())
+            .with_cache(cache.clone());
+        for _ in 0..4 {
+            console_.execute_sql(SQL).unwrap();
+        }
+        // The drift hook ran on every finished trace (healthy verdicts),
+        // and a healthy system never loses its cache entries to it.
+        assert_eq!(cache.stats().card_invalidations, 0);
+        assert_eq!(cache.stats().plan_invalidations, 0);
+        assert!(cache.plan_len() >= 1);
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("lqo.cache.drift_invalidations"), None);
+        assert!(snap.counter("lqo.cache.plan.hits").unwrap_or(0) >= 3);
+    }
+
+    #[test]
+    fn breaker_open_invalidates_cached_plans() {
+        let (console_, _) = console();
+        let obs = ObsContext::enabled();
+        let cache = Arc::new(LqoCache::default());
+        let mut console_ = console_
+            .with_obs(obs.clone())
+            .with_cache(cache.clone())
+            .with_driver_guard(
+                Some(Duration::from_millis(250)),
+                BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown_calls: 3,
+                    max_backoff_level: 2,
+                },
+            );
+        console_.register_driver(Box::new(HostileDriver)).unwrap();
+        // Warm the plan cache without a driver.
+        console_.execute_sql(SQL).unwrap();
+        assert_eq!(cache.plan_len(), 1);
+        console_.start_driver(Some("hostile")).unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for _ in 0..2 {
+            console_.execute_sql(SQL).unwrap(); // panics -> breaker opens
+        }
+        std::panic::set_hook(prev);
+        assert_eq!(console_.breaker_state("hostile"), Some(BreakerState::Open));
+        // The open transition purged cached plans (the second query
+        // re-populates after delegating, which is fine).
+        assert!(cache.stats().plan_invalidations >= 1, "{:?}", cache.stats());
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("lqo.cache.breaker_invalidations"), Some(1));
     }
 
     #[test]

@@ -8,11 +8,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use lqo_cache::{plan_key, LqoCache, MemoCardSource, OptMemo, PlannedQuery};
 use lqo_engine::optimizer::{CardSource, InjectedCardSource, ScaledCardSource};
 use lqo_engine::stats::table_stats::CatalogStats;
 use lqo_engine::{
-    Catalog, EngineError, ExecConfig, ExecMode, Executor, HintSet, Optimizer, Result,
-    TraditionalCardSource, TrueCardOracle,
+    Catalog, EngineError, ExecConfig, ExecMode, Executor, HintSet, Optimizer, PhysNode, Result,
+    SpjQuery, TraditionalCardSource, TrueCardOracle,
 };
 use lqo_obs::ObsContext;
 
@@ -28,11 +29,16 @@ struct SessionState {
 pub struct EngineInteractor {
     catalog: Arc<Catalog>,
     base_card: Arc<dyn CardSource>,
+    /// What new sessions' injection layers fall back to: the raw base
+    /// estimator, or — once a cache is attached — the base wrapped in a
+    /// cross-query [`MemoCardSource`].
+    session_base: Mutex<Arc<dyn CardSource>>,
     oracle: Arc<TrueCardOracle>,
     sessions: Mutex<HashMap<SessionId, SessionState>>,
     next_session: AtomicU64,
     obs: Mutex<ObsContext>,
     exec_mode: Mutex<ExecMode>,
+    cache: Mutex<Option<Arc<LqoCache>>>,
     /// Work budget per execution (timeout stand-in).
     pub max_work: Option<f64>,
 }
@@ -46,12 +52,14 @@ impl EngineInteractor {
         let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
         EngineInteractor {
             catalog,
+            session_base: Mutex::new(base_card.clone()),
             base_card,
             oracle,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             obs: Mutex::new(ObsContext::disabled()),
             exec_mode: Mutex::new(ExecMode::Serial),
+            cache: Mutex::new(None),
             max_work: Some(1e10),
         }
     }
@@ -95,15 +103,73 @@ impl EngineInteractor {
             (card, s.hints.clone())
         })
     }
+
+    /// Whether the session's cardinalities are steered (injections or
+    /// scaling in force). Hints do not count: they are part of the
+    /// plan-cache key.
+    fn session_steered(&self, session: SessionId) -> Result<bool> {
+        self.with_session(session, |s| {
+            !s.injected.is_empty() || (s.scaling - 1.0).abs() > 1e-12
+        })
+    }
+
+    /// Optimize `query` under the session's steering, going through the
+    /// plan cache when one is attached and the session is unsteered.
+    /// The cached plan is byte-identical to what optimization would
+    /// produce: entries are keyed by canonical query form, hint label,
+    /// and estimator name, and dropped whenever the stats epoch moves or
+    /// drift/breaker signals fire.
+    fn plan_query(
+        &self,
+        session: SessionId,
+        query: &SpjQuery,
+        card: &Arc<dyn CardSource>,
+        hints: &HintSet,
+        obs: &ObsContext,
+    ) -> Result<(PhysNode, f64)> {
+        let optimizer = Optimizer::with_defaults(&self.catalog).with_obs(obs.clone());
+        let Some(cache) = self.cache.lock().clone() else {
+            let choice = optimizer.optimize(query, card.as_ref(), hints)?;
+            return Ok((choice.plan, choice.cost));
+        };
+        // With a cache attached, every optimization gets a fresh
+        // per-call memo: the greedy enumerator re-queries the same
+        // subsets repeatedly, and even DP probes each set once per
+        // candidate split. The memo lives only for this call, so raw
+        // set-bit keys are sound.
+        if self.session_steered(session)? {
+            cache.plan_bypass("steered");
+            let memo = OptMemo::new(card.as_ref());
+            let choice = optimizer.optimize(query, &memo, hints)?;
+            return Ok((choice.plan, choice.cost));
+        }
+        let source = self.base_card.name().to_string();
+        let key = plan_key(query, &hints.label(), &source);
+        if let Some(hit) = cache.plan_lookup(&key) {
+            return Ok((hit.plan, hit.cost));
+        }
+        let memo = OptMemo::new(card.as_ref());
+        let choice = optimizer.optimize(query, &memo, hints)?;
+        cache.plan_store(
+            key,
+            PlannedQuery {
+                plan: choice.plan.clone(),
+                cost: choice.cost,
+            },
+            &source,
+        );
+        Ok((choice.plan, choice.cost))
+    }
 }
 
 impl DbInteractor for EngineInteractor {
     fn open_session(&self) -> SessionId {
         let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        let base = self.session_base.lock().clone();
         self.sessions.lock().insert(
             id,
             SessionState {
-                injected: Arc::new(InjectedCardSource::new(self.base_card.clone())),
+                injected: Arc::new(InjectedCardSource::new(base)),
                 hints: HintSet::default(),
                 scaling: 1.0,
             },
@@ -135,21 +201,17 @@ impl DbInteractor for EngineInteractor {
             PullRequest::Plan(query) => {
                 query.validate(&self.catalog)?;
                 let (card, hints) = self.session_card(session)?;
-                let optimizer = Optimizer::with_defaults(&self.catalog).with_obs(self.obs());
-                let choice = optimizer.optimize(&query, card.as_ref(), &hints)?;
-                Ok(PullReply::Plan {
-                    plan: choice.plan,
-                    cost: choice.cost,
-                })
+                let (plan, cost) = self.plan_query(session, &query, &card, &hints, &self.obs())?;
+                Ok(PullReply::Plan { plan, cost })
             }
             PullRequest::Execute(query) => {
                 query.validate(&self.catalog)?;
                 let (card, hints) = self.session_card(session)?;
                 let obs = self.obs();
-                let optimizer = Optimizer::with_defaults(&self.catalog).with_obs(obs.clone());
-                let choice =
-                    obs.phase("plan", || optimizer.optimize(&query, card.as_ref(), &hints))?;
-                self.pull(session, PullRequest::ExecutePlan(query, choice.plan))
+                let (plan, _cost) = obs.phase("plan", || {
+                    self.plan_query(session, &query, &card, &hints, &obs)
+                })?;
+                self.pull(session, PullRequest::ExecutePlan(query, plan))
             }
             PullRequest::ExecutePlan(query, plan) => {
                 let executor = Executor::new(
@@ -186,6 +248,20 @@ impl DbInteractor for EngineInteractor {
 
     fn set_exec_mode(&self, mode: ExecMode) {
         *self.exec_mode.lock() = mode;
+    }
+
+    fn attach_cache(&self, cache: &Arc<LqoCache>) {
+        let memo: Arc<dyn CardSource> =
+            Arc::new(MemoCardSource::new(self.base_card.clone(), cache.clone()));
+        *self.session_base.lock() = memo.clone();
+        // Rebuild existing sessions' injection layers over the memoized
+        // base. Injections are per-session steering state and are dropped
+        // here — attach the cache before steering (see the trait docs).
+        let mut sessions = self.sessions.lock();
+        for s in sessions.values_mut() {
+            s.injected = Arc::new(InjectedCardSource::new(memo.clone()));
+        }
+        *self.cache.lock() = Some(cache.clone());
     }
 }
 
@@ -311,6 +387,129 @@ mod tests {
         let s = ix.open_session();
         ix.close_session(s);
         assert!(ix.pull(s, PullRequest::Plan(q)).is_err());
+    }
+
+    #[test]
+    fn cache_on_plans_and_results_are_byte_identical() {
+        let (plain, q) = setup();
+        let (cached, _) = setup();
+        let cache = Arc::new(LqoCache::default());
+        cached.attach_cache(&cache);
+        let sp = plain.open_session();
+        let sc = cached.open_session();
+        for _ in 0..3 {
+            let PullReply::Plan { plan: p0, cost: c0 } =
+                plain.pull(sp, PullRequest::Plan(q.clone())).unwrap()
+            else {
+                panic!()
+            };
+            let PullReply::Plan { plan: p1, cost: c1 } =
+                cached.pull(sc, PullRequest::Plan(q.clone())).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(p0.fingerprint(), p1.fingerprint());
+            assert_eq!(c0.to_bits(), c1.to_bits());
+        }
+        let PullReply::Execution {
+            count: n0,
+            work: w0,
+            ..
+        } = plain.pull(sp, PullRequest::Execute(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        let PullReply::Execution {
+            count: n1,
+            work: w1,
+            ..
+        } = cached.pull(sc, PullRequest::Execute(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(n0, n1);
+        assert_eq!(w0.to_bits(), w1.to_bits());
+        let stats = cache.stats();
+        assert!(
+            stats.plan_hits >= 3,
+            "repeat plans came from the cache: {stats:?}"
+        );
+        assert_eq!(stats.plan_bypasses, 0);
+        // The plan cache absorbed every repeat, so the estimator ran only
+        // once per sub-query. Drop the plans (not the cardinalities):
+        // re-optimization is then served from the inference cache.
+        cache.on_breaker_open("driver:test");
+        let PullReply::Plan { plan: rebuilt, .. } =
+            cached.pull(sc, PullRequest::Plan(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        let stats = cache.stats();
+        assert!(stats.saved_inference_calls() > 0, "{stats:?}");
+        let PullReply::Plan { plan: p0, .. } = plain.pull(sp, PullRequest::Plan(q)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(p0.fingerprint(), rebuilt.fingerprint());
+    }
+
+    #[test]
+    fn steered_sessions_bypass_plan_cache_but_stay_correct() {
+        let (ix, q) = setup();
+        let cache = Arc::new(LqoCache::default());
+        ix.attach_cache(&cache);
+        let s = ix.open_session();
+        let PullReply::Plan {
+            cost: base_cost, ..
+        } = ix.pull(s, PullRequest::Plan(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        ix.push(
+            s,
+            PushAction::InjectCardinality {
+                query: q.clone(),
+                set: q.all_tables(),
+                card: 99999.0,
+            },
+        )
+        .unwrap();
+        let PullReply::Plan {
+            cost: steered_cost, ..
+        } = ix.pull(s, PullRequest::Plan(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        assert_ne!(base_cost, steered_cost, "injection visible despite cache");
+        assert!(cache.stats().plan_bypasses >= 1);
+        // Clearing injections restores plan-cache service, bit-identically.
+        ix.push(s, PushAction::ClearInjections).unwrap();
+        let PullReply::Plan { cost: back, .. } = ix.pull(s, PullRequest::Plan(q)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(base_cost.to_bits(), back.to_bits());
+        assert!(cache.stats().plan_hits >= 1);
+    }
+
+    #[test]
+    fn stats_epoch_bump_recomputes_without_changing_answers() {
+        let (ix, q) = setup();
+        let cache = Arc::new(LqoCache::default());
+        ix.attach_cache(&cache);
+        let s = ix.open_session();
+        let PullReply::Plan { plan: before, .. } =
+            ix.pull(s, PullRequest::Plan(q.clone())).unwrap()
+        else {
+            panic!()
+        };
+        cache.bump_stats_epoch();
+        let misses_before = cache.stats().plan_misses;
+        let PullReply::Plan { plan: after, .. } = ix.pull(s, PullRequest::Plan(q)).unwrap() else {
+            panic!()
+        };
+        // Same catalog, so the recomputed plan matches — but it was a
+        // genuine recomputation, not a cache hit.
+        assert_eq!(before.fingerprint(), after.fingerprint());
+        assert_eq!(cache.stats().plan_misses, misses_before + 1);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The unified DB interactor interface: push/pull operators over sessions.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use lqo_cache::LqoCache;
 use lqo_engine::{ExecMode, HintSet, PhysNode, Result, SpjQuery, TableSet};
 use lqo_obs::ObsContext;
 
@@ -100,4 +102,14 @@ pub trait DbInteractor: Send + Sync {
     /// learned-component feedback signals. Default: ignored, so
     /// interactors without a parallel engine keep working unchanged.
     fn set_exec_mode(&self, _mode: ExecMode) {}
+
+    /// Attach a shared plan & inference cache: subsequent planning may
+    /// memoize cardinality lookups across queries and reuse previously
+    /// optimized plans for unsteered sessions. Caching is observationally
+    /// transparent — plans and results are byte-identical to the uncached
+    /// path (verified by the differential and golden harnesses). Attach
+    /// before pushing steering state: implementations may rebuild session
+    /// estimator stacks over the memoized base. Default: ignored, so
+    /// interactors without caching keep working unchanged.
+    fn attach_cache(&self, _cache: &Arc<LqoCache>) {}
 }

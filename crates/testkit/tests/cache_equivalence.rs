@@ -1,0 +1,143 @@
+//! Observational equivalence of the lqo-cache layers.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. `MemoCardSource` is indistinguishable from the estimator it wraps:
+//!    for random SPJ queries and every sub-query subset, cached and
+//!    uncached estimates are bit-identical (property test).
+//! 2. Planning the committed golden workload *through* the cache
+//!    reproduces `tests/golden/workload.txt` byte-for-byte — the same
+//!    snapshot the uncached golden test checks — even when every query
+//!    is planned twice so the second pass is served from the cache.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lqo_bench_suite::workload::{generate_workload, WorkloadConfig};
+use lqo_cache::{LqoCache, MemoCardSource, OptMemo};
+use lqo_engine::datagen::stats_like;
+use lqo_engine::optimizer::CardSource;
+use lqo_engine::{
+    CatalogStats, ExecConfig, ExecMode, Executor, Optimizer, ParallelConfig, TableSet,
+    TraditionalCardSource,
+};
+use lqo_testkit::check_golden;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// `MemoCardSource` ≡ inner estimator: bit-identical estimates for
+    /// every sub-query subset of random SPJ queries, on first sight and
+    /// on cross-query repeats, and identical chosen plans.
+    #[test]
+    fn memo_card_source_is_equivalent_to_inner(seed in 0u64..u64::MAX) {
+        let catalog = Arc::new(stats_like(60, 7).unwrap());
+        let stats = Arc::new(CatalogStats::build_default(&catalog));
+        let card = Arc::new(TraditionalCardSource::new(catalog.clone(), stats));
+        let cache = Arc::new(LqoCache::default());
+        let memo = MemoCardSource::new(card.clone(), cache.clone());
+        prop_assert_eq!(memo.name(), card.name());
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = lqo_testkit::RandomQueryConfig::default();
+        let optimizer = Optimizer::with_defaults(&catalog);
+        for _ in 0..4 {
+            let q = lqo_testkit::random_query(&catalog, &mut rng, &cfg);
+            // Every non-empty subset of the query's tables, twice: the
+            // second round is answered from the cache and must not
+            // change a single bit.
+            for _round in 0..2 {
+                for mask in 1..(1u64 << q.num_tables()) {
+                    let set = TableSet(mask);
+                    let fresh = card.cardinality(&q, set);
+                    let cached = memo.cardinality(&q, set);
+                    prop_assert_eq!(fresh.to_bits(), cached.to_bits());
+                }
+            }
+            // The per-optimization memo is equivalent too: same plan,
+            // same cost, through a full optimization.
+            let direct = optimizer.optimize_default(&q, card.as_ref()).unwrap();
+            let opt_memo = OptMemo::new(&memo);
+            let memoed = optimizer.optimize_default(&q, &opt_memo).unwrap();
+            prop_assert_eq!(direct.plan.fingerprint(), memoed.plan.fingerprint());
+            prop_assert_eq!(direct.cost.to_bits(), memoed.cost.to_bits());
+        }
+        prop_assert!(cache.stats().saved_inference_calls() > 0);
+    }
+}
+
+/// The committed golden workload, planned through the cache: the
+/// rendered snapshot must equal `tests/golden/workload.txt` exactly, and
+/// a second fully cached planning pass must reproduce every fingerprint.
+#[test]
+fn golden_workload_unchanged_with_caching_enabled() {
+    let catalog = Arc::new(stats_like(60, 7).unwrap());
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: 10,
+            min_tables: 2,
+            max_tables: 3,
+            max_predicates: 3,
+            seed: 0x601D_E001,
+        },
+    );
+    let stats = Arc::new(CatalogStats::build_default(&catalog));
+    let card: Arc<dyn CardSource> = Arc::new(TraditionalCardSource::new(catalog.clone(), stats));
+    let cache = Arc::new(LqoCache::default());
+    let memo = MemoCardSource::new(card, cache.clone());
+    let optimizer = Optimizer::with_defaults(&catalog);
+    let serial = Executor::with_defaults(&catalog);
+    let parallel = Executor::new(
+        &catalog,
+        ExecConfig {
+            mode: ExecMode::Parallel { threads: 4 },
+            parallel: ParallelConfig {
+                morsel_rows: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+
+    let mut out = String::from("# golden: stats_like(60, 7), 10 queries, seed 0x601DE001\n");
+    let mut fingerprints = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let plan = optimizer.optimize_default(q, &memo).unwrap().plan;
+        fingerprints.push(plan.fingerprint());
+        let (sr, srel) = serial.execute_collect(q, &plan).unwrap();
+        let (pr, prel) = parallel.execute_collect(q, &plan).unwrap();
+        assert_eq!(sr.count, pr.count, "query {i}");
+        assert_eq!(sr.work.to_bits(), pr.work.to_bits(), "query {i}");
+        assert_eq!(srel.digest(), prel.digest(), "query {i}");
+        writeln!(out, "\nquery {i}: {q}").unwrap();
+        writeln!(out, "plan {i}: {}", plan.fingerprint()).unwrap();
+        writeln!(
+            out,
+            "result {i}: count={} work_bits={:#018x} digest={:#018x}",
+            sr.count,
+            sr.work.to_bits(),
+            srel.digest()
+        )
+        .unwrap();
+    }
+    check_golden("workload.txt", &out);
+
+    // Second pass: everything the optimizer asks is now cached; plans
+    // must not move by a bit.
+    let misses_after_first = cache.stats().card_misses;
+    for (q, fp) in queries.iter().zip(&fingerprints) {
+        let replanned = optimizer.optimize_default(q, &memo).unwrap().plan;
+        assert_eq!(replanned.fingerprint(), *fp);
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.card_misses, misses_after_first,
+        "second pass was fully cache-served: {stats:?}"
+    );
+    assert!(stats.saved_inference_calls() > 0, "{stats:?}");
+}
