@@ -1,0 +1,76 @@
+//! Continuous perf-baseline harness — see
+//! `lqo_bench_suite::experiments::bench_core`. Scale the iteration count
+//! with `LQO_SCALE=small|default|large`; the workload itself is pinned.
+//!
+//! Artifacts: `results/exp_bench_core.json` (the fresh report),
+//! `results/bench_core.folded` (flamegraph-ready folded stacks), and the
+//! ANSI top-phases report on stdout. With `BLESS_BENCH=1` the fresh
+//! report replaces the committed baseline `BENCH_core.json` at the repo
+//! root; otherwise the run compares against it and exits non-zero on a
+//! confirmed regression (the CI perf-smoke gate).
+
+use lqo_bench_suite::experiments::bench_core::{self, Config};
+use lqo_bench_suite::report::{dump_json, dump_text};
+
+fn main() {
+    let cfg = Config::default();
+    eprintln!("running bench_core with {cfg:?}");
+    let out = bench_core::run(&cfg);
+    println!("{}", out.table.render());
+    println!("{}", out.top);
+    dump_json("exp_bench_core", &out.report);
+    dump_text("bench_core.folded", &out.folded);
+    eprintln!(
+        "wrote results/exp_bench_core.json and {} folded stack lines",
+        out.folded.lines().count()
+    );
+
+    let path = bench_core::baseline_path();
+    if std::env::var("BLESS_BENCH").as_deref() == Ok("1") {
+        let json = serde_json::to_string_pretty(&out.report).expect("serialize report");
+        std::fs::write(path, json + "\n").expect("write baseline");
+        eprintln!("blessed baseline -> {path}");
+        return;
+    }
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(text) => match bench_core::parse_report(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: committed baseline {path} is malformed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "error: no committed baseline at {path} ({e}); \
+                 run with BLESS_BENCH=1 to create one"
+            );
+            std::process::exit(1);
+        }
+    };
+    match bench_core::compare(&baseline, &out.report) {
+        Ok(cmp) => {
+            eprintln!("machine factor {:.3}", cmp.machine_factor);
+            for line in &cmp.lines {
+                eprintln!("  {line}");
+            }
+            if cmp.regressions.is_empty() {
+                eprintln!("bench_core: within thresholds of the committed baseline");
+            } else {
+                for r in &cmp.regressions {
+                    eprintln!("REGRESSION: {r}");
+                }
+                eprintln!(
+                    "bench_core: {} confirmed regression(s); \
+                     bless with BLESS_BENCH=1 only if intended",
+                    cmp.regressions.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot compare against baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}

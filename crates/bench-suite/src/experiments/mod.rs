@@ -2,6 +2,7 @@
 //! scaled `Default` and a `run` function returning printable
 //! [`crate::TextTable`]s; the `src/bin/exp_*` binaries are thin wrappers.
 
+pub mod bench_core;
 pub mod e10_drift_watch;
 pub mod e11_parallel_scaling;
 pub mod e12_cache;

@@ -17,6 +17,9 @@
 //! | E8 | `exp_e8_pilotscope` | PilotScope overhead & drivers |
 //! | E9 | `exp_e9_chaos` | fault injection & guarded degradation |
 //! | E10 | `exp_e10_drift_watch` | lqo-watch model-health monitor on the E1 drift scenario |
+//! | E11 | `exp_e11_parallel_scaling` | morsel-driven parallel execution scaling |
+//! | E12 | `exp_e12_cache` | plan & inference caching on repeated templates |
+//! | BENCH | `exp_bench_core` | continuous perf baseline vs committed `BENCH_core.json` |
 
 #![warn(missing_docs)]
 

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use lqo_engine::{EngineError, ExecConfig, ExecMode, Executor, PhysNode, Result, SpjQuery};
 use lqo_obs::trace::QueryOutcome;
 use lqo_obs::ObsContext;
+use lqo_prof::ProfContext;
 use lqo_watch::ModelHealthMonitor;
 use serde::Serialize;
 
@@ -65,6 +66,7 @@ pub struct TrainingLoop {
     native_plans: Vec<PhysNode>,
     queries: Vec<SpjQuery>,
     obs: ObsContext,
+    prof: ProfContext,
     watch: Option<Arc<ModelHealthMonitor>>,
     exec_mode: ExecMode,
 }
@@ -89,6 +91,7 @@ impl TrainingLoop {
             native_plans,
             queries,
             obs: ObsContext::disabled(),
+            prof: ProfContext::disabled(),
             watch: None,
             exec_mode: ExecMode::Serial,
         })
@@ -108,6 +111,16 @@ impl TrainingLoop {
     /// training, and epoch metrics land in the registry.
     pub fn with_obs(mut self, obs: ObsContext) -> TrainingLoop {
         self.obs = obs;
+        self
+    }
+
+    /// Attach a profiling context: every executed query in every epoch
+    /// becomes one query profile (plan/execute phase timings down to
+    /// per-operator attribution plus work-unit charges), so learned-
+    /// optimizer planning overhead is separable from execution cost
+    /// across training epochs.
+    pub fn with_prof(mut self, prof: ProfContext) -> TrainingLoop {
+        self.prof = prof;
         self
     }
 
@@ -157,16 +170,21 @@ impl TrainingLoop {
                     ..Default::default()
                 },
             )
-            .with_obs(self.obs.clone());
+            .with_obs(self.obs.clone())
+            .with_prof(self.prof.clone());
             if self.obs.is_enabled() {
                 self.obs.begin_query(&q.to_string());
                 let name = opt.name().to_string();
                 self.obs.with_query(|t| t.driver = Some(name));
             }
+            if self.prof.is_enabled() {
+                self.prof.begin_query(&q.to_string());
+            }
             // A learned optimizer that panics or errors while planning
             // must not take the epoch down with it: contain the failure,
             // note it on the trace, and run the stored native plan.
             let planned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _prof_plan = self.prof.phase("plan");
                 self.obs.phase("plan", || opt.plan(q))
             }));
             let (plan, fell_back) = match planned {
@@ -215,6 +233,7 @@ impl TrainingLoop {
                     watch.ingest_trace(&trace, Some(self.native_work[i]));
                 }
             }
+            self.prof.end_query();
             let ratio = work / self.native_work[i];
             if ratio > 1.1 {
                 regressions += 1;
@@ -373,6 +392,39 @@ mod tests {
             );
         }
         assert_eq!(s.timeouts, p.timeouts);
+    }
+
+    #[test]
+    fn profiler_separates_planning_from_execution() {
+        let (ctx, queries) = fixture();
+        let n = queries.len();
+        let prof = ProfContext::enabled();
+        let training = TrainingLoop::new(ctx.clone(), queries)
+            .unwrap()
+            .with_prof(prof.clone());
+        let mut native = NativeBaseline::new(ctx);
+        training.run_epoch(&mut native, false);
+        // One profile per executed query; planning and execution are
+        // separate top-level phases, and all work-unit charges sit under
+        // the execution subtree.
+        assert_eq!(prof.take_finished().len(), n);
+        let total = prof.total();
+        assert_eq!(total.frames["plan"].calls, n as u64);
+        assert_eq!(total.frames["execute"].calls, n as u64);
+        let plan_units: f64 = total
+            .frames
+            .iter()
+            .filter(|(p, _)| p.starts_with("plan"))
+            .map(|(_, s)| s.units)
+            .sum();
+        let exec_units: f64 = total
+            .frames
+            .iter()
+            .filter(|(p, _)| p.starts_with("execute"))
+            .map(|(_, s)| s.units)
+            .sum();
+        assert_eq!(plan_units, 0.0, "native planning charges no work units");
+        assert!(exec_units > 0.0, "execution charges its work meter");
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use lqo_obs::trace::{GuardEvent, OperatorEvent};
 use lqo_obs::ObsContext;
+use lqo_prof::ProfContext;
 use serde::Serialize;
 
 use crate::catalog::Catalog;
@@ -113,6 +114,7 @@ pub struct Executor<'a> {
     pub(crate) catalog: &'a Catalog,
     pub(crate) config: ExecConfig,
     pub(crate) obs: ObsContext,
+    pub(crate) prof: ProfContext,
 }
 
 impl<'a> Executor<'a> {
@@ -122,6 +124,7 @@ impl<'a> Executor<'a> {
             catalog,
             config,
             obs: ObsContext::disabled(),
+            prof: ProfContext::disabled(),
         }
     }
 
@@ -135,6 +138,16 @@ impl<'a> Executor<'a> {
     /// current query trace.
     pub fn with_obs(mut self, obs: ObsContext) -> Executor<'a> {
         self.obs = obs;
+        self
+    }
+
+    /// Attach a profiling context: execution runs under an `execute`
+    /// phase with one nested phase per operator (mirroring the plan
+    /// tree) carrying exact wall clock and work-unit charges, and the
+    /// parallel path attributes per-morsel and per-worker busy/idle
+    /// time under the operator that dispatched them.
+    pub fn with_prof(mut self, prof: ProfContext) -> Executor<'a> {
+        self.prof = prof;
         self
     }
 
@@ -179,6 +192,12 @@ impl<'a> Executor<'a> {
             )));
         }
         let _span = self.obs.span("exec.query");
+        let _prof_exec = self.prof.phase("execute");
+        // One detail decision per query: per-operator phases are only
+        // opened on sampled queries (weighted by the stride), keeping
+        // sampling-mode overhead flat. Work charges stay exact either
+        // way — on unsampled queries they attribute to `execute`.
+        let detail = self.prof.sample_detail();
         let start = Instant::now();
         let mut meter = WorkMeter::new(self.config.max_work);
         let mut intermediates = Vec::new();
@@ -190,6 +209,7 @@ impl<'a> Executor<'a> {
                     query,
                     plan,
                     threads,
+                    detail,
                     &mut meter,
                     &mut intermediates,
                     &mut events,
@@ -204,12 +224,26 @@ impl<'a> Executor<'a> {
                         meter = WorkMeter::new(self.config.max_work);
                         intermediates.clear();
                         events.clear();
-                        self.exec_node(query, plan, &mut meter, &mut intermediates, &mut events)
+                        self.exec_node(
+                            query,
+                            plan,
+                            detail,
+                            &mut meter,
+                            &mut intermediates,
+                            &mut events,
+                        )
                     }
                     other => other,
                 }
             }
-            _ => self.exec_node(query, plan, &mut meter, &mut intermediates, &mut events),
+            _ => self.exec_node(
+                query,
+                plan,
+                detail,
+                &mut meter,
+                &mut intermediates,
+                &mut events,
+            ),
         };
         match attempt {
             Ok(rel) => {
@@ -262,13 +296,22 @@ impl<'a> Executor<'a> {
         &self,
         query: &SpjQuery,
         node: &PhysNode,
+        detail: bool,
         meter: &mut WorkMeter,
         intermediates: &mut Vec<(TableSet, u64)>,
         events: &mut Vec<OperatorEvent>,
     ) -> Result<Relation> {
         // `meter.work` snapshots bracket only this node's own operator
         // (children account for themselves first), so per-operator work
-        // attribution is exact even for bushy plans.
+        // attribution is exact even for bushy plans. The profiler phase
+        // opens before recursing, so the phase tree mirrors the plan
+        // tree (`execute;HashJoin;Scan`).
+        let _prof_op = detail.then(|| {
+            self.prof.phase_sampled(match node {
+                PhysNode::Scan { .. } => "Scan",
+                PhysNode::Join { algo, .. } => join_label(*algo),
+            })
+        });
         let (rel, op, own_work) = match node {
             PhysNode::Scan { pos } => {
                 let before = meter.work;
@@ -276,14 +319,15 @@ impl<'a> Executor<'a> {
                 (rel, "Scan", meter.work - before)
             }
             PhysNode::Join { algo, left, right } => {
-                let l = self.exec_node(query, left, meter, intermediates, events)?;
-                let r = self.exec_node(query, right, meter, intermediates, events)?;
+                let l = self.exec_node(query, left, detail, meter, intermediates, events)?;
+                let r = self.exec_node(query, right, detail, meter, intermediates, events)?;
                 let before = meter.work;
                 let rel = self.exec_join(query, *algo, l, r, meter)?;
                 (rel, join_label(*algo), meter.work - before)
             }
         };
         intermediates.push((rel.tables(), rel.len() as u64));
+        self.prof.charge(own_work);
         if self.obs.is_enabled() {
             events.push(OperatorEvent {
                 op: op.to_string(),
@@ -881,6 +925,57 @@ mod tests {
                 assert_eq!(srel.rows, prel.rows, "{algo} x{threads}");
             }
         }
+    }
+
+    #[test]
+    fn profiler_attributes_operators_morsels_and_workers() {
+        let (c, q) = fixture();
+        let plan = join_plan(JoinAlgo::Hash);
+        // Serial: operator phases mirror the plan tree, units match the
+        // per-operator work the meter accounted.
+        let sprof = ProfContext::enabled();
+        let serial = Executor::with_defaults(&c).with_prof(sprof.clone());
+        sprof.begin_query("prof-serial");
+        let (sr, _) = serial.execute_collect(&q, &plan).unwrap();
+        let sq = sprof.end_query().unwrap();
+        let sf = &sq.profile.frames;
+        assert!(sf.contains_key("execute"));
+        assert_eq!(sf["execute;HashJoin"].calls, 1);
+        assert_eq!(sf["execute;HashJoin;Scan"].calls, 2);
+        let charged: f64 = sf.values().map(|s| s.units).sum();
+        assert!(
+            (charged - sr.work).abs() < 1e-9,
+            "operator charges {charged} != meter {}",
+            sr.work
+        );
+
+        // Parallel: same operator tree, plus morsel and per-worker
+        // busy/idle attribution under the dispatching operator.
+        let pprof = ProfContext::enabled();
+        let par = Executor::new(
+            &c,
+            ExecConfig {
+                mode: ExecMode::Parallel { threads: 2 },
+                parallel: ParallelConfig {
+                    morsel_rows: 4,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .with_prof(pprof.clone());
+        pprof.begin_query("prof-parallel");
+        let (pr, _) = par.execute_collect(&q, &plan).unwrap();
+        let pq = pprof.end_query().unwrap();
+        let pf = &pq.profile.frames;
+        assert!(pf.contains_key("execute;HashJoin;Scan"));
+        assert!(pf.keys().any(|k| k.ends_with(";morsel")), "{pf:?}");
+        assert!(pf.keys().any(|k| k.ends_with("worker0_busy")), "{pf:?}");
+        assert!(pf.keys().any(|k| k.ends_with("worker0_idle")), "{pf:?}");
+        // Dual accounting is mode-independent even though wall differs.
+        let pcharged: f64 = pf.values().map(|s| s.units).sum();
+        assert_eq!(pr.work.to_bits(), sr.work.to_bits());
+        assert!((pcharged - charged).abs() < 1e-9);
     }
 
     #[test]

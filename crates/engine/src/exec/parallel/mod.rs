@@ -145,6 +145,9 @@ pub(crate) struct ParRun<'a> {
     pub(crate) ex: &'a Executor<'a>,
     pub(crate) query: &'a SpjQuery,
     pub(crate) threads: usize,
+    /// Whether this query was picked for per-operator profiling detail
+    /// (decided once in `Executor::execute`).
+    detail: bool,
     pub(crate) shared: SharedRun,
     /// Total morsels dispatched, worker busy ns, and pool capacity
     /// (spawned workers × dispatch wall ns) — accumulated across
@@ -157,11 +160,13 @@ pub(crate) struct ParRun<'a> {
 /// Execute `plan` with `threads` workers. Mirrors
 /// [`Executor::exec_node`] exactly: same validation, same intermediates,
 /// same operator events, bit-identical work accounting.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_plan(
     ex: &Executor<'_>,
     query: &SpjQuery,
     plan: &PhysNode,
     threads: usize,
+    detail: bool,
     meter: &mut WorkMeter,
     intermediates: &mut Vec<(TableSet, u64)>,
     events: &mut Vec<OperatorEvent>,
@@ -170,6 +175,7 @@ pub(crate) fn exec_plan(
         ex,
         query,
         threads: threads.max(1),
+        detail,
         shared: SharedRun::new(ex.config.max_work, ex.config.parallel.panic_on_morsel),
         morsels_run: Cell::new(0),
         busy_ns: Cell::new(0),
@@ -190,6 +196,15 @@ impl ParRun<'_> {
         intermediates: &mut Vec<(TableSet, u64)>,
         events: &mut Vec<OperatorEvent>,
     ) -> Result<Relation> {
+        // Same phase-before-recursion structure as the serial
+        // `exec_node`, so serial and parallel runs produce the same
+        // phase tree (morsel/worker frames nested below are extra).
+        let _prof_op = self.detail.then(|| {
+            self.ex.prof.phase_sampled(match node {
+                PhysNode::Scan { .. } => "Scan",
+                PhysNode::Join { algo, .. } => join_label(*algo),
+            })
+        });
         let (rel, op, own_work) = match node {
             PhysNode::Scan { pos } => {
                 let before = meter.work;
@@ -205,6 +220,7 @@ impl ParRun<'_> {
             }
         };
         intermediates.push((rel.tables(), rel.len() as u64));
+        self.ex.prof.charge(own_work);
         if self.ex.obs.is_enabled() {
             events.push(OperatorEvent {
                 op: op.to_string(),
@@ -269,6 +285,29 @@ impl ParRun<'_> {
                 self.ex
                     .obs
                     .observe("lqo.exec.parallel.morsel_ns", ns as f64);
+            }
+        }
+        if self.ex.prof.is_enabled() && self.detail {
+            // Per-morsel and per-worker attribution under the operator
+            // phase that dispatched this pool run (detail-sampled along
+            // with the per-operator phases). Derived from the same
+            // PoolStats that feed the E11 utilization gauge, so the
+            // profiler's busy/idle split and the scaling experiment's
+            // utilization numbers cannot drift apart.
+            self.ex.prof.record_child(
+                "morsel",
+                stats.morsel_ns.len() as u64,
+                stats.morsel_ns.iter().sum(),
+                0.0,
+            );
+            for (i, &busy) in stats.worker_busy_ns.iter().enumerate() {
+                let idle = stats.elapsed_ns.saturating_sub(busy);
+                self.ex
+                    .prof
+                    .record_child(&format!("worker{i}_busy"), 1, busy, 0.0);
+                self.ex
+                    .prof
+                    .record_child(&format!("worker{i}_idle"), 1, idle, 0.0);
             }
         }
     }

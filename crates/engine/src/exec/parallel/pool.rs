@@ -20,6 +20,10 @@ use crate::exec::parallel::morsel::SharedRun;
 pub(crate) struct PoolStats {
     /// Wall-clock nanoseconds of each executed morsel.
     pub(crate) morsel_ns: Vec<u64>,
+    /// Busy nanoseconds of each spawned worker, in spawn order. Sums to
+    /// `busy_ns`; the profiler derives per-worker idle time as
+    /// `elapsed_ns - worker_busy_ns[i]`.
+    pub(crate) worker_busy_ns: Vec<u64>,
     /// Total busy nanoseconds summed over workers.
     pub(crate) busy_ns: u64,
     /// Wall-clock nanoseconds of the whole dispatch.
@@ -109,6 +113,7 @@ where
 
     let mut stats = PoolStats {
         morsel_ns: Vec::with_capacity(morsels.len()),
+        worker_busy_ns: Vec::with_capacity(workers),
         busy_ns: 0,
         elapsed_ns: started.elapsed().as_nanos() as u64,
         workers,
@@ -116,6 +121,7 @@ where
     let mut ordered: Vec<Option<T>> = (0..morsels.len()).map(|_| None).collect();
     for (local, busy) in per_worker {
         stats.busy_ns += busy;
+        stats.worker_busy_ns.push(busy);
         for (idx, value, ns) in local {
             stats.morsel_ns.push(ns);
             ordered[idx] = Some(value);

@@ -296,6 +296,34 @@ impl CardSource for TracingCardSource<'_> {
     }
 }
 
+/// Wraps a [`CardSource`] for the profiler: every lookup bumps the exact
+/// estimator-call counter and runs under a (sampled) `estimate` hot
+/// phase, so inference wall time lands in the phase tree separable from
+/// enumeration and cost-model time.
+pub struct ProfCardSource<'a> {
+    inner: &'a dyn CardSource,
+    prof: &'a lqo_prof::ProfContext,
+}
+
+impl<'a> ProfCardSource<'a> {
+    /// Wrap `inner`, reporting lookups to `prof`.
+    pub fn new(inner: &'a dyn CardSource, prof: &'a lqo_prof::ProfContext) -> ProfCardSource<'a> {
+        ProfCardSource { inner, prof }
+    }
+}
+
+impl CardSource for ProfCardSource<'_> {
+    fn cardinality(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        self.prof.note_estimator_call();
+        let _phase = self.prof.phase_hot("estimate");
+        self.inner.cardinality(query, set)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

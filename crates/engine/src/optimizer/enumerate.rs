@@ -4,11 +4,12 @@
 use std::collections::HashMap;
 
 use lqo_obs::ObsContext;
+use lqo_prof::ProfContext;
 
 use crate::catalog::Catalog;
 use crate::error::{EngineError, Result};
 use crate::exec::workunits::CostParams;
-use crate::optimizer::card_source::{CardSource, TracingCardSource};
+use crate::optimizer::card_source::{CardSource, ProfCardSource, TracingCardSource};
 use crate::optimizer::cost::join_op_cost;
 use crate::optimizer::hints::HintSet;
 use crate::plan::physical::{JoinAlgo, PhysNode};
@@ -115,6 +116,7 @@ pub fn dp_optimize(
         params,
         hints,
         &ObsContext::disabled(),
+        &ProfContext::disabled(),
     )
 }
 
@@ -130,8 +132,17 @@ pub fn dp_optimize_obs(
     params: &CostParams,
     hints: &HintSet,
     obs: &ObsContext,
+    prof: &ProfContext,
 ) -> Result<PlanChoice> {
     let _span = obs.span("plan.dp");
+    let _prof_enum = prof.phase("enumerate");
+    let profiled;
+    let card: &dyn CardSource = if prof.is_enabled() {
+        profiled = ProfCardSource::new(card, prof);
+        &profiled
+    } else {
+        card
+    };
     let traced;
     let card: &dyn CardSource = if obs.is_enabled() {
         traced = TracingCardSource::new(card, obs);
@@ -193,6 +204,9 @@ pub fn dp_optimize_obs(
         let out_rows = card.cardinality(query, set);
         let width = set.len();
         let mut best_here: Option<Entry> = None;
+        // One (sampled) cost phase per subproblem: the partition/algo
+        // search below is pure cost-model arithmetic, no card lookups.
+        let _prof_cost = prof.phase_hot("cost");
         for left in set.proper_subsets() {
             let right = set.minus(left);
             if hints.left_deep_only && right.len() != 1 {
@@ -226,6 +240,7 @@ pub fn dp_optimize_obs(
                 }
             }
         }
+        drop(_prof_cost);
         if let Some(e) = best_here {
             best.insert(set.0, e);
         }
@@ -238,12 +253,26 @@ pub fn dp_optimize_obs(
             cost: e.cost,
         })
         .ok_or_else(|| EngineError::NoPlanFound("DP produced no plan for the full query".into()))?;
-    record_enumeration(obs, "dp", subproblems, cost_evals, choice.cost);
+    record_enumeration(obs, prof, "dp", subproblems, cost_evals, choice.cost);
     Ok(choice)
 }
 
 /// Attach enumeration provenance to the in-flight trace and metrics.
-fn record_enumeration(obs: &ObsContext, algo: &str, subproblems: u64, cost_evals: u64, cost: f64) {
+fn record_enumeration(
+    obs: &ObsContext,
+    prof: &ProfContext,
+    algo: &str,
+    subproblems: u64,
+    cost_evals: u64,
+    cost: f64,
+) {
+    if prof.is_enabled() {
+        // Exact cost-evaluation count as work units on the cost frame
+        // (its wall clock comes from the sampled hot phases); the
+        // caller's `enumerate` phase is still open, so this lands at
+        // `...;enumerate;cost`.
+        prof.record_child("cost", 0, 0, cost_evals as f64);
+    }
     if !obs.is_enabled() {
         return;
     }
@@ -277,6 +306,7 @@ struct EnumCounters {
 /// Best permitted join of two items; cross products always fall back to
 /// nested loops (the only operator that can evaluate them), regardless of
 /// hints, so a plan always exists.
+#[allow(clippy::too_many_arguments)]
 fn best_join(
     query: &SpjQuery,
     card: &dyn CardSource,
@@ -285,11 +315,15 @@ fn best_join(
     left: &Item,
     right: &Item,
     counters: &mut EnumCounters,
+    prof: &ProfContext,
 ) -> (JoinAlgo, f64, f64) {
     counters.subproblems += 1;
     let out_set = left.set.union(right.set);
     let out_rows = card.cardinality(query, out_set);
     let width = out_set.len();
+    // Card lookup above stays outside the (sampled) cost phase, so
+    // estimate and cost time are siblings under `enumerate`.
+    let _prof_cost = prof.phase_hot("cost");
     let has_cond = !query.joins_between(left.set, right.set).is_empty();
     if !has_cond {
         counters.cost_evals += 1;
@@ -349,6 +383,7 @@ pub fn greedy_optimize(
         params,
         hints,
         &ObsContext::disabled(),
+        &ProfContext::disabled(),
     )
 }
 
@@ -365,8 +400,17 @@ pub fn greedy_optimize_obs(
     params: &CostParams,
     hints: &HintSet,
     obs: &ObsContext,
+    prof: &ProfContext,
 ) -> Result<PlanChoice> {
     let _span = obs.span("plan.greedy");
+    let _prof_enum = prof.phase("enumerate");
+    let profiled;
+    let card: &dyn CardSource = if prof.is_enabled() {
+        profiled = ProfCardSource::new(card, prof);
+        &profiled
+    } else {
+        card
+    };
     let traced;
     let card: &dyn CardSource = if obs.is_enabled() {
         traced = TracingCardSource::new(card, obs);
@@ -410,7 +454,7 @@ pub fn greedy_optimize_obs(
             None => next,
             Some(s) => {
                 let (algo, op, rows) =
-                    best_join(query, card, params, &algos, &s, &next, &mut counters);
+                    best_join(query, card, params, &algos, &s, &next, &mut counters, prof);
                 Item {
                     plan: PhysNode::join(algo, s.plan, next.plan),
                     set: s.set.union(next.set),
@@ -440,7 +484,8 @@ pub fn greedy_optimize_obs(
             let mut best_conn = false;
             for (i, it) in items.iter().enumerate() {
                 let conn = graph.has_edge_between(spine.set, it.set);
-                let (_, op, _) = best_join(query, card, params, &algos, &spine, it, &mut counters);
+                let (_, op, _) =
+                    best_join(query, card, params, &algos, &spine, it, &mut counters, prof);
                 // Connected candidates strictly dominate cross products.
                 if (conn, -op) > (best_conn, -best_score) {
                     best_conn = conn;
@@ -449,8 +494,16 @@ pub fn greedy_optimize_obs(
                 }
             }
             let next = items.swap_remove(best_idx);
-            let (algo, op, rows) =
-                best_join(query, card, params, &algos, &spine, &next, &mut counters);
+            let (algo, op, rows) = best_join(
+                query,
+                card,
+                params,
+                &algos,
+                &spine,
+                &next,
+                &mut counters,
+                prof,
+            );
             spine = Item {
                 plan: PhysNode::join(algo, spine.plan, next.plan),
                 set: spine.set.union(next.set),
@@ -460,6 +513,7 @@ pub fn greedy_optimize_obs(
         }
         record_enumeration(
             obs,
+            prof,
             "greedy",
             counters.subproblems,
             counters.cost_evals,
@@ -490,6 +544,7 @@ pub fn greedy_optimize_obs(
                     &items[i],
                     &items[j],
                     &mut counters,
+                    prof,
                 );
                 if (conn, -op) > (best_conn, -best_op) {
                     best_conn = conn;
@@ -505,7 +560,7 @@ pub fn greedy_optimize_obs(
         // `right`/`left` may be swapped relative to best_pair orientation;
         // re-derive the actual orientation.
         let (l, r) = if i < j { (left, right) } else { (right, left) };
-        let (algo, op, rows) = best_join(query, card, params, &algos, &l, &r, &mut counters);
+        let (algo, op, rows) = best_join(query, card, params, &algos, &l, &r, &mut counters, prof);
         items.push(Item {
             plan: PhysNode::join(algo, l.plan, r.plan),
             set: l.set.union(r.set),
@@ -516,6 +571,7 @@ pub fn greedy_optimize_obs(
     let final_item = items.pop().unwrap();
     record_enumeration(
         obs,
+        prof,
         "greedy",
         counters.subproblems,
         counters.cost_evals,
@@ -730,6 +786,33 @@ mod tests {
         };
         assert!(dp_optimize(&q, &g, &c, &trad, &CostParams::default(), &hints).is_err());
         assert!(greedy_optimize(&q, &g, &c, &trad, &CostParams::default(), &hints).is_err());
+    }
+
+    #[test]
+    fn profiler_phases_cover_enumeration() {
+        let (c, q) = setup();
+        let (trad, _) = sources(&c);
+        let prof = ProfContext::enabled();
+        let opt = crate::optimizer::Optimizer::with_defaults(&c).with_prof(prof.clone());
+        let choice = opt.optimize(&q, &trad, &HintSet::default()).unwrap();
+        assert!(choice.cost.is_finite());
+        let total = prof.total();
+        assert!(total.frames.contains_key("enumerate"), "{total:?}");
+        assert!(total.frames.contains_key("enumerate;estimate"));
+        assert!(total.frames.contains_key("enumerate;cost"));
+        assert!(prof.estimator_calls() > 0);
+        // Cost frame carries the exact cost-evaluation count as units.
+        assert!(total.frames["enumerate;cost"].units > 0.0);
+        // Per-query estimator-call delta is exposed on the profile.
+        let prof2 = ProfContext::enabled();
+        let opt2 = crate::optimizer::Optimizer::with_defaults(&c).with_prof(prof2.clone());
+        prof2.begin_query("q");
+        opt2.optimize(&q, &trad, &HintSet::default()).unwrap();
+        let qp = prof2.end_query().unwrap();
+        assert_eq!(
+            qp.counters[lqo_prof::CTR_ESTIMATOR_CALLS],
+            prof2.estimator_calls()
+        );
     }
 
     #[test]

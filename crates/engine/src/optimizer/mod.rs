@@ -13,6 +13,7 @@ pub mod enumerate;
 pub mod hints;
 
 use lqo_obs::ObsContext;
+use lqo_prof::ProfContext;
 
 use crate::catalog::Catalog;
 use crate::error::Result;
@@ -22,8 +23,8 @@ use crate::query::join_graph::JoinGraph;
 use crate::query::spj::SpjQuery;
 
 pub use card_source::{
-    CardSource, InjectedCardSource, ScaledCardSource, TracingCardSource, TraditionalCardSource,
-    TrueCardSource,
+    CardSource, InjectedCardSource, ProfCardSource, ScaledCardSource, TracingCardSource,
+    TraditionalCardSource, TrueCardSource,
 };
 pub use cost::plan_cost;
 pub use enumerate::{
@@ -36,6 +37,7 @@ pub struct Optimizer<'a> {
     catalog: &'a Catalog,
     params: CostParams,
     obs: ObsContext,
+    prof: ProfContext,
 }
 
 impl<'a> Optimizer<'a> {
@@ -45,6 +47,7 @@ impl<'a> Optimizer<'a> {
             catalog,
             params,
             obs: ObsContext::disabled(),
+            prof: ProfContext::disabled(),
         }
     }
 
@@ -58,6 +61,16 @@ impl<'a> Optimizer<'a> {
     /// the context's current query trace.
     pub fn with_obs(mut self, obs: ObsContext) -> Optimizer<'a> {
         self.obs = obs;
+        self
+    }
+
+    /// Attach a profiling context; enumeration runs under an
+    /// `enumerate` phase with nested `estimate` (per card lookup,
+    /// sampled) and `cost` (per subproblem, sampled) hot phases, and
+    /// every lookup reaching the cardinality source bumps the exact
+    /// estimator-call counter.
+    pub fn with_prof(mut self, prof: ProfContext) -> Optimizer<'a> {
+        self.prof = prof;
         self
     }
 
@@ -92,6 +105,7 @@ impl<'a> Optimizer<'a> {
                 &self.params,
                 hints,
                 &self.obs,
+                &self.prof,
             )
         } else {
             greedy_optimize_obs(
@@ -102,6 +116,7 @@ impl<'a> Optimizer<'a> {
                 &self.params,
                 hints,
                 &self.obs,
+                &self.prof,
             )
         }
     }
@@ -127,6 +142,7 @@ impl<'a> Optimizer<'a> {
             &self.params,
             hints,
             &self.obs,
+            &self.prof,
         )
     }
 

@@ -6,6 +6,13 @@
 
 use crate::json::{parse, Value};
 use crate::metrics::{Histogram, MetricsSnapshot};
+
+/// Schema version stamped on every exported trace line and metrics
+/// snapshot. Bump when a field changes meaning or is removed; adding
+/// optional fields does not require a bump. Readers accept absent
+/// versions (pre-versioning exports) and any version up to this one.
+/// The full schema registry lives in DESIGN.md §13.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
 use crate::trace::{
     CacheEvent, CardLookup, ExecTrace, GuardEvent, OperatorEvent, PhaseTiming, PlannerTrace,
     QueryOutcome, QueryTrace,
@@ -111,6 +118,7 @@ pub fn trace_to_json(t: &QueryTrace) -> Value {
         None => Value::Null,
     };
     Value::Obj(vec![
+        ("schema_version".into(), u64_value(TRACE_SCHEMA_VERSION)),
         ("query".into(), Value::Str(t.query.clone())),
         ("driver".into(), opt_str(&t.driver)),
         (
@@ -137,8 +145,15 @@ fn opt_str_field(v: &Value, key: &str) -> Option<String> {
     v.get(key).and_then(Value::as_str).map(str::to_string)
 }
 
-/// Decode one trace from a JSON object; `None` on any shape mismatch.
+/// Decode one trace from a JSON object; `None` on any shape mismatch or
+/// on a schema version newer than this reader understands. Absent
+/// versions (pre-versioning exports) are accepted.
 pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
+    if let Some(ver) = v.get("schema_version").and_then(Value::as_u64) {
+        if ver > TRACE_SCHEMA_VERSION {
+            return None;
+        }
+    }
     let phases = v
         .get("phases")?
         .as_arr()?
@@ -281,6 +296,7 @@ pub fn histogram_to_json(h: &Histogram) -> Value {
 /// via [`histogram_to_json`].
 pub fn snapshot_to_json(snap: &MetricsSnapshot) -> Value {
     Value::Obj(vec![
+        ("schema_version".into(), u64_value(TRACE_SCHEMA_VERSION)),
         (
             "counters".into(),
             Value::Obj(
@@ -459,6 +475,32 @@ mod tests {
         let back = trace_from_json(&parse(&text).unwrap()).unwrap();
         with.cache.clear();
         assert_eq!(back, with);
+    }
+
+    #[test]
+    fn schema_version_stamped_and_gated() {
+        let t = sample_trace();
+        let v = trace_to_json(&t);
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(TRACE_SCHEMA_VERSION)
+        );
+        // Unversioned (legacy) lines still parse; future versions do not.
+        let text = v.to_compact();
+        let legacy = text.replace(&format!("\"schema_version\":{TRACE_SCHEMA_VERSION},"), "");
+        assert!(!legacy.contains("schema_version"));
+        assert_eq!(trace_from_json(&parse(&legacy).unwrap()).unwrap(), t);
+        let future = text.replace(
+            &format!("\"schema_version\":{TRACE_SCHEMA_VERSION},"),
+            &format!("\"schema_version\":{},", TRACE_SCHEMA_VERSION + 1),
+        );
+        assert!(trace_from_json(&parse(&future).unwrap()).is_none());
+        // Metrics snapshots carry the same stamp.
+        let snap = snapshot_to_json(&crate::metrics::MetricsRegistry::new().snapshot());
+        assert_eq!(
+            snap.get("schema_version").unwrap().as_u64(),
+            Some(TRACE_SCHEMA_VERSION)
+        );
     }
 
     #[test]

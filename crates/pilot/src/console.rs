@@ -13,6 +13,7 @@ use lqo_guard::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 use lqo_obs::trace::GuardEvent;
 use lqo_obs::trace::QueryOutcome;
 use lqo_obs::ObsContext;
+use lqo_prof::ProfContext;
 use lqo_watch::ModelHealthMonitor;
 use serde::Serialize;
 
@@ -43,6 +44,7 @@ pub struct PilotConsole {
     session: SessionId,
     executed: usize,
     obs: ObsContext,
+    prof: ProfContext,
     /// One circuit breaker per driver; a driver whose `algo` keeps
     /// panicking, erroring, or blowing the deadline is cut off and its
     /// queries delegate to the plain database until a probe succeeds.
@@ -70,6 +72,7 @@ impl PilotConsole {
             session,
             executed: 0,
             obs: ObsContext::disabled(),
+            prof: ProfContext::disabled(),
             breakers: HashMap::new(),
             breaker_cfg: BreakerConfig::default(),
             decision_deadline: Some(Duration::from_millis(250)),
@@ -163,6 +166,21 @@ impl PilotConsole {
         &self.obs
     }
 
+    /// Attach a profiling context: each `execute_sql` call becomes one
+    /// query profile (parse/decide/plan/execute phase timings with
+    /// per-operator and per-morsel attribution, work-unit charges, and
+    /// plan-cache / guard counters), propagated down to the interactor's
+    /// optimizer and executor like [`PilotConsole::with_obs`].
+    pub fn with_prof(self, prof: ProfContext) -> PilotConsole {
+        self.interactor.attach_prof(&prof);
+        PilotConsole { prof, ..self }
+    }
+
+    /// The console's profiling context.
+    pub fn prof(&self) -> &ProfContext {
+        &self.prof
+    }
+
     /// Register a driver under its own name, calling its `init`.
     pub fn register_driver(&mut self, mut driver: Box<dyn Driver>) -> Result<()> {
         driver.init(self.interactor.as_ref(), self.session)?;
@@ -195,10 +213,27 @@ impl PilotConsole {
     /// execution feedback is delivered back to it for training.
     pub fn execute_sql(&mut self, sql: &str) -> Result<ExecOutcome> {
         self.obs.begin_query(sql);
-        let query = self.obs.phase("parse", || parse_query(sql))?;
+        self.prof.begin_query(sql);
+        let query = {
+            let _prof_parse = self.prof.phase("parse");
+            self.obs.phase("parse", || parse_query(sql))
+        };
+        let query = match query {
+            Ok(q) => q,
+            Err(e) => {
+                self.finish_query();
+                return Err(e);
+            }
+        };
         let mut decision_latency = None;
         let decision = match self.active.clone() {
-            Some(name) => self.guarded_decision(&name, &query, &mut decision_latency),
+            Some(name) => {
+                // The driver's decision is where learned-model inference
+                // happens: a separate phase keeps its cost apart from
+                // plan/execute time in the profile.
+                let _prof_decide = self.prof.phase("decide");
+                self.guarded_decision(&name, &query, &mut decision_latency)
+            }
             None => DriverDecision::Delegate,
         };
         if self.obs.is_enabled() {
@@ -276,8 +311,8 @@ impl PilotConsole {
                 });
                 t.join_estimates();
             });
-            self.finish_query();
         }
+        self.finish_query();
         Ok(ExecOutcome {
             count,
             work,
@@ -287,9 +322,10 @@ impl PilotConsole {
         })
     }
 
-    /// Finalize the in-flight trace, feed it to the health monitor, and
-    /// relay confirmed drift verdicts to the cache.
+    /// Finalize the in-flight trace and profile, feed the trace to the
+    /// health monitor, and relay confirmed drift verdicts to the cache.
     fn finish_query(&self) {
+        self.prof.end_query();
         let trace = self.obs.end_query();
         if let (Some(watch), Some(trace)) = (&self.watch, trace) {
             watch.ingest_trace(&trace, None);
@@ -327,6 +363,7 @@ impl PilotConsole {
                 watch.record_breaker(&format!("driver:{name}"), s.state.code(), s.opens);
             }
             self.obs.count("lqo.guard.skips", 1);
+            self.prof.bump("guard_breaker_skips", 1);
             self.obs.with_query(|t| {
                 t.guard.push(GuardEvent {
                     component: format!("driver:{name}"),
@@ -358,11 +395,13 @@ impl PilotConsole {
                     *latency = Some(elapsed);
                     return decision;
                 }
+                self.prof.bump("guard_deadlines", 1);
                 "deadline".to_string()
             }
             Ok(Err(e)) => e.to_string(),
             Err(_) => "panic".to_string(),
         };
+        self.prof.bump("guard_faults", 1);
         let was_open = breaker.state() == BreakerState::Open;
         breaker.record_failure();
         let state = breaker.state();
@@ -717,6 +756,38 @@ mod tests {
         assert!(cache.stats().plan_invalidations >= 1, "{:?}", cache.stats());
         let snap = obs.metrics().unwrap().snapshot();
         assert_eq!(snap.counter("lqo.cache.breaker_invalidations"), Some(1));
+    }
+
+    #[test]
+    fn profiler_threads_through_console_phases_and_cache_counters() {
+        let (console_, _) = console();
+        let prof = ProfContext::enabled();
+        let cache = Arc::new(LqoCache::default());
+        let mut console_ = console_.with_cache(cache).with_prof(prof.clone());
+        for _ in 0..3 {
+            console_.execute_sql(SQL).unwrap();
+        }
+        // One profile per query, and the hierarchical phase tree covers
+        // the whole pipeline: parse, plan (with enumeration and estimator
+        // attribution nested under it), and execution.
+        let profiles = prof.take_finished();
+        assert_eq!(profiles.len(), 3);
+        let total = prof.total();
+        for path in [
+            "parse",
+            "plan",
+            "plan;enumerate",
+            "plan;enumerate;estimate",
+            "execute",
+        ] {
+            assert!(total.frames.contains_key(path), "missing frame {path}");
+        }
+        // The plan cache served the two repeats; the profiler's exact
+        // counters separate that from genuine optimizations.
+        let counters = prof.counters();
+        assert_eq!(counters.get("plan_cache_misses"), Some(&1));
+        assert_eq!(counters.get("plan_cache_hits"), Some(&2));
+        assert!(prof.estimator_calls() > 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use lqo_engine::{
     SpjQuery, TraditionalCardSource, TrueCardOracle,
 };
 use lqo_obs::ObsContext;
+use lqo_prof::ProfContext;
 
 use crate::interactor::{DbInteractor, PullReply, PullRequest, PushAction, SessionId};
 
@@ -37,6 +38,7 @@ pub struct EngineInteractor {
     sessions: Mutex<HashMap<SessionId, SessionState>>,
     next_session: AtomicU64,
     obs: Mutex<ObsContext>,
+    prof: Mutex<ProfContext>,
     exec_mode: Mutex<ExecMode>,
     cache: Mutex<Option<Arc<LqoCache>>>,
     /// Work budget per execution (timeout stand-in).
@@ -58,6 +60,7 @@ impl EngineInteractor {
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             obs: Mutex::new(ObsContext::disabled()),
+            prof: Mutex::new(ProfContext::disabled()),
             exec_mode: Mutex::new(ExecMode::Serial),
             cache: Mutex::new(None),
             max_work: Some(1e10),
@@ -66,6 +69,10 @@ impl EngineInteractor {
 
     fn obs(&self) -> ObsContext {
         self.obs.lock().clone()
+    }
+
+    fn prof(&self) -> ProfContext {
+        self.prof.lock().clone()
     }
 
     /// The currently selected execution mode.
@@ -127,7 +134,11 @@ impl EngineInteractor {
         hints: &HintSet,
         obs: &ObsContext,
     ) -> Result<(PhysNode, f64)> {
-        let optimizer = Optimizer::with_defaults(&self.catalog).with_obs(obs.clone());
+        let prof = self.prof();
+        let _prof_plan = prof.phase("plan");
+        let optimizer = Optimizer::with_defaults(&self.catalog)
+            .with_obs(obs.clone())
+            .with_prof(prof.clone());
         let Some(cache) = self.cache.lock().clone() else {
             let choice = optimizer.optimize(query, card.as_ref(), hints)?;
             return Ok((choice.plan, choice.cost));
@@ -139,6 +150,7 @@ impl EngineInteractor {
         // set-bit keys are sound.
         if self.session_steered(session)? {
             cache.plan_bypass("steered");
+            prof.bump("plan_cache_bypasses", 1);
             let memo = OptMemo::new(card.as_ref());
             let choice = optimizer.optimize(query, &memo, hints)?;
             return Ok((choice.plan, choice.cost));
@@ -146,8 +158,10 @@ impl EngineInteractor {
         let source = self.base_card.name().to_string();
         let key = plan_key(query, &hints.label(), &source);
         if let Some(hit) = cache.plan_lookup(&key) {
+            prof.bump("plan_cache_hits", 1);
             return Ok((hit.plan, hit.cost));
         }
+        prof.bump("plan_cache_misses", 1);
         let memo = OptMemo::new(card.as_ref());
         let choice = optimizer.optimize(query, &memo, hints)?;
         cache.plan_store(
@@ -222,7 +236,8 @@ impl DbInteractor for EngineInteractor {
                         ..Default::default()
                     },
                 )
-                .with_obs(self.obs());
+                .with_obs(self.obs())
+                .with_prof(self.prof());
                 let result = executor.execute(&query, &plan)?;
                 Ok(PullReply::Execution {
                     count: result.count,
@@ -244,6 +259,10 @@ impl DbInteractor for EngineInteractor {
 
     fn attach_obs(&self, obs: &ObsContext) {
         *self.obs.lock() = obs.clone();
+    }
+
+    fn attach_prof(&self, prof: &ProfContext) {
+        *self.prof.lock() = prof.clone();
     }
 
     fn set_exec_mode(&self, mode: ExecMode) {

@@ -6,6 +6,7 @@ use std::time::Duration;
 use lqo_cache::LqoCache;
 use lqo_engine::{ExecMode, HintSet, PhysNode, Result, SpjQuery, TableSet};
 use lqo_obs::ObsContext;
+use lqo_prof::ProfContext;
 
 /// Identifier of one interaction session (one "database connection").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -102,6 +103,14 @@ pub trait DbInteractor: Send + Sync {
     /// learned-component feedback signals. Default: ignored, so
     /// interactors without a parallel engine keep working unchanged.
     fn set_exec_mode(&self, _mode: ExecMode) {}
+
+    /// Attach a profiling context: subsequent planning and execution
+    /// record hierarchical phase timings (plan → enumerate → estimate →
+    /// cost, execute → per-operator) and work-unit charges to it, and
+    /// plan-cache hits/misses/bypasses land on its exact counters.
+    /// Default: ignored, so interactors without a profiler keep working
+    /// unchanged.
+    fn attach_prof(&self, _prof: &ProfContext) {}
 
     /// Attach a shared plan & inference cache: subsequent planning may
     /// memoize cardinality lookups across queries and reuse previously

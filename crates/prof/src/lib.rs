@@ -1,0 +1,708 @@
+//! # lqo-prof — low-overhead hierarchical profiling
+//!
+//! A profiling layer built on the same handle pattern as
+//! [`lqo_obs::ObsContext`]: a [`ProfContext`] is an `Option<Arc>` —
+//! disabled contexts carry no allocation and every recording call
+//! returns after one branch — threaded through the stack with
+//! `with_prof` builders that mirror `with_obs`/`with_watch`/`with_cache`.
+//!
+//! What it adds over plain obs spans:
+//!
+//! * **Hierarchical phase paths.** Nested [`ProfContext::phase`] calls
+//!   build `;`-joined paths (`plan;enumerate;estimate`) on a
+//!   thread-local stack, aggregated into a [`Profile`] — both per query
+//!   and cumulatively. When the context was built over an enabled
+//!   [`ObsContext`], every recorded phase also opens an obs span, so
+//!   profiler phases nest under the existing span tree.
+//! * **Dual accounting.** Each frame carries wall-clock *and*
+//!   deterministic work units ([`ProfContext::charge`]), plus exact
+//!   event counters ([`ProfContext::bump`]), so learned-inference
+//!   overhead (model calls, cache hits/misses, guard deadlines) is
+//!   separable from execution cost — and the unit columns are
+//!   machine-independent, which is what the perf-baseline comparator
+//!   keys its noise-free checks on.
+//! * **A sampling mode.** High-frequency leaves (per-estimate, per-cost
+//!   evaluation) go through [`ProfContext::phase_hot`]: with
+//!   `sample_every = n`, only every n-th entry is timed (weighted by
+//!   `n` so call counts stay unbiased) and the rest cost one relaxed
+//!   atomic increment. Whole detail *subtrees* (the executor's
+//!   per-operator phases) are gated per query through
+//!   [`ProfContext::sample_detail`] + [`ProfContext::phase_sampled`].
+//!   Phase names are `&'static str` and charges accumulate lock-free on
+//!   the thread-local phase stack, so an unsampled query pays a handful
+//!   of atomic ops. The `<2%` overhead bound is asserted by
+//!   `crates/testkit/tests/prof_overhead.rs`.
+//! * **Folded-stack export** ([`Profile::to_folded`]) in the flamegraph
+//!   format, and an ANSI "top phases" report ([`report::render_top`]).
+//!
+//! Unclosed phases never panic: `end_query` drains whatever is left on
+//! the stack and marks the profile ([`QueryProfile::unclosed`]).
+
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod report;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use lqo_obs::span::SpanGuard;
+use lqo_obs::ObsContext;
+
+pub use profile::{parse_folded, PhaseStat, Profile, QueryProfile, PATH_SEP};
+pub use report::render_top;
+
+/// Counter name for calls reaching a base cardinality estimator.
+pub const CTR_ESTIMATOR_CALLS: &str = "estimator_calls";
+
+/// Profiler configuration.
+#[derive(Debug, Clone)]
+pub struct ProfConfig {
+    /// Sampling stride for [`ProfContext::phase_hot`]: 1 = time every
+    /// entry (exact), n > 1 = time one entry in n and weight it by n.
+    /// [`ProfContext::phase`] is always exact regardless of this.
+    pub sample_every: u64,
+}
+
+impl Default for ProfConfig {
+    fn default() -> ProfConfig {
+        ProfConfig { sample_every: 1 }
+    }
+}
+
+impl ProfConfig {
+    /// The serving-friendly sampling configuration (stride 64) whose
+    /// overhead the testkit bounds below 2%.
+    pub fn sampling() -> ProfConfig {
+        ProfConfig { sample_every: 64 }
+    }
+}
+
+/// One open phase on a thread's stack. Phase names are `&'static str`
+/// so opening a phase never allocates; [`ProfContext::charge`] deposits
+/// units here (thread-local, lock-free) and they are committed together
+/// with the timing when the phase closes.
+struct OpenPhase {
+    /// Context identity (`Arc::as_ptr`), so two contexts profiling on
+    /// one thread do not cross-parent (same pattern as the obs tracer's
+    /// span stack).
+    key: usize,
+    /// Guard token tying this entry to its [`ProfPhase`].
+    token: u64,
+    name: &'static str,
+    /// Work units charged while this phase was innermost.
+    units: f64,
+}
+
+thread_local! {
+    /// Open-phase stack of this thread, across all contexts.
+    static PHASE_STACK: RefCell<Vec<OpenPhase>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ProfState {
+    /// Cumulative profile across all queries (and outside queries).
+    total: Profile,
+    /// The query being profiled, if any.
+    current: Option<QueryProfile>,
+    /// Completed per-query profiles, in completion order.
+    finished: Vec<QueryProfile>,
+    /// Cumulative exact event counters.
+    counters: std::collections::BTreeMap<String, u64>,
+    /// `estimator_calls` atomic value when the current query began.
+    est_at_begin: u64,
+}
+
+struct ProfInner {
+    config: ProfConfig,
+    /// Entry ticker for `phase_hot` sampling decisions.
+    ticks: AtomicU64,
+    /// Decision ticker for `sample_detail` (kept separate from `ticks`
+    /// so per-entry and per-query sampling strides stay independent).
+    detail_ticks: AtomicU64,
+    /// Guard-token source (tokens tie stack entries to their guards).
+    tokens: AtomicU64,
+    /// Dedicated hot counter: calls reaching a base estimator.
+    estimator_calls: AtomicU64,
+    /// Span mirror: recorded phases also open spans here.
+    obs: ObsContext,
+    state: Mutex<ProfState>,
+}
+
+/// Shared handle to one profiling session. Cheap to clone; a disabled
+/// context is a `None` and every operation returns immediately.
+#[derive(Clone, Default)]
+pub struct ProfContext {
+    inner: Option<Arc<ProfInner>>,
+}
+
+impl ProfContext {
+    /// An enabled context with the given configuration, mirroring
+    /// recorded phases as spans on `obs` (pass
+    /// [`ObsContext::disabled`] for no mirroring).
+    pub fn new(config: ProfConfig, obs: ObsContext) -> ProfContext {
+        let config = ProfConfig {
+            sample_every: config.sample_every.max(1),
+        };
+        ProfContext {
+            inner: Some(Arc::new(ProfInner {
+                config,
+                ticks: AtomicU64::new(0),
+                detail_ticks: AtomicU64::new(0),
+                tokens: AtomicU64::new(0),
+                estimator_calls: AtomicU64::new(0),
+                obs,
+                state: Mutex::new(ProfState {
+                    total: Profile::new(),
+                    current: None,
+                    finished: Vec::new(),
+                    counters: std::collections::BTreeMap::new(),
+                    est_at_begin: 0,
+                }),
+            })),
+        }
+    }
+
+    /// An enabled, exact (stride-1) context without span mirroring.
+    pub fn enabled() -> ProfContext {
+        ProfContext::new(ProfConfig::default(), ObsContext::disabled())
+    }
+
+    /// An enabled context in sampling mode (stride `n`, clamped to ≥1).
+    pub fn sampling(n: u64) -> ProfContext {
+        ProfContext::new(ProfConfig { sample_every: n }, ObsContext::disabled())
+    }
+
+    /// The no-op context.
+    pub fn disabled() -> ProfContext {
+        ProfContext { inner: None }
+    }
+
+    /// Whether this context records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The configured sampling stride (1 when disabled).
+    pub fn sample_every(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(1, |inner| inner.config.sample_every)
+    }
+
+    fn key(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| Arc::as_ptr(inner) as usize)
+    }
+
+    /// Open a phase; it closes (timed and attributed to the current
+    /// path) when the guard drops. Always exact — use for per-query
+    /// structure (parse/plan/execute). Names are `&'static str` so
+    /// opening never allocates.
+    pub fn phase(&self, name: &'static str) -> ProfPhase {
+        match &self.inner {
+            None => ProfPhase::noop(),
+            Some(inner) => self.open(inner, name, 1),
+        }
+    }
+
+    /// Open a *hot* phase: with sampling stride n, one entry in n is
+    /// timed (weighted by n); the rest cost one atomic increment and
+    /// are not pushed on the path stack, so hot phases must be leaves.
+    pub fn phase_hot(&self, name: &'static str) -> ProfPhase {
+        match &self.inner {
+            None => ProfPhase::noop(),
+            Some(inner) => {
+                let every = inner.config.sample_every;
+                if every > 1 {
+                    let tick = inner.ticks.fetch_add(1, Ordering::Relaxed);
+                    if tick % every != 0 {
+                        return ProfPhase::noop();
+                    }
+                }
+                self.open(inner, name, every)
+            }
+        }
+    }
+
+    /// One detail-sampling decision: always true at stride 1, true one
+    /// call in `sample_every` in sampling mode, false when disabled.
+    /// Callers that would open many exact phases per query (the
+    /// per-operator plan tree) ask once per query and skip the whole
+    /// subtree on unsampled queries, pairing the sampled ones with
+    /// [`ProfContext::phase_sampled`] so call counts stay unbiased.
+    pub fn sample_detail(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                let every = inner.config.sample_every;
+                every <= 1 || inner.detail_ticks.fetch_add(1, Ordering::Relaxed) % every == 0
+            }
+        }
+    }
+
+    /// Open an exact-timed phase whose call count carries the sampling
+    /// stride as weight — the companion of
+    /// [`ProfContext::sample_detail`]: a detail subtree recorded on one
+    /// query in n counts n entries per phase.
+    pub fn phase_sampled(&self, name: &'static str) -> ProfPhase {
+        match &self.inner {
+            None => ProfPhase::noop(),
+            Some(inner) => self.open(inner, name, inner.config.sample_every),
+        }
+    }
+
+    fn open(&self, inner: &Arc<ProfInner>, name: &'static str, weight: u64) -> ProfPhase {
+        let token = inner.tokens.fetch_add(1, Ordering::Relaxed);
+        let key = Arc::as_ptr(inner) as usize;
+        PHASE_STACK.with(|s| {
+            s.borrow_mut().push(OpenPhase {
+                key,
+                token,
+                name,
+                units: 0.0,
+            })
+        });
+        ProfPhase {
+            ctx: Some(inner.clone()),
+            token,
+            weight,
+            start: Instant::now(),
+            _span: inner.obs.span(name),
+        }
+    }
+
+    /// The `;`-joined path of currently open phases of this context on
+    /// this thread (empty when none).
+    pub fn current_path(&self) -> String {
+        let key = self.key();
+        PHASE_STACK.with(|s| {
+            let stack = s.borrow();
+            let mut path = String::new();
+            for p in stack.iter() {
+                if p.key == key {
+                    if !path.is_empty() {
+                        path.push(PATH_SEP);
+                    }
+                    path.push_str(p.name);
+                }
+            }
+            path
+        })
+    }
+
+    /// Charge deterministic work units to the innermost open phase of
+    /// this thread (or to the `(root)` frame when none is open).
+    /// Charges are exact — never sampled away. They accumulate
+    /// lock-free on the thread-local stack entry and are committed when
+    /// the phase closes, so [`ProfContext::total`] sees them once the
+    /// carrying phase has ended.
+    pub fn charge(&self, units: f64) {
+        if let Some(inner) = &self.inner {
+            let key = Arc::as_ptr(inner) as usize;
+            let deferred = PHASE_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                match stack.iter_mut().rev().find(|p| p.key == key) {
+                    Some(p) => {
+                        p.units += units;
+                        true
+                    }
+                    None => false,
+                }
+            });
+            if !deferred {
+                let mut state = inner.state.lock();
+                state.total.charge("(root)", units);
+                if let Some(q) = state.current.as_mut() {
+                    q.profile.charge("(root)", units);
+                }
+            }
+        }
+    }
+
+    /// Record a completed child phase under the current path without
+    /// opening a guard — how coordinators attribute work measured
+    /// elsewhere (per-morsel and per-worker busy/idle times come from
+    /// the pool's stats, not from guards on worker threads).
+    pub fn record_child(&self, name: &str, calls: u64, wall_ns: u64, units: f64) {
+        if self.inner.is_some() {
+            let parent = self.current_path();
+            let path = if parent.is_empty() {
+                name.to_string()
+            } else {
+                format!("{parent}{PATH_SEP}{name}")
+            };
+            self.record_at(&path, calls, wall_ns, units);
+        }
+    }
+
+    /// Record a completed phase at an absolute path. `calls` entries,
+    /// all counted as sampled, `wall_ns` total. Deterministic input →
+    /// deterministic profile, which is what the folded-stack golden
+    /// test is built on.
+    pub fn record_at(&self, path: &str, calls: u64, wall_ns: u64, units: f64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock();
+            state.total.add(path, calls, calls, wall_ns, units);
+            if let Some(q) = state.current.as_mut() {
+                q.profile.add(path, calls, calls, wall_ns, units);
+            }
+        }
+    }
+
+    /// Add `delta` to the named exact event counter (cumulative and,
+    /// when a query is active, per-query).
+    pub fn bump(&self, counter: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock();
+            *state.counters.entry(counter.to_string()).or_default() += delta;
+            if let Some(q) = state.current.as_mut() {
+                *q.counters.entry(counter.to_string()).or_default() += delta;
+            }
+        }
+    }
+
+    /// Count one call reaching a base cardinality estimator. Kept on a
+    /// dedicated atomic (not the counter map) because it sits on the
+    /// planning hot path; per-query deltas land in the query profile's
+    /// counters at `end_query`.
+    pub fn note_estimator_call(&self) {
+        if let Some(inner) = &self.inner {
+            inner.estimator_calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total base-estimator calls recorded so far.
+    pub fn estimator_calls(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.estimator_calls.load(Ordering::Relaxed))
+    }
+
+    /// Start profiling a query. A still-open previous query is finished
+    /// first (and lands in the finished log), so a panicking caller
+    /// cannot lose it.
+    pub fn begin_query(&self, query: &str) {
+        if let Some(inner) = &self.inner {
+            let est_now = inner.estimator_calls.load(Ordering::Relaxed);
+            let mut state = inner.state.lock();
+            if state.current.is_some() {
+                drop(state);
+                self.end_query();
+                state = inner.state.lock();
+            }
+            state.est_at_begin = est_now;
+            state.current = Some(QueryProfile {
+                query: query.to_string(),
+                ..QueryProfile::default()
+            });
+        }
+    }
+
+    /// Finish the current query profile and move it to the finished
+    /// log; returns a clone. Phases of this context still open on this
+    /// thread are drained (not timed) and counted in
+    /// [`QueryProfile::unclosed`] — never a panic.
+    pub fn end_query(&self) -> Option<QueryProfile> {
+        let inner = self.inner.as_deref()?;
+        let key = self.key();
+        // Drain leftover open phases of this context from this thread's
+        // stack. Their guards, if dropped later, find their token gone
+        // and record nothing.
+        let leaked: Vec<(&'static str, f64)> = PHASE_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let mut drained = Vec::new();
+            stack.retain(|p| {
+                if p.key == key {
+                    drained.push((p.name, p.units));
+                    false
+                } else {
+                    true
+                }
+            });
+            drained
+        });
+        let est_now = inner.estimator_calls.load(Ordering::Relaxed);
+        let mut state = inner.state.lock();
+        let mut q = state.current.take()?;
+        q.unclosed += leaked.len() as u64;
+        for (name, units) in &leaked {
+            // Keep the frame visible in the tree, marked, untimed. Units
+            // pending on the drained entry are conserved (charges are
+            // exact even across a leak).
+            let path = format!("(unclosed){PATH_SEP}{name}");
+            q.profile.add(&path, 1, 0, 0, *units);
+            if *units != 0.0 {
+                state.total.add(&path, 0, 0, 0, *units);
+            }
+        }
+        let est_delta = est_now - state.est_at_begin;
+        if est_delta > 0 {
+            *q.counters
+                .entry(CTR_ESTIMATOR_CALLS.to_string())
+                .or_default() += est_delta;
+        }
+        state.finished.push(q.clone());
+        Some(q)
+    }
+
+    /// The cumulative profile across everything recorded so far.
+    pub fn total(&self) -> Profile {
+        match &self.inner {
+            Some(inner) => inner.state.lock().total.clone(),
+            None => Profile::new(),
+        }
+    }
+
+    /// Cumulative exact event counters (the dedicated estimator-call
+    /// atomic is folded in under [`CTR_ESTIMATOR_CALLS`]).
+    pub fn counters(&self) -> std::collections::BTreeMap<String, u64> {
+        match &self.inner {
+            Some(inner) => {
+                let mut map = inner.state.lock().counters.clone();
+                let est = inner.estimator_calls.load(Ordering::Relaxed);
+                if est > 0 {
+                    *map.entry(CTR_ESTIMATOR_CALLS.to_string()).or_default() += est;
+                }
+                map
+            }
+            None => std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// All finished per-query profiles so far (clones; the log is kept).
+    pub fn finished(&self) -> Vec<QueryProfile> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().finished.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drain the finished-profile log.
+    pub fn take_finished(&self) -> Vec<QueryProfile> {
+        match &self.inner {
+            Some(inner) => std::mem::take(&mut inner.state.lock().finished),
+            None => Vec::new(),
+        }
+    }
+}
+
+fn close_phase(inner: &Arc<ProfInner>, token: u64, weight: u64, elapsed_ns: u64) {
+    let key = Arc::as_ptr(inner) as usize;
+    let closed = PHASE_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        // Drained by end_query → the token is gone → record nothing.
+        let pos = stack
+            .iter()
+            .rposition(|p| p.key == key && p.token == token)?;
+        let own = stack.remove(pos);
+        let mut path = String::new();
+        for p in stack[..pos].iter() {
+            if p.key == key {
+                path.push_str(p.name);
+                path.push(PATH_SEP);
+            }
+        }
+        path.push_str(own.name);
+        Some((path, own.units))
+    });
+    if let Some((path, units)) = closed {
+        let mut state = inner.state.lock();
+        state.total.add(&path, weight, 1, elapsed_ns, units);
+        if let Some(q) = state.current.as_mut() {
+            q.profile.add(&path, weight, 1, elapsed_ns, units);
+        }
+    }
+}
+
+/// RAII guard of one open phase; records on drop.
+pub struct ProfPhase {
+    ctx: Option<Arc<ProfInner>>,
+    token: u64,
+    weight: u64,
+    start: Instant,
+    _span: SpanGuard,
+}
+
+impl ProfPhase {
+    fn noop() -> ProfPhase {
+        ProfPhase {
+            ctx: None,
+            token: 0,
+            weight: 0,
+            start: Instant::now(),
+            _span: SpanGuard::noop(),
+        }
+    }
+}
+
+impl Drop for ProfPhase {
+    fn drop(&mut self) {
+        if let Some(inner) = self.ctx.take() {
+            let elapsed_ns = self.start.elapsed().as_nanos() as u64;
+            close_phase(&inner, self.token, self.weight, elapsed_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_is_inert() {
+        let prof = ProfContext::disabled();
+        assert!(!prof.is_enabled());
+        drop(prof.phase("a"));
+        drop(prof.phase_hot("b"));
+        prof.charge(1.0);
+        prof.bump("model_calls", 1);
+        prof.note_estimator_call();
+        prof.begin_query("q");
+        assert!(prof.end_query().is_none());
+        assert!(prof.total().is_empty());
+        assert!(prof.finished().is_empty());
+        assert_eq!(prof.estimator_calls(), 0);
+        assert_eq!(prof.sample_every(), 1);
+        assert!(prof.counters().is_empty());
+    }
+
+    #[test]
+    fn nested_phases_build_paths() {
+        let prof = ProfContext::enabled();
+        prof.begin_query("q1");
+        {
+            let _plan = prof.phase("plan");
+            {
+                let _enu = prof.phase("enumerate");
+                assert_eq!(prof.current_path(), "plan;enumerate");
+                drop(prof.phase_hot("estimate"));
+                drop(prof.phase_hot("estimate"));
+            }
+        }
+        {
+            let _exec = prof.phase("execute");
+            prof.charge(42.0);
+        }
+        let q = prof.end_query().expect("profile");
+        assert_eq!(q.query, "q1");
+        assert_eq!(q.unclosed, 0);
+        let f = &q.profile.frames;
+        assert_eq!(f["plan"].calls, 1);
+        assert_eq!(f["plan;enumerate"].calls, 1);
+        assert_eq!(f["plan;enumerate;estimate"].calls, 2);
+        assert_eq!(f["plan;enumerate;estimate"].sampled, 2);
+        assert!((f["execute"].units - 42.0).abs() < 1e-12);
+        // The cumulative profile saw the same frames.
+        assert_eq!(prof.total().frames["plan;enumerate;estimate"].calls, 2);
+    }
+
+    #[test]
+    fn sampling_weights_call_counts() {
+        let prof = ProfContext::sampling(8);
+        for _ in 0..64 {
+            drop(prof.phase_hot("estimate"));
+        }
+        let total = prof.total();
+        let stat = &total.frames["estimate"];
+        assert_eq!(stat.calls, 64, "8 sampled entries × weight 8");
+        assert_eq!(stat.sampled, 8);
+        // Cold phases stay exact under sampling.
+        for _ in 0..3 {
+            drop(prof.phase("plan"));
+        }
+        assert_eq!(prof.total().frames["plan"].calls, 3);
+        assert_eq!(prof.total().frames["plan"].sampled, 3);
+    }
+
+    #[test]
+    fn unclosed_phase_is_marked_not_fatal() {
+        let prof = ProfContext::enabled();
+        prof.begin_query("q");
+        let guard = prof.phase("execute");
+        let q = prof.end_query().expect("profile");
+        assert_eq!(q.unclosed, 1);
+        assert!(q.profile.frames.contains_key("(unclosed);execute"));
+        // Dropping the stale guard afterwards is harmless and records
+        // nothing new.
+        drop(guard);
+        assert!(!prof.total().frames.contains_key("execute"));
+    }
+
+    #[test]
+    fn two_contexts_on_one_thread_do_not_cross_parent() {
+        let a = ProfContext::enabled();
+        let b = ProfContext::enabled();
+        let _ga = a.phase("outer_a");
+        {
+            let _gb = b.phase("inner_b");
+            assert_eq!(a.current_path(), "outer_a");
+            assert_eq!(b.current_path(), "inner_b");
+        }
+        drop(_ga);
+        assert!(a.total().frames.contains_key("outer_a"));
+        assert!(b.total().frames.contains_key("inner_b"));
+        assert!(!b.total().frames.contains_key("outer_a;inner_b"));
+    }
+
+    #[test]
+    fn estimator_calls_delta_lands_per_query() {
+        let prof = ProfContext::enabled();
+        prof.note_estimator_call();
+        prof.begin_query("q1");
+        for _ in 0..5 {
+            prof.note_estimator_call();
+        }
+        let q1 = prof.end_query().unwrap();
+        assert_eq!(q1.counters[CTR_ESTIMATOR_CALLS], 5);
+        prof.begin_query("q2");
+        let q2 = prof.end_query().unwrap();
+        assert!(!q2.counters.contains_key(CTR_ESTIMATOR_CALLS));
+        assert_eq!(prof.estimator_calls(), 6);
+        assert_eq!(prof.counters()[CTR_ESTIMATOR_CALLS], 6);
+    }
+
+    #[test]
+    fn begin_query_finishes_predecessor() {
+        let prof = ProfContext::enabled();
+        prof.begin_query("q1");
+        prof.begin_query("q2");
+        prof.end_query();
+        let names: Vec<String> = prof.finished().iter().map(|q| q.query.clone()).collect();
+        assert_eq!(names, ["q1", "q2"]);
+        assert_eq!(prof.take_finished().len(), 2);
+        assert!(prof.finished().is_empty());
+    }
+
+    #[test]
+    fn record_child_attributes_under_open_phase() {
+        let prof = ProfContext::enabled();
+        let _exec = prof.phase("execute");
+        prof.record_child("morsel", 16, 4096, 12.0);
+        prof.record_child("worker0_busy", 1, 900, 0.0);
+        drop(_exec);
+        let total = prof.total();
+        assert_eq!(total.frames["execute;morsel"].calls, 16);
+        assert_eq!(total.frames["execute;worker0_busy"].wall_ns, 900);
+        // With no phase open, record_child records at the root.
+        prof.record_child("idle", 1, 7, 0.0);
+        assert_eq!(prof.total().frames["idle"].wall_ns, 7);
+    }
+
+    #[test]
+    fn phases_mirror_into_obs_spans() {
+        let obs = ObsContext::enabled();
+        let prof = ProfContext::new(ProfConfig::default(), obs.clone());
+        {
+            let _outer = obs.span("query");
+            drop(prof.phase("plan"));
+        }
+        let spans = obs.tracer().unwrap().closed_spans();
+        let plan = spans.iter().find(|s| s.name == "plan").expect("plan span");
+        assert!(plan.parent.is_some(), "prof phase nests under obs span");
+    }
+}

@@ -1,0 +1,118 @@
+//! ANSI "top phases" rendering of a [`Profile`].
+//!
+//! One line per frame, heaviest estimated wall time first, with a
+//! share-of-total bar, call counts (marking sampled frames), and the
+//! deterministic work-unit column side by side with wall clock — the
+//! dual-accounting view at a glance.
+
+use crate::profile::Profile;
+
+const BOLD: &str = "\x1b[1m";
+const DIM: &str = "\x1b[2m";
+const CYAN: &str = "\x1b[36m";
+const YELLOW: &str = "\x1b[33m";
+const RESET: &str = "\x1b[0m";
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn bar(share: f64, width: usize) -> String {
+    let filled = ((share * width as f64).round() as usize).min(width);
+    format!("{}{}", "█".repeat(filled), "░".repeat(width - filled))
+}
+
+/// Render the top `limit` frames by estimated wall time as an ANSI
+/// table. `color = false` strips the escape codes (for logs/artifacts).
+pub fn render_top_with(profile: &Profile, limit: usize, color: bool) -> String {
+    let (b, d, c, y, r) = if color {
+        (BOLD, DIM, CYAN, YELLOW, RESET)
+    } else {
+        ("", "", "", "", "")
+    };
+    let total: u64 = profile.root_wall_ns().max(1);
+    let mut frames: Vec<_> = profile.frames.iter().collect();
+    frames.sort_by(|(pa, sa), (pb, sb)| {
+        sb.est_wall_ns()
+            .cmp(&sa.est_wall_ns())
+            .then_with(|| pa.cmp(pb))
+    });
+    let path_w = frames
+        .iter()
+        .take(limit)
+        .map(|(p, _)| p.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let mut out = format!(
+        "{b}top phases{r} {d}(total {}){r}\n{b}{:<path_w$}  {:>9}  {:>10}  {:>12}  share{r}\n",
+        fmt_ns(total),
+        "phase",
+        "wall",
+        "calls",
+        "work-units",
+    );
+    for (path, stat) in frames.into_iter().take(limit) {
+        let wall = stat.est_wall_ns();
+        let share = wall as f64 / total as f64;
+        let sampled_mark = if stat.sampled < stat.calls { "~" } else { "" };
+        out.push_str(&format!(
+            "{c}{path:<path_w$}{r}  {:>9}  {:>10}  {:>12}  {y}{}{r} {d}{:>5.1}%{r}\n",
+            fmt_ns(wall),
+            format!("{}{}", sampled_mark, stat.calls),
+            if stat.units == 0.0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", stat.units)
+            },
+            bar(share.min(1.0), 12),
+            share * 100.0,
+        ));
+    }
+    out
+}
+
+/// [`render_top_with`] in color.
+pub fn render_top(profile: &Profile, limit: usize) -> String {
+    render_top_with(profile, limit, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sorted_with_shares() {
+        let mut p = Profile::new();
+        p.add("plan", 1, 1, 2_000_000, 0.0);
+        p.add("plan;enumerate;estimate", 64, 8, 8_000, 64.0);
+        p.add("execute", 1, 1, 8_000_000, 420.0);
+        let text = render_top_with(&p, 10, false);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("top phases"), "{text}");
+        // execute (8ms) ranks above plan (2ms).
+        let exec_line = lines.iter().position(|l| l.starts_with("execute")).unwrap();
+        let plan_line = lines.iter().position(|l| l.starts_with("plan ")).unwrap();
+        assert!(exec_line < plan_line, "{text}");
+        // Sampled frame is marked and scaled: 8µs over 8 of 64 → 64µs.
+        let est = lines.iter().find(|l| l.contains("estimate")).unwrap();
+        assert!(est.contains("~64"), "{est}");
+        assert!(est.contains("64.0µs"), "{est}");
+        assert!(!text.contains('\x1b'));
+        assert!(render_top(&p, 2).contains('\x1b'));
+    }
+
+    #[test]
+    fn empty_profile_renders_header_only() {
+        let text = render_top_with(&Profile::new(), 5, false);
+        assert_eq!(text.lines().count(), 2);
+    }
+}

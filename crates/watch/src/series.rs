@@ -8,6 +8,11 @@
 
 use lqo_obs::json::{parse, Value};
 
+/// Schema version stamped on every exported series line. Readers accept
+/// absent versions (pre-versioning exports) and any version up to this
+/// one. The full schema registry lives in DESIGN.md §13.
+pub const SERIES_SCHEMA_VERSION: u64 = 1;
+
 /// One component's health sample at one point in the stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SamplePoint {
@@ -38,6 +43,10 @@ fn f(v: f64) -> Value {
 /// Encode one sample as a JSON object.
 pub fn sample_to_json(s: &SamplePoint) -> Value {
     Value::Obj(vec![
+        (
+            "schema_version".into(),
+            Value::Int(SERIES_SCHEMA_VERSION as i64),
+        ),
         ("component".into(), Value::Str(s.component.clone())),
         (
             "seq".into(),
@@ -53,8 +62,14 @@ pub fn sample_to_json(s: &SamplePoint) -> Value {
     ])
 }
 
-/// Decode one sample; `None` on shape mismatch.
+/// Decode one sample; `None` on shape mismatch or on a schema version
+/// newer than this reader understands (absent versions are accepted).
 pub fn sample_from_json(v: &Value) -> Option<SamplePoint> {
+    if let Some(ver) = v.get("schema_version").and_then(Value::as_u64) {
+        if ver > SERIES_SCHEMA_VERSION {
+            return None;
+        }
+    }
     Some(SamplePoint {
         component: v.get("component")?.as_str()?.to_string(),
         seq: v.get("seq")?.as_u64()?,
@@ -114,5 +129,19 @@ mod tests {
         assert_eq!(parse_series_jsonl(&text).expect("parse"), series);
         assert!(parse_series_jsonl("not json\n").is_none());
         assert_eq!(parse_series_jsonl("\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn series_schema_version_stamped_and_gated() {
+        let text = sample_to_json(&sample(1)).to_compact();
+        assert!(text.contains(&format!("\"schema_version\":{SERIES_SCHEMA_VERSION}")));
+        // Legacy unversioned lines parse; future versions are rejected.
+        let legacy = text.replace(&format!("\"schema_version\":{SERIES_SCHEMA_VERSION},"), "");
+        assert_eq!(parse_series_jsonl(&legacy).unwrap(), vec![sample(1)]);
+        let future = text.replace(
+            &format!("\"schema_version\":{SERIES_SCHEMA_VERSION},"),
+            &format!("\"schema_version\":{},", SERIES_SCHEMA_VERSION + 1),
+        );
+        assert!(parse_series_jsonl(&future).is_none());
     }
 }
