@@ -1,7 +1,9 @@
 //! Experiment binary — see `lqo_bench_suite::experiments::e9_chaos`.
 //! Scale with `LQO_SCALE=small|default|large`.
 
-use lqo_bench_suite::experiments::e9_chaos::{run_traced, run_worker_chaos, Config};
+use lqo_bench_suite::experiments::e9_chaos::{
+    run_reopt_chaos, run_traced, run_worker_chaos, Config,
+};
 use lqo_bench_suite::report::{dump_json, dump_text, obs_report};
 use lqo_obs::export::write_jsonl;
 
@@ -12,12 +14,15 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
     let (table, obs) = run_traced(&cfg);
     let (worker_table, _worker_obs) = run_worker_chaos(&cfg);
+    let (reopt_table, _reopt_obs) = run_reopt_chaos(&cfg);
     let _ = std::panic::take_hook();
     println!("{}", table.render());
     println!("{}", worker_table.render());
+    println!("{}", reopt_table.render());
     println!("{}", obs_report(&obs));
     dump_json("exp_e9_chaos", &table);
     dump_json("exp_e9_worker_chaos", &worker_table);
+    dump_json("exp_e9_reopt_chaos", &reopt_table);
     let traces = obs.take_finished_traces();
     dump_text("exp_e9_traces.jsonl", &write_jsonl(&traces));
     eprintln!(

@@ -373,6 +373,144 @@ pub fn run_worker_chaos(cfg: &Config) -> (TextTable, ObsContext) {
     (table, last_obs)
 }
 
+/// Re-optimization chaos: faults injected into the estimator the
+/// checkpointed executor consults — at the checkpoints themselves and
+/// *during re-planning* (the calibrated lookups of the residual
+/// enumeration). Every base-table estimate is also poisoned so that
+/// checkpoints genuinely trip: each query both re-plans and has its
+/// re-planning faulted. The invariants are the chaos archetype's, one
+/// level up: zero aborts (a faulted re-plan degrades to continuing the
+/// original plan, visible as `degrade:*` checkpoint actions), and every
+/// query returns the fault-free serial answer — byte-identical rows when
+/// the plan was kept, the identical normalized tuple multiset when a
+/// switch happened.
+pub fn run_reopt_chaos(cfg: &Config) -> (TextTable, ObsContext) {
+    use lqo_engine::optimizer::InjectedCardSource;
+    use lqo_engine::{ExecConfig, TableSet};
+    use lqo_reopt::{ReoptConfig, ReoptExecutor};
+
+    let catalog = Arc::new(stats_like(cfg.scale.max(40), cfg.seed).unwrap());
+    let fit = FitContext::new(catalog.clone());
+    let queries = generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: (cfg.num_joins).max(2),
+            min_tables: 2,
+            max_tables: 4,
+            seed: cfg.seed ^ 0x33,
+            ..Default::default()
+        },
+    );
+    let native: Arc<dyn CardSource> = Arc::new(TraditionalCardSource::new(
+        catalog.clone(),
+        fit.stats.clone(),
+    ));
+    let optimizer = Optimizer::with_defaults(&catalog);
+    let plans: Vec<_> = queries
+        .iter()
+        .map(|q| optimizer.optimize_default(q, native.as_ref()).unwrap().plan)
+        .collect();
+
+    // Fault-free serial reference: raw digests for kept plans, normalized
+    // digests for switched ones.
+    let serial = Executor::with_defaults(&catalog);
+    let baseline: Vec<(u64, u64, u64)> = queries
+        .iter()
+        .zip(&plans)
+        .map(|(q, p)| {
+            let (r, rel) = serial.execute_collect(q, p).unwrap();
+            (r.count, rel.digest(), rel.normalize().canonical_digest())
+        })
+        .collect();
+
+    let mut table = TextTable::new(
+        "E9c: reopt chaos — faults during re-planning (zero aborts, identical results)",
+        &[
+            "rate",
+            "kinds",
+            "queries",
+            "checkpoints",
+            "triggers",
+            "switches",
+            "degraded",
+            "results",
+        ],
+    );
+    let mut last_obs = ObsContext::disabled();
+    for rate in &cfg.rates {
+        for ks in &cfg.kind_sets {
+            let obs = ObsContext::enabled();
+            let fault_plan = Arc::new(FaultPlan::new(FaultConfig {
+                seed: cfg.seed ^ ((*rate * 1e3) as u64) ^ ((ks.name.len() as u64) << 40),
+                rate: *rate,
+                kinds: ks.kinds.clone(),
+                stall: std::time::Duration::from_micros(cfg.stall_us),
+            }));
+            // Poison every base-table estimate so checkpoints trip, then
+            // let the fault plan corrupt what re-planning reads.
+            let poisoned = InjectedCardSource::new(native.clone());
+            for q in &queries {
+                for t in 0..q.num_tables() {
+                    poisoned.inject(q, TableSet::singleton(t), 1.0);
+                }
+            }
+            let faulty: Arc<dyn CardSource> = Arc::new(FaultyCardSource::new(
+                Arc::new(poisoned),
+                fault_plan.clone(),
+            ));
+            let reopt_exec = ReoptExecutor::new(
+                &catalog,
+                ExecConfig::default(),
+                faulty,
+                ReoptConfig {
+                    q_error_threshold: 4.0,
+                    confirm_streak: 1,
+                    ..Default::default()
+                },
+            )
+            .with_obs(obs.clone());
+            let (mut checkpoints, mut triggers, mut switches, mut degraded) = (0, 0, 0, 0);
+            for ((q, p), (count, raw, normalized)) in queries.iter().zip(&plans).zip(&baseline) {
+                obs.begin_query(&q.to_string());
+                let (r, rel, report) = reopt_exec
+                    .execute_collect(q, p)
+                    .expect("degradation, not failure");
+                obs.end_query();
+                assert_eq!(r.count, *count, "reopt chaos changed a result");
+                if report.switches == 0 {
+                    assert_eq!(rel.digest(), *raw, "kept plan changed rows");
+                } else {
+                    assert_eq!(
+                        rel.normalize().canonical_digest(),
+                        *normalized,
+                        "switched plan changed the answer"
+                    );
+                }
+                checkpoints += report.checkpoints;
+                triggers += report.triggers;
+                switches += report.switches;
+                degraded += report
+                    .events
+                    .iter()
+                    .filter(|e| e.action.starts_with("degrade:"))
+                    .count() as u64;
+            }
+            table.row(vec![
+                format!("{rate:.2}"),
+                ks.name.to_string(),
+                queries.len().to_string(),
+                checkpoints.to_string(),
+                triggers.to_string(),
+                switches.to_string(),
+                degraded.to_string(),
+                "identical".to_string(),
+            ]);
+            last_obs = obs;
+        }
+    }
+    (table, last_obs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +543,43 @@ mod tests {
         let snap = obs.metrics().unwrap().snapshot();
         assert!(snap.counter("lqo.guard.faults").unwrap_or(0) > 0);
         assert!(obs.finished_traces().iter().any(|t| !t.guard.is_empty()));
+    }
+
+    #[test]
+    fn tiny_reopt_chaos_degrades_to_original_plan() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // injected panics are loud
+        let cfg = Config {
+            scale: 60,
+            num_single: 0,
+            num_joins: 5,
+            // One dense cell: panics at 50% hammer both the checkpoint
+            // estimate lookups and the re-planning enumeration.
+            rates: vec![0.5],
+            kind_sets: vec![KindSet {
+                name: "panic",
+                kinds: vec![FaultKind::Panic],
+            }],
+            stall_us: 50,
+            ..Default::default()
+        };
+        let (table, obs) = run_reopt_chaos(&cfg);
+        std::panic::set_hook(prev);
+        assert_eq!(table.rows.len(), 1);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "identical");
+        }
+        // The poisoned estimates must actually trip checkpoints, and the
+        // injected panics must actually fault some re-plans.
+        let row = &table.rows[0];
+        assert!(row[4].parse::<u64>().unwrap() > 0, "no triggers: {row:?}");
+        assert!(
+            row[6].parse::<u64>().unwrap() > 0,
+            "no degraded re-plans: {row:?}"
+        );
+        let snap = obs.metrics().unwrap().snapshot();
+        assert!(snap.counter("lqo.reopt.checkpoints").unwrap_or(0) > 0);
+        assert!(snap.counter("lqo.reopt.degraded").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use lqo_engine::PhysNode;
+use lqo_engine::{PhysNode, ResidualNode};
 use lqo_obs::trace::CacheEvent;
 use lqo_obs::ObsContext;
 
@@ -46,6 +46,19 @@ pub struct PlannedQuery {
     pub cost: f64,
 }
 
+/// A previously re-optimized residual sub-plan: the plan over residual
+/// leaves and its cost under the calibration in force when it was cached.
+/// Because leaf descriptors are baked into the key, the leaf indices in
+/// `plan` are valid for any lookup that hits.
+#[derive(Debug, Clone)]
+pub struct CachedResidual {
+    /// The residual plan (leaf indices refer to the keyed leaf order).
+    pub plan: ResidualNode,
+    /// Estimated residual cost at store time. Callers must re-cost under
+    /// their current calibration before trusting it.
+    pub cost: f64,
+}
+
 struct CardEntry {
     est: f64,
     epoch: u64,
@@ -58,6 +71,12 @@ struct PlanEntry {
     source: String,
 }
 
+struct ResidualEntry {
+    cached: CachedResidual,
+    epoch: u64,
+    source: String,
+}
+
 /// Cache sizing.
 #[derive(Debug, Clone)]
 pub struct CacheConfig {
@@ -65,6 +84,8 @@ pub struct CacheConfig {
     pub card_capacity: usize,
     /// Maximum cached plans.
     pub plan_capacity: usize,
+    /// Maximum cached residual sub-plans (mid-query re-optimizations).
+    pub residual_capacity: usize,
 }
 
 impl Default for CacheConfig {
@@ -72,6 +93,7 @@ impl Default for CacheConfig {
         CacheConfig {
             card_capacity: 65_536,
             plan_capacity: 4_096,
+            residual_capacity: 4_096,
         }
     }
 }
@@ -97,6 +119,12 @@ pub struct CacheStats {
     pub plan_invalidations: u64,
     /// Plan lookups skipped because the session was steered.
     pub plan_bypasses: u64,
+    /// Residual-cache hits (each one is a saved residual enumeration).
+    pub residual_hits: u64,
+    /// Residual-cache misses.
+    pub residual_misses: u64,
+    /// Residual-cache entries dropped by invalidation or eviction.
+    pub residual_invalidations: u64,
     /// Current catalog-stats epoch.
     pub stats_epoch: u64,
 }
@@ -133,6 +161,7 @@ pub struct LqoCache {
     epoch: AtomicU64,
     cards: Mutex<BoundedLru<CardEntry>>,
     plans: Mutex<BoundedLru<PlanEntry>>,
+    residuals: Mutex<BoundedLru<ResidualEntry>>,
     /// Components currently in the drifted state (for edge detection).
     drifted: Mutex<HashSet<String>>,
     obs: Mutex<ObsContext>,
@@ -145,6 +174,9 @@ pub struct LqoCache {
     plan_evictions: AtomicU64,
     plan_invalidations: AtomicU64,
     plan_bypasses: AtomicU64,
+    residual_hits: AtomicU64,
+    residual_misses: AtomicU64,
+    residual_invalidations: AtomicU64,
 }
 
 impl Default for LqoCache {
@@ -160,6 +192,7 @@ impl LqoCache {
             epoch: AtomicU64::new(0),
             cards: Mutex::new(BoundedLru::new(cfg.card_capacity)),
             plans: Mutex::new(BoundedLru::new(cfg.plan_capacity)),
+            residuals: Mutex::new(BoundedLru::new(cfg.residual_capacity)),
             drifted: Mutex::new(HashSet::new()),
             obs: Mutex::new(ObsContext::disabled()),
             card_hits: AtomicU64::new(0),
@@ -171,6 +204,9 @@ impl LqoCache {
             plan_evictions: AtomicU64::new(0),
             plan_invalidations: AtomicU64::new(0),
             plan_bypasses: AtomicU64::new(0),
+            residual_hits: AtomicU64::new(0),
+            residual_misses: AtomicU64::new(0),
+            residual_invalidations: AtomicU64::new(0),
         }
     }
 
@@ -217,21 +253,28 @@ impl LqoCache {
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let dropped_cards = self.cards.lock().retain(|_, e| e.epoch == epoch);
         let dropped_plans = self.plans.lock().retain(|_, e| e.epoch == epoch);
+        let dropped_residuals = self.residuals.lock().retain(|_, e| e.epoch == epoch);
         self.card_invalidations
             .fetch_add(dropped_cards as u64, Ordering::Relaxed);
         self.plan_invalidations
             .fetch_add(dropped_plans as u64, Ordering::Relaxed);
+        self.residual_invalidations
+            .fetch_add(dropped_residuals as u64, Ordering::Relaxed);
         let obs = self.obs();
         obs.count("lqo.cache.card.invalidations", dropped_cards as u64);
         obs.count("lqo.cache.plan.invalidations", dropped_plans as u64);
+        obs.count("lqo.cache.residual.invalidations", dropped_residuals as u64);
         obs.count("lqo.cache.epoch_bumps", 1);
         self.event(
             &obs,
             "card",
             "invalidate",
-            format!("epoch={epoch} dropped={}", dropped_cards + dropped_plans),
+            format!(
+                "epoch={epoch} dropped={}",
+                dropped_cards + dropped_plans + dropped_residuals
+            ),
         );
-        dropped_cards + dropped_plans
+        dropped_cards + dropped_plans + dropped_residuals
     }
 
     /// Look up a cached cardinality by canonical sub-query key. Entries
@@ -330,6 +373,54 @@ impl LqoCache {
         self.event(&obs, "plan", "store", String::new());
     }
 
+    /// Look up a cached residual sub-plan by its [`residual_key`].
+    /// Entries from an older stats epoch are dropped and count as misses.
+    pub fn residual_lookup(&self, key: &str) -> Option<CachedResidual> {
+        let epoch = self.stats_epoch();
+        let mut residuals = self.residuals.lock();
+        let hit = match residuals.get(key) {
+            Some(e) if e.epoch == epoch => Some(e.cached.clone()),
+            Some(_) => {
+                residuals.remove(key);
+                self.residual_invalidations.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        };
+        drop(residuals);
+        let obs = self.obs();
+        if hit.is_some() {
+            self.residual_hits.fetch_add(1, Ordering::Relaxed);
+            obs.count("lqo.cache.residual.hits", 1);
+        } else {
+            self.residual_misses.fetch_add(1, Ordering::Relaxed);
+            obs.count("lqo.cache.residual.misses", 1);
+        }
+        if obs.is_enabled() {
+            let event = if hit.is_some() { "hit" } else { "miss" };
+            self.event(&obs, "residual", event, format!("epoch={epoch}"));
+        }
+        hit
+    }
+
+    /// Store a re-optimized residual sub-plan under the current stats
+    /// epoch, tagged with the calibrated source's name.
+    pub fn residual_store(&self, key: String, cached: CachedResidual, source: &str) {
+        let entry = ResidualEntry {
+            cached,
+            epoch: self.stats_epoch(),
+            source: source.to_string(),
+        };
+        let evicted = self.residuals.lock().insert(key, entry);
+        let obs = self.obs();
+        if evicted > 0 {
+            self.residual_invalidations
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+            obs.count("lqo.cache.residual.evictions", evicted as u64);
+        }
+        self.event(&obs, "residual", "store", String::new());
+    }
+
     /// Record that a plan lookup was skipped because the session was
     /// steered (injections or scaling in force): cached plans only stand
     /// for *unsteered* optimizations.
@@ -345,20 +436,27 @@ impl LqoCache {
     pub fn invalidate_source(&self, source: &str) -> usize {
         let dropped_cards = self.cards.lock().retain(|_, e| e.source != source);
         let dropped_plans = self.plans.lock().retain(|_, e| e.source != source);
+        let dropped_residuals = self.residuals.lock().retain(|_, e| e.source != source);
         self.card_invalidations
             .fetch_add(dropped_cards as u64, Ordering::Relaxed);
         self.plan_invalidations
             .fetch_add(dropped_plans as u64, Ordering::Relaxed);
+        self.residual_invalidations
+            .fetch_add(dropped_residuals as u64, Ordering::Relaxed);
         let obs = self.obs();
         obs.count("lqo.cache.card.invalidations", dropped_cards as u64);
         obs.count("lqo.cache.plan.invalidations", dropped_plans as u64);
+        obs.count("lqo.cache.residual.invalidations", dropped_residuals as u64);
         self.event(
             &obs,
             "card",
             "invalidate",
-            format!("source={source} dropped={}", dropped_cards + dropped_plans),
+            format!(
+                "source={source} dropped={}",
+                dropped_cards + dropped_plans + dropped_residuals
+            ),
         );
-        dropped_cards + dropped_plans
+        dropped_cards + dropped_plans + dropped_residuals
     }
 
     fn flush_cards(&self) -> usize {
@@ -374,6 +472,17 @@ impl LqoCache {
         self.plan_invalidations
             .fetch_add(n as u64, Ordering::Relaxed);
         self.obs().count("lqo.cache.plan.invalidations", n as u64);
+        // Residual sub-plans embed the same cardinality beliefs as whole
+        // plans, so they never outlive a plan flush.
+        n + self.flush_residuals()
+    }
+
+    fn flush_residuals(&self) -> usize {
+        let n = self.residuals.lock().clear();
+        self.residual_invalidations
+            .fetch_add(n as u64, Ordering::Relaxed);
+        self.obs()
+            .count("lqo.cache.residual.invalidations", n as u64);
         n
     }
 
@@ -458,6 +567,11 @@ impl LqoCache {
         self.plans.lock().len()
     }
 
+    /// Entries currently held in the residual sub-plan cache.
+    pub fn residual_len(&self) -> usize {
+        self.residuals.lock().len()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -470,6 +584,9 @@ impl LqoCache {
             plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
             plan_invalidations: self.plan_invalidations.load(Ordering::Relaxed),
             plan_bypasses: self.plan_bypasses.load(Ordering::Relaxed),
+            residual_hits: self.residual_hits.load(Ordering::Relaxed),
+            residual_misses: self.residual_misses.load(Ordering::Relaxed),
+            residual_invalidations: self.residual_invalidations.load(Ordering::Relaxed),
             stats_epoch: self.stats_epoch(),
         }
     }
@@ -486,6 +603,30 @@ pub fn plan_key(query: &lqo_engine::SpjQuery, hints_label: &str, source: &str) -
         hints_label,
         source
     )
+}
+
+/// The residual-cache key of one mid-query re-optimization decision
+/// point: canonical query form plus a descriptor of every residual leaf
+/// *in leaf order* — its table-set bits and a log2 bucket of its row
+/// count — plus the calibrated source's name. Two checkpoints share a
+/// key exactly when the residual enumerator is guaranteed to see
+/// equivalent inputs (same logical query, same leaf partition, row
+/// counts within a 2× bucket of each other, same estimator stack), which
+/// also makes the cached plan's leaf indices directly reusable.
+pub fn residual_key(
+    query: &lqo_engine::SpjQuery,
+    leaves: &[lqo_engine::ResidualLeaf],
+    source: &str,
+) -> String {
+    use std::fmt::Write;
+    let mut key = query.canonical_key(query.all_tables());
+    for leaf in leaves {
+        let bucket = leaf.rows.max(1.0).log2().floor() as i64;
+        let tag = if leaf.materialized { 'm' } else { 's' };
+        let _ = write!(key, "|{}:{:x}@{}", tag, leaf.set.0, bucket);
+    }
+    let _ = write!(key, "|card={source}");
+    key
 }
 
 #[cfg(test)]
@@ -587,6 +728,60 @@ mod tests {
         cache.plan_store("p".into(), planned(), "t");
         assert_eq!(cache.flush_all("test"), 2);
         assert!(cache.card_len() == 0 && cache.plan_len() == 0);
+    }
+
+    fn residual() -> CachedResidual {
+        CachedResidual {
+            plan: ResidualNode::Join {
+                algo: lqo_engine::JoinAlgo::Hash,
+                left: Box::new(ResidualNode::Leaf(0)),
+                right: Box::new(ResidualNode::Leaf(1)),
+            },
+            cost: 7.0,
+        }
+    }
+
+    #[test]
+    fn residual_cache_hits_and_misses() {
+        let cache = LqoCache::default();
+        assert!(cache.residual_lookup("r").is_none());
+        cache.residual_store("r".into(), residual(), "reopt-calibrated");
+        let hit = cache.residual_lookup("r").unwrap();
+        assert_eq!(hit.cost, 7.0);
+        assert_eq!(hit.plan, residual().plan);
+        let s = cache.stats();
+        assert_eq!((s.residual_hits, s.residual_misses), (1, 1));
+    }
+
+    #[test]
+    fn residual_entries_are_epoch_tagged() {
+        let cache = LqoCache::default();
+        cache.residual_store("r".into(), residual(), "reopt-calibrated");
+        cache.bump_stats_epoch();
+        assert_eq!(cache.residual_len(), 0);
+        assert!(cache.residual_lookup("r").is_none());
+        assert_eq!(cache.stats().residual_invalidations, 1);
+    }
+
+    #[test]
+    fn residuals_die_with_plans_on_drift_and_breaker_open() {
+        let cache = LqoCache::default();
+        cache.residual_store("r".into(), residual(), "reopt-calibrated");
+        assert!(cache.note_health("planner", true) >= 1);
+        assert_eq!(cache.residual_len(), 0);
+        cache.residual_store("r".into(), residual(), "reopt-calibrated");
+        assert!(cache.on_breaker_open("driver:bao") >= 1);
+        assert_eq!(cache.residual_len(), 0);
+    }
+
+    #[test]
+    fn residual_source_invalidation_is_targeted() {
+        let cache = LqoCache::default();
+        cache.residual_store("r1".into(), residual(), "reopt-calibrated");
+        cache.residual_store("r2".into(), residual(), "other");
+        assert_eq!(cache.invalidate_source("other"), 1);
+        assert!(cache.residual_lookup("r1").is_some());
+        assert!(cache.residual_lookup("r2").is_none());
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub mod cache;
 pub mod lru;
 pub mod memo;
 
-pub use cache::{plan_key, CacheConfig, CacheStats, LqoCache, PlannedQuery};
+pub use cache::{
+    plan_key, residual_key, CacheConfig, CacheStats, CachedResidual, LqoCache, PlannedQuery,
+};
 pub use lru::BoundedLru;
 pub use memo::{MemoCardSource, OptMemo};

@@ -80,7 +80,13 @@ pub struct ExecResult {
 }
 
 /// Deterministic work accounting with an optional abort budget.
-pub(crate) struct WorkMeter {
+///
+/// Public so step-wise drivers (the adaptive re-optimization executor)
+/// can thread the same meter through a sequence of
+/// [`Executor::exec_scan_step`] / [`Executor::exec_join_step`] calls and
+/// reproduce the exact serial charge sequence.
+#[derive(Debug)]
+pub struct WorkMeter {
     /// Accumulated work units.
     pub(crate) work: f64,
     /// Abort budget.
@@ -88,16 +94,36 @@ pub(crate) struct WorkMeter {
 }
 
 impl WorkMeter {
-    pub(crate) fn new(limit: Option<f64>) -> WorkMeter {
+    /// A fresh meter with an optional abort budget.
+    pub fn new(limit: Option<f64>) -> WorkMeter {
         WorkMeter { work: 0.0, limit }
     }
 
-    pub(crate) fn add(&mut self, w: f64) -> Result<()> {
+    /// Charge `w` work units; errors with
+    /// [`EngineError::WorkLimitExceeded`] once the accumulated work
+    /// exceeds the budget.
+    pub fn add(&mut self, w: f64) -> Result<()> {
         self.work += w;
         match self.limit {
             Some(lim) if self.work > lim => Err(EngineError::WorkLimitExceeded { limit: lim }),
             _ => Ok(()),
         }
+    }
+
+    /// Accumulated work units.
+    pub fn work(&self) -> f64 {
+        self.work
+    }
+
+    /// The abort budget, if any.
+    pub fn limit(&self) -> Option<f64> {
+        self.limit
+    }
+
+    /// Budget still available (`limit - work`, floored at zero); `None`
+    /// when the meter is unbudgeted.
+    pub fn remaining(&self) -> Option<f64> {
+        self.limit.map(|lim| (lim - self.work).max(0.0))
     }
 }
 
@@ -273,6 +299,78 @@ impl<'a> Executor<'a> {
                 }
                 Err(e)
             }
+        }
+    }
+
+    /// Execute a single scan operator as a standalone step, charging
+    /// `meter` exactly as [`Executor::execute`] would (same charge
+    /// sequence, same row-ordering contract). This is the materialization
+    /// checkpoint seam used by adaptive re-optimization: a step-wise
+    /// driver runs one operator at a time in the serial post-order and
+    /// inspects each materialized intermediate before continuing. The
+    /// monolithic path never calls it, so the seam costs nothing when
+    /// re-optimization is disabled.
+    pub fn exec_scan_step(
+        &self,
+        query: &SpjQuery,
+        pos: usize,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        match self.config.mode {
+            ExecMode::Parallel { threads } if threads > 1 => {
+                let before = meter.work;
+                match parallel::exec_scan_step(self, query, pos, threads, meter) {
+                    Err(EngineError::WorkerFault { op })
+                        if self.config.parallel.fallback_serial =>
+                    {
+                        // A worker died mid-morsel: degrade this operator
+                        // to the serial path. The serial retry restores
+                        // the meter to the pre-operator snapshot, so the
+                        // charge sequence stays byte-identical to serial.
+                        self.record_degrade(&op);
+                        meter.work = before;
+                        self.exec_scan(query, pos, meter)
+                    }
+                    other => other,
+                }
+            }
+            _ => self.exec_scan(query, pos, meter),
+        }
+    }
+
+    /// Execute a single join operator over two already-materialized
+    /// inputs as a standalone step (see [`Executor::exec_scan_step`]).
+    pub fn exec_join_step(
+        &self,
+        query: &SpjQuery,
+        algo: JoinAlgo,
+        left: Relation,
+        right: Relation,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        match self.config.mode {
+            ExecMode::Parallel { threads } if threads > 1 => {
+                let before = meter.work;
+                match parallel::exec_join_step(
+                    self,
+                    query,
+                    algo,
+                    left.clone(),
+                    right.clone(),
+                    threads,
+                    meter,
+                ) {
+                    Err(EngineError::WorkerFault { op })
+                        if self.config.parallel.fallback_serial =>
+                    {
+                        self.record_degrade(&op);
+                        meter.work = before;
+                        self.exec_join(query, algo, left, right, meter)
+                    }
+                    other => other,
+                }
+            }
+            _ => self.exec_join(query, algo, left, right, meter),
         }
     }
 

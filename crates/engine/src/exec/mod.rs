@@ -8,7 +8,7 @@ pub mod parallel;
 pub mod relation;
 pub mod workunits;
 
-pub use executor::{ExecConfig, ExecResult, Executor};
+pub use executor::{ExecConfig, ExecResult, Executor, WorkMeter};
 pub use oracle::TrueCardOracle;
 pub use parallel::{ExecMode, ParallelConfig};
 pub use relation::Relation;

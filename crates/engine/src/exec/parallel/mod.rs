@@ -186,6 +186,53 @@ pub(crate) fn exec_plan(
     result
 }
 
+/// A coordinator for a single-operator step execution (the adaptive
+/// re-optimization driver runs one operator per pool run).
+fn step_run<'a>(ex: &'a Executor<'a>, query: &'a SpjQuery, threads: usize) -> ParRun<'a> {
+    ParRun {
+        ex,
+        query,
+        threads: threads.max(1),
+        detail: false,
+        shared: SharedRun::new(ex.config.max_work, ex.config.parallel.panic_on_morsel),
+        morsels_run: Cell::new(0),
+        busy_ns: Cell::new(0),
+        capacity_ns: Cell::new(0),
+    }
+}
+
+/// Execute a single scan operator in parallel (step interface for
+/// [`Executor::exec_scan_step`]).
+pub(crate) fn exec_scan_step(
+    ex: &Executor<'_>,
+    query: &SpjQuery,
+    pos: usize,
+    threads: usize,
+    meter: &mut WorkMeter,
+) -> Result<Relation> {
+    let run = step_run(ex, query, threads);
+    let result = run.scan(pos, meter);
+    run.finish();
+    result
+}
+
+/// Execute a single join operator in parallel (step interface for
+/// [`Executor::exec_join_step`]).
+pub(crate) fn exec_join_step(
+    ex: &Executor<'_>,
+    query: &SpjQuery,
+    algo: crate::plan::physical::JoinAlgo,
+    left: Relation,
+    right: Relation,
+    threads: usize,
+    meter: &mut WorkMeter,
+) -> Result<Relation> {
+    let run = step_run(ex, query, threads);
+    let result = run.join(algo, left, right, meter);
+    run.finish();
+    result
+}
+
 impl ParRun<'_> {
     /// Execute one plan node; identical structure to the serial
     /// `exec_node` so per-operator work attribution and event order match.

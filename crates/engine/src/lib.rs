@@ -41,8 +41,13 @@ pub mod types;
 
 pub use catalog::Catalog;
 pub use error::{EngineError, Result};
-pub use exec::{ExecConfig, ExecMode, ExecResult, Executor, ParallelConfig, TrueCardOracle};
-pub use optimizer::{CardSource, HintSet, Optimizer, TraditionalCardSource, TrueCardSource};
+pub use exec::{
+    ExecConfig, ExecMode, ExecResult, Executor, ParallelConfig, TrueCardOracle, WorkMeter,
+};
+pub use optimizer::{
+    enumerate_residual, residual_cost, CardSource, HintSet, Optimizer, ResidualChoice,
+    ResidualLeaf, ResidualNode, TraditionalCardSource, TrueCardSource,
+};
 pub use plan::{JoinAlgo, JoinTree, PhysNode};
 pub use query::{CmpOp, ColRef, JoinCond, Predicate, SpjQuery, TableRef, TableSet};
 pub use stats::CatalogStats;

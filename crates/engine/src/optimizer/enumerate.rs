@@ -26,7 +26,7 @@ pub struct PlanChoice {
     pub cost: f64,
 }
 
-fn allowed_algos(hints: &HintSet) -> Vec<JoinAlgo> {
+pub(crate) fn allowed_algos(hints: &HintSet) -> Vec<JoinAlgo> {
     let mut v = Vec::with_capacity(3);
     if hints.allow_hash {
         v.push(JoinAlgo::Hash);

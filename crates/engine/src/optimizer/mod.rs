@@ -11,6 +11,7 @@ pub mod card_source;
 pub mod cost;
 pub mod enumerate;
 pub mod hints;
+pub mod residual;
 
 use lqo_obs::ObsContext;
 use lqo_prof::ProfContext;
@@ -31,6 +32,7 @@ pub use enumerate::{
     dp_optimize, dp_optimize_obs, greedy_optimize, greedy_optimize_obs, PlanChoice,
 };
 pub use hints::HintSet;
+pub use residual::{enumerate_residual, residual_cost, ResidualChoice, ResidualLeaf, ResidualNode};
 
 /// The cost-based optimizer.
 pub struct Optimizer<'a> {

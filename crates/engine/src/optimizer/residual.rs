@@ -1,0 +1,652 @@
+//! Enumeration over a partially-materialized query: the residual join
+//! graph whose leaves are a mix of already-materialized intermediate
+//! relations (exact observed cardinality, zero acquisition cost) and
+//! not-yet-executed base-table scans.
+//!
+//! This is the planning half of mid-query adaptive re-optimization: when
+//! a materialization checkpoint observes a cardinality badly off its
+//! estimate, the remaining work is re-planned *from here* — every
+//! relation built so far becomes an opaque leaf, and only the joins
+//! still ahead are enumerated. Unlike the full optimizer, every
+//! cardinality lookup and cost evaluation here charges a caller-supplied
+//! [`WorkMeter`], so re-planning effort is bounded by the same work-unit
+//! currency as execution and trips [`EngineError::WorkLimitExceeded`]
+//! when the reopt guard's budget runs out.
+
+use std::collections::HashMap;
+
+use crate::error::{EngineError, Result};
+use crate::exec::executor::WorkMeter;
+use crate::exec::workunits::CostParams;
+use crate::optimizer::card_source::CardSource;
+use crate::optimizer::cost::join_op_cost;
+use crate::optimizer::enumerate::allowed_algos;
+use crate::optimizer::hints::HintSet;
+use crate::plan::physical::JoinAlgo;
+use crate::query::spj::SpjQuery;
+use crate::query::table_set::TableSet;
+
+/// Work units charged to the re-planning budget per cardinality lookup.
+pub const RESIDUAL_LOOKUP_WORK: f64 = 4.0;
+/// Work units charged to the re-planning budget per cost-model
+/// evaluation.
+pub const RESIDUAL_COST_EVAL_WORK: f64 = 0.25;
+
+/// One leaf of the residual join graph.
+#[derive(Debug, Clone)]
+pub struct ResidualLeaf {
+    /// Base tables this leaf covers.
+    pub set: TableSet,
+    /// Row count used for planning: the exact observed cardinality for
+    /// materialized intermediates, the (calibrated) estimate for pending
+    /// scans.
+    pub rows: f64,
+    /// Acquisition cost: zero for materialized intermediates (the work is
+    /// sunk), the scan cost for pending scans.
+    pub cost: f64,
+    /// Whether the leaf is an already-materialized relation.
+    pub materialized: bool,
+}
+
+/// A plan over residual leaves. Leaves are indices into the caller's
+/// [`ResidualLeaf`] slice, so the same tree shape can be compared
+/// structurally across re-planning rounds (the no-op-splice check).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResidualNode {
+    /// The leaf at this index in the leaf slice.
+    Leaf(usize),
+    /// A join of two residual sub-plans (left = build side).
+    Join {
+        /// Join algorithm.
+        algo: JoinAlgo,
+        /// Build side.
+        left: Box<ResidualNode>,
+        /// Probe side.
+        right: Box<ResidualNode>,
+    },
+}
+
+impl ResidualNode {
+    /// Base tables covered by this sub-plan.
+    pub fn tables(&self, leaves: &[ResidualLeaf]) -> TableSet {
+        match self {
+            ResidualNode::Leaf(i) => leaves[*i].set,
+            ResidualNode::Join { left, right, .. } => {
+                left.tables(leaves).union(right.tables(leaves))
+            }
+        }
+    }
+
+    /// Number of join operators in this sub-plan.
+    pub fn num_joins(&self) -> usize {
+        match self {
+            ResidualNode::Leaf(_) => 0,
+            ResidualNode::Join { left, right, .. } => 1 + left.num_joins() + right.num_joins(),
+        }
+    }
+}
+
+/// A residual plan with its estimated cost.
+#[derive(Debug, Clone)]
+pub struct ResidualChoice {
+    /// The chosen residual plan.
+    pub plan: ResidualNode,
+    /// Estimated cost (sunk acquisition costs of materialized leaves
+    /// excluded — they are zero by construction).
+    pub cost: f64,
+}
+
+struct ResidualCtx<'a> {
+    query: &'a SpjQuery,
+    leaves: &'a [ResidualLeaf],
+    card: &'a dyn CardSource,
+    params: &'a CostParams,
+    algos: Vec<JoinAlgo>,
+    /// Adjacency over leaf indices: bit `j` of `adj[i]` is set iff a join
+    /// condition connects leaves `i` and `j`.
+    adj: Vec<u64>,
+}
+
+impl ResidualCtx<'_> {
+    fn union_set(&self, mask: u64) -> TableSet {
+        let mut set = TableSet::EMPTY;
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                set = set.union(leaf.set);
+            }
+        }
+        set
+    }
+
+    fn rows_of(&self, mask: u64, budget: &mut WorkMeter) -> Result<f64> {
+        budget.add(RESIDUAL_LOOKUP_WORK)?;
+        Ok(self.card.cardinality(self.query, self.union_set(mask)))
+    }
+
+    /// Is the leaf-index `mask` connected in the quotient join graph?
+    fn connected(&self, mask: u64) -> bool {
+        if mask == 0 {
+            return false;
+        }
+        let seed = mask & mask.wrapping_neg();
+        let mut seen = seed;
+        loop {
+            let mut grew = seen;
+            for i in 0..self.leaves.len() {
+                if seen >> i & 1 == 1 {
+                    grew |= self.adj[i] & mask;
+                }
+            }
+            if grew == seen {
+                return seen == mask;
+            }
+            seen = grew;
+        }
+    }
+
+    /// Cheapest permitted join of two sub-plans with known row counts;
+    /// cross products fall back to nested loops so a plan always exists.
+    /// Mirrors the full enumerator's `best_join`, with every evaluation
+    /// charged to the re-planning budget.
+    fn best_pair(
+        &self,
+        lset: TableSet,
+        lrows: f64,
+        rset: TableSet,
+        rrows: f64,
+        out_rows: f64,
+        budget: &mut WorkMeter,
+    ) -> Result<(JoinAlgo, f64)> {
+        let width = lset.union(rset).len();
+        let has_cond = !self.query.joins_between(lset, rset).is_empty();
+        if !has_cond {
+            budget.add(RESIDUAL_COST_EVAL_WORK)?;
+            let op = join_op_cost(
+                JoinAlgo::NestedLoop,
+                self.params,
+                lrows,
+                rrows,
+                out_rows,
+                width,
+                false,
+            );
+            return Ok((JoinAlgo::NestedLoop, op));
+        }
+        let mut best = (JoinAlgo::NestedLoop, f64::INFINITY);
+        for &algo in &self.algos {
+            budget.add(RESIDUAL_COST_EVAL_WORK)?;
+            let op = join_op_cost(algo, self.params, lrows, rrows, out_rows, width, true);
+            if op.total_cmp(&best.1).is_lt() {
+                best = (algo, op);
+            }
+        }
+        if best.1.is_infinite() {
+            budget.add(RESIDUAL_COST_EVAL_WORK)?;
+            best.1 = join_op_cost(
+                JoinAlgo::NestedLoop,
+                self.params,
+                lrows,
+                rrows,
+                out_rows,
+                width,
+                true,
+            );
+            best.0 = JoinAlgo::NestedLoop;
+        }
+        Ok(best)
+    }
+}
+
+/// Enumerate the best plan over the residual join graph. Exhaustive DP
+/// over connected leaf subsets when the leaf count fits the hint's DP
+/// limit and the quotient graph is connected; GOO-style greedy otherwise.
+/// Every cardinality lookup and cost evaluation charges `budget`, so a
+/// tight re-planning budget aborts with
+/// [`EngineError::WorkLimitExceeded`] rather than overrunning.
+pub fn enumerate_residual(
+    query: &SpjQuery,
+    leaves: &[ResidualLeaf],
+    card: &dyn CardSource,
+    params: &CostParams,
+    hints: &HintSet,
+    budget: &mut WorkMeter,
+) -> Result<ResidualChoice> {
+    let n = leaves.len();
+    if n == 0 {
+        return Err(EngineError::NoPlanFound("residual has no leaves".into()));
+    }
+    if n > 64 {
+        return Err(EngineError::NoPlanFound(
+            "residual exceeds 64 leaves".into(),
+        ));
+    }
+    if n == 1 {
+        return Ok(ResidualChoice {
+            plan: ResidualNode::Leaf(0),
+            cost: leaves[0].cost,
+        });
+    }
+    let algos = allowed_algos(hints);
+    if algos.is_empty() {
+        return Err(EngineError::NoPlanFound(
+            "all join algorithms disabled".into(),
+        ));
+    }
+    let mut adj = vec![0u64; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !query.joins_between(leaves[i].set, leaves[j].set).is_empty() {
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
+            }
+        }
+    }
+    let ctx = ResidualCtx {
+        query,
+        leaves,
+        card,
+        params,
+        algos,
+        adj,
+    };
+    let full: u64 = if n == 64 { u64::MAX } else { (1 << n) - 1 };
+    if n <= hints.dp_table_limit && ctx.connected(full) {
+        dp_residual(&ctx, full, budget)
+    } else {
+        greedy_residual(&ctx, budget)
+    }
+}
+
+fn dp_residual(ctx: &ResidualCtx<'_>, full: u64, budget: &mut WorkMeter) -> Result<ResidualChoice> {
+    struct Entry {
+        plan: ResidualNode,
+        cost: f64,
+        rows: f64,
+    }
+    let mut best: HashMap<u64, Entry> = HashMap::new();
+    for (i, leaf) in ctx.leaves.iter().enumerate() {
+        best.insert(
+            1 << i,
+            Entry {
+                plan: ResidualNode::Leaf(i),
+                cost: leaf.cost,
+                rows: leaf.rows,
+            },
+        );
+    }
+    for mask in 1..=full {
+        if mask & full != mask || mask.count_ones() < 2 || !ctx.connected(mask) {
+            continue;
+        }
+        let out_rows = ctx.rows_of(mask, budget)?;
+        let mut best_here: Option<Entry> = None;
+        // Enumerate proper non-empty submask splits; visiting each
+        // unordered pair in both orientations covers both build sides.
+        let mut left = (mask - 1) & mask;
+        while left != 0 {
+            let right = mask & !left;
+            if let (Some(le), Some(re)) = (best.get(&left), best.get(&right)) {
+                let (algo, op) = ctx.best_pair(
+                    ctx.union_set(left),
+                    le.rows,
+                    ctx.union_set(right),
+                    re.rows,
+                    out_rows,
+                    budget,
+                )?;
+                let total = le.cost + re.cost + op;
+                // total_cmp so NaN costs sort last instead of poisoning
+                // the incumbent (house NaN rule).
+                if best_here
+                    .as_ref()
+                    .is_none_or(|b| total.total_cmp(&b.cost).is_lt())
+                {
+                    best_here = Some(Entry {
+                        plan: ResidualNode::Join {
+                            algo,
+                            left: Box::new(le.plan.clone()),
+                            right: Box::new(re.plan.clone()),
+                        },
+                        cost: total,
+                        rows: out_rows,
+                    });
+                }
+            }
+            left = (left - 1) & mask;
+        }
+        if let Some(e) = best_here {
+            best.insert(mask, e);
+        }
+    }
+    best.remove(&full)
+        .map(|e| ResidualChoice {
+            plan: e.plan,
+            cost: e.cost,
+        })
+        .ok_or_else(|| EngineError::NoPlanFound("residual DP produced no plan".into()))
+}
+
+fn greedy_residual(ctx: &ResidualCtx<'_>, budget: &mut WorkMeter) -> Result<ResidualChoice> {
+    struct Item {
+        plan: ResidualNode,
+        mask: u64,
+        set: TableSet,
+        rows: f64,
+        cost: f64,
+    }
+    let mut items: Vec<Item> = ctx
+        .leaves
+        .iter()
+        .enumerate()
+        .map(|(i, leaf)| Item {
+            plan: ResidualNode::Leaf(i),
+            mask: 1 << i,
+            set: leaf.set,
+            rows: leaf.rows,
+            cost: leaf.cost,
+        })
+        .collect();
+    while items.len() > 1 {
+        let mut best_pair = (0usize, 1usize);
+        let mut best_op = f64::INFINITY;
+        let mut best_conn = false;
+        for i in 0..items.len() {
+            for j in 0..items.len() {
+                if i == j {
+                    continue;
+                }
+                let conn = !ctx
+                    .query
+                    .joins_between(items[i].set, items[j].set)
+                    .is_empty();
+                let out_rows = ctx.rows_of(items[i].mask | items[j].mask, budget)?;
+                let (_, op) = ctx.best_pair(
+                    items[i].set,
+                    items[i].rows,
+                    items[j].set,
+                    items[j].rows,
+                    out_rows,
+                    budget,
+                )?;
+                // Connected candidates strictly dominate cross products.
+                if (conn, -op) > (best_conn, -best_op) {
+                    best_conn = conn;
+                    best_op = op;
+                    best_pair = (i, j);
+                }
+            }
+        }
+        let (i, j) = best_pair;
+        let (hi, lo) = (i.max(j), i.min(j));
+        let b = items.swap_remove(hi);
+        let a = items.swap_remove(lo);
+        let (l, r) = if i < j { (a, b) } else { (b, a) };
+        let out_rows = ctx.rows_of(l.mask | r.mask, budget)?;
+        let (algo, op) = ctx.best_pair(l.set, l.rows, r.set, r.rows, out_rows, budget)?;
+        items.push(Item {
+            plan: ResidualNode::Join {
+                algo,
+                left: Box::new(l.plan),
+                right: Box::new(r.plan),
+            },
+            mask: l.mask | r.mask,
+            set: l.set.union(r.set),
+            rows: out_rows,
+            cost: l.cost + r.cost + op,
+        });
+    }
+    let item = items.pop().expect("at least one residual item");
+    Ok(ResidualChoice {
+        plan: item.plan,
+        cost: item.cost,
+    })
+}
+
+/// Re-cost an existing residual plan under (possibly different) leaf rows
+/// and cardinalities, charging `budget` like [`enumerate_residual`] —
+/// this is how the running plan's remaining cost is computed for the
+/// keep-or-switch comparison, and how cached residual plans are re-scored
+/// before reuse.
+pub fn residual_cost(
+    query: &SpjQuery,
+    leaves: &[ResidualLeaf],
+    node: &ResidualNode,
+    card: &dyn CardSource,
+    params: &CostParams,
+    hints: &HintSet,
+    budget: &mut WorkMeter,
+) -> Result<f64> {
+    let algos = allowed_algos(hints);
+    if algos.is_empty() {
+        return Err(EngineError::NoPlanFound(
+            "all join algorithms disabled".into(),
+        ));
+    }
+    let ctx = ResidualCtx {
+        query,
+        leaves,
+        card,
+        params,
+        algos,
+        adj: Vec::new(),
+    };
+    fn rec(
+        ctx: &ResidualCtx<'_>,
+        node: &ResidualNode,
+        budget: &mut WorkMeter,
+    ) -> Result<(f64, f64, TableSet)> {
+        match node {
+            ResidualNode::Leaf(i) => {
+                let leaf = &ctx.leaves[*i];
+                Ok((leaf.cost, leaf.rows, leaf.set))
+            }
+            ResidualNode::Join { algo, left, right } => {
+                let (lcost, lrows, lset) = rec(ctx, left, budget)?;
+                let (rcost, rrows, rset) = rec(ctx, right, budget)?;
+                let out_set = lset.union(rset);
+                budget.add(RESIDUAL_LOOKUP_WORK)?;
+                let out_rows = ctx.card.cardinality(ctx.query, out_set);
+                budget.add(RESIDUAL_COST_EVAL_WORK)?;
+                let has_cond = !ctx.query.joins_between(lset, rset).is_empty();
+                let op = join_op_cost(
+                    *algo,
+                    ctx.params,
+                    lrows,
+                    rrows,
+                    out_rows,
+                    out_set.len(),
+                    has_cond,
+                );
+                Ok((lcost + rcost + op, out_rows, out_set))
+            }
+        }
+    }
+    rec(&ctx, node, budget).map(|(cost, _, _)| cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::card_source::TraditionalCardSource;
+    use crate::query::expr::{ColRef, JoinCond, TableRef};
+    use crate::query::spj::SpjQuery;
+    use crate::stats::table_stats::{CatalogStats, StatsConfig};
+    use crate::table::TableBuilder;
+    use crate::Catalog;
+    use std::sync::Arc;
+
+    /// Chain a -> b -> d (same shape as the enumerate tests).
+    fn setup() -> (Arc<Catalog>, SpjQuery, TraditionalCardSource) {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("a")
+                .int("id", (0..50).collect())
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("b")
+                .int("id", (0..500).collect())
+                .int("a_id", (0..500).map(|i| i % 50).collect())
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("d")
+                .int("id", (0..1500).collect())
+                .int("b_id", (0..1500).map(|i| i % 500).collect())
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        );
+        let q = SpjQuery::new(
+            vec![
+                TableRef::new("a", "a"),
+                TableRef::new("b", "b"),
+                TableRef::new("d", "d"),
+            ],
+            vec![
+                JoinCond::new(ColRef::new("a", "id"), ColRef::new("b", "a_id")),
+                JoinCond::new(ColRef::new("b", "id"), ColRef::new("d", "b_id")),
+            ],
+            vec![],
+        );
+        let c = Arc::new(c);
+        let stats = Arc::new(CatalogStats::build(&c, StatsConfig::default()));
+        let card = TraditionalCardSource::new(c.clone(), stats);
+        (c, q, card)
+    }
+
+    fn leaves_all_pending(q: &SpjQuery, card: &dyn CardSource) -> Vec<ResidualLeaf> {
+        (0..q.num_tables())
+            .map(|i| {
+                let set = TableSet::singleton(i);
+                ResidualLeaf {
+                    set,
+                    rows: card.cardinality(q, set),
+                    cost: 10.0,
+                    materialized: false,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn residual_dp_covers_all_leaves() {
+        let (_c, q, card) = setup();
+        let leaves = leaves_all_pending(&q, &card);
+        let mut budget = WorkMeter::new(None);
+        let choice = enumerate_residual(
+            &q,
+            &leaves,
+            &card,
+            &CostParams::default(),
+            &HintSet::default(),
+            &mut budget,
+        )
+        .unwrap();
+        assert_eq!(choice.plan.tables(&leaves), q.all_tables());
+        assert_eq!(choice.plan.num_joins(), 2);
+        assert!(choice.cost.is_finite());
+        assert!(budget.work() > 0.0, "enumeration charged the budget");
+    }
+
+    #[test]
+    fn materialized_leaf_becomes_input() {
+        let (_c, q, card) = setup();
+        // a⋈b is already materialized with its exact 500 rows.
+        let ab = TableSet::singleton(0).union(TableSet::singleton(1));
+        let leaves = vec![
+            ResidualLeaf {
+                set: ab,
+                rows: 500.0,
+                cost: 0.0,
+                materialized: true,
+            },
+            ResidualLeaf {
+                set: TableSet::singleton(2),
+                rows: card.cardinality(&q, TableSet::singleton(2)),
+                cost: 10.0,
+                materialized: false,
+            },
+        ];
+        let mut budget = WorkMeter::new(None);
+        let choice = enumerate_residual(
+            &q,
+            &leaves,
+            &card,
+            &CostParams::default(),
+            &HintSet::default(),
+            &mut budget,
+        )
+        .unwrap();
+        assert_eq!(choice.plan.tables(&leaves), q.all_tables());
+        assert_eq!(choice.plan.num_joins(), 1);
+    }
+
+    #[test]
+    fn tight_budget_trips_work_limit() {
+        let (_c, q, card) = setup();
+        let leaves = leaves_all_pending(&q, &card);
+        let mut budget = WorkMeter::new(Some(RESIDUAL_LOOKUP_WORK / 2.0));
+        let err = enumerate_residual(
+            &q,
+            &leaves,
+            &card,
+            &CostParams::default(),
+            &HintSet::default(),
+            &mut budget,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::WorkLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn recost_matches_enumerated_cost() {
+        let (_c, q, card) = setup();
+        let leaves = leaves_all_pending(&q, &card);
+        let mut budget = WorkMeter::new(None);
+        let params = CostParams::default();
+        let hints = HintSet::default();
+        let choice = enumerate_residual(&q, &leaves, &card, &params, &hints, &mut budget).unwrap();
+        let recost = residual_cost(
+            &q,
+            &leaves,
+            &choice.plan,
+            &card,
+            &params,
+            &hints,
+            &mut budget,
+        )
+        .unwrap();
+        assert_eq!(recost.to_bits(), choice.cost.to_bits());
+    }
+
+    #[test]
+    fn disconnected_residual_falls_back_to_greedy() {
+        let (_c, mut q, card) = setup();
+        q.joins.pop(); // disconnect d
+        let leaves = leaves_all_pending(&q, &card);
+        let mut budget = WorkMeter::new(None);
+        let choice = enumerate_residual(
+            &q,
+            &leaves,
+            &card,
+            &CostParams::default(),
+            &HintSet::default(),
+            &mut budget,
+        )
+        .unwrap();
+        assert_eq!(choice.plan.tables(&leaves), q.all_tables());
+        // The cross product must be a nested-loop join.
+        fn check(n: &ResidualNode) {
+            if let ResidualNode::Join { left, right, .. } = n {
+                check(left);
+                check(right);
+            }
+        }
+        check(&choice.plan);
+    }
+}

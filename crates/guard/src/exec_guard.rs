@@ -85,6 +85,20 @@ impl<'a> RegressionGuard<'a> {
         self
     }
 
+    /// The native plan's predicted work and the budget derived from it.
+    fn predicted_and_budget(
+        &self,
+        query: &SpjQuery,
+        native: &PhysNode,
+        card: &dyn CardSource,
+    ) -> Result<(f64, f64)> {
+        let predicted = plan_cost(native, query, self.catalog, card, &self.params)?;
+        Ok((
+            predicted,
+            (predicted * self.cfg.work_factor).max(self.cfg.min_budget),
+        ))
+    }
+
     /// The budget the guard would grant `chosen` given the native plan's
     /// predicted work under `card`.
     pub fn budget_for(
@@ -93,8 +107,8 @@ impl<'a> RegressionGuard<'a> {
         native: &PhysNode,
         card: &dyn CardSource,
     ) -> Result<f64> {
-        let predicted = plan_cost(native, query, self.catalog, card, &self.params)?;
-        Ok((predicted * self.cfg.work_factor).max(self.cfg.min_budget))
+        self.predicted_and_budget(query, native, card)
+            .map(|(_, budget)| budget)
     }
 
     /// Execute `chosen` under the budget derived from `native`'s predicted
@@ -108,7 +122,7 @@ impl<'a> RegressionGuard<'a> {
         native: &PhysNode,
         card: &dyn CardSource,
     ) -> Result<GuardedExecution> {
-        let budget = self.budget_for(query, native, card)?;
+        let (predicted, budget) = self.predicted_and_budget(query, native, card)?;
         // The native plan is its own budget reference: run it unguarded
         // rather than risk cancelling it on its own prediction error.
         let same_plan = chosen.fingerprint() == native.fingerprint();
@@ -130,10 +144,21 @@ impl<'a> RegressionGuard<'a> {
             }),
             Err(EngineError::WorkLimitExceeded { .. }) => {
                 self.obs.count("lqo.guard.replans", 1);
+                // The cancelled plan burned at least `budget` work units,
+                // i.e. at least `ratio ×` the native plan's prediction —
+                // record the ratio so recovery tables can attribute how
+                // far off the rails the chosen plan was before cancel.
+                let ratio = if predicted > 0.0 {
+                    budget / predicted
+                } else {
+                    f64::INFINITY
+                };
                 self.obs.with_query(|t| {
                     t.guard.push(GuardEvent {
                         component: "exec".to_string(),
-                        fault: "work-regression".to_string(),
+                        fault: format!(
+                            "work-regression:predicted={predicted:.0}:budget={budget:.0}:ratio={ratio:.2}"
+                        ),
                         action: "replan:native".to_string(),
                     });
                 });
@@ -279,7 +304,17 @@ mod tests {
                     .counter("lqo.guard.replans"),
                 Some(1)
             );
-            assert!(trace.guard.iter().any(|g| g.component == "exec"));
+            let ev = trace
+                .guard
+                .iter()
+                .find(|g| g.component == "exec")
+                .expect("cancel records a trace-visible guard event");
+            assert!(
+                ev.fault.starts_with("work-regression:predicted=") && ev.fault.contains(":ratio="),
+                "guard event carries the predicted-work ratio: {}",
+                ev.fault
+            );
+            assert_eq!(ev.action, "replan:native");
         }
     }
 }

@@ -38,6 +38,7 @@ pub mod breaker;
 pub mod exec_guard;
 pub mod fault;
 pub mod guarded;
+pub mod reopt_guard;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use exec_guard::{GuardedExecution, RegressionGuard, RegressionGuardConfig};
@@ -45,3 +46,4 @@ pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultyCardSource, FaultyEstim
 pub use guarded::{
     GuardConfig, GuardFault, GuardedCardSource, GuardedEstimator, GuardedRiskModel, PlanBudget,
 };
+pub use reopt_guard::{ReoptGuard, ReoptGuardConfig};

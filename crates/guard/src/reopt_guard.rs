@@ -1,0 +1,101 @@
+//! The re-optimization guard: bounds how much work mid-query re-planning
+//! may consume, and arbitrates keep-vs-switch decisions.
+//!
+//! Mid-query re-optimization is itself a learned-adjacent risk: a
+//! re-planning pass driven by bad calibration could burn more work than
+//! it saves, or swap in a worse plan. This guard applies the crate's
+//! degradation doctrine to the re-optimizer: re-planning runs under a
+//! work-unit allowance carved out of the query's *remaining* execution
+//! budget (so a re-plan can never push a query past the budget it
+//! already had), and a candidate sub-plan is only adopted when it is
+//! strictly cheaper than re-costing the current plan — ties and NaNs
+//! keep the plan as-is.
+
+/// Re-optimization guard tuning.
+#[derive(Debug, Clone)]
+pub struct ReoptGuardConfig {
+    /// Hard cap, in work units, on a single re-planning pass.
+    pub replan_work_cap: f64,
+}
+
+impl Default for ReoptGuardConfig {
+    fn default() -> ReoptGuardConfig {
+        ReoptGuardConfig {
+            replan_work_cap: 5e4,
+        }
+    }
+}
+
+/// Budgets re-planning passes and arbitrates switch decisions.
+#[derive(Debug, Clone, Default)]
+pub struct ReoptGuard {
+    cfg: ReoptGuardConfig,
+}
+
+impl ReoptGuard {
+    /// A guard with the given tuning.
+    pub fn new(cfg: ReoptGuardConfig) -> ReoptGuard {
+        ReoptGuard { cfg }
+    }
+
+    /// Work-unit allowance for one re-planning pass, given the query's
+    /// remaining execution budget (`None` = unbudgeted query). The
+    /// allowance never exceeds the remaining budget, so charging replan
+    /// work against the query's meter cannot trip it by itself; an
+    /// exhausted budget yields a zero allowance and the pass degrades
+    /// immediately to plan-as-is.
+    pub fn replan_budget(&self, remaining: Option<f64>) -> f64 {
+        match remaining {
+            Some(rem) => self.cfg.replan_work_cap.min(rem.max(0.0)),
+            None => self.cfg.replan_work_cap,
+        }
+    }
+
+    /// Whether a candidate sub-plan should replace the current one:
+    /// strictly cheaper, with NaN on either side keeping the current
+    /// plan (total-order comparison, house NaN rule).
+    pub fn accepts(&self, current_cost: f64, candidate_cost: f64) -> bool {
+        !candidate_cost.is_nan() && candidate_cost.total_cmp(&current_cost).is_lt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowance_is_capped_by_remaining_budget() {
+        let g = ReoptGuard::new(ReoptGuardConfig {
+            replan_work_cap: 100.0,
+        });
+        assert_eq!(g.replan_budget(Some(40.0)), 40.0);
+        assert_eq!(g.replan_budget(Some(400.0)), 100.0);
+        assert_eq!(g.replan_budget(None), 100.0);
+    }
+
+    #[test]
+    fn exhausted_budget_yields_zero_allowance() {
+        let g = ReoptGuard::default();
+        assert_eq!(g.replan_budget(Some(0.0)), 0.0);
+        assert_eq!(g.replan_budget(Some(-5.0)), 0.0);
+    }
+
+    #[test]
+    fn accepts_only_strict_improvement() {
+        let g = ReoptGuard::default();
+        assert!(g.accepts(100.0, 99.0));
+        assert!(!g.accepts(100.0, 100.0));
+        assert!(!g.accepts(100.0, 101.0));
+    }
+
+    #[test]
+    fn nan_costs_keep_the_current_plan() {
+        let g = ReoptGuard::default();
+        assert!(!g.accepts(100.0, f64::NAN));
+        // A NaN current cost sorts above every real number under
+        // total_cmp, so any finite candidate is accepted — re-costing
+        // failure on the current plan must not pin a broken plan.
+        assert!(g.accepts(f64::NAN, 100.0));
+        assert!(!g.accepts(f64::NAN, f64::NAN));
+    }
+}

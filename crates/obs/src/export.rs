@@ -15,7 +15,7 @@ use crate::metrics::{Histogram, MetricsSnapshot};
 pub const TRACE_SCHEMA_VERSION: u64 = 1;
 use crate::trace::{
     CacheEvent, CardLookup, ExecTrace, GuardEvent, OperatorEvent, PhaseTiming, PlannerTrace,
-    QueryOutcome, QueryTrace,
+    QueryOutcome, QueryTrace, ReoptEvent,
 };
 
 fn u64_value(v: u64) -> Value {
@@ -109,6 +109,22 @@ pub fn trace_to_json(t: &QueryTrace) -> Value {
             ])
         })
         .collect();
+    let reopt = t
+        .reopt
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                ("tables".into(), u64_value(r.tables)),
+                ("observed_rows".into(), u64_value(r.observed_rows)),
+                ("est_rows".into(), Value::Float(r.est_rows)),
+                ("q_error".into(), Value::Float(r.q_error)),
+                ("action".into(), Value::Str(r.action.clone())),
+                ("replan_work".into(), Value::Float(r.replan_work)),
+                ("old_cost".into(), opt_f64(r.old_cost)),
+                ("new_cost".into(), opt_f64(r.new_cost)),
+            ])
+        })
+        .collect();
     let outcome = match &t.outcome {
         Some(o) => Value::Obj(vec![
             ("count".into(), u64_value(o.count)),
@@ -133,6 +149,7 @@ pub fn trace_to_json(t: &QueryTrace) -> Value {
         ("exec".into(), exec),
         ("guard".into(), Value::Arr(guard)),
         ("cache".into(), Value::Arr(cache)),
+        ("reopt".into(), Value::Arr(reopt)),
         ("outcome".into(), outcome),
     ])
 }
@@ -233,6 +250,27 @@ pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
             .collect::<Option<Vec<_>>>()?,
         None => Vec::new(),
     };
+    // Likewise absent in traces exported before adaptive re-optimization
+    // existed: read as empty rather than failing the whole parse.
+    let reopt = match v.get("reopt") {
+        Some(arr) => arr
+            .as_arr()?
+            .iter()
+            .map(|r| {
+                Some(ReoptEvent {
+                    tables: r.get("tables")?.as_u64()?,
+                    observed_rows: r.get("observed_rows")?.as_u64()?,
+                    est_rows: r.get("est_rows")?.as_f64()?,
+                    q_error: r.get("q_error")?.as_f64()?,
+                    action: str_field(r, "action")?,
+                    replan_work: r.get("replan_work")?.as_f64()?,
+                    old_cost: r.get("old_cost").and_then(Value::as_f64),
+                    new_cost: r.get("new_cost").and_then(Value::as_f64),
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        None => Vec::new(),
+    };
     let outcome = match v.get("outcome")? {
         Value::Null => None,
         o => Some(QueryOutcome {
@@ -250,6 +288,7 @@ pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
         exec,
         guard,
         cache,
+        reopt,
         outcome,
     })
 }
@@ -386,6 +425,16 @@ mod tests {
             event: "hit".into(),
             detail: "epoch=3".into(),
         });
+        t.reopt.push(ReoptEvent {
+            tables: 0b11,
+            observed_rows: 4000,
+            est_rows: 40.0,
+            q_error: 100.0,
+            action: "switch".into(),
+            replan_work: 12.5,
+            old_cost: Some(9000.0),
+            new_cost: Some(800.0),
+        });
         t.outcome = Some(QueryOutcome {
             count: 40,
             work: 321.5,
@@ -474,6 +523,22 @@ mod tests {
         assert!(!text.contains("\"cache\""), "field not stripped: {text}");
         let back = trace_from_json(&parse(&text).unwrap()).unwrap();
         with.cache.clear();
+        assert_eq!(back, with);
+    }
+
+    #[test]
+    fn traces_without_reopt_field_still_parse() {
+        // Pre-reopt exports had no "reopt" array; they must round-trip
+        // to an empty event list, not a parse failure.
+        let mut with = sample_trace();
+        let json = trace_to_json(&with).to_compact();
+        let needle = ",\"reopt\":[";
+        let start = json.find(needle).expect("reopt field present");
+        let end = json[start..].find("}]").map(|i| start + i + 2).unwrap();
+        let text = format!("{}{}", &json[..start], &json[end..]);
+        assert!(!text.contains("\"reopt\""), "field not stripped: {text}");
+        let back = trace_from_json(&parse(&text).unwrap()).unwrap();
+        with.reopt.clear();
         assert_eq!(back, with);
     }
 

@@ -111,6 +111,25 @@ pub fn render_trace(t: &QueryTrace) -> String {
             ));
         }
     }
+    if !t.reopt.is_empty() {
+        out.push_str("  reopt checkpoints:\n");
+        for r in &t.reopt {
+            let costs = match (r.old_cost, r.new_cost) {
+                (Some(old), Some(new)) => format!("  old={old:.1} new={new:.1}"),
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "    {:<12} obs={:<10} est={:<12.1} q={:<8.2} -> {:<14} replan_work={:.1}{}\n",
+                fmt_tables(r.tables),
+                r.observed_rows,
+                r.est_rows,
+                r.q_error,
+                r.action,
+                r.replan_work,
+                costs
+            ));
+        }
+    }
     if t.exec.timeout {
         out.push_str("  ** execution hit its work budget (timeout) **\n");
     }
@@ -167,7 +186,9 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
 mod tests {
     use super::*;
     use crate::metrics::MetricsRegistry;
-    use crate::trace::{CacheEvent, CardLookup, GuardEvent, OperatorEvent, QueryOutcome};
+    use crate::trace::{
+        CacheEvent, CardLookup, GuardEvent, OperatorEvent, QueryOutcome, ReoptEvent,
+    };
 
     #[test]
     fn trace_rendering_mentions_key_facts() {
@@ -201,6 +222,16 @@ mod tests {
             event: "hit".into(),
             detail: "saved=5".into(),
         });
+        t.reopt.push(ReoptEvent {
+            tables: 0b101,
+            observed_rows: 80,
+            est_rows: 20.0,
+            q_error: 4.0,
+            action: "switch".into(),
+            replan_work: 7.5,
+            old_cost: Some(640.0),
+            new_cost: Some(320.0),
+        });
         t.outcome = Some(QueryOutcome {
             count: 80,
             work: 99.0,
@@ -221,6 +252,9 @@ mod tests {
             "fallback:traditional",
             "cache events",
             "saved=5",
+            "reopt checkpoints",
+            "switch",
+            "replan_work=7.5",
             "timeout",
             "80 rows",
         ] {

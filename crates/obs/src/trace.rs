@@ -115,6 +115,35 @@ pub struct CacheEvent {
     pub detail: String,
 }
 
+/// One mid-query re-optimization decision taken at a materialization
+/// checkpoint: the executor compared observed vs estimated cardinality
+/// at a pipeline breaker and either kept the running plan, spliced in a
+/// re-optimized residual sub-plan, or degraded because re-planning
+/// itself failed or ran out of budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReoptEvent {
+    /// Bitmask of the tables materialized at the checkpoint
+    /// (`TableSet` raw bits).
+    pub tables: u64,
+    /// Observed output cardinality at the checkpoint, in rows.
+    pub observed_rows: u64,
+    /// The planner's estimate for the same table set.
+    pub est_rows: f64,
+    /// Q-error that triggered the decision
+    /// (`max(est/obs, obs/est)`, both floored at one row).
+    pub q_error: f64,
+    /// What happened: `"switch"`, `"keep:cost"`, `"keep:budget"`,
+    /// `"noop:identical"`, or `"degrade:<fault>"`.
+    pub action: String,
+    /// Work units spent re-planning (bounded by the reopt guard budget).
+    pub replan_work: f64,
+    /// Re-costed residual cost of the running plan, when re-planning got
+    /// far enough to compute it.
+    pub old_cost: Option<f64>,
+    /// Cost of the re-optimized residual sub-plan, when one was produced.
+    pub new_cost: Option<f64>,
+}
+
 /// Final result facts, recorded when the query finishes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
@@ -148,6 +177,9 @@ pub struct QueryTrace {
     /// invalidations), in occurrence order. Empty when no cache is
     /// attached.
     pub cache: Vec<CacheEvent>,
+    /// Mid-query re-optimization decisions, in checkpoint order. Empty
+    /// when adaptive re-optimization is disabled or never triggered.
+    pub reopt: Vec<ReoptEvent>,
     /// Final outcome, if the query ran to an answer.
     pub outcome: Option<QueryOutcome>,
 }
@@ -164,6 +196,7 @@ impl QueryTrace {
             exec: ExecTrace::default(),
             guard: Vec::new(),
             cache: Vec::new(),
+            reopt: Vec::new(),
             outcome: None,
         }
     }

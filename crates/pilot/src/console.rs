@@ -149,6 +149,18 @@ impl PilotConsole {
         self
     }
 
+    /// Enable mid-query adaptive re-optimization for all queries routed
+    /// through this console: plans execute under materialization
+    /// checkpoints, and a confirmed cardinality misestimate re-plans the
+    /// remaining sub-plan within the guard budget (see `lqo-reopt`).
+    /// Untriggered execution is byte-identical to the plain path, and a
+    /// switched query still returns the same tuple multiset, so driver
+    /// feedback signals stay comparable.
+    pub fn with_reopt(self, cfg: lqo_reopt::ReoptConfig) -> PilotConsole {
+        self.interactor.set_reopt(Some(cfg));
+        self
+    }
+
     /// Attach an observability context: each `execute_sql` call becomes
     /// one query trace (parse/plan/execute/feedback phases, driver
     /// attribution, planner and operator provenance), and the context is
@@ -520,6 +532,19 @@ mod tests {
         };
         assert_eq!(serial_out.count, parallel_out.count);
         assert_eq!(serial_out.work.to_bits(), parallel_out.work.to_bits());
+    }
+
+    #[test]
+    fn reopt_console_preserves_results_and_untriggered_work() {
+        let (mut plain, _) = console();
+        let base = plain.execute_sql(SQL).unwrap();
+        let (reopt, _) = console();
+        // Default thresholds won't trip on a well-estimated workload, so
+        // the checkpointed path must match the plain one bit for bit.
+        let mut reopt = reopt.with_reopt(lqo_reopt::ReoptConfig::default());
+        let out = reopt.execute_sql(SQL).unwrap();
+        assert_eq!(out.count, base.count);
+        assert_eq!(out.work.to_bits(), base.work.to_bits());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use lqo_engine::{
 };
 use lqo_obs::ObsContext;
 use lqo_prof::ProfContext;
+use lqo_reopt::{ReoptConfig, ReoptExecutor};
 
 use crate::interactor::{DbInteractor, PullReply, PullRequest, PushAction, SessionId};
 
@@ -41,6 +42,7 @@ pub struct EngineInteractor {
     prof: Mutex<ProfContext>,
     exec_mode: Mutex<ExecMode>,
     cache: Mutex<Option<Arc<LqoCache>>>,
+    reopt: Mutex<Option<ReoptConfig>>,
     /// Work budget per execution (timeout stand-in).
     pub max_work: Option<f64>,
 }
@@ -63,6 +65,7 @@ impl EngineInteractor {
             prof: Mutex::new(ProfContext::disabled()),
             exec_mode: Mutex::new(ExecMode::Serial),
             cache: Mutex::new(None),
+            reopt: Mutex::new(None),
             max_work: Some(1e10),
         }
     }
@@ -228,17 +231,32 @@ impl DbInteractor for EngineInteractor {
                 self.pull(session, PullRequest::ExecutePlan(query, plan))
             }
             PullRequest::ExecutePlan(query, plan) => {
-                let executor = Executor::new(
-                    &self.catalog,
-                    ExecConfig {
-                        max_work: self.max_work,
-                        mode: self.exec_mode(),
-                        ..Default::default()
-                    },
-                )
-                .with_obs(self.obs())
-                .with_prof(self.prof());
-                let result = executor.execute(&query, &plan)?;
+                let exec_config = ExecConfig {
+                    max_work: self.max_work,
+                    mode: self.exec_mode(),
+                    ..Default::default()
+                };
+                let reopt_cfg = self.reopt.lock().clone();
+                let result = if let Some(cfg) = reopt_cfg {
+                    // Checkpointed execution: q-errors are measured
+                    // against the session's own estimator stack (the one
+                    // the plan was built on), so a steered session
+                    // re-plans against its steering.
+                    let (card, hints) = self.session_card(session)?;
+                    let mut reopt = ReoptExecutor::new(&self.catalog, exec_config, card, cfg)
+                        .with_obs(self.obs())
+                        .with_prof(self.prof())
+                        .with_hints(hints);
+                    if let Some(cache) = self.cache.lock().clone() {
+                        reopt = reopt.with_cache(cache);
+                    }
+                    reopt.execute(&query, &plan)?
+                } else {
+                    Executor::new(&self.catalog, exec_config)
+                        .with_obs(self.obs())
+                        .with_prof(self.prof())
+                        .execute(&query, &plan)?
+                };
                 Ok(PullReply::Execution {
                     count: result.count,
                     work: result.work,
@@ -281,6 +299,10 @@ impl DbInteractor for EngineInteractor {
             s.injected = Arc::new(InjectedCardSource::new(memo.clone()));
         }
         *self.cache.lock() = Some(cache.clone());
+    }
+
+    fn set_reopt(&self, cfg: Option<ReoptConfig>) {
+        *self.reopt.lock() = cfg;
     }
 }
 
@@ -398,6 +420,78 @@ mod tests {
         };
         assert_eq!(count, serial_count);
         assert_eq!(work.to_bits(), serial_work.to_bits());
+    }
+
+    #[test]
+    fn reopt_untriggered_execution_is_byte_identical() {
+        let (ix, q) = setup();
+        let s = ix.open_session();
+        let PullReply::Plan { plan, .. } = ix.pull(s, PullRequest::Plan(q.clone())).unwrap() else {
+            panic!()
+        };
+        let PullReply::Execution {
+            count: n0,
+            work: w0,
+            ..
+        } = ix
+            .pull(s, PullRequest::ExecutePlan(q.clone(), plan.clone()))
+            .unwrap()
+        else {
+            panic!()
+        };
+        // An infinite threshold never triggers: the checkpointed driver
+        // must replicate the plain executor exactly.
+        ix.set_reopt(Some(ReoptConfig {
+            q_error_threshold: f64::INFINITY,
+            ..Default::default()
+        }));
+        let PullReply::Execution { count, work, .. } =
+            ix.pull(s, PullRequest::ExecutePlan(q, plan)).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(count, n0);
+        assert_eq!(work.to_bits(), w0.to_bits());
+        ix.set_reopt(None);
+    }
+
+    #[test]
+    fn reopt_recovers_from_poisoned_session_estimate() {
+        let (ix, q) = setup();
+        let s = ix.open_session();
+        let PullReply::Plan { plan, .. } = ix.pull(s, PullRequest::Plan(q.clone())).unwrap() else {
+            panic!()
+        };
+        let PullReply::Execution { count: truth, .. } = ix
+            .pull(s, PullRequest::ExecutePlan(q.clone(), plan.clone()))
+            .unwrap()
+        else {
+            panic!()
+        };
+        // Poison the session's belief about the filtered users scan, then
+        // execute with re-optimization armed: the first checkpoint sees
+        // the real row count, trips, and whatever happens next must not
+        // change the answer.
+        ix.push(
+            s,
+            PushAction::InjectCardinality {
+                query: q.clone(),
+                set: TableSet::singleton(0),
+                card: 1.0,
+            },
+        )
+        .unwrap();
+        ix.set_reopt(Some(ReoptConfig {
+            q_error_threshold: 4.0,
+            confirm_streak: 1,
+            ..Default::default()
+        }));
+        let PullReply::Execution { count, .. } =
+            ix.pull(s, PullRequest::ExecutePlan(q, plan)).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(count, truth);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use lqo_cache::LqoCache;
 use lqo_engine::{ExecMode, HintSet, PhysNode, Result, SpjQuery, TableSet};
 use lqo_obs::ObsContext;
 use lqo_prof::ProfContext;
+use lqo_reopt::ReoptConfig;
 
 /// Identifier of one interaction session (one "database connection").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -121,4 +122,14 @@ pub trait DbInteractor: Send + Sync {
     /// estimator stacks over the memoized base. Default: ignored, so
     /// interactors without caching keep working unchanged.
     fn attach_cache(&self, _cache: &Arc<LqoCache>) {}
+
+    /// Enable (`Some`) or disable (`None`) mid-query adaptive
+    /// re-optimization for subsequent executions: plans run under
+    /// materialization checkpoints, and a confirmed cardinality
+    /// misestimate re-plans the remaining sub-plan under the guard
+    /// budget. Checkpointed execution is byte-identical to the plain
+    /// path when nothing triggers, and answer-identical (same tuple
+    /// multiset) after a switch. Default: ignored, so interactors
+    /// without a checkpointed executor keep working unchanged.
+    fn set_reopt(&self, _cfg: Option<ReoptConfig>) {}
 }

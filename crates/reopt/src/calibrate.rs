@@ -1,0 +1,111 @@
+//! Runtime-calibrated cardinalities: the estimator stack the residual
+//! enumerator plans against.
+//!
+//! At a re-planning point the executor knows the *exact* cardinality of
+//! every materialized intermediate. Those observations do two jobs here:
+//! a set that exactly matches a materialized anchor is answered with its
+//! observed row count, and any superset is answered with the base
+//! estimate scaled by the observed/estimated ratio of every anchor it
+//! contains — the classical mid-query re-optimization correction (Kabra
+//! & DeWitt style), applied on top of whatever session estimator
+//! produced the original plan.
+
+use lqo_engine::{CardSource, SpjQuery, TableSet};
+
+/// A [`CardSource`] that corrects a base estimator with observed
+/// cardinalities of materialized sub-queries.
+pub struct CalibratedCardSource<'a> {
+    inner: &'a dyn CardSource,
+    /// Materialized anchors: `(covered tables, observed rows)`.
+    anchors: Vec<(TableSet, f64)>,
+}
+
+impl<'a> CalibratedCardSource<'a> {
+    /// Calibrate `inner` with observed `(set, rows)` anchors.
+    pub fn new(inner: &'a dyn CardSource, anchors: Vec<(TableSet, f64)>) -> Self {
+        CalibratedCardSource { inner, anchors }
+    }
+}
+
+impl CardSource for CalibratedCardSource<'_> {
+    fn cardinality(&self, query: &SpjQuery, set: TableSet) -> f64 {
+        // Exact anchor: the truth needs no estimator.
+        for (s, rows) in &self.anchors {
+            if *s == set {
+                return rows.max(1.0);
+            }
+        }
+        let mut est = self.inner.cardinality(query, set);
+        for (s, rows) in &self.anchors {
+            if s.is_subset_of(set) {
+                let believed = self.inner.cardinality(query, *s).max(1.0);
+                est *= rows.max(1.0) / believed;
+            }
+        }
+        est.max(1.0)
+    }
+
+    fn name(&self) -> &str {
+        "reopt-calibrated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stub estimator answering a constant for every set.
+    struct Flat(f64);
+    impl CardSource for Flat {
+        fn cardinality(&self, _q: &SpjQuery, _s: TableSet) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &str {
+            "flat"
+        }
+    }
+
+    fn q() -> SpjQuery {
+        use lqo_engine::{JoinCond, TableRef};
+        SpjQuery::new(
+            vec![TableRef::new("a", "a"), TableRef::new("b", "b")],
+            vec![JoinCond::new(
+                lqo_engine::ColRef::new("a", "x"),
+                lqo_engine::ColRef::new("b", "x"),
+            )],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn exact_anchor_returns_observation() {
+        let inner = Flat(100.0);
+        let ab = TableSet::from_iter([0, 1]);
+        let cal = CalibratedCardSource::new(&inner, vec![(ab, 4000.0)]);
+        assert_eq!(cal.cardinality(&q(), ab), 4000.0);
+    }
+
+    #[test]
+    fn superset_is_ratio_scaled() {
+        let inner = Flat(100.0);
+        let a = TableSet::singleton(0);
+        // Anchor observed 40x the inner belief: supersets scale by 40.
+        let cal = CalibratedCardSource::new(&inner, vec![(a, 4000.0)]);
+        let sup = TableSet::from_iter([0, 1]);
+        assert_eq!(cal.cardinality(&q(), sup), 4000.0);
+    }
+
+    #[test]
+    fn disjoint_sets_are_untouched() {
+        let inner = Flat(100.0);
+        let cal = CalibratedCardSource::new(&inner, vec![(TableSet::singleton(0), 4000.0)]);
+        assert_eq!(cal.cardinality(&q(), TableSet::singleton(1)), 100.0);
+    }
+
+    #[test]
+    fn results_are_floored_at_one_row() {
+        let inner = Flat(0.001);
+        let cal = CalibratedCardSource::new(&inner, vec![]);
+        assert_eq!(cal.cardinality(&q(), TableSet::singleton(0)), 1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # lqo-reopt
+//!
+//! Mid-query adaptive re-optimization with checkpointed sub-plan
+//! switching — the survey's answer to the observation that even the best
+//! learned (or classical) estimator is sometimes wrong *at runtime*, and
+//! the only unimpeachable cardinality is the one you just materialized.
+//!
+//! The [`ReoptExecutor`] drives a physical plan one operator at a time
+//! through the engine's step seam ([`lqo_engine::Executor::exec_scan_step`]
+//! / [`lqo_engine::Executor::exec_join_step`]), replicating the serial
+//! post-order exactly — same operators, same canonical row order, same
+//! work-unit charge sequence — so when nothing triggers, execution is
+//! **byte-identical** to the monolithic executor. After every operator
+//! (a materialization checkpoint: hash-join build completion,
+//! intermediate relation materialization) it compares the observed
+//! cardinality with the estimate the plan was built on. When the q-error
+//! crosses a configurable threshold for a confirm-streak of consecutive
+//! checkpoints (mirroring `lqo-watch` alarm debouncing), it re-optimizes
+//! only the *remaining* sub-plan:
+//!
+//! * already-materialized relations become leaf inputs — exact rows,
+//!   zero acquisition cost — to a fresh enumeration over the residual
+//!   join graph ([`lqo_engine::enumerate_residual`]);
+//! * estimates for not-yet-built sub-queries are calibrated by the
+//!   observed/estimated ratios of the materialized anchors
+//!   ([`CalibratedCardSource`]), memoized per pass through
+//!   [`lqo_cache::OptMemo`];
+//! * re-planning work is bounded by [`lqo_guard::ReoptGuard`]'s
+//!   allowance carved from the query's remaining execution budget, and
+//!   every failure mode — budget exhausted, enumeration error, a panic
+//!   out of a faulty estimator — degrades to continuing the original
+//!   plan as-is;
+//! * a new sub-plan is spliced in only when it is strictly cheaper than
+//!   re-costing the current one under the same calibrated estimates, and
+//!   re-planned residual sub-plans are reused across queries through the
+//!   epoch-tagged residual cache in [`lqo_cache::LqoCache`].
+//!
+//! Every checkpoint decision lands on the query trace as a
+//! [`lqo_obs::trace::ReoptEvent`] and on the `lqo.reopt.*` metrics.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod executor;
+
+pub use calibrate::CalibratedCardSource;
+pub use executor::{ReoptConfig, ReoptExecutor, ReoptReport};

@@ -18,6 +18,10 @@
 //! * [`differential`] — run a (query, plan) through serial and parallel
 //!   modes at multiple thread counts and morsel sizes and compare
 //!   everything ([`differential::diff_plan`]), plus workload sweeps.
+//! * [`reopt_diff`] — the same standard for the checkpointed
+//!   re-optimizing executor: byte identity when no checkpoint triggers,
+//!   answer identity (normalized tuple multiset) after a sub-plan
+//!   switch ([`reopt_diff::diff_reopt_plan`]).
 //! * [`sqlgen`] — seeded random SPJ query and random physical-plan
 //!   generators for property tests.
 //! * [`golden`] — golden-file snapshots with a `BLESS=1` regeneration
@@ -31,8 +35,10 @@
 
 pub mod differential;
 pub mod golden;
+pub mod reopt_diff;
 pub mod sqlgen;
 
 pub use differential::{diff_plan, diff_workload, DiffConfig, DiffOutcome};
 pub use golden::check_golden;
+pub use reopt_diff::{diff_reopt_plan, diff_reopt_workload, ReoptDiffConfig, ReoptDiffOutcome};
 pub use sqlgen::{random_plan, random_query, RandomQueryConfig};
