@@ -2,9 +2,10 @@
 //! Scale with `LQO_SCALE=small|default|large`.
 
 use lqo_bench_suite::experiments::e9_chaos::{
-    run_reopt_chaos, run_traced, run_worker_chaos, Config,
+    run_incident_chaos, run_reopt_chaos, run_traced, run_worker_chaos, Config,
 };
 use lqo_bench_suite::report::{dump_json, dump_text, obs_report};
+use lqo_flight::{render_postmortem, write_bundles_jsonl};
 use lqo_obs::export::write_jsonl;
 
 fn main() {
@@ -15,14 +16,26 @@ fn main() {
     let (table, obs) = run_traced(&cfg);
     let (worker_table, _worker_obs) = run_worker_chaos(&cfg);
     let (reopt_table, _reopt_obs) = run_reopt_chaos(&cfg);
+    let (incident_table, bundles) = run_incident_chaos(&cfg);
     let _ = std::panic::take_hook();
     println!("{}", table.render());
     println!("{}", worker_table.render());
     println!("{}", reopt_table.render());
+    println!("{}", incident_table.render());
+    // Worked example: the postmortem for the first captured incident.
+    if let Some(b) = bundles.first() {
+        println!("{}", render_postmortem(b, true));
+    }
     println!("{}", obs_report(&obs));
     dump_json("exp_e9_chaos", &table);
     dump_json("exp_e9_worker_chaos", &worker_table);
     dump_json("exp_e9_reopt_chaos", &reopt_table);
+    dump_json("exp_e9_incident_chaos", &incident_table);
+    dump_text("exp_e9_incidents.jsonl", &write_bundles_jsonl(&bundles));
+    eprintln!(
+        "wrote {} incident bundles to results/exp_e9_incidents.jsonl",
+        bundles.len()
+    );
     let traces = obs.take_finished_traces();
     dump_text("exp_e9_traces.jsonl", &write_jsonl(&traces));
     eprintln!(

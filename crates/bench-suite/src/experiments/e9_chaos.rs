@@ -511,6 +511,403 @@ pub fn run_reopt_chaos(cfg: &Config) -> (TextTable, ObsContext) {
     (table, last_obs)
 }
 
+/// Incident forensics (E9d): the flight-recorder acceptance run. Each
+/// injected fault class — a panicking learned cardinality rung that opens
+/// its circuit breaker, a parallel worker dying mid-morsel, a faulted
+/// mid-query re-optimization — is aimed at exactly one designated query
+/// of the workload while the flight recorder is attached end to end; the
+/// recorder must capture exactly one well-formed incident bundle per
+/// class (and none on the fault-free control pass), and every query must
+/// still return the fault-free answer: zero aborts, byte-identical
+/// results. Returns the class table and the captured bundles for the
+/// JSONL artifact.
+pub fn run_incident_chaos(cfg: &Config) -> (TextTable, Vec<lqo_flight::IncidentBundle>) {
+    use lqo_engine::optimizer::InjectedCardSource;
+    use lqo_engine::{ExecConfig, ExecMode, ParallelConfig, TableSet};
+    use lqo_flight::{FlightConfig, FlightContext};
+    use lqo_reopt::{ReoptConfig, ReoptExecutor};
+
+    let catalog = Arc::new(stats_like(cfg.scale.max(40), cfg.seed).unwrap());
+    let fit = FitContext::new(catalog.clone());
+    let oracle = Arc::new(TrueCardOracle::new(catalog.clone()));
+    let mut queries = generate_single_table_workload(
+        &catalog,
+        "posts",
+        &WorkloadConfig {
+            num_queries: cfg.num_single.clamp(2, 6),
+            seed: cfg.seed ^ 0x11,
+            ..Default::default()
+        },
+    );
+    let first_join = queries.len();
+    queries.extend(generate_workload(
+        &catalog,
+        &WorkloadConfig {
+            num_queries: cfg.num_joins.clamp(2, 6),
+            min_tables: 2,
+            max_tables: 4,
+            seed: cfg.seed ^ 0x22,
+            ..Default::default()
+        },
+    ));
+
+    let learned: Arc<dyn CardSource> = Arc::new(EstimatorCardSource::new(Arc::from(
+        build_estimator(EstimatorKind::Sampling, &fit, &oracle, &[]),
+    )));
+    let hybrid: Arc<dyn CardSource> = Arc::new(EstimatorCardSource::new(Arc::from(
+        build_estimator(EstimatorKind::Histogram, &fit, &oracle, &[]),
+    )));
+    let native: Arc<dyn CardSource> = Arc::new(TraditionalCardSource::new(
+        catalog.clone(),
+        fit.stats.clone(),
+    ));
+    let plain_optimizer = Optimizer::with_defaults(&catalog);
+    let plans: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            plain_optimizer
+                .optimize_default(q, native.as_ref())
+                .unwrap()
+                .plan
+        })
+        .collect();
+    // Fault-free serial reference: count, exact work bits, and both row
+    // digests (raw for kept plans, normalized for switched ones).
+    let serial = Executor::with_defaults(&catalog);
+    let baseline: Vec<(u64, u64, u64, u64)> = queries
+        .iter()
+        .zip(&plans)
+        .map(|(q, p)| {
+            let (r, rel) = serial.execute_collect(q, p).unwrap();
+            (
+                r.count,
+                r.work.to_bits(),
+                rel.digest(),
+                rel.normalize().canonical_digest(),
+            )
+        })
+        .collect();
+
+    let mut table = TextTable::new(
+        "E9d: incident forensics — one well-formed bundle per injected fault class",
+        &[
+            "class",
+            "queries",
+            "faulty-query",
+            "bundles",
+            "trigger",
+            "bundle-events",
+            "results",
+        ],
+    );
+    let mut all_bundles = Vec::new();
+    // Per-class epilogue: flush, drain, and hold the recorder to the
+    // one-bundle (or, for the control, zero-bundle) contract.
+    let finish = |table: &mut TextTable,
+                  class: &str,
+                  faulty_idx: Option<usize>,
+                  flight: &FlightContext,
+                  expect_prefix: Option<&str>|
+     -> Vec<lqo_flight::IncidentBundle> {
+        flight.flush_metrics();
+        let bundles = flight.take_bundles();
+        if let Some(prefix) = expect_prefix {
+            assert_eq!(
+                bundles.len(),
+                1,
+                "{class}: expected exactly one bundle, got {}",
+                bundles.len()
+            );
+            let b = &bundles[0];
+            assert!(b.is_well_formed(), "{class}: malformed bundle");
+            assert!(
+                b.trigger.starts_with(prefix),
+                "{class}: unexpected trigger {}",
+                b.trigger
+            );
+            assert!(!b.events.is_empty(), "{class}: bundle carries no events");
+            assert!(b.trace.is_some(), "{class}: bundle carries no query trace");
+            table.row(vec![
+                class.to_string(),
+                queries.len().to_string(),
+                faulty_idx.map_or_else(|| "-".to_string(), |i| i.to_string()),
+                "1".to_string(),
+                b.trigger.clone(),
+                b.events.len().to_string(),
+                "identical".to_string(),
+            ]);
+        } else {
+            assert!(
+                bundles.is_empty(),
+                "{class}: fault-free control captured {} bundles",
+                bundles.len()
+            );
+            table.row(vec![
+                class.to_string(),
+                queries.len().to_string(),
+                "-".to_string(),
+                "0".to_string(),
+                "-".to_string(),
+                "0".to_string(),
+                "identical".to_string(),
+            ]);
+        }
+        bundles
+    };
+
+    // -- class 1: card fault → breaker-open bundle ------------------------
+    {
+        let obs = ObsContext::enabled();
+        let flight = FlightContext::new(FlightConfig::default(), obs.clone());
+        let clean = GuardedCardSource::new("card", GuardConfig::default(), obs.clone())
+            .rung("learned", learned.clone())
+            .rung("hybrid", hybrid.clone())
+            .rung("native", native.clone())
+            .with_flight(flight.clone());
+        // Rate-1.0 panics: every learned-rung call fails, so the breaker's
+        // consecutive-failure threshold is crossed inside the designated
+        // query (a join's enumeration makes well over three guarded calls).
+        let fault_plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: cfg.seed ^ 0xA,
+            rate: 1.0,
+            kinds: vec![FaultKind::Panic],
+            stall: std::time::Duration::from_micros(cfg.stall_us),
+        }));
+        let faulty = GuardedCardSource::new("card", GuardConfig::default(), obs.clone())
+            .rung(
+                "learned",
+                Arc::new(FaultyCardSource::new(learned.clone(), fault_plan.clone()))
+                    as Arc<dyn CardSource>,
+            )
+            .rung(
+                "hybrid",
+                Arc::new(FaultyCardSource::new(hybrid.clone(), fault_plan.clone())),
+            )
+            .rung("native", native.clone())
+            .with_flight(flight.clone());
+        let optimizer = Optimizer::with_defaults(&catalog)
+            .with_obs(obs.clone())
+            .with_flight(flight.clone());
+        let executor = Executor::with_defaults(&catalog)
+            .with_obs(obs.clone())
+            .with_flight(flight.clone());
+        let designated = first_join;
+        for (i, q) in queries.iter().enumerate() {
+            let guarded = if i == designated { &faulty } else { &clean };
+            obs.begin_query(&q.to_string());
+            flight.begin_query(&q.to_string());
+            guarded.begin_query();
+            let choice = optimizer
+                .optimize_default(q, guarded)
+                .expect("guarded planning never fails");
+            let r = executor
+                .execute(q, &choice.plan)
+                .expect("execution never fails");
+            assert_eq!(r.count, baseline[i].0, "card fault changed a result");
+            let trace = obs.end_query();
+            flight.end_query(trace.as_ref(), None);
+        }
+        let opens = obs
+            .metrics()
+            .unwrap()
+            .snapshot()
+            .counter("lqo.guard.breaker_opens")
+            .unwrap_or(0);
+        assert!(opens > 0, "the designated card fault must open the breaker");
+        all_bundles.extend(finish(
+            &mut table,
+            "card-fault",
+            Some(designated),
+            &flight,
+            Some("breaker-open:card"),
+        ));
+    }
+
+    // -- class 2: worker panic → worker-fault bundle ----------------------
+    {
+        let obs = ObsContext::enabled();
+        let flight = FlightContext::new(FlightConfig::default(), obs.clone());
+        let parallel_cfg = || ExecConfig {
+            mode: ExecMode::Parallel { threads: 4 },
+            parallel: ParallelConfig {
+                morsel_rows: 16,
+                panic_on_morsel: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // Probe (deterministic; no recorder attached) for the first query
+        // whose parallel execution actually schedules a morsel — tiny
+        // inputs run serially and would never fire the injected panic.
+        let designated = (0..queries.len())
+            .find(|&i| {
+                let probe_obs = ObsContext::enabled();
+                let probe = Executor::new(&catalog, parallel_cfg()).with_obs(probe_obs.clone());
+                probe
+                    .execute(&queries[i], &plans[i])
+                    .expect("degradation, not failure");
+                probe_obs
+                    .metrics()
+                    .unwrap()
+                    .snapshot()
+                    .counter("lqo.exec.parallel.degraded")
+                    .unwrap_or(0)
+                    > 0
+            })
+            .expect("some query must exercise the parallel executor");
+        let faulty = Executor::new(&catalog, parallel_cfg())
+            .with_obs(obs.clone())
+            .with_flight(flight.clone());
+        let clean = Executor::with_defaults(&catalog)
+            .with_obs(obs.clone())
+            .with_flight(flight.clone());
+        for (i, q) in queries.iter().enumerate() {
+            let executor = if i == designated { &faulty } else { &clean };
+            obs.begin_query(&q.to_string());
+            flight.begin_query(&q.to_string());
+            let r = executor
+                .execute(q, &plans[i])
+                .expect("degradation, not failure");
+            assert_eq!(r.count, baseline[i].0, "worker fault changed a result");
+            assert_eq!(r.work.to_bits(), baseline[i].1, "worker fault changed work");
+            let trace = obs.end_query();
+            flight.end_query(trace.as_ref(), None);
+        }
+        all_bundles.extend(finish(
+            &mut table,
+            "worker-panic",
+            Some(designated),
+            &flight,
+            Some("worker-fault:"),
+        ));
+    }
+
+    // -- class 3: reopt fault → reopt-switch / reopt-degrade bundle -------
+    {
+        let obs = ObsContext::enabled();
+        let flight = FlightContext::new(FlightConfig::default(), obs.clone());
+        // Poisoned base-table estimates make checkpoints trip; panics at
+        // 50% fault some of the re-planning lookups. Probe (same seeds,
+        // fresh fault plan per candidate, so the real pass replays the
+        // identical fault sequence) for the first join query whose report
+        // carries a trigger-class action — a switch or a degrade.
+        let make_faulty = |i: usize| -> Arc<dyn CardSource> {
+            let poisoned = InjectedCardSource::new(native.clone());
+            for t in 0..queries[i].num_tables() {
+                poisoned.inject(&queries[i], TableSet::singleton(t), 1.0);
+            }
+            let fault_plan = Arc::new(FaultPlan::new(FaultConfig {
+                seed: cfg.seed ^ 0xD ^ (i as u64),
+                rate: 0.5,
+                kinds: vec![FaultKind::Panic],
+                stall: std::time::Duration::from_micros(cfg.stall_us),
+            }));
+            Arc::new(FaultyCardSource::new(Arc::new(poisoned), fault_plan))
+        };
+        let reopt_cfg = ReoptConfig {
+            q_error_threshold: 4.0,
+            confirm_streak: 1,
+            ..Default::default()
+        };
+        let designated = (first_join..queries.len())
+            .find(|&i| {
+                let exec = ReoptExecutor::new(
+                    &catalog,
+                    ExecConfig::default(),
+                    make_faulty(i),
+                    reopt_cfg.clone(),
+                );
+                let (_, _, report) = exec
+                    .execute_collect(&queries[i], &plans[i])
+                    .expect("degradation, not failure");
+                report
+                    .events
+                    .iter()
+                    .any(|e| e.action == "switch" || e.action.starts_with("degrade"))
+            })
+            .expect("some join query must trigger re-optimization");
+        let faulty = ReoptExecutor::new(
+            &catalog,
+            ExecConfig::default(),
+            make_faulty(designated),
+            reopt_cfg,
+        )
+        .with_obs(obs.clone())
+        .with_flight(flight.clone());
+        let clean = Executor::with_defaults(&catalog)
+            .with_obs(obs.clone())
+            .with_flight(flight.clone());
+        for (i, q) in queries.iter().enumerate() {
+            obs.begin_query(&q.to_string());
+            flight.begin_query(&q.to_string());
+            if i == designated {
+                let (r, rel, report) = faulty
+                    .execute_collect(q, &plans[i])
+                    .expect("degradation, not failure");
+                assert_eq!(r.count, baseline[i].0, "reopt fault changed a result");
+                if report.switches == 0 {
+                    assert_eq!(rel.digest(), baseline[i].2, "kept plan changed rows");
+                } else {
+                    assert_eq!(
+                        rel.normalize().canonical_digest(),
+                        baseline[i].3,
+                        "switched plan changed the answer"
+                    );
+                }
+            } else {
+                let r = clean.execute(q, &plans[i]).expect("execution never fails");
+                assert_eq!(r.count, baseline[i].0, "clean query changed a result");
+            }
+            let trace = obs.end_query();
+            flight.end_query(trace.as_ref(), None);
+        }
+        all_bundles.extend(finish(
+            &mut table,
+            "reopt-fault",
+            Some(designated),
+            &flight,
+            Some("reopt-"),
+        ));
+    }
+
+    // -- control: no faults → zero bundles --------------------------------
+    {
+        let obs = ObsContext::enabled();
+        let flight = FlightContext::new(FlightConfig::default(), obs.clone());
+        let guarded = GuardedCardSource::new("card", GuardConfig::default(), obs.clone())
+            .rung("learned", learned.clone())
+            .rung("hybrid", hybrid.clone())
+            .rung("native", native.clone())
+            .with_flight(flight.clone());
+        let optimizer = Optimizer::with_defaults(&catalog)
+            .with_obs(obs.clone())
+            .with_flight(flight.clone());
+        let executor = Executor::with_defaults(&catalog)
+            .with_obs(obs.clone())
+            .with_flight(flight.clone());
+        for (i, q) in queries.iter().enumerate() {
+            obs.begin_query(&q.to_string());
+            flight.begin_query(&q.to_string());
+            guarded.begin_query();
+            let choice = optimizer
+                .optimize_default(q, &guarded)
+                .expect("guarded planning never fails");
+            let r = executor
+                .execute(q, &choice.plan)
+                .expect("execution never fails");
+            assert_eq!(r.count, baseline[i].0, "control run changed a result");
+            let trace = obs.end_query();
+            flight.end_query(trace.as_ref(), None);
+        }
+        assert!(
+            flight.events_published() > 0,
+            "control still records span events"
+        );
+        all_bundles.extend(finish(&mut table, "control", None, &flight, None));
+    }
+    (table, all_bundles)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,5 +1003,39 @@ mod tests {
                 .unwrap_or(0)
                 > 0
         );
+    }
+
+    #[test]
+    fn tiny_incident_chaos_captures_one_bundle_per_class() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // injected panics are loud
+        let cfg = Config {
+            scale: 60,
+            num_single: 2,
+            num_joins: 4,
+            stall_us: 50,
+            ..Default::default()
+        };
+        let (table, bundles) = run_incident_chaos(&cfg);
+        std::panic::set_hook(prev);
+        // Three fault classes plus the fault-free control row; the
+        // one-bundle-per-class contract is asserted inside the run, so
+        // here we check the cross-class shape and the artifact format.
+        assert_eq!(table.rows.len(), 4);
+        assert_eq!(bundles.len(), 3);
+        for b in &bundles {
+            assert!(b.is_well_formed());
+            assert!(b.trace.is_some());
+            assert!(!b.metrics_delta.is_empty());
+        }
+        let triggers: Vec<&str> = bundles.iter().map(|b| b.trigger.as_str()).collect();
+        assert!(triggers.iter().any(|t| t.starts_with("breaker-open:card")));
+        assert!(triggers.iter().any(|t| t.starts_with("worker-fault:")));
+        assert!(triggers.iter().any(|t| t.starts_with("reopt-")));
+        // The bundle log round-trips through the JSONL artifact format.
+        let jsonl = lqo_flight::write_bundles_jsonl(&bundles);
+        let parsed = lqo_flight::parse_bundles_jsonl(&jsonl).expect("bundles parse back");
+        assert_eq!(parsed.len(), bundles.len());
+        assert!(parsed.iter().all(|b| b.is_well_formed()));
     }
 }

@@ -66,18 +66,16 @@ impl TextTable {
 }
 
 /// Write any serializable result as JSON next to the experiment output
-/// (`results/<name>.json`); creates the directory if needed. Errors are
-/// reported but non-fatal — the printed table is the primary artifact.
+/// (`results/<name>.json`); creates the directory if needed. The write is
+/// crash-safe (temp file + atomic rename, via
+/// [`lqo_obs::export::atomic_write`]) so a killed run never leaves a
+/// truncated artifact. Errors are reported but non-fatal — the printed
+/// table is the primary artifact.
 pub fn dump_json<T: Serialize>(name: &str, value: &T) {
-    let dir = Path::new("results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results dir: {e}");
-        return;
-    }
-    let path = dir.join(format!("{name}.json"));
+    let path = Path::new("results").join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {
         Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
+            if let Err(e) = lqo_obs::export::atomic_write(&path, &json) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
             }
         }
@@ -87,15 +85,10 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) {
 
 /// Write a raw text artifact (e.g. a JSONL trace dump or a rendered
 /// metrics table) to `results/<name>`; creates the directory if needed.
-/// Errors are reported but non-fatal, like [`dump_json`].
+/// Crash-safe and non-fatal on error, like [`dump_json`].
 pub fn dump_text(name: &str, contents: &str) {
-    let dir = Path::new("results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results dir: {e}");
-        return;
-    }
-    let path = dir.join(name);
-    if let Err(e) = std::fs::write(&path, contents) {
+    let path = Path::new("results").join(name);
+    if let Err(e) = lqo_obs::export::atomic_write(&path, contents) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     }
 }

@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use lqo_engine::{PhysNode, ResidualNode};
+use lqo_flight::{FlightContext, FlightEvent, Producer};
 use lqo_obs::trace::CacheEvent;
 use lqo_obs::ObsContext;
 
@@ -165,6 +166,9 @@ pub struct LqoCache {
     /// Components currently in the drifted state (for edge detection).
     drifted: Mutex<HashSet<String>>,
     obs: Mutex<ObsContext>,
+    /// Flight recorder handle; behind its own lock because the cache is
+    /// shared via `Arc` and the recorder is attached after construction.
+    flight: Mutex<FlightContext>,
     card_hits: AtomicU64,
     card_misses: AtomicU64,
     card_evictions: AtomicU64,
@@ -195,6 +199,7 @@ impl LqoCache {
             residuals: Mutex::new(BoundedLru::new(cfg.residual_capacity)),
             drifted: Mutex::new(HashSet::new()),
             obs: Mutex::new(ObsContext::disabled()),
+            flight: Mutex::new(FlightContext::disabled()),
             card_hits: AtomicU64::new(0),
             card_misses: AtomicU64::new(0),
             card_evictions: AtomicU64::new(0),
@@ -221,13 +226,32 @@ impl LqoCache {
         *self.obs.lock() = obs.clone();
     }
 
+    /// Publish cache events and stats-epoch bumps onto the black-box
+    /// flight ring from now on. Takes `&self` because the cache is
+    /// typically shared via `Arc` by the time the recorder exists.
+    pub fn attach_flight(&self, flight: &FlightContext) {
+        *self.flight.lock() = flight.clone();
+    }
+
     fn obs(&self) -> ObsContext {
         self.obs.lock().clone()
     }
 
     fn event(&self, obs: &ObsContext, cache: &str, event: &str, detail: String) {
+        let flight = self.flight.lock();
+        if flight.is_enabled() {
+            flight.publish(
+                Producer::Cache,
+                FlightEvent::Cache {
+                    cache: cache.to_string(),
+                    event: event.to_string(),
+                    detail: detail.clone(),
+                },
+            );
+        }
+        drop(flight);
         obs.with_query(|t| {
-            t.cache.push(CacheEvent {
+            t.push_cache(CacheEvent {
                 cache: cache.to_string(),
                 event: event.to_string(),
                 detail,
@@ -265,6 +289,21 @@ impl LqoCache {
         obs.count("lqo.cache.plan.invalidations", dropped_plans as u64);
         obs.count("lqo.cache.residual.invalidations", dropped_residuals as u64);
         obs.count("lqo.cache.epoch_bumps", 1);
+        {
+            let flight = self.flight.lock();
+            if flight.is_enabled() {
+                flight.publish(
+                    Producer::Cache,
+                    FlightEvent::EpochBump {
+                        epoch,
+                        detail: format!(
+                            "dropped={}",
+                            dropped_cards + dropped_plans + dropped_residuals
+                        ),
+                    },
+                );
+            }
+        }
         self.event(
             &obs,
             "card",

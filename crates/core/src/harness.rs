@@ -6,6 +6,7 @@
 use std::sync::Arc;
 
 use lqo_engine::{EngineError, ExecConfig, ExecMode, Executor, PhysNode, Result, SpjQuery};
+use lqo_flight::{FlightContext, FlightEvent, Producer};
 use lqo_obs::trace::QueryOutcome;
 use lqo_obs::ObsContext;
 use lqo_prof::ProfContext;
@@ -67,6 +68,7 @@ pub struct TrainingLoop {
     queries: Vec<SpjQuery>,
     obs: ObsContext,
     prof: ProfContext,
+    flight: FlightContext,
     watch: Option<Arc<ModelHealthMonitor>>,
     exec_mode: ExecMode,
 }
@@ -92,6 +94,7 @@ impl TrainingLoop {
             queries,
             obs: ObsContext::disabled(),
             prof: ProfContext::disabled(),
+            flight: FlightContext::disabled(),
             watch: None,
             exec_mode: ExecMode::Serial,
         })
@@ -121,6 +124,15 @@ impl TrainingLoop {
     /// across training epochs.
     pub fn with_prof(mut self, prof: ProfContext) -> TrainingLoop {
         self.prof = prof;
+        self
+    }
+
+    /// Attach a flight recorder: every executed query in every epoch
+    /// becomes one flight-query window, contained planning failures are
+    /// published as guard events, and any severity trigger snapshots an
+    /// incident bundle finalized with the query's trace and profile.
+    pub fn with_flight(mut self, flight: FlightContext) -> TrainingLoop {
+        self.flight = flight;
         self
     }
 
@@ -171,7 +183,8 @@ impl TrainingLoop {
                 },
             )
             .with_obs(self.obs.clone())
-            .with_prof(self.prof.clone());
+            .with_prof(self.prof.clone())
+            .with_flight(self.flight.clone());
             if self.obs.is_enabled() {
                 self.obs.begin_query(&q.to_string());
                 let name = opt.name().to_string();
@@ -179,6 +192,9 @@ impl TrainingLoop {
             }
             if self.prof.is_enabled() {
                 self.prof.begin_query(&q.to_string());
+            }
+            if self.flight.is_enabled() {
+                self.flight.begin_query(&q.to_string());
             }
             // A learned optimizer that panics or errors while planning
             // must not take the epoch down with it: contain the failure,
@@ -226,14 +242,16 @@ impl TrainingLoop {
                 }
                 Err(_) => budget,
             };
-            if self.obs.is_enabled() {
-                self.obs.with_query(|t| t.join_estimates());
-                let trace = self.obs.end_query();
-                if let (Some(watch), Some(trace)) = (&self.watch, trace) {
-                    watch.ingest_trace(&trace, Some(self.native_work[i]));
-                }
+            self.obs.with_query(|t| t.join_estimates());
+            let trace = self.obs.end_query();
+            if let (Some(watch), Some(trace)) = (&self.watch, &trace) {
+                watch.ingest_trace(trace, Some(self.native_work[i]));
             }
-            self.prof.end_query();
+            let profile = self.prof.end_query();
+            if self.flight.is_enabled() {
+                let folded = profile.as_ref().map(|p| p.profile.to_folded());
+                self.flight.end_query(trace.as_ref(), folded);
+            }
             let ratio = work / self.native_work[i];
             if ratio > 1.1 {
                 regressions += 1;
@@ -265,8 +283,18 @@ impl TrainingLoop {
     fn record_plan_fallback(&self, fault: String) {
         self.obs.count("lqo.guard.fallbacks", 1);
         self.obs.count("lqo.guard.train_plan_failures", 1);
+        if self.flight.is_enabled() {
+            self.flight.publish(
+                Producer::Train,
+                FlightEvent::Guard {
+                    component: "train:optimizer".to_string(),
+                    fault: fault.clone(),
+                    action: "fallback:native-plan".to_string(),
+                },
+            );
+        }
         self.obs.with_query(|t| {
-            t.guard.push(lqo_obs::trace::GuardEvent {
+            t.push_guard(lqo_obs::trace::GuardEvent {
                 component: "train:optimizer".to_string(),
                 fault,
                 action: "fallback:native-plan".to_string(),

@@ -24,7 +24,7 @@ pub(crate) fn native_cost(ctx: &OptContext, query: &SpjQuery, plan: &PhysNode) -
             ctx.obs.count("lqo.guard.native_cost_errors", 1);
             let detail = e.to_string();
             ctx.obs.with_query(|t| {
-                t.guard.push(lqo_obs::trace::GuardEvent {
+                t.push_guard(lqo_obs::trace::GuardEvent {
                     component: "risk:native-cost".to_string(),
                     fault: detail.clone(),
                     action: "score:infinity".to_string(),

@@ -34,6 +34,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use lqo_flight::{FlightContext, FlightEvent, Producer};
 use lqo_obs::trace::{GuardEvent, OperatorEvent};
 use lqo_obs::ObsContext;
 use lqo_prof::ProfContext;
@@ -141,6 +142,7 @@ pub struct Executor<'a> {
     pub(crate) config: ExecConfig,
     pub(crate) obs: ObsContext,
     pub(crate) prof: ProfContext,
+    pub(crate) flight: FlightContext,
 }
 
 impl<'a> Executor<'a> {
@@ -151,6 +153,7 @@ impl<'a> Executor<'a> {
             config,
             obs: ObsContext::disabled(),
             prof: ProfContext::disabled(),
+            flight: FlightContext::disabled(),
         }
     }
 
@@ -174,6 +177,14 @@ impl<'a> Executor<'a> {
     /// time under the operator that dispatched them.
     pub fn with_prof(mut self, prof: ProfContext) -> Executor<'a> {
         self.prof = prof;
+        self
+    }
+
+    /// Attach a flight recorder; execution span boundaries, work-budget
+    /// trips, and contained worker-fault degrades are published onto the
+    /// black-box ring.
+    pub fn with_flight(mut self, flight: FlightContext) -> Executor<'a> {
+        self.flight = flight;
         self
     }
 
@@ -219,6 +230,15 @@ impl<'a> Executor<'a> {
         }
         let _span = self.obs.span("exec.query");
         let _prof_exec = self.prof.phase("execute");
+        if self.flight.is_enabled() {
+            self.flight.publish(
+                Producer::Exec,
+                FlightEvent::Span {
+                    name: "exec.query".to_string(),
+                    begin: true,
+                },
+            );
+        }
         // One detail decision per query: per-operator phases are only
         // opened on sampled queries (weighted by the stride), keeping
         // sampling-mode overhead flat. Work charges stay exact either
@@ -271,6 +291,24 @@ impl<'a> Executor<'a> {
                 &mut events,
             ),
         };
+        if self.flight.is_enabled() {
+            if let Err(EngineError::WorkLimitExceeded { limit }) = &attempt {
+                self.flight.publish(
+                    Producer::Exec,
+                    FlightEvent::BudgetTrip {
+                        component: "exec".to_string(),
+                        budget: *limit,
+                    },
+                );
+            }
+            self.flight.publish(
+                Producer::Exec,
+                FlightEvent::Span {
+                    name: "exec.query".to_string(),
+                    begin: false,
+                },
+            );
+        }
         match attempt {
             Ok(rel) => {
                 if self.obs.is_enabled() {
@@ -376,13 +414,22 @@ impl<'a> Executor<'a> {
 
     /// Note a contained parallel worker fault and the serial retry.
     fn record_degrade(&self, op: &str) {
+        if self.flight.is_enabled() {
+            self.flight.publish(
+                Producer::Exec,
+                FlightEvent::WorkerFault {
+                    op: op.to_string(),
+                    action: "fallback:serial".to_string(),
+                },
+            );
+        }
         if !self.obs.is_enabled() {
             return;
         }
         self.obs.count("lqo.exec.parallel.degraded", 1);
         let op = op.to_string();
         self.obs.with_query(|t| {
-            t.guard.push(GuardEvent {
+            t.push_guard(GuardEvent {
                 component: "exec:parallel".to_string(),
                 fault: format!("worker-panic:{op}"),
                 action: "fallback:serial".to_string(),

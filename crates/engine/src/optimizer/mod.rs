@@ -13,6 +13,7 @@ pub mod enumerate;
 pub mod hints;
 pub mod residual;
 
+use lqo_flight::{FlightContext, FlightEvent, Producer};
 use lqo_obs::ObsContext;
 use lqo_prof::ProfContext;
 
@@ -40,6 +41,7 @@ pub struct Optimizer<'a> {
     params: CostParams,
     obs: ObsContext,
     prof: ProfContext,
+    flight: FlightContext,
 }
 
 impl<'a> Optimizer<'a> {
@@ -50,6 +52,7 @@ impl<'a> Optimizer<'a> {
             params,
             obs: ObsContext::disabled(),
             prof: ProfContext::disabled(),
+            flight: FlightContext::disabled(),
         }
     }
 
@@ -76,6 +79,14 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Attach a flight recorder; plan-enumeration span boundaries are
+    /// published onto the black-box ring so incident bundles can show
+    /// where in the query lifecycle a fault fired.
+    pub fn with_flight(mut self, flight: FlightContext) -> Optimizer<'a> {
+        self.flight = flight;
+        self
+    }
+
     /// Cost parameters in use.
     pub fn params(&self) -> &CostParams {
         &self.params
@@ -97,8 +108,19 @@ impl<'a> Optimizer<'a> {
                 t.planner.hints = Some(label);
             });
         }
+        if self.flight.is_enabled() {
+            self.flight.publish(
+                Producer::Optimizer,
+                FlightEvent::Span {
+                    name: "plan.optimize".to_string(),
+                    begin: true,
+                },
+            );
+        }
         let graph = JoinGraph::new(query);
-        if query.num_tables() <= hints.dp_table_limit && graph.is_connected(query.all_tables()) {
+        let choice = if query.num_tables() <= hints.dp_table_limit
+            && graph.is_connected(query.all_tables())
+        {
             dp_optimize_obs(
                 query,
                 &graph,
@@ -120,7 +142,17 @@ impl<'a> Optimizer<'a> {
                 &self.obs,
                 &self.prof,
             )
+        };
+        if self.flight.is_enabled() {
+            self.flight.publish(
+                Producer::Optimizer,
+                FlightEvent::Span {
+                    name: "plan.optimize".to_string(),
+                    begin: false,
+                },
+            );
         }
+        choice
     }
 
     /// Optimize with default hints.

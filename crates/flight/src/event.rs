@@ -1,0 +1,325 @@
+//! The unified flight-recorder vocabulary: who published ([`Producer`]),
+//! what happened ([`FlightEvent`]), and the stamped record that lands in
+//! the ring buffer ([`FlightRecord`]).
+//!
+//! Every event-emitting subsystem in the stack (pilot, training harness,
+//! optimizer, executor, guards, model-health watch, caches, mid-query
+//! re-optimization) publishes into one bus using this vocabulary, so a
+//! postmortem reads as a single interleaved timeline instead of five
+//! per-subsystem silos.
+
+/// Number of distinct producers (sized for the fixed per-producer
+/// counter arrays in the ring).
+pub const NUM_PRODUCERS: usize = 8;
+
+/// The subsystem that published an event. Fixed and small so the ring
+/// can keep wait-free per-producer counters in plain arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Producer {
+    /// The session driver (`PilotConsole` or `TrainingLoop`).
+    Pilot,
+    /// The training harness.
+    Train,
+    /// The plan optimizer.
+    Optimizer,
+    /// The plan executor (serial or parallel).
+    Exec,
+    /// Planning/execution guards (`lqo-guard`).
+    Guard,
+    /// The model-health monitor (`lqo-watch`).
+    Watch,
+    /// Plan & inference caches (`lqo-cache`).
+    Cache,
+    /// Mid-query re-optimization (`lqo-reopt`).
+    Reopt,
+}
+
+impl Producer {
+    /// Every producer, in index order.
+    pub const ALL: [Producer; NUM_PRODUCERS] = [
+        Producer::Pilot,
+        Producer::Train,
+        Producer::Optimizer,
+        Producer::Exec,
+        Producer::Guard,
+        Producer::Watch,
+        Producer::Cache,
+        Producer::Reopt,
+    ];
+
+    /// Stable index into per-producer counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Producer::Pilot => 0,
+            Producer::Train => 1,
+            Producer::Optimizer => 2,
+            Producer::Exec => 3,
+            Producer::Guard => 4,
+            Producer::Watch => 5,
+            Producer::Cache => 6,
+            Producer::Reopt => 7,
+        }
+    }
+
+    /// Stable wire name (used in exports and renders).
+    pub fn name(self) -> &'static str {
+        match self {
+            Producer::Pilot => "pilot",
+            Producer::Train => "train",
+            Producer::Optimizer => "optimizer",
+            Producer::Exec => "exec",
+            Producer::Guard => "guard",
+            Producer::Watch => "watch",
+            Producer::Cache => "cache",
+            Producer::Reopt => "reopt",
+        }
+    }
+
+    /// Inverse of [`Producer::name`].
+    pub fn from_name(name: &str) -> Option<Producer> {
+        Producer::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// One thing that happened somewhere in the stack.
+///
+/// The variants deliberately mirror the per-trace event records
+/// (`GuardEvent`/`CacheEvent`/`ReoptEvent` on `QueryTrace`) where those
+/// exist, plus the cross-cutting signals that previously lived only in
+/// metrics counters (breaker transitions, budget trips, worker-panic
+/// degrades, stats-epoch bumps) and span boundaries for timeline
+/// context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightEvent {
+    /// A span boundary: a named region began (`begin == true`) or ended.
+    Span {
+        /// Region name (e.g. `"query"`, `"plan.optimize"`, `"exec.query"`).
+        name: String,
+        /// Whether this is the opening edge.
+        begin: bool,
+    },
+    /// A guard intervention (contained fault, fallback, replan) —
+    /// mirrors `lqo_obs::trace::GuardEvent`.
+    Guard {
+        /// Guarded component (e.g. `"card:learned"`, `"exec"`).
+        component: String,
+        /// What went wrong.
+        fault: String,
+        /// What the guard did about it.
+        action: String,
+    },
+    /// A model-health alarm edge: the watch rollup changed state.
+    WatchAlarm {
+        /// The watched metric or channel that transitioned.
+        metric: String,
+        /// New health state (`"healthy"`, `"degrading"`, `"drifted"`).
+        health: String,
+        /// Free-form detail (e.g. the PSI/KS evidence).
+        detail: String,
+    },
+    /// A cache interaction — mirrors `lqo_obs::trace::CacheEvent`.
+    Cache {
+        /// Which cache (`"plan"` or `"card"`).
+        cache: String,
+        /// What happened (`"hit"`, `"miss"`, `"store"`, ...).
+        event: String,
+        /// Free-form detail.
+        detail: String,
+    },
+    /// A mid-query re-optimization decision (condensed from
+    /// `lqo_obs::trace::ReoptEvent`).
+    Reopt {
+        /// Tables materialized at the checkpoint (`TableSet` raw bits).
+        tables: u64,
+        /// Decision (`"switch"`, `"keep:cost"`, `"degrade:<fault>"`, ...).
+        action: String,
+        /// Q-error that drove the decision.
+        q_error: f64,
+    },
+    /// A work budget tripped (execution cancelled at its limit).
+    BudgetTrip {
+        /// The budgeted component (e.g. `"exec"`).
+        component: String,
+        /// The budget that tripped, in work units.
+        budget: f64,
+    },
+    /// A circuit breaker changed state.
+    Breaker {
+        /// The guarded component the breaker protects.
+        component: String,
+        /// New state (`"open"` or `"closed"`).
+        state: String,
+    },
+    /// A parallel worker died and the query degraded to the serial path.
+    WorkerFault {
+        /// The operator whose morsel the worker was running.
+        op: String,
+        /// The containment action (e.g. `"fallback:serial"`).
+        action: String,
+    },
+    /// The catalog stats epoch advanced, invalidating epoch-keyed caches.
+    EpochBump {
+        /// The new epoch.
+        epoch: u64,
+        /// Free-form detail (what bumped it).
+        detail: String,
+    },
+}
+
+impl FlightEvent {
+    /// Stable kind tag, used as the JSONL discriminant and in renders.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlightEvent::Span { .. } => "span",
+            FlightEvent::Guard { .. } => "guard",
+            FlightEvent::WatchAlarm { .. } => "watch-alarm",
+            FlightEvent::Cache { .. } => "cache",
+            FlightEvent::Reopt { .. } => "reopt",
+            FlightEvent::BudgetTrip { .. } => "budget-trip",
+            FlightEvent::Breaker { .. } => "breaker",
+            FlightEvent::WorkerFault { .. } => "worker-fault",
+            FlightEvent::EpochBump { .. } => "epoch-bump",
+        }
+    }
+
+    /// One-line human rendering for timelines.
+    pub fn summary(&self) -> String {
+        match self {
+            FlightEvent::Span { name, begin } => {
+                format!("span {name} {}", if *begin { "begin" } else { "end" })
+            }
+            FlightEvent::Guard {
+                component,
+                fault,
+                action,
+            } => format!("guard {component}: {fault} -> {action}"),
+            FlightEvent::WatchAlarm {
+                metric,
+                health,
+                detail,
+            } => format!("watch {metric}: {health} ({detail})"),
+            FlightEvent::Cache {
+                cache,
+                event,
+                detail,
+            } => format!("cache {cache}: {event} {detail}"),
+            FlightEvent::Reopt {
+                tables,
+                action,
+                q_error,
+            } => format!("reopt tables={tables:#x}: {action} (q={q_error:.2})"),
+            FlightEvent::BudgetTrip { component, budget } => {
+                format!("budget-trip {component}: budget={budget:.0}")
+            }
+            FlightEvent::Breaker { component, state } => {
+                format!("breaker {component}: {state}")
+            }
+            FlightEvent::WorkerFault { op, action } => {
+                format!("worker-fault {op}: {action}")
+            }
+            FlightEvent::EpochBump { epoch, detail } => {
+                format!("epoch-bump to {epoch} ({detail})")
+            }
+        }
+    }
+}
+
+/// An event as stamped into the ring: globally sequenced, attributed to
+/// a producer with its own per-producer sequence, and correlated to the
+/// query in flight when it was published (`query_id == 0` means outside
+/// any query).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Global publication sequence number (total order across producers).
+    pub seq: u64,
+    /// Who published.
+    pub producer: Producer,
+    /// This producer's own publication sequence number.
+    pub producer_seq: u64,
+    /// Id of the query in flight at publication time, `0` if none.
+    pub query_id: u64,
+    /// What happened.
+    pub event: FlightEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_names_round_trip() {
+        for p in Producer::ALL {
+            assert_eq!(Producer::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Producer::from_name("nope"), None);
+    }
+
+    #[test]
+    fn producer_indexes_are_dense_and_unique() {
+        let mut seen = [false; NUM_PRODUCERS];
+        for p in Producer::ALL {
+            assert!(!seen[p.index()], "duplicate index for {p:?}");
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            FlightEvent::Span {
+                name: "q".into(),
+                begin: true,
+            }
+            .kind(),
+            FlightEvent::Guard {
+                component: "c".into(),
+                fault: "f".into(),
+                action: "a".into(),
+            }
+            .kind(),
+            FlightEvent::WatchAlarm {
+                metric: "m".into(),
+                health: "drifted".into(),
+                detail: String::new(),
+            }
+            .kind(),
+            FlightEvent::Cache {
+                cache: "plan".into(),
+                event: "hit".into(),
+                detail: String::new(),
+            }
+            .kind(),
+            FlightEvent::Reopt {
+                tables: 3,
+                action: "switch".into(),
+                q_error: 8.0,
+            }
+            .kind(),
+            FlightEvent::BudgetTrip {
+                component: "exec".into(),
+                budget: 1e4,
+            }
+            .kind(),
+            FlightEvent::Breaker {
+                component: "card".into(),
+                state: "open".into(),
+            }
+            .kind(),
+            FlightEvent::WorkerFault {
+                op: "HashJoin".into(),
+                action: "fallback:serial".into(),
+            }
+            .kind(),
+            FlightEvent::EpochBump {
+                epoch: 2,
+                detail: "stats".into(),
+            }
+            .kind(),
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+}

@@ -1,0 +1,689 @@
+//! # lqo-flight — flight recorder & incident forensics
+//!
+//! An always-on, bounded-overhead black box for the learned-qo stack.
+//! Every event-emitting subsystem (guards, model-health watch, caches,
+//! mid-query re-optimization, the executor's budget/worker containment,
+//! the optimizer's and pilot's span boundaries) publishes a unified
+//! [`FlightEvent`] into one fixed-capacity, overwrite-oldest MPSC ring
+//! buffer ([`FlightRing`]) through a shared [`FlightContext`] handle —
+//! the same `Option<Arc>` pattern as `ObsContext`/`ProfContext`, so a
+//! disabled recorder costs one branch per call site.
+//!
+//! When a **severity trigger** fires (configurable via
+//! [`FlightTriggers`]: breaker open, confirmed drift, regression-guard
+//! cancel, reopt switch/degrade, worker fault), the recorder snapshots
+//! the ring and, when the offending query ends, finalizes a
+//! self-contained [`IncidentBundle`]: the last N events with monotonic
+//! sequence numbers and query-id correlation, the offending
+//! `QueryTrace`, the metrics-counter delta over the query, and the
+//! query's profiler folded stack. Bundles export as JSONL
+//! (`schema_version` `FLIGHT=1`, [`bundle::write_bundles_jsonl`]) and
+//! render as ANSI postmortems ([`render::render_postmortem`]).
+//!
+//! Capture is rate-limited deterministically: at most one bundle per
+//! query and at most [`FlightConfig::max_bundles`] per context; excess
+//! triggers are counted in `lqo.flight.suppressed`. The `lqo.flight.*`
+//! metrics family (events, dropped, triggers, bundles, suppressed) is
+//! flushed into the attached `ObsContext` at query boundaries so the
+//! per-event hot path touches only relaxed atomics.
+
+pub mod bundle;
+pub mod event;
+pub mod render;
+pub mod ring;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lqo_obs::trace::QueryTrace;
+use lqo_obs::ObsContext;
+
+pub use bundle::{
+    bundle_from_json, bundle_to_json, parse_bundles_jsonl, write_bundles_jsonl, IncidentBundle,
+    FLIGHT_SCHEMA_VERSION,
+};
+pub use event::{FlightEvent, FlightRecord, Producer};
+pub use render::render_postmortem;
+pub use ring::FlightRing;
+
+/// Which severity conditions open an incident bundle.
+#[derive(Debug, Clone)]
+pub struct FlightTriggers {
+    /// A circuit breaker transitioned to open.
+    pub breaker_open: bool,
+    /// The model-health watch confirmed drift.
+    pub confirmed_drift: bool,
+    /// The execution regression guard cancelled the chosen plan.
+    pub regression_cancel: bool,
+    /// Mid-query re-optimization switched sub-plans (or degraded while
+    /// trying to).
+    pub reopt_switch: bool,
+    /// A parallel worker died and execution degraded to serial.
+    pub worker_fault: bool,
+}
+
+impl Default for FlightTriggers {
+    fn default() -> FlightTriggers {
+        FlightTriggers {
+            breaker_open: true,
+            confirmed_drift: true,
+            regression_cancel: true,
+            reopt_switch: true,
+            worker_fault: true,
+        }
+    }
+}
+
+/// Recorder tuning.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Ring capacity in records (rounded up to a power of two).
+    pub capacity: usize,
+    /// Max ring events carried into one bundle (the newest N at trigger
+    /// time).
+    pub bundle_events: usize,
+    /// Rate limit: total bundles captured per context; further triggers
+    /// are suppressed (counted, not captured).
+    pub max_bundles: usize,
+    /// Which severity conditions trigger capture.
+    pub triggers: FlightTriggers,
+}
+
+impl Default for FlightConfig {
+    fn default() -> FlightConfig {
+        FlightConfig {
+            capacity: 1024,
+            bundle_events: 256,
+            max_bundles: 8,
+            triggers: FlightTriggers::default(),
+        }
+    }
+}
+
+struct CurrentQuery {
+    id: u64,
+    label: String,
+    /// Counter snapshot at query begin, for the bundle's metrics delta.
+    baseline: Vec<(String, u64)>,
+}
+
+struct Pending {
+    trigger: String,
+    query_id: u64,
+    /// Ring snapshot taken at trigger time (newest `bundle_events`).
+    events: Vec<FlightRecord>,
+    dropped: Vec<(String, u64)>,
+}
+
+struct FlightState {
+    current: Option<CurrentQuery>,
+    pending: Option<Pending>,
+    bundles: Vec<IncidentBundle>,
+}
+
+struct FlightInner {
+    config: FlightConfig,
+    ring: FlightRing,
+    obs: ObsContext,
+    /// Query-id source (ids start at 1; 0 = outside any query).
+    next_query: AtomicU64,
+    /// Id of the query in flight, 0 when none — read on the publish hot
+    /// path without taking the state lock.
+    current_qid: AtomicU64,
+    next_bundle: AtomicU64,
+    /// Hot-path event counter, flushed into `lqo.flight.events` at
+    /// query boundaries.
+    events: AtomicU64,
+    events_flushed: AtomicU64,
+    dropped_flushed: AtomicU64,
+    state: Mutex<FlightState>,
+}
+
+/// Shared handle to one flight-recording session. Cheap to clone; a
+/// disabled context is a `None` and every call returns immediately.
+#[derive(Clone, Default)]
+pub struct FlightContext {
+    inner: Option<Arc<FlightInner>>,
+}
+
+impl FlightContext {
+    /// An enabled recorder with `config`, flushing `lqo.flight.*`
+    /// metrics into `obs` (pass [`ObsContext::disabled`] for none).
+    pub fn new(config: FlightConfig, obs: ObsContext) -> FlightContext {
+        FlightContext {
+            inner: Some(Arc::new(FlightInner {
+                ring: FlightRing::new(config.capacity),
+                config,
+                obs,
+                next_query: AtomicU64::new(0),
+                current_qid: AtomicU64::new(0),
+                next_bundle: AtomicU64::new(0),
+                events: AtomicU64::new(0),
+                events_flushed: AtomicU64::new(0),
+                dropped_flushed: AtomicU64::new(0),
+                state: Mutex::new(FlightState {
+                    current: None,
+                    pending: None,
+                    bundles: Vec::new(),
+                }),
+            })),
+        }
+    }
+
+    /// An enabled recorder with default configuration and no metrics
+    /// mirroring.
+    pub fn enabled() -> FlightContext {
+        FlightContext::new(FlightConfig::default(), ObsContext::disabled())
+    }
+
+    /// The no-op recorder: every call is a branch on a `None`.
+    pub fn disabled() -> FlightContext {
+        FlightContext { inner: None }
+    }
+
+    /// Whether this context records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The configuration, when enabled.
+    pub fn config(&self) -> Option<&FlightConfig> {
+        self.inner.as_deref().map(|i| &i.config)
+    }
+
+    /// Publish one event into the ring, stamped with the id of the
+    /// query in flight. Hot path: two relaxed atomic adds, one
+    /// uncontended slot lock, plus a rare slow path when the event
+    /// matches a severity trigger.
+    pub fn publish(&self, producer: Producer, event: FlightEvent) {
+        let Some(inner) = &self.inner else { return };
+        inner.events.fetch_add(1, Ordering::Relaxed);
+        let qid = inner.current_qid.load(Ordering::Relaxed);
+        let cause = trigger_cause(&event, &inner.config.triggers);
+        inner.ring.push(producer, qid, event);
+        if let Some(cause) = cause {
+            self.note_trigger(inner, qid, cause);
+        }
+    }
+
+    /// Slow path: a severity trigger fired. Opens a pending incident
+    /// for the query in flight unless one is already open, the rate
+    /// limit is exhausted, or no query is in flight (triggers outside a
+    /// query are counted but not captured — there is no trace to bind
+    /// them to).
+    fn note_trigger(&self, inner: &FlightInner, qid: u64, cause: String) {
+        inner.obs.count("lqo.flight.triggers", 1);
+        let mut st = inner.state.lock();
+        if qid == 0 || st.pending.is_some() || st.bundles.len() >= inner.config.max_bundles {
+            inner.obs.count("lqo.flight.suppressed", 1);
+            return;
+        }
+        let mut events = inner.ring.snapshot();
+        if events.len() > inner.config.bundle_events {
+            let skip = events.len() - inner.config.bundle_events;
+            events.drain(..skip);
+        }
+        let dropped = inner
+            .ring
+            .dropped()
+            .into_iter()
+            .filter(|&(_, n)| n > 0)
+            .map(|(p, n)| (p.name().to_string(), n))
+            .collect();
+        st.pending = Some(Pending {
+            trigger: cause,
+            query_id: qid,
+            events,
+            dropped,
+        });
+    }
+
+    /// Begin a query: assigns it a correlation id, snapshots the
+    /// counter baseline for a later bundle's metrics delta, and
+    /// publishes the opening `query` span edge. A still-open previous
+    /// query is closed (without a trace) first.
+    pub fn begin_query(&self, label: &str) {
+        let Some(inner) = &self.inner else { return };
+        if inner.current_qid.load(Ordering::Relaxed) != 0 {
+            self.end_query(None, None);
+        }
+        let id = inner.next_query.fetch_add(1, Ordering::Relaxed) + 1;
+        let baseline = inner
+            .obs
+            .metrics()
+            .map(|m| m.snapshot().counters)
+            .unwrap_or_default();
+        {
+            let mut st = inner.state.lock();
+            st.current = Some(CurrentQuery {
+                id,
+                label: label.to_string(),
+                baseline,
+            });
+        }
+        inner.current_qid.store(id, Ordering::Relaxed);
+        self.publish(
+            Producer::Pilot,
+            FlightEvent::Span {
+                name: "query".into(),
+                begin: true,
+            },
+        );
+    }
+
+    /// End the current query. If a severity trigger fired during it,
+    /// the pending incident is finalized into a bundle carrying
+    /// `trace` (the query's finished `QueryTrace`) and `prof_folded`
+    /// (its profiler folded stack), and the bundle is returned.
+    /// Accumulated `lqo.flight.*` metrics are flushed either way.
+    pub fn end_query(
+        &self,
+        trace: Option<&QueryTrace>,
+        prof_folded: Option<String>,
+    ) -> Option<IncidentBundle> {
+        let inner = self.inner.as_deref()?;
+        if inner.current_qid.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        self.publish(
+            Producer::Pilot,
+            FlightEvent::Span {
+                name: "query".into(),
+                begin: false,
+            },
+        );
+        inner.current_qid.store(0, Ordering::Relaxed);
+        let out = {
+            let mut st = inner.state.lock();
+            let cur = st.current.take();
+            let pending = st.pending.take();
+            match (cur, pending) {
+                (Some(cur), Some(p)) if p.query_id == cur.id => {
+                    let id = inner.next_bundle.fetch_add(1, Ordering::Relaxed) + 1;
+                    let bundle = IncidentBundle {
+                        id,
+                        trigger: p.trigger,
+                        query_id: cur.id,
+                        query: cur.label,
+                        events: p.events,
+                        dropped: p.dropped,
+                        trace: trace.cloned(),
+                        metrics_delta: counter_delta(&cur.baseline, inner.obs.metrics()),
+                        prof_folded,
+                    };
+                    st.bundles.push(bundle.clone());
+                    Some(bundle)
+                }
+                (_, Some(_)) | (_, None) => None,
+            }
+        };
+        if out.is_some() {
+            inner.obs.count("lqo.flight.bundles", 1);
+        }
+        self.flush_metrics();
+        out
+    }
+
+    /// Flush hot-path counters into the attached `ObsContext` as the
+    /// `lqo.flight.*` family (delta-based, so repeated flushes are
+    /// exact).
+    pub fn flush_metrics(&self) {
+        let Some(inner) = &self.inner else { return };
+        if !inner.obs.is_enabled() {
+            return;
+        }
+        let events = inner.events.load(Ordering::Relaxed);
+        let flushed = inner.events_flushed.swap(events, Ordering::Relaxed);
+        if events > flushed {
+            inner.obs.count("lqo.flight.events", events - flushed);
+        }
+        let dropped = inner.ring.dropped_total();
+        let dflushed = inner.dropped_flushed.swap(dropped, Ordering::Relaxed);
+        if dropped > dflushed {
+            inner.obs.count("lqo.flight.dropped", dropped - dflushed);
+        }
+    }
+
+    /// Total events published so far.
+    pub fn events_published(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map_or(0, |i| i.events.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of the ring's surviving records, oldest first.
+    pub fn ring_snapshot(&self) -> Vec<FlightRecord> {
+        self.inner
+            .as_deref()
+            .map_or_else(Vec::new, |i| i.ring.snapshot())
+    }
+
+    /// Events lost so far (capacity overwrites + slot contention).
+    pub fn dropped_total(&self) -> u64 {
+        self.inner.as_deref().map_or(0, |i| i.ring.dropped_total())
+    }
+
+    /// Bundles captured so far (clones; the log is kept).
+    pub fn bundles(&self) -> Vec<IncidentBundle> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().bundles.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drain the captured-bundle log.
+    pub fn take_bundles(&self) -> Vec<IncidentBundle> {
+        match &self.inner {
+            Some(inner) => std::mem::take(&mut inner.state.lock().bundles),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Map an event to the severity trigger it satisfies, if any.
+fn trigger_cause(ev: &FlightEvent, t: &FlightTriggers) -> Option<String> {
+    match ev {
+        FlightEvent::Breaker { component, state } if t.breaker_open && state == "open" => {
+            Some(format!("breaker-open:{component}"))
+        }
+        FlightEvent::WatchAlarm { metric, health, .. }
+            if t.confirmed_drift && health == "drifted" =>
+        {
+            Some(format!("confirmed-drift:{metric}"))
+        }
+        FlightEvent::Guard {
+            component, action, ..
+        } if t.regression_cancel && component == "exec" && action == "replan:native" => {
+            Some(format!("regression-cancel:{component}"))
+        }
+        FlightEvent::Reopt { action, .. }
+            if t.reopt_switch && (action == "switch" || action.starts_with("degrade")) =>
+        {
+            Some(format!("reopt-{action}"))
+        }
+        FlightEvent::WorkerFault { op, .. } if t.worker_fault => Some(format!("worker-fault:{op}")),
+        _ => None,
+    }
+}
+
+/// Counter deltas against a baseline snapshot (zero deltas omitted;
+/// name-sorted because both sides are).
+fn counter_delta(
+    baseline: &[(String, u64)],
+    metrics: Option<&lqo_obs::metrics::MetricsRegistry>,
+) -> Vec<(String, u64)> {
+    let Some(metrics) = metrics else {
+        return Vec::new();
+    };
+    let now = metrics.snapshot().counters;
+    now.into_iter()
+        .filter_map(|(name, v)| {
+            let base = baseline
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |&(_, b)| b);
+            (v > base).then(|| (name, v - base))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker_open() -> FlightEvent {
+        FlightEvent::Breaker {
+            component: "card:learned".into(),
+            state: "open".into(),
+        }
+    }
+
+    #[test]
+    fn disabled_context_is_inert() {
+        let f = FlightContext::disabled();
+        assert!(!f.is_enabled());
+        f.publish(Producer::Guard, breaker_open());
+        f.begin_query("q");
+        assert!(f.end_query(None, None).is_none());
+        assert!(f.bundles().is_empty());
+        assert!(f.ring_snapshot().is_empty());
+        assert_eq!(f.events_published(), 0);
+        assert!(f.config().is_none());
+    }
+
+    #[test]
+    fn breaker_open_inside_query_captures_one_bundle() {
+        let obs = ObsContext::enabled();
+        let f = FlightContext::new(FlightConfig::default(), obs.clone());
+        f.begin_query("SELECT 1");
+        obs.count("lqo.exec.queries", 1);
+        f.publish(Producer::Guard, breaker_open());
+        let trace = QueryTrace::new("SELECT 1");
+        let bundle = f
+            .end_query(Some(&trace), Some("execute 10\n".into()))
+            .expect("bundle");
+        assert_eq!(bundle.trigger, "breaker-open:card:learned");
+        assert_eq!(bundle.query_id, 1);
+        assert!(bundle.is_well_formed());
+        assert!(bundle.trace.is_some());
+        assert_eq!(bundle.prof_folded.as_deref(), Some("execute 10\n"));
+        assert!(bundle
+            .metrics_delta
+            .iter()
+            .any(|(n, d)| n == "lqo.exec.queries" && *d == 1));
+        // The timeline contains the query's opening span and the breaker.
+        assert!(bundle.events.iter().any(|r| matches!(
+            &r.event,
+            FlightEvent::Span { name, begin: true } if name == "query"
+        )));
+        assert!(bundle
+            .events
+            .iter()
+            .any(|r| matches!(&r.event, FlightEvent::Breaker { .. })));
+        // Metrics family recorded.
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("lqo.flight.triggers"), Some(1));
+        assert_eq!(snap.counter("lqo.flight.bundles"), Some(1));
+        assert!(snap.counter("lqo.flight.events").unwrap_or(0) >= 3);
+        assert_eq!(f.bundles().len(), 1);
+        assert_eq!(f.take_bundles().len(), 1);
+        assert!(f.bundles().is_empty());
+    }
+
+    #[test]
+    fn one_bundle_per_query_and_rate_limit() {
+        let obs = ObsContext::enabled();
+        let f = FlightContext::new(
+            FlightConfig {
+                max_bundles: 1,
+                ..FlightConfig::default()
+            },
+            obs.clone(),
+        );
+        f.begin_query("q1");
+        f.publish(Producer::Guard, breaker_open());
+        f.publish(Producer::Guard, breaker_open()); // dedup within the query
+        assert!(f.end_query(None, None).is_some());
+        f.begin_query("q2");
+        f.publish(Producer::Guard, breaker_open()); // over the rate limit
+        assert!(f.end_query(None, None).is_none());
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("lqo.flight.triggers"), Some(3));
+        assert_eq!(snap.counter("lqo.flight.suppressed"), Some(2));
+        assert_eq!(snap.counter("lqo.flight.bundles"), Some(1));
+    }
+
+    #[test]
+    fn triggers_outside_queries_are_counted_not_captured() {
+        let obs = ObsContext::enabled();
+        let f = FlightContext::new(FlightConfig::default(), obs.clone());
+        f.publish(Producer::Guard, breaker_open());
+        assert!(f.bundles().is_empty());
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("lqo.flight.triggers"), Some(1));
+        assert_eq!(snap.counter("lqo.flight.suppressed"), Some(1));
+    }
+
+    #[test]
+    fn disabled_triggers_do_not_capture() {
+        let f = FlightContext::new(
+            FlightConfig {
+                triggers: FlightTriggers {
+                    breaker_open: false,
+                    ..FlightTriggers::default()
+                },
+                ..FlightConfig::default()
+            },
+            ObsContext::disabled(),
+        );
+        f.begin_query("q");
+        f.publish(Producer::Guard, breaker_open());
+        assert!(f.end_query(None, None).is_none());
+    }
+
+    #[test]
+    fn bundle_carries_at_most_bundle_events() {
+        let f = FlightContext::new(
+            FlightConfig {
+                capacity: 64,
+                bundle_events: 4,
+                ..FlightConfig::default()
+            },
+            ObsContext::disabled(),
+        );
+        f.begin_query("q");
+        for i in 0..10 {
+            f.publish(
+                Producer::Cache,
+                FlightEvent::Cache {
+                    cache: "plan".into(),
+                    event: "hit".into(),
+                    detail: format!("k{i}"),
+                },
+            );
+        }
+        f.publish(Producer::Guard, breaker_open());
+        let b = f.end_query(None, None).expect("bundle");
+        assert_eq!(b.events.len(), 4);
+        // The newest events, ending with the trigger itself.
+        assert!(matches!(
+            b.events.last().unwrap().event,
+            FlightEvent::Breaker { .. }
+        ));
+        assert!(b.is_well_formed());
+    }
+
+    #[test]
+    fn trigger_causes_cover_every_class() {
+        let t = FlightTriggers::default();
+        assert_eq!(
+            trigger_cause(&breaker_open(), &t).as_deref(),
+            Some("breaker-open:card:learned")
+        );
+        assert_eq!(
+            trigger_cause(
+                &FlightEvent::WatchAlarm {
+                    metric: "card".into(),
+                    health: "drifted".into(),
+                    detail: String::new(),
+                },
+                &t
+            )
+            .as_deref(),
+            Some("confirmed-drift:card")
+        );
+        assert_eq!(
+            trigger_cause(
+                &FlightEvent::Guard {
+                    component: "exec".into(),
+                    fault: "work-regression".into(),
+                    action: "replan:native".into(),
+                },
+                &t
+            )
+            .as_deref(),
+            Some("regression-cancel:exec")
+        );
+        assert_eq!(
+            trigger_cause(
+                &FlightEvent::Reopt {
+                    tables: 1,
+                    action: "switch".into(),
+                    q_error: 8.0,
+                },
+                &t
+            )
+            .as_deref(),
+            Some("reopt-switch")
+        );
+        assert_eq!(
+            trigger_cause(
+                &FlightEvent::Reopt {
+                    tables: 1,
+                    action: "degrade:panic".into(),
+                    q_error: 8.0,
+                },
+                &t
+            )
+            .as_deref(),
+            Some("reopt-degrade:panic")
+        );
+        assert_eq!(
+            trigger_cause(
+                &FlightEvent::WorkerFault {
+                    op: "Scan".into(),
+                    action: "fallback:serial".into(),
+                },
+                &t
+            )
+            .as_deref(),
+            Some("worker-fault:Scan")
+        );
+        // Non-severe events never trigger.
+        assert!(trigger_cause(
+            &FlightEvent::Cache {
+                cache: "plan".into(),
+                event: "hit".into(),
+                detail: String::new(),
+            },
+            &t
+        )
+        .is_none());
+        assert!(trigger_cause(
+            &FlightEvent::Breaker {
+                component: "c".into(),
+                state: "closed".into(),
+            },
+            &t
+        )
+        .is_none());
+        assert!(trigger_cause(
+            &FlightEvent::Reopt {
+                tables: 1,
+                action: "keep:cost".into(),
+                q_error: 2.0,
+            },
+            &t
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn begin_query_closes_unfinished_predecessor() {
+        let f = FlightContext::enabled();
+        f.begin_query("q1");
+        f.begin_query("q2");
+        let snap = f.ring_snapshot();
+        // q1 begin, q1 end (implicit), q2 begin.
+        let spans: Vec<(u64, bool)> = snap
+            .iter()
+            .filter_map(|r| match &r.event {
+                FlightEvent::Span { name, begin } if name == "query" => Some((r.query_id, *begin)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans, vec![(1, true), (1, false), (2, true)]);
+    }
+}

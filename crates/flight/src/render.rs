@@ -1,0 +1,159 @@
+//! ANSI postmortem rendering for [`IncidentBundle`]s.
+
+use crate::bundle::IncidentBundle;
+
+const BOLD: &str = "\x1b[1m";
+const RED: &str = "\x1b[31m";
+const YELLOW: &str = "\x1b[33m";
+const CYAN: &str = "\x1b[36m";
+const DIM: &str = "\x1b[2m";
+const RESET: &str = "\x1b[0m";
+
+struct Style {
+    color: bool,
+}
+
+impl Style {
+    fn paint(&self, code: &str, s: &str) -> String {
+        if self.color {
+            format!("{code}{s}{RESET}")
+        } else {
+            s.to_string()
+        }
+    }
+}
+
+/// Render one incident as a human postmortem. With `color`, severity is
+/// highlighted with ANSI escapes; without, the output is plain text
+/// (and stable, suitable for golden files).
+pub fn render_postmortem(b: &IncidentBundle, color: bool) -> String {
+    let st = Style { color };
+    let mut out = String::new();
+    out.push_str(&st.paint(BOLD, &format!("== incident #{} — {} ==", b.id, b.trigger)));
+    out.push('\n');
+    out.push_str(&format!("query #{}: {}\n", b.query_id, b.query));
+    if !b.dropped.is_empty() {
+        let s = b
+            .dropped
+            .iter()
+            .map(|(p, n)| format!("{p}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&st.paint(YELLOW, &format!("! recorder dropped events: {s}")));
+        out.push('\n');
+    }
+    out.push_str(&st.paint(CYAN, "-- timeline (oldest first) --"));
+    out.push('\n');
+    for r in &b.events {
+        let marker = if r.query_id == b.query_id { "*" } else { " " };
+        let line = format!(
+            "{marker} [{:>6}] {:<9} q#{:<3} {}",
+            r.seq,
+            r.producer.name(),
+            r.query_id,
+            r.event.summary()
+        );
+        let is_fault = matches!(
+            r.event,
+            crate::event::FlightEvent::Guard { .. }
+                | crate::event::FlightEvent::WorkerFault { .. }
+                | crate::event::FlightEvent::BudgetTrip { .. }
+                | crate::event::FlightEvent::Breaker { .. }
+        );
+        if is_fault {
+            out.push_str(&st.paint(RED, &line));
+        } else {
+            out.push_str(&line);
+        }
+        out.push('\n');
+    }
+    if !b.metrics_delta.is_empty() {
+        out.push_str(&st.paint(CYAN, "-- metrics delta over the query --"));
+        out.push('\n');
+        for (name, delta) in &b.metrics_delta {
+            out.push_str(&format!("  {name:<40} +{delta}\n"));
+        }
+    }
+    if let Some(t) = &b.trace {
+        out.push_str(&st.paint(CYAN, "-- trace --"));
+        out.push('\n');
+        out.push_str(&format!(
+            "  driver={} phases={} guard={} cache={} reopt={} timeout={}\n",
+            t.driver.as_deref().unwrap_or("-"),
+            t.phases.len(),
+            t.guard.len(),
+            t.cache.len(),
+            t.reopt.len(),
+            t.exec.timeout,
+        ));
+        for g in &t.guard {
+            out.push_str(&st.paint(
+                RED,
+                &format!("  guard {}: {} -> {}", g.component, g.fault, g.action),
+            ));
+            out.push('\n');
+        }
+        if let Some(o) = &t.outcome {
+            out.push_str(&format!(
+                "  outcome: count={} work={:.0} wall={}ns\n",
+                o.count, o.work, o.wall_ns
+            ));
+        }
+    }
+    if let Some(folded) = &b.prof_folded {
+        out.push_str(&st.paint(CYAN, "-- prof folded stack --"));
+        out.push('\n');
+        for line in folded.lines().take(12) {
+            out.push_str(&st.paint(DIM, &format!("  {line}")));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FlightEvent, FlightRecord, Producer};
+
+    fn bundle() -> IncidentBundle {
+        IncidentBundle {
+            id: 2,
+            trigger: "worker-fault:HashJoin".into(),
+            query_id: 5,
+            query: "q5".into(),
+            events: vec![FlightRecord {
+                seq: 40,
+                producer: Producer::Exec,
+                producer_seq: 12,
+                query_id: 5,
+                event: FlightEvent::WorkerFault {
+                    op: "HashJoin".into(),
+                    action: "fallback:serial".into(),
+                },
+            }],
+            dropped: vec![],
+            trace: None,
+            metrics_delta: vec![("lqo.exec.parallel.degraded".into(), 1)],
+            prof_folded: None,
+        }
+    }
+
+    #[test]
+    fn plain_render_has_no_ansi_and_names_the_trigger() {
+        let s = render_postmortem(&bundle(), false);
+        assert!(!s.contains('\x1b'));
+        assert!(s.contains("worker-fault:HashJoin"));
+        assert!(s.contains("lqo.exec.parallel.degraded"));
+        assert!(s.contains("q#5"));
+    }
+
+    #[test]
+    fn color_render_is_ansi_and_resets() {
+        let s = render_postmortem(&bundle(), true);
+        assert!(s.contains("\x1b[1m"));
+        let opens = s.matches('\x1b').count();
+        let resets = s.matches("\x1b[0m").count();
+        assert_eq!(opens, resets * 2, "every escape is paired with a reset");
+    }
+}

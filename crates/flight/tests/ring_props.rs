@@ -1,0 +1,96 @@
+//! Property tests for the flight ring: drain order respects per-producer
+//! sequence numbers under arbitrary interleavings, capacities, and
+//! concurrent publication.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lqo_flight::{FlightEvent, FlightRing, Producer};
+
+fn ev(tag: u64) -> FlightEvent {
+    FlightEvent::Cache {
+        cache: "plan".to_string(),
+        event: "hit".to_string(),
+        detail: format!("k{tag}"),
+    }
+}
+
+/// Assert the two ring invariants on a drained snapshot: global seqs
+/// strictly increase, and within each producer the per-producer seqs
+/// strictly increase.
+fn assert_drain_order(snap: &[lqo_flight::FlightRecord]) {
+    for w in snap.windows(2) {
+        assert!(w[0].seq < w[1].seq, "global seq disorder");
+    }
+    for p in Producer::ALL {
+        let pseqs: Vec<u64> = snap
+            .iter()
+            .filter(|r| r.producer == p)
+            .map(|r| r.producer_seq)
+            .collect();
+        for w in pseqs.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "producer {p:?} drained out of order: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Sequential interleavings: any schedule of producers publishing,
+    /// at any capacity (including heavy overwrite), drains in per-
+    /// producer order.
+    #[test]
+    fn drain_respects_producer_order_sequential(
+        schedule in proptest::collection::vec(0usize..Producer::ALL.len(), 1..400),
+        cap in 8usize..128,
+    ) {
+        let ring = FlightRing::new(cap);
+        for (i, &p) in schedule.iter().enumerate() {
+            ring.push(Producer::ALL[p], (i % 5) as u64, ev(i as u64));
+        }
+        let snap = ring.snapshot();
+        prop_assert!(snap.len() <= ring.capacity());
+        prop_assert_eq!(
+            snap.len() as u64 + ring.dropped_total(),
+            schedule.len() as u64
+        );
+        assert_drain_order(&snap);
+    }
+
+    /// Concurrent publication, one thread per producer (the stack-wide
+    /// pattern): drain still respects every producer's own order, and
+    /// accounting is exact (survivors + dropped == published).
+    #[test]
+    fn drain_respects_producer_order_concurrent(
+        per_producer in 1usize..120,
+        producers in 2usize..=4,
+        cap in 8usize..256,
+    ) {
+        let ring = Arc::new(FlightRing::new(cap));
+        let threads: Vec<_> = Producer::ALL
+            .into_iter()
+            .take(producers)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per_producer {
+                        ring.push(p, 1, ev(i as u64));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = ring.snapshot();
+        let published = (per_producer * producers) as u64;
+        prop_assert_eq!(ring.published(), published);
+        prop_assert_eq!(snap.len() as u64 + ring.dropped_total(), published);
+        assert_drain_order(&snap);
+    }
+}

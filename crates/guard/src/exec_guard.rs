@@ -14,6 +14,7 @@ use lqo_engine::optimizer::{plan_cost, CardSource};
 use lqo_engine::{
     Catalog, EngineError, ExecConfig, ExecMode, ExecResult, Executor, PhysNode, Result, SpjQuery,
 };
+use lqo_flight::{FlightContext, FlightEvent, Producer};
 use lqo_obs::trace::GuardEvent;
 use lqo_obs::ObsContext;
 
@@ -56,6 +57,7 @@ pub struct RegressionGuard<'a> {
     params: CostParams,
     cfg: RegressionGuardConfig,
     obs: ObsContext,
+    flight: FlightContext,
     mode: ExecMode,
 }
 
@@ -72,8 +74,17 @@ impl<'a> RegressionGuard<'a> {
             params,
             cfg,
             obs,
+            flight: FlightContext::disabled(),
             mode: ExecMode::Serial,
         }
+    }
+
+    /// Attach a flight recorder; budget trips and regression cancels are
+    /// published onto the black-box ring (a cancel is an incident
+    /// trigger).
+    pub fn with_flight(mut self, flight: FlightContext) -> RegressionGuard<'a> {
+        self.flight = flight;
+        self
     }
 
     /// Execute guarded plans in the given mode. Budget semantics are
@@ -144,6 +155,23 @@ impl<'a> RegressionGuard<'a> {
             }),
             Err(EngineError::WorkLimitExceeded { .. }) => {
                 self.obs.count("lqo.guard.replans", 1);
+                if self.flight.is_enabled() {
+                    self.flight.publish(
+                        Producer::Guard,
+                        FlightEvent::BudgetTrip {
+                            component: "exec".to_string(),
+                            budget,
+                        },
+                    );
+                    self.flight.publish(
+                        Producer::Guard,
+                        FlightEvent::Guard {
+                            component: "exec".to_string(),
+                            fault: "work-regression".to_string(),
+                            action: "replan:native".to_string(),
+                        },
+                    );
+                }
                 // The cancelled plan burned at least `budget` work units,
                 // i.e. at least `ratio ×` the native plan's prediction —
                 // record the ratio so recovery tables can attribute how
@@ -154,7 +182,7 @@ impl<'a> RegressionGuard<'a> {
                     f64::INFINITY
                 };
                 self.obs.with_query(|t| {
-                    t.guard.push(GuardEvent {
+                    t.push_guard(GuardEvent {
                         component: "exec".to_string(),
                         fault: format!(
                             "work-regression:predicted={predicted:.0}:budget={budget:.0}:ratio={ratio:.2}"

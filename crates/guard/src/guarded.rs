@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use lqo_card::estimator::{CardEstimator, Category};
 use lqo_engine::optimizer::CardSource;
 use lqo_engine::{EngineError, PhysNode, SpjQuery, TableSet};
+use lqo_flight::{FlightContext, FlightEvent, Producer};
 use lqo_obs::trace::GuardEvent;
 use lqo_obs::ObsContext;
 
@@ -194,6 +195,7 @@ pub struct GuardedCardSource {
     cfg: GuardConfig,
     budget: PlanBudget,
     obs: ObsContext,
+    flight: FlightContext,
     last_rung: AtomicUsize,
 }
 
@@ -209,8 +211,17 @@ impl GuardedCardSource {
             cfg,
             budget: PlanBudget::default(),
             obs,
+            flight: FlightContext::disabled(),
             last_rung: AtomicUsize::new(0),
         }
+    }
+
+    /// Attach a flight recorder; guard faults and breaker-open
+    /// transitions are published onto the black-box ring (a breaker open
+    /// is an incident trigger).
+    pub fn with_flight(mut self, flight: FlightContext) -> GuardedCardSource {
+        self.flight = flight;
+        self
     }
 
     /// Append a rung. Order matters: first added is tried first; the last
@@ -254,8 +265,18 @@ impl GuardedCardSource {
         self.obs.count("lqo.guard.fallbacks", 1);
         let component = format!("{}:{}", self.component, rung);
         let action = format!("fallback:{next}");
+        if self.flight.is_enabled() {
+            self.flight.publish(
+                Producer::Guard,
+                FlightEvent::Guard {
+                    component: component.clone(),
+                    fault: fault.label().to_string(),
+                    action: action.clone(),
+                },
+            );
+        }
         self.obs.with_query(|t| {
-            t.guard.push(GuardEvent {
+            t.push_guard(GuardEvent {
                 component: component.clone(),
                 fault: fault.label().to_string(),
                 action: action.clone(),
@@ -308,6 +329,15 @@ impl CardSource for GuardedCardSource {
                     self.breakers[i].record_failure();
                     if self.breakers[i].opens() > opens_before {
                         self.obs.count("lqo.guard.breaker_opens", 1);
+                        if self.flight.is_enabled() {
+                            self.flight.publish(
+                                Producer::Guard,
+                                FlightEvent::Breaker {
+                                    component: format!("{}:{}", self.component, rung.name),
+                                    state: "open".to_string(),
+                                },
+                            );
+                        }
                     }
                     self.publish_breaker_state(i);
                     self.record_fault(&rung.name, fault, next);
@@ -337,6 +367,7 @@ pub struct GuardedEstimator {
     breaker: CircuitBreaker,
     cfg: GuardConfig,
     obs: ObsContext,
+    flight: FlightContext,
 }
 
 impl GuardedEstimator {
@@ -356,7 +387,14 @@ impl GuardedEstimator {
             breaker,
             cfg,
             obs,
+            flight: FlightContext::disabled(),
         }
+    }
+
+    /// Attach a flight recorder (see [`GuardedCardSource::with_flight`]).
+    pub fn with_flight(mut self, flight: FlightContext) -> GuardedEstimator {
+        self.flight = flight;
+        self
     }
 
     /// The breaker guarding the primary estimator.
@@ -369,6 +407,25 @@ impl GuardedEstimator {
         self.breaker.record_failure();
         if self.breaker.opens() > opens_before {
             self.obs.count("lqo.guard.breaker_opens", 1);
+            if self.flight.is_enabled() {
+                self.flight.publish(
+                    Producer::Guard,
+                    FlightEvent::Breaker {
+                        component: self.component.clone(),
+                        state: "open".to_string(),
+                    },
+                );
+            }
+        }
+        if self.flight.is_enabled() {
+            self.flight.publish(
+                Producer::Guard,
+                FlightEvent::Guard {
+                    component: self.component.clone(),
+                    fault: fault.label().to_string(),
+                    action: "fallback:estimator".to_string(),
+                },
+            );
         }
         self.obs.count("lqo.guard.faults", 1);
         self.obs
@@ -377,7 +434,7 @@ impl GuardedEstimator {
         let component = self.component.clone();
         let fault_label = fault.label().to_string();
         self.obs.with_query(|t| {
-            t.guard.push(GuardEvent {
+            t.push_guard(GuardEvent {
                 component,
                 fault: fault_label,
                 action: "fallback:estimator".to_string(),
@@ -488,7 +545,7 @@ impl GuardedRiskModel {
         let component = self.component.clone();
         let fault_label = fault.label().to_string();
         self.obs.with_query(|t| {
-            t.guard.push(GuardEvent {
+            t.push_guard(GuardEvent {
                 component,
                 fault: fault_label,
                 action: "fallback:risk".to_string(),

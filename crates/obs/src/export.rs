@@ -150,6 +150,7 @@ pub fn trace_to_json(t: &QueryTrace) -> Value {
         ("guard".into(), Value::Arr(guard)),
         ("cache".into(), Value::Arr(cache)),
         ("reopt".into(), Value::Arr(reopt)),
+        ("events_dropped".into(), u64_value(t.events_dropped)),
         ("outcome".into(), outcome),
     ])
 }
@@ -290,6 +291,9 @@ pub fn trace_from_json(v: &Value) -> Option<QueryTrace> {
         cache,
         reopt,
         outcome,
+        event_cap: crate::trace::DEFAULT_EVENT_CAP,
+        // Absent in traces exported before event caps existed.
+        events_dropped: v.get("events_dropped").and_then(Value::as_u64).unwrap_or(0),
     })
 }
 
@@ -384,6 +388,48 @@ pub fn parse_jsonl(input: &str) -> Option<Vec<QueryTrace>> {
         .filter(|l| !l.trim().is_empty())
         .map(|l| trace_from_json(&parse(l)?))
         .collect()
+}
+
+/// Crash-safe file write: the content is produced into a sibling temp
+/// file which is atomically renamed over `path` only after a successful
+/// write, so a panic or error mid-export can never leave a torn file —
+/// readers see either the previous complete content or the new one.
+/// On any error the temp file is removed and the destination is
+/// untouched.
+pub fn atomic_write_with<F>(path: &std::path::Path, produce: F) -> std::io::Result<()>
+where
+    F: FnOnce(&mut dyn std::io::Write) -> std::io::Result<()>,
+{
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    // Temp name derived from the destination (same directory, so the
+    // rename cannot cross filesystems and stays atomic). The pid keeps
+    // concurrent exporters from clobbering each other's temp.
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "export".to_string());
+    tmp_name.push_str(&format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        produce(&mut file)?;
+        use std::io::Write;
+        file.flush()?;
+        file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`atomic_write_with`] for ready-made string content.
+pub fn atomic_write(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    atomic_write_with(path, |w| w.write_all(contents.as_bytes()))
 }
 
 #[cfg(test)]
@@ -566,6 +612,62 @@ mod tests {
             snap.get("schema_version").unwrap().as_u64(),
             Some(TRACE_SCHEMA_VERSION)
         );
+    }
+
+    #[test]
+    fn events_dropped_round_trips_and_absent_reads_zero() {
+        let mut t = sample_trace();
+        t.events_dropped = 4;
+        let line = trace_to_json(&t).to_compact();
+        assert!(line.contains("\"events_dropped\":4"));
+        let back = trace_from_json(&parse(&line).unwrap()).unwrap();
+        assert_eq!(back.events_dropped, 4);
+        assert_eq!(back, t);
+        // Pre-cap exports lack the field entirely: reads as zero.
+        let absent = line.replace("\"events_dropped\":4,", "");
+        let old = trace_from_json(&parse(&absent).unwrap()).unwrap();
+        assert_eq!(old.events_dropped, 0);
+    }
+
+    fn scratch_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lqo-obs-export-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_atomically() {
+        let path = scratch_path("traces.jsonl");
+        atomic_write(&path, "first\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+        atomic_write(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_with_injected_fault_leaves_original_intact() {
+        let path = scratch_path("faulty.jsonl");
+        atomic_write(&path, "intact\n").unwrap();
+        // Serialization fault halfway through producing the new content:
+        // some bytes are written, then the producer errors out.
+        let err = atomic_write_with(&path, |w| {
+            w.write_all(b"torn half-line with no newline")?;
+            Err(std::io::Error::other("injected serialization fault"))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "injected serialization fault");
+        // The destination still holds the previous complete content and
+        // no temp file is left behind.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "intact\n");
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -27,6 +27,7 @@
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod render;
 pub mod span;
 pub mod trace;

@@ -411,6 +411,54 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_increments_sum_exactly() {
+        // Prep for concurrent serving: N threads hammering the same
+        // registry must lose nothing — counter totals, histogram counts,
+        // and histogram sums are all exact.
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 1000;
+        let reg = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        reg.inc_counter("lqo.shared.counter", 1);
+                        reg.inc_counter(&format!("lqo.thread.{t}"), 2);
+                        // Integer values ≤ 2^53 sum exactly in f64, so
+                        // the histogram sum has one correct answer.
+                        reg.observe("lqo.shared.hist", (i % 16) as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("lqo.shared.counter"),
+            Some(THREADS as u64 * PER_THREAD)
+        );
+        for t in 0..THREADS {
+            assert_eq!(
+                snap.counter(&format!("lqo.thread.{t}")),
+                Some(2 * PER_THREAD)
+            );
+        }
+        let h = snap.histogram("lqo.shared.hist").unwrap();
+        assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+        let per_thread_sum: f64 = (0..PER_THREAD).map(|i| (i % 16) as f64).sum();
+        assert_eq!(h.sum(), per_thread_sum * THREADS as f64);
+        // Bucket counts account for every observation.
+        assert_eq!(
+            h.bucket_counts().iter().sum::<u64>(),
+            THREADS as u64 * PER_THREAD
+        );
+    }
+
+    #[test]
     fn merge_equals_recording_both_streams() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

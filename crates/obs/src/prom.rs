@@ -1,0 +1,251 @@
+//! Prometheus text-exposition rendering of a [`MetricsSnapshot`].
+//!
+//! Maps the registry's three metric kinds onto the Prometheus data
+//! model so a future serving layer is scrapeable without changing how
+//! components record:
+//!
+//! * counters → `<name>_total` with `# TYPE ... counter`;
+//! * gauges → `<name>` with `# TYPE ... gauge`;
+//! * histograms → cumulative `<name>_bucket{le="..."}` series derived
+//!   from the log₂ buckets, plus `<name>_sum` and `<name>_count`.
+//!
+//! Output is fully deterministic: metric families in name order (the
+//! snapshot is name-sorted), bucket labels in ascending `le` order, and
+//! a fixed float rendering — so the exposition is golden-file testable.
+//! Only populated buckets are emitted (the log₂ layout has 87 buckets,
+//! most empty); the mandatory `le="+Inf"` bucket is always present, and
+//! cumulative counts are preserved exactly, so any Prometheus-side
+//! quantile estimate sees the same distribution the registry held.
+//!
+//! Metric names are mangled to the exposition charset: every character
+//! outside `[a-zA-Z0-9_:]` becomes `_` (`lqo.exec.queries` →
+//! `lqo_exec_queries_total`).
+
+use crate::metrics::{Histogram, MetricsSnapshot};
+
+/// Mangle a registry metric name into a legal Prometheus metric name.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Deterministic float rendering for sample values and `le` bounds.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        // `Display` for f64 is the shortest representation that round
+        // trips, which is stable across runs and platforms.
+        format!("{v}")
+    }
+}
+
+/// Render `snap` in the Prometheus text exposition format (version
+/// 0.0.4: `# TYPE` comments plus `name{labels} value` samples).
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let pname = prom_name(name);
+        out.push_str(&format!("# TYPE {pname}_total counter\n"));
+        out.push_str(&format!("{pname}_total {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let pname = prom_name(name);
+        out.push_str(&format!("# TYPE {pname} gauge\n"));
+        out.push_str(&format!("{pname} {}\n", fmt_f64(*value)));
+    }
+    for (name, hist) in &snap.histograms {
+        let pname = prom_name(name);
+        out.push_str(&format!("# TYPE {pname} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &c) in hist.bucket_counts().iter().enumerate() {
+            cumulative += c;
+            if c == 0 {
+                continue;
+            }
+            if i == hist.bucket_counts().len() - 1 {
+                continue; // overflow is covered by +Inf below
+            }
+            let le = fmt_f64(Histogram::bucket_upper_bound(i));
+            out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
+        out.push_str(&format!("{pname}_sum {}\n", fmt_f64(hist.sum())));
+        out.push_str(&format!("{pname}_count {}\n", hist.count()));
+    }
+    out
+}
+
+/// One parsed exposition sample: mangled metric name, optional `le`
+/// label, value. Used by the round-trip tests; not a general parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The sample's full name (including `_total`/`_bucket`/... suffix).
+    pub name: String,
+    /// The `le` label, for `_bucket` samples.
+    pub le: Option<String>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parse text produced by [`render_prometheus`] back into samples;
+/// `None` on any malformed non-comment line.
+pub fn parse_prometheus(text: &str) -> Option<Vec<PromSample>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line.rsplit_once(' ')?;
+        let value = match value_part {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse().ok()?,
+        };
+        let (name, le) = match name_part.split_once('{') {
+            None => (name_part.to_string(), None),
+            Some((name, rest)) => {
+                let labels = rest.strip_suffix('}')?;
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix('"'))?;
+                (name.to_string(), Some(le.to_string()))
+            }
+        };
+        out.push(PromSample { name, le, value });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.inc_counter("lqo.exec.queries", 42);
+        reg.inc_counter("lqo.guard.breaker_opens", 3);
+        reg.set_gauge("lqo.watch.health", 1.0);
+        reg.set_gauge("lqo.cache.fill", 0.375);
+        for v in [0.5, 3.0, 3.5, 900.0, 1e40] {
+            reg.observe("lqo.exec.work_units", v);
+        }
+        reg
+    }
+
+    #[test]
+    fn exposition_shape_and_mangling() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE lqo_exec_queries_total counter\n"));
+        assert!(text.contains("lqo_exec_queries_total 42\n"));
+        assert!(text.contains("# TYPE lqo_cache_fill gauge\n"));
+        assert!(text.contains("lqo_cache_fill 0.375\n"));
+        assert!(text.contains("# TYPE lqo_exec_work_units histogram\n"));
+        assert!(text.contains("lqo_exec_work_units_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("lqo_exec_work_units_count 5\n"));
+        // No unmangled dots survive in sample names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(!name.contains('.'), "unmangled name: {name}");
+        }
+    }
+
+    #[test]
+    fn every_registered_metric_round_trips() {
+        let reg = sample_registry();
+        let snap = reg.snapshot();
+        let samples = parse_prometheus(&render_prometheus(&snap)).expect("parse");
+        // Counters: exact values under the _total name.
+        for (name, v) in &snap.counters {
+            let s = samples
+                .iter()
+                .find(|s| s.name == format!("{}_total", prom_name(name)))
+                .unwrap_or_else(|| panic!("missing counter {name}"));
+            assert_eq!(s.value, *v as f64);
+        }
+        // Gauges: exact f64.
+        for (name, v) in &snap.gauges {
+            let s = samples
+                .iter()
+                .find(|s| s.name == prom_name(name))
+                .unwrap_or_else(|| panic!("missing gauge {name}"));
+            assert_eq!(s.value.to_bits(), v.to_bits());
+        }
+        // Histograms: count, sum, and the full cumulative distribution.
+        for (name, hist) in &snap.histograms {
+            let pname = prom_name(name);
+            let count = samples
+                .iter()
+                .find(|s| s.name == format!("{pname}_count"))
+                .unwrap();
+            assert_eq!(count.value, hist.count() as f64);
+            let sum = samples
+                .iter()
+                .find(|s| s.name == format!("{pname}_sum"))
+                .unwrap();
+            assert_eq!(sum.value.to_bits(), hist.sum().to_bits());
+            let buckets: Vec<_> = samples
+                .iter()
+                .filter(|s| s.name == format!("{pname}_bucket"))
+                .collect();
+            assert!(buckets.iter().any(|b| b.le.as_deref() == Some("+Inf")));
+            // Cumulative counts reconstruct the per-bucket distribution.
+            let mut cumulative = 0u64;
+            for (i, &c) in hist.bucket_counts().iter().enumerate() {
+                cumulative += c;
+                if c == 0 || i == hist.bucket_counts().len() - 1 {
+                    continue;
+                }
+                let le = fmt_f64(Histogram::bucket_upper_bound(i));
+                let b = buckets
+                    .iter()
+                    .find(|b| b.le.as_deref() == Some(le.as_str()))
+                    .unwrap_or_else(|| panic!("missing bucket le={le}"));
+                assert_eq!(b.value, cumulative as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_le_labels_are_ascending() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        let les: Vec<f64> = parse_prometheus(&text)
+            .unwrap()
+            .into_iter()
+            .filter(|s| s.name.ends_with("_bucket"))
+            .map(|s| match s.le.as_deref() {
+                Some("+Inf") => f64::INFINITY,
+                Some(v) => v.parse().unwrap(),
+                None => unreachable!(),
+            })
+            .collect();
+        for w in les.windows(2) {
+            assert!(w[0] < w[1], "le order violated: {} >= {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn name_mangling_handles_leading_digits_and_symbols() {
+        assert_eq!(prom_name("lqo.exec.queries"), "lqo_exec_queries");
+        assert_eq!(prom_name("9lives"), "_lives");
+        assert_eq!(prom_name("a-b c:d_e2"), "a_b_c:d_e2");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let text = render_prometheus(&MetricsRegistry::new().snapshot());
+        assert!(text.is_empty());
+        assert_eq!(parse_prometheus(&text), Some(Vec::new()));
+    }
+}

@@ -155,8 +155,14 @@ pub struct QueryOutcome {
     pub wall_ns: u64,
 }
 
+/// Default bound on each per-trace event vector (guard/cache/reopt).
+/// Generous for any single query; what it prevents is a pathological
+/// long-running session (a stuck retry loop, a chatty cache) growing
+/// one trace without limit.
+pub const DEFAULT_EVENT_CAP: usize = 512;
+
 /// The full per-query observability record.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct QueryTrace {
     /// The query text (or a stable name for generated workloads).
     pub query: String,
@@ -182,6 +188,33 @@ pub struct QueryTrace {
     pub reopt: Vec<ReoptEvent>,
     /// Final outcome, if the query ran to an answer.
     pub outcome: Option<QueryOutcome>,
+    /// Bound on each of the `guard`/`cache`/`reopt` vectors; events past
+    /// the cap are counted in `events_dropped` instead of stored. Local
+    /// recording configuration, not data: excluded from equality and
+    /// from the export.
+    pub event_cap: usize,
+    /// Events discarded because a per-trace vector hit `event_cap`.
+    pub events_dropped: u64,
+}
+
+// `event_cap` is recording configuration (how much this process was
+// willing to store), not an observation — a trace exported and read
+// back under a different default must still compare equal. Everything
+// else, including `events_dropped`, is data.
+impl PartialEq for QueryTrace {
+    fn eq(&self, other: &QueryTrace) -> bool {
+        self.query == other.query
+            && self.driver == other.driver
+            && self.decision_ns == other.decision_ns
+            && self.phases == other.phases
+            && self.planner == other.planner
+            && self.exec == other.exec
+            && self.guard == other.guard
+            && self.cache == other.cache
+            && self.reopt == other.reopt
+            && self.outcome == other.outcome
+            && self.events_dropped == other.events_dropped
+    }
 }
 
 impl QueryTrace {
@@ -198,6 +231,35 @@ impl QueryTrace {
             cache: Vec::new(),
             reopt: Vec::new(),
             outcome: None,
+            event_cap: DEFAULT_EVENT_CAP,
+            events_dropped: 0,
+        }
+    }
+
+    /// Append a guard event, honouring the per-vector cap.
+    pub fn push_guard(&mut self, ev: GuardEvent) {
+        if self.guard.len() < self.event_cap {
+            self.guard.push(ev);
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+
+    /// Append a cache event, honouring the per-vector cap.
+    pub fn push_cache(&mut self, ev: CacheEvent) {
+        if self.cache.len() < self.event_cap {
+            self.cache.push(ev);
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+
+    /// Append a re-optimization event, honouring the per-vector cap.
+    pub fn push_reopt(&mut self, ev: ReoptEvent) {
+        if self.reopt.len() < self.event_cap {
+            self.reopt.push(ev);
+        } else {
+            self.events_dropped += 1;
         }
     }
 
@@ -281,6 +343,56 @@ mod tests {
             work: 0.0,
         };
         assert_eq!(op.q_error(), Some(1.0));
+    }
+
+    #[test]
+    fn event_cap_edge_stores_exactly_cap_and_counts_the_rest() {
+        let mut t = QueryTrace::new("q");
+        t.event_cap = 3;
+        for i in 0..5 {
+            t.push_guard(GuardEvent {
+                component: format!("c{i}"),
+                fault: "f".into(),
+                action: "a".into(),
+            });
+        }
+        assert_eq!(t.guard.len(), 3);
+        assert_eq!(t.events_dropped, 2);
+        // The cap is per vector: other vectors still accept events.
+        t.push_cache(CacheEvent {
+            cache: "plan".into(),
+            event: "hit".into(),
+            detail: String::new(),
+        });
+        assert_eq!(t.cache.len(), 1);
+        assert_eq!(t.events_dropped, 2);
+        // Exactly at the cap nothing is dropped.
+        let mut exact = QueryTrace::new("q");
+        exact.event_cap = 2;
+        for _ in 0..2 {
+            exact.push_reopt(ReoptEvent {
+                tables: 1,
+                observed_rows: 1,
+                est_rows: 1.0,
+                q_error: 1.0,
+                action: "keep:cost".into(),
+                replan_work: 0.0,
+                old_cost: None,
+                new_cost: None,
+            });
+        }
+        assert_eq!(exact.reopt.len(), 2);
+        assert_eq!(exact.events_dropped, 0);
+    }
+
+    #[test]
+    fn equality_ignores_cap_but_not_dropped_count() {
+        let mut a = QueryTrace::new("q");
+        let mut b = QueryTrace::new("q");
+        b.event_cap = 7;
+        assert_eq!(a, b);
+        a.events_dropped = 1;
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use lqo_cache::LqoCache;
 use lqo_engine::query::parse_query;
 use lqo_engine::{EngineError, ExecMode, Result};
+use lqo_flight::{FlightContext, FlightEvent, Producer};
 use lqo_guard::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 use lqo_obs::trace::GuardEvent;
 use lqo_obs::trace::QueryOutcome;
@@ -45,6 +46,7 @@ pub struct PilotConsole {
     executed: usize,
     obs: ObsContext,
     prof: ProfContext,
+    flight: FlightContext,
     /// One circuit breaker per driver; a driver whose `algo` keeps
     /// panicking, erroring, or blowing the deadline is cut off and its
     /// queries delegate to the plain database until a probe succeeds.
@@ -73,6 +75,7 @@ impl PilotConsole {
             executed: 0,
             obs: ObsContext::disabled(),
             prof: ProfContext::disabled(),
+            flight: FlightContext::disabled(),
             breakers: HashMap::new(),
             breaker_cfg: BreakerConfig::default(),
             decision_deadline: Some(Duration::from_millis(250)),
@@ -109,6 +112,9 @@ impl PilotConsole {
     /// accuracy, cost calibration, SLO latencies, guard events), and
     /// breaker state changes are reported per `driver:<name>` component.
     pub fn with_watch(mut self, watch: Arc<ModelHealthMonitor>) -> PilotConsole {
+        if self.flight.is_enabled() {
+            watch.attach_flight(&self.flight);
+        }
         self.watch = Some(watch);
         self
     }
@@ -129,6 +135,9 @@ impl PilotConsole {
     pub fn with_cache(mut self, cache: Arc<LqoCache>) -> PilotConsole {
         self.interactor.attach_cache(&cache);
         cache.attach_obs(&self.obs);
+        if self.flight.is_enabled() {
+            cache.attach_flight(&self.flight);
+        }
         self.cache = Some(cache);
         self
     }
@@ -176,6 +185,30 @@ impl PilotConsole {
     /// The console's observability context.
     pub fn obs(&self) -> &ObsContext {
         &self.obs
+    }
+
+    /// Attach a flight recorder: every `execute_sql` call becomes one
+    /// flight-query window (span boundaries, guard faults, breaker
+    /// transitions, cache and re-opt events stream onto the black-box
+    /// ring), and a severity trigger mid-query snapshots an incident
+    /// bundle that is finalized with the finished trace and profile when
+    /// the query ends. The recorder is propagated to the interactor's
+    /// optimizer/executor and to any already-attached watch monitor and
+    /// cache.
+    pub fn with_flight(self, flight: FlightContext) -> PilotConsole {
+        self.interactor.attach_flight(&flight);
+        if let Some(watch) = &self.watch {
+            watch.attach_flight(&flight);
+        }
+        if let Some(cache) = &self.cache {
+            cache.attach_flight(&flight);
+        }
+        PilotConsole { flight, ..self }
+    }
+
+    /// The console's flight recorder.
+    pub fn flight(&self) -> &FlightContext {
+        &self.flight
     }
 
     /// Attach a profiling context: each `execute_sql` call becomes one
@@ -226,6 +259,7 @@ impl PilotConsole {
     pub fn execute_sql(&mut self, sql: &str) -> Result<ExecOutcome> {
         self.obs.begin_query(sql);
         self.prof.begin_query(sql);
+        self.flight.begin_query(sql);
         let query = {
             let _prof_parse = self.prof.phase("parse");
             self.obs.phase("parse", || parse_query(sql))
@@ -304,7 +338,7 @@ impl PilotConsole {
                     obs.count("lqo.guard.faults", 1);
                     obs.count("lqo.guard.faults.panic", 1);
                     obs.with_query(|t| {
-                        t.guard.push(GuardEvent {
+                        t.push_guard(GuardEvent {
                             component: format!("driver:{name}"),
                             fault: "panic".to_string(),
                             action: "drop-feedback".to_string(),
@@ -337,15 +371,19 @@ impl PilotConsole {
     /// Finalize the in-flight trace and profile, feed the trace to the
     /// health monitor, and relay confirmed drift verdicts to the cache.
     fn finish_query(&self) {
-        self.prof.end_query();
+        let profile = self.prof.end_query();
         let trace = self.obs.end_query();
-        if let (Some(watch), Some(trace)) = (&self.watch, trace) {
-            watch.ingest_trace(&trace, None);
+        if let (Some(watch), Some(trace)) = (&self.watch, &trace) {
+            watch.ingest_trace(trace, None);
             if let Some(cache) = &self.cache {
-                let component = lqo_watch::component_of(&trace);
+                let component = lqo_watch::component_of(trace);
                 let drifted = watch.health(&component) == Some(lqo_watch::HealthState::Drifted);
                 cache.note_health(&component, drifted);
             }
+        }
+        if self.flight.is_enabled() {
+            let folded = profile.as_ref().map(|p| p.profile.to_folded());
+            self.flight.end_query(trace.as_ref(), folded);
         }
     }
 
@@ -376,8 +414,18 @@ impl PilotConsole {
             }
             self.obs.count("lqo.guard.skips", 1);
             self.prof.bump("guard_breaker_skips", 1);
+            if self.flight.is_enabled() {
+                self.flight.publish(
+                    Producer::Pilot,
+                    FlightEvent::Guard {
+                        component: format!("driver:{name}"),
+                        fault: "breaker-open".to_string(),
+                        action: "delegate".to_string(),
+                    },
+                );
+            }
             self.obs.with_query(|t| {
-                t.guard.push(GuardEvent {
+                t.push_guard(GuardEvent {
                     component: format!("driver:{name}"),
                     fault: "breaker-open".to_string(),
                     action: "delegate".to_string(),
@@ -419,6 +467,15 @@ impl PilotConsole {
         let state = breaker.state();
         if state == BreakerState::Open && !was_open {
             self.obs.count("lqo.guard.breaker_opens", 1);
+            if self.flight.is_enabled() {
+                self.flight.publish(
+                    Producer::Pilot,
+                    FlightEvent::Breaker {
+                        component: format!("driver:{name}"),
+                        state: "open".to_string(),
+                    },
+                );
+            }
             if let Some(cache) = &self.cache {
                 cache.on_breaker_open(&format!("driver:{name}"));
             }
@@ -430,8 +487,18 @@ impl PilotConsole {
             .gauge(&format!("lqo.guard.driver.{name}.breaker"), state.code());
         self.obs.count("lqo.guard.faults", 1);
         self.obs.count("lqo.guard.fallbacks", 1);
+        if self.flight.is_enabled() {
+            self.flight.publish(
+                Producer::Pilot,
+                FlightEvent::Guard {
+                    component: format!("driver:{name}"),
+                    fault: fault.clone(),
+                    action: "delegate".to_string(),
+                },
+            );
+        }
         self.obs.with_query(|t| {
-            t.guard.push(GuardEvent {
+            t.push_guard(GuardEvent {
                 component: format!("driver:{name}"),
                 fault,
                 action: "delegate".to_string(),
@@ -627,6 +694,55 @@ mod tests {
             .iter()
             .flat_map(|t| t.guard.iter())
             .any(|g| g.fault == "breaker-open" && g.action == "delegate"));
+    }
+
+    #[test]
+    fn flight_recorder_captures_breaker_incident_bundle() {
+        let (console_, _) = console();
+        let obs = ObsContext::enabled();
+        let flight = FlightContext::new(lqo_flight::FlightConfig::default(), obs.clone());
+        let mut console_ = console_
+            .with_obs(obs.clone())
+            .with_flight(flight.clone())
+            .with_driver_guard(
+                Some(Duration::from_millis(250)),
+                BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown_calls: 3,
+                    max_backoff_level: 2,
+                },
+            );
+        console_.register_driver(Box::new(HostileDriver)).unwrap();
+        console_.start_driver(Some("hostile")).unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for _ in 0..2 {
+            console_.execute_sql(SQL).unwrap();
+        }
+        std::panic::set_hook(prev);
+        // Query 2 opened the breaker: exactly one bundle, finalized with
+        // the finished trace and populated with the query's ring events.
+        let bundles = console_.flight().take_bundles();
+        assert_eq!(bundles.len(), 1);
+        let b = &bundles[0];
+        assert!(b.is_well_formed(), "{b:?}");
+        assert_eq!(b.trigger, "breaker-open:driver:hostile");
+        let trace = b.trace.as_ref().expect("bundle carries the query trace");
+        assert!(trace.guard.iter().any(|g| g.fault == "panic"));
+        assert!(
+            b.events.iter().any(
+                |r| matches!(&r.event, FlightEvent::Span { name, .. } if name == "exec.query")
+            ),
+            "executor spans reached the ring: {:?}",
+            b.events
+        );
+        assert!(b
+            .events
+            .iter()
+            .any(|r| matches!(&r.event, FlightEvent::Breaker { state, .. } if state == "open")));
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("lqo.flight.bundles"), Some(1));
+        assert!(snap.counter("lqo.flight.events").unwrap_or(0) > 0);
     }
 
     #[test]

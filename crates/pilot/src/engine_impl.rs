@@ -15,6 +15,7 @@ use lqo_engine::{
     Catalog, EngineError, ExecConfig, ExecMode, Executor, HintSet, Optimizer, PhysNode, Result,
     SpjQuery, TraditionalCardSource, TrueCardOracle,
 };
+use lqo_flight::FlightContext;
 use lqo_obs::ObsContext;
 use lqo_prof::ProfContext;
 use lqo_reopt::{ReoptConfig, ReoptExecutor};
@@ -40,6 +41,7 @@ pub struct EngineInteractor {
     next_session: AtomicU64,
     obs: Mutex<ObsContext>,
     prof: Mutex<ProfContext>,
+    flight: Mutex<FlightContext>,
     exec_mode: Mutex<ExecMode>,
     cache: Mutex<Option<Arc<LqoCache>>>,
     reopt: Mutex<Option<ReoptConfig>>,
@@ -63,6 +65,7 @@ impl EngineInteractor {
             next_session: AtomicU64::new(1),
             obs: Mutex::new(ObsContext::disabled()),
             prof: Mutex::new(ProfContext::disabled()),
+            flight: Mutex::new(FlightContext::disabled()),
             exec_mode: Mutex::new(ExecMode::Serial),
             cache: Mutex::new(None),
             reopt: Mutex::new(None),
@@ -76,6 +79,10 @@ impl EngineInteractor {
 
     fn prof(&self) -> ProfContext {
         self.prof.lock().clone()
+    }
+
+    fn flight(&self) -> FlightContext {
+        self.flight.lock().clone()
     }
 
     /// The currently selected execution mode.
@@ -141,7 +148,8 @@ impl EngineInteractor {
         let _prof_plan = prof.phase("plan");
         let optimizer = Optimizer::with_defaults(&self.catalog)
             .with_obs(obs.clone())
-            .with_prof(prof.clone());
+            .with_prof(prof.clone())
+            .with_flight(self.flight());
         let Some(cache) = self.cache.lock().clone() else {
             let choice = optimizer.optimize(query, card.as_ref(), hints)?;
             return Ok((choice.plan, choice.cost));
@@ -246,6 +254,7 @@ impl DbInteractor for EngineInteractor {
                     let mut reopt = ReoptExecutor::new(&self.catalog, exec_config, card, cfg)
                         .with_obs(self.obs())
                         .with_prof(self.prof())
+                        .with_flight(self.flight())
                         .with_hints(hints);
                     if let Some(cache) = self.cache.lock().clone() {
                         reopt = reopt.with_cache(cache);
@@ -255,6 +264,7 @@ impl DbInteractor for EngineInteractor {
                     Executor::new(&self.catalog, exec_config)
                         .with_obs(self.obs())
                         .with_prof(self.prof())
+                        .with_flight(self.flight())
                         .execute(&query, &plan)?
                 };
                 Ok(PullReply::Execution {
@@ -281,6 +291,10 @@ impl DbInteractor for EngineInteractor {
 
     fn attach_prof(&self, prof: &ProfContext) {
         *self.prof.lock() = prof.clone();
+    }
+
+    fn attach_flight(&self, flight: &FlightContext) {
+        *self.flight.lock() = flight.clone();
     }
 
     fn set_exec_mode(&self, mode: ExecMode) {

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use lqo_cache::LqoCache;
 use lqo_engine::{ExecMode, HintSet, PhysNode, Result, SpjQuery, TableSet};
+use lqo_flight::FlightContext;
 use lqo_obs::ObsContext;
 use lqo_prof::ProfContext;
 use lqo_reopt::ReoptConfig;
@@ -112,6 +113,13 @@ pub trait DbInteractor: Send + Sync {
     /// Default: ignored, so interactors without a profiler keep working
     /// unchanged.
     fn attach_prof(&self, _prof: &ProfContext) {}
+
+    /// Attach a flight recorder: subsequent planning and execution
+    /// publish span boundaries, guard faults, budget trips, and
+    /// worker-fault degrades onto its black-box ring, feeding incident
+    /// bundles. Default: ignored, so interactors without a recorder keep
+    /// working unchanged.
+    fn attach_flight(&self, _flight: &FlightContext) {}
 
     /// Attach a shared plan & inference cache: subsequent planning may
     /// memoize cardinality lookups across queries and reuse previously

@@ -22,6 +22,7 @@ use lqo_engine::{
     CardSource, Catalog, EngineError, ExecConfig, ExecResult, Executor, HintSet, JoinAlgo,
     PhysNode, Result, SpjQuery, WorkMeter,
 };
+use lqo_flight::{FlightContext, FlightEvent, Producer};
 use lqo_guard::{ReoptGuard, ReoptGuardConfig};
 use lqo_obs::trace::{OperatorEvent, ReoptEvent};
 use lqo_obs::ObsContext;
@@ -158,6 +159,7 @@ pub struct ReoptExecutor<'a> {
     guard: ReoptGuard,
     obs: ObsContext,
     prof: ProfContext,
+    flight: FlightContext,
     cache: Option<Arc<LqoCache>>,
 }
 
@@ -183,6 +185,7 @@ impl<'a> ReoptExecutor<'a> {
             guard,
             obs: ObsContext::disabled(),
             prof: ProfContext::disabled(),
+            flight: FlightContext::disabled(),
             cache: None,
         }
     }
@@ -200,6 +203,16 @@ impl<'a> ReoptExecutor<'a> {
     pub fn with_prof(mut self, prof: ProfContext) -> ReoptExecutor<'a> {
         self.exec = self.exec.with_prof(prof.clone());
         self.prof = prof;
+        self
+    }
+
+    /// Attach a flight recorder; checkpoint decisions (switch, keep,
+    /// degrade) are published onto the black-box ring, and a switch or
+    /// degrade is an incident trigger. The inner executor publishes its
+    /// span/fault events through the same recorder.
+    pub fn with_flight(mut self, flight: FlightContext) -> ReoptExecutor<'a> {
+        self.exec = self.exec.with_flight(flight.clone());
+        self.flight = flight;
         self
     }
 
@@ -264,6 +277,18 @@ impl<'a> ReoptExecutor<'a> {
             &mut events,
             &mut report,
         );
+        if self.flight.is_enabled() {
+            for ev in &report.events {
+                self.flight.publish(
+                    Producer::Reopt,
+                    FlightEvent::Reopt {
+                        tables: ev.tables,
+                        action: ev.action.clone(),
+                        q_error: ev.q_error,
+                    },
+                );
+            }
+        }
         if self.obs.is_enabled() {
             let r = &report;
             self.obs.count("lqo.reopt.checkpoints", r.checkpoints);
@@ -279,7 +304,11 @@ impl<'a> ReoptExecutor<'a> {
                 self.obs.observe("lqo.reopt.replan_work", ev.replan_work);
             }
             let evs = report.events.clone();
-            self.obs.with_query(move |t| t.reopt.extend(evs));
+            self.obs.with_query(move |t| {
+                for ev in evs {
+                    t.push_reopt(ev);
+                }
+            });
         }
         match attempt {
             Ok(rel) => {

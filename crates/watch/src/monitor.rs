@@ -244,6 +244,9 @@ pub struct ModelHealthMonitor {
     cfg: WatchConfig,
     inner: Mutex<Inner>,
     obs: ObsContext,
+    /// Flight recorder handle; behind its own lock because the monitor is
+    /// shared via `Arc` and the recorder is attached after construction.
+    flight: Mutex<lqo_flight::FlightContext>,
 }
 
 impl ModelHealthMonitor {
@@ -259,6 +262,7 @@ impl ModelHealthMonitor {
                 regressions: Vec::new(),
             }),
             obs: ObsContext::disabled(),
+            flight: Mutex::new(lqo_flight::FlightContext::disabled()),
         }
     }
 
@@ -267,6 +271,15 @@ impl ModelHealthMonitor {
     pub fn with_obs(mut self, obs: ObsContext) -> ModelHealthMonitor {
         self.obs = obs;
         self
+    }
+
+    /// Attach a flight recorder: every health-state transition is
+    /// published onto the black-box ring as a watch-alarm edge (a
+    /// transition into `drifted` is an incident trigger). Takes `&self`
+    /// because the monitor is typically shared via `Arc` by the time the
+    /// recorder exists.
+    pub fn attach_flight(&self, flight: &lqo_flight::FlightContext) {
+        *self.flight.lock() = flight.clone();
     }
 
     /// The monitor's configuration.
@@ -462,6 +475,17 @@ impl ModelHealthMonitor {
         }
         if health != c.last_health {
             self.obs.count("lqo.watch.transitions", 1);
+            let flight = self.flight.lock();
+            if flight.is_enabled() {
+                flight.publish(
+                    lqo_flight::Producer::Watch,
+                    lqo_flight::FlightEvent::WatchAlarm {
+                        metric: component.to_string(),
+                        health: health.name().to_string(),
+                        detail: format!("from:{}", c.last_health.name()),
+                    },
+                );
+            }
             c.last_health = health;
         }
         self.obs.gauge(
@@ -595,7 +619,7 @@ mod tests {
             est_rows: Some(10.0),
             work: 90.0,
         });
-        t.guard.push(GuardEvent {
+        t.push_guard(GuardEvent {
             component: "driver:bao".into(),
             fault: "deadline".into(),
             action: "delegate".into(),
