@@ -13,6 +13,10 @@
 //! * `cache_heavy` — the golden templates re-planned for several rounds
 //!   through a fresh `LqoCache` per iteration: plan-cache and
 //!   inference-memo service dominate.
+//! * `batch_heavy` — the golden workload optimized and executed under
+//!   `ExecMode::Batched`: the vectorized kernels' end-to-end profile,
+//!   pinned against the serial `golden10` row (identical work units by
+//!   the byte-identity contract, different wall clock).
 //!
 //! Each scenario runs `warmup + iterations` times under a sampling-mode
 //! [`ProfContext`]; wall clock is summarized as median/p95 while the
@@ -37,8 +41,12 @@ use serde::{Deserialize, Serialize};
 
 use lqo_cache::{plan_key, LqoCache, MemoCardSource, OptMemo, PlannedQuery};
 use lqo_engine::datagen::stats_like;
+use lqo_engine::exec::batch::DEFAULT_BATCH_SIZE;
 use lqo_engine::optimizer::CardSource;
-use lqo_engine::{Catalog, CatalogStats, Executor, HintSet, Optimizer, TraditionalCardSource};
+use lqo_engine::{
+    Catalog, CatalogStats, ExecConfig, ExecMode, Executor, HintSet, Optimizer,
+    TraditionalCardSource,
+};
 use lqo_prof::ProfContext;
 
 use crate::report::TextTable;
@@ -88,7 +96,8 @@ impl Default for Config {
 /// One scenario's summary in `BENCH_core.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioResult {
-    /// Scenario name (`golden10`, `enum_heavy`, `cache_heavy`).
+    /// Scenario name (`golden10`, `enum_heavy`, `cache_heavy`,
+    /// `batch_heavy`).
     pub name: String,
     /// Measured iterations behind the percentiles.
     pub iterations: usize,
@@ -299,9 +308,31 @@ pub fn run(cfg: &Config) -> Output {
         units
     });
 
+    let batch_heavy = run_scenario("batch_heavy", cfg, &prof, || {
+        let optimizer = Optimizer::with_defaults(&catalog).with_prof(prof.clone());
+        let executor = Executor::new(
+            &catalog,
+            ExecConfig {
+                mode: ExecMode::Batched {
+                    batch_size: DEFAULT_BATCH_SIZE,
+                },
+                ..Default::default()
+            },
+        )
+        .with_prof(prof.clone());
+        let mut units = 0.0;
+        for _pass in 0..cfg.passes {
+            for q in &golden {
+                let choice = optimizer.optimize(q, card.as_ref(), &hints).expect("plan");
+                units += executor.execute(q, &choice.plan).expect("execute").work;
+            }
+        }
+        units
+    });
+
     let report = BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
-        scenarios: vec![golden10, enum_heavy, cache_heavy],
+        scenarios: vec![golden10, enum_heavy, cache_heavy, batch_heavy],
     };
     let mut table = TextTable::new(
         "BENCH-core: canonical perf baseline",
@@ -521,7 +552,10 @@ mod tests {
             .iter()
             .map(|s| s.name.as_str())
             .collect();
-        assert_eq!(names, ["golden10", "enum_heavy", "cache_heavy"]);
+        assert_eq!(
+            names,
+            ["golden10", "enum_heavy", "cache_heavy", "batch_heavy"]
+        );
         for s in &out.report.scenarios {
             // run_scenario asserts cross-iteration determinism internally;
             // here we check the columns are populated and sane.
@@ -536,6 +570,15 @@ mod tests {
         assert!(
             c.estimator_calls < 2 * g.estimator_calls,
             "cache ineffective"
+        );
+        // The byte-identity contract reaches into the perf baseline:
+        // batched execution of the same golden workload accounts the
+        // same bit-exact work units as the serial golden10 row.
+        let b = &out.report.scenarios[3];
+        assert_eq!(
+            g.work_units.to_bits(),
+            b.work_units.to_bits(),
+            "batch_heavy work diverged from golden10"
         );
         // The aggregate profile exports round-trip and carry the
         // enumeration subtree.

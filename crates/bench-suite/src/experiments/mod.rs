@@ -7,6 +7,7 @@ pub mod e10_drift_watch;
 pub mod e11_parallel_scaling;
 pub mod e12_cache;
 pub mod e13_reopt;
+pub mod e14_batch;
 pub mod e1_single_table;
 pub mod e2_design_space;
 pub mod e3_injection;

@@ -100,10 +100,11 @@ impl TrainingLoop {
         })
     }
 
-    /// Execute epochs in the given mode (serial by default). The parallel
-    /// executor is verified byte-identical to serial by the differential
-    /// harness, so work-unit feedback — the training signal — is exactly
-    /// the same in either mode; only wall-clock time changes.
+    /// Execute epochs in the given mode (serial by default). The
+    /// parallel and batched executors are verified byte-identical to
+    /// serial by the differential harness, so work-unit feedback — the
+    /// training signal — is exactly the same in every mode; only
+    /// wall-clock time changes.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> TrainingLoop {
         self.exec_mode = mode;
         self
@@ -420,6 +421,35 @@ mod tests {
             );
         }
         assert_eq!(s.timeouts, p.timeouts);
+    }
+
+    #[test]
+    fn batched_epoch_matches_serial_epoch_bit_for_bit() {
+        let (ctx, queries) = fixture();
+        let serial = TrainingLoop::new(ctx.clone(), queries.clone()).unwrap();
+        let s = serial.run_epoch(&mut NativeBaseline::new(ctx.clone()), false);
+        let modes = [
+            ExecMode::Batched { batch_size: 64 },
+            ExecMode::BatchedParallel {
+                threads: 4,
+                batch_size: 64,
+            },
+        ];
+        for mode in modes {
+            let batched = TrainingLoop::new(ctx.clone(), serial.queries().to_vec())
+                .unwrap()
+                .with_exec_mode(mode);
+            let b = batched.run_epoch(&mut NativeBaseline::new(ctx.clone()), false);
+            assert_eq!(s.per_query.len(), b.per_query.len(), "{mode}");
+            for (a, x) in s.per_query.iter().zip(&b.per_query) {
+                assert_eq!(
+                    a.to_bits(),
+                    x.to_bits(),
+                    "per-query work must be bit-identical under {mode}"
+                );
+            }
+            assert_eq!(s.timeouts, b.timeouts, "{mode}");
+        }
     }
 
     #[test]

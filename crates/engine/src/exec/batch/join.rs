@@ -1,0 +1,216 @@
+//! Batched join operators.
+//!
+//! Each operator replays the serial work-charge cadence exactly (upfront
+//! operator charge, then [`ChargeCadence`] for the emitted output) and
+//! emits tuples in the canonical order documented on
+//! [`crate::exec::executor`], so output and accounting are byte-identical
+//! to the serial reference. What changes is the inner loop:
+//!
+//! * **Hash join** gathers the build-side key column(s) in one columnar
+//!   pass, builds a [`KeyTable`] (flat arrays, no per-key or per-tuple
+//!   allocation), and probes batch-by-batch over gathered probe keys.
+//! * **Nested-loop join** gathers both sides' key columns once and
+//!   compares plain `i64`s in the pair loop — the serial path allocates a
+//!   fresh `Vec<i64>` composite key per *pair*.
+//! * **Merge join** gathers key columns before assembling the sort
+//!   vectors, then reuses the serial merge phase verbatim (the merge
+//!   itself is inherently sequential and already cheap).
+//!
+//! Cross products have no batch variant: the serial operator is a single
+//! upfront charge plus a straight memcpy-style emit loop already.
+
+use std::ops::Range;
+
+use crate::error::Result;
+use crate::exec::batch::column::{gather_key_column, ColumnBatch};
+use crate::exec::batch::kernels::KeyTable;
+use crate::exec::batch::ChargeCadence;
+use crate::exec::compiled::KeySide;
+use crate::exec::executor::{Executor, WorkMeter};
+use crate::exec::relation::Relation;
+use crate::query::expr::JoinCond;
+use crate::query::spj::SpjQuery;
+
+/// Gather the key column of every join condition for all tuples of `rel`.
+fn gather_side(
+    ex: &Executor,
+    query: &SpjQuery,
+    rel: &Relation,
+    conds: &[&JoinCond],
+) -> Result<Vec<Vec<i64>>> {
+    let side = ex.key_side(query, rel, conds)?;
+    Ok(side
+        .cols
+        .iter()
+        .map(|&(slot, data)| gather_key_column(rel, slot, data))
+        .collect())
+}
+
+/// Batched hash join: columnar build over a [`KeyTable`], batch-gathered
+/// probe. Emit order is probe-side-major with ascending build rows per
+/// probe tuple — identical to the serial `HashMap` path.
+pub(crate) fn hash_join(
+    ex: &Executor,
+    query: &SpjQuery,
+    conds: &[&JoinCond],
+    left: Relation,
+    right: Relation,
+    batch: usize,
+    meter: &mut WorkMeter,
+) -> Result<Relation> {
+    let p = &ex.config.params;
+    let spill = ex.hash_spill(left.len());
+    meter.add((left.len() as f64 * p.hash_build + right.len() as f64 * p.hash_probe) * spill)?;
+
+    let lcols = gather_side(ex, query, &left, conds)?;
+    let rside = ex.key_side(query, &right, conds)?;
+    let slots = Relation::combined_slots(&left, &right);
+    let width = slots.len();
+    let table = KeyTable::build(&lcols);
+
+    let mut rows: Vec<u32> = Vec::new();
+    let mut cadence = ChargeCadence::new();
+    let n = right.len();
+    let batch = batch.max(1);
+    for start in (0..n).step_by(batch) {
+        let end = (start + batch).min(n);
+        let matched = probe_range(&table, &left, &right, &rside, start..end, batch, &mut rows);
+        cadence.bump(matched, meter, p, width)?;
+    }
+    cadence.finish(meter, p, width)?;
+    Ok(Relation { slots, rows })
+}
+
+/// Probe `range` of the probe side against a built [`KeyTable`],
+/// batch-gathering the probe keys and appending output tuples (in the
+/// canonical probe-major order) to `rows`. Returns the number of tuples
+/// emitted. Shared by the single-threaded batched hash join (which calls
+/// it per batch and charges the cadence in between) and the
+/// batched-parallel path (which calls it per morsel and feeds the shared
+/// approximate accumulator instead).
+pub(crate) fn probe_range(
+    table: &KeyTable,
+    left: &Relation,
+    right: &Relation,
+    rside: &KeySide<'_>,
+    range: Range<usize>,
+    batch: usize,
+    rows: &mut Vec<u32>,
+) -> usize {
+    let stride = rside.cols.len();
+    let mut keycols: Vec<Vec<i64>> = vec![Vec::new(); stride];
+    let mut keybuf: Vec<i64> = Vec::with_capacity(stride);
+    let mut matched = 0usize;
+    let batch = batch.max(1);
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + batch).min(range.end);
+        let chunk = ColumnBatch::from_relation(right, start..end);
+        for (c, &(slot, data)) in rside.cols.iter().enumerate() {
+            chunk.gather_i64(slot, data, &mut keycols[c]);
+        }
+        for j in 0..chunk.len() {
+            let chain = if stride == 1 {
+                table.probe1(keycols[0][j])
+            } else {
+                keybuf.clear();
+                keybuf.extend(keycols.iter().map(|col| col[j]));
+                table.probe(&keybuf)
+            };
+            let rt = right.tuple(start + j);
+            for i in chain {
+                Executor::emit(rows, left.tuple(i as usize), rt);
+                matched += 1;
+            }
+        }
+        start = end;
+    }
+    matched
+}
+
+/// Compare row `i` of `lcols` with row `j` of `rcols` across every
+/// gathered key column (the batched replacement for the serial
+/// `multi_key` equality, which allocates two `Vec<i64>`s per pair).
+#[inline]
+pub(crate) fn keys_equal(lcols: &[Vec<i64>], rcols: &[Vec<i64>], i: usize, j: usize) -> bool {
+    lcols.iter().zip(rcols).all(|(l, r)| l[i] == r[j])
+}
+
+/// Batched nested-loop join: both sides' key columns are gathered once
+/// ("batch = the whole side"), so the pair loop compares flat `i64`s with
+/// no per-pair allocation. Emit order is outer-major, as in serial.
+pub(crate) fn nl_join(
+    ex: &Executor,
+    query: &SpjQuery,
+    conds: &[&JoinCond],
+    left: Relation,
+    right: Relation,
+    meter: &mut WorkMeter,
+) -> Result<Relation> {
+    let p = &ex.config.params;
+    let discount = ex.nl_discount(right.len());
+    // Charge pair work up front so hopeless plans abort immediately.
+    meter.add(left.len() as f64 * right.len() as f64 * p.nl_pair * discount)?;
+
+    let lcols = gather_side(ex, query, &left, conds)?;
+    let rcols = gather_side(ex, query, &right, conds)?;
+    let slots = Relation::combined_slots(&left, &right);
+    let width = slots.len();
+    let stride = conds.len();
+    let mut rows: Vec<u32> = Vec::new();
+    let mut cadence = ChargeCadence::new();
+    for i in 0..left.len() {
+        let lt = left.tuple(i);
+        let mut matched = 0usize;
+        if stride == 1 {
+            let lk = lcols[0][i];
+            for (j, &rk) in rcols[0].iter().enumerate() {
+                if rk == lk {
+                    Executor::emit(&mut rows, lt, right.tuple(j));
+                    matched += 1;
+                }
+            }
+        } else {
+            for j in 0..right.len() {
+                if keys_equal(&lcols, &rcols, i, j) {
+                    Executor::emit(&mut rows, lt, right.tuple(j));
+                    matched += 1;
+                }
+            }
+        }
+        cadence.bump(matched, meter, p, width)?;
+    }
+    cadence.finish(meter, p, width)?;
+    Ok(Relation { slots, rows })
+}
+
+/// Batched merge join: key extraction is columnar, the sort and the merge
+/// phase are shared with the serial operator (sort keys are disambiguated
+/// by input index, so the sorted order is unique regardless of path).
+pub(crate) fn merge_join(
+    ex: &Executor,
+    query: &SpjQuery,
+    conds: &[&JoinCond],
+    left: Relation,
+    right: Relation,
+    meter: &mut WorkMeter,
+) -> Result<Relation> {
+    let p = &ex.config.params;
+    meter.add(
+        p.sort_work(left.len() as f64)
+            + p.sort_work(right.len() as f64)
+            + (left.len() + right.len()) as f64 * p.merge_tuple,
+    )?;
+
+    let lcols = gather_side(ex, query, &left, conds)?;
+    let rcols = gather_side(ex, query, &right, conds)?;
+    let mut lsorted: Vec<(Vec<i64>, u32)> = (0..left.len())
+        .map(|i| (lcols.iter().map(|c| c[i]).collect(), i as u32))
+        .collect();
+    let mut rsorted: Vec<(Vec<i64>, u32)> = (0..right.len())
+        .map(|j| (rcols.iter().map(|c| c[j]).collect(), j as u32))
+        .collect();
+    lsorted.sort_unstable();
+    rsorted.sort_unstable();
+    Executor::merge_phase(p, &left, &right, &lsorted, &rsorted, meter)
+}

@@ -88,6 +88,89 @@ impl Compiled<'_> {
     }
 }
 
+/// Append the rows of `range` that satisfy `f` to `out`.
+#[inline]
+fn select_range(range: std::ops::Range<usize>, out: &mut Vec<u32>, f: impl Fn(usize) -> bool) {
+    for row in range {
+        if f(row) {
+            out.push(row as u32);
+        }
+    }
+}
+
+/// In-place compaction of a selection vector: keep the rows satisfying `f`.
+#[inline]
+fn compact_sel(sel: &mut Vec<u32>, f: impl Fn(usize) -> bool) {
+    let mut w = 0usize;
+    for i in 0..sel.len() {
+        let row = sel[i];
+        if f(row as usize) {
+            sel[w] = row;
+            w += 1;
+        }
+    }
+    sel.truncate(w);
+}
+
+impl Compiled<'_> {
+    /// Batched first-predicate kernel: append the row ids in `range` that
+    /// satisfy the predicate to `out` (ascending order). The `match` on
+    /// the compiled form happens once per batch instead of once per row,
+    /// so each arm is a tight loop over one typed column.
+    pub(crate) fn filter_range(&self, range: std::ops::Range<usize>, out: &mut Vec<u32>) {
+        match self {
+            Compiled::Int { data, op, v } => {
+                select_range(range, out, |r| op.matches(data[r].cmp(v)))
+            }
+            Compiled::IntF { data, op, v } => select_range(range, out, |r| {
+                (data[r] as f64)
+                    .partial_cmp(v)
+                    .is_some_and(|o| op.matches(o))
+            }),
+            Compiled::Float { data, op, v } => select_range(range, out, |r| {
+                data[r].partial_cmp(v).is_some_and(|o| op.matches(o))
+            }),
+            Compiled::TextEq {
+                codes,
+                code,
+                negate,
+            } => select_range(range, out, |r| {
+                code.is_some_and(|c| codes[r] == c) != *negate
+            }),
+            Compiled::Slow { col, op, value } => select_range(range, out, |r| {
+                col.value(r).compare(value).is_some_and(|o| op.matches(o))
+            }),
+        }
+    }
+
+    /// Batched residual-predicate kernel: compact the selection vector
+    /// `sel` in place, keeping only rows that also satisfy this
+    /// predicate. Row order is preserved, so a chain of `filter_range`
+    /// then `filter_sel` calls selects exactly the rows the serial
+    /// per-row conjunction does, in the same order.
+    pub(crate) fn filter_sel(&self, sel: &mut Vec<u32>) {
+        match self {
+            Compiled::Int { data, op, v } => compact_sel(sel, |r| op.matches(data[r].cmp(v))),
+            Compiled::IntF { data, op, v } => compact_sel(sel, |r| {
+                (data[r] as f64)
+                    .partial_cmp(v)
+                    .is_some_and(|o| op.matches(o))
+            }),
+            Compiled::Float { data, op, v } => compact_sel(sel, |r| {
+                data[r].partial_cmp(v).is_some_and(|o| op.matches(o))
+            }),
+            Compiled::TextEq {
+                codes,
+                code,
+                negate,
+            } => compact_sel(sel, |r| code.is_some_and(|c| codes[r] == c) != *negate),
+            Compiled::Slow { col, op, value } => compact_sel(sel, |r| {
+                col.value(r).compare(value).is_some_and(|o| op.matches(o))
+            }),
+        }
+    }
+}
+
 /// Compile `pred` against `col`, choosing the fastest evaluation path.
 pub(crate) fn compile_pred<'a>(col: &'a Column, pred: &Predicate) -> Compiled<'a> {
     match (col, &pred.value, pred.op) {

@@ -42,6 +42,7 @@ use serde::Serialize;
 
 use crate::catalog::Catalog;
 use crate::error::{EngineError, Result};
+use crate::exec::batch;
 use crate::exec::compiled::{compile_pred, Compiled, KeySide};
 use crate::exec::parallel::{self, ExecMode, ParallelConfig};
 use crate::exec::relation::Relation;
@@ -248,48 +249,48 @@ impl<'a> Executor<'a> {
         let mut meter = WorkMeter::new(self.config.max_work);
         let mut intermediates = Vec::new();
         let mut events = Vec::new();
-        let attempt = match self.config.mode {
-            ExecMode::Parallel { threads } if threads > 1 => {
-                match parallel::exec_plan(
-                    self,
-                    query,
-                    plan,
-                    threads,
-                    detail,
-                    &mut meter,
-                    &mut intermediates,
-                    &mut events,
-                ) {
-                    Err(EngineError::WorkerFault { op })
-                        if self.config.parallel.fallback_serial =>
-                    {
-                        // A worker died mid-morsel: degrade the query to
-                        // the serial path rather than fail it. The serial
-                        // retry restarts accounting from zero.
-                        self.record_degrade(&op);
-                        meter = WorkMeter::new(self.config.max_work);
-                        intermediates.clear();
-                        events.clear();
-                        self.exec_node(
-                            query,
-                            plan,
-                            detail,
-                            &mut meter,
-                            &mut intermediates,
-                            &mut events,
-                        )
-                    }
-                    other => other,
-                }
-            }
-            _ => self.exec_node(
+        // Single-threaded modes (Serial, Batched, and either parallel
+        // mode clamped to one worker) run in-thread through `exec_node`,
+        // which dispatches per-operator between the tuple-at-a-time and
+        // batched kernels; multi-worker modes go through the morsel pool.
+        let attempt = if self.config.mode.threads() > 1 {
+            match parallel::exec_plan(
+                self,
                 query,
                 plan,
                 detail,
                 &mut meter,
                 &mut intermediates,
                 &mut events,
-            ),
+            ) {
+                Err(EngineError::WorkerFault { op }) if self.config.parallel.fallback_serial => {
+                    // A worker died mid-morsel: degrade the query to the
+                    // in-thread path rather than fail it. The retry
+                    // restarts accounting from zero.
+                    self.record_degrade(&op);
+                    meter = WorkMeter::new(self.config.max_work);
+                    intermediates.clear();
+                    events.clear();
+                    self.exec_node(
+                        query,
+                        plan,
+                        detail,
+                        &mut meter,
+                        &mut intermediates,
+                        &mut events,
+                    )
+                }
+                other => other,
+            }
+        } else {
+            self.exec_node(
+                query,
+                plan,
+                detail,
+                &mut meter,
+                &mut intermediates,
+                &mut events,
+            )
         };
         if self.flight.is_enabled() {
             if let Err(EngineError::WorkLimitExceeded { limit }) = &attempt {
@@ -354,25 +355,22 @@ impl<'a> Executor<'a> {
         pos: usize,
         meter: &mut WorkMeter,
     ) -> Result<Relation> {
-        match self.config.mode {
-            ExecMode::Parallel { threads } if threads > 1 => {
-                let before = meter.work;
-                match parallel::exec_scan_step(self, query, pos, threads, meter) {
-                    Err(EngineError::WorkerFault { op })
-                        if self.config.parallel.fallback_serial =>
-                    {
-                        // A worker died mid-morsel: degrade this operator
-                        // to the serial path. The serial retry restores
-                        // the meter to the pre-operator snapshot, so the
-                        // charge sequence stays byte-identical to serial.
-                        self.record_degrade(&op);
-                        meter.work = before;
-                        self.exec_scan(query, pos, meter)
-                    }
-                    other => other,
+        if self.config.mode.threads() > 1 {
+            let before = meter.work;
+            match parallel::exec_scan_step(self, query, pos, meter) {
+                Err(EngineError::WorkerFault { op }) if self.config.parallel.fallback_serial => {
+                    // A worker died mid-morsel: degrade this operator to
+                    // the in-thread path. The retry restores the meter to
+                    // the pre-operator snapshot, so the charge sequence
+                    // stays byte-identical to serial.
+                    self.record_degrade(&op);
+                    meter.work = before;
+                    self.scan_dispatch(query, pos, meter)
                 }
+                other => other,
             }
-            _ => self.exec_scan(query, pos, meter),
+        } else {
+            self.scan_dispatch(query, pos, meter)
         }
     }
 
@@ -386,29 +384,18 @@ impl<'a> Executor<'a> {
         right: Relation,
         meter: &mut WorkMeter,
     ) -> Result<Relation> {
-        match self.config.mode {
-            ExecMode::Parallel { threads } if threads > 1 => {
-                let before = meter.work;
-                match parallel::exec_join_step(
-                    self,
-                    query,
-                    algo,
-                    left.clone(),
-                    right.clone(),
-                    threads,
-                    meter,
-                ) {
-                    Err(EngineError::WorkerFault { op })
-                        if self.config.parallel.fallback_serial =>
-                    {
-                        self.record_degrade(&op);
-                        meter.work = before;
-                        self.exec_join(query, algo, left, right, meter)
-                    }
-                    other => other,
+        if self.config.mode.threads() > 1 {
+            let before = meter.work;
+            match parallel::exec_join_step(self, query, algo, left.clone(), right.clone(), meter) {
+                Err(EngineError::WorkerFault { op }) if self.config.parallel.fallback_serial => {
+                    self.record_degrade(&op);
+                    meter.work = before;
+                    self.exec_join(query, algo, left, right, meter)
                 }
+                other => other,
             }
-            _ => self.exec_join(query, algo, left, right, meter),
+        } else {
+            self.exec_join(query, algo, left, right, meter)
         }
     }
 
@@ -460,7 +447,7 @@ impl<'a> Executor<'a> {
         let (rel, op, own_work) = match node {
             PhysNode::Scan { pos } => {
                 let before = meter.work;
-                let rel = self.exec_scan(query, *pos, meter)?;
+                let rel = self.scan_dispatch(query, *pos, meter)?;
                 (rel, "Scan", meter.work - before)
             }
             PhysNode::Join { algo, left, right } => {
@@ -483,6 +470,23 @@ impl<'a> Executor<'a> {
             });
         }
         Ok(rel)
+    }
+
+    /// Route a scan to the tuple-at-a-time or batched kernel, per the
+    /// configured mode. `ExecMode::BatchedParallel` reaches this on its
+    /// single-threaded paths (clamped thread counts, worker-fault
+    /// retries, morsel bodies recurse elsewhere) and uses the batched
+    /// kernel there too — output is byte-identical either way.
+    fn scan_dispatch(
+        &self,
+        query: &SpjQuery,
+        pos: usize,
+        meter: &mut WorkMeter,
+    ) -> Result<Relation> {
+        match self.config.mode.batch_size() {
+            Some(b) => batch::scan(self, query, pos, b, meter),
+            None => self.exec_scan(query, pos, meter),
+        }
     }
 
     fn exec_scan(&self, query: &SpjQuery, pos: usize, meter: &mut WorkMeter) -> Result<Relation> {
@@ -577,12 +581,23 @@ impl<'a> Executor<'a> {
                      must use NestedLoopJoin)"
                 )));
             }
+            // Cross products are a single upfront charge plus a straight
+            // emit loop; there is no batched variant to dispatch to.
             return self.cross_join(left, right, meter);
         }
-        match algo {
-            JoinAlgo::Hash => self.hash_join(query, &conds, left, right, meter),
-            JoinAlgo::NestedLoop => self.nl_join(query, &conds, left, right, meter),
-            JoinAlgo::Merge => self.merge_join(query, &conds, left, right, meter),
+        match (algo, self.config.mode.batch_size()) {
+            (JoinAlgo::Hash, Some(b)) => {
+                batch::join::hash_join(self, query, &conds, left, right, b, meter)
+            }
+            (JoinAlgo::Hash, None) => self.hash_join(query, &conds, left, right, meter),
+            (JoinAlgo::NestedLoop, Some(_)) => {
+                batch::join::nl_join(self, query, &conds, left, right, meter)
+            }
+            (JoinAlgo::NestedLoop, None) => self.nl_join(query, &conds, left, right, meter),
+            (JoinAlgo::Merge, Some(_)) => {
+                batch::join::merge_join(self, query, &conds, left, right, meter)
+            }
+            (JoinAlgo::Merge, None) => self.merge_join(query, &conds, left, right, meter),
         }
     }
 

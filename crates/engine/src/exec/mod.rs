@@ -1,6 +1,7 @@
 //! Plan execution: physical operators over row-id relations, a work-unit
 //! accounting model, and the true-cardinality oracle.
 
+pub mod batch;
 pub(crate) mod compiled;
 pub mod executor;
 pub mod oracle;

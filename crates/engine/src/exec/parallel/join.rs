@@ -15,6 +15,9 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 use crate::error::{EngineError, Result};
+use crate::exec::batch::column::{gather_key_column, gather_key_range};
+use crate::exec::batch::join::{keys_equal, probe_range};
+use crate::exec::batch::kernels::KeyTable;
 use crate::exec::compiled::KeySide;
 use crate::exec::executor::{Executor, WorkMeter};
 use crate::exec::parallel::ParRun;
@@ -82,7 +85,9 @@ impl ParRun<'_> {
         let rkeys = self.ex.key_side(self.query, &right, conds)?;
         let slots = Relation::combined_slots(&left, &right);
         let width = slots.len();
-        let (rows, emitted) = if conds.len() == 1 {
+        let (rows, emitted) = if let Some(batch) = self.batch {
+            self.hash_join_batched(&left, &right, width, &lkeys, &rkeys, batch)?
+        } else if conds.len() == 1 {
             self.hash_join_keyed(&left, &right, width, &lkeys, &rkeys, |ks, t| {
                 ks.single_key(t)
             })?
@@ -93,6 +98,50 @@ impl ParRun<'_> {
         };
         replay_output_charges(meter, p, emitted, width)?;
         Ok(Relation { slots, rows })
+    }
+
+    /// Batched-parallel hash join: build-side key columns are gathered
+    /// per morsel and concatenated in morsel order (equal to the
+    /// whole-column gather), one flat [`KeyTable`] is built from them,
+    /// and probe morsels run the shared batched probe kernel against the
+    /// read-only table. Chains yield build rows in ascending input order
+    /// and probe chunks merge in morsel order, so the emit order is the
+    /// serial probe-major order exactly.
+    fn hash_join_batched(
+        &self,
+        left: &Relation,
+        right: &Relation,
+        width: usize,
+        lkeys: &KeySide<'_>,
+        rkeys: &KeySide<'_>,
+        batch: usize,
+    ) -> Result<(Vec<u32>, usize)> {
+        let gathers = self.dispatch(left.len(), "HashJoin", move |_, range| {
+            lkeys
+                .cols
+                .iter()
+                .map(|&(slot, data)| gather_key_range(left, slot, data, range.clone()))
+                .collect::<Vec<_>>()
+        })?;
+        let mut lcols: Vec<Vec<i64>> = vec![Vec::with_capacity(left.len()); lkeys.cols.len()];
+        for gather in gathers {
+            for (c, col) in gather.into_iter().enumerate() {
+                lcols[c].extend(col);
+            }
+        }
+        let table = KeyTable::build(&lcols);
+        drop(lcols);
+
+        let table = &table;
+        let shared = &self.shared;
+        let params = &self.ex.config.params;
+        let chunks = self.dispatch(right.len(), "HashJoin", move |_, range| {
+            let mut rows: Vec<u32> = Vec::new();
+            let emitted = probe_range(table, left, right, rkeys, range, batch, &mut rows);
+            shared.add_approx(params.output_work(emitted as f64, width));
+            (rows, emitted)
+        })?;
+        Ok(concat_chunks(chunks))
     }
 
     /// Partitioned build, shared read-only probe.
@@ -173,23 +222,70 @@ impl ParRun<'_> {
         let (lkeys, rkeys) = (&lkeys, &rkeys);
         let (lref, rref) = (&left, &right);
         let shared = &self.shared;
-        let chunks = self.dispatch(left.len(), "NestedLoopJoin", move |_, range| {
-            let mut rows: Vec<u32> = Vec::new();
-            let mut emitted = 0usize;
-            for i in range {
-                let lt = lref.tuple(i);
-                let lk = lkeys.multi_key(lt);
-                for j in 0..rref.len() {
-                    let rt = rref.tuple(j);
-                    if lk == rkeys.multi_key(rt) {
-                        Executor::emit(&mut rows, lt, rt);
-                        emitted += 1;
+        let chunks = if self.batch.is_some() {
+            // Batched morsel body: both sides' key columns are gathered
+            // once up front, so the pair loop compares flat `i64`s with
+            // no per-pair allocation (the tuple-at-a-time body below
+            // allocates two composite keys per pair).
+            let lcols: Vec<Vec<i64>> = lkeys
+                .cols
+                .iter()
+                .map(|&(slot, data)| gather_key_column(lref, slot, data))
+                .collect();
+            let rcols: Vec<Vec<i64>> = rkeys
+                .cols
+                .iter()
+                .map(|&(slot, data)| gather_key_column(rref, slot, data))
+                .collect();
+            let (lcols, rcols) = (&lcols, &rcols);
+            self.dispatch(left.len(), "NestedLoopJoin", move |_, range| {
+                let mut rows: Vec<u32> = Vec::new();
+                let mut emitted = 0usize;
+                if lcols.len() == 1 {
+                    let (lc, rc) = (&lcols[0], &rcols[0]);
+                    for i in range {
+                        let lt = lref.tuple(i);
+                        let lk = lc[i];
+                        for (j, &rk) in rc.iter().enumerate() {
+                            if rk == lk {
+                                Executor::emit(&mut rows, lt, rref.tuple(j));
+                                emitted += 1;
+                            }
+                        }
+                    }
+                } else {
+                    for i in range {
+                        let lt = lref.tuple(i);
+                        for j in 0..rref.len() {
+                            if keys_equal(lcols, rcols, i, j) {
+                                Executor::emit(&mut rows, lt, rref.tuple(j));
+                                emitted += 1;
+                            }
+                        }
                     }
                 }
-            }
-            shared.add_approx(p.output_work(emitted as f64, width));
-            (rows, emitted)
-        })?;
+                shared.add_approx(p.output_work(emitted as f64, width));
+                (rows, emitted)
+            })?
+        } else {
+            self.dispatch(left.len(), "NestedLoopJoin", move |_, range| {
+                let mut rows: Vec<u32> = Vec::new();
+                let mut emitted = 0usize;
+                for i in range {
+                    let lt = lref.tuple(i);
+                    let lk = lkeys.multi_key(lt);
+                    for j in 0..rref.len() {
+                        let rt = rref.tuple(j);
+                        if lk == rkeys.multi_key(rt) {
+                            Executor::emit(&mut rows, lt, rt);
+                            emitted += 1;
+                        }
+                    }
+                }
+                shared.add_approx(p.output_work(emitted as f64, width));
+                (rows, emitted)
+            })?
+        };
         let (rows, emitted) = concat_chunks(chunks);
         replay_output_charges(meter, p, emitted, width)?;
         Ok(Relation { slots, rows })
@@ -248,21 +344,53 @@ impl ParRun<'_> {
         let rkeys = self.ex.key_side(self.query, &right, conds)?;
         let (lkeys, rkeys) = (&lkeys, &rkeys);
         let (lref, rref) = (&left, &right);
+        // Per-morsel key extraction; the batched body gathers the key
+        // columns for its range first (one columnar pass per condition)
+        // instead of borrowing tuple-by-tuple. Either way the extracted
+        // `(key, input index)` pairs are identical, and the index makes
+        // the subsequent sort order unique.
+        let batched = self.batch.is_some();
         let lext = self.dispatch(left.len(), "MergeJoin", move |_, range| {
-            range
-                .map(|i| (lkeys.multi_key(lref.tuple(i)), i as u32))
-                .collect::<Vec<_>>()
+            extract_keys(lref, lkeys, batched, range)
         })?;
         let rext = self.dispatch(right.len(), "MergeJoin", move |_, range| {
-            range
-                .map(|j| (rkeys.multi_key(rref.tuple(j)), j as u32))
-                .collect::<Vec<_>>()
+            extract_keys(rref, rkeys, batched, range)
         })?;
         let mut lsorted: Vec<(Vec<i64>, u32)> = lext.into_iter().flatten().collect();
         let mut rsorted: Vec<(Vec<i64>, u32)> = rext.into_iter().flatten().collect();
         lsorted.sort_unstable();
         rsorted.sort_unstable();
         Executor::merge_phase(p, &left, &right, &lsorted, &rsorted, meter)
+    }
+}
+
+/// Extract `(key, input index)` sort pairs for one merge-join morsel.
+/// The batched body gathers the key columns for the range first (one
+/// columnar pass per condition) instead of borrowing tuple-by-tuple;
+/// either way the extracted pairs are identical, and the index makes the
+/// subsequent sort order unique.
+fn extract_keys(
+    rel: &Relation,
+    keys: &KeySide<'_>,
+    batched: bool,
+    range: std::ops::Range<usize>,
+) -> Vec<(Vec<i64>, u32)> {
+    if batched {
+        let cols: Vec<Vec<i64>> = keys
+            .cols
+            .iter()
+            .map(|&(slot, data)| gather_key_range(rel, slot, data, range.clone()))
+            .collect();
+        (0..range.len())
+            .map(|k| {
+                let key: Vec<i64> = cols.iter().map(|c| c[k]).collect();
+                (key, (range.start + k) as u32)
+            })
+            .collect()
+    } else {
+        range
+            .map(|i| (keys.multi_key(rel.tuple(i)), i as u32))
+            .collect()
     }
 }
 

@@ -60,7 +60,7 @@ use crate::query::table_set::TableSet;
 /// How the executor runs a plan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub enum ExecMode {
-    /// Single-threaded execution (the reference path).
+    /// Single-threaded tuple-at-a-time execution (the reference path).
     #[default]
     Serial,
     /// Morsel-driven parallel execution on a fixed-size worker pool.
@@ -69,28 +69,89 @@ pub enum ExecMode {
         /// serial path (one worker cannot beat zero dispatch overhead).
         threads: usize,
     },
+    /// Single-threaded vectorized execution: operators run columnar batch
+    /// kernels (selection vectors, gathered key columns, batched hashing)
+    /// over chunks of `batch_size` tuples. Output is byte-identical to
+    /// [`ExecMode::Serial`] — same rows in the same order, bit-identical
+    /// work units — only the inner loops differ (see
+    /// [`crate::exec::batch`]).
+    Batched {
+        /// Tuples per columnar batch; clamped to at least 1.
+        batch_size: usize,
+    },
+    /// Morsel-driven parallel execution whose morsel bodies run the same
+    /// columnar batch kernels as [`ExecMode::Batched`] — the composition
+    /// of both speedups. Byte-identical to serial like every other mode.
+    BatchedParallel {
+        /// Worker pool size (1 falls back to the single-threaded batched
+        /// path).
+        threads: usize,
+        /// Tuples per columnar batch; clamped to at least 1.
+        batch_size: usize,
+    },
 }
 
 impl ExecMode {
-    /// The worker count this mode runs with (1 for serial).
+    /// The worker count this mode runs with (1 for the single-threaded
+    /// modes).
     pub fn threads(&self) -> usize {
         match self {
-            ExecMode::Serial => 1,
-            ExecMode::Parallel { threads } => (*threads).max(1),
+            ExecMode::Serial | ExecMode::Batched { .. } => 1,
+            ExecMode::Parallel { threads } | ExecMode::BatchedParallel { threads, .. } => {
+                (*threads).max(1)
+            }
         }
     }
 
-    /// Parse `"serial"`, `"parallel"` (hardware threads) or
-    /// `"parallel:N"`.
+    /// The columnar batch size this mode runs with (`None` for the
+    /// tuple-at-a-time modes).
+    pub fn batch_size(&self) -> Option<usize> {
+        match self {
+            ExecMode::Serial | ExecMode::Parallel { .. } => None,
+            ExecMode::Batched { batch_size } | ExecMode::BatchedParallel { batch_size, .. } => {
+                Some((*batch_size).max(1))
+            }
+        }
+    }
+
+    /// Parse `"serial"`, `"parallel"` (hardware threads), `"parallel:N"`,
+    /// `"batched"` (default batch size), `"batched:B"`,
+    /// `"batched-parallel"` (hardware threads, default batch size),
+    /// `"batched-parallel:T"` or `"batched-parallel:T:B"`.
     pub fn parse(s: &str) -> Option<ExecMode> {
+        fn hw_threads() -> usize {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
         match s.trim() {
             "serial" => Some(ExecMode::Serial),
             "parallel" => Some(ExecMode::Parallel {
-                threads: std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1),
+                threads: hw_threads(),
+            }),
+            "batched" => Some(ExecMode::Batched {
+                batch_size: crate::exec::batch::DEFAULT_BATCH_SIZE,
+            }),
+            "batched-parallel" => Some(ExecMode::BatchedParallel {
+                threads: hw_threads(),
+                batch_size: crate::exec::batch::DEFAULT_BATCH_SIZE,
             }),
             other => {
+                if let Some(rest) = other.strip_prefix("batched-parallel:") {
+                    let (threads, batch_size) = match rest.split_once(':') {
+                        Some((t, b)) => (t.parse().ok()?, b.parse().ok()?),
+                        None => (rest.parse().ok()?, crate::exec::batch::DEFAULT_BATCH_SIZE),
+                    };
+                    return Some(ExecMode::BatchedParallel {
+                        threads,
+                        batch_size,
+                    });
+                }
+                if let Some(b) = other.strip_prefix("batched:") {
+                    return Some(ExecMode::Batched {
+                        batch_size: b.parse().ok()?,
+                    });
+                }
                 let threads = other.strip_prefix("parallel:")?.parse().ok()?;
                 Some(ExecMode::Parallel { threads })
             }
@@ -98,7 +159,8 @@ impl ExecMode {
     }
 
     /// Read the mode from the `LQO_EXEC_MODE` environment variable
-    /// (`serial` | `parallel` | `parallel:N`); defaults to serial.
+    /// (`serial` | `parallel[:N]` | `batched[:B]` |
+    /// `batched-parallel[:T[:B]]`); defaults to serial.
     pub fn from_env() -> ExecMode {
         std::env::var("LQO_EXEC_MODE")
             .ok()
@@ -112,6 +174,11 @@ impl std::fmt::Display for ExecMode {
         match self {
             ExecMode::Serial => write!(f, "serial"),
             ExecMode::Parallel { threads } => write!(f, "parallel:{threads}"),
+            ExecMode::Batched { batch_size } => write!(f, "batched:{batch_size}"),
+            ExecMode::BatchedParallel {
+                threads,
+                batch_size,
+            } => write!(f, "batched-parallel:{threads}:{batch_size}"),
         }
     }
 }
@@ -145,6 +212,10 @@ pub(crate) struct ParRun<'a> {
     pub(crate) ex: &'a Executor<'a>,
     pub(crate) query: &'a SpjQuery,
     pub(crate) threads: usize,
+    /// Rows per columnar batch inside each morsel
+    /// (`ExecMode::BatchedParallel`); `None` runs the tuple-at-a-time
+    /// morsel bodies (`ExecMode::Parallel`).
+    pub(crate) batch: Option<usize>,
     /// Whether this query was picked for per-operator profiling detail
     /// (decided once in `Executor::execute`).
     detail: bool,
@@ -157,43 +228,35 @@ pub(crate) struct ParRun<'a> {
     capacity_ns: Cell<u64>,
 }
 
-/// Execute `plan` with `threads` workers. Mirrors
+/// Execute `plan` on the morsel pool, with worker count and batch size
+/// taken from the executor's configured mode. Mirrors
 /// [`Executor::exec_node`] exactly: same validation, same intermediates,
 /// same operator events, bit-identical work accounting.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_plan(
     ex: &Executor<'_>,
     query: &SpjQuery,
     plan: &PhysNode,
-    threads: usize,
     detail: bool,
     meter: &mut WorkMeter,
     intermediates: &mut Vec<(TableSet, u64)>,
     events: &mut Vec<OperatorEvent>,
 ) -> Result<Relation> {
-    let run = ParRun {
-        ex,
-        query,
-        threads: threads.max(1),
-        detail,
-        shared: SharedRun::new(ex.config.max_work, ex.config.parallel.panic_on_morsel),
-        morsels_run: Cell::new(0),
-        busy_ns: Cell::new(0),
-        capacity_ns: Cell::new(0),
-    };
+    let run = step_run(ex, query, detail);
     let result = run.node(plan, meter, intermediates, events);
     run.finish();
     result
 }
 
-/// A coordinator for a single-operator step execution (the adaptive
-/// re-optimization driver runs one operator per pool run).
-fn step_run<'a>(ex: &'a Executor<'a>, query: &'a SpjQuery, threads: usize) -> ParRun<'a> {
+/// A coordinator for one pool execution — a whole plan or a single
+/// operator step (the adaptive re-optimization driver runs one operator
+/// per pool run).
+fn step_run<'a>(ex: &'a Executor<'a>, query: &'a SpjQuery, detail: bool) -> ParRun<'a> {
     ParRun {
         ex,
         query,
-        threads: threads.max(1),
-        detail: false,
+        threads: ex.config.mode.threads(),
+        batch: ex.config.mode.batch_size(),
+        detail,
         shared: SharedRun::new(ex.config.max_work, ex.config.parallel.panic_on_morsel),
         morsels_run: Cell::new(0),
         busy_ns: Cell::new(0),
@@ -207,10 +270,9 @@ pub(crate) fn exec_scan_step(
     ex: &Executor<'_>,
     query: &SpjQuery,
     pos: usize,
-    threads: usize,
     meter: &mut WorkMeter,
 ) -> Result<Relation> {
-    let run = step_run(ex, query, threads);
+    let run = step_run(ex, query, false);
     let result = run.scan(pos, meter);
     run.finish();
     result
@@ -224,10 +286,9 @@ pub(crate) fn exec_join_step(
     algo: crate::plan::physical::JoinAlgo,
     left: Relation,
     right: Relation,
-    threads: usize,
     meter: &mut WorkMeter,
 ) -> Result<Relation> {
-    let run = step_run(ex, query, threads);
+    let run = step_run(ex, query, false);
     let result = run.join(algo, left, right, meter);
     run.finish();
     result
@@ -281,21 +342,50 @@ impl ParRun<'_> {
     }
 
     /// Parallel filter scan: morsels over the base table, qualifying row
-    /// ids concatenated in morsel (= ascending row) order.
+    /// ids concatenated in morsel (= ascending row) order. Under
+    /// `BatchedParallel` each morsel body runs the selection-vector
+    /// kernels over `batch`-row sub-ranges instead of the per-row
+    /// predicate loop; both bodies emit ascending row ids, so the merged
+    /// output is identical.
     fn scan(&self, pos: usize, meter: &mut WorkMeter) -> Result<Relation> {
         let (n, compiled) = self.ex.compile_scan(self.query, pos)?;
         meter.add(self.ex.config.params.scan_work(n as f64, compiled.len()))?;
         self.shared.seed_work(meter.work);
         let compiled = &compiled;
+        let batch = self.batch;
         let chunks = self.dispatch(n, "Scan", move |_, range| {
             let mut out = Vec::new();
-            'rows: for row in range {
-                for c in compiled {
-                    if !c.matches(row) {
-                        continue 'rows;
+            if let Some(b) = batch {
+                let b = b.max(1);
+                let mut sel: Vec<u32> = Vec::with_capacity(b.min(range.len().max(1)));
+                let mut start = range.start;
+                while start < range.end {
+                    let end = (start + b).min(range.end);
+                    match compiled.split_first() {
+                        None => out.extend(start as u32..end as u32),
+                        Some((first, rest)) => {
+                            sel.clear();
+                            first.filter_range(start..end, &mut sel);
+                            for c in rest {
+                                if sel.is_empty() {
+                                    break;
+                                }
+                                c.filter_sel(&mut sel);
+                            }
+                            out.extend_from_slice(&sel);
+                        }
                     }
+                    start = end;
                 }
-                out.push(row as u32);
+            } else {
+                'rows: for row in range {
+                    for c in compiled {
+                        if !c.matches(row) {
+                            continue 'rows;
+                        }
+                    }
+                    out.push(row as u32);
+                }
             }
             out
         })?;
@@ -394,13 +484,51 @@ mod tests {
             ExecMode::parse("parallel"),
             Some(ExecMode::Parallel { .. })
         ));
+        assert_eq!(
+            ExecMode::parse("batched:256"),
+            Some(ExecMode::Batched { batch_size: 256 })
+        );
+        assert_eq!(
+            ExecMode::parse("batched"),
+            Some(ExecMode::Batched {
+                batch_size: crate::exec::batch::DEFAULT_BATCH_SIZE
+            })
+        );
+        assert_eq!(
+            ExecMode::parse("batched-parallel:4:128"),
+            Some(ExecMode::BatchedParallel {
+                threads: 4,
+                batch_size: 128
+            })
+        );
+        assert_eq!(
+            ExecMode::parse("batched-parallel:4"),
+            Some(ExecMode::BatchedParallel {
+                threads: 4,
+                batch_size: crate::exec::batch::DEFAULT_BATCH_SIZE
+            })
+        );
+        assert!(matches!(
+            ExecMode::parse("batched-parallel"),
+            Some(ExecMode::BatchedParallel { .. })
+        ));
         assert_eq!(ExecMode::parse("bogus"), None);
         assert_eq!(ExecMode::parse("parallel:x"), None);
+        assert_eq!(ExecMode::parse("batched:x"), None);
+        assert_eq!(ExecMode::parse("batched-parallel:2:x"), None);
     }
 
     #[test]
     fn exec_mode_display_roundtrips() {
-        for mode in [ExecMode::Serial, ExecMode::Parallel { threads: 8 }] {
+        for mode in [
+            ExecMode::Serial,
+            ExecMode::Parallel { threads: 8 },
+            ExecMode::Batched { batch_size: 512 },
+            ExecMode::BatchedParallel {
+                threads: 4,
+                batch_size: 64,
+            },
+        ] {
             assert_eq!(ExecMode::parse(&mode.to_string()), Some(mode));
         }
     }
@@ -410,5 +538,34 @@ mod tests {
         assert_eq!(ExecMode::Serial.threads(), 1);
         assert_eq!(ExecMode::Parallel { threads: 8 }.threads(), 8);
         assert_eq!(ExecMode::Parallel { threads: 0 }.threads(), 1);
+        assert_eq!(ExecMode::Batched { batch_size: 64 }.threads(), 1);
+        assert_eq!(
+            ExecMode::BatchedParallel {
+                threads: 6,
+                batch_size: 64
+            }
+            .threads(),
+            6
+        );
+    }
+
+    #[test]
+    fn exec_mode_batch_size() {
+        assert_eq!(ExecMode::Serial.batch_size(), None);
+        assert_eq!(ExecMode::Parallel { threads: 2 }.batch_size(), None);
+        assert_eq!(ExecMode::Batched { batch_size: 64 }.batch_size(), Some(64));
+        assert_eq!(
+            ExecMode::Batched { batch_size: 0 }.batch_size(),
+            Some(1),
+            "degenerate batch size clamps to 1"
+        );
+        assert_eq!(
+            ExecMode::BatchedParallel {
+                threads: 2,
+                batch_size: 512
+            }
+            .batch_size(),
+            Some(512)
+        );
     }
 }

@@ -88,9 +88,10 @@ impl<'a> RegressionGuard<'a> {
     }
 
     /// Execute guarded plans in the given mode. Budget semantics are
-    /// unchanged: work accounting is mode-independent (the parallel
-    /// executor is byte-identical to serial, with cancellation-aware
-    /// morsel dispatch honouring the same budget mid-operator).
+    /// unchanged: work accounting is mode-independent (the parallel and
+    /// batched executors are byte-identical to serial, with
+    /// cancellation-aware morsel dispatch and serial-cadence charge
+    /// replay honouring the same budget mid-operator).
     pub fn with_exec_mode(mut self, mode: ExecMode) -> RegressionGuard<'a> {
         self.mode = mode;
         self
@@ -277,6 +278,44 @@ mod tests {
         assert_eq!(s.result.count, p.result.count);
         assert_eq!(s.result.work.to_bits(), p.result.work.to_bits());
         assert_eq!(s.replanned, p.replanned);
+    }
+
+    #[test]
+    fn batched_guard_matches_serial_guard() {
+        let (catalog, card, q) = setup();
+        let native = Optimizer::with_defaults(&catalog)
+            .optimize_default(&q, card.as_ref())
+            .unwrap()
+            .plan;
+        let serial = RegressionGuard::new(
+            &catalog,
+            CostParams::default(),
+            RegressionGuardConfig::default(),
+            ObsContext::disabled(),
+        );
+        let s = serial.execute(&q, &native, &native, card.as_ref()).unwrap();
+        let modes = [
+            ExecMode::Batched { batch_size: 64 },
+            ExecMode::BatchedParallel {
+                threads: 4,
+                batch_size: 64,
+            },
+        ];
+        for mode in modes {
+            let batched = RegressionGuard::new(
+                &catalog,
+                CostParams::default(),
+                RegressionGuardConfig::default(),
+                ObsContext::disabled(),
+            )
+            .with_exec_mode(mode);
+            let b = batched
+                .execute(&q, &native, &native, card.as_ref())
+                .unwrap();
+            assert_eq!(s.result.count, b.result.count, "{mode}");
+            assert_eq!(s.result.work.to_bits(), b.result.work.to_bits(), "{mode}");
+            assert_eq!(s.replanned, b.replanned, "{mode}");
+        }
     }
 
     #[test]

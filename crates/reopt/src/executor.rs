@@ -753,6 +753,39 @@ mod tests {
         }
     }
 
+    #[test]
+    fn untriggered_batched_matches_serial_baseline() {
+        let (c, q) = chain();
+        let card = traditional(&c);
+        let plan = good_plan();
+        let (base, base_rel) = Executor::with_defaults(&c)
+            .execute_collect(&q, &plan)
+            .unwrap();
+        let modes = [
+            ExecMode::Batched { batch_size: 1 },
+            ExecMode::Batched { batch_size: 64 },
+            ExecMode::BatchedParallel {
+                threads: 2,
+                batch_size: 64,
+            },
+        ];
+        for mode in modes {
+            let re = ReoptExecutor::new(
+                &c,
+                ExecConfig {
+                    mode,
+                    ..Default::default()
+                },
+                card.clone(),
+                never_reopt(),
+            );
+            let (out, rel, _) = re.execute_collect(&q, &plan).unwrap();
+            assert_eq!(out.count, base.count, "{mode}");
+            assert_eq!(out.work.to_bits(), base.work.to_bits(), "{mode}");
+            assert_eq!(rel.digest(), base_rel.digest(), "{mode}");
+        }
+    }
+
     /// Poison the estimate of `a`'s scan so the first checkpoint sees a
     /// huge q-error; the executor must re-plan away from the cross
     /// product and still produce the exact answer.

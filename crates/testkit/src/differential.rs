@@ -1,4 +1,5 @@
-//! The differential harness: serial vs parallel, everything compared.
+//! The differential harness: serial vs parallel vs batched, everything
+//! compared.
 
 use lqo_engine::exec::relation::Relation;
 use lqo_engine::{
@@ -16,6 +17,12 @@ pub struct DiffConfig {
     /// deliberately tiny size maximizes scheduling nondeterminism — the
     /// hardest case for byte identity.
     pub morsel_rows: Vec<usize>,
+    /// Columnar batch sizes to sweep. Each runs as an
+    /// `ExecMode::Batched` cell, and each `(threads, batch)` combination
+    /// as an `ExecMode::BatchedParallel` cell (morsel sizes cycled across
+    /// those cells to keep the sweep bounded). Empty disables the batched
+    /// legs.
+    pub batch_sizes: Vec<usize>,
     /// Work budget applied identically to every mode (`None` = unlimited).
     pub max_work: Option<f64>,
 }
@@ -25,6 +32,7 @@ impl Default for DiffConfig {
         DiffConfig {
             thread_counts: thread_counts_from_env(),
             morsel_rows: vec![7, 1024, 32_768],
+            batch_sizes: batch_sizes_from_env(),
             max_work: None,
         }
     }
@@ -52,6 +60,29 @@ pub fn thread_counts_from_env() -> Vec<usize> {
     }
 }
 
+/// Batch sizes from `LQO_TEST_BATCH_SIZES` (comma-separated, e.g.
+/// `"1,64"`), defaulting to `[1, 7, 64, 1024]`: the degenerate
+/// one-row batch, a size that never divides morsel or table sizes
+/// (maximizing partial-batch boundaries), a small power of two, and the
+/// production default.
+pub fn batch_sizes_from_env() -> Vec<usize> {
+    match std::env::var("LQO_TEST_BATCH_SIZES") {
+        Ok(s) => {
+            let parsed: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&b| b > 0)
+                .collect();
+            if parsed.is_empty() {
+                vec![1, 7, 64, 1024]
+            } else {
+                parsed
+            }
+        }
+        Err(_) => vec![1, 7, 64, 1024],
+    }
+}
+
 /// Outcome of one differential check.
 #[derive(Debug, Clone)]
 pub struct DiffOutcome {
@@ -59,7 +90,8 @@ pub struct DiffOutcome {
     pub serial: ExecResult,
     /// Order-sensitive digest of the serial output relation.
     pub digest: u64,
-    /// Number of (threads, morsel_rows) parallel cells compared.
+    /// Number of non-serial cells compared (parallel, batched, and
+    /// batched-parallel).
     pub cells: usize,
 }
 
@@ -67,11 +99,74 @@ fn result_fingerprint(r: &ExecResult) -> (u64, u64, Vec<(lqo_engine::TableSet, u
     (r.count, r.work.to_bits(), r.intermediates.clone())
 }
 
-/// Execute `plan` serially and under every `(threads, morsel_rows)` cell
-/// of `cfg`, requiring byte-identical output everywhere: equal counts,
-/// bit-identical work, equal intermediates, identical output relations
-/// (slots and row order), and — when the serial run errors (e.g. a work
-/// budget trip) — the *same* error from every parallel cell.
+/// The non-serial cells a [`DiffConfig`] expands to: every
+/// `(threads, morsel_rows)` parallel cell, every `batch` batched cell,
+/// and every `(threads, batch)` batched-parallel cell (with morsel sizes
+/// cycled across those so all three knobs vary without a full cubic
+/// product).
+fn sweep_cells(cfg: &DiffConfig) -> Vec<(String, ExecConfig)> {
+    let mut cells = Vec::new();
+    let base = ExecConfig {
+        max_work: cfg.max_work,
+        ..Default::default()
+    };
+    for &threads in &cfg.thread_counts {
+        for &morsel_rows in &cfg.morsel_rows {
+            cells.push((
+                format!("parallel threads={threads} morsel_rows={morsel_rows}"),
+                ExecConfig {
+                    mode: ExecMode::Parallel { threads },
+                    parallel: ParallelConfig {
+                        morsel_rows,
+                        ..Default::default()
+                    },
+                    ..base.clone()
+                },
+            ));
+        }
+    }
+    for &batch_size in &cfg.batch_sizes {
+        cells.push((
+            format!("batched batch={batch_size}"),
+            ExecConfig {
+                mode: ExecMode::Batched { batch_size },
+                ..base.clone()
+            },
+        ));
+    }
+    if !cfg.morsel_rows.is_empty() {
+        for (ti, &threads) in cfg.thread_counts.iter().enumerate() {
+            for (bi, &batch_size) in cfg.batch_sizes.iter().enumerate() {
+                let morsel_rows = cfg.morsel_rows[(ti + bi) % cfg.morsel_rows.len()];
+                cells.push((
+                    format!(
+                        "batched-parallel threads={threads} morsel_rows={morsel_rows} \
+                         batch={batch_size}"
+                    ),
+                    ExecConfig {
+                        mode: ExecMode::BatchedParallel {
+                            threads,
+                            batch_size,
+                        },
+                        parallel: ParallelConfig {
+                            morsel_rows,
+                            ..Default::default()
+                        },
+                        ..base.clone()
+                    },
+                ));
+            }
+        }
+    }
+    cells
+}
+
+/// Execute `plan` serially and under every parallel, batched, and
+/// batched-parallel cell of `cfg`, requiring byte-identical output
+/// everywhere: equal counts, bit-identical work, equal intermediates,
+/// identical output relations (slots and row order), and — when the
+/// serial run errors (e.g. a work budget trip) — the *same* error from
+/// every cell.
 ///
 /// Returns a human-readable description of the first divergence, so
 /// property tests can surface the failing cell.
@@ -90,44 +185,29 @@ pub fn diff_plan(
     );
     let serial = serial_exec.execute_collect(query, plan);
     let mut cells = 0;
-    for &threads in &cfg.thread_counts {
-        for &morsel_rows in &cfg.morsel_rows {
-            cells += 1;
-            let cell = format!("threads={threads} morsel_rows={morsel_rows}");
-            let parallel_exec = Executor::new(
-                catalog,
-                ExecConfig {
-                    max_work: cfg.max_work,
-                    mode: ExecMode::Parallel { threads },
-                    parallel: ParallelConfig {
-                        morsel_rows,
-                        ..Default::default()
-                    },
-                    ..Default::default()
-                },
-            );
-            let parallel = parallel_exec.execute_collect(query, plan);
-            match (&serial, &parallel) {
-                (Ok((sr, srel)), Ok((pr, prel))) => {
-                    compare(sr, srel, pr, prel, &cell, query)?;
-                }
-                (Err(se), Err(pe)) => {
-                    if !same_error(se, pe) {
-                        return Err(format!(
-                            "error divergence at {cell} for `{query}`: serial {se}, parallel {pe}"
-                        ));
-                    }
-                }
-                (Ok(_), Err(pe)) => {
+    for (cell, config) in sweep_cells(cfg) {
+        cells += 1;
+        let candidate = Executor::new(catalog, config).execute_collect(query, plan);
+        match (&serial, &candidate) {
+            (Ok((sr, srel)), Ok((pr, prel))) => {
+                compare(sr, srel, pr, prel, &cell, query)?;
+            }
+            (Err(se), Err(pe)) => {
+                if !same_error(se, pe) {
                     return Err(format!(
-                        "parallel failed at {cell} for `{query}` where serial succeeded: {pe}"
+                        "error divergence at {cell} for `{query}`: serial {se}, candidate {pe}"
                     ));
                 }
-                (Err(se), Ok(_)) => {
-                    return Err(format!(
-                        "parallel succeeded at {cell} for `{query}` where serial failed: {se}"
-                    ));
-                }
+            }
+            (Ok(_), Err(pe)) => {
+                return Err(format!(
+                    "candidate failed at {cell} for `{query}` where serial succeeded: {pe}"
+                ));
+            }
+            (Err(se), Ok(_)) => {
+                return Err(format!(
+                    "candidate succeeded at {cell} for `{query}` where serial failed: {se}"
+                ));
             }
         }
     }
@@ -226,11 +306,13 @@ mod tests {
             &DiffConfig {
                 thread_counts: vec![1, 2, 3],
                 morsel_rows: vec![5, 64],
+                batch_sizes: vec![1, 16],
                 max_work: None,
             },
         )
         .unwrap();
-        assert_eq!(out.cells, 6);
+        // 3x2 parallel + 2 batched + 3x2 batched-parallel.
+        assert_eq!(out.cells, 14);
         assert!(out.serial.work > 0.0);
     }
 
@@ -248,6 +330,7 @@ mod tests {
             &DiffConfig {
                 thread_counts: vec![2],
                 morsel_rows: vec![8],
+                batch_sizes: vec![4],
                 max_work: Some(3.0),
             },
         )

@@ -9,15 +9,17 @@
 //! usually" would silently corrupt every learned-component feedback loop
 //! in this repository. This crate therefore holds the engine to a much
 //! stronger standard: **byte identity**. For every query, plan, thread
-//! count, and morsel size, the parallel executor must produce the same
-//! result rows in the same order, the same intermediate cardinalities,
-//! and the *bit-identical* work-unit account as the serial reference.
+//! count, morsel size, and columnar batch size, the parallel and batched
+//! executors must produce the same result rows in the same order, the
+//! same intermediate cardinalities, and the *bit-identical* work-unit
+//! account as the serial reference.
 //!
 //! Pieces:
 //!
-//! * [`differential`] — run a (query, plan) through serial and parallel
-//!   modes at multiple thread counts and morsel sizes and compare
-//!   everything ([`differential::diff_plan`]), plus workload sweeps.
+//! * [`differential`] — run a (query, plan) through serial, parallel,
+//!   batched, and batched-parallel modes at multiple thread counts,
+//!   morsel sizes, and batch sizes and compare everything
+//!   ([`differential::diff_plan`]), plus workload sweeps.
 //! * [`reopt_diff`] — the same standard for the checkpointed
 //!   re-optimizing executor: byte identity when no checkpoint triggers,
 //!   answer identity (normalized tuple multiset) after a sub-plan
@@ -38,7 +40,9 @@ pub mod golden;
 pub mod reopt_diff;
 pub mod sqlgen;
 
-pub use differential::{diff_plan, diff_workload, DiffConfig, DiffOutcome};
+pub use differential::{
+    batch_sizes_from_env, diff_plan, diff_workload, thread_counts_from_env, DiffConfig, DiffOutcome,
+};
 pub use golden::check_golden;
 pub use reopt_diff::{diff_reopt_plan, diff_reopt_workload, ReoptDiffConfig, ReoptDiffOutcome};
 pub use sqlgen::{random_plan, random_query, RandomQueryConfig};

@@ -1,9 +1,12 @@
 //! Differential sweep: every bench-workload query, optimizer-chosen
-//! plan, executed serially and in parallel at every configured thread
-//! count and morsel size, compared byte for byte.
+//! plan, executed serially, in parallel, batched, and batched-parallel
+//! at every configured thread count, morsel size, and batch size,
+//! compared byte for byte.
 //!
-//! Thread counts come from `LQO_TEST_THREADS` (default `1,2,4,8`); the
-//! CI `parallel` job runs this suite at both 2 and 8 workers.
+//! Thread counts come from `LQO_TEST_THREADS` (default `1,2,4,8`) and
+//! batch sizes from `LQO_TEST_BATCH_SIZES` (default `1,7,64,1024`); the
+//! CI `parallel` job runs this suite at both 2 and 8 workers and the
+//! `batch` job at two batch sizes.
 
 use std::sync::Arc;
 
@@ -64,7 +67,7 @@ fn tpch_workload_is_mode_invariant() {
 
 #[test]
 fn budget_trips_agree_across_modes() {
-    // A budget tight enough to trip mid-join: serial and every parallel
+    // A budget tight enough to trip mid-join: serial and every other
     // cell must fail with the *same* WorkLimitExceeded error.
     let catalog = Arc::new(stats_like(60, 7).unwrap());
     let pairs = optimizer_pairs(&catalog, 3, 0xD1FF_0004);

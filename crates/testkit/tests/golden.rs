@@ -1,7 +1,7 @@
 //! Golden snapshot of a fixed 10-query workload: query text, the plan
 //! the traditional optimizer picks, and the executed result (count,
 //! bit-exact work, order-sensitive relation digest). Any change to the
-//! generator, optimizer, cost model, or either execution path shows up
+//! generator, optimizer, cost model, or any execution mode shows up
 //! here as a reviewable diff.
 //!
 //! Regenerate after an intentional change with:
@@ -49,17 +49,45 @@ fn ten_query_workload_snapshot() {
             ..Default::default()
         },
     );
+    let batched = Executor::new(
+        &catalog,
+        ExecConfig {
+            mode: ExecMode::Batched { batch_size: 64 },
+            ..Default::default()
+        },
+    );
+    let batched_parallel = Executor::new(
+        &catalog,
+        ExecConfig {
+            mode: ExecMode::BatchedParallel {
+                threads: 4,
+                batch_size: 64,
+            },
+            parallel: ParallelConfig {
+                morsel_rows: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
 
     let mut out = String::from("# golden: stats_like(60, 7), 10 queries, seed 0x601DE001\n");
     for (i, q) in queries.iter().enumerate() {
         let plan = optimizer.optimize_default(q, &card).unwrap().plan;
         let (sr, srel) = serial.execute_collect(q, &plan).unwrap();
-        // The snapshot is also a differential check: the parallel path
-        // must reproduce it before it is rendered.
-        let (pr, prel) = parallel.execute_collect(q, &plan).unwrap();
-        assert_eq!(sr.count, pr.count, "query {i}");
-        assert_eq!(sr.work.to_bits(), pr.work.to_bits(), "query {i}");
-        assert_eq!(srel.digest(), prel.digest(), "query {i}");
+        // The snapshot is also a differential check: every other mode
+        // must reproduce it before it is rendered — same committed
+        // golden file, no mode-specific snapshots.
+        for (mode, ex) in [
+            ("parallel", &parallel),
+            ("batched", &batched),
+            ("batched-parallel", &batched_parallel),
+        ] {
+            let (pr, prel) = ex.execute_collect(q, &plan).unwrap();
+            assert_eq!(sr.count, pr.count, "query {i} ({mode})");
+            assert_eq!(sr.work.to_bits(), pr.work.to_bits(), "query {i} ({mode})");
+            assert_eq!(srel.digest(), prel.digest(), "query {i} ({mode})");
+        }
         writeln!(out, "\nquery {i}: {q}").unwrap();
         writeln!(out, "plan {i}: {}", plan.fingerprint()).unwrap();
         writeln!(

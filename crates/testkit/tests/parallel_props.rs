@@ -51,6 +51,7 @@ proptest! {
         let cfg = DiffConfig {
             thread_counts: vec![threads],
             morsel_rows: vec![morsel_rows],
+            batch_sizes: vec![], // batched legs live in batch_props.rs
             max_work: None,
         };
         diff_plan(catalog(), &q, &plan, &cfg)
